@@ -1,0 +1,97 @@
+// Ablation: integer LayerNorm statistics mode (paper §3.2.2).
+//
+// Instant statistics recompute mean/variance per token on the fly — exact
+// but serialized (higher hardware latency); running statistics are frozen
+// scalars — a single subtract-multiply per element. This harness reports
+// the accuracy cost of the running-stat approximation and times both ops.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "deploy/vit_ops.h"
+#include "util/fixed_point.h"
+
+namespace t2c {
+namespace {
+
+void run_tables() {
+  using namespace bench;
+  std::puts("=== Ablation: IntLayerNorm instant vs running statistics ===");
+  Stopwatch sw;
+  SyntheticImageDataset data(cifar_bench_spec());
+
+  ModelConfig mc;
+  mc.num_classes = data.spec().classes;
+  mc.vit_dim = 32;
+  mc.vit_depth = 3;
+  mc.vit_heads = 4;
+  mc.vit_patch = 4;
+  mc.seed = 3;
+  auto model = make_vit(mc);
+  TrainerOptions o;
+  o.train.epochs = 10 * scale_factor();
+  o.train.lr = 0.02F;
+  auto tr = make_trainer("qat", *model, data, o);
+  tr->fit();
+  const double qat_acc = tr->evaluate();
+  freeze_quantizers(*model);
+
+  Table t({10, 16, 14});
+  t.rule();
+  t.row({"LN stats", "Deployed acc", "d vs QAT"});
+  t.rule();
+  for (LayerNormStats mode :
+       {LayerNormStats::kInstant, LayerNormStats::kRunning}) {
+    ConvertConfig cfg;
+    cfg.input_shape = {3, data.spec().height, data.spec().width};
+    cfg.ln_stats = mode;
+    T2CConverter conv(cfg);
+    const double acc = conv.convert(*model).evaluate(data.test_images(),
+                                                     data.test_labels());
+    t.row({mode == LayerNormStats::kInstant ? "instant" : "running",
+           fmt(acc), fmt(acc - qat_acc, 2)});
+  }
+  t.rule();
+  std::printf("shape check: running stats trade a small accuracy drop for "
+              "the latency of per-token statistics.  total %.0fs\n",
+              sw.seconds());
+}
+
+ITensor ln_input() {
+  ITensor x({8, 16, 64});
+  Rng rng(4);
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = rng.randint(-100, 100);
+  return x;
+}
+
+std::vector<std::int64_t> unit_fx(std::int64_t d, double v) {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(d));
+  for (auto& e : out) e = to_fixed(v, FixedPointFormat{8, 8});
+  return out;
+}
+
+void BM_IntLayerNormInstant(benchmark::State& state) {
+  IntLayerNormOp ln(unit_fx(64, 40.0), unit_fx(64, 0.0), 8, -127, 127);
+  ITensor x = ln_input();
+  std::vector<const ITensor*> ins{&x};
+  for (auto _ : state) benchmark::DoNotOptimize(ln.run(ins));
+}
+BENCHMARK(BM_IntLayerNormInstant);
+
+void BM_IntLayerNormRunning(benchmark::State& state) {
+  IntLayerNormOp ln(unit_fx(64, 40.0), unit_fx(64, 0.0), 8, -127, 127,
+                    /*mean_int=*/0, /*inv_sigma_fx=*/1 << 12, /*stat_frac=*/16);
+  ITensor x = ln_input();
+  std::vector<const ITensor*> ins{&x};
+  for (auto _ : state) benchmark::DoNotOptimize(ln.run(ins));
+}
+BENCHMARK(BM_IntLayerNormRunning);
+
+}  // namespace
+}  // namespace t2c
+
+int main(int argc, char** argv) {
+  t2c::run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Figure 2 harness: the "Dual-Path" hierarchical design.
+//
+// Verifies, for every quantizer in the zoo and both layer types, that the
+// training path (fake-quantized float) and the inference path (integer
+// accumulation + rescale) agree numerically, and times the two paths with
+// google-benchmark — the quantitative content behind the paper's
+// architecture figure.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "quant/qlayers.h"
+#include "tensor/elementwise.h"
+
+namespace t2c {
+namespace {
+
+QConfig cfg_for(const std::string& wq, int bits) {
+  QConfig q;
+  q.weight_quantizer = wq;
+  q.act_quantizer = "minmax";
+  q.wbits = bits;
+  q.abits = bits;
+  q.act_unsigned = false;
+  return q;
+}
+
+Tensor sample_input() {
+  Tensor x({4, 8, 12, 12});
+  Rng rng(5);
+  rng.fill_normal(x.vec(), 0.0F, 1.0F);
+  return x;
+}
+
+void report_consistency() {
+  std::puts("=== Fig. 2: dual-path consistency (train path vs int path) ===");
+  bench::Table t({10, 5, 10, 16});
+  t.rule();
+  t.row({"Quantizer", "Bits", "Layer", "max rel. diff"});
+  t.rule();
+  for (const std::string wq : {"minmax", "sawb", "lsq", "rcf"}) {
+    for (int bits : {4, 8}) {
+      Rng rng(3);
+      ConvSpec spec;
+      spec.in_channels = 8;
+      spec.out_channels = 8;
+      spec.kernel = 3;
+      spec.padding = 1;
+      QConv2d conv(spec, true, rng, cfg_for(wq, bits));
+      Tensor x = sample_input();
+      conv.set_mode(ExecMode::kTrain);
+      (void)conv.forward(x);
+      freeze_quantizers(conv);
+      conv.set_mode(ExecMode::kEval);
+      Tensor fake = conv.forward(x);
+      conv.set_mode(ExecMode::kIntInfer);
+      Tensor integer = conv.forward(x);
+      const float rel = max_abs_diff(fake, integer) / (1.0F + max_abs(fake));
+      t.row({wq, std::to_string(bits), "QConv2d", bench::fmt(rel, 6)});
+
+      QLinear lin(64, 32, true, rng, cfg_for(wq, bits));
+      Tensor xv({16, 64});
+      Rng r2(7);
+      r2.fill_normal(xv.vec(), 0.0F, 1.0F);
+      lin.set_mode(ExecMode::kTrain);
+      (void)lin.forward(xv);
+      freeze_quantizers(lin);
+      lin.set_mode(ExecMode::kEval);
+      Tensor f2 = lin.forward(xv);
+      lin.set_mode(ExecMode::kIntInfer);
+      Tensor i2 = lin.forward(xv);
+      const float rel2 = max_abs_diff(f2, i2) / (1.0F + max_abs(f2));
+      t.row({wq, std::to_string(bits), "QLinear", bench::fmt(rel2, 6)});
+    }
+  }
+  t.rule();
+  std::puts("expected: every row << 1% — the user-defined training path and "
+            "the automatically derived integer path compute the same math.");
+}
+
+// ---- timing: the three execution paths of one quantized conv ----
+
+struct PathBench {
+  PathBench() : rng(3) {
+    ConvSpec spec;
+    spec.in_channels = 8;
+    spec.out_channels = 8;
+    spec.kernel = 3;
+    spec.padding = 1;
+    conv = std::make_unique<QConv2d>(spec, true, rng, cfg_for("minmax", 8));
+    x = sample_input();
+    conv->set_mode(ExecMode::kTrain);
+    (void)conv->forward(x);
+    freeze_quantizers(*conv);
+  }
+  Rng rng;
+  std::unique_ptr<QConv2d> conv;
+  Tensor x;
+};
+
+void BM_TrainPath(benchmark::State& state) {
+  PathBench b;
+  b.conv->set_mode(ExecMode::kTrain);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.conv->forward(b.x));
+  }
+}
+BENCHMARK(BM_TrainPath);
+
+void BM_EvalPath(benchmark::State& state) {
+  PathBench b;
+  b.conv->set_mode(ExecMode::kEval);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.conv->forward(b.x));
+  }
+}
+BENCHMARK(BM_EvalPath);
+
+void BM_IntVerificationPath(benchmark::State& state) {
+  PathBench b;
+  b.conv->set_mode(ExecMode::kIntInfer);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.conv->forward(b.x));
+  }
+}
+BENCHMARK(BM_IntVerificationPath);
+
+}  // namespace
+}  // namespace t2c
+
+int main(int argc, char** argv) {
+  t2c::report_consistency();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 3 harness: CNN train -> fuse -> deploy, comparing the two fusion
+// strategies of §3.2.1 across bit-widths.
+//
+// The paper's claim (after Park & Yoo 2020): folding BatchNorm into the
+// weights *before* re-quantization ("pre-fusing", Eq. 8/9/14) is fine at
+// 8-bit but unstable below 8-bit, while channel-wise scale/shift fusion
+// (Eq. 12/13/15, the MulQuant path) stays close to the fake-quant model at
+// every precision. Weight quantization is per-tensor here — the regime
+// where pre-fusing is genuinely used and genuinely breaks.
+#include "bench_util.h"
+
+int main() {
+  using namespace t2c;
+  using namespace t2c::bench;
+  std::puts("=== Fig. 3: BN fusion strategy vs bit-width (ResNet-20) ===");
+  Stopwatch sw;
+  SyntheticImageDataset data(cifar_bench_spec());
+
+  Table t({5, 12, 18, 18});
+  t.rule();
+  t.row({"Bits", "QAT (float)", "Channel-wise (int)", "Pre-fused (int)"});
+  t.rule();
+
+  for (int bits : {8, 6, 4, 3, 2}) {
+    ModelConfig mc;
+    mc.num_classes = data.spec().classes;
+    mc.width_mult = 0.5F;
+    mc.seed = 3;
+    // SAWB + PACT stay stable down to 2 bits; per-tensor weight scales are
+    // the regime where pre-fusing is actually used (and actually breaks).
+    mc.qcfg.weight_quantizer = "sawb";
+    mc.qcfg.act_quantizer = "pact";
+    mc.qcfg.wbits = bits;
+    mc.qcfg.abits = bits;
+    mc.qcfg.weight_granularity = QGranularity::kPerTensor;
+    auto model = make_resnet20(mc);
+
+    TrainerOptions o;
+    o.train.epochs = 10 * scale_factor();
+    o.train.lr = bits <= 3 ? 0.05F : 0.1F;
+    auto tr = make_trainer("qat", *model, data, o);
+    tr->fit();
+    const double qat_acc = tr->evaluate();
+    freeze_quantizers(*model);
+
+    ConvertConfig cw;
+    cw.input_shape = {3, data.spec().height, data.spec().width};
+    cw.fusion = FusionMode::kChannelWise;
+    T2CConverter conv_cw(cw);
+    const double acc_cw = conv_cw.convert(*model).evaluate(
+        data.test_images(), data.test_labels());
+
+    ConvertConfig pf = cw;
+    pf.fusion = FusionMode::kPreFuse;
+    T2CConverter conv_pf(pf);
+    const double acc_pf = conv_pf.convert(*model).evaluate(
+        data.test_images(), data.test_labels());
+
+    t.row({std::to_string(bits), fmt(qat_acc), fmt_delta(acc_cw, qat_acc),
+           fmt_delta(acc_pf, qat_acc)});
+    std::printf("  [%.0fs] %d-bit done\n", sw.seconds(), bits);
+  }
+  t.rule();
+  std::puts("shape check: channel-wise fusion tracks the QAT accuracy at "
+            "every precision; pre-fusing degrades increasingly below 8-bit "
+            "(the paper's motivation for MulQuant).");
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Figure 5 harness: automated parameter extraction in every output format.
+//
+// Converts a trained model, exports it as (a) decimal dumps, (b) hex
+// memory images, (c) packed binary, (d) the integer checkpoint; reports
+// file sizes; round-trips each format and replays the checkpoint to check
+// bit-exactness — the property an RTL verification flow relies on.
+// google-benchmark times the writers.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "bench_util.h"
+#include "deploy/int_ops.h"
+#include "xport/checkpoint.h"
+#include "xport/writers.h"
+
+namespace t2c {
+namespace {
+
+std::unique_ptr<DeployModel> g_dm;
+std::string g_dir;
+
+std::uintmax_t dir_bytes(const std::string& dir) {
+  std::uintmax_t total = 0;
+  for (const auto& e : std::filesystem::recursive_directory_iterator(dir)) {
+    if (e.is_regular_file()) total += e.file_size();
+  }
+  return total;
+}
+
+void run_tables() {
+  using namespace bench;
+  std::puts("=== Fig. 5: parameter extraction / export formats ===");
+  Stopwatch sw;
+  SyntheticImageDataset data(cifar_bench_spec());
+
+  ModelConfig mc;
+  mc.num_classes = data.spec().classes;
+  mc.width_mult = 0.5F;
+  mc.seed = 3;
+  auto model = make_resnet20(mc);
+  TrainerOptions o;
+  o.train.epochs = 4;
+  auto tr = make_trainer("qat", *model, data, o);
+  tr->fit();
+  freeze_quantizers(*model);
+  ConvertConfig cfg;
+  cfg.input_shape = {3, data.spec().height, data.spec().width};
+  T2CConverter conv(cfg);
+  g_dm = std::make_unique<DeployModel>(conv.convert(*model));
+  DeployModel& dm = *g_dm;
+
+  g_dir = std::filesystem::temp_directory_path().string() + "/t2c_fig5";
+  std::filesystem::remove_all(g_dir);
+  std::filesystem::create_directories(g_dir);
+
+  // (a) hex memory images.
+  const auto hex_files = export_hex_images(dm, g_dir + "/hex", 8);
+  // (b) decimal + (c) binary dumps of every conv/linear weight.
+  std::filesystem::create_directories(g_dir + "/dec");
+  std::filesystem::create_directories(g_dir + "/bin");
+  std::size_t tensors = 0;
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    const ITensor* w = nullptr;
+    if (const auto* c = dynamic_cast<const IntConv2dOp*>(&dm.op(i))) {
+      w = &c->weight();
+    } else if (const auto* l = dynamic_cast<const IntLinearOp*>(&dm.op(i))) {
+      w = &l->weight();
+    }
+    if (w == nullptr) continue;
+    const std::string stem = "/t" + std::to_string(i);
+    write_decimal(g_dir + "/dec" + stem + ".txt", *w);
+    write_binary(g_dir + "/bin" + stem + ".bin", *w);
+    ++tensors;
+  }
+  // (d) integer checkpoint.
+  save_checkpoint(dm, g_dir + "/model.t2c");
+
+  Table t({22, 10, 12});
+  t.rule();
+  t.row({"Format", "Files", "Bytes"});
+  t.rule();
+  t.row({"Hex memory images", std::to_string(hex_files.size()),
+         std::to_string(dir_bytes(g_dir + "/hex"))});
+  t.row({"Decimal dumps", std::to_string(tensors),
+         std::to_string(dir_bytes(g_dir + "/dec"))});
+  t.row({"Packed binary", std::to_string(tensors),
+         std::to_string(dir_bytes(g_dir + "/bin"))});
+  t.row({"Integer checkpoint", "1",
+         std::to_string(std::filesystem::file_size(g_dir + "/model.t2c"))});
+  t.rule();
+
+  // Round-trip verification: every format parses back bit-exactly, and the
+  // reloaded checkpoint replays the full model bit-exactly.
+  std::size_t verified = 0;
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    const ITensor* w = nullptr;
+    if (const auto* c = dynamic_cast<const IntConv2dOp*>(&dm.op(i))) {
+      w = &c->weight();
+    } else if (const auto* l = dynamic_cast<const IntLinearOp*>(&dm.op(i))) {
+      w = &l->weight();
+    }
+    if (w == nullptr) continue;
+    const std::string stem = "/t" + std::to_string(i);
+    const ITensor d = read_decimal(g_dir + "/dec" + stem + ".txt");
+    const ITensor b = read_binary(g_dir + "/bin" + stem + ".bin");
+    for (std::int64_t j = 0; j < w->numel(); ++j) {
+      check(d[j] == (*w)[j] && b[j] == (*w)[j],
+            "fig5: format round-trip mismatch");
+    }
+    ++verified;
+  }
+  DeployModel reloaded = load_checkpoint(g_dir + "/model.t2c");
+  Tensor probe({4, 3, data.spec().height, data.spec().width});
+  for (int i = 0; i < 4; ++i) probe.set0(i, data.test_images().select0(i));
+  const ITensor a = dm.run_int(dm.quantize_input(probe));
+  const ITensor bb = reloaded.run_int(reloaded.quantize_input(probe));
+  bool exact = a.same_shape(bb);
+  for (std::int64_t i = 0; exact && i < a.numel(); ++i) exact = (a[i] == bb[i]);
+  std::printf("round-trips: %zu tensors bit-exact in decimal+binary; "
+              "checkpoint replay bit-exact: %s  [%.0fs]\n",
+              verified, exact ? "yes" : "NO", sw.seconds());
+}
+
+void BM_WriteHexImages(benchmark::State& state) {
+  const std::string dir = g_dir + "/bench_hex";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(export_hex_images(*g_dm, dir, 8));
+  }
+}
+BENCHMARK(BM_WriteHexImages);
+
+void BM_SaveCheckpoint(benchmark::State& state) {
+  const std::string path = g_dir + "/bench.t2c";
+  for (auto _ : state) {
+    save_checkpoint(*g_dm, path);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SaveCheckpoint);
+
+void BM_LoadCheckpoint(benchmark::State& state) {
+  const std::string path = g_dir + "/bench.t2c";
+  save_checkpoint(*g_dm, path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(load_checkpoint(path));
+  }
+}
+BENCHMARK(BM_LoadCheckpoint);
+
+}  // namespace
+}  // namespace t2c
+
+int main(int argc, char** argv) {
+  t2c::run_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

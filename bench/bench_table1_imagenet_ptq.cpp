@@ -1,0 +1,126 @@
+// Table 1 reproduction: ImageNet-1K PTQ on ResNet-50.
+//
+// Paper rows (ResNet-50, PTQ, accuracy delta vs fp32):
+//   AIMET  (AdaRound, 8/8, float scale)  : 75.45 (-0.55)
+//   OpenVINO (MinMax, 8/8, float scale)  : 75.98 (+0.02)
+//   Torch2Chip (QDrop, 4/4, INT(12,4))   : 74.40 (-1.60)
+//   Torch2Chip (QDrop, 8/8, INT(12,4))   : 75.96 (-0.04)
+//
+// Substitutions (DESIGN.md §4): imagenet_sim (20-class synthetic, 16x16),
+// ResNet-50 at width 0.125. Absolute numbers differ; the comparative shape
+// — 8-bit PTQ ~ fp32 for every method, 4-bit QDrop loses a little more,
+// and Torch2Chip's rows are *integer-only deployed* accuracy while the
+// comparator rows keep float rescaling — is what this harness checks.
+#include "bench_util.h"
+
+#include "quant/ptq.h"
+
+namespace t2c {
+namespace {
+
+struct Row {
+  std::string toolkit, method, bits, scale;
+  double acc = 0.0;
+  double paper_acc, paper_delta;
+};
+
+std::unique_ptr<Sequential> build(const std::string& wq, const std::string& aq,
+                                  int bits, int classes) {
+  ModelConfig mc;
+  mc.num_classes = classes;
+  mc.width_mult = 0.125F;
+  mc.seed = 3;
+  mc.qcfg.weight_quantizer = wq;
+  mc.qcfg.act_quantizer = aq;
+  mc.qcfg.wbits = bits;
+  mc.qcfg.abits = bits;
+  // Sub-8-bit PTQ protocols (QDrop included) keep the first and last
+  // layers at 8-bit.
+  if (bits < 8) mc.stem_head_bits = 8;
+  return make_resnet50(mc);
+}
+
+}  // namespace
+}  // namespace t2c
+
+int main() {
+  using namespace t2c;
+  using namespace t2c::bench;
+  std::puts("=== Table 1: ImageNet-1K PTQ, ResNet-50 (substituted substrate) ===");
+  Stopwatch sw;
+
+  SyntheticImageDataset data(imagenet_bench_spec());
+  const int classes = data.spec().classes;
+
+  // One fp32 pre-training, shared by every PTQ method via copy_params.
+  auto reference = build("minmax", "minmax", 8, classes);
+  const double fp_acc =
+      pretrain_fp32(*reference, data, 8 * scale_factor(), 0.08F);
+  std::printf("fp32 reference accuracy: %.2f%%  [%.0fs]\n", fp_acc,
+              sw.seconds());
+
+  DataLoader loader(data.train_images(), data.train_labels(), 32, true, 7);
+  ReconstructConfig rcfg;
+  rcfg.iters = 40 * scale_factor();
+  rcfg.calib_batches = 2;
+
+  std::vector<Row> rows;
+
+  {  // AIMET: AdaRound 8/8, float rescale (= fake-quant eval path).
+    auto m = build("adaround", "minmax", 8, classes);
+    copy_params(*m, *reference);
+    calibrate(*m, loader, 6);
+    (void)reconstruct_adaround(*m, loader, rcfg);
+    const double acc =
+        evaluate_accuracy(*m, data.test_images(), data.test_labels());
+    rows.push_back({"AIMET (reimpl.)", "AdaRound PTQ", "8/8", "Float", acc,
+                    75.45, -0.55});
+    std::printf("  [%.0fs] AIMET row done\n", sw.seconds());
+  }
+  {  // OpenVINO: MinMax 8/8, float rescale.
+    auto m = build("minmax", "minmax", 8, classes);
+    copy_params(*m, *reference);
+    calibrate(*m, loader, 6);
+    const double acc =
+        evaluate_accuracy(*m, data.test_images(), data.test_labels());
+    rows.push_back({"OpenVINO (reimpl.)", "MinMax PTQ", "8/8", "Float", acc,
+                    75.98, 0.02});
+    std::printf("  [%.0fs] OpenVINO row done\n", sw.seconds());
+  }
+  for (int bits : {4, 8}) {  // Torch2Chip: QDrop, integer-only deployment.
+    auto m = build("adaround", "qdrop", bits, classes);
+    copy_params(*m, *reference);
+    calibrate(*m, loader, 6);
+    // Block-granular reconstruction with activation dropping — QDrop's
+    // actual methodology (built on BRECQ's block objective).
+    ReconstructConfig qcfg = rcfg;
+    qcfg.qdrop = true;
+    if (bits == 4) qcfg.iters *= 2;  // low precision needs a longer anneal
+    (void)reconstruct_blocks(*m, loader, qcfg);
+    const double acc = deploy_accuracy(*m, data);
+    rows.push_back({"Torch2Chip (ours)", "QDrop PTQ",
+                    std::to_string(bits) + "/" + std::to_string(bits),
+                    "INT(4,12)", acc, bits == 4 ? 74.40 : 75.96,
+                    bits == 4 ? -1.60 : -0.04});
+    std::printf("  [%.0fs] Torch2Chip %d/%d row done\n", sw.seconds(), bits,
+                bits);
+  }
+
+  Table t({20, 14, 5, 10, 16, 16});
+  t.rule();
+  t.row({"Toolkit", "Method", "W/A", "Scale", "Ours: acc (d)",
+         "Paper: acc (d)"});
+  t.rule();
+  for (const Row& r : rows) {
+    char paper[48];
+    std::snprintf(paper, sizeof(paper), "%.2f (%+.2f)", r.paper_acc,
+                  r.paper_delta);
+    t.row({r.toolkit, r.method, r.bits, r.scale, fmt_delta(r.acc, fp_acc),
+           paper});
+  }
+  t.rule();
+  std::printf("shape check: all 8-bit rows within a few points of fp32; 4/4 "
+              "drops more; T2C rows are integer-only deployed.  total %.0fs\n",
+              sw.seconds());
+  return 0;
+}

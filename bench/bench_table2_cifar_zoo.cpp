@@ -1,0 +1,195 @@
+// Table 2 reproduction: the CIFAR-10 customized-quantization zoo.
+//
+// Paper rows (method / model / training / W-A / scale fmt / acc (delta)):
+//   SAWB+PACT  ResNet-20    QAT 2/2 INT(13,3) : 90.22 (-1.17)
+//   SAWB+PACT  ResNet-20    QAT 4/4 INT(13,3) : 91.24 (-0.73)
+//   RCF        ResNet-18    QAT 4/4 INT(12,4) : 94.56 (-0.21)
+//   RCF        ResNet-18    QAT 8/8 INT(12,4) : 94.77 (-0.01)
+//   RCF        ViT-7        QAT 8/8 INT(13,3) : 89.63 (-0.02)
+//   PROFIT     MobileNet-V1 QAT 4/4 INT(12,4) : 89.42 (-0.35)
+//   PROFIT     MobileNet-V1 QAT 8/8 INT(12,4) : 89.73 (-0.01)
+//   AdaRound   MobileNet-V1 PTQ 8/8 INT(12,4) : 89.57 (-0.17)
+//   PyTorch Q. MobileNet-V1 PTQ 8/8 Float32   : 89.34 (-0.40)
+//
+// Our rows report *integer-only deployed* accuracy (except the framework
+// baseline, which keeps float rescaling as PyTorch does), plus parameter
+// counts and model size at the weight precision. The shape to reproduce:
+// 8-bit ~ fp32 everywhere, 4-bit slightly lower, 2-bit lower still, and
+// Torch2Chip's deployable models match the float-rescale framework PTQ.
+#include <map>
+
+#include "bench_util.h"
+
+#include "quant/ptq.h"
+
+namespace t2c {
+namespace {
+
+struct Spec {
+  std::string method, model, training, bits, fmt;
+  double paper_acc, paper_delta;
+};
+
+ModelConfig base_cfg(int classes, float wm, const std::string& wq,
+                     const std::string& aq, int bits) {
+  ModelConfig mc;
+  mc.num_classes = classes;
+  mc.width_mult = wm;
+  mc.seed = 3;
+  mc.qcfg.weight_quantizer = wq;
+  mc.qcfg.act_quantizer = aq;
+  mc.qcfg.wbits = bits;
+  mc.qcfg.abits = bits;
+  mc.vit_depth = 7;
+  mc.vit_dim = 32;
+  mc.vit_heads = 4;
+  mc.vit_patch = 4;
+  return mc;
+}
+
+}  // namespace
+}  // namespace t2c
+
+int main() {
+  using namespace t2c;
+  using namespace t2c::bench;
+  std::puts("=== Table 2: CIFAR-10 integer-only DNN zoo ===");
+  Stopwatch sw;
+  SyntheticImageDataset data(cifar_bench_spec());
+  const int classes = data.spec().classes;
+  const int qat_epochs = 12 * scale_factor();
+
+  Table t({11, 13, 9, 4, 10, 14, 14, 9, 10});
+  t.rule();
+  t.row({"Method", "Model", "Training", "W/A", "Scale", "Ours: acc (d)",
+         "Paper: acc (d)", "Param(K)", "Size(KB)"});
+  t.rule();
+
+  // Per-architecture fp32 reference (model + accuracy, shared across rows:
+  // every QAT row fine-tunes from these weights, as the original recipes
+  // do for low-precision stability).
+  const auto build_arch = [&](const std::string& arch, const ModelConfig& mc) {
+    std::unique_ptr<Sequential> m;
+    if (arch == "resnet20") m = make_resnet20(mc);
+    if (arch == "resnet18") m = make_resnet18(mc);
+    if (arch == "mobilenet") m = make_mobilenet_v1(mc);
+    if (arch == "vit") m = make_vit(mc);
+    check(m != nullptr, "unknown arch " + arch);
+    return m;
+  };
+  std::map<std::string, std::pair<std::unique_ptr<Sequential>, double>>
+      fp_cache;
+  const auto fp_ref =
+      [&](const std::string& arch,
+          const ModelConfig& mc) -> std::pair<Sequential*, double> {
+    auto it = fp_cache.find(arch);
+    if (it == fp_cache.end()) {
+      auto m = build_arch(arch, mc);
+      const float lr = arch == "vit" ? 0.02F : 0.1F;
+      const double acc = pretrain_fp32(*m, data, qat_epochs, lr);
+      std::printf("  [%.0fs] fp32 %s = %.2f%%\n", sw.seconds(), arch.c_str(),
+                  acc);
+      it = fp_cache.emplace(arch, std::make_pair(std::move(m), acc)).first;
+    }
+    return {it->second.first.get(), it->second.second};
+  };
+
+  const auto emit = [&](const Spec& s, Sequential& model, double acc,
+                        double fp, int wbits) {
+    char paper[48];
+    std::snprintf(paper, sizeof(paper), "%.2f (%+.2f)", s.paper_acc,
+                  s.paper_delta);
+    char params[32], size[32];
+    std::snprintf(params, sizeof(params), "%.1f",
+                  static_cast<double>(count_model_params(model)) / 1e3);
+    std::snprintf(size, sizeof(size), "%.1f",
+                  model_size_mb(model, wbits) * 1024.0);
+    t.row({s.method, s.model, s.training, s.bits, s.fmt,
+           fmt_delta(acc, fp), paper, params, size});
+  };
+
+  const auto qat_row = [&](const Spec& s, const std::string& arch, float wm,
+                           const std::string& wq, const std::string& aq,
+                           int bits, const FixedPointFormat& fmt_fx,
+                           bool profit) {
+    ModelConfig mc = base_cfg(classes, wm, wq, aq, bits);
+    // Sub-8-bit MobileNet recipes (PROFIT included) keep the first and
+    // last layers at 8-bit.
+    if (profit && bits < 8) mc.stem_head_bits = 8;
+    auto m = build_arch(arch, mc);
+    const auto [fp_model, fp] = fp_ref(arch, mc);
+    copy_params(*m, *fp_model);  // QAT fine-tunes from fp32 weights
+    TrainerOptions o;
+    o.train.epochs = qat_epochs;
+    o.train.lr = bits <= 2 ? 0.01F : (arch == "vit" ? 0.01F : 0.02F);
+    auto tr = make_trainer(profit ? "profit" : "qat", *m, data, o);
+    tr->fit();
+    ConvertConfig ccfg;
+    ccfg.scale_format = fmt_fx;
+    const double acc = deploy_accuracy(*m, data, ccfg);
+    emit(s, *m, acc, fp, bits);
+    std::printf("  [%.0fs] %s %s %s done\n", sw.seconds(), s.method.c_str(),
+                s.model.c_str(), s.bits.c_str());
+  };
+
+  // --- QAT rows ---
+  qat_row({"SAWB+PACT", "ResNet-20", "QAT", "2/2", "INT(13,3)", 90.22, -1.17},
+          "resnet20", 0.5F, "sawb", "pact", 2, FixedPointFormat{3, 13},
+          false);
+  qat_row({"SAWB+PACT", "ResNet-20", "QAT", "4/4", "INT(13,3)", 91.24, -0.73},
+          "resnet20", 0.5F, "sawb", "pact", 4, FixedPointFormat{3, 13},
+          false);
+  qat_row({"RCF", "ResNet-18", "QAT", "4/4", "INT(12,4)", 94.56, -0.21},
+          "resnet18", 0.25F, "rcf", "minmax", 4, FixedPointFormat{4, 12},
+          false);
+  qat_row({"RCF", "ResNet-18", "QAT", "8/8", "INT(12,4)", 94.77, -0.01},
+          "resnet18", 0.25F, "rcf", "minmax", 8, FixedPointFormat{4, 12},
+          false);
+  qat_row({"RCF", "ViT-7", "QAT", "8/8", "INT(13,3)", 89.63, -0.02}, "vit",
+          1.0F, "rcf", "minmax", 8, FixedPointFormat{3, 13}, false);
+  qat_row({"PROFIT", "MobileNet-V1", "QAT", "4/4", "INT(12,4)", 89.42, -0.35},
+          "mobilenet", 0.5F, "minmax", "minmax", 4, FixedPointFormat{4, 12},
+          true);
+  qat_row({"PROFIT", "MobileNet-V1", "QAT", "8/8", "INT(12,4)", 89.73, -0.01},
+          "mobilenet", 0.5F, "minmax", "minmax", 8, FixedPointFormat{4, 12},
+          true);
+
+  // --- PTQ rows (MobileNet, fp weights shared with the fp reference) ---
+  {
+    ModelConfig mc = base_cfg(classes, 0.5F, "adaround", "minmax", 8);
+    auto m = make_mobilenet_v1(mc);
+    const auto [fp_model, fp] = fp_ref("mobilenet", mc);
+    copy_params(*m, *fp_model);
+    DataLoader loader(data.train_images(), data.train_labels(), 32, true, 7);
+    calibrate(*m, loader, 6);
+    ReconstructConfig rcfg;
+    rcfg.iters = 40 * scale_factor();
+    (void)reconstruct_adaround(*m, loader, rcfg);
+    ConvertConfig ccfg;
+    const double acc = deploy_accuracy(*m, data, ccfg);
+    emit({"AdaRound", "MobileNet-V1", "PTQ", "8/8", "INT(12,4)", 89.57,
+          -0.17},
+         *m, acc, fp, 8);
+    std::printf("  [%.0fs] AdaRound PTQ row done\n", sw.seconds());
+
+    // Framework-native PTQ baseline: per-tensor minmax + float rescaling.
+    ModelConfig mf = base_cfg(classes, 0.5F, "minmax", "minmax", 8);
+    mf.qcfg.weight_granularity = QGranularity::kPerTensor;
+    auto frame = make_mobilenet_v1(mf);
+    copy_params(*frame, *fp_model);
+    calibrate(*frame, loader, 6);
+    const double facc =
+        evaluate_accuracy(*frame, data.test_images(), data.test_labels());
+    emit({"PyTorch Quant. (reimpl.)", "MobileNet-V1", "PTQ", "8/8",
+          "Float32", 89.34, -0.40},
+         *frame, facc, fp, 8);
+    std::printf("  [%.0fs] framework PTQ row done\n", sw.seconds());
+  }
+
+  t.rule();
+  std::printf("shape check: 8-bit rows ~ fp32; 4-bit slightly below; 2-bit "
+              "lowest; integer-only T2C matches float-rescale framework "
+              "PTQ.  total %.0fs\n",
+              sw.seconds());
+  return 0;
+}

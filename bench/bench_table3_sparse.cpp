@@ -1,0 +1,143 @@
+// Table 3 reproduction: sparse + low-precision ResNet-50.
+//
+// Paper rows (ResNet-50, sparse training then PTQ, accuracy delta):
+//   GraNet 80% + 8/8 PTQ : 75.15 (-0.85)
+//   GraNet 80% + 4/4 PTQ : 73.38 (-2.62)
+//   N:M 2:4    + 8/8 PTQ : 75.44 (-0.75)
+//   N:M 2:4    + 4/4 PTQ : 74.16 (-1.84)
+//
+// Shape to reproduce: both sparsity patterns survive into the integer
+// model as raw zeros; 8-bit costs little on top of sparsity; 4-bit costs
+// more; N:M 50% loses less than GraNet 80%.
+#include "bench_util.h"
+
+#include "quant/ptq.h"
+#include "sparse/sparse_trainer.h"
+#include "deploy/int_ops.h"
+#include "tensor/reduce.h"
+
+namespace t2c {
+namespace {
+
+/// Measured zero-fraction over the integer conv weights of a deploy graph.
+double integer_sparsity(const DeployModel& dm) {
+  std::int64_t zeros = 0, total = 0;
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    if (const auto* c = dynamic_cast<const IntConv2dOp*>(&dm.op(i))) {
+      for (std::int64_t j = 0; j < c->weight().numel(); ++j) {
+        zeros += (c->weight()[j] == 0);
+      }
+      total += c->weight().numel();
+    }
+  }
+  return total > 0 ? 100.0 * static_cast<double>(zeros) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace
+}  // namespace t2c
+
+int main() {
+  using namespace t2c;
+  using namespace t2c::bench;
+  std::puts("=== Table 3: sparse + low-precision ResNet-50 ===");
+  Stopwatch sw;
+  SyntheticImageDataset data(imagenet_bench_spec());
+  const int classes = data.spec().classes;
+  const int epochs = 14 * scale_factor();
+
+  const auto build = [&](int bits) {
+    ModelConfig mc;
+    mc.num_classes = classes;
+    mc.width_mult = 0.125F;
+    mc.seed = 3;
+    mc.qcfg.wbits = bits;
+    mc.qcfg.abits = bits;
+    if (bits < 8) {
+      // Sub-8-bit PTQ protocol: learned rounding + 8-bit first/last layers.
+      mc.qcfg.weight_quantizer = "adaround";
+      mc.stem_head_bits = 8;
+    }
+    return make_resnet50(mc);
+  };
+
+  // Dense fp32 baseline.
+  auto dense = build(8);
+  const double fp_acc = pretrain_fp32(*dense, data, epochs, 0.08F);
+  std::printf("dense fp32 accuracy: %.2f%%  [%.0fs]\n", fp_acc, sw.seconds());
+
+  Table t({10, 10, 4, 14, 12, 16, 14});
+  t.rule();
+  // "d q" = quantization cost relative to the sparse fp32 model — the
+  // paper's deltas fold sparse-training cost and quantization cost
+  // together; we report both attributions.
+  t.row({"Method", "Target sp", "W/A", "Int sparsity", "Sparse fp32",
+         "Ours: int (d q)", "Paper: acc (d)"});
+  t.rule();
+
+  struct Row {
+    SparseMethod method;
+    double target;
+    int bits;
+    const char* name;
+    double paper_acc, paper_delta;
+  };
+  const Row rows[] = {
+      {SparseMethod::kGraNet, 0.8, 8, "GraNet", 75.15, -0.85},
+      {SparseMethod::kGraNet, 0.8, 4, "GraNet", 73.38, -2.62},
+      {SparseMethod::kNM, 0.5, 8, "N:M 2:4", 75.44, -0.75},
+      {SparseMethod::kNM, 0.5, 4, "N:M 2:4", 74.16, -1.84},
+  };
+
+  for (const Row& r : rows) {
+    auto m = build(r.bits);
+    SparseTrainConfig cfg;
+    cfg.train.epochs = epochs;
+    cfg.train.lr = 0.08F;
+    cfg.method = r.method;
+    cfg.final_sparsity = r.target;
+    cfg.nm_n = 2;
+    cfg.nm_m = 4;
+    SparseTrainer trainer(*m, data, cfg);
+    set_quantizer_bypass(*m, true);  // sparse training runs at fp32
+    trainer.fit();
+    const double sparse_fp =
+        evaluate_accuracy(*m, data.test_images(), data.test_labels());
+    set_quantizer_bypass(*m, false);
+
+    // PTQ + integer deployment (block reconstruction at sub-8-bit).
+    DataLoader loader(data.train_images(), data.train_labels(), 32, true, 7);
+    calibrate(*m, loader, 6);
+    if (r.bits < 8) {
+      ReconstructConfig rcfg;
+      rcfg.iters = 50 * scale_factor();
+      rcfg.calib_batches = 2;
+      (void)reconstruct_blocks(*m, loader, rcfg);
+    }
+    ConvertConfig ccfg;
+    ccfg.input_shape = {3, data.spec().height, data.spec().width};
+    T2CConverter conv(ccfg);
+    DeployModel dm = conv.convert(*m);
+    const double acc = dm.evaluate(data.test_images(), data.test_labels());
+    const double int_sp = integer_sparsity(dm);
+
+    char paper[48], sp[24], target[24];
+    std::snprintf(paper, sizeof(paper), "%.2f (%+.2f)", r.paper_acc,
+                  r.paper_delta);
+    std::snprintf(sp, sizeof(sp), "%.1f%%", int_sp);
+    std::snprintf(target, sizeof(target), "%.0f%%", 100.0 * r.target);
+    t.row({r.name, target, std::to_string(r.bits) + "/" +
+                               std::to_string(r.bits),
+           sp, fmt(sparse_fp), fmt_delta(acc, sparse_fp), paper});
+    std::printf("  [%.0fs] %s %d/%d done\n", sw.seconds(), r.name, r.bits,
+                r.bits);
+  }
+  t.rule();
+  std::printf("shape check: zeros persist in the integer export (col 4 ~ "
+              "target over prunable layers); the quantization cost (d q) is "
+              "small at 8/8 and larger at 4/4; 50%% N:M keeps more accuracy "
+              "than 80%% GraNet.  (dense fp32 = %.2f%%)  total %.0fs\n",
+              fp_acc, sw.seconds());
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench runs standalone (no arguments) and prints the rows of the
+// corresponding paper table/figure plus our measured values. Set
+// T2C_SCALE=full for larger datasets / longer training (default: quick,
+// sized for a single CPU core — see DESIGN.md §4).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "models/models.h"
+#include "util/stopwatch.h"
+
+namespace t2c::bench {
+
+/// 1 = quick (default), 2 = full (T2C_SCALE=full).
+inline int scale_factor() {
+  const char* env = std::getenv("T2C_SCALE");
+  return (env != nullptr && std::strcmp(env, "full") == 0) ? 2 : 1;
+}
+
+/// The reduced "ImageNet-1K" stand-in used by Tables 1 and 3 (DESIGN.md §4).
+inline DatasetSpec imagenet_bench_spec() {
+  DatasetSpec s = imagenet_sim();
+  const int f = scale_factor();
+  s.classes = 20;
+  s.train_size = 600 * f;
+  s.test_size = 200 * f;
+  // Difficulty tuned so fp32 lands around 90%: quantization / sparsity
+  // deltas stay visible instead of saturating at 100%.
+  s.noise = 1.0F;
+  s.class_sep = 0.55F;
+  return s;
+}
+
+/// The "CIFAR-10" stand-in used by Table 2 and the figure benches.
+inline DatasetSpec cifar_bench_spec() {
+  DatasetSpec s = cifar10_sim();
+  const int f = scale_factor();
+  s.train_size = 400 * f;
+  s.test_size = 300;
+  s.noise = 1.2F;
+  s.class_sep = 0.45F;
+  return s;
+}
+
+/// fp32 training of a quantized model (quantizers bypassed). Returns the
+/// fp32 test accuracy — the reference for every accuracy-delta column.
+inline double pretrain_fp32(Sequential& model, const SyntheticImageDataset& d,
+                            int epochs, float lr = 0.1F) {
+  set_quantizer_bypass(model, true);
+  TrainerOptions o;
+  o.train.epochs = epochs;
+  o.train.lr = lr;
+  auto tr = make_trainer("supervised", model, d, o);
+  tr->fit();
+  const double acc = tr->evaluate();
+  set_quantizer_bypass(model, false);
+  return acc;
+}
+
+/// Converts (channel-wise fusion by default) and returns integer-only
+/// deploy accuracy on the test split.
+inline double deploy_accuracy(Sequential& model, const SyntheticImageDataset& d,
+                              ConvertConfig cfg = {}) {
+  if (cfg.input_shape.empty()) {
+    cfg.input_shape = {d.spec().channels, d.spec().height, d.spec().width};
+  }
+  freeze_quantizers(model);
+  T2CConverter conv(cfg);
+  DeployModel dm = conv.convert(model);
+  return dm.evaluate(d.test_images(), d.test_labels());
+}
+
+/// Simple fixed-width row printer for paper-style tables.
+class Table {
+ public:
+  explicit Table(std::vector<int> widths) : widths_(std::move(widths)) {}
+
+  void row(const std::vector<std::string>& cells) const {
+    std::string line = "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const int w = i < widths_.size() ? widths_[i] : 12;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), " %-*s |", w, cells[i].c_str());
+      line += buf;
+    }
+    std::puts(line.c_str());
+  }
+
+  void rule() const {
+    std::string line = "+";
+    for (int w : widths_) line += std::string(static_cast<std::size_t>(w) + 2, '-') + "+";
+    std::puts(line.c_str());
+  }
+
+ private:
+  std::vector<int> widths_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_delta(double v, double ref, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f (%+.*f)", prec, v, prec, v - ref);
+  return buf;
+}
+
+}  // namespace t2c::bench

@@ -1,0 +1,54 @@
+// Quickstart: the paper's five-line workflow, end to end.
+//
+//   model   = ...                         -> make_resnet20(...)
+//   trainer = TRAINER[user_select](args)  -> make_trainer("qat", ...)
+//   trainer.fit()
+//   nn2c    = T2C(model, fuser=NetFuser)  -> T2C t2c(model, convert_cfg)
+//   qnn     = nn2c.nn2chip(save=True)     -> t2c.nn2chip(true, out_dir)
+//
+// Trains an 8/8 quantized ResNet-20 on the synthetic CIFAR-10 stand-in,
+// converts it to an integer-only deploy graph, evaluates both paths, and
+// writes the checkpoint + hex memory images under ./t2c_quickstart_out.
+#include <cstdio>
+
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "models/models.h"
+
+int main() {
+  using namespace t2c;
+  std::puts("Torch2Chip-CPP quickstart\n");
+
+  DatasetSpec spec = cifar10_sim();
+  spec.noise = 1.2F;        // harder variant: keeps accuracies informative
+  spec.class_sep = 0.45F;
+  SyntheticImageDataset data(spec);
+  ModelConfig mcfg;
+  mcfg.num_classes = data.spec().classes;
+  mcfg.width_mult = 0.25F;
+
+  // (1) model
+  auto model = make_resnet20(mcfg);
+  // (2) trainer = TRAINER[user_select](args)
+  TrainerOptions opts;
+  opts.train.epochs = 6;
+  opts.train.lr = 0.1F;
+  auto trainer = make_trainer("qat", *model, data, opts);
+  // (3) trainer.fit()
+  trainer->fit();
+  std::printf("fake-quantized QAT accuracy: %.2f%%\n", trainer->evaluate());
+
+  // (4) nn2c = T2C(model)
+  freeze_quantizers(*model);
+  ConvertConfig ccfg;
+  ccfg.input_shape = {3, data.spec().height, data.spec().width};
+  T2C t2c(*model, ccfg);
+  // (5) qnn = nn2c.nn2chip(save_model=true)
+  DeployModel chip = t2c.nn2chip(/*save_model=*/true, "t2c_quickstart_out");
+
+  std::printf("integer-only deployed accuracy: %.2f%%\n",
+              chip.evaluate(data.test_images(), data.test_labels()));
+  std::printf("artifacts: t2c_quickstart_out/model.t2c + hex/ memory images\n");
+  std::printf("%s\n", chip.summary_text().c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+#include "core/registry.h"
+
+namespace t2c {
+
+namespace {
+
+/// PTQ driver packaged as a Trainer: calibrate observers, then optionally
+/// run AdaRound / QDrop block reconstruction.
+class PTQTrainer final : public Trainer {
+ public:
+  enum class Method { kMinMax, kAdaRound, kQDrop };
+
+  PTQTrainer(Sequential& model, const SyntheticImageDataset& data,
+             TrainerOptions opts, Method method)
+      : model_(&model), data_(&data), opts_(std::move(opts)), method_(method) {}
+
+  void fit() override {
+    DataLoader loader(data_->train_images(), data_->train_labels(),
+                      opts_.train.batch_size, /*shuffle=*/true,
+                      opts_.train.seed);
+    calibrate(*model_, loader, opts_.calib_batches);
+    if (method_ == Method::kAdaRound) {
+      (void)reconstruct_adaround(*model_, loader, opts_.ptq);
+    } else if (method_ == Method::kQDrop) {
+      (void)reconstruct_qdrop(*model_, loader, opts_.ptq);
+    }
+  }
+
+  double evaluate() override {
+    return evaluate_accuracy(*model_, data_->test_images(),
+                             data_->test_labels());
+  }
+
+ private:
+  Sequential* model_;
+  const SyntheticImageDataset* data_;
+  TrainerOptions opts_;
+  Method method_;
+};
+
+}  // namespace
+
+std::unique_ptr<Trainer> make_trainer(const std::string& name,
+                                      Sequential& model,
+                                      const SyntheticImageDataset& data,
+                                      TrainerOptions options) {
+  if (name == "supervised" || name == "qat") {
+    return std::make_unique<SupervisedTrainer>(model, data, options.train);
+  }
+  if (name == "profit") {
+    return std::make_unique<ProfitTrainer>(model, data, options.train,
+                                           options.profit_phases);
+  }
+  if (name == "ptq_minmax") {
+    return std::make_unique<PTQTrainer>(model, data, std::move(options),
+                                        PTQTrainer::Method::kMinMax);
+  }
+  if (name == "ptq_adaround") {
+    return std::make_unique<PTQTrainer>(model, data, std::move(options),
+                                        PTQTrainer::Method::kAdaRound);
+  }
+  if (name == "ptq_qdrop") {
+    return std::make_unique<PTQTrainer>(model, data, std::move(options),
+                                        PTQTrainer::Method::kQDrop);
+  }
+  if (name == "sparse_magnitude" || name == "sparse_granet" ||
+      name == "sparse_nm") {
+    SparseTrainConfig cfg = options.sparse;
+    cfg.train = options.train;
+    cfg.method = name == "sparse_nm"
+                     ? SparseMethod::kNM
+                     : (name == "sparse_granet" ? SparseMethod::kGraNet
+                                                : SparseMethod::kMagnitude);
+    return std::make_unique<SparseTrainer>(model, data, cfg);
+  }
+  if (name == "ssl_barlow" || name == "ssl_xd") {
+    SSLConfig cfg = options.ssl;
+    cfg.use_xd = (name == "ssl_xd");
+    return std::make_unique<SSLTrainer>(model, options.teacher_factory, data,
+                                        cfg);
+  }
+  std::string known;
+  for (const auto& k : registered_trainers()) known += k + " ";
+  fail("unknown trainer '" + name + "'; registered: " + known);
+}
+
+std::vector<std::string> registered_trainers() {
+  return {"supervised",     "qat",         "profit",       "ptq_minmax",
+          "ptq_adaround",   "ptq_qdrop",   "sparse_magnitude",
+          "sparse_granet",  "sparse_nm",   "ssl_barlow",   "ssl_xd"};
+}
+
+}  // namespace t2c

@@ -1,0 +1,40 @@
+// TRAINER registry — the paper's `trainer = TRAINER[user_select](args)`
+// entry point. Every training scheme the toolkit supports (supervised QAT,
+// PROFIT, the PTQ family, sparse training, SSL with/without XD) is
+// constructible by name with declarative options.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/trainer.h"
+#include "nn/sequential.h"
+#include "quant/ptq.h"
+#include "sparse/sparse_trainer.h"
+#include "ssl/ssl_trainer.h"
+
+namespace t2c {
+
+struct TrainerOptions {
+  TrainConfig train;                ///< shared supervised knobs
+  std::int64_t calib_batches = 8;   ///< PTQ calibration batches
+  ReconstructConfig ptq;            ///< AdaRound / QDrop reconstruction
+  SparseTrainConfig sparse;         ///< sparse-training knobs
+  SSLConfig ssl;                    ///< SSL knobs
+  int profit_phases = 3;
+  /// Builder for the structurally-identical EMA teacher (SSL-XD only).
+  std::function<std::unique_ptr<Sequential>()> teacher_factory;
+};
+
+/// Names: "supervised" (= "qat"), "profit", "ptq_minmax", "ptq_adaround",
+/// "ptq_qdrop", "sparse_magnitude", "sparse_granet", "sparse_nm",
+/// "ssl_barlow", "ssl_xd". Throws on unknown names, listing what exists.
+std::unique_ptr<Trainer> make_trainer(const std::string& name,
+                                      Sequential& model,
+                                      const SyntheticImageDataset& data,
+                                      TrainerOptions options = {});
+
+std::vector<std::string> registered_trainers();
+
+}  // namespace t2c

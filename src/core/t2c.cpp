@@ -1,0 +1,21 @@
+#include "core/t2c.h"
+
+#include <filesystem>
+
+namespace t2c {
+
+T2C::T2C(Sequential& model, ConvertConfig cfg)
+    : model_(&model), converter_(std::move(cfg)) {}
+
+DeployModel T2C::nn2chip(bool save_model, const std::string& out_dir,
+                         int hex_word_bits) {
+  DeployModel dm = converter_.convert(*model_);
+  if (save_model) {
+    std::filesystem::create_directories(out_dir);
+    save_checkpoint(dm, out_dir + "/model.t2c");
+    (void)export_hex_images(dm, out_dir + "/hex", hex_word_bits);
+  }
+  return dm;
+}
+
+}  // namespace t2c

@@ -1,0 +1,39 @@
+// The top-level Torch2Chip entry point — the paper's five-line workflow:
+//
+//   auto model = make_resnet20(mcfg);
+//   auto trainer = make_trainer("qat", *model, data, opts);   // TRAINER[...]
+//   trainer->fit();
+//   T2C t2c(*model, convert_cfg);                             // nn2c = T2C(...)
+//   DeployModel chip = t2c.nn2chip(/*save_model=*/true, dir); // nn2chip()
+//
+// nn2chip() fuses, extracts, and (optionally) writes every export format of
+// Fig. 5: the integer checkpoint, hex memory images, and decimal dumps.
+#pragma once
+
+#include <string>
+
+#include "fusion/converter.h"
+#include "xport/checkpoint.h"
+#include "xport/writers.h"
+
+namespace t2c {
+
+class T2C {
+ public:
+  T2C(Sequential& model, ConvertConfig cfg);
+
+  /// Fuses + extracts the integer deploy graph. When `save_model` is true,
+  /// writes `<out_dir>/model.t2c` (integer checkpoint) and hex memory
+  /// images under `<out_dir>/hex/`.
+  DeployModel nn2chip(bool save_model = false,
+                      const std::string& out_dir = "t2c_out",
+                      int hex_word_bits = 8);
+
+  const ConvertConfig& config() const { return converter_.config(); }
+
+ private:
+  Sequential* model_;
+  T2CConverter converter_;
+};
+
+}  // namespace t2c

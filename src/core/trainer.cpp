@@ -1,0 +1,117 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "quant/qlayers.h"
+#include "tensor/reduce.h"
+#include "tensor/elementwise.h"
+
+namespace t2c {
+
+SupervisedTrainer::SupervisedTrainer(Module& model,
+                                     const SyntheticImageDataset& data,
+                                     TrainConfig cfg)
+    : model_(&model), data_(&data), cfg_(cfg) {
+  check(cfg.epochs > 0 && cfg.batch_size > 0, "TrainConfig: bad epochs/batch");
+}
+
+std::int64_t SupervisedTrainer::total_steps() const {
+  const std::int64_t per_epoch =
+      (data_->train_size() + cfg_.batch_size - 1) / cfg_.batch_size;
+  return per_epoch * cfg_.epochs;
+}
+
+void SupervisedTrainer::fit() {
+  DataLoader loader(data_->train_images(), data_->train_labels(),
+                    cfg_.batch_size, /*shuffle=*/true, cfg_.seed);
+  if (cfg_.augment) loader.set_augment(supervised_augment());
+
+  SGD opt(model_->parameters(), cfg_.lr, cfg_.momentum, cfg_.weight_decay);
+  const std::int64_t total = total_steps();
+  std::unique_ptr<LrSchedule> sched;
+  if (cfg_.cosine_lr) {
+    sched = std::make_unique<CosineLr>(cfg_.lr, total, cfg_.lr * 0.01F);
+  } else {
+    sched = std::make_unique<ConstantLr>(cfg_.lr);
+  }
+  CrossEntropyLoss loss(cfg_.label_smoothing);
+
+  model_->set_mode(ExecMode::kTrain);
+  std::int64_t step = 0;
+  for (int e = 0; e < cfg_.epochs; ++e) {
+    loader.start_epoch();
+    double epoch_loss = 0.0;
+    for (std::int64_t b = 0; b < loader.batches_per_epoch(); ++b, ++step) {
+      Batch batch = loader.batch(b);
+      opt.set_lr(sched->lr_at(step));
+      model_->zero_grad();
+      Tensor logits = model_->forward(batch.images);
+      epoch_loss += loss.forward(logits, batch.labels);
+      (void)model_->backward(loss.backward());
+      if (step_hook) step_hook(step, total);
+      opt.step();
+    }
+    if (cfg_.verbose) {
+      std::printf("  epoch %d/%d  loss %.4f\n", e + 1, cfg_.epochs,
+                  epoch_loss / static_cast<double>(loader.batches_per_epoch()));
+    }
+  }
+  model_->set_mode(ExecMode::kEval);
+}
+
+double SupervisedTrainer::evaluate() {
+  return evaluate_accuracy(*model_, data_->test_images(),
+                           data_->test_labels());
+}
+
+ProfitTrainer::ProfitTrainer(Module& model, const SyntheticImageDataset& data,
+                             TrainConfig cfg, int phases)
+    : SupervisedTrainer(model, data, cfg), phases_(phases) {
+  check(phases >= 1, "ProfitTrainer: need at least one phase");
+}
+
+void ProfitTrainer::fit() {
+  auto qlayers = collect_qlayers(*model_);
+  // Split the epoch budget across phases (at least one epoch each).
+  TrainConfig phase_cfg = cfg_;
+  phase_cfg.epochs = std::max(1, cfg_.epochs / phases_);
+
+  std::vector<QLayer*> active(qlayers.begin(), qlayers.end());
+  for (int phase = 0; phase < phases_; ++phase) {
+    SupervisedTrainer inner(*model_, *data_, phase_cfg);
+    inner.fit();
+    if (phase == phases_ - 1 || active.empty()) break;
+
+    // Rank active layers by quantization perturbation of their weights and
+    // freeze the most unstable third (the AIWQ-style metric, simplified).
+    std::vector<std::pair<double, QLayer*>> scored;
+    for (QLayer* l : active) {
+      const Tensor& w = l->weight_param().value;
+      Tensor wq = l->weight_quantizer().forward(l->masked_weight(),
+                                                /*update=*/false);
+      const double num = std::sqrt(sse(wq, w));
+      const double den = std::max(1e-12, l2_norm(w));
+      scored.emplace_back(num / den, l);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    const std::size_t freeze_n = std::max<std::size_t>(1, scored.size() / 3);
+    std::vector<QLayer*> next;
+    for (std::size_t i = 0; i < scored.size(); ++i) {
+      if (i < freeze_n) {
+        scored[i].second->weight_param().requires_grad = false;
+      } else {
+        next.push_back(scored[i].second);
+      }
+    }
+    active = std::move(next);
+    model_->set_mode(ExecMode::kTrain);
+  }
+  // Restore trainability for any later fine-tuning.
+  for (QLayer* l : qlayers) l->weight_param().requires_grad = true;
+  model_->set_mode(ExecMode::kEval);
+}
+
+}  // namespace t2c

@@ -1,0 +1,76 @@
+// Training drivers — the TRAINER layer of the paper's five-line workflow
+// (§3.4). SupervisedTrainer covers fp32 pre-training and QAT; PTQ trainers
+// wrap the drivers in quant/ptq.h; PROFIT adds progressive layer freezing.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "data/loader.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+
+namespace t2c {
+
+struct TrainConfig {
+  int epochs = 5;
+  std::int64_t batch_size = 32;
+  float lr = 0.05F;
+  float momentum = 0.9F;
+  float weight_decay = 5e-4F;
+  float label_smoothing = 0.0F;
+  bool augment = true;
+  bool cosine_lr = true;
+  std::uint64_t seed = 7;
+  bool verbose = false;
+};
+
+/// Common interface: `trainer.fit()` as in the paper's workflow snippet.
+class Trainer {
+ public:
+  virtual ~Trainer() = default;
+  virtual void fit() = 0;
+  /// Top-1 test accuracy (%) of the underlying model.
+  virtual double evaluate() = 0;
+};
+
+class SupervisedTrainer : public Trainer {
+ public:
+  SupervisedTrainer(Module& model, const SyntheticImageDataset& data,
+                    TrainConfig cfg);
+
+  void fit() override;
+  double evaluate() override;
+
+  /// Invoked after every optimizer step with (step, total_steps) — the
+  /// hook GraNet's schedule and PROFIT's freezing attach to. The hook runs
+  /// while gradients of the step are still available.
+  std::function<void(std::int64_t, std::int64_t)> step_hook;
+
+  Module& model() { return *model_; }
+  std::int64_t total_steps() const;
+
+ protected:
+  Module* model_;
+  const SyntheticImageDataset* data_;
+  TrainConfig cfg_;
+};
+
+/// PROFIT (Park & Yoo, 2020), simplified for this substrate: QAT runs in
+/// `phases` rounds; after each round the layers with the largest weight
+/// quantization perturbation ||W_q - W|| / ||W|| are frozen (their weights
+/// stop updating), stabilizing sub-4-bit MobileNet training.
+class ProfitTrainer final : public SupervisedTrainer {
+ public:
+  ProfitTrainer(Module& model, const SyntheticImageDataset& data,
+                TrainConfig cfg, int phases = 3);
+
+  void fit() override;
+
+ private:
+  int phases_;
+};
+
+}  // namespace t2c

@@ -1,0 +1,68 @@
+#include "data/augment.h"
+
+namespace t2c {
+
+AugmentConfig supervised_augment() {
+  AugmentConfig c;
+  // The synthetic generator shifts circularly and is phase-sensitive, so
+  // flips would create out-of-distribution samples; shifts wrap instead of
+  // zero-padding for the same reason.
+  c.hflip = false;
+  c.crop_pad = 2;
+  c.scale_jitter = 0.05F;
+  c.noise = 0.02F;
+  return c;
+}
+
+AugmentConfig ssl_augment() {
+  AugmentConfig c;
+  c.hflip = false;
+  c.crop_pad = 3;
+  c.scale_jitter = 0.25F;
+  c.noise = 0.15F;
+  c.channel_drop_p = 0.2F;
+  return c;
+}
+
+Tensor Augmentor::operator()(const Tensor& img, Rng& rng) const {
+  check(img.rank() == 3, "Augmentor expects [C,H,W]");
+  const std::int64_t c = img.size(0), h = img.size(1), w = img.size(2);
+  Tensor out(img.shape());
+
+  const bool flip = cfg_.hflip && rng.bernoulli(0.5);
+  const int dy = cfg_.crop_pad > 0 ? rng.randint(-cfg_.crop_pad, cfg_.crop_pad)
+                                   : 0;
+  const int dx = cfg_.crop_pad > 0 ? rng.randint(-cfg_.crop_pad, cfg_.crop_pad)
+                                   : 0;
+  const float amp =
+      1.0F + (cfg_.scale_jitter > 0.0F
+                  ? rng.uniform(-cfg_.scale_jitter, cfg_.scale_jitter)
+                  : 0.0F);
+  const std::int64_t dropped_channel =
+      (cfg_.channel_drop_p > 0.0F && rng.bernoulli(cfg_.channel_drop_p))
+          ? rng.randint(0, static_cast<int>(c) - 1)
+          : -1;
+
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      const std::int64_t sy = ((y + dy) % h + h) % h;  // circular shift
+      for (std::int64_t x = 0; x < w; ++x) {
+        std::int64_t sx = flip ? (w - 1 - x) : x;
+        sx = ((sx + dx) % w + w) % w;
+        float v = img.at(ic, sy, sx);
+        v *= amp;
+        if (cfg_.noise > 0.0F) v += rng.normal(0.0F, cfg_.noise);
+        if (ic == dropped_channel) v = 0.0F;
+        out.at(ic, y, x) = v;
+      }
+    }
+  }
+  return out;
+}
+
+std::pair<Tensor, Tensor> Augmentor::two_view(const Tensor& img,
+                                              Rng& rng) const {
+  return {(*this)(img, rng), (*this)(img, rng)};
+}
+
+}  // namespace t2c

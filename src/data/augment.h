@@ -1,0 +1,43 @@
+// Image augmentation for supervised training and the two-view SSL pipeline.
+// All transforms operate on single [C,H,W] images in place of a torchvision
+// transform stack.
+#pragma once
+
+#include <utility>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace t2c {
+
+struct AugmentConfig {
+  bool hflip = true;          ///< random horizontal flip (p = 0.5)
+  int crop_pad = 2;           ///< random crop after zero-padding by this much
+  float scale_jitter = 0.1F;  ///< multiplicative amplitude jitter range
+  float noise = 0.05F;        ///< additive Gaussian noise stddev
+  float channel_drop_p = 0.0F;  ///< zero a random channel (SSL only)
+};
+
+/// Conservative config for supervised training.
+AugmentConfig supervised_augment();
+
+/// Aggressive config for SSL view generation (paper: contrastive views).
+AugmentConfig ssl_augment();
+
+class Augmentor {
+ public:
+  explicit Augmentor(AugmentConfig cfg) : cfg_(cfg) {}
+
+  /// Applies the configured random transforms to one [C,H,W] image.
+  Tensor operator()(const Tensor& img, Rng& rng) const;
+
+  /// Two independently-augmented views of the same image (SSL).
+  std::pair<Tensor, Tensor> two_view(const Tensor& img, Rng& rng) const;
+
+  const AugmentConfig& config() const { return cfg_; }
+
+ private:
+  AugmentConfig cfg_;
+};
+
+}  // namespace t2c

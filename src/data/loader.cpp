@@ -1,0 +1,113 @@
+#include "data/loader.h"
+
+#include "nn/loss.h"
+#include "tensor/reduce.h"
+#include "nn/module.h"
+
+namespace t2c {
+
+DataLoader::DataLoader(const Tensor& images,
+                       const std::vector<std::int64_t>& labels,
+                       std::int64_t batch_size, bool shuffle,
+                       std::uint64_t seed)
+    : images_(&images),
+      labels_(&labels),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      rng_(seed) {
+  check(images.rank() == 4, "DataLoader expects [N,C,H,W] images");
+  check(images.size(0) == static_cast<std::int64_t>(labels.size()),
+        "DataLoader: image/label count mismatch");
+  check(batch_size > 0, "DataLoader: batch size must be positive");
+  order_.resize(static_cast<std::size_t>(images.size(0)));
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<int>(i);
+  }
+}
+
+void DataLoader::set_augment(AugmentConfig cfg) {
+  augmentor_.emplace(cfg);
+}
+
+std::int64_t DataLoader::batches_per_epoch() const {
+  return (images_->size(0) + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch() {
+  if (shuffle_) rng_.shuffle(order_);
+}
+
+Batch DataLoader::batch(std::int64_t b) {
+  check(b >= 0 && b < batches_per_epoch(), "DataLoader: batch out of range");
+  const std::int64_t n = images_->size(0);
+  const std::int64_t lo = b * batch_size_;
+  const std::int64_t hi = std::min(n, lo + batch_size_);
+  const std::int64_t bs = hi - lo;
+  Shape s = images_->shape();
+  s[0] = bs;
+  Batch out;
+  out.images = Tensor(std::move(s));
+  out.labels.resize(static_cast<std::size_t>(bs));
+  for (std::int64_t i = 0; i < bs; ++i) {
+    const int src = order_[static_cast<std::size_t>(lo + i)];
+    Tensor img = images_->select0(src);
+    if (augmentor_) img = (*augmentor_)(img, rng_);
+    out.images.set0(i, img);
+    out.labels[static_cast<std::size_t>(i)] =
+        (*labels_)[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+TwoViewBatch DataLoader::two_view_batch(std::int64_t b) {
+  check(augmentor_.has_value(),
+        "two_view_batch requires set_augment() to be configured");
+  check(b >= 0 && b < batches_per_epoch(), "DataLoader: batch out of range");
+  const std::int64_t n = images_->size(0);
+  const std::int64_t lo = b * batch_size_;
+  const std::int64_t hi = std::min(n, lo + batch_size_);
+  const std::int64_t bs = hi - lo;
+  Shape s = images_->shape();
+  s[0] = bs;
+  TwoViewBatch out;
+  out.view_a = Tensor(s);
+  out.view_b = Tensor(std::move(s));
+  for (std::int64_t i = 0; i < bs; ++i) {
+    const int src = order_[static_cast<std::size_t>(lo + i)];
+    const Tensor img = images_->select0(src);
+    auto [a, bview] = augmentor_->two_view(img, rng_);
+    out.view_a.set0(i, a);
+    out.view_b.set0(i, bview);
+  }
+  return out;
+}
+
+double evaluate_accuracy(Module& model, const Tensor& images,
+                         const std::vector<std::int64_t>& labels,
+                         std::int64_t batch_size) {
+  const ExecMode prev = model.mode();
+  if (prev == ExecMode::kTrain) model.set_mode(ExecMode::kEval);
+  const std::int64_t n = images.size(0);
+  std::int64_t hits = 0;
+  for (std::int64_t lo = 0; lo < n; lo += batch_size) {
+    const std::int64_t hi = std::min(n, lo + batch_size);
+    Shape s = images.shape();
+    s[0] = hi - lo;
+    Tensor chunk(std::move(s));
+    for (std::int64_t i = lo; i < hi; ++i) {
+      chunk.set0(i - lo, images.select0(i));
+    }
+    Tensor logits = model.forward(chunk);
+    const auto pred = argmax_rows(logits);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (pred[static_cast<std::size_t>(i - lo)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        ++hits;
+      }
+    }
+  }
+  if (prev == ExecMode::kTrain) model.set_mode(prev);
+  return 100.0 * static_cast<double>(hits) / static_cast<double>(n);
+}
+
+}  // namespace t2c

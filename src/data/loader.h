@@ -1,0 +1,65 @@
+// Minibatch iteration over a materialized dataset, with optional on-the-fly
+// augmentation — the DataLoader substrate the PyTorch original gets for free.
+#pragma once
+
+#include <optional>
+
+#include "data/augment.h"
+#include "data/synthetic.h"
+
+namespace t2c {
+
+struct Batch {
+  Tensor images;                       ///< [B, C, H, W]
+  std::vector<std::int64_t> labels;    ///< B entries
+};
+
+/// Two augmented views of the same underlying batch (SSL pre-training).
+struct TwoViewBatch {
+  Tensor view_a;  ///< [B, C, H, W]
+  Tensor view_b;
+};
+
+class DataLoader {
+ public:
+  /// `images` [N,C,H,W] and labels are referenced, not copied; they must
+  /// outlive the loader.
+  DataLoader(const Tensor& images, const std::vector<std::int64_t>& labels,
+             std::int64_t batch_size, bool shuffle, std::uint64_t seed = 7);
+
+  /// Enables per-sample augmentation during batch assembly.
+  void set_augment(AugmentConfig cfg);
+
+  std::int64_t batches_per_epoch() const;
+  std::int64_t batch_size() const { return batch_size_; }
+  std::int64_t dataset_size() const { return images_->size(0); }
+
+  /// Starts a new epoch (reshuffles when enabled).
+  void start_epoch();
+
+  /// Produces batch `b` of the current epoch (b in [0, batches_per_epoch)).
+  Batch batch(std::int64_t b);
+
+  /// SSL variant: each sample yields two independently augmented views.
+  /// Requires set_augment() to have been called.
+  TwoViewBatch two_view_batch(std::int64_t b);
+
+ private:
+  std::vector<int> order_;
+  const Tensor* images_;
+  const std::vector<std::int64_t>* labels_;
+  std::int64_t batch_size_;
+  bool shuffle_;
+  Rng rng_;
+  std::optional<Augmentor> augmentor_;
+};
+
+/// Runs the model over the full test split in eval mode and returns top-1
+/// accuracy in percent. (Model is any callable Tensor -> Tensor producing
+/// [B, classes] logits.)
+class Module;  // fwd (nn/module.h)
+double evaluate_accuracy(Module& model, const Tensor& images,
+                         const std::vector<std::int64_t>& labels,
+                         std::int64_t batch_size = 64);
+
+}  // namespace t2c

@@ -1,0 +1,70 @@
+// Synthetic image datasets — the stand-in for CIFAR-10/100, ImageNet-1K and
+// the small downstream sets (Aircraft / Flowers / Food-101) used by the
+// paper's evaluation (see DESIGN.md §4, substitutions).
+//
+// Construction: a single *global pattern bank* of smooth base images is
+// shared by every dataset. Each class prototype is a sparse random linear
+// combination of bank entries plus a class-specific texture; samples add
+// amplitude jitter, spatial shift and pixel noise. Because all datasets
+// draw from the same bank, features learned on `imagenet_sim` genuinely
+// transfer to the downstream sims — which is exactly the property Table 4's
+// SSL-transfer experiment needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace t2c {
+
+struct DatasetSpec {
+  std::string name = "dataset";
+  int classes = 10;
+  int channels = 3;
+  int height = 32;
+  int width = 32;
+  int train_size = 512;
+  int test_size = 256;
+  float noise = 0.25F;        ///< per-pixel Gaussian noise stddev
+  float class_sep = 1.0F;     ///< prototype separation multiplier
+  std::uint64_t seed = 1;
+};
+
+// Presets mirroring the paper's datasets (scaled for 1-CPU training).
+DatasetSpec cifar10_sim();
+DatasetSpec cifar100_sim();
+DatasetSpec imagenet_sim();   ///< the "large-scale" pre-training source
+DatasetSpec aircraft_sim();
+DatasetSpec flowers_sim();
+DatasetSpec food101_sim();
+
+/// Materialized train/test split with NCHW images and integer labels.
+class SyntheticImageDataset {
+ public:
+  explicit SyntheticImageDataset(DatasetSpec spec);
+
+  const DatasetSpec& spec() const { return spec_; }
+  const Tensor& train_images() const { return train_x_; }   ///< [N,C,H,W]
+  const std::vector<std::int64_t>& train_labels() const { return train_y_; }
+  const Tensor& test_images() const { return test_x_; }
+  const std::vector<std::int64_t>& test_labels() const { return test_y_; }
+
+  std::int64_t train_size() const { return train_x_.size(0); }
+  std::int64_t test_size() const { return test_x_.size(0); }
+
+ private:
+  DatasetSpec spec_;
+  Tensor train_x_;
+  std::vector<std::int64_t> train_y_;
+  Tensor test_x_;
+  std::vector<std::int64_t> test_y_;
+};
+
+/// The shared bank of smooth base patterns (deterministic; lazily built).
+/// Exposed for tests that check cross-dataset feature sharing.
+const std::vector<Tensor>& global_pattern_bank(int channels, int height,
+                                               int width);
+
+}  // namespace t2c

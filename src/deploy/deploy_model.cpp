@@ -1,0 +1,147 @@
+#include "deploy/deploy_model.h"
+
+#include <cmath>
+
+#include <map>
+#include <sstream>
+
+#include "deploy/int_ops.h"
+#include "deploy/vit_ops.h"
+#include "tensor/reduce.h"
+#include "util/check.h"
+#include "xport/writers.h"
+
+namespace t2c {
+
+int DeployModel::add_op(std::unique_ptr<DeployOp> op) {
+  check(op != nullptr, "DeployModel::add_op(nullptr)");
+  for (int in : op->inputs) {
+    check(in >= 0 && in <= static_cast<int>(ops_.size()),
+          "DeployModel: op consumes a value that does not exist yet");
+  }
+  ops_.push_back(std::move(op));
+  return static_cast<int>(ops_.size());  // value id of this op's output
+}
+
+void DeployModel::set_output(int value_id) {
+  check(value_id >= 0 && value_id <= static_cast<int>(ops_.size()),
+        "DeployModel::set_output: unknown value id");
+  output_id_ = value_id;
+}
+
+const DeployOp& DeployModel::op(std::size_t i) const {
+  check(i < ops_.size(), "DeployModel::op: index out of range");
+  return *ops_[i];
+}
+
+DeployOp& DeployModel::mutable_op(std::size_t i) {
+  check(i < ops_.size(), "DeployModel::op: index out of range");
+  return *ops_[i];
+}
+
+ITensor DeployModel::quantize_input(const Tensor& x) const {
+  ITensor q(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    std::int64_t v = static_cast<std::int64_t>(
+                         std::nearbyintf(x[i] / input_scale)) +
+                     static_cast<std::int64_t>(input_zero);
+    q[i] = std::min(input_qmax, std::max(input_qmin, v));
+  }
+  return q;
+}
+
+ITensor DeployModel::run_int(const ITensor& input) const {
+  check(output_id_ >= 0, "DeployModel: output not set");
+  std::vector<ITensor> values;
+  values.reserve(ops_.size() + 1);
+  values.push_back(input);
+  for (const auto& op : ops_) {
+    std::vector<const ITensor*> ins;
+    ins.reserve(op->inputs.size());
+    for (int id : op->inputs) {
+      ins.push_back(&values[static_cast<std::size_t>(id)]);
+    }
+    values.push_back(op->run(ins));
+  }
+  return values[static_cast<std::size_t>(output_id_)];
+}
+
+Tensor DeployModel::run(const Tensor& x) const {
+  const ITensor logits = run_int(quantize_input(x));
+  Tensor out(logits.shape());
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    out[i] = static_cast<float>(logits[i]) * output_scale;
+  }
+  return out;
+}
+
+double DeployModel::evaluate(const Tensor& images,
+                             const std::vector<std::int64_t>& labels,
+                             std::int64_t batch_size) const {
+  check(images.rank() == 4, "DeployModel::evaluate expects [N,C,H,W]");
+  const std::int64_t n = images.size(0);
+  check(n == static_cast<std::int64_t>(labels.size()),
+        "DeployModel::evaluate: label count mismatch");
+  std::int64_t hits = 0;
+  for (std::int64_t lo = 0; lo < n; lo += batch_size) {
+    const std::int64_t hi = std::min(n, lo + batch_size);
+    Shape s = images.shape();
+    s[0] = hi - lo;
+    Tensor chunk(std::move(s));
+    for (std::int64_t i = lo; i < hi; ++i) chunk.set0(i - lo, images.select0(i));
+    const Tensor logits = run(chunk);
+    const auto pred = argmax_rows(logits);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      if (pred[static_cast<std::size_t>(i - lo)] ==
+          labels[static_cast<std::size_t>(i)]) {
+        ++hits;
+      }
+    }
+  }
+  return 100.0 * static_cast<double>(hits) / static_cast<double>(n);
+}
+
+DeployModel::Summary DeployModel::summarize() const {
+  Summary s;
+  s.total_ops = ops_.size();
+  std::map<std::string, std::size_t> counts;
+  const auto weight = [&](const ITensor& t) {
+    s.weight_elements += t.numel();
+    s.weight_storage_bits +=
+        t.numel() * static_cast<std::int64_t>(required_word_bits(t));
+  };
+  for (const auto& op : ops_) {
+    ++counts[op->kind()];
+    if (const auto* cv = dynamic_cast<const IntConv2dOp*>(op.get())) {
+      weight(cv->weight());
+    } else if (const auto* ln = dynamic_cast<const IntLinearOp*>(op.get())) {
+      weight(ln->weight());
+    } else if (const auto* at = dynamic_cast<const IntAttentionOp*>(op.get())) {
+      weight(at->params().wqkv);
+      weight(at->params().wproj);
+      s.lut_entries += static_cast<std::int64_t>(at->params().softmax_lut.size());
+    } else if (const auto* sm = dynamic_cast<const LutSoftmaxOp*>(op.get())) {
+      s.lut_entries += static_cast<std::int64_t>(sm->lut().size());
+    } else if (const auto* ge = dynamic_cast<const LutGeluOp*>(op.get())) {
+      s.lut_entries += static_cast<std::int64_t>(ge->lut().size());
+    }
+  }
+  s.op_counts.assign(counts.begin(), counts.end());
+  return s;
+}
+
+std::string DeployModel::summary_text() const {
+  const Summary s = summarize();
+  std::ostringstream os;
+  os << "deploy graph: " << s.total_ops << " ops (";
+  for (std::size_t i = 0; i < s.op_counts.size(); ++i) {
+    if (i) os << ", ";
+    os << s.op_counts[i].second << " " << s.op_counts[i].first;
+  }
+  os << "); " << s.weight_elements << " integer weights, "
+     << (s.weight_storage_bits + 7) / 8 << " bytes at minimal width";
+  if (s.lut_entries > 0) os << "; " << s.lut_entries << " LUT entries";
+  return os.str();
+}
+
+}  // namespace t2c

@@ -1,0 +1,91 @@
+// The deployable integer-only graph (paper Fig. 3(c), 4(c), 5).
+//
+// A DeployModel is a tiny SSA program over ITensor values: value 0 is the
+// quantized network input; each op consumes previously-produced values and
+// appends one output. No floating point appears anywhere inside run_int();
+// the float boundary exists only at the input-quantize / output-dequantize
+// edges (run()). The xport module serializes exactly this structure.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/fixed_point.h"
+
+namespace t2c {
+
+class DeployOp {
+ public:
+  DeployOp() = default;
+  DeployOp(const DeployOp&) = delete;
+  DeployOp& operator=(const DeployOp&) = delete;
+  virtual ~DeployOp() = default;
+
+  virtual ITensor run(const std::vector<const ITensor*>& ins) const = 0;
+  virtual std::string kind() const = 0;
+
+  /// Writes the op's parameters as whitespace-separated tokens — the
+  /// payload of the integer checkpoint (xport/checkpoint.h). Each op kind
+  /// has a matching loader registered there.
+  virtual void save_params(std::ostream& os) const = 0;
+
+  std::vector<int> inputs;  ///< value ids consumed (most ops: one)
+  std::string label;        ///< provenance ("stage1.block0.conv1", ...)
+};
+
+class DeployModel {
+ public:
+  /// Appends an op; returns the value id its output occupies.
+  int add_op(std::unique_ptr<DeployOp> op);
+
+  void set_output(int value_id);
+  int output_id() const { return output_id_; }
+
+  std::size_t num_ops() const { return ops_.size(); }
+  const DeployOp& op(std::size_t i) const;
+  DeployOp& mutable_op(std::size_t i);
+
+  // Input/output float boundaries.
+  float input_scale = 1.0F;
+  float input_zero = 0.0F;
+  std::int64_t input_qmin = -127;
+  std::int64_t input_qmax = 127;
+  float output_scale = 1.0F;
+
+  /// Quantizes a float input with the input spec.
+  ITensor quantize_input(const Tensor& x) const;
+
+  /// Integer-only execution from an already-quantized input.
+  ITensor run_int(const ITensor& input) const;
+
+  /// Full pipeline: quantize -> integer graph -> dequantize logits.
+  Tensor run(const Tensor& x) const;
+
+  /// Classification helper over a [N,C,H,W] batch: top-1 accuracy (%).
+  double evaluate(const Tensor& images,
+                  const std::vector<std::int64_t>& labels,
+                  std::int64_t batch_size = 32) const;
+
+  /// Static graph statistics (op mix, parameter storage) — the numbers a
+  /// hardware designer sizes memories from.
+  struct Summary {
+    std::size_t total_ops = 0;
+    std::vector<std::pair<std::string, std::size_t>> op_counts;  ///< by kind
+    std::int64_t weight_elements = 0;  ///< conv/linear/attention weights
+    std::int64_t weight_storage_bits = 0;  ///< at each tensor's minimal width
+    std::int64_t lut_entries = 0;
+  };
+  Summary summarize() const;
+
+  /// Renders summarize() as human-readable text.
+  std::string summary_text() const;
+
+ private:
+  std::vector<std::unique_ptr<DeployOp>> ops_;
+  int output_id_ = -1;
+};
+
+}  // namespace t2c

@@ -1,0 +1,326 @@
+#include "deploy/int_ops.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace t2c {
+
+namespace {
+
+const ITensor& only_input(const std::vector<const ITensor*>& ins,
+                          const char* op) {
+  check(ins.size() == 1 && ins[0] != nullptr,
+        std::string(op) + ": expects exactly one input");
+  return *ins[0];
+}
+
+std::int64_t clamp64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+MulQuantOp::MulQuantOp(std::vector<std::int64_t> mul,
+                       std::vector<std::int64_t> bias,
+                       std::vector<int> frac_bits, std::int64_t out_min,
+                       std::int64_t out_max, MqLayout layout, int bias_frac)
+    : mul_(std::move(mul)),
+      bias_(std::move(bias)),
+      frac_(std::move(frac_bits)),
+      bias_frac_(bias_frac),
+      out_min_(out_min),
+      out_max_(out_max),
+      layout_(layout) {
+  check(!mul_.empty() && mul_.size() == bias_.size() &&
+            mul_.size() == frac_.size(),
+        "MulQuantOp: mul/bias/frac must be non-empty and equal-sized");
+  for (int f : frac_) {
+    check(f >= 0 && f < 31, "MulQuantOp: bad frac_bits");
+  }
+  check(bias_frac >= 0 && bias_frac <= 16, "MulQuantOp: bad bias_frac");
+  check(out_max >= out_min, "MulQuantOp: empty output range");
+  if (layout_ == MqLayout::kPerTensor) {
+    check(mul_.size() == 1, "MulQuantOp: per-tensor layout needs 1 entry");
+  }
+}
+
+MulQuantOp::MulQuantOp(std::vector<std::int64_t> mul,
+                       std::vector<std::int64_t> bias, int frac_bits,
+                       std::int64_t out_min, std::int64_t out_max,
+                       MqLayout layout, int bias_frac)
+    : MulQuantOp(std::vector<std::int64_t>(mul),
+                 std::move(bias), std::vector<int>(mul.size(), frac_bits),
+                 out_min, out_max, layout, bias_frac) {}
+
+ITensor MulQuantOp::run(const std::vector<const ITensor*>& ins) const {
+  const ITensor& x = only_input(ins, "MulQuant");
+  ITensor out(x.shape());
+  const auto apply = [&](std::int64_t v, std::size_t e) {
+    const int f = frac_[e] + bias_frac_;
+    const std::int64_t half = f > 0 ? (std::int64_t{1} << (f - 1)) : 0;
+    const std::int64_t y =
+        (mul_[e] * ((v << bias_frac_) + bias_[e]) + half) >> f;
+    return clamp64(y, out_min_, out_max_);
+  };
+  switch (layout_) {
+    case MqLayout::kPerTensor: {
+      for (std::int64_t i = 0; i < x.numel(); ++i) out[i] = apply(x[i], 0);
+      break;
+    }
+    case MqLayout::kChannelNCHW: {
+      check(x.rank() == 4, "MulQuant(kChannelNCHW): input must be NCHW");
+      const std::int64_t n = x.size(0), c = x.size(1),
+                         hw = x.size(2) * x.size(3);
+      check(static_cast<std::int64_t>(mul_.size()) == c,
+            "MulQuant: channel count mismatch");
+      for (std::int64_t in = 0; in < n; ++in) {
+        for (std::int64_t ic = 0; ic < c; ++ic) {
+          const std::int64_t base = (in * c + ic) * hw;
+          for (std::int64_t i = 0; i < hw; ++i) {
+            out[base + i] = apply(x[base + i], static_cast<std::size_t>(ic));
+          }
+        }
+      }
+      break;
+    }
+    case MqLayout::kLastDim: {
+      const std::int64_t d = x.size(x.rank() - 1);
+      check(static_cast<std::int64_t>(mul_.size()) == d,
+            "MulQuant: last-dim count mismatch");
+      const std::int64_t rows = x.numel() / d;
+      for (std::int64_t r = 0; r < rows; ++r) {
+        for (std::int64_t i = 0; i < d; ++i) {
+          out[r * d + i] = apply(x[r * d + i], static_cast<std::size_t>(i));
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+IntConv2dOp::IntConv2dOp(ITensor weight, ConvSpec spec)
+    : weight_(std::move(weight)), spec_(spec) {
+  spec_.validate();
+  check(weight_.rank() == 4 && weight_.size(0) == spec_.out_channels,
+        "IntConv2dOp: weight shape mismatch");
+}
+
+ITensor IntConv2dOp::run(const std::vector<const ITensor*>& ins) const {
+  return iconv2d_forward(only_input(ins, "IntConv2d"), weight_, nullptr,
+                         spec_);
+}
+
+IntLinearOp::IntLinearOp(ITensor weight) : weight_(std::move(weight)) {
+  check(weight_.rank() == 2, "IntLinearOp: weight must be [OUT, IN]");
+}
+
+ITensor IntLinearOp::run(const std::vector<const ITensor*>& ins) const {
+  const ITensor& x = only_input(ins, "IntLinear");
+  const std::int64_t in = weight_.size(1), out = weight_.size(0);
+  check(x.size(x.rank() - 1) == in, "IntLinear: feature mismatch");
+  const std::int64_t rows = x.numel() / in;
+  ITensor y({rows, out});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t* px = x.data() + r * in;
+    for (std::int64_t c = 0; c < out; ++c) {
+      const std::int64_t* pw = weight_.data() + c * in;
+      std::int64_t acc = 0;
+      for (std::int64_t k = 0; k < in; ++k) acc += px[k] * pw[k];
+      y[r * out + c] = acc;
+    }
+  }
+  Shape s = x.shape();
+  s.back() = out;
+  y.reshape(std::move(s));
+  return y;
+}
+
+IntAddOp::IntAddOp(std::int64_t out_min, std::int64_t out_max)
+    : out_min_(out_min), out_max_(out_max) {}
+
+ITensor IntAddOp::run(const std::vector<const ITensor*>& ins) const {
+  check(ins.size() == 2 && ins[0] != nullptr && ins[1] != nullptr,
+        "IntAdd: expects two inputs");
+  const ITensor& a = *ins[0];
+  const ITensor& b = *ins[1];
+  check(a.same_shape(b), "IntAdd: shape mismatch");
+  ITensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = clamp64(a[i] + b[i], out_min_, out_max_);
+  }
+  return out;
+}
+
+IntMaxPool2dOp::IntMaxPool2dOp(int kernel, int stride, int padding)
+    : kernel_(kernel), stride_(stride), padding_(padding) {
+  check(kernel > 0 && stride > 0 && padding >= 0, "IntMaxPool2d: geometry");
+}
+
+ITensor IntMaxPool2dOp::run(const std::vector<const ITensor*>& ins) const {
+  const ITensor& x = only_input(ins, "IntMaxPool2d");
+  check(x.rank() == 4, "IntMaxPool2d: input must be NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const std::int64_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  check(oh > 0 && ow > 0, "IntMaxPool2d: output would be empty");
+  ITensor out({n, c, oh, ow});
+  std::int64_t oidx = 0;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const std::int64_t* plane = x.data() + (in * c + ic) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oidx) {
+          std::int64_t best = std::numeric_limits<std::int64_t>::min();
+          for (int ki = 0; ki < kernel_; ++ki) {
+            const std::int64_t iy = oy * stride_ + ki - padding_;
+            if (iy < 0 || iy >= h) continue;
+            for (int kj = 0; kj < kernel_; ++kj) {
+              const std::int64_t ix = ox * stride_ + kj - padding_;
+              if (ix < 0 || ix >= w) continue;
+              best = std::max(best, plane[iy * w + ix]);
+            }
+          }
+          out[oidx] =
+              best == std::numeric_limits<std::int64_t>::min() ? 0 : best;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+IntGlobalAvgPoolOp::IntGlobalAvgPoolOp(std::int64_t mul, int frac_bits,
+                                       std::int64_t out_min,
+                                       std::int64_t out_max)
+    : mul_(mul), frac_bits_(frac_bits), out_min_(out_min), out_max_(out_max) {
+  check(frac_bits >= 0 && frac_bits < 40, "IntGlobalAvgPool: bad frac_bits");
+}
+
+ITensor IntGlobalAvgPoolOp::run(const std::vector<const ITensor*>& ins) const {
+  const ITensor& x = only_input(ins, "IntGlobalAvgPool");
+  check(x.rank() == 4, "IntGlobalAvgPool: input must be NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+  ITensor out({n, c});
+  const std::int64_t half =
+      frac_bits_ > 0 ? (std::int64_t{1} << (frac_bits_ - 1)) : 0;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const std::int64_t* plane = x.data() + (in * c + ic) * hw;
+      std::int64_t acc = 0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+      out[in * c + ic] =
+          clamp64((mul_ * acc + half) >> frac_bits_, out_min_, out_max_);
+    }
+  }
+  return out;
+}
+
+ITensor TokenizeOp::run(const std::vector<const ITensor*>& ins) const {
+  const ITensor& x = only_input(ins, "Tokenize");
+  check(x.rank() == 4, "Tokenize: input must be NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+  ITensor out({n, hw, c});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      for (std::int64_t t = 0; t < hw; ++t) {
+        out[(in * hw + t) * c + ic] = x[(in * c + ic) * hw + t];
+      }
+    }
+  }
+  return out;
+}
+
+IntMeanPoolTokensOp::IntMeanPoolTokensOp(std::int64_t mul, int frac_bits,
+                                         std::int64_t out_min,
+                                         std::int64_t out_max)
+    : mul_(mul), frac_bits_(frac_bits), out_min_(out_min), out_max_(out_max) {}
+
+ITensor IntMeanPoolTokensOp::run(
+    const std::vector<const ITensor*>& ins) const {
+  const ITensor& x = only_input(ins, "IntMeanPoolTokens");
+  check(x.rank() == 3, "IntMeanPoolTokens: input must be [N,T,D]");
+  const std::int64_t n = x.size(0), t = x.size(1), d = x.size(2);
+  ITensor out({n, d});
+  const std::int64_t half =
+      frac_bits_ > 0 ? (std::int64_t{1} << (frac_bits_ - 1)) : 0;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t i = 0; i < d; ++i) {
+      std::int64_t acc = 0;
+      for (std::int64_t it = 0; it < t; ++it) acc += x[(in * t + it) * d + i];
+      out[in * d + i] =
+          clamp64((mul_ * acc + half) >> frac_bits_, out_min_, out_max_);
+    }
+  }
+  return out;
+}
+
+}  // namespace t2c
+
+// ---- checkpoint serialization ----
+
+#include <ostream>
+
+namespace t2c {
+
+namespace {
+
+void write_vec(std::ostream& os, const std::vector<std::int64_t>& v) {
+  os << v.size();
+  for (auto x : v) os << ' ' << x;
+  os << '\n';
+}
+
+void write_itensor(std::ostream& os, const ITensor& t) {
+  os << t.rank();
+  for (int d = 0; d < t.rank(); ++d) os << ' ' << t.size(d);
+  os << '\n';
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    os << t[i] << (i + 1 == t.numel() ? '\n' : ' ');
+  }
+}
+
+}  // namespace
+
+void MulQuantOp::save_params(std::ostream& os) const {
+  os << out_min_ << ' ' << out_max_ << ' ' << static_cast<int>(layout_)
+     << ' ' << bias_frac_ << '\n';
+  write_vec(os, mul_);
+  write_vec(os, bias_);
+  os << frac_.size();
+  for (int f : frac_) os << ' ' << f;
+  os << '\n';
+}
+
+void IntConv2dOp::save_params(std::ostream& os) const {
+  os << spec_.in_channels << ' ' << spec_.out_channels << ' ' << spec_.kernel
+     << ' ' << spec_.stride << ' ' << spec_.padding << ' ' << spec_.groups
+     << '\n';
+  write_itensor(os, weight_);
+}
+
+void IntLinearOp::save_params(std::ostream& os) const {
+  write_itensor(os, weight_);
+}
+
+void IntAddOp::save_params(std::ostream& os) const {
+  os << out_min_ << ' ' << out_max_ << '\n';
+}
+
+void IntMaxPool2dOp::save_params(std::ostream& os) const {
+  os << kernel_ << ' ' << stride_ << ' ' << padding_ << '\n';
+}
+
+void IntGlobalAvgPoolOp::save_params(std::ostream& os) const {
+  os << mul_ << ' ' << frac_bits_ << ' ' << out_min_ << ' ' << out_max_
+     << '\n';
+}
+
+void TokenizeOp::save_params(std::ostream& os) const { os << '\n'; }
+
+void IntMeanPoolTokensOp::save_params(std::ostream& os) const {
+  os << mul_ << ' ' << frac_bits_ << ' ' << out_min_ << ' ' << out_max_
+     << '\n';
+}
+
+}  // namespace t2c

@@ -1,0 +1,387 @@
+#include "deploy/vit_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.h"
+
+namespace t2c {
+
+namespace {
+
+std::int64_t clamp64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+/// Integer square root (floor), Newton's method.
+std::int64_t isqrt64(std::int64_t v) {
+  if (v <= 0) return 0;
+  auto x = static_cast<std::int64_t>(std::sqrt(static_cast<double>(v)));
+  // Fix up double imprecision.
+  while (x > 0 && x * x > v) --x;
+  while ((x + 1) * (x + 1) <= v) ++x;
+  return x;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> build_exp_lut(float in_scale, int lut_size,
+                                        int prob_bits) {
+  check(lut_size >= 2, "build_exp_lut: need at least 2 entries");
+  check(prob_bits > 0 && prob_bits < 31, "build_exp_lut: bad prob_bits");
+  check(in_scale > 0.0F, "build_exp_lut: input scale must be positive");
+  std::vector<std::int64_t> lut(static_cast<std::size_t>(lut_size));
+  const double unit = std::ldexp(1.0, prob_bits);
+  for (int i = 0; i < lut_size; ++i) {
+    lut[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(
+        std::llround(std::exp(-static_cast<double>(i) * in_scale) * unit));
+  }
+  return lut;
+}
+
+std::vector<std::int64_t> build_gelu_lut(float in_scale, std::int64_t in_min,
+                                         std::int64_t in_max, float out_scale,
+                                         std::int64_t out_min,
+                                         std::int64_t out_max, int lut_size,
+                                         std::int64_t& index_step) {
+  check(in_max > in_min, "build_gelu_lut: empty input range");
+  check(lut_size >= 2, "build_gelu_lut: need at least 2 entries");
+  const std::int64_t range = in_max - in_min;
+  index_step = std::max<std::int64_t>(
+      1, (range + lut_size - 1) / static_cast<std::int64_t>(lut_size - 1));
+  const auto entries =
+      static_cast<std::size_t>(range / index_step + 1);
+  std::vector<std::int64_t> lut(entries);
+  for (std::size_t j = 0; j < entries; ++j) {
+    const std::int64_t q_in =
+        in_min + static_cast<std::int64_t>(j) * index_step;
+    const float x = static_cast<float>(q_in) * in_scale;
+    const float y = gelu_value(x);
+    lut[j] = clamp64(static_cast<std::int64_t>(
+                         std::llround(y / out_scale)),
+                     out_min, out_max);
+  }
+  return lut;
+}
+
+LutSoftmaxOp::LutSoftmaxOp(std::vector<std::int64_t> lut, std::int64_t p_qmax)
+    : lut_(std::move(lut)), p_qmax_(p_qmax) {
+  check(lut_.size() >= 2, "LutSoftmaxOp: LUT too small");
+  check(p_qmax > 0, "LutSoftmaxOp: p_qmax must be positive");
+}
+
+ITensor LutSoftmaxOp::run(const std::vector<const ITensor*>& ins) const {
+  check(ins.size() == 1 && ins[0] != nullptr, "LutSoftmax: one input");
+  const ITensor& x = *ins[0];
+  const std::int64_t d = x.size(x.rank() - 1);
+  const std::int64_t rows = x.numel() / d;
+  const auto last = static_cast<std::int64_t>(lut_.size()) - 1;
+  ITensor out(x.shape());
+  std::vector<std::int64_t> e(static_cast<std::size_t>(d));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t* px = x.data() + r * d;
+    std::int64_t m = px[0];
+    for (std::int64_t i = 1; i < d; ++i) m = std::max(m, px[i]);
+    std::int64_t sum = 0;
+    for (std::int64_t i = 0; i < d; ++i) {
+      const std::int64_t idx = std::min(last, m - px[i]);
+      e[static_cast<std::size_t>(i)] = lut_[static_cast<std::size_t>(idx)];
+      sum += e[static_cast<std::size_t>(i)];
+    }
+    std::int64_t* po = out.data() + r * d;
+    for (std::int64_t i = 0; i < d; ++i) {
+      // Integer divide with rounding: p = e * qmax / sum.
+      po[i] = sum > 0
+                  ? (e[static_cast<std::size_t>(i)] * p_qmax_ + sum / 2) / sum
+                  : 0;
+    }
+  }
+  return out;
+}
+
+LutGeluOp::LutGeluOp(std::vector<std::int64_t> lut, std::int64_t in_min,
+                     std::int64_t in_max, std::int64_t index_step)
+    : lut_(std::move(lut)),
+      in_min_(in_min),
+      in_max_(in_max),
+      index_step_(index_step) {
+  check(!lut_.empty() && index_step >= 1, "LutGeluOp: bad parameters");
+}
+
+ITensor LutGeluOp::run(const std::vector<const ITensor*>& ins) const {
+  check(ins.size() == 1 && ins[0] != nullptr, "LutGelu: one input");
+  const ITensor& x = *ins[0];
+  ITensor out(x.shape());
+  const auto last = static_cast<std::int64_t>(lut_.size()) - 1;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const std::int64_t q = clamp64(x[i], in_min_, in_max_);
+    // Nearest-entry lookup.
+    const std::int64_t idx =
+        clamp64((q - in_min_ + index_step_ / 2) / index_step_, 0, last);
+    out[i] = lut_[static_cast<std::size_t>(idx)];
+  }
+  return out;
+}
+
+IntLayerNormOp::IntLayerNormOp(std::vector<std::int64_t> gamma_fx,
+                               std::vector<std::int64_t> beta_fx,
+                               int frac_bits, std::int64_t out_min,
+                               std::int64_t out_max)
+    : gamma_fx_(std::move(gamma_fx)),
+      beta_fx_(std::move(beta_fx)),
+      frac_bits_(frac_bits),
+      out_min_(out_min),
+      out_max_(out_max) {
+  check(!gamma_fx_.empty() && gamma_fx_.size() == beta_fx_.size(),
+        "IntLayerNormOp: gamma/beta size mismatch");
+  check(frac_bits > 0 && frac_bits < 20, "IntLayerNormOp: bad frac_bits");
+}
+
+IntLayerNormOp::IntLayerNormOp(std::vector<std::int64_t> gamma_fx,
+                               std::vector<std::int64_t> beta_fx,
+                               int frac_bits, std::int64_t out_min,
+                               std::int64_t out_max, std::int64_t mean_int,
+                               std::int64_t inv_sigma_fx, int stat_frac)
+    : IntLayerNormOp(std::move(gamma_fx), std::move(beta_fx), frac_bits,
+                     out_min, out_max) {
+  running_ = true;
+  mean_int_ = mean_int;
+  inv_sigma_fx_ = inv_sigma_fx;
+  stat_frac_ = stat_frac;
+  check(stat_frac >= frac_bits, "IntLayerNormOp: stat_frac < frac_bits");
+}
+
+ITensor IntLayerNormOp::run(const std::vector<const ITensor*>& ins) const {
+  check(ins.size() == 1 && ins[0] != nullptr, "IntLayerNorm: one input");
+  const ITensor& x = *ins[0];
+  const auto d = static_cast<std::int64_t>(gamma_fx_.size());
+  check(x.size(x.rank() - 1) == d, "IntLayerNorm: dim mismatch");
+  const std::int64_t rows = x.numel() / d;
+  ITensor out(x.shape());
+  const int f = frac_bits_;
+  const std::int64_t half2f = std::int64_t{1} << (2 * f - 1);
+  constexpr int kG = 10;  // variance headroom bits for the instant isqrt
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t* px = x.data() + r * d;
+    std::int64_t* po = out.data() + r * d;
+    for (std::int64_t i = 0; i < d; ++i) {
+      std::int64_t xhat_f;  // xhat * 2^f
+      if (running_) {
+        xhat_f = ((px[i] - mean_int_) * inv_sigma_fx_) >> (stat_frac_ - f);
+      } else {
+        // Instant statistics: integer mean/variance over the row.
+        // (Computed once per row below — hoisted via the else-branch guard.)
+        xhat_f = 0;  // filled by the row-level path
+      }
+      po[i] = xhat_f;  // temp; finalized below
+    }
+    if (!running_) {
+      std::int64_t sum = 0;
+      for (std::int64_t i = 0; i < d; ++i) sum += px[i];
+      const std::int64_t mean = (2 * sum + d) / (2 * d);  // round-nearest
+      std::int64_t var_sum = 0;
+      for (std::int64_t i = 0; i < d; ++i) {
+        const std::int64_t dv = px[i] - mean;
+        var_sum += dv * dv;
+      }
+      const std::int64_t var = var_sum / d;
+      const std::int64_t sq = std::max<std::int64_t>(
+          1, isqrt64(var << (2 * kG)));  // sqrt(var) << kG
+      for (std::int64_t i = 0; i < d; ++i) {
+        po[i] = ((px[i] - mean) << (f + kG)) / sq;  // xhat * 2^f
+      }
+    }
+    for (std::int64_t i = 0; i < d; ++i) {
+      const std::int64_t y =
+          (gamma_fx_[static_cast<std::size_t>(i)] * po[i] +
+           (beta_fx_[static_cast<std::size_t>(i)] << f) + half2f) >>
+          (2 * f);
+      po[i] = clamp64(y, out_min_, out_max_);
+    }
+  }
+  return out;
+}
+
+IntAttentionOp::IntAttentionOp(IntAttentionParams params)
+    : p_(std::move(params)) {
+  check(p_.wqkv.rank() == 2 && p_.wproj.rank() == 2,
+        "IntAttentionOp: projection weights must be rank-2");
+  const std::int64_t d = p_.wqkv.size(1);
+  check(p_.wqkv.size(0) == 3 * d, "IntAttentionOp: wqkv must be [3D, D]");
+  check(p_.wproj.size(0) == d && p_.wproj.size(1) == d,
+        "IntAttentionOp: wproj must be [D, D]");
+  check(d % p_.heads == 0, "IntAttentionOp: heads must divide dim");
+  check(p_.qkv_mul.size() == static_cast<std::size_t>(3 * d) &&
+            p_.qkv_bias.size() == p_.qkv_mul.size(),
+        "IntAttentionOp: qkv requant arity mismatch");
+  check(p_.proj_mul.size() == static_cast<std::size_t>(d) &&
+            p_.proj_bias.size() == p_.proj_mul.size(),
+        "IntAttentionOp: proj requant arity mismatch");
+  check(!p_.softmax_lut.empty(), "IntAttentionOp: missing softmax LUT");
+}
+
+ITensor IntAttentionOp::run(const std::vector<const ITensor*>& ins) const {
+  check(ins.size() == 1 && ins[0] != nullptr, "IntAttention: one input");
+  const ITensor& x = *ins[0];
+  check(x.rank() == 3, "IntAttention: input must be [N,T,D]");
+  const std::int64_t n = x.size(0), t = x.size(1), d = x.size(2);
+  const std::int64_t h = p_.heads, dh = d / h;
+  const int f = p_.frac_bits;
+  const int bf = p_.bias_frac;
+  const std::int64_t half = std::int64_t{1} << (f - 1);
+  const std::int64_t bhalf = std::int64_t{1} << (f + bf - 1);
+
+  // 1. qkv projection + per-output-channel requant to the stream grids.
+  ITensor qkv({n, t, 3 * d});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t it = 0; it < t; ++it) {
+      const std::int64_t* row = x.data() + (in * t + it) * d;
+      std::int64_t* orow = qkv.data() + (in * t + it) * 3 * d;
+      for (std::int64_t j = 0; j < 3 * d; ++j) {
+        const std::int64_t* w = p_.wqkv.data() + j * d;
+        std::int64_t acc = 0;
+        for (std::int64_t k = 0; k < d; ++k) acc += row[k] * w[k];
+        const std::int64_t y =
+            (p_.qkv_mul[static_cast<std::size_t>(j)] *
+                 ((acc << bf) + p_.qkv_bias[static_cast<std::size_t>(j)]) +
+             bhalf) >>
+            (f + bf);
+        orow[j] = clamp64(y, p_.stream_min, p_.stream_max);
+      }
+    }
+  }
+
+  // 2-5. per (sample, head): logits, LUT softmax, context.
+  const auto last = static_cast<std::int64_t>(p_.softmax_lut.size()) - 1;
+  ITensor ctx({n, t, d});
+  std::vector<std::int64_t> logits(static_cast<std::size_t>(t));
+  std::vector<std::int64_t> probs(static_cast<std::size_t>(t));
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ih = 0; ih < h; ++ih) {
+      for (std::int64_t iq = 0; iq < t; ++iq) {
+        const std::int64_t* qrow =
+            qkv.data() + (in * t + iq) * 3 * d + 0 * d + ih * dh;
+        // logits over keys
+        std::int64_t m = std::numeric_limits<std::int64_t>::min();
+        for (std::int64_t ik = 0; ik < t; ++ik) {
+          const std::int64_t* krow =
+              qkv.data() + (in * t + ik) * 3 * d + 1 * d + ih * dh;
+          std::int64_t acc = 0;
+          for (std::int64_t e = 0; e < dh; ++e) acc += qrow[e] * krow[e];
+          logits[static_cast<std::size_t>(ik)] = acc;
+          m = std::max(m, acc);
+        }
+        // LUT softmax: rescale the logit difference onto the LUT grid.
+        std::int64_t sum = 0;
+        for (std::int64_t ik = 0; ik < t; ++ik) {
+          const std::int64_t diff =
+              m - logits[static_cast<std::size_t>(ik)];
+          const std::int64_t idx =
+              std::min(last, (p_.logit_mul * diff + half) >> f);
+          probs[static_cast<std::size_t>(ik)] =
+              p_.softmax_lut[static_cast<std::size_t>(idx)];
+          sum += probs[static_cast<std::size_t>(ik)];
+        }
+        for (std::int64_t ik = 0; ik < t; ++ik) {
+          probs[static_cast<std::size_t>(ik)] =
+              sum > 0 ? (probs[static_cast<std::size_t>(ik)] * p_.p_qmax +
+                         sum / 2) /
+                            sum
+                      : 0;
+        }
+        // context = p * v, then scalar requant
+        for (std::int64_t e = 0; e < dh; ++e) {
+          std::int64_t acc = 0;
+          for (std::int64_t ik = 0; ik < t; ++ik) {
+            const std::int64_t v =
+                qkv[(in * t + ik) * 3 * d + 2 * d + ih * dh + e];
+            acc += probs[static_cast<std::size_t>(ik)] * v;
+          }
+          const std::int64_t y = (p_.ctx_mul * acc + half) >> f;
+          ctx[(in * t + iq) * d + ih * dh + e] =
+              clamp64(y, p_.ctx_min, p_.ctx_max);
+        }
+      }
+    }
+  }
+
+  // 6. output projection + requant to the residual-stream grid.
+  ITensor out({n, t, d});
+  for (std::int64_t r = 0; r < n * t; ++r) {
+    const std::int64_t* row = ctx.data() + r * d;
+    std::int64_t* orow = out.data() + r * d;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const std::int64_t* w = p_.wproj.data() + j * d;
+      std::int64_t acc = 0;
+      for (std::int64_t k = 0; k < d; ++k) acc += row[k] * w[k];
+      const std::int64_t y =
+          (p_.proj_mul[static_cast<std::size_t>(j)] *
+               ((acc << bf) + p_.proj_bias[static_cast<std::size_t>(j)]) +
+           bhalf) >>
+          (f + bf);
+      orow[j] = clamp64(y, p_.out_min, p_.out_max);
+    }
+  }
+  return out;
+}
+
+}  // namespace t2c
+
+// ---- checkpoint serialization ----
+
+#include <ostream>
+
+namespace t2c {
+
+namespace {
+
+void write_vec64(std::ostream& os, const std::vector<std::int64_t>& v) {
+  os << v.size();
+  for (auto x : v) os << ' ' << x;
+  os << '\n';
+}
+
+void write_itensor64(std::ostream& os, const ITensor& t) {
+  os << t.rank();
+  for (int d = 0; d < t.rank(); ++d) os << ' ' << t.size(d);
+  os << '\n';
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    os << t[i] << (i + 1 == t.numel() ? '\n' : ' ');
+  }
+}
+
+}  // namespace
+
+void LutSoftmaxOp::save_params(std::ostream& os) const {
+  os << p_qmax_ << '\n';
+  write_vec64(os, lut_);
+}
+
+void LutGeluOp::save_params(std::ostream& os) const {
+  os << in_min_ << ' ' << in_max_ << ' ' << index_step_ << '\n';
+  write_vec64(os, lut_);
+}
+
+void IntLayerNormOp::save_params(std::ostream& os) const {
+  os << (running_ ? 1 : 0) << ' ' << frac_bits_ << ' ' << out_min_ << ' '
+     << out_max_ << ' ' << mean_int_ << ' ' << inv_sigma_fx_ << ' '
+     << stat_frac_ << '\n';
+  write_vec64(os, gamma_fx_);
+  write_vec64(os, beta_fx_);
+}
+
+void IntAttentionOp::save_params(std::ostream& os) const {
+  os << p_.heads << ' ' << p_.frac_bits << ' ' << p_.bias_frac << ' '
+     << p_.stream_min << ' ' << p_.stream_max << ' ' << p_.logit_mul << ' '
+     << p_.p_qmax << ' ' << p_.ctx_mul << ' ' << p_.ctx_min << ' '
+     << p_.ctx_max << ' ' << p_.out_min << ' ' << p_.out_max << '\n';
+  write_itensor64(os, p_.wqkv);
+  write_vec64(os, p_.qkv_mul);
+  write_vec64(os, p_.qkv_bias);
+  write_vec64(os, p_.softmax_lut);
+  write_itensor64(os, p_.wproj);
+  write_vec64(os, p_.proj_mul);
+  write_vec64(os, p_.proj_bias);
+}
+
+}  // namespace t2c

@@ -1,0 +1,50 @@
+#include "fusion/bn_fusion.h"
+
+#include <cmath>
+
+namespace t2c {
+
+BnFold fold_bn(const BatchNorm2d& bn) {
+  const std::int64_t c = bn.channels();
+  BnFold fold;
+  fold.gamma_star = Tensor({c});
+  fold.beta_star = Tensor({c});
+  BatchNorm2d& mbn = const_cast<BatchNorm2d&>(bn);
+  for (std::int64_t i = 0; i < c; ++i) {
+    const float inv_std =
+        1.0F / std::sqrt(bn.running_var()[i] + bn.eps());
+    const float g = mbn.gamma().value[i];
+    fold.gamma_star[i] = g * inv_std;
+    fold.beta_star[i] =
+        mbn.beta().value[i] - g * bn.running_mean()[i] * inv_std;
+  }
+  return fold;
+}
+
+BnFold identity_fold(std::int64_t channels, const Tensor* bias) {
+  BnFold fold;
+  fold.gamma_star = Tensor({channels}, 1.0F);
+  fold.beta_star = Tensor({channels}, 0.0F);
+  if (bias != nullptr) {
+    check(bias->numel() == channels, "identity_fold: bias size mismatch");
+    fold.beta_star = *bias;
+  }
+  return fold;
+}
+
+Tensor prefuse_weights(const Tensor& w, const BnFold& fold) {
+  check(w.rank() >= 2, "prefuse_weights: weight must have an OC dim");
+  const std::int64_t oc = w.size(0);
+  check(fold.gamma_star.numel() == oc,
+        "prefuse_weights: fold arity mismatch");
+  Tensor out = w;
+  const std::int64_t per = w.numel() / oc;
+  for (std::int64_t c = 0; c < oc; ++c) {
+    const float g = fold.gamma_star[c];
+    float* row = out.data() + c * per;
+    for (std::int64_t i = 0; i < per; ++i) row[i] *= g;
+  }
+  return out;
+}
+
+}  // namespace t2c

@@ -1,0 +1,31 @@
+// BatchNorm folding math (paper §3.2.1, Eq. 8-15).
+//
+// Channel-wise mode keeps gamma*/beta* as the MulQuant scaling/shift
+// (Eq. 12/13 -> Eq. 15, sub-8-bit safe); pre-fusing mode folds gamma into
+// the weights *before* re-quantization (Eq. 8/9 -> Eq. 14, the classic
+// 8-bit flow that degrades at low precision).
+#pragma once
+
+#include "nn/batchnorm.h"
+#include "tensor/tensor.h"
+
+namespace t2c {
+
+/// Per-channel folded normalization parameters:
+///   gamma_star = gamma / sqrt(var + eps)
+///   beta_star  = beta - gamma * mean / sqrt(var + eps)
+struct BnFold {
+  Tensor gamma_star;  ///< [C]
+  Tensor beta_star;   ///< [C]
+};
+
+/// Folds a trained BatchNorm's running statistics.
+BnFold fold_bn(const BatchNorm2d& bn);
+
+/// Identity fold (no normalization layer): gamma* = 1, beta* = bias or 0.
+BnFold identity_fold(std::int64_t channels, const Tensor* bias);
+
+/// Pre-fusing (Eq. 8): W_fuse[oc, ...] = gamma_star[oc] * W[oc, ...].
+Tensor prefuse_weights(const Tensor& w, const BnFold& fold);
+
+}  // namespace t2c

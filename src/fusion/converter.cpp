@@ -1,0 +1,660 @@
+#include "fusion/converter.h"
+
+#include <cmath>
+#include <optional>
+
+#include "deploy/int_ops.h"
+#include "deploy/vit_ops.h"
+#include "fusion/mulquant.h"
+#include "models/vit.h"
+#include "nn/activations.h"
+#include "nn/pooling.h"
+#include "quant/minmax.h"
+
+namespace t2c {
+
+namespace {
+
+/// Clamp bound emulating accumulator headroom for pre-add intermediates.
+constexpr std::int64_t kWide = std::int64_t{1} << 24;
+/// Intermediate values that the training path never rounds (residual
+/// branches, pre-pool activations) are kept on a grid this many times
+/// finer than the consumer's, so the single rounding happens where the
+/// fake-quant path rounds — at the consumer. 16x = 4 extra bits of
+/// accumulator precision, which is what integer accelerators keep on the
+/// skip path anyway.
+constexpr float kMidGrid = 16.0F;
+/// Fixed-point fraction used inside IntLayerNorm.
+constexpr int kLnFrac = 8;
+
+double rel_diff(double a, double b) {
+  return std::fabs(a - b) / std::max(1e-12, std::fabs(b));
+}
+
+}  // namespace
+
+void check_convertible(Module& model) {
+  for (QBase* q : collect_all_quantizers(model)) {
+    check(q->frozen(), "convert: quantizer '" + q->name() +
+                           "' is not frozen — calibrate/train first");
+    check(!q->bypassed(), "convert: quantizer '" + q->name() +
+                              "' is bypassed — disable bypass first");
+    for (std::int64_t i = 0; i < q->zero_point().numel(); ++i) {
+      check(std::fabs(q->zero_point()[i]) < 1e-6F,
+            "convert: nonzero zero-point in '" + q->name() +
+                "' — the deploy graph requires symmetric/post-ReLU grids");
+    }
+    for (std::int64_t i = 0; i < q->scale().numel(); ++i) {
+      check(q->scale()[i] > 0.0F, "convert: non-positive scale");
+    }
+  }
+}
+
+T2CConverter::T2CConverter(ConvertConfig cfg) : cfg_(std::move(cfg)) {
+  check(cfg_.input_shape.size() == 3,
+        "ConvertConfig: input_shape must be [C, H, W]");
+  check(cfg_.logit_scale >= 0.0F, "ConvertConfig: logit_scale must be >= 0");
+}
+
+T2CConverter::Grid T2CConverter::grid_of(const QBase& q) {
+  check(q.scale().numel() == 1,
+        "converter: activation quantizers must be per-tensor");
+  return Grid{q.scale()[0], q.qmin(), q.qmax()};
+}
+
+const QBase* T2CConverter::first_input_quantizer(Module& m) {
+  if (auto* ql = dynamic_cast<QLayer*>(&m)) return ql->act_quantizer();
+  if (auto* pe = dynamic_cast<PatchEmbed*>(&m)) {
+    return pe->proj().act_quantizer();
+  }
+  if (auto* rb = dynamic_cast<ResidualBlock*>(&m)) {
+    return rb->main().size() > 0 ? first_input_quantizer(rb->main().child(0))
+                                 : nullptr;
+  }
+  if (auto* seq = dynamic_cast<Sequential*>(&m)) {
+    for (std::size_t i = 0; i < seq->size(); ++i) {
+      if (const QBase* q = first_input_quantizer(seq->child(i))) return q;
+    }
+  }
+  return nullptr;
+}
+
+T2CConverter::Grid T2CConverter::consumer_grid(Sequential& seq,
+                                               std::size_t from,
+                                               const Grid& fallback) const {
+  for (std::size_t i = from; i < seq.size(); ++i) {
+    if (const QBase* q = first_input_quantizer(seq.child(i))) {
+      Grid g = grid_of(*q);
+      g.direct = (i == from);
+      return g;
+    }
+  }
+  Grid g = fallback;
+  g.direct = false;
+  return g;
+}
+
+T2CConverter::Cursor T2CConverter::requant_to(DeployModel& dm, Cursor cur,
+                                              const Grid& to,
+                                              const std::string& label) const {
+  if (rel_diff(cur.scale, to.scale) < 1e-6) return cur;
+  auto op = make_requant(cur.scale, to.scale, cfg_.scale_format, to.qmin,
+                         to.qmax, cfg_.normalize_scales);
+  op->inputs = {cur.id};
+  op->label = label + ".requant";
+  cur.id = dm.add_op(std::move(op));
+  cur.scale = to.scale;
+  return cur;
+}
+
+T2CConverter::Cursor T2CConverter::emit_conv_group(
+    DeployModel& dm, QConv2d& conv, BatchNorm2d* bn, Module* act, Cursor cur,
+    const Grid& out_grid, bool clamp_to_grid) const {
+  QBase* aq = conv.act_quantizer();
+  check(aq != nullptr, "convert: QConv2d '" + conv.label +
+                           "' has no input activation quantizer");
+  const Grid in = grid_of(*aq);
+  cur = requant_to(dm, cur, in, conv.label);
+
+  const ConvSpec& spec = conv.spec();
+  BnFold fold = bn != nullptr
+                    ? fold_bn(*bn)
+                    : identity_fold(spec.out_channels,
+                                    conv.has_bias() ? &conv.bias().value
+                                                    : nullptr);
+
+  ITensor w_int;
+  Tensor sw;  // per-channel (or broadcast scalar) weight scales
+  std::vector<double> gamma(static_cast<std::size_t>(spec.out_channels), 1.0);
+  if (cfg_.fusion == FusionMode::kPreFuse && bn != nullptr) {
+    // Eq. 8/9: fold gamma into weights, then re-quantize the fused tensor.
+    Tensor wf = prefuse_weights(conv.masked_weight(), fold);
+    MinMaxQuantizer req(conv.weight_quantizer().spec());
+    (void)req.forward(wf, /*update=*/true);
+    req.freeze();
+    w_int = req.quantize(wf);
+    sw = req.scale();
+  } else {
+    w_int = conv.integer_weight();
+    sw = conv.weight_quantizer().scale();
+    for (std::int64_t c = 0; c < spec.out_channels; ++c) {
+      gamma[static_cast<std::size_t>(c)] = fold.gamma_star[c];
+    }
+  }
+
+  auto conv_op = std::make_unique<IntConv2dOp>(std::move(w_int), spec);
+  conv_op->inputs = {cur.id};
+  conv_op->label = conv.label;
+  const int conv_id = dm.add_op(std::move(conv_op));
+
+  // Round to the consumer's exact grid only when that quantizer directly
+  // follows (that is where the training path rounds); otherwise stay on a
+  // kMidGrid-times finer grid with accumulator headroom. ReLU/ReLU6
+  // semantics (exact zero floor / cap) always apply.
+  const bool exact = clamp_to_grid && out_grid.direct;
+  const float target_scale =
+      exact ? out_grid.scale : out_grid.scale / kMidGrid;
+
+  std::vector<double> mul(static_cast<std::size_t>(spec.out_channels));
+  std::vector<double> bias(static_cast<std::size_t>(spec.out_channels));
+  for (std::int64_t c = 0; c < spec.out_channels; ++c) {
+    const double swc = sw.numel() == 1 ? sw[0] : sw[c];
+    const double g = gamma[static_cast<std::size_t>(c)];
+    const double m = g * swc * static_cast<double>(in.scale) / target_scale;
+    mul[static_cast<std::size_t>(c)] = m;
+    // Bias in accumulator units: beta* / (gamma* Sw Sx).
+    const double denom = g * swc * static_cast<double>(in.scale);
+    bias[static_cast<std::size_t>(c)] =
+        std::fabs(denom) > 1e-20
+            ? static_cast<double>(fold.beta_star[c]) / denom
+            : 0.0;
+  }
+
+  std::int64_t lo = -kWide, hi = kWide;
+  if (exact) {
+    lo = out_grid.qmin;
+    hi = out_grid.qmax;
+  }
+  if (auto* r6 = dynamic_cast<ReLU6*>(act)) {
+    lo = std::max<std::int64_t>(lo, 0);
+    hi = std::min(hi, static_cast<std::int64_t>(
+                          std::llround(r6->cap() / target_scale)));
+  } else if (dynamic_cast<ReLU*>(act) != nullptr) {
+    lo = std::max<std::int64_t>(lo, 0);
+  }
+  auto mq = make_mulquant(mul, bias, cfg_.scale_format, lo, hi,
+                          MqLayout::kChannelNCHW, cfg_.normalize_scales);
+  mq->inputs = {conv_id};
+  mq->label = conv.label + ".mulquant";
+  cur.id = dm.add_op(std::move(mq));
+  cur.scale = target_scale;
+  check(cur.feat.size() == 3, "convert: conv input feature shape mismatch");
+  cur.feat = {spec.out_channels, spec.out_hw(cur.feat[1]),
+              spec.out_hw(cur.feat[2])};
+  return cur;
+}
+
+T2CConverter::Cursor T2CConverter::emit_linear(DeployModel& dm, QLinear& lin,
+                                               Cursor cur,
+                                               const Grid& out_grid,
+                                               bool clamp_to_grid) const {
+  QBase* aq = lin.act_quantizer();
+  check(aq != nullptr, "convert: QLinear '" + lin.label +
+                           "' has no input activation quantizer");
+  const Grid in = grid_of(*aq);
+  cur = requant_to(dm, cur, in, lin.label);
+
+  ITensor w_int = lin.integer_weight();
+  const Tensor& sw = lin.weight_quantizer().scale();
+  const std::int64_t out_f = lin.out_features();
+
+  auto lin_op = std::make_unique<IntLinearOp>(
+      w_int.reshaped({out_f, lin.in_features()}));
+  lin_op->inputs = {cur.id};
+  lin_op->label = lin.label;
+  const int lin_id = dm.add_op(std::move(lin_op));
+
+  std::vector<double> mul(static_cast<std::size_t>(out_f));
+  std::vector<double> bias(static_cast<std::size_t>(out_f), 0.0);
+  for (std::int64_t j = 0; j < out_f; ++j) {
+    const double swj = sw.numel() == 1 ? sw[0] : sw[j];
+    mul[static_cast<std::size_t>(j)] =
+        swj * static_cast<double>(in.scale) / out_grid.scale;
+    if (lin.has_bias()) {
+      const double denom = swj * static_cast<double>(in.scale);
+      bias[static_cast<std::size_t>(j)] =
+          static_cast<double>(lin.bias().value[j]) / denom;
+    }
+  }
+  const bool clamp = clamp_to_grid && out_grid.direct;
+  const std::int64_t lo = clamp ? out_grid.qmin : -kWide;
+  const std::int64_t hi = clamp ? out_grid.qmax : kWide;
+  auto mq = make_mulquant(mul, bias, cfg_.scale_format, lo, hi,
+                          MqLayout::kLastDim, cfg_.normalize_scales);
+  mq->inputs = {lin_id};
+  mq->label = lin.label + ".mulquant";
+  cur.id = dm.add_op(std::move(mq));
+  cur.scale = out_grid.scale;
+  cur.feat.back() = out_f;
+  return cur;
+}
+
+T2CConverter::Cursor T2CConverter::emit_residual(DeployModel& dm,
+                                                 ResidualBlock& block,
+                                                 Cursor cur,
+                                                 const Grid& out_grid) const {
+  // Both branches land on a grid kMidGrid-times finer than the consumer's,
+  // so the single rounding to the consumer grid happens after the add —
+  // where the training path rounds. The ReLU floor applies at the add.
+  Grid mid = out_grid;
+  mid.scale = out_grid.scale / kMidGrid;
+  mid.direct = false;  // branches must not clamp to the consumer range
+  Cursor main_out = emit_sequential(dm, block.main(), cur, mid);
+  Cursor short_out = cur;
+  if (block.has_shortcut()) {
+    short_out = emit_sequential(dm, block.shortcut(), cur, mid);
+  } else if (rel_diff(cur.scale, main_out.scale) >= 1e-6) {
+    auto rq = make_requant(cur.scale, main_out.scale, cfg_.scale_format,
+                           -kWide, kWide, cfg_.normalize_scales);
+    rq->inputs = {cur.id};
+    rq->label = block.label + ".identity.requant";
+    short_out.id = dm.add_op(std::move(rq));
+    short_out.scale = main_out.scale;
+  }
+  check(rel_diff(main_out.scale, short_out.scale) < 1e-5,
+        "convert: residual branch scales diverged");
+  auto add = std::make_unique<IntAddOp>(0, kWide);  // ReLU floor
+  add->inputs = {main_out.id, short_out.id};
+  add->label = block.label + ".add_relu";
+  Cursor out = main_out;
+  out.id = dm.add_op(std::move(add));
+  if (out_grid.direct) {
+    auto rq = make_requant(out.scale, out_grid.scale, cfg_.scale_format,
+                           std::max<std::int64_t>(0, out_grid.qmin),
+                           out_grid.qmax, cfg_.normalize_scales);
+    rq->inputs = {out.id};
+    rq->label = block.label + ".out.requant";
+    out.id = dm.add_op(std::move(rq));
+    out.scale = out_grid.scale;
+  }
+  return out;
+}
+
+T2CConverter::Cursor T2CConverter::emit_patch_embed(DeployModel& dm,
+                                                    PatchEmbed& pe,
+                                                    Cursor cur) const {
+  const Grid out = grid_of(pe.out_quant());
+  cur = emit_conv_group(dm, pe.proj(), /*bn=*/nullptr, /*act=*/nullptr, cur,
+                        out, /*clamp_to_grid=*/true);
+  auto tok = std::make_unique<TokenizeOp>();
+  tok->inputs = {cur.id};
+  tok->label = pe.label + ".tokenize";
+  cur.id = dm.add_op(std::move(tok));
+  cur.feat = {cur.feat[1] * cur.feat[2], cur.feat[0]};  // [T, D]
+  return cur;
+}
+
+T2CConverter::Cursor T2CConverter::emit_layernorm(DeployModel& dm,
+                                                  LayerNorm& ln, Cursor cur,
+                                                  const Grid& out_grid) const {
+  const std::int64_t d = ln.dim();
+  std::vector<std::int64_t> gfx(static_cast<std::size_t>(d));
+  std::vector<std::int64_t> bfx(static_cast<std::size_t>(d));
+  const FixedPointFormat lnfmt{8, kLnFrac};
+  for (std::int64_t i = 0; i < d; ++i) {
+    gfx[static_cast<std::size_t>(i)] =
+        to_fixed(ln.gamma().value[i] / out_grid.scale, lnfmt);
+    bfx[static_cast<std::size_t>(i)] =
+        to_fixed(ln.beta().value[i] / out_grid.scale, lnfmt);
+  }
+  std::unique_ptr<IntLayerNormOp> op;
+  if (cfg_.ln_stats == LayerNormStats::kRunning) {
+    const int stat_frac = kLnFrac + 8;
+    const auto mean_int = static_cast<std::int64_t>(
+        std::llround(ln.running_mean() / cur.scale));
+    const double sigma =
+        std::sqrt(static_cast<double>(ln.running_var()) + ln.eps());
+    const auto inv_sigma_fx = static_cast<std::int64_t>(std::llround(
+        static_cast<double>(cur.scale) / sigma * std::ldexp(1.0, stat_frac)));
+    op = std::make_unique<IntLayerNormOp>(std::move(gfx), std::move(bfx),
+                                          kLnFrac, out_grid.qmin,
+                                          out_grid.qmax, mean_int,
+                                          inv_sigma_fx, stat_frac);
+  } else {
+    op = std::make_unique<IntLayerNormOp>(std::move(gfx), std::move(bfx),
+                                          kLnFrac, out_grid.qmin,
+                                          out_grid.qmax);
+  }
+  op->inputs = {cur.id};
+  op->label = ln.label;
+  cur.id = dm.add_op(std::move(op));
+  cur.scale = out_grid.scale;
+  return cur;
+}
+
+T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
+                                                    TransformerBlock& block,
+                                                    Cursor cur) const {
+  const Cursor entry = cur;
+  QMultiheadAttention& attn = block.attn();
+  QLinear& qkv = attn.q_qkv();
+  QLinear& proj = attn.q_proj();
+  const Grid a_grid = grid_of(*qkv.act_quantizer());
+  const Grid q_grid = grid_of(attn.q_quant());
+  const Grid k_grid = grid_of(attn.k_quant());
+  const Grid v_grid = grid_of(attn.v_quant());
+  const Grid ctx_grid = grid_of(*proj.act_quantizer());
+  const Grid r1 = grid_of(block.res_quant1());
+  const Grid r2 = grid_of(block.res_quant2());
+  const std::int64_t d = attn.dim();
+  const std::int64_t dh = d / attn.heads();
+
+  // LN1 -> qkv input grid.
+  Cursor ln_out = emit_layernorm(dm, block.ln1(), cur, a_grid);
+
+  // Integer attention composite.
+  IntAttentionParams p;
+  p.heads = attn.heads();
+  p.wqkv = qkv.integer_weight().reshaped({3 * d, d});
+  const Tensor& sw_qkv = qkv.weight_quantizer().scale();
+  const Tensor& sw_proj_pre = proj.weight_quantizer().scale();
+  // One binary point serves the whole attention op: fit it to the largest
+  // multiplier among qkv / ctx / proj rescales.
+  std::vector<double> all_m;
+  const Grid* streams[3] = {&q_grid, &k_grid, &v_grid};
+  for (std::int64_t j = 0; j < 3 * d; ++j) {
+    const double swj = sw_qkv.numel() == 1 ? sw_qkv[0] : sw_qkv[j];
+    all_m.push_back(swj * static_cast<double>(a_grid.scale) /
+                    streams[j / d]->scale);
+  }
+  const float r1_mid = r1.scale / kMidGrid;
+  const float r2_mid = r2.scale / kMidGrid;
+  for (std::int64_t j = 0; j < d; ++j) {
+    const double swj = sw_proj_pre.numel() == 1 ? sw_proj_pre[0]
+                                                : sw_proj_pre[j];
+    all_m.push_back(swj * static_cast<double>(ctx_grid.scale) / r1_mid);
+  }
+  const FixedPointFormat afmt =
+      fit_format(all_m, cfg_.scale_format, cfg_.normalize_scales);
+  p.frac_bits = afmt.frac_bits;
+  p.qkv_mul.resize(static_cast<std::size_t>(3 * d));
+  p.qkv_bias.resize(static_cast<std::size_t>(3 * d));
+  for (std::int64_t j = 0; j < 3 * d; ++j) {
+    const Grid& g = *streams[j / d];
+    const double swj = sw_qkv.numel() == 1 ? sw_qkv[0] : sw_qkv[j];
+    p.qkv_mul[static_cast<std::size_t>(j)] = to_fixed(
+        swj * static_cast<double>(a_grid.scale) / g.scale, afmt);
+    const double b = qkv.has_bias() ? qkv.bias().value[j] : 0.0F;
+    p.qkv_bias[static_cast<std::size_t>(j)] = static_cast<std::int64_t>(
+        std::llround(b / (swj * static_cast<double>(a_grid.scale)) *
+                     std::ldexp(1.0, p.bias_frac)));
+  }
+  p.stream_min = q_grid.qmin;
+  p.stream_max = q_grid.qmax;
+  // Real scale of one raw q*k^T accumulator LSB (incl. 1/sqrt(dh)).
+  const float logit_scale =
+      q_grid.scale * k_grid.scale / std::sqrt(static_cast<float>(dh));
+  // The LUT covers exp(-x) down to x = 12 (exp(-12) ~ 6e-6); the prescale
+  // maps raw logit differences onto that index grid.
+  const float lut_step = 12.0F / static_cast<float>(cfg_.softmax_lut_size);
+  p.softmax_lut = build_exp_lut(lut_step, cfg_.softmax_lut_size,
+                                cfg_.softmax_prob_bits);
+  p.logit_mul = to_fixed(logit_scale / lut_step, afmt);
+  p.p_qmax = attn.p_quant().qmax();
+  p.ctx_mul = to_fixed(static_cast<double>(v_grid.scale) /
+                           (static_cast<double>(p.p_qmax) * ctx_grid.scale),
+                       afmt);
+  p.ctx_min = ctx_grid.qmin;
+  p.ctx_max = ctx_grid.qmax;
+  p.wproj = proj.integer_weight().reshaped({d, d});
+  const Tensor& sw_proj = proj.weight_quantizer().scale();
+  p.proj_mul.resize(static_cast<std::size_t>(d));
+  p.proj_bias.resize(static_cast<std::size_t>(d));
+  for (std::int64_t j = 0; j < d; ++j) {
+    const double swj = sw_proj.numel() == 1 ? sw_proj[0] : sw_proj[j];
+    p.proj_mul[static_cast<std::size_t>(j)] =
+        to_fixed(swj * static_cast<double>(ctx_grid.scale) / r1_mid, afmt);
+    const double b = proj.has_bias() ? proj.bias().value[j] : 0.0F;
+    p.proj_bias[static_cast<std::size_t>(j)] = static_cast<std::int64_t>(
+        std::llround(b / (swj * static_cast<double>(ctx_grid.scale)) *
+                     std::ldexp(1.0, p.bias_frac)));
+  }
+  p.out_min = -kWide;
+  p.out_max = kWide;
+  auto attn_op = std::make_unique<IntAttentionOp>(std::move(p));
+  attn_op->inputs = {ln_out.id};
+  attn_op->label = block.label + ".attn";
+  const int attn_id = dm.add_op(std::move(attn_op));
+
+  // Residual add 1 on the fine grid, then one rounding to the res_q1 grid
+  // (exactly where the training path fake-quantizes).
+  Cursor x_rq = entry;
+  if (rel_diff(entry.scale, r1_mid) >= 1e-6) {
+    auto rq = make_requant(entry.scale, r1_mid, cfg_.scale_format, -kWide,
+                           kWide, cfg_.normalize_scales);
+    rq->inputs = {entry.id};
+    rq->label = block.label + ".res1.requant";
+    x_rq.id = dm.add_op(std::move(rq));
+    x_rq.scale = r1_mid;
+  }
+  auto add1 = std::make_unique<IntAddOp>(-kWide, kWide);
+  add1->inputs = {attn_id, x_rq.id};
+  add1->label = block.label + ".res1.add";
+  Cursor a_cur = entry;
+  a_cur.id = dm.add_op(std::move(add1));
+  a_cur.scale = r1_mid;
+  {
+    auto rq = make_requant(a_cur.scale, r1.scale, cfg_.scale_format, r1.qmin,
+                           r1.qmax, cfg_.normalize_scales);
+    rq->inputs = {a_cur.id};
+    rq->label = block.label + ".res1.round";
+    a_cur.id = dm.add_op(std::move(rq));
+    a_cur.scale = r1.scale;
+  }
+
+  // MLP: LN2 -> fc1 -> LUT GELU -> fc2.
+  QLinear& fc1 = block.mlp_fc1();
+  QLinear& fc2 = block.mlp_fc2();
+  const Grid fc1_in = grid_of(*fc1.act_quantizer());
+  const Grid gelu_in = grid_of(block.gelu_in_quant());
+  const Grid fc2_in = grid_of(*fc2.act_quantizer());
+
+  Cursor m_cur = emit_layernorm(dm, block.ln2(), a_cur, fc1_in);
+  m_cur = emit_linear(dm, fc1, m_cur, gelu_in, /*clamp_to_grid=*/true);
+
+  std::int64_t step = 1;
+  auto lut = build_gelu_lut(gelu_in.scale, gelu_in.qmin, gelu_in.qmax,
+                            fc2_in.scale, fc2_in.qmin, fc2_in.qmax,
+                            cfg_.gelu_lut_size, step);
+  auto gelu_op = std::make_unique<LutGeluOp>(std::move(lut), gelu_in.qmin,
+                                             gelu_in.qmax, step);
+  gelu_op->inputs = {m_cur.id};
+  gelu_op->label = block.label + ".gelu";
+  m_cur.id = dm.add_op(std::move(gelu_op));
+  m_cur.scale = fc2_in.scale;
+
+  Grid fc2_target = r2;
+  fc2_target.scale = r2_mid;
+  fc2_target.direct = false;
+  m_cur = emit_linear(dm, fc2, m_cur, fc2_target, /*clamp_to_grid=*/false);
+
+  // Residual add 2 on the fine grid, then one rounding to the res_q2 grid.
+  Cursor a_rq = a_cur;
+  if (rel_diff(a_cur.scale, m_cur.scale) >= 1e-6) {
+    auto rq = make_requant(a_cur.scale, m_cur.scale, cfg_.scale_format,
+                           -kWide, kWide, cfg_.normalize_scales);
+    rq->inputs = {a_cur.id};
+    rq->label = block.label + ".res2.requant";
+    a_rq.id = dm.add_op(std::move(rq));
+    a_rq.scale = m_cur.scale;
+  }
+  auto add2 = std::make_unique<IntAddOp>(-kWide, kWide);
+  add2->inputs = {m_cur.id, a_rq.id};
+  add2->label = block.label + ".res2.add";
+  Cursor out = entry;
+  out.id = dm.add_op(std::move(add2));
+  out.scale = m_cur.scale;
+  {
+    auto rq = make_requant(out.scale, r2.scale, cfg_.scale_format, r2.qmin,
+                           r2.qmax, cfg_.normalize_scales);
+    rq->inputs = {out.id};
+    rq->label = block.label + ".res2.round";
+    out.id = dm.add_op(std::move(rq));
+    out.scale = r2.scale;
+  }
+  return out;
+}
+
+T2CConverter::Cursor T2CConverter::emit_sequential(DeployModel& dm,
+                                                   Sequential& seq, Cursor cur,
+                                                   const Grid& final_grid)
+    const {
+  std::size_t i = 0;
+  while (i < seq.size()) {
+    Module& child = seq.child(i);
+    if (auto* conv = dynamic_cast<QConv2d*>(&child)) {
+      BatchNorm2d* bn = nullptr;
+      Module* act = nullptr;
+      std::size_t g = 1;
+      if (i + g < seq.size()) {
+        bn = dynamic_cast<BatchNorm2d*>(&seq.child(i + g));
+        if (bn != nullptr) ++g;
+      }
+      if (i + g < seq.size()) {
+        Module& maybe_act = seq.child(i + g);
+        if (dynamic_cast<ReLU*>(&maybe_act) != nullptr ||
+            dynamic_cast<ReLU6*>(&maybe_act) != nullptr) {
+          act = &maybe_act;
+          ++g;
+        }
+      }
+      const Grid out = consumer_grid(seq, i + g, final_grid);
+      cur = emit_conv_group(dm, *conv, bn, act, cur, out,
+                            /*clamp_to_grid=*/act != nullptr);
+      i += g;
+    } else if (auto* lin = dynamic_cast<QLinear*>(&child)) {
+      const bool is_last = (i + 1 == seq.size());
+      const Grid out = consumer_grid(seq, i + 1, final_grid);
+      cur = emit_linear(dm, *lin, cur, out, /*clamp_to_grid=*/!is_last);
+      ++i;
+    } else if (auto* rb = dynamic_cast<ResidualBlock*>(&child)) {
+      const Grid out = consumer_grid(seq, i + 1, final_grid);
+      cur = emit_residual(dm, *rb, cur, out);
+      ++i;
+    } else if (auto* pe = dynamic_cast<PatchEmbed*>(&child)) {
+      cur = emit_patch_embed(dm, *pe, cur);
+      ++i;
+    } else if (auto* tb = dynamic_cast<TransformerBlock*>(&child)) {
+      cur = emit_transformer(dm, *tb, cur);
+      ++i;
+    } else if (auto* ln = dynamic_cast<LayerNorm*>(&child)) {
+      const Grid out = consumer_grid(seq, i + 1, final_grid);
+      cur = emit_layernorm(dm, *ln, cur, out);
+      ++i;
+    } else if (auto* mp = dynamic_cast<MaxPool2d*>(&child)) {
+      auto op = std::make_unique<IntMaxPool2dOp>(mp->kernel(), mp->stride(),
+                                                 mp->padding());
+      op->inputs = {cur.id};
+      op->label = mp->label;
+      cur.id = dm.add_op(std::move(op));
+      const std::int64_t oh =
+          (cur.feat[1] + 2 * mp->padding() - mp->kernel()) / mp->stride() + 1;
+      const std::int64_t ow =
+          (cur.feat[2] + 2 * mp->padding() - mp->kernel()) / mp->stride() + 1;
+      cur.feat = {cur.feat[0], oh, ow};
+      ++i;
+    } else if (dynamic_cast<GlobalAvgPool*>(&child) != nullptr) {
+      const Grid out = consumer_grid(seq, i + 1, final_grid);
+      check(cur.feat.size() == 3, "convert: GAP expects [C,H,W] features");
+      const double hw =
+          static_cast<double>(cur.feat[1]) * static_cast<double>(cur.feat[2]);
+      const double m_real = static_cast<double>(cur.scale) / (hw * out.scale);
+      const FixedPointFormat gfmt =
+          fit_format({m_real}, cfg_.scale_format, cfg_.normalize_scales);
+      auto op = std::make_unique<IntGlobalAvgPoolOp>(
+          to_fixed(m_real, gfmt), gfmt.frac_bits, out.qmin, out.qmax);
+      op->inputs = {cur.id};
+      op->label = child.label;
+      cur.id = dm.add_op(std::move(op));
+      cur.scale = out.scale;
+      cur.feat = {cur.feat[0]};
+      ++i;
+    } else if (dynamic_cast<MeanPoolTokens*>(&child) != nullptr) {
+      const Grid out = consumer_grid(seq, i + 1, final_grid);
+      check(cur.feat.size() == 2, "convert: token pool expects [T,D]");
+      const double t = static_cast<double>(cur.feat[0]);
+      const double m_real = static_cast<double>(cur.scale) / (t * out.scale);
+      const FixedPointFormat pfmt =
+          fit_format({m_real}, cfg_.scale_format, cfg_.normalize_scales);
+      auto op = std::make_unique<IntMeanPoolTokensOp>(
+          to_fixed(m_real, pfmt), pfmt.frac_bits, out.qmin, out.qmax);
+      op->inputs = {cur.id};
+      op->label = child.label;
+      cur.id = dm.add_op(std::move(op));
+      cur.scale = out.scale;
+      cur.feat = {cur.feat[1]};
+      ++i;
+    } else if (auto* sub = dynamic_cast<Sequential*>(&child)) {
+      const Grid out = consumer_grid(seq, i + 1, final_grid);
+      cur = emit_sequential(dm, *sub, cur, out);
+      ++i;
+    } else if (dynamic_cast<Identity*>(&child) != nullptr ||
+               dynamic_cast<Flatten*>(&child) != nullptr) {
+      ++i;  // structural no-ops at deploy time
+    } else {
+      fail("convert: unsupported module '" + child.kind() + "' (label '" +
+           child.label + "') in the deploy grammar");
+    }
+  }
+  return cur;
+}
+
+DeployModel T2CConverter::convert(Sequential& model) const {
+  check_convertible(model);
+  const QBase* in_q = first_input_quantizer(model);
+  check(in_q != nullptr, "convert: model has no input activation quantizer");
+
+  // Resolve the logits grid. logit_scale == 0 means auto: pick a scale for
+  // which the head's MulQuant multipliers sit comfortably inside the
+  // fixed-point format (m around 1/32).
+  float logit_scale = cfg_.logit_scale;
+  if (logit_scale <= 0.0F) {
+    QLinear* head = nullptr;
+    for (QLayer* q : collect_qlayers(model)) {
+      if (auto* l = dynamic_cast<QLinear*>(&q->as_module())) head = l;
+    }
+    check(head != nullptr, "convert: auto logit scale needs a Linear head");
+    float sw_max = 0.0F;
+    const Tensor& sw = head->weight_quantizer().scale();
+    for (std::int64_t i = 0; i < sw.numel(); ++i) {
+      sw_max = std::max(sw_max, sw[i]);
+    }
+    // Resolution target: ~512 integer levels across the head's maximum
+    // single-product magnitude (Sw*qmax_w * Sx*qmax_x), independent of the
+    // bit-width — a fixed multiplier heuristic would leave 2-bit grids
+    // with single-digit logit integers.
+    const QBase& haq = *head->act_quantizer();
+    const auto qprod =
+        static_cast<float>(head->weight_quantizer().qmax() * haq.qmax());
+    logit_scale = sw_max * haq.scale()[0] * qprod / 512.0F;
+  }
+
+  DeployModel dm;
+  dm.input_scale = in_q->scale()[0];
+  dm.input_zero = in_q->zero_point()[0];
+  dm.input_qmin = in_q->qmin();
+  dm.input_qmax = in_q->qmax();
+
+  Cursor cur;
+  cur.id = 0;
+  cur.scale = dm.input_scale;
+  cur.feat = cfg_.input_shape;
+
+  const Grid logits{logit_scale, -kWide, kWide, false};
+  cur = emit_sequential(dm, model, cur, logits);
+  dm.set_output(cur.id);
+  dm.output_scale = cur.scale;
+  return dm;
+}
+
+}  // namespace t2c

@@ -1,0 +1,106 @@
+// T2CConverter: automatic post-training fusion + integer graph emission —
+// the paper's central automation (Figures 3-5). Consumes a trained,
+// calibrated model built from the supported structural grammar
+// (Sequential / Conv-BN-ReLU groups / ResidualBlock / PatchEmbed /
+// TransformerBlock / pooling / Linear heads) and emits a DeployModel whose
+// arithmetic is integer-only: weights as low-precision integers, all
+// rescaling as fixed-point MulQuant, nonlinearities as LUTs.
+//
+// Preconditions checked at conversion time:
+//  * every quantizer is frozen (calibration done),
+//  * every activation zero-point is 0 (signed-symmetric or post-ReLU grids
+//    — the builders in src/models guarantee this).
+#pragma once
+
+#include "deploy/deploy_model.h"
+#include "fusion/bn_fusion.h"
+#include "nn/layernorm.h"
+#include "nn/sequential.h"
+#include "quant/qlayers.h"
+#include "util/fixed_point.h"
+
+namespace t2c {
+
+enum class FusionMode {
+  kChannelWise,  ///< Eq. 15: gamma*/beta* live in the MulQuant (sub-8-bit safe)
+  kPreFuse       ///< Eq. 14: gamma folded into weights, then re-quantized
+};
+
+struct ConvertConfig {
+  FixedPointFormat scale_format{4, 12};  ///< INT(i=4, f=12) by default
+  FusionMode fusion = FusionMode::kChannelWise;
+  /// Output grid of the final classifier; 0 = auto (derived from the head's
+  /// weight/activation scales so the multipliers stay representable).
+  float logit_scale = 0.0F;
+  /// Per-entry TFLite-style multiplier normalization (each MulQuant entry
+  /// keeps the word width but gets its own binary point). Disable to hold
+  /// every entry to the uniform scale_format, as the paper's INT(i,f)
+  /// tables assume — see bench_ablation_fixedpoint for the consequences.
+  bool normalize_scales = true;
+  int softmax_lut_size = 256;
+  int softmax_prob_bits = 15;
+  int gelu_lut_size = 256;
+  LayerNormStats ln_stats = LayerNormStats::kInstant;
+  Shape input_shape;           ///< [C, H, W] of the deployed input
+};
+
+class T2CConverter {
+ public:
+  explicit T2CConverter(ConvertConfig cfg);
+
+  /// Converts a trained + calibrated model into the integer deploy graph.
+  DeployModel convert(Sequential& model) const;
+
+  const ConvertConfig& config() const { return cfg_; }
+
+ private:
+  struct Grid {
+    float scale = 1.0F;
+    std::int64_t qmin = 0;
+    std::int64_t qmax = 0;
+    /// True when the quantizer defining this grid consumes the value
+    /// immediately (no range-changing op such as pooling in between) — only
+    /// then may a producer clamp to [qmin, qmax]; otherwise it must keep
+    /// accumulator headroom and let the intermediate op clamp.
+    bool direct = true;
+  };
+  struct Cursor {
+    int id = 0;        ///< value id in the deploy graph
+    float scale = 1.0F;
+    Shape feat;        ///< feature shape without batch dim
+  };
+
+  static Grid grid_of(const QBase& q);
+  /// Consumer-defined grid of the first scale-defining module at or after
+  /// `from` in `seq`; falls back to `fallback`.
+  Grid consumer_grid(Sequential& seq, std::size_t from,
+                     const Grid& fallback) const;
+  static const QBase* first_input_quantizer(Module& m);
+
+  Cursor emit_sequential(DeployModel& dm, Sequential& seq, Cursor cur,
+                         const Grid& final_grid) const;
+  Cursor emit_conv_group(DeployModel& dm, QConv2d& conv, BatchNorm2d* bn,
+                         Module* act, Cursor cur, const Grid& out_grid,
+                         bool clamp_to_grid) const;
+  Cursor emit_linear(DeployModel& dm, QLinear& lin, Cursor cur,
+                     const Grid& out_grid, bool clamp_to_grid) const;
+  Cursor emit_residual(DeployModel& dm, ResidualBlock& block, Cursor cur,
+                       const Grid& out_grid) const;
+  Cursor emit_patch_embed(DeployModel& dm, class PatchEmbed& pe,
+                          Cursor cur) const;
+  Cursor emit_transformer(DeployModel& dm, class TransformerBlock& block,
+                          Cursor cur) const;
+  Cursor emit_layernorm(DeployModel& dm, LayerNorm& ln, Cursor cur,
+                        const Grid& out_grid) const;
+  /// Inserts a scalar requant if `cur` is not already on `to`'s scale.
+  Cursor requant_to(DeployModel& dm, Cursor cur, const Grid& to,
+                    const std::string& label) const;
+
+  ConvertConfig cfg_;
+};
+
+/// Sanity helper for tests/benches: asserts every quantizer in the model is
+/// frozen and zero-pointless, throwing with a diagnostic otherwise.
+void check_convertible(Module& model);
+
+}  // namespace t2c

@@ -1,0 +1,72 @@
+#include "fusion/mulquant.h"
+
+#include <cmath>
+
+namespace t2c {
+
+FixedPointFormat fit_format(const std::vector<double>& mul_real,
+                            const FixedPointFormat& base,
+                            bool allow_upshift) {
+  double max_m = 0.0;
+  for (double m : mul_real) max_m = std::max(max_m, std::fabs(m));
+  FixedPointFormat fmt = base;
+  double cap = static_cast<double>(fmt.max_raw()) * fmt.resolution();
+  while (fmt.frac_bits > 0 && max_m > cap) {
+    --fmt.frac_bits;
+    ++fmt.int_bits;
+    cap *= 2.0;
+  }
+  if (allow_upshift && max_m > 0.0) {
+    while (fmt.frac_bits < 30 && max_m <= cap / 2.0) {
+      ++fmt.frac_bits;
+      --fmt.int_bits;
+      cap /= 2.0;
+    }
+  }
+  return fmt;
+}
+
+MqParams make_mq_params(const std::vector<double>& mul_real,
+                        const std::vector<double>& bias_real,
+                        const FixedPointFormat& base, bool normalize) {
+  check(!mul_real.empty() && mul_real.size() == bias_real.size(),
+        "make_mq_params: mul/bias must be non-empty and equal-sized");
+  MqParams p;
+  p.mul.reserve(mul_real.size());
+  p.frac_bits.reserve(mul_real.size());
+  for (double m : mul_real) {
+    const FixedPointFormat fmt = fit_format({m}, base, normalize);
+    p.mul.push_back(to_fixed(m, fmt));
+    p.frac_bits.push_back(fmt.frac_bits);
+  }
+  p.bias.reserve(bias_real.size());
+  for (double b : bias_real) {
+    p.bias.push_back(static_cast<std::int64_t>(
+        std::llround(b * std::ldexp(1.0, p.bias_frac))));
+  }
+  return p;
+}
+
+std::unique_ptr<MulQuantOp> make_mulquant(const std::vector<double>& mul_real,
+                                          const std::vector<double>& bias_real,
+                                          const FixedPointFormat& fmt,
+                                          std::int64_t out_min,
+                                          std::int64_t out_max,
+                                          MqLayout layout, bool normalize) {
+  MqParams p = make_mq_params(mul_real, bias_real, fmt, normalize);
+  return std::make_unique<MulQuantOp>(std::move(p.mul), std::move(p.bias),
+                                      std::move(p.frac_bits), out_min,
+                                      out_max, layout, p.bias_frac);
+}
+
+std::unique_ptr<MulQuantOp> make_requant(double scale_from, double scale_to,
+                                         const FixedPointFormat& fmt,
+                                         std::int64_t out_min,
+                                         std::int64_t out_max,
+                                         bool normalize) {
+  check(scale_from > 0.0 && scale_to > 0.0, "make_requant: bad scales");
+  return make_mulquant({scale_from / scale_to}, {0.0}, fmt, out_min, out_max,
+                       MqLayout::kPerTensor, normalize);
+}
+
+}  // namespace t2c

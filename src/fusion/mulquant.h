@@ -1,0 +1,54 @@
+// Helpers that turn real-valued rescale factors into fixed-point MulQuant
+// parameters under a user-selected INT(i, f) split.
+#pragma once
+
+#include <vector>
+
+#include "deploy/int_ops.h"
+#include "util/fixed_point.h"
+
+namespace t2c {
+
+/// Fixed-point multipliers/biases for a MulQuant, plus the per-entry
+/// binary-point position (see MulQuantOp for why it is per entry).
+struct MqParams {
+  std::vector<std::int64_t> mul;
+  std::vector<std::int64_t> bias;   ///< in 2^-bias_frac accumulator units
+  std::vector<int> frac_bits;
+  int bias_frac = 8;
+};
+
+/// Binary-point fit at the format's total bit width. Downshifts (fewer
+/// fractional bits) when max|mul| would overflow; with `allow_upshift`
+/// also raises the point while everything still fits — the TFLite-style
+/// normalized multiplier+shift that keeps full word precision for small
+/// multipliers. Shifts are bounded to [0, 30].
+FixedPointFormat fit_format(const std::vector<double>& mul_real,
+                            const FixedPointFormat& base,
+                            bool allow_upshift = false);
+
+/// Quantizes real multipliers to per-entry fitted fixed-point words and
+/// rounds the accumulator-unit biases to plain integers. `normalize` = the
+/// per-entry upshift described above; without it the entries keep the
+/// user's uniform format (paper-style), downshifting only on overflow.
+MqParams make_mq_params(const std::vector<double>& mul_real,
+                        const std::vector<double>& bias_acc,
+                        const FixedPointFormat& fmt, bool normalize = true);
+
+/// Convenience: builds the op directly.
+std::unique_ptr<MulQuantOp> make_mulquant(const std::vector<double>& mul_real,
+                                          const std::vector<double>& bias_real,
+                                          const FixedPointFormat& fmt,
+                                          std::int64_t out_min,
+                                          std::int64_t out_max,
+                                          MqLayout layout,
+                                          bool normalize = true);
+
+/// Scalar requant between two activation grids (scale change only).
+std::unique_ptr<MulQuantOp> make_requant(double scale_from, double scale_to,
+                                         const FixedPointFormat& fmt,
+                                         std::int64_t out_min,
+                                         std::int64_t out_max,
+                                         bool normalize = true);
+
+}  // namespace t2c

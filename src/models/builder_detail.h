@@ -1,0 +1,69 @@
+// Internal helpers shared by the model builders. Not part of the public API.
+#pragma once
+
+#include "models/models.h"
+#include "nn/batchnorm.h"
+#include "nn/pooling.h"
+
+namespace t2c::detail {
+
+/// QConfig adjusted for a layer whose input is signed (stem convs see raw
+/// images; attention/MLP layers see LayerNorm output). PACT cannot quantize
+/// signed inputs, so those layers fall back to minmax observers.
+inline QConfig signed_input_cfg(QConfig q) {
+  q.act_unsigned = false;
+  if (q.act_quantizer == "pact") q.act_quantizer = "minmax";
+  return q;
+}
+
+/// Quantization recipe for the stem conv / classifier head, honouring the
+/// mixed-precision override of ModelConfig::stem_head_bits.
+inline QConfig stem_head_cfg(const ModelConfig& mc) {
+  QConfig q = signed_input_cfg(mc.qcfg);
+  if (mc.stem_head_bits > 0) {
+    q.wbits = mc.stem_head_bits;
+    q.abits = mc.stem_head_bits;
+  }
+  return q;
+}
+
+/// conv -> BN -> ReLU triple appended to `seq`.
+inline void add_conv_bn_relu(Sequential& seq, ConvSpec spec, Rng& rng,
+                             const QConfig& qcfg, bool signed_input,
+                             const std::string& label) {
+  const QConfig cfg = signed_input ? signed_input_cfg(qcfg) : qcfg;
+  auto& conv = seq.add<QConv2d>(spec, /*bias=*/false, rng, cfg);
+  conv.label = label;
+  seq.add<BatchNorm2d>(spec.out_channels).label = label + ".bn";
+  seq.add<ReLU>().label = label + ".relu";
+}
+
+/// conv -> BN (no activation; used before residual adds).
+inline void add_conv_bn(Sequential& seq, ConvSpec spec, Rng& rng,
+                        const QConfig& qcfg, const std::string& label) {
+  auto& conv = seq.add<QConv2d>(spec, /*bias=*/false, rng, qcfg);
+  conv.label = label;
+  seq.add<BatchNorm2d>(spec.out_channels).label = label + ".bn";
+}
+
+inline ConvSpec conv3x3(std::int64_t in, std::int64_t out, int stride) {
+  ConvSpec s;
+  s.in_channels = in;
+  s.out_channels = out;
+  s.kernel = 3;
+  s.stride = stride;
+  s.padding = 1;
+  return s;
+}
+
+inline ConvSpec conv1x1(std::int64_t in, std::int64_t out, int stride) {
+  ConvSpec s;
+  s.in_channels = in;
+  s.out_channels = out;
+  s.kernel = 1;
+  s.stride = stride;
+  s.padding = 0;
+  return s;
+}
+
+}  // namespace t2c::detail

@@ -1,0 +1,84 @@
+// MobileNet-V1 (Howard et al.): a 3x3 stem followed by 13 depthwise-
+// separable pairs (depthwise 3x3 + pointwise 1x1), ReLU6 activations,
+// global average pool, linear head. The depthwise convolutions exercise the
+// grouped-conv path of the integer deploy graph. Used by Table 2 (PROFIT /
+// AdaRound rows) and Table 4 (SSL transfer).
+#include "models/builder_detail.h"
+
+namespace t2c {
+
+namespace {
+
+void add_conv_bn_relu6(Sequential& seq, ConvSpec spec, Rng& rng,
+                       const QConfig& qcfg, bool signed_input,
+                       const std::string& label) {
+  const QConfig cfg = signed_input ? detail::signed_input_cfg(qcfg) : qcfg;
+  auto& conv = seq.add<QConv2d>(spec, /*bias=*/false, rng, cfg);
+  conv.label = label;
+  seq.add<BatchNorm2d>(spec.out_channels).label = label + ".bn";
+  seq.add<ReLU6>().label = label + ".relu6";
+}
+
+void add_dw_separable(Sequential& seq, std::int64_t in, std::int64_t out,
+                      int stride, Rng& rng, const QConfig& qcfg,
+                      const std::string& label) {
+  // Depthwise 3x3.
+  ConvSpec dw;
+  dw.in_channels = in;
+  dw.out_channels = in;
+  dw.kernel = 3;
+  dw.stride = stride;
+  dw.padding = 1;
+  dw.groups = static_cast<int>(in);
+  add_conv_bn_relu6(seq, dw, rng, qcfg, false, label + ".dw");
+  // Pointwise 1x1.
+  add_conv_bn_relu6(seq, detail::conv1x1(in, out, 1), rng, qcfg, false,
+                    label + ".pw");
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> make_mobilenet_v1(const ModelConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto net = std::make_unique<Sequential>();
+  net->label = "mobilenet_v1";
+
+  const auto ch = [&](std::int64_t base) {
+    return scale_channels(base, cfg.width_mult);
+  };
+
+  {
+    const QConfig scfg = detail::stem_head_cfg(cfg);
+    auto& conv = net->add<QConv2d>(detail::conv3x3(cfg.in_channels, ch(32), 1),
+                                   /*bias=*/false, rng, scfg);
+    conv.label = "stem";
+    net->add<BatchNorm2d>(ch(32)).label = "stem.bn";
+    net->add<ReLU6>().label = "stem.relu6";
+  }
+
+  // (out_channels, stride) of the 13 separable pairs; the original's
+  // stride-2 stem is stride-1 here because inputs are CIFAR-scale.
+  struct Stage {
+    std::int64_t out;
+    int stride;
+  };
+  const Stage stages[] = {{64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},
+                          {512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+                          {512, 1}, {1024, 2}, {1024, 1}};
+  std::int64_t in = ch(32);
+  int idx = 0;
+  for (const Stage& s : stages) {
+    const std::int64_t out = ch(s.out);
+    add_dw_separable(*net, in, out, s.stride, rng, cfg.qcfg,
+                     "sep" + std::to_string(idx++));
+    in = out;
+  }
+
+  net->add<GlobalAvgPool>().label = "gap";
+  auto& head = net->add<QLinear>(in, cfg.num_classes, /*bias=*/true, rng,
+                                 detail::stem_head_cfg(cfg));
+  head.label = "fc";
+  return net;
+}
+
+}  // namespace t2c

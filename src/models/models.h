@@ -1,0 +1,72 @@
+// Model zoo: the backbones the paper evaluates (ResNet-20/18/50,
+// MobileNet-V1, ViT), built from quantized layers so the same instance
+// serves fp32 training (quantizers bypassed), QAT, PTQ, and conversion.
+//
+// All builders honour `width_mult` — the 1-CPU substitution for the paper's
+// full-width models (DESIGN.md §4) — and wire the structural grammar the
+// T2C converter understands (Sequential / ResidualBlock / TransformerBlock).
+#pragma once
+
+#include <memory>
+
+#include "nn/sequential.h"
+#include "quant/qlayers.h"
+
+namespace t2c {
+
+struct ModelConfig {
+  int num_classes = 10;
+  int in_channels = 3;
+  float width_mult = 1.0F;
+  QConfig qcfg;                 ///< quantization recipe for every layer
+  /// Mixed precision: when nonzero, the stem conv and classifier head run
+  /// at this many bits regardless of qcfg (sub-4-bit recipes — PROFIT
+  /// included — conventionally keep the first and last layers at 8-bit).
+  int stem_head_bits = 0;
+  std::uint64_t seed = 42;
+  // ViT-only knobs
+  int vit_depth = 7;
+  int vit_dim = 64;
+  int vit_heads = 4;
+  int vit_patch = 4;
+  float vit_mlp_ratio = 2.0F;
+};
+
+/// Channel count after width scaling (multiple of 2, minimum 2).
+std::int64_t scale_channels(std::int64_t base, float width_mult);
+
+/// ResNet-20 for CIFAR-scale inputs (3 stages x 3 basic blocks).
+std::unique_ptr<Sequential> make_resnet20(const ModelConfig& cfg);
+
+/// ResNet-18 (basic blocks, stage widths 64/128/256/512, CIFAR-style stem).
+std::unique_ptr<Sequential> make_resnet18(const ModelConfig& cfg);
+
+/// ResNet-50 (bottleneck blocks, stages 3/4/6/3).
+std::unique_ptr<Sequential> make_resnet50(const ModelConfig& cfg);
+
+/// MobileNet-V1 (depthwise-separable stack, ReLU6).
+std::unique_ptr<Sequential> make_mobilenet_v1(const ModelConfig& cfg);
+
+/// Vision transformer (patch embed, `vit_depth` blocks, mean-pool head).
+std::unique_ptr<Sequential> make_vit(const ModelConfig& cfg);
+
+/// Total parameter count (weights + biases + norm affine; quantizer
+/// auxiliaries excluded) — used for the "# of Param" column of Table 2.
+std::int64_t count_model_params(Module& m);
+
+/// Model size in MB when weights are stored at `wbits` (Table 2's
+/// "Model Size" column): conv/linear weights at wbits, everything else at
+/// 32-bit.
+double model_size_mb(Module& m, int wbits);
+
+/// Turns every quantizer in the model on/off (bypass) — the fp32 baseline
+/// is the same network with quantizers bypassed.
+void set_quantizer_bypass(Module& m, bool bypass);
+
+/// Transfer-learning helper: copies all parameters and running statistics
+/// except the classifier head's (`tail_params` trailing parameters, default
+/// weight + bias). The two models may therefore differ in class count.
+void copy_backbone_params(Sequential& dst, Sequential& src,
+                          std::size_t tail_params = 2);
+
+}  // namespace t2c

@@ -1,0 +1,150 @@
+// ResNet-20 (He et al., CIFAR variant): 3 stages of 3 basic blocks over
+// widths {16, 32, 64} * width_mult, 3x3 stem, global average pool, linear
+// head. Used by Table 2 (SAWB+PACT rows).
+#include <cmath>
+
+#include "models/builder_detail.h"
+
+namespace t2c {
+
+std::int64_t scale_channels(std::int64_t base, float width_mult) {
+  const auto scaled = static_cast<std::int64_t>(
+      std::lround(static_cast<double>(base) * width_mult));
+  const std::int64_t even = (scaled / 2) * 2;
+  return std::max<std::int64_t>(2, even);
+}
+
+namespace {
+
+/// Basic residual block: (3x3 conv-BN-ReLU, 3x3 conv-BN) + shortcut.
+std::unique_ptr<ResidualBlock> basic_block(std::int64_t in, std::int64_t out,
+                                           int stride, Rng& rng,
+                                           const QConfig& qcfg,
+                                           const std::string& label) {
+  auto main = std::make_unique<Sequential>();
+  detail::add_conv_bn_relu(*main, detail::conv3x3(in, out, stride), rng, qcfg,
+                           /*signed_input=*/false, label + ".conv1");
+  detail::add_conv_bn(*main, detail::conv3x3(out, out, 1), rng, qcfg,
+                      label + ".conv2");
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in != out) {
+    shortcut = std::make_unique<Sequential>();
+    detail::add_conv_bn(*shortcut, detail::conv1x1(in, out, stride), rng,
+                        qcfg, label + ".down");
+  }
+  auto block = std::make_unique<ResidualBlock>(std::move(main),
+                                               std::move(shortcut));
+  block->label = label;
+  return block;
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> make_resnet20(const ModelConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto net = std::make_unique<Sequential>();
+  net->label = "resnet20";
+
+  const std::int64_t w1 = scale_channels(16, cfg.width_mult);
+  const std::int64_t w2 = scale_channels(32, cfg.width_mult);
+  const std::int64_t w3 = scale_channels(64, cfg.width_mult);
+
+  {
+    const QConfig scfg = detail::stem_head_cfg(cfg);
+    auto& conv = net->add<QConv2d>(detail::conv3x3(cfg.in_channels, w1, 1),
+                                   /*bias=*/false, rng, scfg);
+    conv.label = "stem";
+    net->add<BatchNorm2d>(w1).label = "stem.bn";
+    net->add<ReLU>().label = "stem.relu";
+  }
+
+  const std::int64_t widths[3] = {w1, w2, w3};
+  std::int64_t in = w1;
+  for (int stage = 0; stage < 3; ++stage) {
+    const std::int64_t out = widths[stage];
+    for (int b = 0; b < 3; ++b) {
+      const int stride = (stage > 0 && b == 0) ? 2 : 1;
+      net->add_module(basic_block(in, out, stride, rng, cfg.qcfg,
+                                  "stage" + std::to_string(stage + 1) +
+                                      ".block" + std::to_string(b)));
+      in = out;
+    }
+  }
+
+  net->add<GlobalAvgPool>().label = "gap";
+  auto& head = net->add<QLinear>(in, cfg.num_classes, /*bias=*/true, rng,
+                                 detail::stem_head_cfg(cfg));
+  head.label = "fc";
+  return net;
+}
+
+std::int64_t count_model_params(Module& m) {
+  std::int64_t total = 0;
+  for (Param* p : m.parameters()) {
+    // Quantizer auxiliaries (clip levels, rounding vars) are training-time
+    // state, not deployed parameters.
+    if (p->name.find('.') != std::string::npos &&
+        (p->name.rfind("pact.", 0) == 0 || p->name.rfind("lsq.", 0) == 0 ||
+         p->name.rfind("rcf.", 0) == 0 || p->name.rfind("adaround.", 0) == 0)) {
+      continue;
+    }
+    total += p->value.numel();
+  }
+  return total;
+}
+
+double model_size_mb(Module& m, int wbits) {
+  double bits = 0.0;
+  for (QLayer* q : collect_qlayers(m)) {
+    bits += static_cast<double>(q->weight_param().value.numel()) * wbits;
+  }
+  // Non-quantized leftovers (norm affine, biases) at 32-bit.
+  const std::int64_t all = count_model_params(m);
+  std::int64_t quantized = 0;
+  for (QLayer* q : collect_qlayers(m)) {
+    quantized += q->weight_param().value.numel();
+  }
+  bits += static_cast<double>(all - quantized) * 32.0;
+  return bits / 8.0 / 1024.0 / 1024.0;
+}
+
+void set_quantizer_bypass(Module& m, bool bypass) {
+  for (QBase* q : collect_all_quantizers(m)) q->set_bypass(bypass);
+}
+
+namespace {
+void copy_state_tree(Module& dst, Module& src) {
+  dst.copy_state_from(src);
+  std::vector<Module*> dk, sk;
+  dst.collect_children(dk);
+  src.collect_children(sk);
+  check(dk.size() == sk.size(),
+        "copy_backbone_params: module tree mismatch");
+  for (std::size_t i = 0; i < dk.size(); ++i) {
+    copy_state_tree(*dk[i], *sk[i]);
+  }
+}
+}  // namespace
+
+void copy_backbone_params(Sequential& dst, Sequential& src,
+                          std::size_t tail_params) {
+  auto dp = dst.parameters();
+  auto sp = src.parameters();
+  check(dp.size() == sp.size(),
+        "copy_backbone_params: parameter count mismatch");
+  check(dp.size() > tail_params, "copy_backbone_params: model too small");
+  for (std::size_t i = 0; i + tail_params < dp.size(); ++i) {
+    check(dp[i]->value.same_shape(sp[i]->value),
+          "copy_backbone_params: shape mismatch at parameter " +
+              std::to_string(i));
+    dp[i]->value = sp[i]->value;
+  }
+  // Running statistics live in the backbone (BN/LN), whose structure is
+  // identical; the differing heads carry no such state.
+  check(dst.size() == src.size(), "copy_backbone_params: depth mismatch");
+  for (std::size_t i = 0; i + 1 < dst.size(); ++i) {
+    copy_state_tree(dst.child(i), src.child(i));
+  }
+}
+
+}  // namespace t2c

@@ -1,0 +1,119 @@
+// ResNet-18 (basic blocks, stages 2/2/2/2) and ResNet-50 (bottleneck
+// blocks, stages 3/4/6/3). Stage widths 64/128/256/512 * width_mult
+// (bottleneck expansion 4). The 7x7-stride-2 + maxpool ImageNet stem is
+// replaced by a 3x3 stem because our substituted inputs are CIFAR-scale
+// (DESIGN.md §4); the stage topology — what fusion/extraction exercises —
+// is unchanged.
+#include "models/builder_detail.h"
+
+namespace t2c {
+
+namespace {
+
+std::unique_ptr<ResidualBlock> basic_block(std::int64_t in, std::int64_t out,
+                                           int stride, Rng& rng,
+                                           const QConfig& qcfg,
+                                           const std::string& label) {
+  auto main = std::make_unique<Sequential>();
+  detail::add_conv_bn_relu(*main, detail::conv3x3(in, out, stride), rng, qcfg,
+                           false, label + ".conv1");
+  detail::add_conv_bn(*main, detail::conv3x3(out, out, 1), rng, qcfg,
+                      label + ".conv2");
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in != out) {
+    shortcut = std::make_unique<Sequential>();
+    detail::add_conv_bn(*shortcut, detail::conv1x1(in, out, stride), rng,
+                        qcfg, label + ".down");
+  }
+  auto blk =
+      std::make_unique<ResidualBlock>(std::move(main), std::move(shortcut));
+  blk->label = label;
+  return blk;
+}
+
+/// Bottleneck: 1x1 reduce -> 3x3 -> 1x1 expand (x4), all with BN.
+std::unique_ptr<ResidualBlock> bottleneck_block(std::int64_t in,
+                                                std::int64_t mid, int stride,
+                                                Rng& rng, const QConfig& qcfg,
+                                                const std::string& label) {
+  const std::int64_t out = mid * 4;
+  auto main = std::make_unique<Sequential>();
+  detail::add_conv_bn_relu(*main, detail::conv1x1(in, mid, 1), rng, qcfg,
+                           false, label + ".conv1");
+  detail::add_conv_bn_relu(*main, detail::conv3x3(mid, mid, stride), rng,
+                           qcfg, false, label + ".conv2");
+  detail::add_conv_bn(*main, detail::conv1x1(mid, out, 1), rng, qcfg,
+                      label + ".conv3");
+  std::unique_ptr<Sequential> shortcut;
+  if (stride != 1 || in != out) {
+    shortcut = std::make_unique<Sequential>();
+    detail::add_conv_bn(*shortcut, detail::conv1x1(in, out, stride), rng,
+                        qcfg, label + ".down");
+  }
+  auto blk =
+      std::make_unique<ResidualBlock>(std::move(main), std::move(shortcut));
+  blk->label = label;
+  return blk;
+}
+
+std::unique_ptr<Sequential> make_resnet_backbone(const ModelConfig& cfg,
+                                                 const int* blocks,
+                                                 bool bottleneck,
+                                                 const std::string& name) {
+  Rng rng(cfg.seed);
+  auto net = std::make_unique<Sequential>();
+  net->label = name;
+
+  const std::int64_t base[4] = {
+      scale_channels(64, cfg.width_mult), scale_channels(128, cfg.width_mult),
+      scale_channels(256, cfg.width_mult),
+      scale_channels(512, cfg.width_mult)};
+
+  {
+    const QConfig scfg = detail::stem_head_cfg(cfg);
+    auto& conv = net->add<QConv2d>(
+        detail::conv3x3(cfg.in_channels, base[0], 1), /*bias=*/false, rng,
+        scfg);
+    conv.label = "stem";
+    net->add<BatchNorm2d>(base[0]).label = "stem.bn";
+    net->add<ReLU>().label = "stem.relu";
+  }
+
+  std::int64_t in = base[0];
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int b = 0; b < blocks[stage]; ++b) {
+      const int stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string label = "stage" + std::to_string(stage + 1) +
+                                ".block" + std::to_string(b);
+      if (bottleneck) {
+        net->add_module(
+            bottleneck_block(in, base[stage], stride, rng, cfg.qcfg, label));
+        in = base[stage] * 4;
+      } else {
+        net->add_module(
+            basic_block(in, base[stage], stride, rng, cfg.qcfg, label));
+        in = base[stage];
+      }
+    }
+  }
+
+  net->add<GlobalAvgPool>().label = "gap";
+  auto& head = net->add<QLinear>(in, cfg.num_classes, /*bias=*/true, rng,
+                                 detail::stem_head_cfg(cfg));
+  head.label = "fc";
+  return net;
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> make_resnet18(const ModelConfig& cfg) {
+  static constexpr int kBlocks[4] = {2, 2, 2, 2};
+  return make_resnet_backbone(cfg, kBlocks, /*bottleneck=*/false, "resnet18");
+}
+
+std::unique_ptr<Sequential> make_resnet50(const ModelConfig& cfg) {
+  static constexpr int kBlocks[4] = {3, 4, 6, 3};
+  return make_resnet_backbone(cfg, kBlocks, /*bottleneck=*/true, "resnet50");
+}
+
+}  // namespace t2c

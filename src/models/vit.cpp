@@ -1,0 +1,193 @@
+#include "models/vit.h"
+
+#include "models/builder_detail.h"
+#include "nn/activations.h"
+#include "tensor/elementwise.h"
+
+namespace t2c {
+
+PatchEmbed::PatchEmbed(std::int64_t in_channels, std::int64_t dim, int patch,
+                       Rng& rng, const QConfig& qcfg)
+    : dim_(dim) {
+  ConvSpec spec;
+  spec.in_channels = in_channels;
+  spec.out_channels = dim;
+  spec.kernel = patch;
+  spec.stride = patch;
+  spec.padding = 0;
+  proj_ = std::make_unique<QConv2d>(spec, /*bias=*/true, rng,
+                                    detail::signed_input_cfg(qcfg));
+  proj_->label = "patch_embed";
+  QSpec oq;
+  oq.nbits = qcfg.abits;
+  oq.is_unsigned = false;
+  out_q_ = make_quantizer("minmax", oq);
+}
+
+Tensor PatchEmbed::forward(const Tensor& x) {
+  Tensor y = proj_->forward(x);  // [N, D, h, w]
+  if (is_training()) conv_out_shape_ = y.shape();
+  const std::int64_t n = y.size(0), d = y.size(1), hw = y.size(2) * y.size(3);
+  // [N, D, hw] -> [N, hw, D]
+  Tensor out({n, hw, d});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t c = 0; c < d; ++c) {
+      for (std::int64_t t = 0; t < hw; ++t) {
+        out[(in * hw + t) * d + c] = y[(in * d + c) * hw + t];
+      }
+    }
+  }
+  // Residual-stream quantization (identity STE in backward).
+  return out_q_->forward(out, is_training() || is_calibrating());
+}
+
+void PatchEmbed::collect_local_quantizers(std::vector<QBase*>& out) {
+  out.push_back(out_q_.get());
+}
+
+Tensor PatchEmbed::backward(const Tensor& grad_out) {
+  check(!conv_out_shape_.empty(), "PatchEmbed::backward before forward");
+  const std::int64_t n = conv_out_shape_[0], d = conv_out_shape_[1],
+                     hw = conv_out_shape_[2] * conv_out_shape_[3];
+  Tensor g(conv_out_shape_);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t c = 0; c < d; ++c) {
+      for (std::int64_t t = 0; t < hw; ++t) {
+        g[(in * d + c) * hw + t] = grad_out[(in * hw + t) * d + c];
+      }
+    }
+  }
+  return proj_->backward(g);
+}
+
+void PatchEmbed::collect_children(std::vector<Module*>& out) {
+  out.push_back(proj_.get());
+}
+
+TransformerBlock::TransformerBlock(std::int64_t dim, std::int64_t heads,
+                                   std::int64_t mlp_hidden, Rng& rng,
+                                   const QConfig& qcfg) {
+  const QConfig scfg = detail::signed_input_cfg(qcfg);
+  ln1_ = std::make_unique<LayerNorm>(dim);
+  ln1_->label = "ln1";
+  attn_ = std::make_unique<QMultiheadAttention>(dim, heads, rng, qcfg);
+  attn_->label = "attn";
+  ln2_ = std::make_unique<LayerNorm>(dim);
+  ln2_->label = "ln2";
+  fc1_ = std::make_unique<QLinear>(dim, mlp_hidden, /*bias=*/true, rng, scfg);
+  fc1_->label = "mlp.fc1";
+  gelu_ = std::make_unique<GELU>();
+  gelu_->label = "mlp.gelu";
+  fc2_ = std::make_unique<QLinear>(mlp_hidden, dim, /*bias=*/true, rng, scfg);
+  fc2_->label = "mlp.fc2";
+  QSpec sq;
+  sq.nbits = qcfg.abits;
+  sq.is_unsigned = false;
+  res_q1_ = make_quantizer("minmax", sq);
+  res_q2_ = make_quantizer("minmax", sq);
+  gelu_in_q_ = make_quantizer("minmax", sq);
+}
+
+Tensor TransformerBlock::forward(const Tensor& x) {
+  const bool upd = is_training() || is_calibrating();
+  Tensor a = attn_->forward(ln1_->forward(x));
+  add_(a, x);  // a = x + attn(ln1(x))
+  a = res_q1_->forward(a, upd);
+  Tensor h = gelu_in_q_->forward(fc1_->forward(ln2_->forward(a)), upd);
+  Tensor m = fc2_->forward(gelu_->forward(h));
+  add_(m, a);  // y = a + mlp(ln2(a))
+  return res_q2_->forward(m, upd);
+}
+
+void TransformerBlock::collect_local_quantizers(std::vector<QBase*>& out) {
+  out.push_back(res_q1_.get());
+  out.push_back(res_q2_.get());
+  out.push_back(gelu_in_q_.get());
+}
+
+Tensor TransformerBlock::backward(const Tensor& grad_out) {
+  // y = a + mlp(ln2(a))
+  Tensor gm = fc1_->backward(gelu_->backward(fc2_->backward(grad_out)));
+  Tensor ga = ln2_->backward(gm);
+  add_(ga, grad_out);  // dL/da
+  // a = x + attn(ln1(x))
+  Tensor gat = attn_->backward(ga);
+  Tensor gx = ln1_->backward(gat);
+  add_(gx, ga);
+  return gx;
+}
+
+void TransformerBlock::collect_children(std::vector<Module*>& out) {
+  out.push_back(ln1_.get());
+  out.push_back(attn_.get());
+  out.push_back(ln2_.get());
+  out.push_back(fc1_.get());
+  out.push_back(gelu_.get());
+  out.push_back(fc2_.get());
+}
+
+Tensor MeanPoolTokens::forward(const Tensor& x) {
+  check(x.rank() == 3, "MeanPoolTokens expects [N,T,D]");
+  if (is_training()) in_shape_ = x.shape();
+  const std::int64_t n = x.size(0), t = x.size(1), d = x.size(2);
+  Tensor out({n, d}, 0.0F);
+  const float inv = 1.0F / static_cast<float>(t);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t it = 0; it < t; ++it) {
+      const float* row = x.data() + (in * t + it) * d;
+      float* o = out.data() + in * d;
+      for (std::int64_t i = 0; i < d; ++i) o[i] += row[i] * inv;
+    }
+  }
+  return out;
+}
+
+Tensor MeanPoolTokens::backward(const Tensor& grad_out) {
+  check(!in_shape_.empty(), "MeanPoolTokens::backward before forward");
+  const std::int64_t n = in_shape_[0], t = in_shape_[1], d = in_shape_[2];
+  Tensor g(in_shape_);
+  const float inv = 1.0F / static_cast<float>(t);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t it = 0; it < t; ++it) {
+      float* row = g.data() + (in * t + it) * d;
+      const float* go = grad_out.data() + in * d;
+      for (std::int64_t i = 0; i < d; ++i) row[i] = go[i] * inv;
+    }
+  }
+  return g;
+}
+
+std::unique_ptr<Sequential> make_vit(const ModelConfig& cfg) {
+  Rng rng(cfg.seed);
+  auto net = std::make_unique<Sequential>();
+  net->label = "vit" + std::to_string(cfg.vit_depth);
+
+  const auto dim = scale_channels(cfg.vit_dim, cfg.width_mult);
+  const auto hidden = scale_channels(
+      static_cast<std::int64_t>(static_cast<float>(cfg.vit_dim) *
+                                cfg.vit_mlp_ratio),
+      cfg.width_mult);
+  // Heads must divide dim.
+  std::int64_t heads = cfg.vit_heads;
+  while (heads > 1 && dim % heads != 0) --heads;
+
+  QConfig pe_cfg = cfg.qcfg;
+  if (cfg.stem_head_bits > 0) {
+    pe_cfg.wbits = cfg.stem_head_bits;
+    pe_cfg.abits = cfg.stem_head_bits;
+  }
+  net->add<PatchEmbed>(cfg.in_channels, dim, cfg.vit_patch, rng, pe_cfg)
+      .label = "patch_embed";
+  for (int i = 0; i < cfg.vit_depth; ++i) {
+    net->add<TransformerBlock>(dim, heads, hidden, rng, cfg.qcfg).label =
+        "block" + std::to_string(i);
+  }
+  net->add<LayerNorm>(dim).label = "norm";
+  net->add<MeanPoolTokens>().label = "pool";
+  auto& head = net->add<QLinear>(dim, cfg.num_classes, /*bias=*/true, rng,
+                                 detail::stem_head_cfg(cfg));
+  head.label = "head";
+  return net;
+}
+
+}  // namespace t2c

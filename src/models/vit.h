@@ -1,0 +1,87 @@
+// Vision Transformer building blocks (public because the T2C converter
+// pattern-matches on them when emitting the integer attention graph).
+#pragma once
+
+#include <memory>
+
+#include "models/models.h"
+#include "nn/layernorm.h"
+#include "quant/qattention.h"
+
+namespace t2c {
+
+/// Patchify: QConv2d with kernel == stride == patch, then [N,D,h,w] ->
+/// [N, h*w, D] token layout.
+class PatchEmbed final : public Module {
+ public:
+  PatchEmbed(std::int64_t in_channels, std::int64_t dim, int patch, Rng& rng,
+             const QConfig& qcfg);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_children(std::vector<Module*>& out) override;
+  std::string kind() const override { return "PatchEmbed"; }
+
+  QConv2d& proj() { return *proj_; }
+  std::int64_t dim() const { return dim_; }
+  /// Token-output quantizer: defines the residual-stream scale entering
+  /// block 0 of the deploy graph.
+  QBase& out_quant() { return *out_q_; }
+  void collect_local_quantizers(std::vector<QBase*>& out) override;
+
+ private:
+  std::int64_t dim_;
+  std::unique_ptr<QConv2d> proj_;
+  std::unique_ptr<QBase> out_q_;
+  Shape conv_out_shape_;
+};
+
+/// Pre-norm transformer block: x + MHA(LN(x)), then y + MLP(LN(y)).
+class TransformerBlock final : public Module {
+ public:
+  TransformerBlock(std::int64_t dim, std::int64_t heads,
+                   std::int64_t mlp_hidden, Rng& rng, const QConfig& qcfg);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_children(std::vector<Module*>& out) override;
+  std::string kind() const override { return "TransformerBlock"; }
+
+  LayerNorm& ln1() { return *ln1_; }
+  LayerNorm& ln2() { return *ln2_; }
+  QMultiheadAttention& attn() { return *attn_; }
+  QLinear& mlp_fc1() { return *fc1_; }
+  QLinear& mlp_fc2() { return *fc2_; }
+  /// Residual-stream quantizers (after each residual add) and the GELU
+  /// input quantizer: the integer deploy graph needs explicit scales at
+  /// these points, so the training path fake-quantizes them too
+  /// (identity-STE in backward).
+  QBase& res_quant1() { return *res_q1_; }
+  QBase& res_quant2() { return *res_q2_; }
+  QBase& gelu_in_quant() { return *gelu_in_q_; }
+  void collect_local_quantizers(std::vector<QBase*>& out) override;
+
+ private:
+  std::unique_ptr<LayerNorm> ln1_;
+  std::unique_ptr<QMultiheadAttention> attn_;
+  std::unique_ptr<LayerNorm> ln2_;
+  std::unique_ptr<QLinear> fc1_;
+  std::unique_ptr<GELU> gelu_;
+  std::unique_ptr<QLinear> fc2_;
+  std::unique_ptr<QBase> res_q1_;
+  std::unique_ptr<QBase> res_q2_;
+  std::unique_ptr<QBase> gelu_in_q_;
+};
+
+/// Token mean pooling: [N,T,D] -> [N,D] (cls-token-free head).
+class MeanPoolTokens final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "MeanPoolTokens"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace t2c

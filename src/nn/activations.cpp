@@ -1,0 +1,120 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace t2c {
+
+Tensor ReLU::forward(const Tensor& x) {
+  Tensor out(x.shape());
+  const bool train = is_training();
+  if (train) cached_mask_ = Tensor(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool on = x[i] > 0.0F;
+    out[i] = on ? x[i] : 0.0F;
+    if (train) cached_mask_[i] = on ? 1.0F : 0.0F;
+  }
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  check(!cached_mask_.empty(), "ReLU::backward before forward");
+  Tensor g(grad_out.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * cached_mask_[i];
+  }
+  return g;
+}
+
+Tensor ReLU6::forward(const Tensor& x) {
+  Tensor out(x.shape());
+  const bool train = is_training();
+  if (train) cached_mask_ = Tensor(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool on = x[i] > 0.0F && x[i] < cap_;
+    out[i] = std::min(cap_, std::max(0.0F, x[i]));
+    if (train) cached_mask_[i] = on ? 1.0F : 0.0F;
+  }
+  return out;
+}
+
+Tensor ReLU6::backward(const Tensor& grad_out) {
+  check(!cached_mask_.empty(), "ReLU6::backward before forward");
+  Tensor g(grad_out.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * cached_mask_[i];
+  }
+  return g;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654F;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715F;
+}  // namespace
+
+float gelu_value(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  return 0.5F * x * (1.0F + std::tanh(u));
+}
+
+float gelu_derivative(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  const float t = std::tanh(u);
+  const float du = kGeluC * (1.0F + 3.0F * kGeluA * x * x);
+  return 0.5F * (1.0F + t) + 0.5F * x * (1.0F - t * t) * du;
+}
+
+Tensor GELU::forward(const Tensor& x) {
+  if (is_training()) cached_x_ = x;
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) out[i] = gelu_value(x[i]);
+  return out;
+}
+
+Tensor GELU::backward(const Tensor& grad_out) {
+  check(!cached_x_.empty(), "GELU::backward before forward");
+  Tensor g(grad_out.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * gelu_derivative(cached_x_[i]);
+  }
+  return g;
+}
+
+Tensor softmax_lastdim(const Tensor& x) {
+  check(x.rank() >= 1, "softmax on scalar");
+  const std::int64_t d = x.size(x.rank() - 1);
+  const std::int64_t rows = x.numel() / d;
+  Tensor out(x.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* px = x.data() + r * d;
+    float* po = out.data() + r * d;
+    float mx = px[0];
+    for (std::int64_t i = 1; i < d; ++i) mx = std::max(mx, px[i]);
+    double denom = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) {
+      po[i] = std::exp(px[i] - mx);
+      denom += po[i];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t i = 0; i < d; ++i) po[i] *= inv;
+  }
+  return out;
+}
+
+Tensor softmax_backward_lastdim(const Tensor& p, const Tensor& grad_out) {
+  check(p.same_shape(grad_out), "softmax_backward: shape mismatch");
+  const std::int64_t d = p.size(p.rank() - 1);
+  const std::int64_t rows = p.numel() / d;
+  Tensor g(p.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* pp = p.data() + r * d;
+    const float* pg = grad_out.data() + r * d;
+    float* po = g.data() + r * d;
+    double dot = 0.0;
+    for (std::int64_t i = 0; i < d; ++i) dot += static_cast<double>(pg[i]) * pp[i];
+    const float fdot = static_cast<float>(dot);
+    for (std::int64_t i = 0; i < d; ++i) po[i] = pp[i] * (pg[i] - fdot);
+  }
+  return g;
+}
+
+}  // namespace t2c

@@ -1,0 +1,58 @@
+// Pointwise nonlinearities with explicit backward passes.
+//
+// GELU uses the tanh approximation (the variant the LUT deploy path also
+// tabulates), so the train path and the LUT reference agree analytically.
+#pragma once
+
+#include "nn/module.h"
+
+namespace t2c {
+
+class ReLU final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_mask_;
+};
+
+/// Clipped ReLU: min(max(x, 0), cap). MobileNet-V1 uses cap = 6.
+class ReLU6 final : public Module {
+ public:
+  explicit ReLU6(float cap = 6.0F) : cap_(cap) {}
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "ReLU6"; }
+  float cap() const { return cap_; }
+
+ private:
+  float cap_;
+  Tensor cached_mask_;
+};
+
+/// Scalar gelu (tanh approximation) and its derivative — shared by the
+/// module below, the ViT MLP, and the LUT builder.
+float gelu_value(float x);
+float gelu_derivative(float x);
+
+class GELU final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "GELU"; }
+
+ private:
+  Tensor cached_x_;
+};
+
+/// Numerically-stable softmax over the last dimension (free function: the
+/// attention module and losses use it directly).
+Tensor softmax_lastdim(const Tensor& x);
+
+/// Backward of softmax given its output p and upstream grad g:
+/// dz = p * (g - sum(g * p)) per row.
+Tensor softmax_backward_lastdim(const Tensor& p, const Tensor& grad_out);
+
+}  // namespace t2c

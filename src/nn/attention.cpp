@@ -1,0 +1,144 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "tensor/elementwise.h"
+#include "tensor/matmul.h"
+
+namespace t2c {
+
+Tensor split_heads(const Tensor& qkv, int which, std::int64_t heads) {
+  check(qkv.rank() == 3, "split_heads expects [N,T,3D]");
+  check(which >= 0 && which < 3, "split_heads: which must be 0..2");
+  const std::int64_t n = qkv.size(0), t = qkv.size(1);
+  const std::int64_t d3 = qkv.size(2);
+  check(d3 % 3 == 0, "split_heads: last dim not divisible by 3");
+  const std::int64_t d = d3 / 3;
+  check(d % heads == 0, "split_heads: dim not divisible by heads");
+  const std::int64_t dh = d / heads;
+  Tensor out({n * heads, t, dh});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      for (std::int64_t it = 0; it < t; ++it) {
+        const float* src =
+            qkv.data() + (in * t + it) * d3 + which * d + h * dh;
+        float* dst = out.data() + ((in * heads + h) * t + it) * dh;
+        std::copy(src, src + dh, dst);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor merge_heads(const Tensor& x, std::int64_t heads) {
+  check(x.rank() == 3, "merge_heads expects [NH,T,dh]");
+  const std::int64_t nh = x.size(0), t = x.size(1), dh = x.size(2);
+  check(nh % heads == 0, "merge_heads: batch not divisible by heads");
+  const std::int64_t n = nh / heads;
+  const std::int64_t d = heads * dh;
+  Tensor out({n, t, d});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      for (std::int64_t it = 0; it < t; ++it) {
+        const float* src = x.data() + ((in * heads + h) * t + it) * dh;
+        float* dst = out.data() + (in * t + it) * d + h * dh;
+        std::copy(src, src + dh, dst);
+      }
+    }
+  }
+  return out;
+}
+
+void scatter_heads(const Tensor& g, int which, std::int64_t heads,
+                   Tensor& grad_qkv) {
+  check(g.rank() == 3 && grad_qkv.rank() == 3, "scatter_heads: rank mismatch");
+  const std::int64_t nh = g.size(0), t = g.size(1), dh = g.size(2);
+  const std::int64_t n = nh / heads;
+  const std::int64_t d = heads * dh;
+  const std::int64_t d3 = grad_qkv.size(2);
+  check(d3 == 3 * d && grad_qkv.size(0) == n && grad_qkv.size(1) == t,
+        "scatter_heads: grad_qkv shape mismatch");
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t h = 0; h < heads; ++h) {
+      for (std::int64_t it = 0; it < t; ++it) {
+        const float* src = g.data() + ((in * heads + h) * t + it) * dh;
+        float* dst = grad_qkv.data() + (in * t + it) * d3 + which * d + h * dh;
+        for (std::int64_t i = 0; i < dh; ++i) dst[i] += src[i];
+      }
+    }
+  }
+}
+
+MultiheadAttention::MultiheadAttention(std::int64_t dim, std::int64_t heads,
+                                       Rng& rng)
+    : dim_(dim), heads_(heads) {
+  check(dim > 0 && heads > 0 && dim % heads == 0,
+        "MultiheadAttention: dim must be divisible by heads");
+  scale_ = 1.0F / std::sqrt(static_cast<float>(dim / heads));
+  qkv_ = std::make_unique<Linear>(dim, 3 * dim, /*bias=*/true, rng);
+  qkv_->label = "attn.qkv";
+  proj_ = std::make_unique<Linear>(dim, dim, /*bias=*/true, rng);
+  proj_->label = "attn.proj";
+}
+
+Tensor MultiheadAttention::forward(const Tensor& x) {
+  check(x.rank() == 3 && x.size(2) == dim_,
+        "MultiheadAttention expects [N,T,D] with D=" + std::to_string(dim_));
+  Tensor qkv = qkv_->forward(x);
+  Tensor q = split_heads(qkv, 0, heads_);
+  Tensor k = split_heads(qkv, 1, heads_);
+  Tensor v = split_heads(qkv, 2, heads_);
+
+  Tensor logits = bmm(q, k, false, true);  // [NH, T, T]
+  mul_scalar_(logits, scale_);
+  Tensor p = softmax_lastdim(logits);
+  Tensor ctx = bmm(p, v);  // [NH, T, dh]
+  if (is_training()) {
+    cached_q_ = std::move(q);
+    cached_k_ = std::move(k);
+    cached_v_ = std::move(v);
+    cached_p_ = p;
+  }
+  Tensor merged = merge_heads(ctx, heads_);
+  return proj_->forward(merged);
+}
+
+Tensor MultiheadAttention::backward(const Tensor& grad_out) {
+  check(!cached_p_.empty(), "MultiheadAttention::backward before forward");
+  Tensor g_merged = proj_->backward(grad_out);  // [N,T,D]
+  // Un-merge to head-major; reuse split_heads by padding into a fake qkv
+  // layout is wasteful, so do it directly.
+  const std::int64_t n = g_merged.size(0), t = g_merged.size(1);
+  const std::int64_t dh = dim_ / heads_;
+  Tensor g_ctx({n * heads_, t, dh});
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t h = 0; h < heads_; ++h) {
+      for (std::int64_t it = 0; it < t; ++it) {
+        const float* src = g_merged.data() + (in * t + it) * dim_ + h * dh;
+        float* dst = g_ctx.data() + ((in * heads_ + h) * t + it) * dh;
+        std::copy(src, src + dh, dst);
+      }
+    }
+  }
+
+  Tensor g_p = bmm(g_ctx, cached_v_, false, true);        // [NH,T,T]
+  Tensor g_v = bmm(cached_p_, g_ctx, true, false);        // [NH,T,dh]
+  Tensor g_logits = softmax_backward_lastdim(cached_p_, g_p);
+  mul_scalar_(g_logits, scale_);
+  Tensor g_q = bmm(g_logits, cached_k_);                  // [NH,T,dh]
+  Tensor g_k = bmm(g_logits, cached_q_, true, false);     // [NH,T,dh]
+
+  Tensor g_qkv({n, t, 3 * dim_}, 0.0F);
+  scatter_heads(g_q, 0, heads_, g_qkv);
+  scatter_heads(g_k, 1, heads_, g_qkv);
+  scatter_heads(g_v, 2, heads_, g_qkv);
+  return qkv_->backward(g_qkv);
+}
+
+void MultiheadAttention::collect_children(std::vector<Module*>& out) {
+  out.push_back(qkv_.get());
+  out.push_back(proj_.get());
+}
+
+}  // namespace t2c

@@ -1,0 +1,53 @@
+// Multi-head self-attention (float training path) for the ViT backbone.
+//
+// Layout convention: tokens are [N, T, D]; heads are flattened into the
+// batch dimension as [N*H, T, D/H] for the batched matmuls, mirroring how
+// the integer deploy path tiles the MAC array.
+#pragma once
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace t2c {
+
+/// Rearranges one of the q/k/v thirds of a fused [N,T,3D] projection into
+/// head-major [N*H, T, D/H]. `which` = 0 (q), 1 (k), 2 (v).
+Tensor split_heads(const Tensor& qkv, int which, std::int64_t heads);
+
+/// Inverse of split_heads for a single stream: [N*H, T, dh] -> [N, T, D].
+Tensor merge_heads(const Tensor& x, std::int64_t heads);
+
+/// Scatters a head-major gradient back into the fused-qkv layout
+/// (accumulates into `grad_qkv`, which must be [N,T,3D]).
+void scatter_heads(const Tensor& g, int which, std::int64_t heads,
+                   Tensor& grad_qkv);
+
+class MultiheadAttention : public Module {
+ public:
+  MultiheadAttention(std::int64_t dim, std::int64_t heads, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_children(std::vector<Module*>& out) override;
+  std::string kind() const override { return "MultiheadAttention"; }
+
+  std::int64_t dim() const { return dim_; }
+  std::int64_t heads() const { return heads_; }
+  Linear& qkv() { return *qkv_; }
+  Linear& proj() { return *proj_; }
+
+ protected:
+  std::int64_t dim_;
+  std::int64_t heads_;
+  float scale_;  ///< 1/sqrt(dh)
+  std::unique_ptr<Linear> qkv_;
+  std::unique_ptr<Linear> proj_;
+
+  // caches (kTrain)
+  Tensor cached_q_, cached_k_, cached_v_;  ///< [NH, T, dh]
+  Tensor cached_p_;                        ///< attention probs [NH, T, T]
+};
+
+}  // namespace t2c

@@ -1,0 +1,116 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+#include "tensor/reduce.h"
+
+namespace t2c {
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : channels_(channels), eps_(eps), momentum_(momentum) {
+  check(channels > 0, "BatchNorm2d: channels must be positive");
+  gamma_ = Param("gamma", {channels_});
+  gamma_.value.fill(1.0F);
+  beta_ = Param("beta", {channels_});
+  beta_.value.zero();
+  running_mean_ = Tensor({channels_}, 0.0F);
+  running_var_ = Tensor({channels_}, 1.0F);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x) {
+  check(x.rank() == 4 && x.size(1) == channels_,
+        "BatchNorm2d: expected NCHW with C=" + std::to_string(channels_));
+  const std::int64_t n = x.size(0), c = channels_, hw = x.size(2) * x.size(3);
+
+  Tensor mean_c, var_c;
+  if (is_training()) {
+    channel_mean_var(x, mean_c, var_c);
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      running_mean_[ic] =
+          (1.0F - momentum_) * running_mean_[ic] + momentum_ * mean_c[ic];
+      running_var_[ic] =
+          (1.0F - momentum_) * running_var_[ic] + momentum_ * var_c[ic];
+    }
+  } else {
+    mean_c = running_mean_;
+    var_c = running_var_;
+  }
+
+  Tensor out(x.shape());
+  Tensor xhat;
+  if (is_training()) xhat = Tensor(x.shape());
+  Tensor inv_std({c});
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    inv_std[ic] = 1.0F / std::sqrt(var_c[ic] + eps_);
+  }
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float m = mean_c[ic];
+      const float is = inv_std[ic];
+      const float g = gamma_.value[ic];
+      const float b = beta_.value[ic];
+      const std::int64_t base = (in * c + ic) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const float xh = (x[base + i] - m) * is;
+        if (is_training()) xhat[base + i] = xh;
+        out[base + i] = g * xh + b;
+      }
+    }
+  }
+  if (is_training()) {
+    cached_xhat_ = std::move(xhat);
+    cached_inv_std_ = std::move(inv_std);
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  check(!cached_xhat_.empty(), "BatchNorm2d::backward before forward");
+  const Tensor& xhat = cached_xhat_;
+  const std::int64_t n = grad_out.size(0), c = channels_,
+                     hw = grad_out.size(2) * grad_out.size(3);
+  const double count = static_cast<double>(n * hw);
+
+  Tensor grad_x(grad_out.shape());
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    // Channel-wise sums of g and g*xhat.
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::int64_t in = 0; in < n; ++in) {
+      const std::int64_t base = (in * c + ic) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        sum_g += grad_out[base + i];
+        sum_gx += static_cast<double>(grad_out[base + i]) * xhat[base + i];
+      }
+    }
+    beta_.grad[ic] += static_cast<float>(sum_g);
+    gamma_.grad[ic] += static_cast<float>(sum_gx);
+
+    const float g = gamma_.value[ic];
+    const float is = cached_inv_std_[ic];
+    const float mg = static_cast<float>(sum_g / count);
+    const float mgx = static_cast<float>(sum_gx / count);
+    for (std::int64_t in = 0; in < n; ++in) {
+      const std::int64_t base = (in * c + ic) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        grad_x[base + i] =
+            g * is * (grad_out[base + i] - mg - xhat[base + i] * mgx);
+      }
+    }
+  }
+  return grad_x;
+}
+
+void BatchNorm2d::copy_state_from(const Module& src) {
+  const auto* other = dynamic_cast<const BatchNorm2d*>(&src);
+  check(other != nullptr && other->channels() == channels_,
+        "BatchNorm2d::copy_state_from: incompatible source");
+  running_mean_ = other->running_mean_;
+  running_var_ = other->running_var_;
+}
+
+void BatchNorm2d::collect_local_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace t2c

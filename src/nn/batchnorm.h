@@ -1,0 +1,46 @@
+// BatchNorm2d over NCHW activations, with running statistics for eval.
+//
+// The fusion stage (src/fusion) later folds (gamma, beta, running stats)
+// either into the conv weights ("pre-fusing", 8-bit) or into a channel-wise
+// MulQuant (sub-8-bit), per the paper's Eq. 8-15.
+#pragma once
+
+#include "nn/module.h"
+
+namespace t2c {
+
+class BatchNorm2d final : public Module {
+ public:
+  explicit BatchNorm2d(std::int64_t channels, float eps = 1e-5F,
+                       float momentum = 0.1F);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_local_params(std::vector<Param*>& out) override;
+  std::string kind() const override { return "BatchNorm2d"; }
+
+  std::int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+  Tensor& mutable_running_mean() { return running_mean_; }
+  Tensor& mutable_running_var() { return running_var_; }
+  void copy_state_from(const Module& src) override;
+
+ private:
+  std::int64_t channels_;
+  float eps_;
+  float momentum_;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // caches (kTrain)
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  ///< [C]
+};
+
+}  // namespace t2c

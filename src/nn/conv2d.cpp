@@ -1,0 +1,60 @@
+#include "nn/conv2d.h"
+
+#include "tensor/elementwise.h"
+
+namespace t2c {
+
+Conv2d::Conv2d(ConvSpec spec, bool bias, Rng& rng)
+    : spec_(spec), has_bias_(bias) {
+  spec_.validate();
+  const std::int64_t icg = spec_.in_channels / spec_.groups;
+  weight_ = Param("weight",
+                  {spec_.out_channels, icg, spec_.kernel, spec_.kernel});
+  const std::int64_t fan_in = icg * spec_.kernel * spec_.kernel;
+  init_kaiming(weight_.value, fan_in, rng);
+  if (has_bias_) {
+    bias_ = Param("bias", {spec_.out_channels});
+    bias_.value.zero();
+  }
+}
+
+Param& Conv2d::bias() {
+  check(has_bias_, "Conv2d has no bias parameter");
+  return bias_;
+}
+
+Tensor Conv2d::run_forward(const Tensor& x_eff, const Tensor& w_eff) {
+  if (is_training()) {
+    cached_x_ = x_eff;
+    cached_w_ = w_eff;
+  }
+  const Tensor* b = has_bias_ ? &bias_.value : nullptr;
+  return conv2d_forward(x_eff, w_eff, b, spec_);
+}
+
+void Conv2d::run_backward(const Tensor& grad_out, Tensor& grad_x_eff,
+                          Tensor& grad_w_eff) {
+  check(!cached_x_.empty(), "Conv2d::backward before forward");
+  Tensor* gb = has_bias_ ? &bias_.grad : nullptr;
+  grad_w_eff = conv2d_backward_weight(grad_out, cached_x_, spec_, gb);
+  grad_x_eff =
+      conv2d_backward_input(grad_out, cached_w_, spec_, cached_x_.shape());
+}
+
+Tensor Conv2d::forward(const Tensor& x) {
+  return run_forward(x, weight_.value);
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  Tensor grad_x, grad_w;
+  run_backward(grad_out, grad_x, grad_w);
+  add_(weight_.grad, grad_w);
+  return grad_x;
+}
+
+void Conv2d::collect_local_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace t2c

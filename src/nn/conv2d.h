@@ -1,0 +1,45 @@
+// Float 2-D convolution layer (training path). QConv2d (src/quant) derives
+// from this and injects fake-quantization around the same kernels.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/conv_ops.h"
+
+namespace t2c {
+
+class Conv2d : public Module {
+ public:
+  /// Creates a convolution; weights are Kaiming-initialized from `rng`.
+  Conv2d(ConvSpec spec, bool bias, Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_local_params(std::vector<Param*>& out) override;
+  std::string kind() const override { return "Conv2d"; }
+
+  const ConvSpec& spec() const { return spec_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  bool has_bias() const { return has_bias_; }
+  Param& bias();
+
+ protected:
+  /// Shared forward given an effective (possibly fake-quantized) weight /
+  /// input pair; caches what backward needs when training.
+  Tensor run_forward(const Tensor& x_eff, const Tensor& w_eff);
+  /// Shared backward producing grads w.r.t. the *effective* inputs; the
+  /// caller (this class or QConv2d) routes them through quantizer STE.
+  void run_backward(const Tensor& grad_out, Tensor& grad_x_eff,
+                    Tensor& grad_w_eff);
+
+  ConvSpec spec_;
+  Param weight_;
+  Param bias_;
+  bool has_bias_ = false;
+
+  // caches (kTrain only)
+  Tensor cached_x_;  ///< effective (post-activation-quant) input
+  Tensor cached_w_;  ///< effective (post-fake-quant) weight
+};
+
+}  // namespace t2c

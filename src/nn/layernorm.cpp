@@ -1,0 +1,106 @@
+#include "nn/layernorm.h"
+
+#include <cmath>
+
+namespace t2c {
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps, float momentum)
+    : dim_(dim), eps_(eps), momentum_(momentum) {
+  check(dim > 0, "LayerNorm: dim must be positive");
+  gamma_ = Param("gamma", {dim_});
+  gamma_.value.fill(1.0F);
+  beta_ = Param("beta", {dim_});
+  beta_.value.zero();
+}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  check(x.rank() >= 2 && x.size(x.rank() - 1) == dim_,
+        "LayerNorm: last dim must be " + std::to_string(dim_));
+  const std::int64_t rows = x.numel() / dim_;
+  Tensor out(x.shape());
+  const bool train = is_training();
+  Tensor xhat, inv_std;
+  if (train) {
+    xhat = Tensor(x.shape());
+    inv_std = Tensor({rows});
+  }
+  const bool use_running =
+      !train && stats_mode_ == LayerNormStats::kRunning;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* px = x.data() + r * dim_;
+    float* po = out.data() + r * dim_;
+    float m, v;
+    if (use_running) {
+      m = running_mean_;
+      v = running_var_;
+    } else {
+      double s = 0.0, s2 = 0.0;
+      for (std::int64_t i = 0; i < dim_; ++i) {
+        s += px[i];
+        s2 += static_cast<double>(px[i]) * px[i];
+      }
+      m = static_cast<float>(s / static_cast<double>(dim_));
+      v = static_cast<float>(
+          std::max(0.0, s2 / static_cast<double>(dim_) - m * m));
+      if (train) {
+        running_mean_ = (1.0F - momentum_) * running_mean_ + momentum_ * m;
+        running_var_ = (1.0F - momentum_) * running_var_ + momentum_ * v;
+      }
+    }
+    const float is = 1.0F / std::sqrt(v + eps_);
+    if (train) inv_std[r] = is;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      const float xh = (px[i] - m) * is;
+      if (train) xhat[r * dim_ + i] = xh;
+      po[i] = gamma_.value[i] * xh + beta_.value[i];
+    }
+  }
+  if (train) {
+    cached_xhat_ = std::move(xhat);
+    cached_inv_std_ = std::move(inv_std);
+  }
+  return out;
+}
+
+Tensor LayerNorm::backward(const Tensor& grad_out) {
+  check(!cached_xhat_.empty(), "LayerNorm::backward before forward");
+  const std::int64_t rows = grad_out.numel() / dim_;
+  Tensor grad_x(grad_out.shape());
+  const float inv_d = 1.0F / static_cast<float>(dim_);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* g = grad_out.data() + r * dim_;
+    const float* xh = cached_xhat_.data() + r * dim_;
+    float* gx = grad_x.data() + r * dim_;
+    double sum_dxh = 0.0, sum_dxh_xh = 0.0;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      const double dxh = static_cast<double>(g[i]) * gamma_.value[i];
+      sum_dxh += dxh;
+      sum_dxh_xh += dxh * xh[i];
+      gamma_.grad[i] += g[i] * xh[i];
+      beta_.grad[i] += g[i];
+    }
+    const float is = cached_inv_std_[r];
+    const float mdxh = static_cast<float>(sum_dxh) * inv_d;
+    const float mdxx = static_cast<float>(sum_dxh_xh) * inv_d;
+    for (std::int64_t i = 0; i < dim_; ++i) {
+      const float dxh = g[i] * gamma_.value[i];
+      gx[i] = is * (dxh - mdxh - xh[i] * mdxx);
+    }
+  }
+  return grad_x;
+}
+
+void LayerNorm::copy_state_from(const Module& src) {
+  const auto* other = dynamic_cast<const LayerNorm*>(&src);
+  check(other != nullptr && other->dim() == dim_,
+        "LayerNorm::copy_state_from: incompatible source");
+  running_mean_ = other->running_mean_;
+  running_var_ = other->running_var_;
+}
+
+void LayerNorm::collect_local_params(std::vector<Param*>& out) {
+  out.push_back(&gamma_);
+  out.push_back(&beta_);
+}
+
+}  // namespace t2c

@@ -1,0 +1,56 @@
+// LayerNorm over the last dimension, as used by the ViT blocks.
+//
+// Torch2Chip makes LayerNorm deployable in two flavours (paper §3.2.2):
+//  * kInstant — mean/var computed on the fly per token (higher latency on
+//    hardware, exact);
+//  * kRunning — pre-computed running statistics collected during
+//    training/calibration (lower latency, approximate).
+// Both are exposed here; the deploy graph picks whichever the layer is set
+// to at conversion time.
+#pragma once
+
+#include "nn/module.h"
+
+namespace t2c {
+
+enum class LayerNormStats { kInstant, kRunning };
+
+class LayerNorm final : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5F,
+                     float momentum = 0.05F);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_local_params(std::vector<Param*>& out) override;
+  std::string kind() const override { return "LayerNorm"; }
+
+  std::int64_t dim() const { return dim_; }
+  float eps() const { return eps_; }
+  Param& gamma() { return gamma_; }
+  Param& beta() { return beta_; }
+
+  /// Selects instant vs running statistics for eval / deployment.
+  void set_stats_mode(LayerNormStats m) { stats_mode_ = m; }
+  LayerNormStats stats_mode() const { return stats_mode_; }
+  /// Scalar running statistics (collected over all tokens while training).
+  float running_mean() const { return running_mean_; }
+  float running_var() const { return running_var_; }
+  void copy_state_from(const Module& src) override;
+
+ private:
+  std::int64_t dim_;
+  float eps_;
+  float momentum_;
+  Param gamma_;
+  Param beta_;
+  LayerNormStats stats_mode_ = LayerNormStats::kInstant;
+  float running_mean_ = 0.0F;
+  float running_var_ = 1.0F;
+
+  // caches (kTrain)
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  ///< one per row
+};
+
+}  // namespace t2c

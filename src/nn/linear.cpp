@@ -1,0 +1,80 @@
+#include "nn/linear.h"
+
+#include "tensor/elementwise.h"
+#include "tensor/matmul.h"
+
+namespace t2c {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+               Rng& rng)
+    : in_(in_features), out_(out_features), has_bias_(bias) {
+  check(in_ > 0 && out_ > 0, "Linear: feature counts must be positive");
+  weight_ = Param("weight", {out_, in_});
+  init_kaiming(weight_.value, in_, rng);
+  if (has_bias_) {
+    bias_ = Param("bias", {out_});
+    bias_.value.zero();
+  }
+}
+
+Param& Linear::bias() {
+  check(has_bias_, "Linear has no bias parameter");
+  return bias_;
+}
+
+Tensor Linear::run_forward(const Tensor& x_eff, const Tensor& w_eff) {
+  check(x_eff.rank() == 2 || x_eff.rank() == 3,
+        "Linear expects [N,IN] or [N,T,IN]");
+  check(x_eff.size(x_eff.rank() - 1) == in_, "Linear: input feature mismatch");
+  Tensor rows = x_eff.reshaped({x_eff.numel() / in_, in_});
+  if (is_training()) {
+    cached_x_rows_ = rows;
+    cached_w_ = w_eff;
+    in_shape_ = x_eff.shape();
+  }
+  Tensor y = matmul(rows, w_eff, false, true);  // [rows, out]
+  if (has_bias_) {
+    float* py = y.data();
+    const std::int64_t r = y.size(0);
+    for (std::int64_t i = 0; i < r; ++i) {
+      for (std::int64_t j = 0; j < out_; ++j) py[i * out_ + j] += bias_.value[j];
+    }
+  }
+  Shape out_shape = x_eff.shape();
+  out_shape.back() = out_;
+  y.reshape(std::move(out_shape));
+  return y;
+}
+
+void Linear::run_backward(const Tensor& grad_out, Tensor& grad_x_eff,
+                          Tensor& grad_w_eff) {
+  check(!cached_x_rows_.empty(), "Linear::backward before forward");
+  Tensor grows = grad_out.reshaped({grad_out.numel() / out_, out_});
+  grad_w_eff = matmul(grows, cached_x_rows_, true, false);  // [out, in]
+  grad_x_eff = matmul(grows, cached_w_, false, false);      // [rows, in]
+  grad_x_eff.reshape(in_shape_);
+  if (has_bias_) {
+    const std::int64_t r = grows.size(0);
+    for (std::int64_t i = 0; i < r; ++i) {
+      for (std::int64_t j = 0; j < out_; ++j) {
+        bias_.grad[j] += grows[i * out_ + j];
+      }
+    }
+  }
+}
+
+Tensor Linear::forward(const Tensor& x) { return run_forward(x, weight_.value); }
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  Tensor grad_x, grad_w;
+  run_backward(grad_out, grad_x, grad_w);
+  add_(weight_.grad, grad_w);
+  return grad_x;
+}
+
+void Linear::collect_local_params(std::vector<Param*>& out) {
+  out.push_back(&weight_);
+  if (has_bias_) out.push_back(&bias_);
+}
+
+}  // namespace t2c

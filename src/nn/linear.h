@@ -1,0 +1,43 @@
+// Fully-connected layer. Accepts [N, IN] or [N, T, IN] (token-major) inputs;
+// the latter is treated as N*T independent rows, as attention blocks need.
+#pragma once
+
+#include "nn/module.h"
+
+namespace t2c {
+
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, bool bias,
+         Rng& rng);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_local_params(std::vector<Param*>& out) override;
+  std::string kind() const override { return "Linear"; }
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  Param& weight() { return weight_; }
+  const Param& weight() const { return weight_; }
+  bool has_bias() const { return has_bias_; }
+  Param& bias();
+
+ protected:
+  /// y = rows(x_eff) * w_eff^T + b; caches for backward when training.
+  Tensor run_forward(const Tensor& x_eff, const Tensor& w_eff);
+  void run_backward(const Tensor& grad_out, Tensor& grad_x_eff,
+                    Tensor& grad_w_eff);
+
+  std::int64_t in_ = 0;
+  std::int64_t out_ = 0;
+  Param weight_;  ///< [out, in]
+  Param bias_;    ///< [out]
+  bool has_bias_ = false;
+
+  Tensor cached_x_rows_;  ///< [rows, in]
+  Tensor cached_w_;
+  Shape in_shape_;
+};
+
+}  // namespace t2c

@@ -1,0 +1,132 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "tensor/reduce.h"
+#include "util/check.h"
+
+namespace t2c {
+
+CrossEntropyLoss::CrossEntropyLoss(float label_smoothing)
+    : smoothing_(label_smoothing) {
+  check(label_smoothing >= 0.0F && label_smoothing < 1.0F,
+        "CrossEntropyLoss: label smoothing must be in [0, 1)");
+}
+
+float CrossEntropyLoss::forward(const Tensor& logits,
+                                const std::vector<std::int64_t>& labels) {
+  check(logits.rank() == 2, "CrossEntropyLoss expects [N, C] logits");
+  const std::int64_t n = logits.size(0), c = logits.size(1);
+  check(static_cast<std::int64_t>(labels.size()) == n,
+        "CrossEntropyLoss: label count mismatch");
+  probs_ = softmax_lastdim(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  const float off = smoothing_ / static_cast<float>(c);
+  const float on = 1.0F - smoothing_ + off;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = labels[static_cast<std::size_t>(i)];
+    check_index(y >= 0 && y < c, "CrossEntropyLoss: label out of range", y);
+    const float* row = probs_.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      const float target = (j == y) ? on : off;
+      if (target > 0.0F) {
+        loss -= target * std::log(std::max(row[j], 1e-12F));
+      }
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(n));
+}
+
+Tensor CrossEntropyLoss::backward() const {
+  check(!probs_.empty(), "CrossEntropyLoss::backward before forward");
+  const std::int64_t n = probs_.size(0), c = probs_.size(1);
+  Tensor grad = probs_;
+  const float off = smoothing_ / static_cast<float>(c);
+  const float on = 1.0F - smoothing_ + off;
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t y = labels_[static_cast<std::size_t>(i)];
+    float* row = grad.data() + i * c;
+    for (std::int64_t j = 0; j < c; ++j) {
+      row[j] = (row[j] - ((j == y) ? on : off)) * inv_n;
+    }
+  }
+  return grad;
+}
+
+float MSELoss::forward(const Tensor& pred, const Tensor& target) {
+  check(pred.same_shape(target), "MSELoss: shape mismatch");
+  diff_ = Tensor(pred.shape());
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred[i] - target[i];
+    diff_[i] = d;
+    acc += static_cast<double>(d) * d;
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.numel()));
+}
+
+Tensor MSELoss::backward() const {
+  check(!diff_.empty(), "MSELoss::backward before forward");
+  Tensor grad = diff_;
+  const float s = 2.0F / static_cast<float>(diff_.numel());
+  for (std::int64_t i = 0; i < grad.numel(); ++i) grad[i] *= s;
+  return grad;
+}
+
+SoftTargetKDLoss::SoftTargetKDLoss(float temperature) : temp_(temperature) {
+  check(temperature > 0.0F, "SoftTargetKDLoss: temperature must be > 0");
+}
+
+float SoftTargetKDLoss::forward(const Tensor& student_logits,
+                                const Tensor& teacher_logits) {
+  check(student_logits.same_shape(teacher_logits),
+        "SoftTargetKDLoss: logits shape mismatch");
+  check(student_logits.rank() == 2, "SoftTargetKDLoss expects [N, C]");
+  Tensor s = student_logits, t = teacher_logits;
+  const float inv_t = 1.0F / temp_;
+  for (std::int64_t i = 0; i < s.numel(); ++i) {
+    s[i] *= inv_t;
+    t[i] *= inv_t;
+  }
+  student_probs_ = softmax_lastdim(s);
+  teacher_probs_ = softmax_lastdim(t);
+  const std::int64_t n = s.size(0);
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < s.numel(); ++i) {
+    const float p = teacher_probs_[i];
+    if (p > 0.0F) {
+      loss += p * (std::log(std::max(p, 1e-12F)) -
+                   std::log(std::max(student_probs_[i], 1e-12F)));
+    }
+  }
+  return static_cast<float>(loss * temp_ * temp_ / static_cast<double>(n));
+}
+
+Tensor SoftTargetKDLoss::backward() const {
+  check(!student_probs_.empty(), "SoftTargetKDLoss::backward before forward");
+  const std::int64_t n = student_probs_.size(0);
+  Tensor grad(student_probs_.shape());
+  // d/ds_logits of T^2 * KL = T * (softmax(s/T) - softmax(t/T)) / N.
+  const float s = temp_ / static_cast<float>(n);
+  for (std::int64_t i = 0; i < grad.numel(); ++i) {
+    grad[i] = s * (student_probs_[i] - teacher_probs_[i]);
+  }
+  return grad;
+}
+
+double accuracy_pct(const Tensor& logits,
+                    const std::vector<std::int64_t>& labels) {
+  const auto pred = argmax_rows(logits);
+  check(pred.size() == labels.size(), "accuracy_pct: size mismatch");
+  if (pred.empty()) return 0.0;
+  std::int64_t hits = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++hits;
+  }
+  return 100.0 * static_cast<double>(hits) / static_cast<double>(pred.size());
+}
+
+}  // namespace t2c

@@ -1,0 +1,56 @@
+// Training losses. Each loss exposes forward() returning a scalar and
+// backward() returning dL/d(logits or prediction), averaged over the batch.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace t2c {
+
+/// Softmax cross-entropy over [N, C] logits with integer class labels.
+class CrossEntropyLoss {
+ public:
+  /// Optional label smoothing in [0, 1).
+  explicit CrossEntropyLoss(float label_smoothing = 0.0F);
+
+  float forward(const Tensor& logits, const std::vector<std::int64_t>& labels);
+  Tensor backward() const;
+
+ private:
+  float smoothing_;
+  Tensor probs_;
+  std::vector<std::int64_t> labels_;
+};
+
+/// Mean squared error between prediction and target (mean over elements).
+class MSELoss {
+ public:
+  float forward(const Tensor& pred, const Tensor& target);
+  Tensor backward() const;
+
+ private:
+  Tensor diff_;
+};
+
+/// Soft-target distillation loss: KL(softmax(t/T) || softmax(s/T)) * T^2,
+/// averaged over the batch (used by PROFIT's optional teacher and the
+/// SSL fine-tuning recipes). Gradient flows to the student only.
+class SoftTargetKDLoss {
+ public:
+  explicit SoftTargetKDLoss(float temperature = 4.0F);
+
+  float forward(const Tensor& student_logits, const Tensor& teacher_logits);
+  Tensor backward() const;
+
+ private:
+  float temp_;
+  Tensor student_probs_;
+  Tensor teacher_probs_;
+};
+
+/// Top-1 accuracy of logits vs labels, in percent.
+double accuracy_pct(const Tensor& logits,
+                    const std::vector<std::int64_t>& labels);
+
+}  // namespace t2c

@@ -1,0 +1,86 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace t2c {
+
+void Module::collect_local_params(std::vector<Param*>&) {}
+
+void Module::collect_children(std::vector<Module*>&) {}
+
+void Module::collect_local_quantizers(std::vector<QBase*>&) {}
+
+std::vector<Param*> Module::parameters() {
+  std::vector<Param*> out;
+  collect_local_params(out);
+  std::vector<Module*> kids;
+  collect_children(kids);
+  for (Module* k : kids) {
+    auto sub = k->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::zero_grad() {
+  for (Param* p : parameters()) p->zero_grad();
+}
+
+void Module::set_mode(ExecMode m) {
+  mode_ = m;
+  on_mode_change();
+  std::vector<Module*> kids;
+  collect_children(kids);
+  for (Module* k : kids) k->set_mode(m);
+}
+
+Tensor Flatten::forward(const Tensor& x) {
+  check(x.rank() >= 2, "Flatten expects rank >= 2");
+  if (is_training()) in_shape_ = x.shape();
+  return x.reshaped({x.size(0), x.numel() / x.size(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  check(!in_shape_.empty(), "Flatten::backward before forward");
+  return grad_out.reshaped(in_shape_);
+}
+
+void Module::copy_state_from(const Module&) {}
+
+namespace {
+void copy_state_rec(Module& dst, Module& src) {
+  dst.copy_state_from(src);
+  std::vector<Module*> dk, sk;
+  dst.collect_children(dk);
+  src.collect_children(sk);
+  check(dk.size() == sk.size(), "copy_params: module tree mismatch");
+  for (std::size_t i = 0; i < dk.size(); ++i) copy_state_rec(*dk[i], *sk[i]);
+}
+}  // namespace
+
+void copy_params(Module& dst, Module& src) {
+  auto dp = dst.parameters();
+  auto sp = src.parameters();
+  check(dp.size() == sp.size(),
+        "copy_params: models have different parameter counts");
+  for (std::size_t i = 0; i < dp.size(); ++i) {
+    check(dp[i]->value.same_shape(sp[i]->value),
+          "copy_params: shape mismatch at parameter " + std::to_string(i) +
+              " (" + dp[i]->name + ")");
+    dp[i]->value = sp[i]->value;
+  }
+  // Running statistics and other buffers travel with the weights.
+  copy_state_rec(dst, src);
+}
+
+void init_kaiming(Tensor& w, std::int64_t fan_in, Rng& rng) {
+  check(fan_in > 0, "init_kaiming: fan_in must be positive");
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  rng.fill_normal(w.vec(), 0.0F, stddev);
+}
+
+void init_uniform(Tensor& w, float bound, Rng& rng) {
+  rng.fill_uniform(w.vec(), -bound, bound);
+}
+
+}  // namespace t2c

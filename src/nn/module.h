@@ -1,0 +1,141 @@
+// Module system: the training-path substrate (what PyTorch's nn.Module +
+// autograd provide for the original Torch2Chip).
+//
+// There is no tape autograd; each module implements an explicit
+// backward(grad_out) using activations cached during the train-mode forward.
+// Backward passes are verified against central-difference gradients in the
+// test suite.
+//
+// ExecMode realizes the paper's "Dual-Path" design at the module level:
+//   kTrain     — fake-quantized float path, caches for backward, observers on
+//   kEval      — fake-quantized float path, no caching, observers frozen
+//   kCalibrate — eval-like forward with live observers (PTQ calibration)
+//   kIntInfer  — integer-only verification path (quantized layers only)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace t2c {
+
+enum class ExecMode {
+  kTrain,      ///< fake-quant path, caches for backward, observers update
+  kEval,       ///< fake-quant path, frozen parameters, no caching
+  kCalibrate,  ///< eval-like forward, but quantizer observers update (PTQ)
+  kIntInfer    ///< integer-only verification path (quantized layers)
+};
+
+/// A learnable parameter: value + gradient accumulator.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool requires_grad = true;
+  /// Quantizer parameters (clip levels, learned steps, rounding offsets)
+  /// opt out of generic L2 weight decay.
+  bool apply_weight_decay = true;
+
+  Param() = default;
+  Param(std::string n, Shape shape)
+      : name(std::move(n)), value(shape), grad(std::move(shape), 0.0F) {}
+
+  void zero_grad() { grad.zero(); }
+};
+
+/// Base class of every layer. Modules own their children (unique_ptr) and
+/// are non-copyable: they hold training caches that must not alias.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  /// Forward pass under the current ExecMode.
+  virtual Tensor forward(const Tensor& x) = 0;
+
+  /// Backward pass: consumes dL/d(output), returns dL/d(input), and
+  /// accumulates parameter gradients. Only valid after a kTrain forward.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends this module's own parameters (not children's).
+  virtual void collect_local_params(std::vector<Param*>& out);
+
+  /// Appends direct children (used for tree traversals: mode switching,
+  /// fusion pattern matching, pruning target discovery).
+  virtual void collect_children(std::vector<Module*>& out);
+
+  /// All parameters of this subtree, depth-first.
+  std::vector<Param*> parameters();
+
+  /// Zeroes every gradient in the subtree.
+  void zero_grad();
+
+  /// Switches the execution mode of the whole subtree.
+  void set_mode(ExecMode m);
+
+  ExecMode mode() const { return mode_; }
+  bool is_training() const { return mode_ == ExecMode::kTrain; }
+  bool is_calibrating() const { return mode_ == ExecMode::kCalibrate; }
+
+  /// Appends quantizers hosted directly by this module (quantized layers
+  /// and attention blocks override; plain layers host none).
+  virtual void collect_local_quantizers(std::vector<class QBase*>& out);
+
+  /// Short type name for diagnostics and converter pattern matching.
+  virtual std::string kind() const = 0;
+
+  /// Copies non-parameter state (running statistics and similar buffers)
+  /// from a structurally identical module. Default: nothing to copy.
+  virtual void copy_state_from(const Module& src);
+
+  /// Optional instance label set by model builders ("layer1.conv2", ...).
+  std::string label;
+
+ protected:
+  /// Hook for mode-dependent internal state changes (observers etc.).
+  virtual void on_mode_change() {}
+
+ private:
+  ExecMode mode_ = ExecMode::kTrain;
+};
+
+/// Identity pass-through; useful as a structural placeholder.
+class Identity final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override { return x; }
+  Tensor backward(const Tensor& g) override { return g; }
+  std::string kind() const override { return "Identity"; }
+};
+
+/// Flattens [N, ...] to [N, prod(...)]. Remembers the input shape for
+/// backward.
+class Flatten final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "Flatten"; }
+
+ private:
+  Shape in_shape_;
+};
+
+/// Copies every parameter value from `src` into `dst`. Both models must be
+/// structurally identical (same construction path); shapes are checked.
+/// Used for teacher/student setups (PROFIT, SSL fine-tuning) in place of a
+/// serialized state dict.
+void copy_params(Module& dst, Module& src);
+
+// ---- weight initialization helpers ----
+
+/// Kaiming-normal fan-in initialization for conv / linear weights.
+void init_kaiming(Tensor& w, std::int64_t fan_in, Rng& rng);
+
+/// Uniform(-bound, bound) initialization (used for biases).
+void init_uniform(Tensor& w, float bound, Rng& rng);
+
+}  // namespace t2c

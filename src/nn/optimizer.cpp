@@ -1,0 +1,73 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace t2c {
+
+Optimizer::Optimizer(std::vector<Param*> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  for (Param* p : params_) check(p != nullptr, "Optimizer: null parameter");
+}
+
+void Optimizer::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+SGD::SGD(std::vector<Param*> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params), lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape(), 0.0F);
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    if (!p.requires_grad) continue;
+    Tensor& vel = velocity_[i];
+    const float wd = p.apply_weight_decay ? weight_decay_ : 0.0F;
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + wd * p.value[j];
+      vel[j] = momentum_ * vel[j] + g;
+      p.value[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape(), 0.0F);
+    v_.emplace_back(p->value.shape(), 0.0F);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    if (!p.requires_grad) continue;
+    const float wd = p.apply_weight_decay ? weight_decay_ : 0.0F;
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j] + wd * p.value[j];
+      m_[i][j] = beta1_ * m_[i][j] + (1.0F - beta1_) * g;
+      v_[i][j] = beta2_ * v_[i][j] + (1.0F - beta2_) * g * g;
+      const float mh = m_[i][j] / bc1;
+      const float vh = v_[i][j] / bc2;
+      p.value[j] -= lr_ * mh / (std::sqrt(vh) + eps_);
+    }
+  }
+}
+
+}  // namespace t2c

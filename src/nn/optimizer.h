@@ -1,0 +1,57 @@
+// Optimizers operating on flat Param* lists.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.h"
+
+namespace t2c {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params, float lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the accumulated gradients.
+  virtual void step() = 0;
+
+  void zero_grad();
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  const std::vector<Param*>& params() const { return params_; }
+
+ protected:
+  std::vector<Param*> params_;
+  float lr_;
+};
+
+/// SGD with momentum and decoupled-from-loss L2 weight decay.
+class SGD final : public Optimizer {
+ public:
+  SGD(std::vector<Param*> params, float lr, float momentum = 0.9F,
+      float weight_decay = 0.0F);
+
+  void step() override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (bias-corrected), used by PTQ reconstruction (AdaRound / QDrop).
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Param*> params, float lr, float beta1 = 0.9F,
+       float beta2 = 0.999F, float eps = 1e-8F, float weight_decay = 0.0F);
+
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace t2c

@@ -1,0 +1,159 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace t2c {
+
+MaxPool2d::MaxPool2d(int kernel, int stride, int padding)
+    : kernel_(kernel), stride_(stride), padding_(padding) {
+  check(kernel > 0 && stride > 0 && padding >= 0, "MaxPool2d: bad geometry");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x) {
+  check(x.rank() == 4, "MaxPool2d expects NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const std::int64_t oh = (h + 2 * padding_ - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
+  check(oh > 0 && ow > 0, "MaxPool2d: output would be empty");
+  Tensor out({n, c, oh, ow});
+  const bool train = is_training();
+  if (train) {
+    in_shape_ = x.shape();
+    argmax_.assign(static_cast<std::size_t>(out.numel()), -1);
+  }
+  std::int64_t oidx = 0;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float* plane = x.data() + (in * c + ic) * h * w;
+      const std::int64_t plane_off = (in * c + ic) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oidx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = -1;
+          for (int ki = 0; ki < kernel_; ++ki) {
+            const std::int64_t iy = oy * stride_ + ki - padding_;
+            if (iy < 0 || iy >= h) continue;
+            for (int kj = 0; kj < kernel_; ++kj) {
+              const std::int64_t ix = ox * stride_ + kj - padding_;
+              if (ix < 0 || ix >= w) continue;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_off + iy * w + ix;
+              }
+            }
+          }
+          // All-padding windows contribute 0 (cannot happen with valid
+          // geometry, but keep the output well defined).
+          out[oidx] = best_idx >= 0 ? best : 0.0F;
+          if (train) argmax_[static_cast<std::size_t>(oidx)] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  check(!in_shape_.empty(), "MaxPool2d::backward before forward");
+  Tensor grad_x(in_shape_, 0.0F);
+  for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+    const std::int64_t src = argmax_[static_cast<std::size_t>(i)];
+    if (src >= 0) grad_x[src] += grad_out[i];
+  }
+  return grad_x;
+}
+
+AvgPool2d::AvgPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) {
+  check(kernel > 0 && stride > 0, "AvgPool2d: bad geometry");
+}
+
+Tensor AvgPool2d::forward(const Tensor& x) {
+  check(x.rank() == 4, "AvgPool2d expects NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), h = x.size(2), w = x.size(3);
+  const std::int64_t oh = (h - kernel_) / stride_ + 1;
+  const std::int64_t ow = (w - kernel_) / stride_ + 1;
+  check(oh > 0 && ow > 0, "AvgPool2d: output would be empty");
+  if (is_training()) in_shape_ = x.shape();
+  Tensor out({n, c, oh, ow});
+  const float inv = 1.0F / static_cast<float>(kernel_ * kernel_);
+  std::int64_t oidx = 0;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float* plane = x.data() + (in * c + ic) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oidx) {
+          float acc = 0.0F;
+          for (int ki = 0; ki < kernel_; ++ki) {
+            for (int kj = 0; kj < kernel_; ++kj) {
+              acc += plane[(oy * stride_ + ki) * w + (ox * stride_ + kj)];
+            }
+          }
+          out[oidx] = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  check(!in_shape_.empty(), "AvgPool2d::backward before forward");
+  const std::int64_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2],
+                     w = in_shape_[3];
+  const std::int64_t oh = grad_out.size(2), ow = grad_out.size(3);
+  Tensor grad_x(in_shape_, 0.0F);
+  const float inv = 1.0F / static_cast<float>(kernel_ * kernel_);
+  std::int64_t oidx = 0;
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      float* plane = grad_x.data() + (in * c + ic) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oidx) {
+          const float g = grad_out[oidx] * inv;
+          for (int ki = 0; ki < kernel_; ++ki) {
+            for (int kj = 0; kj < kernel_; ++kj) {
+              plane[(oy * stride_ + ki) * w + (ox * stride_ + kj)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_x;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x) {
+  check(x.rank() == 4, "GlobalAvgPool expects NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+  if (is_training()) in_shape_ = x.shape();
+  Tensor out({n, c});
+  const float inv = 1.0F / static_cast<float>(hw);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float* plane = x.data() + (in * c + ic) * hw;
+      float acc = 0.0F;
+      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+      out[in * c + ic] = acc * inv;
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  check(!in_shape_.empty(), "GlobalAvgPool::backward before forward");
+  const std::int64_t n = in_shape_[0], c = in_shape_[1],
+                     hw = in_shape_[2] * in_shape_[3];
+  Tensor grad_x(in_shape_);
+  const float inv = 1.0F / static_cast<float>(hw);
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float g = grad_out[in * c + ic] * inv;
+      float* plane = grad_x.data() + (in * c + ic) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) plane[i] = g;
+    }
+  }
+  return grad_x;
+}
+
+}  // namespace t2c

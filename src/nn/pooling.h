@@ -1,0 +1,53 @@
+// Spatial pooling layers for the CNN backbones.
+#pragma once
+
+#include "nn/module.h"
+
+namespace t2c {
+
+class MaxPool2d final : public Module {
+ public:
+  MaxPool2d(int kernel, int stride, int padding = 0);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "MaxPool2d"; }
+
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+  int padding() const { return padding_; }
+
+ private:
+  int kernel_, stride_, padding_;
+  Shape in_shape_;
+  std::vector<std::int64_t> argmax_;  ///< winning flat input index per output
+};
+
+class AvgPool2d final : public Module {
+ public:
+  AvgPool2d(int kernel, int stride);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "AvgPool2d"; }
+
+  int kernel() const { return kernel_; }
+  int stride() const { return stride_; }
+
+ private:
+  int kernel_, stride_;
+  Shape in_shape_;
+};
+
+/// Global average pool: [N,C,H,W] -> [N,C].
+class GlobalAvgPool final : public Module {
+ public:
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string kind() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace t2c

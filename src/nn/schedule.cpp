@@ -1,0 +1,41 @@
+#include "nn/schedule.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace t2c {
+
+CosineLr::CosineLr(float base_lr, std::int64_t total_steps, float min_lr,
+                   std::int64_t warmup_steps)
+    : base_lr_(base_lr),
+      min_lr_(min_lr),
+      total_steps_(total_steps),
+      warmup_steps_(warmup_steps) {
+  check(total_steps > 0, "CosineLr: total_steps must be positive");
+  check(warmup_steps >= 0 && warmup_steps < total_steps,
+        "CosineLr: warmup must be in [0, total)");
+}
+
+float CosineLr::lr_at(std::int64_t step) const {
+  if (step < warmup_steps_) {
+    return base_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  const double span = static_cast<double>(total_steps_ - warmup_steps_);
+  const double t = std::min(1.0, static_cast<double>(step - warmup_steps_) / span);
+  const double cos = 0.5 * (1.0 + std::cos(3.14159265358979323846 * t));
+  return static_cast<float>(min_lr_ + (base_lr_ - min_lr_) * cos);
+}
+
+StepLr::StepLr(float base_lr, std::int64_t period, float gamma)
+    : base_lr_(base_lr), period_(period), gamma_(gamma) {
+  check(period > 0, "StepLr: period must be positive");
+}
+
+float StepLr::lr_at(std::int64_t step) const {
+  const auto k = step / period_;
+  return base_lr_ * std::pow(gamma_, static_cast<float>(k));
+}
+
+}  // namespace t2c

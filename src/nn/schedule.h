@@ -1,0 +1,52 @@
+// Learning-rate schedules. Stateless: lr_at(step) given total steps,
+// matching the cosine / step recipes the paper's QAT runs use.
+#pragma once
+
+#include <cstdint>
+
+namespace t2c {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual float lr_at(std::int64_t step) const = 0;
+};
+
+/// Constant learning rate.
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(float lr) : lr_(lr) {}
+  float lr_at(std::int64_t) const override { return lr_; }
+
+ private:
+  float lr_;
+};
+
+/// Cosine decay from base_lr to min_lr over total_steps, with an optional
+/// linear warmup.
+class CosineLr final : public LrSchedule {
+ public:
+  CosineLr(float base_lr, std::int64_t total_steps, float min_lr = 0.0F,
+           std::int64_t warmup_steps = 0);
+  float lr_at(std::int64_t step) const override;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  std::int64_t total_steps_;
+  std::int64_t warmup_steps_;
+};
+
+/// Multiplies the lr by `gamma` every `period` steps.
+class StepLr final : public LrSchedule {
+ public:
+  StepLr(float base_lr, std::int64_t period, float gamma);
+  float lr_at(std::int64_t step) const override;
+
+ private:
+  float base_lr_;
+  std::int64_t period_;
+  float gamma_;
+};
+
+}  // namespace t2c

@@ -1,0 +1,86 @@
+#include "nn/sequential.h"
+
+#include "tensor/elementwise.h"
+
+namespace t2c {
+
+Module& Sequential::add_module(std::unique_ptr<Module> m) {
+  check(m != nullptr, "Sequential::add_module(nullptr)");
+  children_.push_back(std::move(m));
+  return *children_.back();
+}
+
+Module& Sequential::child(std::size_t i) {
+  check(i < children_.size(), "Sequential::child index out of range");
+  return *children_[i];
+}
+
+const Module& Sequential::child(std::size_t i) const {
+  check(i < children_.size(), "Sequential::child index out of range");
+  return *children_[i];
+}
+
+Tensor Sequential::forward(const Tensor& x) {
+  Tensor cur = x;
+  for (auto& m : children_) cur = m->forward(cur);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor cur = grad_out;
+  for (auto it = children_.rbegin(); it != children_.rend(); ++it) {
+    cur = (*it)->backward(cur);
+  }
+  return cur;
+}
+
+void Sequential::collect_children(std::vector<Module*>& out) {
+  for (auto& m : children_) out.push_back(m.get());
+}
+
+ResidualBlock::ResidualBlock(std::unique_ptr<Sequential> main,
+                             std::unique_ptr<Sequential> shortcut)
+    : main_(std::move(main)), shortcut_(std::move(shortcut)) {
+  check(main_ != nullptr, "ResidualBlock: main branch is required");
+}
+
+Sequential& ResidualBlock::shortcut() {
+  check(shortcut_ != nullptr, "ResidualBlock has no shortcut branch");
+  return *shortcut_;
+}
+
+Tensor ResidualBlock::forward(const Tensor& x) {
+  Tensor a = main_->forward(x);
+  Tensor b = shortcut_ ? shortcut_->forward(x) : x;
+  check(a.same_shape(b),
+        "ResidualBlock: branch shape mismatch " + shape_str(a.shape()) +
+            " vs " + shape_str(b.shape()));
+  add_(a, b);
+  const bool train = is_training();
+  if (train) cached_relu_mask_ = Tensor(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const bool on = a[i] > 0.0F;
+    if (train) cached_relu_mask_[i] = on ? 1.0F : 0.0F;
+    if (!on) a[i] = 0.0F;
+  }
+  return a;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_out) {
+  check(!cached_relu_mask_.empty(), "ResidualBlock::backward before forward");
+  Tensor g = mul(grad_out, cached_relu_mask_);
+  Tensor gx = main_->backward(g);
+  if (shortcut_) {
+    add_(gx, shortcut_->backward(g));
+  } else {
+    add_(gx, g);
+  }
+  return gx;
+}
+
+void ResidualBlock::collect_children(std::vector<Module*>& out) {
+  out.push_back(main_.get());
+  if (shortcut_) out.push_back(shortcut_.get());
+}
+
+}  // namespace t2c

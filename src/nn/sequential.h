@@ -1,0 +1,65 @@
+// Composite modules: Sequential chains and residual blocks.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "nn/activations.h"
+#include "nn/module.h"
+
+namespace t2c {
+
+/// Ordered chain of owned modules.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+
+  /// Constructs a child in place and returns a typed reference.
+  template <typename M, typename... Args>
+  M& add(Args&&... args) {
+    auto mod = std::make_unique<M>(std::forward<Args>(args)...);
+    M& ref = *mod;
+    children_.push_back(std::move(mod));
+    return ref;
+  }
+
+  /// Adopts an existing module.
+  Module& add_module(std::unique_ptr<Module> m);
+
+  std::size_t size() const { return children_.size(); }
+  Module& child(std::size_t i);
+  const Module& child(std::size_t i) const;
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_children(std::vector<Module*>& out) override;
+  std::string kind() const override { return "Sequential"; }
+
+ private:
+  std::vector<std::unique_ptr<Module>> children_;
+};
+
+/// y = ReLU(main(x) + shortcut(x)); shortcut defaults to identity.
+/// This is the ResNet basic/bottleneck block skeleton; `main` and
+/// `shortcut` are Sequentials assembled by the model builders.
+class ResidualBlock final : public Module {
+ public:
+  ResidualBlock(std::unique_ptr<Sequential> main,
+                std::unique_ptr<Sequential> shortcut /* may be null */);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_children(std::vector<Module*>& out) override;
+  std::string kind() const override { return "ResidualBlock"; }
+
+  Sequential& main() { return *main_; }
+  bool has_shortcut() const { return shortcut_ != nullptr; }
+  Sequential& shortcut();
+
+ private:
+  std::unique_ptr<Sequential> main_;
+  std::unique_ptr<Sequential> shortcut_;
+  Tensor cached_relu_mask_;
+};
+
+}  // namespace t2c

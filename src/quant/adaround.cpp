@@ -1,0 +1,155 @@
+#include "quant/adaround.h"
+
+#include <cmath>
+
+#include "tensor/reduce.h"
+#include "quant/observer.h"
+
+namespace t2c {
+
+namespace {
+constexpr float kZeta = 1.1F;
+constexpr float kGamma = -0.1F;
+
+float sigmoid(float v) { return 1.0F / (1.0F + std::exp(-v)); }
+}  // namespace
+
+AdaRoundQuantizer::AdaRoundQuantizer(QSpec spec) : QBase(spec) {
+  check(!spec.is_unsigned, "AdaRound is a (signed) weight quantizer");
+}
+
+float AdaRoundQuantizer::h_of(float v) const {
+  const float h = sigmoid(v) * (kZeta - kGamma) + kGamma;
+  return std::min(1.0F, std::max(0.0F, h));
+}
+
+float AdaRoundQuantizer::dh_of(float v) const {
+  const float raw = sigmoid(v) * (kZeta - kGamma) + kGamma;
+  if (raw <= 0.0F || raw >= 1.0F) return 0.0F;
+  const float s = sigmoid(v);
+  return (kZeta - kGamma) * s * (1.0F - s);
+}
+
+void AdaRoundQuantizer::initialize(const Tensor& w) {
+  // Base scale: symmetric min/max, per tensor or per channel.
+  if (spec_.granularity == QGranularity::kPerChannel) {
+    Tensor mn, mx;
+    per_channel_min_max(w, mn, mx);
+    const std::int64_t oc = mn.numel();
+    scale_ = Tensor({oc}, 1.0F);
+    zero_ = Tensor({oc}, 0.0F);
+    for (std::int64_t c = 0; c < oc; ++c) {
+      float s, z;
+      range_to_scale(mn[c], mx[c], qmin_, qmax_, false, s, z);
+      scale_[c] = s;
+    }
+  } else {
+    const auto [mn, mx] = min_max(w);
+    float s, z;
+    range_to_scale(mn, mx, qmin_, qmax_, false, s, z);
+    scale_[0] = s;
+  }
+  // Warm-start V so that h(V) equals the fractional residue of each weight.
+  v_ = Param("adaround.v", w.shape());
+  v_.apply_weight_decay = false;
+  const std::int64_t per =
+      scale_.numel() == 1 ? w.numel() : w.numel() / scale_.numel();
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    float s, z;
+    scale_zero_at(i, per, s, z);
+    const float r = w[i] / s - std::floor(w[i] / s);
+    const float p =
+        std::min(0.999F, std::max(0.001F, (r - kGamma) / (kZeta - kGamma)));
+    v_.value[i] = std::log(p / (1.0F - p));
+  }
+  init_ = true;
+}
+
+Tensor AdaRoundQuantizer::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  if (!init_) initialize(x);
+  check(v_.value.same_shape(x), "AdaRound: tensor shape changed after init");
+  Tensor out(x.shape());
+  const std::int64_t per =
+      scale_.numel() == 1 ? x.numel() : x.numel() / scale_.numel();
+  if (update) {
+    cached_inside_ = Tensor(x.shape());
+    cached_floor_ = Tensor(x.shape());
+  }
+  const float lo = static_cast<float>(qmin_);
+  const float hi = static_cast<float>(qmax_);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float s, z;
+    scale_zero_at(i, per, s, z);
+    const float fl = std::floor(x[i] / s);
+    const float offset =
+        hardened_ ? (v_.value[i] >= 0.0F ? 1.0F : 0.0F) : h_of(v_.value[i]);
+    float q = fl + offset;
+    const bool inside = q >= lo && q <= hi;
+    q = std::min(hi, std::max(lo, q));
+    out[i] = q * s;
+    if (update) {
+      cached_inside_[i] = inside ? 1.0F : 0.0F;
+      cached_floor_[i] = fl;
+    }
+  }
+  return out;
+}
+
+Tensor AdaRoundQuantizer::backward(const Tensor& grad_out) {
+  check(!cached_inside_.empty(), "AdaRound::backward before forward");
+  Tensor g(grad_out.shape());
+  const std::int64_t per =
+      scale_.numel() == 1 ? grad_out.numel()
+                          : grad_out.numel() / scale_.numel();
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    const float inside = cached_inside_[i];
+    g[i] = grad_out[i] * inside;
+    if (!hardened_) {
+      float s, z;
+      scale_zero_at(i, per, s, z);
+      v_.grad[i] += grad_out[i] * inside * s * dh_of(v_.value[i]);
+    }
+  }
+  return g;
+}
+
+void AdaRoundQuantizer::collect_params(std::vector<Param*>& out) {
+  if (init_) out.push_back(&v_);
+}
+
+double AdaRoundQuantizer::accumulate_reg_grad(float lambda, float beta) {
+  check(init_, "AdaRound: accumulate_reg_grad before initialize");
+  double reg = 0.0;
+  for (std::int64_t i = 0; i < v_.value.numel(); ++i) {
+    const float h = h_of(v_.value[i]);
+    const float t = std::fabs(2.0F * h - 1.0F);
+    reg += 1.0 - std::pow(t, beta);
+    // d/dh (1 - |2h-1|^b) = -b * |2h-1|^(b-1) * 2 * sign(2h-1)
+    const float sign = (2.0F * h - 1.0F) >= 0.0F ? 1.0F : -1.0F;
+    const float dreg_dh = -beta *
+                          std::pow(std::max(t, 1e-8F), beta - 1.0F) * 2.0F *
+                          sign;
+    v_.grad[i] += lambda * dreg_dh * dh_of(v_.value[i]);
+  }
+  return reg;
+}
+
+void AdaRoundQuantizer::harden() { hardened_ = true; }
+
+ITensor AdaRoundQuantizer::quantize(const Tensor& x) const {
+  check(init_, "AdaRound::quantize before initialize");
+  ITensor out(x.shape());
+  const std::int64_t per =
+      scale_.numel() == 1 ? x.numel() : x.numel() / scale_.numel();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float s, z;
+    scale_zero_at(i, per, s, z);
+    const auto fl = static_cast<std::int64_t>(std::floor(x[i] / s));
+    const std::int64_t up = v_.value[i] >= 0.0F ? 1 : 0;
+    out[i] = std::min(qmax_, std::max(qmin_, fl + up));
+  }
+  return out;
+}
+
+}  // namespace t2c

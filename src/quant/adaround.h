@@ -1,0 +1,55 @@
+// AdaRound — learned rounding for post-training quantization (Nagel et al.,
+// 2020), the algorithm AIMET ships. Instead of nearest rounding, each weight
+// learns to round up or down via a rectified-sigmoid offset h(V):
+//
+//   training:  Wq = floor(W/s) + h(V),  h(V) = clip(sigmoid(V)(z-g)+g, 0, 1)
+//   inference: Wq = floor(W/s) + [V >= 0]           (paper Eq. 5/6)
+//
+// The PTQ reconstruction driver (quant/ptq.h) optimizes V per layer against
+// the fp32 layer output with the annealed rounding regularizer f_reg.
+// This quantizer demonstrates the paper's point that adaptive rounding
+// cannot be expressed in fixed-workflow toolkits but drops cleanly into the
+// Torch2Chip dual-path template.
+#pragma once
+
+#include "quant/qbase.h"
+
+namespace t2c {
+
+class AdaRoundQuantizer final : public QBase {
+ public:
+  explicit AdaRoundQuantizer(QSpec spec);
+
+  /// Computes the base scale from `w` (symmetric min/max) and initializes V
+  /// so that h(V) reproduces each weight's fractional residue (the paper's
+  /// warm start). Called automatically on the first training forward.
+  void initialize(const Tensor& w);
+  bool initialized() const { return init_; }
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  ITensor quantize(const Tensor& x) const override;
+  std::string name() const override { return "adaround"; }
+
+  /// Rounding regularizer f_reg = sum(1 - |2h(V)-1|^beta); returns the value
+  /// and accumulates lambda * d f_reg / dV into the V gradient.
+  double accumulate_reg_grad(float lambda, float beta);
+
+  /// Freezes the rounding decisions to hard {0,1} (end of reconstruction).
+  void harden();
+  bool hardened() const { return hardened_; }
+
+  Param& v() { return v_; }
+
+ private:
+  float h_of(float v) const;
+  float dh_of(float v) const;
+
+  Param v_;              ///< continuous rounding variables, shape of W
+  bool init_ = false;
+  bool hardened_ = false;
+  Tensor cached_floor_;  ///< floor(W/s)
+};
+
+}  // namespace t2c

@@ -1,0 +1,42 @@
+// Registration of the built-in quantizer zoo. Kept in one translation unit
+// so that static-library linking never drops a registration.
+#include "quant/adaround.h"
+#include "quant/dorefa.h"
+#include "quant/lsq.h"
+#include "quant/minmax.h"
+#include "quant/mse.h"
+#include "quant/pact.h"
+#include "quant/qbase.h"
+#include "quant/qdrop.h"
+#include "quant/rcf.h"
+#include "quant/sawb.h"
+
+namespace t2c {
+
+namespace {
+
+template <typename Q>
+std::unique_ptr<QBase> make(QSpec spec) {
+  return std::make_unique<Q>(spec);
+}
+
+}  // namespace
+
+void ensure_builtin_quantizers() {
+  static const bool done = [] {
+    register_quantizer("minmax", &make<MinMaxQuantizer>);
+    register_quantizer("percentile", &make<PercentileQuantizer>);
+    register_quantizer("sawb", &make<SAWBQuantizer>);
+    register_quantizer("pact", &make<PACTQuantizer>);
+    register_quantizer("lsq", &make<LSQQuantizer>);
+    register_quantizer("rcf", &make<RCFQuantizer>);
+    register_quantizer("adaround", &make<AdaRoundQuantizer>);
+    register_quantizer("dorefa", &make<DoReFaQuantizer>);
+    register_quantizer("mse", &make<MSEQuantizer>);
+    register_quantizer("qdrop", &make<QDropActivation>);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace t2c

@@ -1,0 +1,66 @@
+#include "quant/dorefa.h"
+
+#include <cmath>
+
+namespace t2c {
+
+DoReFaQuantizer::DoReFaQuantizer(QSpec spec) : QBase(spec) {
+  check(!spec.is_unsigned, "DoReFa here is a (signed) weight quantizer");
+  check(spec.granularity == QGranularity::kPerTensor,
+        "DoReFaQuantizer is per-tensor (normalized by the global max)");
+}
+
+Tensor DoReFaQuantizer::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  if (update && !frozen()) {
+    float mx = 1e-8F;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      mx = std::max(mx, std::fabs(std::tanh(x[i])));
+    }
+    tanh_max_ = mx;
+    // u = tanh(w)/tanh_max in [-1, 1]; integers q = round(u * qmax), so the
+    // dequantization scale is tanh_max / qmax.
+    scale_[0] = tanh_max_ / static_cast<float>(qmax_);
+    zero_[0] = 0.0F;
+  }
+  Tensor out(x.shape());
+  if (update) cached_dtanh_ = Tensor(x.shape());
+  const float inv_m = 1.0F / tanh_max_;
+  const float fqmax = static_cast<float>(qmax_);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float t = std::tanh(x[i]);
+    const float u = t * inv_m;
+    const float q = std::nearbyintf(u * fqmax);
+    out[i] = q / fqmax * tanh_max_;
+    if (update) {
+      // STE through rounding; exact through tanh and the (frozen-this-
+      // step) normalization.
+      cached_dtanh_[i] = (1.0F - t * t);
+    }
+  }
+  return out;
+}
+
+Tensor DoReFaQuantizer::backward(const Tensor& grad_out) {
+  check(!cached_dtanh_.empty(), "DoReFaQuantizer::backward before forward");
+  Tensor g(grad_out.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * cached_dtanh_[i];
+  }
+  return g;
+}
+
+ITensor DoReFaQuantizer::quantize(const Tensor& x) const {
+  ITensor out(x.shape());
+  const float inv_m = 1.0F / tanh_max_;
+  const float fqmax = static_cast<float>(qmax_);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float u = std::tanh(x[i]) * inv_m;
+    const auto q =
+        static_cast<std::int64_t>(std::nearbyintf(u * fqmax));
+    out[i] = std::min(qmax_, std::max(qmin_, q));
+  }
+  return out;
+}
+
+}  // namespace t2c

@@ -1,0 +1,28 @@
+// DoReFa weight quantization (Zhou et al., 2016) — the earliest of the
+// paper's cited low-bit training schemes, included as a baseline: weights
+// are squashed with tanh, normalized to [-1, 1] by the running maximum,
+// and uniformly quantized there. The normalization makes the quantizer
+// scale data-dependent but bounded, which is why DoReFa tolerated very low
+// precision long before learned-clipping methods.
+#pragma once
+
+#include "quant/qbase.h"
+
+namespace t2c {
+
+class DoReFaQuantizer final : public QBase {
+ public:
+  explicit DoReFaQuantizer(QSpec spec);
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  ITensor quantize(const Tensor& x) const override;
+  std::string name() const override { return "dorefa"; }
+
+ private:
+  /// max |tanh(w)| of the most recent update forward.
+  float tanh_max_ = 1.0F;
+  Tensor cached_dtanh_;  ///< d tanh(w) / dw * (1 / tanh_max)
+};
+
+}  // namespace t2c

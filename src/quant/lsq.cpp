@@ -1,0 +1,72 @@
+#include "quant/lsq.h"
+
+#include <cmath>
+
+namespace t2c {
+
+LSQQuantizer::LSQQuantizer(QSpec spec) : QBase(spec) {
+  check(spec.granularity == QGranularity::kPerTensor,
+        "LSQQuantizer is per-tensor only");
+  step_ = Param("lsq.step", {1});
+  step_.apply_weight_decay = false;
+  step_.value[0] = 1.0F;
+}
+
+Tensor LSQQuantizer::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  if (!step_init_ && update && !frozen()) {
+    // LSQ init: s = 2 * E[|x|] / sqrt(qmax).
+    double e1 = 0.0;
+    for (std::int64_t i = 0; i < x.numel(); ++i) e1 += std::fabs(x[i]);
+    e1 /= static_cast<double>(x.numel());
+    step_.value[0] = static_cast<float>(
+        std::max(1e-8, 2.0 * e1 / std::sqrt(static_cast<double>(qmax_))));
+    step_init_ = true;
+  }
+  const float s = std::max(step_.value[0], 1e-8F);
+  if (!frozen()) scale_[0] = s;
+  Tensor out(x.shape());
+  if (update) {
+    cached_x_ = x;
+    cached_q_ = Tensor(x.shape());
+    cached_inside_ = Tensor(x.shape());
+  }
+  const float lo = static_cast<float>(qmin_);
+  const float hi = static_cast<float>(qmax_);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float raw = x[i] / s;
+    float q = std::nearbyintf(raw);
+    const bool inside = q >= lo && q <= hi;
+    q = std::min(hi, std::max(lo, q));
+    out[i] = q * s;
+    if (update) {
+      cached_q_[i] = q;
+      cached_inside_[i] = inside ? 1.0F : 0.0F;
+    }
+  }
+  return out;
+}
+
+Tensor LSQQuantizer::backward(const Tensor& grad_out) {
+  check(!cached_x_.empty(), "LSQQuantizer::backward before forward");
+  const float s = std::max(step_.value[0], 1e-8F);
+  const float gscale = 1.0F / std::sqrt(static_cast<float>(cached_x_.numel()) *
+                                        static_cast<float>(qmax_));
+  Tensor g(grad_out.shape());
+  double gs = 0.0;
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    const bool inside = cached_inside_[i] > 0.5F;
+    g[i] = inside ? grad_out[i] : 0.0F;
+    // d(q*s)/ds: inside -> q - x/s (rounding residual); clipped -> q.
+    const float d = inside ? (cached_q_[i] - cached_x_[i] / s) : cached_q_[i];
+    gs += static_cast<double>(grad_out[i]) * d;
+  }
+  step_.grad[0] += static_cast<float>(gs) * gscale;
+  return g;
+}
+
+void LSQQuantizer::collect_params(std::vector<Param*>& out) {
+  out.push_back(&step_);
+}
+
+}  // namespace t2c

@@ -1,0 +1,27 @@
+// LSQ — Learned Step Size Quantization (Esser et al.). The step (scale)
+// itself is a parameter trained by backprop with the LSQ gradient and the
+// 1/sqrt(N * qmax) gradient scale. Works for both weights (signed) and
+// activations (unsigned).
+#pragma once
+
+#include "quant/qbase.h"
+
+namespace t2c {
+
+class LSQQuantizer final : public QBase {
+ public:
+  explicit LSQQuantizer(QSpec spec);
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "lsq"; }
+
+ private:
+  Param step_;          ///< the learned scale (per tensor)
+  bool step_init_ = false;
+  Tensor cached_x_;
+  Tensor cached_q_;     ///< clamped integer values (as float)
+};
+
+}  // namespace t2c

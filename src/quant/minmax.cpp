@@ -1,0 +1,81 @@
+#include "quant/minmax.h"
+
+#include "tensor/reduce.h"
+
+namespace t2c {
+
+MinMaxQuantizer::MinMaxQuantizer(QSpec spec) : QBase(spec) {}
+
+void MinMaxQuantizer::update_range(const Tensor& x) {
+  if (spec_.granularity == QGranularity::kPerChannel) {
+    // Per-channel (weights): recompute directly from the current tensor.
+    Tensor mn, mx;
+    per_channel_min_max(x, mn, mx);
+    const std::int64_t oc = mn.numel();
+    if (scale_.numel() != oc) {
+      scale_ = Tensor({oc}, 1.0F);
+      zero_ = Tensor({oc}, 0.0F);
+    }
+    for (std::int64_t c = 0; c < oc; ++c) {
+      float s, z;
+      range_to_scale(mn[c], mx[c], qmin_, qmax_, spec_.is_unsigned, s, z);
+      scale_[c] = s;
+      zero_[c] = z;
+    }
+  } else {
+    obs_.observe(x);
+    float s, z;
+    range_to_scale(obs_.min(), obs_.max(), qmin_, qmax_, spec_.is_unsigned, s,
+                   z);
+    scale_[0] = s;
+    zero_[0] = z;
+  }
+}
+
+Tensor MinMaxQuantizer::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  if (update && !frozen()) update_range(x);
+  Tensor* mask = update ? &cached_inside_ : nullptr;
+  return fake_quant(x, mask);
+}
+
+Tensor MinMaxQuantizer::backward(const Tensor& grad_out) {
+  check(!cached_inside_.empty(), "MinMaxQuantizer::backward before forward");
+  Tensor g(grad_out.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * cached_inside_[i];
+  }
+  return g;
+}
+
+PercentileQuantizer::PercentileQuantizer(QSpec spec, float percentile)
+    : QBase(spec), obs_(percentile) {
+  check(spec.granularity == QGranularity::kPerTensor,
+        "PercentileQuantizer is per-tensor only");
+}
+
+Tensor PercentileQuantizer::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  if (update && !frozen()) {
+    obs_.observe(x);
+    float s, z;
+    range_to_scale(obs_.lo(), obs_.hi(), qmin_, qmax_, spec_.is_unsigned, s,
+                   z);
+    scale_[0] = s;
+    zero_[0] = z;
+  }
+  Tensor* mask = update ? &cached_inside_ : nullptr;
+  return fake_quant(x, mask);
+}
+
+Tensor PercentileQuantizer::backward(const Tensor& grad_out) {
+  check(!cached_inside_.empty(),
+        "PercentileQuantizer::backward before forward");
+  Tensor g(grad_out.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * cached_inside_[i];
+  }
+  return g;
+}
+
+}  // namespace t2c

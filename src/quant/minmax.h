@@ -1,0 +1,40 @@
+// MinMax quantizer: the classic observer-driven scheme (and the algorithm
+// OpenVINO's default PTQ uses — it doubles as the "OpenVINO MinMax"
+// comparator row in Table 1). Also provides the percentile-clipped variant
+// for outlier-robust activation calibration.
+#pragma once
+
+#include "quant/observer.h"
+#include "quant/qbase.h"
+
+namespace t2c {
+
+class MinMaxQuantizer : public QBase {
+ public:
+  explicit MinMaxQuantizer(QSpec spec);
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "minmax"; }
+
+ protected:
+  /// Refreshes scale_/zero_ from the observed statistics of `x`.
+  virtual void update_range(const Tensor& x);
+
+  EmaMinMaxObserver obs_;
+};
+
+/// MinMax with percentile clipping of the observed range.
+class PercentileQuantizer final : public QBase {
+ public:
+  explicit PercentileQuantizer(QSpec spec, float percentile = 0.999F);
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "percentile"; }
+
+ private:
+  PercentileObserver obs_;
+};
+
+}  // namespace t2c

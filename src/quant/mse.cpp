@@ -1,0 +1,64 @@
+#include "quant/mse.h"
+
+#include <cmath>
+
+namespace t2c {
+
+MSEQuantizer::MSEQuantizer(QSpec spec, int search_points)
+    : QBase(spec), search_points_(search_points) {
+  check(spec.granularity == QGranularity::kPerTensor,
+        "MSEQuantizer is per-tensor only");
+  check(search_points >= 4, "MSEQuantizer: need at least 4 search points");
+}
+
+double MSEQuantizer::mse_at(const Tensor& x, float clip) const {
+  const float s = clip / static_cast<float>(qmax_);
+  double acc = 0.0;
+  const float lo = static_cast<float>(qmin_), hi = static_cast<float>(qmax_);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float q = std::nearbyintf(x[i] / s);
+    q = std::min(hi, std::max(lo, q));
+    const double d = static_cast<double>(x[i]) - q * s;
+    acc += d * d;
+  }
+  return acc;
+}
+
+Tensor MSEQuantizer::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  if (update && !frozen()) {
+    float amax = 1e-8F;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      amax = std::max(amax, std::fabs(x[i]));
+    }
+    // Grid search over clip in [0.3, 1.0] * amax — tighter clips trade
+    // outlier error for resolution everywhere else.
+    float best_clip = amax;
+    double best = mse_at(x, amax);
+    for (int p = 1; p < search_points_; ++p) {
+      const float frac = 0.3F + 0.7F * static_cast<float>(p) /
+                                    static_cast<float>(search_points_ - 1);
+      const float clip = amax * frac;
+      const double e = mse_at(x, clip);
+      if (e < best) {
+        best = e;
+        best_clip = clip;
+      }
+    }
+    scale_[0] = best_clip / static_cast<float>(qmax_);
+    zero_[0] = 0.0F;
+  }
+  Tensor* mask = update ? &cached_inside_ : nullptr;
+  return fake_quant(x, mask);
+}
+
+Tensor MSEQuantizer::backward(const Tensor& grad_out) {
+  check(!cached_inside_.empty(), "MSEQuantizer::backward before forward");
+  Tensor g(grad_out.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * cached_inside_[i];
+  }
+  return g;
+}
+
+}  // namespace t2c

@@ -1,0 +1,28 @@
+// MSE-optimal range calibration: instead of trusting min/max (outlier
+// sensitive) or a fixed percentile, search over clipping scales for the one
+// minimizing the quantization mean-squared error on the observed batch —
+// the calibration mode industrial toolkits expose as "MSE"/"entropy".
+// Search is a simple golden-ratio-free grid over fractions of max|x|,
+// which is what the toolkits do in practice.
+#pragma once
+
+#include "quant/qbase.h"
+
+namespace t2c {
+
+class MSEQuantizer final : public QBase {
+ public:
+  explicit MSEQuantizer(QSpec spec, int search_points = 24);
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "mse"; }
+
+ private:
+  /// Quantization MSE of `x` under clip value `clip`.
+  double mse_at(const Tensor& x, float clip) const;
+
+  int search_points_;
+};
+
+}  // namespace t2c

@@ -1,0 +1,110 @@
+#include "quant/observer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/reduce.h"
+#include "util/check.h"
+
+namespace t2c {
+
+void EmaMinMaxObserver::observe(const Tensor& x) {
+  const auto [mn, mx] = min_max(x);
+  if (!initialized_) {
+    min_ = mn;
+    max_ = mx;
+    initialized_ = true;
+  } else {
+    min_ = (1.0F - momentum_) * min_ + momentum_ * mn;
+    max_ = (1.0F - momentum_) * max_ + momentum_ * mx;
+  }
+}
+
+void EmaMinMaxObserver::reset() {
+  initialized_ = false;
+  min_ = max_ = 0.0F;
+}
+
+PercentileObserver::PercentileObserver(float percentile, int bins)
+    : percentile_(percentile), bins_(bins) {
+  check(percentile > 0.5F && percentile <= 1.0F,
+        "PercentileObserver: percentile must be in (0.5, 1]");
+  check(bins >= 16, "PercentileObserver: need at least 16 bins");
+  hist_.assign(static_cast<std::size_t>(bins_), 0);
+}
+
+void PercentileObserver::observe(const Tensor& x) {
+  const auto [mn, mx] = min_max(x);
+  if (!range_set_) {
+    // Fix the histogram range on first observation, padded 2x so later
+    // batches with moderately larger values still land inside.
+    const float pad = std::max(1e-5F, 2.0F * std::max(std::fabs(mn),
+                                                      std::fabs(mx)));
+    range_lo_ = -pad;
+    range_hi_ = pad;
+    range_set_ = true;
+  }
+  const float inv_w =
+      static_cast<float>(bins_) / std::max(1e-12F, range_hi_ - range_lo_);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    int b = static_cast<int>((x[i] - range_lo_) * inv_w);
+    b = std::min(bins_ - 1, std::max(0, b));
+    ++hist_[static_cast<std::size_t>(b)];
+  }
+  total_ += x.numel();
+}
+
+void PercentileObserver::reset() {
+  std::fill(hist_.begin(), hist_.end(), 0);
+  total_ = 0;
+  range_set_ = false;
+}
+
+float PercentileObserver::lo() const {
+  check(total_ > 0, "PercentileObserver::lo before any observation");
+  const auto target = static_cast<std::int64_t>(
+      (1.0 - static_cast<double>(percentile_)) * static_cast<double>(total_));
+  std::int64_t acc = 0;
+  const float w = (range_hi_ - range_lo_) / static_cast<float>(bins_);
+  for (int b = 0; b < bins_; ++b) {
+    acc += hist_[static_cast<std::size_t>(b)];
+    if (acc > target) return range_lo_ + w * static_cast<float>(b);
+  }
+  return range_hi_;
+}
+
+float PercentileObserver::hi() const {
+  check(total_ > 0, "PercentileObserver::hi before any observation");
+  const auto target = static_cast<std::int64_t>(
+      (1.0 - static_cast<double>(percentile_)) * static_cast<double>(total_));
+  std::int64_t acc = 0;
+  const float w = (range_hi_ - range_lo_) / static_cast<float>(bins_);
+  for (int b = bins_ - 1; b >= 0; --b) {
+    acc += hist_[static_cast<std::size_t>(b)];
+    if (acc > target) return range_lo_ + w * static_cast<float>(b + 1);
+  }
+  return range_lo_;
+}
+
+void range_to_scale(float mn, float mx, std::int64_t qmin, std::int64_t qmax,
+                    bool is_unsigned, float& scale, float& zero) {
+  check(qmax > qmin, "range_to_scale: empty integer grid");
+  check(std::isfinite(mn) && std::isfinite(mx),
+        "range_to_scale: non-finite observed range (diverged training?)");
+  if (is_unsigned) {
+    // Asymmetric grid with integer zero point.
+    mn = std::min(mn, 0.0F);
+    mx = std::max(mx, 0.0F);
+    const float span = std::max(1e-12F, mx - mn);
+    scale = span / static_cast<float>(qmax - qmin);
+    zero = std::nearbyintf(static_cast<float>(qmin) - mn / scale);
+    zero = std::min(static_cast<float>(qmax),
+                    std::max(static_cast<float>(qmin), zero));
+  } else {
+    const float amax = std::max({std::fabs(mn), std::fabs(mx), 1e-12F});
+    scale = amax / static_cast<float>(qmax);
+    zero = 0.0F;
+  }
+}
+
+}  // namespace t2c

@@ -1,0 +1,60 @@
+// Range observers feeding the observer-driven quantizers (MinMax, and the
+// activation side of the PTQ flows).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace t2c {
+
+/// Exponential-moving-average min/max tracker (PyTorch-style observer).
+class EmaMinMaxObserver {
+ public:
+  explicit EmaMinMaxObserver(float momentum = 0.1F) : momentum_(momentum) {}
+
+  void observe(const Tensor& x);
+  void reset();
+
+  bool initialized() const { return initialized_; }
+  float min() const { return min_; }
+  float max() const { return max_; }
+
+ private:
+  float momentum_;
+  bool initialized_ = false;
+  float min_ = 0.0F;
+  float max_ = 0.0F;
+};
+
+/// Histogram-based percentile observer: robust to activation outliers
+/// (the paper's PTQ calibration option). Tracks a fixed-range histogram and
+/// reports the p / (1-p) quantiles.
+class PercentileObserver {
+ public:
+  explicit PercentileObserver(float percentile = 0.999F, int bins = 512);
+
+  void observe(const Tensor& x);
+  void reset();
+
+  bool initialized() const { return total_ > 0; }
+  /// Lower / upper clip values at the configured percentile.
+  float lo() const;
+  float hi() const;
+
+ private:
+  float percentile_;
+  int bins_;
+  float range_lo_ = 0.0F;
+  float range_hi_ = 0.0F;
+  bool range_set_ = false;
+  std::vector<std::int64_t> hist_;
+  std::int64_t total_ = 0;
+};
+
+/// Turns an observed (min, max) range into (scale, zero) for a grid with
+/// [qmin, qmax]; symmetric grids ignore the zero point.
+void range_to_scale(float mn, float mx, std::int64_t qmin, std::int64_t qmax,
+                    bool is_unsigned, float& scale, float& zero);
+
+}  // namespace t2c

@@ -1,0 +1,60 @@
+#include "quant/pact.h"
+
+#include <cmath>
+
+namespace t2c {
+
+PACTQuantizer::PACTQuantizer(QSpec spec, float alpha_init, float alpha_decay)
+    : QBase(spec), alpha_decay_(alpha_decay) {
+  check(spec.is_unsigned, "PACT expects an unsigned activation grid");
+  check(spec.granularity == QGranularity::kPerTensor,
+        "PACT is per-tensor only");
+  alpha_ = Param("pact.alpha", {1});
+  alpha_.apply_weight_decay = false;
+  alpha_.value[0] = alpha_init;
+}
+
+Tensor PACTQuantizer::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  const float a = std::max(alpha_.value[0], 1e-5F);
+  if (!frozen()) {
+    scale_[0] = a / static_cast<float>(qmax_);
+    zero_[0] = 0.0F;
+  }
+  const float s = scale_[0];
+  Tensor out(x.shape());
+  if (update) {
+    cached_inside_ = Tensor(x.shape());
+    cached_above_ = Tensor(x.shape());
+  }
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float clipped = std::min(a, std::max(0.0F, x[i]));
+    float q = std::nearbyintf(clipped / s);
+    q = std::min(static_cast<float>(qmax_), std::max(0.0F, q));
+    out[i] = q * s;
+    if (update) {
+      cached_inside_[i] = (x[i] > 0.0F && x[i] < a) ? 1.0F : 0.0F;
+      cached_above_[i] = (x[i] >= a) ? 1.0F : 0.0F;
+    }
+  }
+  return out;
+}
+
+Tensor PACTQuantizer::backward(const Tensor& grad_out) {
+  check(!cached_inside_.empty(), "PACTQuantizer::backward before forward");
+  Tensor g(grad_out.shape());
+  double galpha = 0.0;
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * cached_inside_[i];
+    galpha += static_cast<double>(grad_out[i]) * cached_above_[i];
+  }
+  alpha_.grad[0] += static_cast<float>(galpha) +
+                    alpha_decay_ * alpha_.value[0];
+  return g;
+}
+
+void PACTQuantizer::collect_params(std::vector<Param*>& out) {
+  out.push_back(&alpha_);
+}
+
+}  // namespace t2c

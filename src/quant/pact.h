@@ -1,0 +1,34 @@
+// PACT — Parameterized Clipping Activation (Choi et al., 2019).
+//
+// Activations are clipped to [0, alpha] with a *learnable* alpha; the
+// clipped range is quantized on an unsigned grid. dL/dalpha receives the
+// gradient of every clipped element, so the clip level co-adapts with the
+// weights during QAT.
+#pragma once
+
+#include "quant/qbase.h"
+
+namespace t2c {
+
+class PACTQuantizer final : public QBase {
+ public:
+  /// `alpha_init` — starting clip level; `alpha_decay` — L2 pull on alpha
+  /// (the PACT paper regularizes alpha; applied inside backward so the
+  /// optimizer needs no special casing).
+  explicit PACTQuantizer(QSpec spec, float alpha_init = 6.0F,
+                         float alpha_decay = 1e-4F);
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  std::string name() const override { return "pact"; }
+
+  float alpha() const { return alpha_.value[0]; }
+
+ private:
+  Param alpha_;
+  float alpha_decay_;
+  Tensor cached_above_;  ///< 1 where x >= alpha (gradient routes to alpha)
+};
+
+}  // namespace t2c

@@ -1,0 +1,220 @@
+#include "quant/ptq.h"
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "quant/adaround.h"
+#include "quant/qdrop.h"
+#include "quant/qlayers.h"
+#include "tensor/elementwise.h"
+
+namespace t2c {
+
+void calibrate(Module& model, DataLoader& loader, std::int64_t batches) {
+  model.set_mode(ExecMode::kCalibrate);
+  loader.start_epoch();
+  const std::int64_t n = std::min(batches, loader.batches_per_epoch());
+  check(n > 0, "calibrate: no calibration batches available");
+  for (std::int64_t b = 0; b < n; ++b) {
+    (void)model.forward(loader.batch(b).images);
+  }
+  freeze_quantizers(model);
+  model.set_mode(ExecMode::kEval);
+}
+
+double reconstruct_adaround(Module& model, DataLoader& loader,
+                            const ReconstructConfig& cfg) {
+  auto qlayers = collect_qlayers(model);
+  check(!qlayers.empty(), "reconstruct_adaround: model has no QLayers");
+
+  model.set_mode(ExecMode::kEval);
+  double total_mse = 0.0;
+  Rng rng(0xADA0);
+
+  for (QLayer* layer : qlayers) {
+    auto* ada = dynamic_cast<AdaRoundQuantizer*>(&layer->weight_quantizer());
+    if (ada == nullptr) continue;
+
+    // ---- 1. gather this layer's inputs under the (partially hardened)
+    //         quantized model ----
+    layer->set_capture_input(true);
+    std::vector<Tensor> captured;
+    loader.start_epoch();
+    const std::int64_t nb =
+        std::min(cfg.calib_batches, loader.batches_per_epoch());
+    for (std::int64_t b = 0; b < nb; ++b) {
+      (void)model.forward(loader.batch(b).images);
+      captured.push_back(layer->captured_input());
+    }
+    layer->set_capture_input(false);
+    Tensor inputs = cat0(captured);
+
+    // ---- 2. fp32 reference output of this layer on those inputs ----
+    Module& mod = layer->as_module();
+    QBase* aq = layer->act_quantizer();
+    ada->set_bypass(true);
+    if (aq != nullptr) aq->set_bypass(true);
+    Tensor fp_out = mod.forward(inputs);
+    ada->set_bypass(false);
+    if (aq != nullptr) aq->set_bypass(false);
+
+    // ---- 3. optimize the rounding variables ----
+    auto* drop = dynamic_cast<QDropActivation*>(aq);
+    if (drop != nullptr) drop->set_drop_enabled(cfg.qdrop);
+
+    std::vector<Param*> vparams{&ada->v()};
+    Adam opt(vparams, cfg.lr);
+    mod.set_mode(ExecMode::kTrain);
+    MSELoss mse;
+    const std::int64_t mb = std::min<std::int64_t>(16, inputs.size(0));
+    double last_loss = 0.0;
+    for (int it = 0; it < cfg.iters; ++it) {
+      // A fresh random minibatch per step, with the matching fp target.
+      const std::int64_t n = inputs.size(0);
+      Shape s = inputs.shape();
+      s[0] = mb;
+      Tensor xb(s);
+      Shape so = fp_out.shape();
+      so[0] = mb;
+      Tensor yb(so);
+      for (std::int64_t i = 0; i < mb; ++i) {
+        const int src = rng.randint(0, static_cast<int>(n) - 1);
+        xb.set0(i, inputs.select0(src));
+        yb.set0(i, fp_out.select0(src));
+      }
+      mod.zero_grad();
+      Tensor out = mod.forward(xb);
+      last_loss = mse.forward(out, yb);
+      (void)mod.backward(mse.backward());
+      const float progress = static_cast<float>(it) /
+                             static_cast<float>(std::max(1, cfg.iters - 1));
+      if (progress >= cfg.reg_warmup) {
+        const float t = (progress - cfg.reg_warmup) /
+                        std::max(1e-6F, 1.0F - cfg.reg_warmup);
+        const float beta =
+            cfg.beta_end + (cfg.beta_start - cfg.beta_end) * (1.0F - t);
+        (void)ada->accumulate_reg_grad(cfg.reg_lambda, beta);
+      }
+      opt.step();
+    }
+    total_mse += last_loss;
+
+    // ---- 4. harden and restore ----
+    ada->harden();
+    if (drop != nullptr) drop->set_drop_enabled(false);
+    mod.set_mode(ExecMode::kEval);
+  }
+  model.set_mode(ExecMode::kEval);
+  return total_mse;
+}
+
+double reconstruct_qdrop(Module& model, DataLoader& loader,
+                         ReconstructConfig cfg) {
+  cfg.qdrop = true;
+  return reconstruct_adaround(model, loader, cfg);
+}
+
+namespace {
+
+/// One reconstruction unit: a module plus the quantizers living inside it.
+double reconstruct_unit(Module& unit, Sequential& model, DataLoader& loader,
+                        const ReconstructConfig& cfg, Rng& rng) {
+  auto unit_layers = collect_qlayers(unit);
+  std::vector<AdaRoundQuantizer*> adas;
+  std::vector<QDropActivation*> drops;
+  for (QLayer* l : unit_layers) {
+    if (auto* a = dynamic_cast<AdaRoundQuantizer*>(&l->weight_quantizer())) {
+      adas.push_back(a);
+    }
+    if (auto* d = dynamic_cast<QDropActivation*>(l->act_quantizer())) {
+      drops.push_back(d);
+    }
+  }
+  if (adas.empty() || unit_layers.empty()) return 0.0;
+
+  // 1. Gather the unit's raw inputs under the partially-hardened model.
+  QLayer* probe = unit_layers.front();
+  probe->set_capture_input(true);
+  std::vector<Tensor> captured;
+  loader.start_epoch();
+  const std::int64_t nb =
+      std::min(cfg.calib_batches, loader.batches_per_epoch());
+  for (std::int64_t b = 0; b < nb; ++b) {
+    (void)model.forward(loader.batch(b).images);
+    captured.push_back(probe->captured_input());
+  }
+  probe->set_capture_input(false);
+  Tensor inputs = cat0(captured);
+
+  // 2. fp32 reference: bypass every quantizer inside the unit.
+  auto unit_quants = collect_all_quantizers(unit);
+  for (QBase* q : unit_quants) q->set_bypass(true);
+  Tensor fp_out = unit.forward(inputs);
+  for (QBase* q : unit_quants) q->set_bypass(false);
+
+  // 3. Joint optimization of every rounding variable in the unit.
+  for (QDropActivation* d : drops) d->set_drop_enabled(cfg.qdrop);
+  std::vector<Param*> vparams;
+  for (AdaRoundQuantizer* a : adas) vparams.push_back(&a->v());
+  Adam opt(vparams, cfg.lr);
+  unit.set_mode(ExecMode::kTrain);
+  MSELoss mse;
+  const std::int64_t mb = std::min<std::int64_t>(16, inputs.size(0));
+  double last_loss = 0.0;
+  for (int it = 0; it < cfg.iters; ++it) {
+    const std::int64_t n = inputs.size(0);
+    Shape s = inputs.shape();
+    s[0] = mb;
+    Tensor xb(s);
+    Shape so = fp_out.shape();
+    so[0] = mb;
+    Tensor yb(so);
+    for (std::int64_t i = 0; i < mb; ++i) {
+      const int src = rng.randint(0, static_cast<int>(n) - 1);
+      xb.set0(i, inputs.select0(src));
+      yb.set0(i, fp_out.select0(src));
+    }
+    unit.zero_grad();
+    Tensor out = unit.forward(xb);
+    last_loss = mse.forward(out, yb);
+    (void)unit.backward(mse.backward());
+    const float progress =
+        static_cast<float>(it) / static_cast<float>(std::max(1, cfg.iters - 1));
+    if (progress >= cfg.reg_warmup) {
+      const float t = (progress - cfg.reg_warmup) /
+                      std::max(1e-6F, 1.0F - cfg.reg_warmup);
+      const float beta =
+          cfg.beta_end + (cfg.beta_start - cfg.beta_end) * (1.0F - t);
+      for (AdaRoundQuantizer* a : adas) {
+        (void)a->accumulate_reg_grad(cfg.reg_lambda, beta);
+      }
+    }
+    opt.step();
+  }
+
+  for (AdaRoundQuantizer* a : adas) a->harden();
+  for (QDropActivation* d : drops) d->set_drop_enabled(false);
+  unit.set_mode(ExecMode::kEval);
+  return last_loss;
+}
+
+}  // namespace
+
+double reconstruct_blocks(Sequential& model, DataLoader& loader,
+                          const ReconstructConfig& cfg) {
+  model.set_mode(ExecMode::kEval);
+  Rng rng(0xB1EC);
+  double total = 0.0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    Module& child = model.child(i);
+    if (dynamic_cast<ResidualBlock*>(&child) != nullptr ||
+        dynamic_cast<QLayer*>(&child) != nullptr) {
+      total += reconstruct_unit(child, model, loader, cfg, rng);
+    }
+  }
+  model.set_mode(ExecMode::kEval);
+  return total;
+}
+
+}  // namespace t2c

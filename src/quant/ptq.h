@@ -1,0 +1,60 @@
+// Post-training quantization drivers.
+//
+//  * calibrate()            — streams calibration batches through the model
+//                             in kCalibrate mode so every observer settles,
+//                             then freezes all quantizers (MinMax PTQ — the
+//                             "OpenVINO" baseline of Table 1).
+//  * reconstruct_adaround() — AdaRound layer-wise reconstruction (Nagel et
+//                             al.): optimizes the learned rounding of each
+//                             QLayer against its fp32 output with the
+//                             annealed rounding regularizer (the "AIMET"
+//                             baseline of Table 1).
+//  * reconstruct_qdrop()    — same engine with QDrop activation dropping
+//                             enabled (Wei et al.) — the Torch2Chip rows of
+//                             Table 1.
+#pragma once
+
+#include <cstdint>
+
+#include "data/loader.h"
+#include "nn/module.h"
+#include "nn/sequential.h"
+
+namespace t2c {
+
+/// Runs `batches` calibration batches through the model with observers
+/// live, then freezes every quantizer.
+void calibrate(Module& model, DataLoader& loader, std::int64_t batches);
+
+struct ReconstructConfig {
+  std::int64_t calib_batches = 4;   ///< batches used to gather layer inputs
+  int iters = 200;                  ///< Adam steps per layer
+  float lr = 1e-2F;                 ///< Adam lr on the rounding variables
+  float reg_lambda = 0.01F;         ///< rounding-regularizer weight
+  float beta_start = 20.0F;         ///< annealed regularizer exponent
+  float beta_end = 2.0F;
+  /// Fraction of iters before the regularizer turns on (warmup phase
+  /// optimizes pure reconstruction MSE, as in the AdaRound paper).
+  float reg_warmup = 0.2F;
+  bool qdrop = false;               ///< enable QDrop activation dropping
+};
+
+/// AdaRound-style layer-wise reconstruction over every QLayer whose weight
+/// quantizer is an AdaRoundQuantizer. Requires observers to be calibrated
+/// first (call calibrate()). Returns the total final reconstruction MSE.
+double reconstruct_adaround(Module& model, DataLoader& loader,
+                            const ReconstructConfig& cfg);
+
+/// Convenience wrapper: ReconstructConfig with qdrop = true.
+double reconstruct_qdrop(Module& model, DataLoader& loader,
+                         ReconstructConfig cfg = {});
+
+/// BRECQ-style block-granular reconstruction (Li et al., 2021): residual
+/// blocks are optimized *jointly* against their fp32 block output (layers
+/// outside any block fall back to layer-wise units). Cross-layer
+/// dependencies inside a block are what layer-wise AdaRound misses; block
+/// granularity recovers them at the same calibration cost.
+double reconstruct_blocks(Sequential& model, DataLoader& loader,
+                          const ReconstructConfig& cfg);
+
+}  // namespace t2c

@@ -1,0 +1,72 @@
+#include "quant/qattention.h"
+
+#include "nn/activations.h"
+#include "tensor/elementwise.h"
+#include "tensor/matmul.h"
+
+namespace t2c {
+
+QMultiheadAttention::QMultiheadAttention(std::int64_t dim, std::int64_t heads,
+                                         Rng& rng, const QConfig& qcfg)
+    : MultiheadAttention(dim, heads, rng) {
+  // Replace the float projections with quantized ones. The attention input
+  // is LayerNorm output (signed), so the qkv input quantizer is signed.
+  QConfig signed_cfg = qcfg;
+  signed_cfg.act_unsigned = false;
+  // PACT requires unsigned activations; signed internals fall back to
+  // minmax observers, matching the original toolkit's ViT recipe.
+  if (signed_cfg.act_quantizer == "pact") signed_cfg.act_quantizer = "minmax";
+  qkv_ = std::make_unique<QLinear>(dim, 3 * dim, /*bias=*/true, rng,
+                                   signed_cfg);
+  qkv_->label = "attn.qkv";
+  proj_ = std::make_unique<QLinear>(dim, dim, /*bias=*/true, rng, signed_cfg);
+  proj_->label = "attn.proj";
+  qkv_q_ = static_cast<QLinear*>(qkv_.get());
+  proj_q_ = static_cast<QLinear*>(proj_.get());
+
+  QSpec sspec;
+  sspec.nbits = qcfg.abits;
+  sspec.is_unsigned = false;
+  q_quant_ = make_quantizer("minmax", sspec);
+  k_quant_ = make_quantizer("minmax", sspec);
+  v_quant_ = make_quantizer("minmax", sspec);
+  QSpec pspec;
+  pspec.nbits = qcfg.abits;
+  pspec.is_unsigned = true;  // probabilities live in [0, 1]
+  p_quant_ = make_quantizer("minmax", pspec);
+}
+
+Tensor QMultiheadAttention::forward(const Tensor& x) {
+  check(x.rank() == 3 && x.size(2) == dim_,
+        "QMultiheadAttention expects [N,T,D]");
+  const bool upd = is_training() || is_calibrating();
+  Tensor qkv = qkv_->forward(x);
+  Tensor q = q_quant_->forward(split_heads(qkv, 0, heads_), upd);
+  Tensor k = k_quant_->forward(split_heads(qkv, 1, heads_), upd);
+  Tensor v = v_quant_->forward(split_heads(qkv, 2, heads_), upd);
+
+  Tensor logits = bmm(q, k, false, true);
+  mul_scalar_(logits, scale_);
+  Tensor p = p_quant_->forward(softmax_lastdim(logits), upd);
+  Tensor ctx = bmm(p, v);
+  if (is_training()) {
+    // Cache the quantized streams: the parent backward then differentiates
+    // the exact computation the forward performed (identity STE through the
+    // stream quantizers).
+    cached_q_ = std::move(q);
+    cached_k_ = std::move(k);
+    cached_v_ = std::move(v);
+    cached_p_ = p;
+  }
+  Tensor merged = merge_heads(ctx, heads_);
+  return proj_->forward(merged);
+}
+
+void QMultiheadAttention::collect_local_quantizers(std::vector<QBase*>& out) {
+  out.push_back(q_quant_.get());
+  out.push_back(k_quant_.get());
+  out.push_back(v_quant_.get());
+  out.push_back(p_quant_.get());
+}
+
+}  // namespace t2c

@@ -1,0 +1,43 @@
+// Quantized multi-head attention (paper §3.2.2, Fig. 4).
+//
+// Weights of the fused qkv / output projections are quantized via QLinear;
+// the intermediate streams (q, k, v, attention probabilities, and the
+// context output) each get a per-tensor activation quantizer so that every
+// matmul of the deploy graph runs on integers. The training path applies
+// fake-quantization to those streams with identity STE (the clip masks are
+// nearly always open at 8-bit; documented simplification), so the parent's
+// backward remains exact w.r.t. the cached quantized tensors.
+#pragma once
+
+#include "nn/attention.h"
+#include "quant/qlayers.h"
+
+namespace t2c {
+
+class QMultiheadAttention final : public MultiheadAttention {
+ public:
+  QMultiheadAttention(std::int64_t dim, std::int64_t heads, Rng& rng,
+                      const QConfig& qcfg);
+
+  Tensor forward(const Tensor& x) override;
+  void collect_local_quantizers(std::vector<QBase*>& out) override;
+  std::string kind() const override { return "QMultiheadAttention"; }
+
+  QLinear& q_qkv() { return *qkv_q_; }
+  QLinear& q_proj() { return *proj_q_; }
+  QBase& q_quant() { return *q_quant_; }
+  QBase& k_quant() { return *k_quant_; }
+  QBase& v_quant() { return *v_quant_; }
+  QBase& p_quant() { return *p_quant_; }
+
+ private:
+  // Owned by the base class unique_ptrs; typed aliases for quantized access.
+  QLinear* qkv_q_ = nullptr;
+  QLinear* proj_q_ = nullptr;
+  std::unique_ptr<QBase> q_quant_;
+  std::unique_ptr<QBase> k_quant_;
+  std::unique_ptr<QBase> v_quant_;
+  std::unique_ptr<QBase> p_quant_;  ///< softmax probabilities (unsigned)
+};
+
+}  // namespace t2c

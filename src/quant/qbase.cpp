@@ -1,0 +1,111 @@
+#include "quant/qbase.h"
+
+#include <cmath>
+#include <map>
+
+namespace t2c {
+
+void QSpec::validate() const {
+  check(nbits >= 2 && nbits <= 16, "QSpec: nbits must be in [2, 16]");
+}
+
+QBase::QBase(QSpec spec) : spec_(spec) {
+  spec_.validate();
+  qmin_ = spec_.qmin();
+  qmax_ = spec_.qmax();
+  scale_ = Tensor({1}, 1.0F);
+  zero_ = Tensor({1}, 0.0F);
+}
+
+void QBase::collect_params(std::vector<Param*>&) {}
+
+void QBase::scale_zero_at(std::int64_t i, std::int64_t per, float& s,
+                          float& z) const {
+  if (scale_.numel() == 1) {
+    s = scale_[0];
+    z = zero_[0];
+  } else {
+    const std::int64_t c = i / per;
+    s = scale_[c];
+    z = zero_[c];
+  }
+}
+
+Tensor QBase::fake_quant(const Tensor& x, Tensor* inside_mask) const {
+  Tensor out(x.shape());
+  if (inside_mask != nullptr) *inside_mask = Tensor(x.shape());
+  const std::int64_t per =
+      scale_.numel() == 1 ? x.numel() : x.numel() / scale_.numel();
+  const float fqmin = static_cast<float>(qmin_);
+  const float fqmax = static_cast<float>(qmax_);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float s, z;
+    scale_zero_at(i, per, s, z);
+    const float q = std::nearbyintf(x[i] / s) + z;
+    const bool inside = q >= fqmin && q <= fqmax;
+    const float qc = std::min(fqmax, std::max(fqmin, q));
+    out[i] = (qc - z) * s;
+    if (inside_mask != nullptr) (*inside_mask)[i] = inside ? 1.0F : 0.0F;
+  }
+  return out;
+}
+
+ITensor QBase::quantize(const Tensor& x) const {
+  ITensor out(x.shape());
+  const std::int64_t per =
+      scale_.numel() == 1 ? x.numel() : x.numel() / scale_.numel();
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    float s, z;
+    scale_zero_at(i, per, s, z);
+    const std::int64_t q =
+        static_cast<std::int64_t>(std::nearbyintf(x[i] / s)) +
+        static_cast<std::int64_t>(z);
+    out[i] = std::min(qmax_, std::max(qmin_, q));
+  }
+  return out;
+}
+
+Tensor QBase::dequantize(const ITensor& q) const {
+  Tensor out(q.shape());
+  const std::int64_t per =
+      scale_.numel() == 1 ? q.numel() : q.numel() / scale_.numel();
+  for (std::int64_t i = 0; i < q.numel(); ++i) {
+    float s, z;
+    scale_zero_at(i, per, s, z);
+    out[i] = (static_cast<float>(q[i]) - z) * s;
+  }
+  return out;
+}
+
+namespace {
+std::map<std::string, QuantizerFactory>& quantizer_registry() {
+  static std::map<std::string, QuantizerFactory> reg;
+  return reg;
+}
+}  // namespace
+
+void register_quantizer(const std::string& name, QuantizerFactory factory) {
+  check(factory != nullptr, "register_quantizer: null factory");
+  quantizer_registry()[name] = factory;
+}
+
+std::unique_ptr<QBase> make_quantizer(const std::string& name, QSpec spec) {
+  ensure_builtin_quantizers();
+  auto& reg = quantizer_registry();
+  auto it = reg.find(name);
+  if (it == reg.end()) {
+    std::string known;
+    for (const auto& [k, v] : reg) known += k + " ";
+    fail("unknown quantizer '" + name + "'; registered: " + known);
+  }
+  return it->second(spec);
+}
+
+std::vector<std::string> registered_quantizers() {
+  ensure_builtin_quantizers();
+  std::vector<std::string> out;
+  for (const auto& [k, v] : quantizer_registry()) out.push_back(k);
+  return out;
+}
+
+}  // namespace t2c

@@ -1,0 +1,130 @@
+// QBase: the bottom-level "Dual-Path" quantizer of Torch2Chip (paper §3.1).
+//
+// Every quantizer exposes two computation paths:
+//   * training path  — forward() returns the *dequantized* (fake-quantized)
+//     float tensor; straight-through gradients flow via backward(); learnable
+//     quantizer parameters (PACT alpha, LSQ scale, AdaRound offsets, RCF
+//     clip) accumulate gradients here.
+//   * inference path — quantize() returns the raw integers; dequantize()
+//     maps them back. After freeze(), scale/zero-point are immutable, and
+//     the pair (quantize, scale, zero) is what the fusion/deploy stage
+//     extracts.
+//
+// Users implementing a custom algorithm subclass QBase, implement the
+// training path, and keep `scale_`/`zero_` up to date — conversion and
+// parameter extraction then work automatically, which is the paper's
+// central usability claim.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace t2c {
+
+enum class QGranularity { kPerTensor, kPerChannel };
+
+/// Static description of the integer grid a quantizer targets.
+struct QSpec {
+  int nbits = 8;
+  bool is_unsigned = false;  ///< true: [0, 2^n - 1]; false: ±(2^(n-1) - 1)
+  QGranularity granularity = QGranularity::kPerTensor;
+
+  std::int64_t qmin() const {
+    return is_unsigned ? 0 : -((std::int64_t{1} << (nbits - 1)) - 1);
+  }
+  std::int64_t qmax() const {
+    return is_unsigned ? (std::int64_t{1} << nbits) - 1
+                       : (std::int64_t{1} << (nbits - 1)) - 1;
+  }
+  void validate() const;
+};
+
+class QBase {
+ public:
+  explicit QBase(QSpec spec);
+  virtual ~QBase() = default;
+  QBase(const QBase&) = delete;
+  QBase& operator=(const QBase&) = delete;
+
+  // ---- training path ----
+  /// Fake-quantize `x`. When `update` is true (training / calibration),
+  /// observers run and learnable parameters participate; when false the
+  /// frozen parameters are applied verbatim.
+  virtual Tensor forward(const Tensor& x, bool update) = 0;
+
+  /// Straight-through backward for the most recent forward(x, true).
+  /// Returns dL/dx and accumulates gradients of learnable parameters.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Learnable parameters (empty for observer-only quantizers).
+  virtual void collect_params(std::vector<Param*>& out);
+
+  // ---- inference path ----
+  /// Integer projection of `x` using the current scale/zero-point:
+  /// q = clamp(round(x / s) + z, qmin, qmax), per tensor or per channel.
+  virtual ITensor quantize(const Tensor& x) const;
+
+  /// Dequantize integers back to float: (q - z) * s.
+  virtual Tensor dequantize(const ITensor& q) const;
+
+  /// Stops observer updates and finalizes scale/zero for deployment.
+  virtual void freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
+  /// Bypass: forward() returns x untouched (used to obtain fp references
+  /// during PTQ reconstruction). quantize() is unaffected.
+  void set_bypass(bool b) { bypass_ = b; }
+  bool bypassed() const { return bypass_; }
+
+  // ---- extracted parameters (the paper's registered buffers) ----
+  const QSpec& spec() const { return spec_; }
+  /// Scale tensor: 1 entry (per-tensor) or OC entries (per-channel).
+  const Tensor& scale() const { return scale_; }
+  /// Integer zero point, same arity as scale (stored as float tensor).
+  const Tensor& zero_point() const { return zero_; }
+  std::int64_t qmin() const { return qmin_; }
+  std::int64_t qmax() const { return qmax_; }
+
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Shared fake-quant kernel: clamp(round(x/s)+z) then dequantize, using
+  /// the current scale_/zero_ tensors. Fills `inside_mask` (1 where the
+  /// value was not clipped) when non-null — the default STE needs it.
+  Tensor fake_quant(const Tensor& x, Tensor* inside_mask) const;
+
+  /// Resolves the scale/zero entry for flat element `i` of a tensor with
+  /// `per` elements per channel (per-channel weights are [OC, ...]).
+  void scale_zero_at(std::int64_t i, std::int64_t per, float& s,
+                     float& z) const;
+
+  QSpec spec_;
+  Tensor scale_;  ///< [1] or [OC]; always > 0
+  Tensor zero_;   ///< [1] or [OC]; integer-valued
+  std::int64_t qmin_ = 0;
+  std::int64_t qmax_ = 0;
+  bool frozen_ = false;
+  bool bypass_ = false;
+
+  // default-STE cache
+  Tensor cached_inside_;
+};
+
+/// Factory registry: quantizers are constructible by name so experiment
+/// configs stay declarative ("sawb", "pact", "minmax", "lsq", "rcf",
+/// "adaround", ...).
+using QuantizerFactory = std::unique_ptr<QBase> (*)(QSpec);
+std::unique_ptr<QBase> make_quantizer(const std::string& name, QSpec spec);
+std::vector<std::string> registered_quantizers();
+void register_quantizer(const std::string& name, QuantizerFactory factory);
+
+/// Registers the built-in quantizers (idempotent); called automatically by
+/// make_quantizer, and defined in quant/builtin.cpp so a static-library
+/// build cannot drop the registrations.
+void ensure_builtin_quantizers();
+
+}  // namespace t2c

@@ -1,0 +1,40 @@
+#include "quant/qdrop.h"
+
+namespace t2c {
+
+QDropActivation::QDropActivation(QSpec spec, float drop_p, std::uint64_t seed)
+    : MinMaxQuantizer(spec), drop_p_(drop_p), rng_(seed) {
+  check(drop_p >= 0.0F && drop_p <= 1.0F, "QDrop: drop_p must be in [0,1]");
+  check(spec.granularity == QGranularity::kPerTensor,
+        "QDropActivation is per-tensor only");
+}
+
+Tensor QDropActivation::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  if (update && !frozen()) update_range(x);
+  Tensor* mask = update ? &cached_inside_ : nullptr;
+  Tensor fq = fake_quant(x, mask);
+  if (!drop_enabled_) return fq;
+  // Random pass-through: with probability drop_p the fp value survives.
+  if (update) cached_drop_ = Tensor(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const bool keep_fp = rng_.bernoulli(drop_p_);
+    if (keep_fp) fq[i] = x[i];
+    if (update) cached_drop_[i] = keep_fp ? 1.0F : 0.0F;
+  }
+  return fq;
+}
+
+Tensor QDropActivation::backward(const Tensor& grad_out) {
+  check(!cached_inside_.empty(), "QDropActivation::backward before forward");
+  Tensor g(grad_out.shape());
+  const bool dropped = drop_enabled_ && !cached_drop_.empty();
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    const float pass =
+        dropped && cached_drop_[i] > 0.5F ? 1.0F : cached_inside_[i];
+    g[i] = grad_out[i] * pass;
+  }
+  return g;
+}
+
+}  // namespace t2c

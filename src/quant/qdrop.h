@@ -1,0 +1,37 @@
+// QDrop (Wei et al., 2022) — the activation-side mechanism: during PTQ
+// reconstruction, each activation element is quantized only with
+// probability p (default 0.5) and passed through at full precision
+// otherwise. Randomly "dropping" quantization flattens the loss landscape
+// w.r.t. activation perturbation and is the method behind the paper's
+// Table 1 Torch2Chip rows. The block-reconstruction driver lives in
+// quant/ptq.h; at deployment the drop is disabled and the quantizer
+// behaves as a frozen MinMax activation quantizer.
+#pragma once
+
+#include "quant/minmax.h"
+#include "util/rng.h"
+
+namespace t2c {
+
+class QDropActivation final : public MinMaxQuantizer {
+ public:
+  explicit QDropActivation(QSpec spec, float drop_p = 0.5F,
+                           std::uint64_t seed = 0xD20Fu);
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "qdrop"; }
+
+  /// Enables/disables the random drop (enabled only during reconstruction).
+  void set_drop_enabled(bool on) { drop_enabled_ = on; }
+  bool drop_enabled() const { return drop_enabled_; }
+  float drop_p() const { return drop_p_; }
+
+ private:
+  float drop_p_;
+  bool drop_enabled_ = false;
+  Rng rng_;
+  Tensor cached_drop_;  ///< 1 where the element kept full precision
+};
+
+}  // namespace t2c

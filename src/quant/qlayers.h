@@ -1,0 +1,129 @@
+// Quantized layers: the second level of the paper's hierarchy (Fig. 2).
+// QConv2d / QLinear embed a weight quantizer and an (optional) input
+// activation quantizer into the float layers, and add the integer-only
+// verification path selected by ExecMode::kIntInfer.
+//
+// They also carry the optional sparsity mask (Table 3): pruned positions
+// are zeroed in the effective weight before quantization, their gradients
+// are suppressed, and the zeros survive into the extracted integer model.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "quant/qbase.h"
+
+namespace t2c {
+
+/// Declarative description of how to quantize a layer; model builders pass
+/// one QConfig and get a uniformly configured network.
+struct QConfig {
+  std::string weight_quantizer = "minmax";
+  std::string act_quantizer = "minmax";
+  int wbits = 8;
+  int abits = 8;
+  QGranularity weight_granularity = QGranularity::kPerChannel;
+  bool act_unsigned = true;  ///< activations follow a ReLU-family nonlinearity
+
+  /// Builds the weight-side quantizer (forces per-tensor granularity for
+  /// algorithms whose clip parameter is a scalar).
+  std::unique_ptr<QBase> make_weight_quantizer() const;
+  /// Builds the activation-side quantizer.
+  std::unique_ptr<QBase> make_act_quantizer() const;
+};
+
+/// Interface shared by every quantized compute layer; the PTQ drivers, the
+/// pruners and the T2C converter discover these via dynamic_cast over the
+/// module tree.
+class QLayer {
+ public:
+  virtual ~QLayer() = default;
+
+  virtual QBase& weight_quantizer() = 0;
+  virtual QBase* act_quantizer() = 0;  ///< null when input is not quantized
+  virtual Param& weight_param() = 0;
+  virtual Module& as_module() = 0;
+
+  // ---- sparsity (Table 3) ----
+  /// Installs a {0,1} mask of the weight shape; cleared by std::nullopt.
+  void set_mask(std::optional<Tensor> mask);
+  const Tensor* mask() const { return mask_ ? &*mask_ : nullptr; }
+  /// Weight with the mask applied (copy).
+  Tensor masked_weight() const;
+
+  // ---- PTQ support ----
+  /// When enabled, the next forward stores its raw (pre-quantizer) input.
+  void set_capture_input(bool on) { capture_input_ = on; }
+  const Tensor& captured_input() const;
+
+  /// Frozen integer weights for extraction: wq.quantize(masked weight).
+  ITensor integer_weight() const;
+
+ protected:
+  std::optional<Tensor> mask_;
+  bool capture_input_ = false;
+  Tensor captured_input_;
+};
+
+class QConv2d final : public Conv2d, public QLayer {
+ public:
+  /// `quantize_input` is disabled for the stem layer when the input image
+  /// is consumed at full precision (or quantized by the deploy harness).
+  QConv2d(ConvSpec spec, bool bias, Rng& rng, const QConfig& qcfg,
+          bool quantize_input = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_local_params(std::vector<Param*>& out) override;
+  std::string kind() const override { return "QConv2d"; }
+
+  QBase& weight_quantizer() override { return *wq_; }
+  QBase* act_quantizer() override { return aq_.get(); }
+  Param& weight_param() override { return weight_; }
+  Module& as_module() override { return *this; }
+  void collect_local_quantizers(std::vector<QBase*>& out) override;
+
+  /// Float result of the integer verification path (dual-path check).
+  Tensor int_path_forward(const Tensor& x);
+
+ private:
+  std::unique_ptr<QBase> wq_;
+  std::unique_ptr<QBase> aq_;
+};
+
+class QLinear final : public Linear, public QLayer {
+ public:
+  QLinear(std::int64_t in_features, std::int64_t out_features, bool bias,
+          Rng& rng, const QConfig& qcfg, bool quantize_input = true);
+
+  Tensor forward(const Tensor& x) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_local_params(std::vector<Param*>& out) override;
+  std::string kind() const override { return "QLinear"; }
+
+  QBase& weight_quantizer() override { return *wq_; }
+  QBase* act_quantizer() override { return aq_.get(); }
+  Param& weight_param() override { return weight_; }
+  Module& as_module() override { return *this; }
+  void collect_local_quantizers(std::vector<QBase*>& out) override;
+
+  Tensor int_path_forward(const Tensor& x);
+
+ private:
+  std::unique_ptr<QBase> wq_;
+  std::unique_ptr<QBase> aq_;
+};
+
+/// Depth-first collection of every QLayer under `root` (includes root).
+std::vector<QLayer*> collect_qlayers(Module& root);
+
+/// Every quantizer hosted anywhere in the subtree (layers + attention).
+std::vector<QBase*> collect_all_quantizers(Module& root);
+
+/// Freezes every quantizer under `root` (ends calibration).
+void freeze_quantizers(Module& root);
+
+}  // namespace t2c

@@ -1,0 +1,139 @@
+#include "quant/rcf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace t2c {
+
+void apot_levels(int nbits, std::vector<std::int64_t>& numerators,
+                 std::int64_t& denominator) {
+  std::set<std::int64_t> nums;
+  if (nbits == 2) {
+    denominator = 1;
+    nums = {0, 1};
+  } else if (nbits == 3) {
+    // {0, 2^-2, 2^-1, 2^0} over denominator 4.
+    denominator = 4;
+    nums = {0, 1, 2, 4};
+  } else if (nbits == 4) {
+    // Two additive PoT terms: p1 in {0, 2^0, 2^-2, 2^-4},
+    // p2 in {0, 2^-1, 2^-3, 2^-5}; common denominator 32, max sum 48.
+    const std::int64_t p1[] = {0, 32, 8, 2};
+    const std::int64_t p2[] = {0, 16, 4, 1};
+    for (auto a : p1) {
+      for (auto b : p2) nums.insert(a + b);
+    }
+    denominator = 48;
+  } else {
+    // >= 5 bits: uniform grid (APoT gains vanish at higher precision).
+    denominator = (std::int64_t{1} << (nbits - 1)) - 1;
+    for (std::int64_t i = 0; i <= denominator; ++i) nums.insert(i);
+  }
+  numerators.assign(nums.begin(), nums.end());
+}
+
+RCFQuantizer::RCFQuantizer(QSpec spec) : QBase(spec) {
+  check(!spec.is_unsigned, "RCF is a (signed) weight quantizer");
+  check(spec.granularity == QGranularity::kPerTensor,
+        "RCFQuantizer is per-tensor (alpha is a scalar parameter)");
+  apot_levels(spec_.nbits, nums_, denom_);
+  // Integer grid seen by the deploy path: numerators in [-D, D].
+  qmin_ = -denom_;
+  qmax_ = denom_;
+  alpha_ = Param("rcf.alpha", {1});
+  alpha_.apply_weight_decay = false;
+  alpha_.value[0] = 1.0F;
+}
+
+std::int64_t RCFQuantizer::project(float u_abs) const {
+  const float target = u_abs * static_cast<float>(denom_);
+  // nums_ is sorted; branchless-enough binary search for nearest.
+  auto it = std::lower_bound(nums_.begin(), nums_.end(),
+                             static_cast<std::int64_t>(std::ceil(target)));
+  std::int64_t best = nums_.back();
+  float best_d = std::fabs(target - static_cast<float>(best));
+  const auto consider = [&](std::vector<std::int64_t>::const_iterator c) {
+    if (c == nums_.end()) return;
+    const float d = std::fabs(target - static_cast<float>(*c));
+    if (d < best_d) {
+      best_d = d;
+      best = *c;
+    }
+  };
+  consider(it);
+  if (it != nums_.begin()) consider(std::prev(it));
+  return best;
+}
+
+Tensor RCFQuantizer::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  if (!alpha_init_ && update && !frozen()) {
+    float amax = 1e-8F;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+      amax = std::max(amax, std::fabs(x[i]));
+    }
+    alpha_.value[0] = amax;
+    alpha_init_ = true;
+  }
+  const float a = std::max(alpha_.value[0], 1e-6F);
+  if (!frozen()) {
+    scale_[0] = a / static_cast<float>(denom_);
+    zero_[0] = 0.0F;
+  }
+  Tensor out(x.shape());
+  if (update) {
+    cached_u_ = Tensor(x.shape());
+    cached_level_ = Tensor(x.shape());
+  }
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float u = x[i] / a;
+    const float uc = std::min(1.0F, std::max(-1.0F, u));
+    const float sign = uc < 0.0F ? -1.0F : 1.0F;
+    const float level =
+        sign * static_cast<float>(project(std::fabs(uc))) /
+        static_cast<float>(denom_);
+    out[i] = a * level;
+    if (update) {
+      cached_u_[i] = u;
+      cached_level_[i] = level;
+    }
+  }
+  return out;
+}
+
+Tensor RCFQuantizer::backward(const Tensor& grad_out) {
+  check(!cached_u_.empty(), "RCFQuantizer::backward before forward");
+  Tensor g(grad_out.shape());
+  double ga = 0.0;
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    const float u = cached_u_[i];
+    const bool inside = u > -1.0F && u < 1.0F;
+    g[i] = inside ? grad_out[i] : 0.0F;
+    // y = alpha * P(clip(u)); dy/dalpha = P(u) - u (inside, STE on P) or
+    // sign(u) (clipped region).
+    const float d = inside ? (cached_level_[i] - u)
+                           : (u <= -1.0F ? -1.0F : 1.0F);
+    ga += static_cast<double>(grad_out[i]) * d;
+  }
+  alpha_.grad[0] += static_cast<float>(ga);
+  return g;
+}
+
+void RCFQuantizer::collect_params(std::vector<Param*>& out) {
+  out.push_back(&alpha_);
+}
+
+ITensor RCFQuantizer::quantize(const Tensor& x) const {
+  const float a = std::max(alpha_.value[0], 1e-6F);
+  ITensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const float u = x[i] / a;
+    const float uc = std::min(1.0F, std::max(-1.0F, u));
+    const std::int64_t m = project(std::fabs(uc));
+    out[i] = uc < 0.0F ? -m : m;
+  }
+  return out;
+}
+
+}  // namespace t2c

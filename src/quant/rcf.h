@@ -1,0 +1,50 @@
+// RCF / APoT — Additive-Powers-of-Two quantization with the Reparameterized
+// Clipping Function (Li et al., 2020). Weights are clipped to a learnable
+// [-alpha, alpha] and projected onto a level set built from sums of
+// powers of two, which hardware realizes with shift-and-add instead of
+// multipliers.
+//
+// Deployment mapping: every APoT level is a dyadic rational m / D (D = the
+// common denominator), so the integer the deploy path stores is the
+// numerator m, and the effective scale is alpha / D. qmin/qmax become
+// [-D, D]. quantize() overrides the uniform grid projection with a
+// nearest-level search, keeping the rest of the toolkit unchanged —
+// exactly the "customize the training path only" promise of the paper.
+#pragma once
+
+#include "quant/qbase.h"
+
+namespace t2c {
+
+/// Builds the sorted non-negative APoT numerators and common denominator
+/// for a bit-width (uniform grid for nbits >= 5).
+void apot_levels(int nbits, std::vector<std::int64_t>& numerators,
+                 std::int64_t& denominator);
+
+class RCFQuantizer final : public QBase {
+ public:
+  explicit RCFQuantizer(QSpec spec);
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect_params(std::vector<Param*>& out) override;
+  ITensor quantize(const Tensor& x) const override;
+  std::string name() const override { return "rcf"; }
+
+  float alpha() const { return alpha_.value[0]; }
+  const std::vector<std::int64_t>& numerators() const { return nums_; }
+  std::int64_t denominator() const { return denom_; }
+
+ private:
+  /// Nearest-level numerator for |u| <= 1 (u = w / alpha).
+  std::int64_t project(float u_abs) const;
+
+  Param alpha_;
+  bool alpha_init_ = false;
+  std::vector<std::int64_t> nums_;
+  std::int64_t denom_ = 1;
+  Tensor cached_u_;       ///< w / alpha
+  Tensor cached_level_;   ///< projected signed level value (float, in [-1,1])
+};
+
+}  // namespace t2c

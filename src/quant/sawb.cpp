@@ -1,0 +1,83 @@
+#include "quant/sawb.h"
+
+#include <cmath>
+
+namespace t2c {
+
+void sawb_coefficients(int nbits, float& c1, float& c2) {
+  switch (nbits) {
+    case 2:
+      c1 = 3.12F;
+      c2 = -2.064F;
+      return;
+    case 3:
+      c1 = 7.509F;
+      c2 = -6.892F;
+      return;
+    case 4:
+      c1 = 12.68F;
+      c2 = -12.80F;
+      return;
+    case 5:
+      c1 = 17.74F;
+      c2 = -18.64F;
+      return;
+    default:
+      // Out of the fitted range: 4-sigma clipping is a robust default.
+      c1 = 4.0F;
+      c2 = 0.0F;
+      return;
+  }
+}
+
+SAWBQuantizer::SAWBQuantizer(QSpec spec) : QBase(spec) {
+  check(!spec.is_unsigned, "SAWB is a (signed) weight quantizer");
+}
+
+void SAWBQuantizer::update_scale(const Tensor& w) {
+  float c1, c2;
+  sawb_coefficients(spec_.nbits, c1, c2);
+  const auto alpha_of = [&](const float* p, std::int64_t n) {
+    double e1 = 0.0, e2 = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      e1 += std::fabs(p[i]);
+      e2 += static_cast<double>(p[i]) * p[i];
+    }
+    e1 /= static_cast<double>(n);
+    e2 /= static_cast<double>(n);
+    const double a = c1 * std::sqrt(e2) + c2 * e1;
+    return static_cast<float>(std::max(a, 1e-8));
+  };
+  if (spec_.granularity == QGranularity::kPerChannel) {
+    const std::int64_t oc = w.size(0);
+    const std::int64_t per = w.numel() / oc;
+    if (scale_.numel() != oc) {
+      scale_ = Tensor({oc}, 1.0F);
+      zero_ = Tensor({oc}, 0.0F);
+    }
+    for (std::int64_t c = 0; c < oc; ++c) {
+      scale_[c] = alpha_of(w.data() + c * per, per) /
+                  static_cast<float>(qmax_);
+    }
+  } else {
+    scale_[0] = alpha_of(w.data(), w.numel()) / static_cast<float>(qmax_);
+  }
+}
+
+Tensor SAWBQuantizer::forward(const Tensor& x, bool update) {
+  if (bypassed()) return x;
+  if (update && !frozen()) update_scale(x);
+  Tensor* mask = update ? &cached_inside_ : nullptr;
+  return fake_quant(x, mask);
+}
+
+Tensor SAWBQuantizer::backward(const Tensor& grad_out) {
+  check(!cached_inside_.empty(), "SAWBQuantizer::backward before forward");
+  Tensor g(grad_out.shape());
+  for (std::int64_t i = 0; i < g.numel(); ++i) {
+    g[i] = grad_out[i] * cached_inside_[i];
+  }
+  return g;
+}
+
+}  // namespace t2c

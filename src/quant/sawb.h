@@ -1,0 +1,29 @@
+// SAWB — Statistics-Aware Weight Binning (Choi et al., 2019).
+//
+// The clipping scale is computed in closed form from the first two absolute
+// moments of the weight distribution: alpha* = c1 * sqrt(E[w^2]) + c2 *
+// E[|w|], with (c1, c2) fitted per bit-width. Table 2 pairs SAWB (weights)
+// with PACT (activations) for the 2/2 and 4/4 ResNet-20 rows.
+#pragma once
+
+#include "quant/qbase.h"
+
+namespace t2c {
+
+/// Fitted (c1, c2) for a given bit-width (values from the SAWB paper's
+/// regression; widths without a published pair fall back to 4-sigma).
+void sawb_coefficients(int nbits, float& c1, float& c2);
+
+class SAWBQuantizer final : public QBase {
+ public:
+  explicit SAWBQuantizer(QSpec spec);
+
+  Tensor forward(const Tensor& x, bool update) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "sawb"; }
+
+ private:
+  void update_scale(const Tensor& w);
+};
+
+}  // namespace t2c

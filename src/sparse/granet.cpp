@@ -1,0 +1,88 @@
+#include "sparse/granet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t2c {
+
+GraNetPruner::GraNetPruner(GraNetConfig cfg) : cfg_(cfg) {
+  check(cfg.final_sparsity >= 0.0 && cfg.final_sparsity < 1.0,
+        "GraNet: final sparsity must be in [0, 1)");
+  check(cfg.init_sparsity >= 0.0 && cfg.init_sparsity <= cfg.final_sparsity,
+        "GraNet: init sparsity must be <= final");
+  check(cfg.prune_every > 0, "GraNet: prune_every must be positive");
+}
+
+double GraNetPruner::sparsity_at(std::int64_t t,
+                                 std::int64_t total_steps) const {
+  const double progress = std::min(
+      1.0, static_cast<double>(t) / std::max<std::int64_t>(1, total_steps));
+  const double ramp = 1.0 - std::pow(1.0 - progress, 3.0);
+  return cfg_.init_sparsity +
+         (cfg_.final_sparsity - cfg_.init_sparsity) * ramp;
+}
+
+void GraNetPruner::apply(const std::vector<QLayer*>& layers,
+                         double sparsity) {
+  MagnitudePruner mag;
+  mag.apply(layers, sparsity);
+}
+
+void GraNetPruner::step(const std::vector<QLayer*>& layers, std::int64_t t,
+                        std::int64_t total_steps) {
+  if (t % cfg_.prune_every != 0) return;
+  force_step(layers, t, total_steps);
+}
+
+void GraNetPruner::force_step(const std::vector<QLayer*>& layers,
+                              std::int64_t t, std::int64_t total_steps) {
+  const double target = sparsity_at(t, total_steps);
+  const double progress = std::min(
+      1.0, static_cast<double>(t) / std::max<std::int64_t>(1, total_steps));
+  const double regrow = cfg_.regrow_fraction * (1.0 - progress);
+  prune_and_regrow(layers, target, regrow);
+}
+
+void GraNetPruner::prune_and_regrow(const std::vector<QLayer*>& layers,
+                                    double target, double regrow_frac) {
+  // 1. Global magnitude pruning to the target sparsity.
+  MagnitudePruner mag;
+  mag.apply(layers, target);
+  if (regrow_frac <= 0.0) return;
+
+  // 2. Neuroregeneration per layer: revive the pruned positions with the
+  //    largest gradient magnitude; kill the same number of the smallest
+  //    alive weights to keep sparsity constant.
+  for (QLayer* l : layers) {
+    const Tensor* mask = l->mask();
+    if (mask == nullptr) continue;
+    Tensor m = *mask;
+    const Tensor& w = l->weight_param().value;
+    const Tensor& g = l->weight_param().grad;
+    if (!g.same_shape(w)) continue;
+
+    std::vector<std::int64_t> pruned, alive;
+    for (std::int64_t i = 0; i < m.numel(); ++i) {
+      (m[i] == 0.0F ? pruned : alive).push_back(i);
+    }
+    const auto k = static_cast<std::size_t>(
+        regrow_frac * static_cast<double>(pruned.size()));
+    if (k == 0 || alive.size() < k) continue;
+
+    std::partial_sort(pruned.begin(), pruned.begin() + static_cast<std::ptrdiff_t>(k),
+                      pruned.end(), [&](std::int64_t a, std::int64_t b) {
+                        return std::fabs(g[a]) > std::fabs(g[b]);
+                      });
+    std::partial_sort(alive.begin(), alive.begin() + static_cast<std::ptrdiff_t>(k),
+                      alive.end(), [&](std::int64_t a, std::int64_t b) {
+                        return std::fabs(w[a]) < std::fabs(w[b]);
+                      });
+    for (std::size_t i = 0; i < k; ++i) {
+      m[pruned[i]] = 1.0F;  // regrow
+      m[alive[i]] = 0.0F;   // compensate
+    }
+    l->set_mask(std::move(m));
+  }
+}
+
+}  // namespace t2c

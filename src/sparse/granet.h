@@ -1,0 +1,51 @@
+// GraNet-style gradual pruning with neuroregeneration (Liu et al., 2021):
+// sparsity follows the cubic ramp s_t = s_f * (1 - (1 - t/T)^3); at every
+// prune step the smallest-magnitude weights are removed, then a decaying
+// fraction of the pruned positions with the largest gradient magnitude is
+// regrown (and the same count of smallest alive weights pruned instead),
+// letting connectivity migrate during training.
+#pragma once
+
+#include "sparse/pruner.h"
+
+namespace t2c {
+
+struct GraNetConfig {
+  double final_sparsity = 0.8;
+  double init_sparsity = 0.0;
+  double regrow_fraction = 0.3;  ///< initial fraction of pruned set regrown
+  std::int64_t prune_every = 20; ///< steps between schedule updates
+};
+
+class GraNetPruner final : public Pruner {
+ public:
+  explicit GraNetPruner(GraNetConfig cfg);
+
+  /// One-shot interface (Pruner): plain cubic-schedule endpoint.
+  void apply(const std::vector<QLayer*>& layers, double sparsity) override;
+  std::string name() const override { return "granet"; }
+
+  /// Scheduled interface: call once per optimizer step with the step index
+  /// and the total step count. Uses current weight gradients for regrowth.
+  void step(const std::vector<QLayer*>& layers, std::int64_t t,
+            std::int64_t total_steps);
+
+  /// Like step() but ignores the prune_every gate — callers that manage
+  /// their own cadence (short training runs) use this directly.
+  void force_step(const std::vector<QLayer*>& layers, std::int64_t t,
+                  std::int64_t total_steps);
+
+  /// Target sparsity at progress t/T under the cubic schedule.
+  double sparsity_at(std::int64_t t, std::int64_t total_steps) const;
+
+  const GraNetConfig& config() const { return cfg_; }
+
+ private:
+  /// Magnitude-prunes to `target`, then regrows by gradient magnitude.
+  void prune_and_regrow(const std::vector<QLayer*>& layers, double target,
+                        double regrow_frac);
+
+  GraNetConfig cfg_;
+};
+
+}  // namespace t2c

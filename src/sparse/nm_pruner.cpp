@@ -1,0 +1,61 @@
+#include "sparse/nm_pruner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace t2c {
+
+NMPruner::NMPruner(int n, int m) : n_(n), m_(m) {
+  check(m >= 2 && n >= 1 && n < m, "NMPruner: need 1 <= N < M");
+}
+
+std::string NMPruner::name() const {
+  return "nm_" + std::to_string(n_) + ":" + std::to_string(m_);
+}
+
+Tensor NMPruner::nm_mask(const Tensor& w, int n, int m) {
+  Tensor mask(w.shape(), 1.0F);
+  const std::int64_t oc = w.size(0);
+  const std::int64_t per = w.numel() / oc;
+  std::vector<int> idx(static_cast<std::size_t>(m));
+  for (std::int64_t c = 0; c < oc; ++c) {
+    const float* row = w.data() + c * per;
+    float* mrow = mask.data() + c * per;
+    for (std::int64_t g = 0; g + m <= per; g += m) {
+      std::iota(idx.begin(), idx.end(), 0);
+      std::partial_sort(idx.begin(), idx.begin() + n, idx.end(),
+                        [&](int a, int b) {
+                          return std::fabs(row[g + a]) > std::fabs(row[g + b]);
+                        });
+      for (int j = n; j < m; ++j) mrow[g + idx[static_cast<std::size_t>(j)]] = 0.0F;
+    }
+    // Trailing partial group (per % m != 0) is left dense.
+  }
+  return mask;
+}
+
+void NMPruner::apply(const std::vector<QLayer*>& layers, double) {
+  for (QLayer* l : layers) {
+    l->set_mask(nm_mask(l->weight_param().value, n_, m_));
+  }
+}
+
+std::int64_t count_nm_violations(const Tensor& w, int n, int m) {
+  std::int64_t violations = 0;
+  const std::int64_t oc = w.size(0);
+  const std::int64_t per = w.numel() / oc;
+  for (std::int64_t c = 0; c < oc; ++c) {
+    const float* row = w.data() + c * per;
+    for (std::int64_t g = 0; g + m <= per; g += m) {
+      int nz = 0;
+      for (int j = 0; j < m; ++j) {
+        if (row[g + j] != 0.0F) ++nz;
+      }
+      if (nz > n) ++violations;
+    }
+  }
+  return violations;
+}
+
+}  // namespace t2c

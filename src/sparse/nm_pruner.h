@@ -1,0 +1,38 @@
+// N:M structured fine-grained sparsity (Zhou et al., 2021): within every
+// group of M consecutive weights along the input dimension, only the N
+// largest-magnitude entries survive. 2:4 is the hardware-supported pattern
+// of Table 3.
+#pragma once
+
+#include "sparse/pruner.h"
+
+namespace t2c {
+
+class NMPruner final : public Pruner {
+ public:
+  NMPruner(int n, int m);
+
+  /// `sparsity` is ignored — N:M fixes it at 1 - N/M.
+  void apply(const std::vector<QLayer*>& layers, double sparsity) override;
+  std::string name() const override;
+
+  int n() const { return n_; }
+  int m() const { return m_; }
+  double target_sparsity() const {
+    return 1.0 - static_cast<double>(n_) / static_cast<double>(m_);
+  }
+
+  /// Builds the N:M mask for a single weight tensor (groups run along the
+  /// flattened per-output-channel axis). Exposed for the property tests.
+  static Tensor nm_mask(const Tensor& w, int n, int m);
+
+ private:
+  int n_, m_;
+};
+
+/// Verifies the N:M invariant on a (masked) weight tensor: every complete
+/// group of M has at most N non-zeros. Returns the number of violating
+/// groups (0 when the pattern holds).
+std::int64_t count_nm_violations(const Tensor& w, int n, int m);
+
+}  // namespace t2c

@@ -1,0 +1,67 @@
+#include "sparse/pruner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/reduce.h"
+
+namespace t2c {
+
+void MagnitudePruner::apply(const std::vector<QLayer*>& layers,
+                            double sparsity) {
+  check(sparsity >= 0.0 && sparsity < 1.0,
+        "MagnitudePruner: sparsity must be in [0, 1)");
+  std::vector<float> mags;
+  for (QLayer* l : layers) {
+    const Tensor& w = l->weight_param().value;
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      mags.push_back(std::fabs(w[i]));
+    }
+  }
+  if (mags.empty()) return;
+  const auto k = static_cast<std::size_t>(
+      sparsity * static_cast<double>(mags.size()));
+  if (k == 0) {
+    for (QLayer* l : layers) l->set_mask(std::nullopt);
+    return;
+  }
+  std::nth_element(mags.begin(), mags.begin() + (k - 1), mags.end());
+  const float threshold = mags[k - 1];
+  for (QLayer* l : layers) {
+    const Tensor& w = l->weight_param().value;
+    Tensor mask(w.shape());
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      mask[i] = std::fabs(w[i]) > threshold ? 1.0F : 0.0F;
+    }
+    l->set_mask(std::move(mask));
+  }
+}
+
+double masked_sparsity(const std::vector<QLayer*>& layers) {
+  std::int64_t zeros = 0, total = 0;
+  for (QLayer* l : layers) {
+    const Tensor w = l->masked_weight();
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      if (w[i] == 0.0F) ++zeros;
+    }
+    total += w.numel();
+  }
+  return total > 0 ? static_cast<double>(zeros) / static_cast<double>(total)
+                   : 0.0;
+}
+
+std::vector<QLayer*> prunable_layers(Module& model, bool skip_head) {
+  auto layers = collect_qlayers(model);
+  if (skip_head && !layers.empty()) {
+    // The last QLinear in traversal order is the classifier head.
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it) {
+      if (dynamic_cast<QLinear*>(&(*it)->as_module()) != nullptr) {
+        layers.erase(std::next(it).base());
+        break;
+      }
+    }
+  }
+  return layers;
+}
+
+}  // namespace t2c

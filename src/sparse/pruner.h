@@ -1,0 +1,40 @@
+// Weight sparsification (paper §2.2, §4.3). Pruners install {0,1} masks on
+// QLayers; the masks persist through quantization and conversion, so pruned
+// weights are exported as raw zeros in the integer model — not as
+// side-band masks (the paper's point about practical co-deployment).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "quant/qlayers.h"
+
+namespace t2c {
+
+class Pruner {
+ public:
+  virtual ~Pruner() = default;
+
+  /// Installs masks achieving (approximately) the requested sparsity on the
+  /// given layers. `sparsity` in [0, 1).
+  virtual void apply(const std::vector<QLayer*>& layers,
+                     double sparsity) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Element-wise global magnitude pruning (Han et al., 2016): one threshold
+/// across all target layers.
+class MagnitudePruner final : public Pruner {
+ public:
+  void apply(const std::vector<QLayer*>& layers, double sparsity) override;
+  std::string name() const override { return "magnitude"; }
+};
+
+/// Achieved sparsity over the masked weights of the given layers.
+double masked_sparsity(const std::vector<QLayer*>& layers);
+
+/// Selects the prunable layers of a model. By convention the classifier
+/// head (last QLinear) is kept dense, matching the paper's recipes.
+std::vector<QLayer*> prunable_layers(Module& model, bool skip_head = true);
+
+}  // namespace t2c

@@ -1,0 +1,74 @@
+#include "sparse/sparse_trainer.h"
+
+namespace t2c {
+
+SparseTrainer::SparseTrainer(Sequential& model,
+                             const SyntheticImageDataset& data,
+                             SparseTrainConfig cfg)
+    : model_(&model), data_(&data), cfg_(cfg) {}
+
+void SparseTrainer::fit() {
+  auto layers = prunable_layers(*model_);
+  SupervisedTrainer trainer(*model_, *data_, cfg_.train);
+
+  switch (cfg_.method) {
+    case SparseMethod::kGraNet: {
+      GraNetConfig gcfg;
+      gcfg.final_sparsity = cfg_.final_sparsity;
+      auto pruner = std::make_shared<GraNetPruner>(gcfg);
+      // Ramp over the first 70% of training, then keep the mask fixed so
+      // the surviving weights can settle (GraNet's stabilization phase).
+      // The cadence adapts to the run length so short runs still reach the
+      // target (roughly 10 schedule updates across the ramp).
+      const auto ramp = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(0.7 *
+                                       static_cast<double>(trainer.total_steps())));
+      const auto every = std::max<std::int64_t>(1, ramp / 10);
+      trainer.step_hook = [pruner, layers, ramp, every](std::int64_t t,
+                                                        std::int64_t) {
+        if (t <= ramp && (t % every == 0 || t == ramp)) {
+          pruner->force_step(layers, t, ramp);
+        }
+      };
+      trainer.fit();
+      break;
+    }
+    case SparseMethod::kNM: {
+      NMPruner pruner(cfg_.nm_n, cfg_.nm_m);
+      // SR-STE-style: re-project the mask periodically so it tracks the
+      // moving weights, with a final projection at the end.
+      trainer.step_hook = [&pruner, layers](std::int64_t t, std::int64_t) {
+        if (t % 25 == 0) pruner.apply(layers, 0.0);
+      };
+      trainer.fit();
+      pruner.apply(layers, 0.0);
+      break;
+    }
+    case SparseMethod::kMagnitude: {
+      MagnitudePruner pruner;
+      trainer.step_hook = [&pruner, layers, this](std::int64_t t,
+                                                  std::int64_t total) {
+        const auto ramp = static_cast<std::int64_t>(0.7 * static_cast<double>(total));
+        if (t % 20 == 0 && t <= ramp) {
+          const double progress =
+              static_cast<double>(t) / std::max<std::int64_t>(1, ramp);
+          pruner.apply(layers, cfg_.final_sparsity * progress);
+        }
+      };
+      trainer.fit();
+      break;
+    }
+  }
+}
+
+double SparseTrainer::evaluate() {
+  return evaluate_accuracy(*model_, data_->test_images(),
+                           data_->test_labels());
+}
+
+double SparseTrainer::achieved_sparsity() {
+  auto layers = prunable_layers(*model_);
+  return masked_sparsity(layers);
+}
+
+}  // namespace t2c

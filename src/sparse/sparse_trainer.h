@@ -1,0 +1,43 @@
+// Sparse training driver (Table 3): supervised training with a pruning
+// schedule attached to the optimizer-step hook, followed by the usual
+// PTQ + conversion path. Masks persist, so the exported integer model
+// carries the zeros.
+#pragma once
+
+#include <memory>
+
+#include "core/trainer.h"
+#include "nn/sequential.h"
+#include "sparse/granet.h"
+#include "sparse/nm_pruner.h"
+
+namespace t2c {
+
+enum class SparseMethod { kMagnitude, kGraNet, kNM };
+
+struct SparseTrainConfig {
+  TrainConfig train;
+  SparseMethod method = SparseMethod::kGraNet;
+  double final_sparsity = 0.8;  ///< ignored for N:M
+  int nm_n = 2;
+  int nm_m = 4;
+};
+
+class SparseTrainer final : public Trainer {
+ public:
+  SparseTrainer(Sequential& model, const SyntheticImageDataset& data,
+                SparseTrainConfig cfg);
+
+  void fit() override;
+  double evaluate() override;
+
+  /// Achieved sparsity over the prunable layers after fit().
+  double achieved_sparsity();
+
+ private:
+  Sequential* model_;
+  const SyntheticImageDataset* data_;
+  SparseTrainConfig cfg_;
+};
+
+}  // namespace t2c

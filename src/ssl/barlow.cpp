@@ -1,0 +1,117 @@
+#include "ssl/barlow.h"
+
+#include <cmath>
+
+#include "tensor/matmul.h"
+#include "util/check.h"
+
+namespace t2c {
+
+namespace {
+
+constexpr float kEps = 1e-5F;
+
+/// Column z-score normalization; fills inv_std (per column).
+Tensor column_normalize(const Tensor& z, Tensor& inv_std) {
+  const std::int64_t n = z.size(0), d = z.size(1);
+  Tensor out(z.shape());
+  inv_std = Tensor({d});
+  for (std::int64_t j = 0; j < d; ++j) {
+    double s = 0.0, s2 = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double v = z[i * d + j];
+      s += v;
+      s2 += v * v;
+    }
+    const double mu = s / static_cast<double>(n);
+    const double var = std::max(0.0, s2 / static_cast<double>(n) - mu * mu);
+    const float is = static_cast<float>(1.0 / std::sqrt(var + kEps));
+    inv_std[j] = is;
+    for (std::int64_t i = 0; i < n; ++i) {
+      out[i * d + j] = (z[i * d + j] - static_cast<float>(mu)) * is;
+    }
+  }
+  return out;
+}
+
+/// Backward of column z-score: dz = is * (dzh - mean(dzh) - zh*mean(dzh*zh))
+/// per column.
+Tensor column_normalize_backward(const Tensor& zh, const Tensor& inv_std,
+                                 const Tensor& dzh) {
+  const std::int64_t n = zh.size(0), d = zh.size(1);
+  Tensor dz(zh.shape());
+  for (std::int64_t j = 0; j < d; ++j) {
+    double m1 = 0.0, m2 = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      m1 += dzh[i * d + j];
+      m2 += static_cast<double>(dzh[i * d + j]) * zh[i * d + j];
+    }
+    m1 /= static_cast<double>(n);
+    m2 /= static_cast<double>(n);
+    const float is = inv_std[j];
+    for (std::int64_t i = 0; i < n; ++i) {
+      dz[i * d + j] =
+          is * (dzh[i * d + j] - static_cast<float>(m1) -
+                zh[i * d + j] * static_cast<float>(m2));
+    }
+  }
+  return dz;
+}
+
+}  // namespace
+
+CrossCorrelationLoss::CrossCorrelationLoss(float lambda, bool grad_both)
+    : lambda_(lambda), grad_both_(grad_both) {}
+
+float CrossCorrelationLoss::forward(const Tensor& za, const Tensor& zb) {
+  check(za.rank() == 2 && za.same_shape(zb),
+        "CrossCorrelationLoss: embeddings must be same-shape [N, D]");
+  check(za.size(0) >= 2, "CrossCorrelationLoss: need N >= 2");
+  zha_ = column_normalize(za, inv_std_a_);
+  zhb_ = column_normalize(zb, inv_std_b_);
+  const std::int64_t n = za.size(0), d = za.size(1);
+  c_ = matmul(zha_, zhb_, /*trans_a=*/true, /*trans_b=*/false);
+  const float inv_n = 1.0F / static_cast<float>(n);
+  for (std::int64_t i = 0; i < c_.numel(); ++i) c_[i] *= inv_n;
+
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < d; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      const double cij = c_[i * d + j];
+      if (i == j) {
+        loss += (1.0 - cij) * (1.0 - cij);
+      } else {
+        loss += lambda_ * cij * cij;
+      }
+    }
+  }
+  return static_cast<float>(loss);
+}
+
+std::pair<Tensor, Tensor> CrossCorrelationLoss::backward() const {
+  check(!c_.empty(), "CrossCorrelationLoss::backward before forward");
+  const std::int64_t n = zha_.size(0), d = zha_.size(1);
+  // dL/dC
+  Tensor dc({d, d});
+  for (std::int64_t i = 0; i < d; ++i) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float cij = c_[i * d + j];
+      dc[i * d + j] =
+          (i == j) ? 2.0F * (cij - 1.0F) : 2.0F * lambda_ * cij;
+    }
+  }
+  const float inv_n = 1.0F / static_cast<float>(n);
+  // dzh_a = zh_b * dC^T / N ; dzh_b = zh_a * dC / N
+  Tensor dzha = matmul(zhb_, dc, /*trans_a=*/false, /*trans_b=*/true);
+  for (std::int64_t i = 0; i < dzha.numel(); ++i) dzha[i] *= inv_n;
+  Tensor dza = column_normalize_backward(zha_, inv_std_a_, dzha);
+  Tensor dzb(zhb_.shape(), 0.0F);
+  if (grad_both_) {
+    Tensor dzhb = matmul(zha_, dc, /*trans_a=*/false, /*trans_b=*/false);
+    for (std::int64_t i = 0; i < dzhb.numel(); ++i) dzhb[i] *= inv_n;
+    dzb = column_normalize_backward(zhb_, inv_std_b_, dzhb);
+  }
+  return {std::move(dza), std::move(dzb)};
+}
+
+}  // namespace t2c

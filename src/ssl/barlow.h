@@ -1,0 +1,43 @@
+// Correlation-based SSL losses.
+//
+// CrossCorrelationLoss implements the Barlow-Twins objective (Zbontar et
+// al., 2021): batch-normalize each embedding dimension, form the cross-
+// correlation matrix C = za^T zb / N, and pull it toward identity:
+//   L = sum_i (1 - C_ii)^2 + lambda * sum_{i != j} C_ij^2.
+// With grad_both = false the second operand is treated as a detached
+// target — that asymmetric form is the cross-distillation (XD) term of
+// Eq. 16 (Meng et al., 2023); see ssl/xd.h.
+#pragma once
+
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace t2c {
+
+class CrossCorrelationLoss {
+ public:
+  explicit CrossCorrelationLoss(float lambda = 5e-3F, bool grad_both = true);
+
+  /// za, zb: [N, D] embeddings. Returns the loss value.
+  float forward(const Tensor& za, const Tensor& zb);
+
+  /// Gradients (dL/dza, dL/dzb). dzb is a zero tensor when grad_both is
+  /// false (detached target).
+  std::pair<Tensor, Tensor> backward() const;
+
+  /// The most recent cross-correlation matrix [D, D] (diagnostics/tests).
+  const Tensor& correlation() const { return c_; }
+
+ private:
+  float lambda_;
+  bool grad_both_;
+  Tensor zha_, zhb_;          ///< column-normalized embeddings
+  Tensor inv_std_a_, inv_std_b_;  ///< per-dimension 1/std
+  Tensor c_;                  ///< [D, D]
+};
+
+/// Barlow Twins = symmetric cross-correlation loss.
+using BarlowLoss = CrossCorrelationLoss;
+
+}  // namespace t2c

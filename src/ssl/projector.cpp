@@ -1,0 +1,19 @@
+#include "ssl/projector.h"
+
+#include "nn/activations.h"
+
+namespace t2c {
+
+std::unique_ptr<Sequential> make_projector(std::int64_t in_dim,
+                                           std::int64_t hidden_dim,
+                                           std::int64_t out_dim, Rng& rng) {
+  auto proj = std::make_unique<Sequential>();
+  proj->label = "projector";
+  proj->add<Linear>(in_dim, hidden_dim, /*bias=*/true, rng).label = "proj.fc1";
+  proj->add<ReLU>().label = "proj.relu";
+  proj->add<Linear>(hidden_dim, out_dim, /*bias=*/true, rng).label =
+      "proj.fc2";
+  return proj;
+}
+
+}  // namespace t2c

@@ -1,0 +1,19 @@
+// SSL projector head: the small MLP mapping encoder features to the
+// embedding space where the correlation losses operate.
+#pragma once
+
+#include <memory>
+
+#include "nn/linear.h"
+#include "nn/sequential.h"
+
+namespace t2c {
+
+/// Builds Linear(in, hidden) -> ReLU -> Linear(hidden, out). Plain float
+/// layers: SSL pre-training runs at full precision (compression happens in
+/// the downstream fine-tune + PTQ stage, as in the paper's Table 4 flow).
+std::unique_ptr<Sequential> make_projector(std::int64_t in_dim,
+                                           std::int64_t hidden_dim,
+                                           std::int64_t out_dim, Rng& rng);
+
+}  // namespace t2c

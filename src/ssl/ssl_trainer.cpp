@@ -1,0 +1,241 @@
+#include "ssl/ssl_trainer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "models/models.h"
+#include "nn/linear.h"
+#include "ssl/projector.h"
+#include "tensor/elementwise.h"
+
+namespace t2c {
+
+namespace {
+
+std::int64_t head_in_features(Sequential& model) {
+  check(model.size() >= 2, "SSLTrainer: model too shallow");
+  auto* head = dynamic_cast<Linear*>(&model.child(model.size() - 1));
+  check(head != nullptr, "SSLTrainer: last child must be a Linear head");
+  return head->in_features();
+}
+
+Tensor split_rows(const Tensor& z, std::int64_t lo, std::int64_t hi) {
+  Shape s = z.shape();
+  s[0] = hi - lo;
+  Tensor out(std::move(s));
+  const std::int64_t per = z.numel() / z.size(0);
+  std::copy(z.data() + lo * per, z.data() + hi * per, out.data());
+  return out;
+}
+
+}  // namespace
+
+SSLTrainer::SSLTrainer(
+    Sequential& model,
+    std::function<std::unique_ptr<Sequential>()> teacher_factory,
+    const SyntheticImageDataset& data, SSLConfig cfg)
+    : model_(&model),
+      teacher_factory_(std::move(teacher_factory)),
+      data_(&data),
+      cfg_(cfg) {
+  check(!cfg_.use_xd || teacher_factory_ != nullptr,
+        "SSLTrainer: XD requires a teacher factory");
+}
+
+Tensor SSLTrainer::backbone_forward(Sequential& net, const Tensor& x) const {
+  Tensor cur = x;
+  for (std::size_t i = 0; i + 1 < net.size(); ++i) {
+    cur = net.child(i).forward(cur);
+  }
+  return cur;
+}
+
+Tensor SSLTrainer::backbone_backward(const Tensor& grad) const {
+  Tensor cur = grad;
+  for (std::size_t i = model_->size() - 1; i-- > 0;) {
+    cur = model_->child(i).backward(cur);
+  }
+  return cur;
+}
+
+void SSLTrainer::fit() {
+  Rng rng(cfg_.seed);
+  const std::int64_t feat_dim = head_in_features(*model_);
+  auto projector =
+      make_projector(feat_dim, cfg_.proj_hidden, cfg_.proj_dim, rng);
+
+  set_quantizer_bypass(*model_, true);
+  model_->set_mode(ExecMode::kTrain);
+
+  std::unique_ptr<Sequential> teacher;
+  std::unique_ptr<Sequential> teacher_proj;
+  if (cfg_.use_xd) {
+    teacher = teacher_factory_();
+    copy_params(*teacher, *model_);
+    set_quantizer_bypass(*teacher, true);
+    teacher->set_mode(ExecMode::kEval);
+    Rng trng(cfg_.seed + 1);
+    teacher_proj =
+        make_projector(feat_dim, cfg_.proj_hidden, cfg_.proj_dim, trng);
+    copy_params(*teacher_proj, *projector);
+    teacher_proj->set_mode(ExecMode::kEval);
+  }
+
+  // Backbone (all but the head) + projector parameters.
+  std::vector<Param*> params;
+  for (std::size_t i = 0; i + 1 < model_->size(); ++i) {
+    auto sub = model_->child(i).parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  }
+  {
+    auto sub = projector->parameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  }
+  SGD opt(params, cfg_.lr, cfg_.momentum, cfg_.weight_decay);
+
+  DataLoader loader(data_->train_images(), data_->train_labels(),
+                    cfg_.batch_size, /*shuffle=*/true, cfg_.seed);
+  loader.set_augment(ssl_augment());
+
+  const std::int64_t total =
+      loader.batches_per_epoch() * static_cast<std::int64_t>(cfg_.epochs);
+  CosineLr sched(cfg_.lr, total, cfg_.lr * 0.01F);
+
+  BarlowLoss barlow(cfg_.lambda);
+  XDLoss xd_a(cfg_.lambda), xd_b(cfg_.lambda);
+
+  std::int64_t step = 0;
+  for (int e = 0; e < cfg_.epochs; ++e) {
+    loader.start_epoch();
+    double epoch_loss = 0.0;
+    for (std::int64_t b = 0; b < loader.batches_per_epoch(); ++b, ++step) {
+      TwoViewBatch tv = loader.two_view_batch(b);
+      const std::int64_t bs = tv.view_a.size(0);
+      if (bs < 2) continue;
+      Tensor x = cat0({tv.view_a, tv.view_b});
+
+      opt.set_lr(sched.lr_at(step));
+      opt.zero_grad();
+      Tensor f = backbone_forward(*model_, x);
+      Tensor z = projector->forward(f);
+      Tensor za = split_rows(z, 0, bs);
+      Tensor zb = split_rows(z, bs, 2 * bs);
+
+      double loss = barlow.forward(za, zb);
+      auto [dza, dzb] = barlow.backward();
+
+      if (cfg_.use_xd) {
+        Tensor tf = backbone_forward(*teacher, x);
+        Tensor tz = teacher_proj->forward(tf);
+        Tensor ta = split_rows(tz, 0, bs);
+        Tensor tb = split_rows(tz, bs, 2 * bs);
+        loss += cfg_.xd_weight * xd_a.forward(za, tb);
+        loss += cfg_.xd_weight * xd_b.forward(zb, ta);
+        axpy_(dza, cfg_.xd_weight, xd_a.backward());
+        axpy_(dzb, cfg_.xd_weight, xd_b.backward());
+      }
+      epoch_loss += loss;
+
+      Tensor dz = cat0({dza, dzb});
+      Tensor df = projector->backward(dz);
+      (void)backbone_backward(df);
+      opt.step();
+
+      if (cfg_.use_xd) {
+        ema_update(*teacher, *model_, cfg_.ema_momentum);
+        ema_update(*teacher_proj, *projector, cfg_.ema_momentum);
+        // Normalization running statistics are not parameters; keep the
+        // teacher's in lockstep with the student's so its eval-mode
+        // forward stays meaningful.
+        sync_module_state(*teacher, *model_);
+      }
+    }
+    last_loss_ = epoch_loss / static_cast<double>(loader.batches_per_epoch());
+    if (cfg_.verbose) {
+      std::printf("  ssl epoch %d/%d  loss %.4f\n", e + 1, cfg_.epochs,
+                  last_loss_);
+    }
+  }
+
+  set_quantizer_bypass(*model_, false);
+  model_->set_mode(ExecMode::kEval);
+}
+
+double SSLTrainer::evaluate() {
+  // Linear probe: frozen fp features, fresh linear head.
+  set_quantizer_bypass(*model_, true);
+  model_->set_mode(ExecMode::kEval);
+  const std::int64_t feat_dim = head_in_features(*model_);
+
+  const auto extract = [&](const Tensor& images) {
+    const std::int64_t n = images.size(0);
+    Tensor feats({n, feat_dim});
+    const std::int64_t bs = 64;
+    for (std::int64_t lo = 0; lo < n; lo += bs) {
+      const std::int64_t hi = std::min(n, lo + bs);
+      Shape s = images.shape();
+      s[0] = hi - lo;
+      Tensor chunk(std::move(s));
+      for (std::int64_t i = lo; i < hi; ++i) {
+        chunk.set0(i - lo, images.select0(i));
+      }
+      Tensor f = backbone_forward(*model_, chunk);
+      for (std::int64_t i = lo; i < hi; ++i) feats.set0(i, f.select0(i - lo));
+    }
+    return feats;
+  };
+  Tensor train_f = extract(data_->train_images());
+  Tensor test_f = extract(data_->test_images());
+
+  // Standardize features with train-split statistics (the usual linear
+  // probe recipe; unnormalized GAP features make plain SGD diverge).
+  for (std::int64_t j = 0; j < feat_dim; ++j) {
+    double s1 = 0.0, s2 = 0.0;
+    const std::int64_t n = train_f.size(0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double v = train_f[i * feat_dim + j];
+      s1 += v;
+      s2 += v * v;
+    }
+    const double mu = s1 / static_cast<double>(n);
+    const double sd =
+        std::sqrt(std::max(1e-8, s2 / static_cast<double>(n) - mu * mu));
+    for (std::int64_t i = 0; i < n; ++i) {
+      train_f[i * feat_dim + j] =
+          static_cast<float>((train_f[i * feat_dim + j] - mu) / sd);
+    }
+    for (std::int64_t i = 0; i < test_f.size(0); ++i) {
+      test_f[i * feat_dim + j] =
+          static_cast<float>((test_f[i * feat_dim + j] - mu) / sd);
+    }
+  }
+
+  Rng rng(cfg_.seed + 99);
+  Linear probe(feat_dim, data_->spec().classes, /*bias=*/true, rng);
+  probe.set_mode(ExecMode::kTrain);
+  std::vector<Param*> pp;
+  probe.collect_local_params(pp);
+  SGD opt(pp, 0.05F, 0.9F, 1e-4F);
+  CrossEntropyLoss ce;
+  // DataLoader stores references: the reshaped view must outlive it.
+  Tensor train_f4 = train_f.reshaped({train_f.size(0), feat_dim, 1, 1});
+  DataLoader loader(train_f4, data_->train_labels(), 64, true, 3);
+  for (int e = 0; e < 20; ++e) {
+    loader.start_epoch();
+    for (std::int64_t b = 0; b < loader.batches_per_epoch(); ++b) {
+      Batch batch = loader.batch(b);
+      Tensor fx = batch.images.reshaped({batch.images.size(0), feat_dim});
+      opt.zero_grad();
+      Tensor logits = probe.forward(fx);
+      (void)ce.forward(logits, batch.labels);
+      (void)probe.backward(ce.backward());
+      opt.step();
+    }
+  }
+  probe.set_mode(ExecMode::kEval);
+  Tensor logits = probe.forward(test_f);
+  set_quantizer_bypass(*model_, false);
+  return accuracy_pct(logits, data_->test_labels());
+}
+
+}  // namespace t2c

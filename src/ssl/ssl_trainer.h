@@ -1,0 +1,63 @@
+// Self-supervised pre-training driver (paper §3.3 / Table 4): two-view
+// augmentation, Barlow Twins loss, and optional cross-distillation against
+// an EMA teacher. Trains the backbone (all children of the model except the
+// classifier head) at full precision; quantizers are bypassed for the
+// duration and restored afterwards.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/trainer.h"
+#include "nn/sequential.h"
+#include "ssl/barlow.h"
+#include "ssl/xd.h"
+
+namespace t2c {
+
+struct SSLConfig {
+  int epochs = 4;
+  std::int64_t batch_size = 32;
+  float lr = 0.002F;
+  float momentum = 0.9F;
+  float weight_decay = 1e-4F;
+  float lambda = 5e-3F;      ///< off-diagonal weight of the Barlow loss
+  bool use_xd = true;        ///< enable cross-distillation (Eq. 16)
+  float xd_weight = 0.3F;
+  float ema_momentum = 0.9F;
+  std::int64_t proj_hidden = 128;
+  std::int64_t proj_dim = 48;
+  std::uint64_t seed = 11;
+  bool verbose = false;
+};
+
+class SSLTrainer final : public Trainer {
+ public:
+  /// `model` — the full classifier network; SSL trains everything except
+  /// its last child (the head). `teacher_factory` — builds a structurally
+  /// identical network for the EMA teacher (only needed when use_xd).
+  SSLTrainer(Sequential& model,
+             std::function<std::unique_ptr<Sequential>()> teacher_factory,
+             const SyntheticImageDataset& data, SSLConfig cfg);
+
+  void fit() override;
+
+  /// Linear-probe accuracy on the pre-training dataset's test split: the
+  /// backbone is frozen, a fresh linear head is trained on its features.
+  double evaluate() override;
+
+  /// Mean loss of the last epoch (diagnostics).
+  double last_epoch_loss() const { return last_loss_; }
+
+ private:
+  Tensor backbone_forward(Sequential& net, const Tensor& x) const;
+  Tensor backbone_backward(const Tensor& grad) const;
+
+  Sequential* model_;
+  std::function<std::unique_ptr<Sequential>()> teacher_factory_;
+  const SyntheticImageDataset* data_;
+  SSLConfig cfg_;
+  double last_loss_ = 0.0;
+};
+
+}  // namespace t2c

@@ -1,0 +1,33 @@
+#include "ssl/xd.h"
+
+#include "util/check.h"
+
+namespace t2c {
+
+void ema_update(Module& teacher, Module& student, float momentum) {
+  check(momentum >= 0.0F && momentum <= 1.0F, "ema_update: bad momentum");
+  auto tp = teacher.parameters();
+  auto sp = student.parameters();
+  check(tp.size() == sp.size(), "ema_update: parameter count mismatch");
+  for (std::size_t i = 0; i < tp.size(); ++i) {
+    Tensor& t = tp[i]->value;
+    const Tensor& s = sp[i]->value;
+    check(t.same_shape(s), "ema_update: parameter shape mismatch");
+    for (std::int64_t j = 0; j < t.numel(); ++j) {
+      t[j] = momentum * t[j] + (1.0F - momentum) * s[j];
+    }
+  }
+}
+
+void sync_module_state(Module& teacher, Module& student) {
+  teacher.copy_state_from(student);
+  std::vector<Module*> tk, sk;
+  teacher.collect_children(tk);
+  student.collect_children(sk);
+  check(tk.size() == sk.size(), "sync_module_state: tree mismatch");
+  for (std::size_t i = 0; i < tk.size(); ++i) {
+    sync_module_state(*tk[i], *sk[i]);
+  }
+}
+
+}  // namespace t2c

@@ -1,0 +1,36 @@
+// Cross-distillation (XD) for lightweight contrastive learning (Meng et
+// al., 2023; paper Eq. 16): an asymmetric correlation loss between the
+// student embedding of one view and the (detached) EMA-teacher embedding of
+// the other view, applied on top of the Barlow Twins loss. This is the
+// SSL-trainer combination behind Table 4.
+#pragma once
+
+#include "nn/module.h"
+#include "ssl/barlow.h"
+
+namespace t2c {
+
+class XDLoss {
+ public:
+  explicit XDLoss(float lambda = 5e-3F)
+      : loss_(lambda, /*grad_both=*/false) {}
+
+  /// Student embedding `z`, detached teacher target `t` (both [N, D]).
+  float forward(const Tensor& z, const Tensor& t) { return loss_.forward(z, t); }
+
+  /// Gradient w.r.t. the student embedding only.
+  Tensor backward() const { return loss_.backward().first; }
+
+ private:
+  CrossCorrelationLoss loss_;
+};
+
+/// EMA teacher update: p_t <- m * p_t + (1 - m) * p_s over zipped
+/// parameter lists (models must be structurally identical).
+void ema_update(Module& teacher, Module& student, float momentum);
+
+/// Copies non-parameter state (normalization running statistics) from the
+/// student tree into the teacher tree.
+void sync_module_state(Module& teacher, Module& student);
+
+}  // namespace t2c

@@ -1,0 +1,201 @@
+#include "tensor/elementwise.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t2c {
+
+namespace {
+
+void check_same(const Tensor& a, const Tensor& b, const char* op) {
+  check(a.same_shape(b), std::string(op) + ": shape mismatch " +
+                             shape_str(a.shape()) + " vs " +
+                             shape_str(b.shape()));
+}
+
+template <typename F>
+Tensor binary(const Tensor& a, const Tensor& b, const char* op, F f) {
+  check_same(a, b, op);
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "add", [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "sub", [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "mul", [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary(a, b, "div", [](float x, float y) { return x / y; });
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  check_same(a, b, "add_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += pb[i];
+}
+void sub_(Tensor& a, const Tensor& b) {
+  check_same(a, b, "sub_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] -= pb[i];
+}
+void mul_(Tensor& a, const Tensor& b) {
+  check_same(a, b, "mul_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] *= pb[i];
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  add_scalar_(out, s);
+  return out;
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  Tensor out = a;
+  mul_scalar_(out, s);
+  return out;
+}
+void add_scalar_(Tensor& a, float s) {
+  float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) p[i] += s;
+}
+void mul_scalar_(Tensor& a, float s) {
+  float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) p[i] *= s;
+}
+
+void axpy_(Tensor& a, float s, const Tensor& b) {
+  check_same(a, b, "axpy_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) pa[i] += s * pb[i];
+}
+
+Tensor apply(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) out[i] = f(a[i]);
+  return out;
+}
+
+void apply_(Tensor& a, const std::function<float(float)>& f) {
+  float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) p[i] = f(p[i]);
+}
+
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out[i] = std::min(hi, std::max(lo, a[i]));
+  }
+  return out;
+}
+
+Tensor scale_bias_nchw(const Tensor& x, const Tensor& scale,
+                       const Tensor& bias) {
+  check(x.rank() == 4, "scale_bias_nchw expects NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+  check(scale.numel() == c && bias.numel() == c,
+        "scale_bias_nchw: scale/bias must have C entries");
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t in = 0; in < n; ++in) {
+    for (std::int64_t ic = 0; ic < c; ++ic) {
+      const float s = scale[ic], b = bias[ic];
+      const std::int64_t base = (in * c + ic) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) po[base + i] = px[base + i] * s + b;
+    }
+  }
+  return out;
+}
+
+Tensor scale_bias_lastdim(const Tensor& x, const Tensor& scale,
+                          const Tensor& bias) {
+  check(x.rank() >= 1, "scale_bias_lastdim on scalar");
+  const std::int64_t d = x.size(x.rank() - 1);
+  check(scale.numel() == d && bias.numel() == d,
+        "scale_bias_lastdim: scale/bias must match last dim");
+  Tensor out(x.shape());
+  const std::int64_t rows = x.numel() / d;
+  const float* px = x.data();
+  float* po = out.data();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t base = r * d;
+    for (std::int64_t i = 0; i < d; ++i) {
+      po[base + i] = px[base + i] * scale[i] + bias[i];
+    }
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  check(a.rank() == 2, "transpose2d expects rank-2");
+  const std::int64_t m = a.size(0), n = a.size(1);
+  Tensor out({n, m});
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) out[j * m + i] = a[i * n + j];
+  }
+  return out;
+}
+
+Tensor cat0(const std::vector<Tensor>& parts) {
+  check(!parts.empty(), "cat0 of zero tensors");
+  Shape s = parts.front().shape();
+  check(!s.empty(), "cat0 on scalar tensors");
+  std::int64_t total0 = 0;
+  for (const auto& p : parts) {
+    check(p.rank() == parts.front().rank(), "cat0: rank mismatch");
+    for (int d = 1; d < p.rank(); ++d) {
+      check(p.size(d) == parts.front().size(d), "cat0: trailing dim mismatch");
+    }
+    total0 += p.size(0);
+  }
+  s[0] = total0;
+  Tensor out(std::move(s));
+  std::int64_t off = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.numel(), out.data() + off);
+    off += p.numel();
+  }
+  return out;
+}
+
+double sse(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "sse");
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same(a, b, "max_abs_diff");
+  float m = 0.0F;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  }
+  return m;
+}
+
+float max_abs(const Tensor& a) {
+  float m = 0.0F;
+  for (std::int64_t i = 0; i < a.numel(); ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+}  // namespace t2c

@@ -1,0 +1,66 @@
+// Elementwise and simple structural operations on tensors.
+//
+// Broadcasting is deliberately restricted: same-shape binary ops, scalar
+// ops, and explicit channel-wise helpers for NCHW / NTD layouts. This keeps
+// every kernel auditable — important when the integer path must match an
+// RTL datapath bit-for-bit.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace t2c {
+
+// ---- out-of-place binary (shapes must match) ----
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+// ---- in-place (a op= b) ----
+void add_(Tensor& a, const Tensor& b);
+void sub_(Tensor& a, const Tensor& b);
+void mul_(Tensor& a, const Tensor& b);
+
+// ---- scalar ----
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+void add_scalar_(Tensor& a, float s);
+void mul_scalar_(Tensor& a, float s);
+
+/// a += s * b  (axpy); shapes must match.
+void axpy_(Tensor& a, float s, const Tensor& b);
+
+/// Applies `f` to every element, out-of-place / in-place.
+Tensor apply(const Tensor& a, const std::function<float(float)>& f);
+void apply_(Tensor& a, const std::function<float(float)>& f);
+
+/// Clamps each element to [lo, hi].
+Tensor clamp(const Tensor& a, float lo, float hi);
+
+// ---- channel-wise helpers ----
+// NCHW layout: `scale`/`bias` have C entries; applied per channel c.
+/// y[n,c,h,w] = x[n,c,h,w] * scale[c] + bias[c]
+Tensor scale_bias_nchw(const Tensor& x, const Tensor& scale,
+                       const Tensor& bias);
+/// y[n,d] = x[n,d] * scale[d] + bias[d]  (rank-2) or last-dim for rank-3.
+Tensor scale_bias_lastdim(const Tensor& x, const Tensor& scale,
+                          const Tensor& bias);
+
+/// Transposes a rank-2 tensor.
+Tensor transpose2d(const Tensor& a);
+
+/// Concatenates rank>=1 tensors along dim 0 (all trailing dims equal).
+Tensor cat0(const std::vector<Tensor>& parts);
+
+/// Sum of squared differences — handy in reconstruction losses / tests.
+double sse(const Tensor& a, const Tensor& b);
+
+/// Max |a - b| over all elements.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Max |a| over all elements (0 for empty).
+float max_abs(const Tensor& a);
+
+}  // namespace t2c

@@ -1,0 +1,93 @@
+#include "tensor/matmul.h"
+
+namespace t2c {
+
+namespace {
+
+// Core kernel on raw pointers: C[M,N] += op(A) op(B).
+// Layout strides are expressed so the same loop serves all transpose cases;
+// the ikj ordering keeps the inner loop contiguous over C and (for the
+// common non-transposed case) over B.
+template <typename T, typename Acc>
+void gemm_raw(const T* a, const T* b, Acc* c, std::int64_t m, std::int64_t n,
+              std::int64_t k, bool trans_a, bool trans_b) {
+  const std::int64_t a_rs = trans_a ? 1 : k;   // stride between rows of op(A)
+  const std::int64_t a_cs = trans_a ? m : 1;   // stride between cols of op(A)
+  const std::int64_t b_rs = trans_b ? 1 : n;
+  const std::int64_t b_cs = trans_b ? k : 1;
+  for (std::int64_t i = 0; i < m; ++i) {
+    Acc* crow = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const Acc av = static_cast<Acc>(a[i * a_rs + p * a_cs]);
+      if (av == Acc{}) continue;
+      const T* brow = b + p * b_rs;
+      for (std::int64_t j = 0; j < n; ++j) {
+        crow[j] += av * static_cast<Acc>(brow[j * b_cs]);
+      }
+    }
+  }
+}
+
+template <typename T>
+void check_mm(const TensorT<T>& a, const TensorT<T>& b, bool trans_a,
+              bool trans_b, std::int64_t& m, std::int64_t& n, std::int64_t& k,
+              int offset) {
+  const std::int64_t ar = a.size(offset), ac = a.size(offset + 1);
+  const std::int64_t br = b.size(offset), bc = b.size(offset + 1);
+  m = trans_a ? ac : ar;
+  k = trans_a ? ar : ac;
+  const std::int64_t kb = trans_b ? bc : br;
+  n = trans_b ? br : bc;
+  check(k == kb, "matmul: inner dimension mismatch " + shape_str(a.shape()) +
+                     " x " + shape_str(b.shape()));
+}
+
+template <typename T, typename Acc>
+TensorT<Acc> mm_impl(const TensorT<T>& a, const TensorT<T>& b, bool trans_a,
+                     bool trans_b) {
+  check(a.rank() == 2 && b.rank() == 2, "matmul expects rank-2 operands");
+  std::int64_t m = 0, n = 0, k = 0;
+  check_mm(a, b, trans_a, trans_b, m, n, k, 0);
+  TensorT<Acc> c({m, n});
+  gemm_raw<T, Acc>(a.data(), b.data(), c.data(), m, n, k, trans_a, trans_b);
+  return c;
+}
+
+template <typename T, typename Acc>
+TensorT<Acc> bmm_impl(const TensorT<T>& a, const TensorT<T>& b, bool trans_a,
+                      bool trans_b) {
+  check(a.rank() == 3 && b.rank() == 3, "bmm expects rank-3 operands");
+  check(a.size(0) == b.size(0), "bmm: batch dim mismatch");
+  std::int64_t m = 0, n = 0, k = 0;
+  check_mm(a, b, trans_a, trans_b, m, n, k, 1);
+  const std::int64_t batch = a.size(0);
+  TensorT<Acc> c({batch, m, n});
+  const std::int64_t a_sz = a.size(1) * a.size(2);
+  const std::int64_t b_sz = b.size(1) * b.size(2);
+  for (std::int64_t ib = 0; ib < batch; ++ib) {
+    gemm_raw<T, Acc>(a.data() + ib * a_sz, b.data() + ib * b_sz,
+                     c.data() + ib * m * n, m, n, k, trans_a, trans_b);
+  }
+  return c;
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  return mm_impl<float, float>(a, b, trans_a, trans_b);
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  return bmm_impl<float, float>(a, b, trans_a, trans_b);
+}
+
+ITensor imatmul(const ITensor& a, const ITensor& b, bool trans_a,
+                bool trans_b) {
+  return mm_impl<std::int64_t, std::int64_t>(a, b, trans_a, trans_b);
+}
+
+ITensor ibmm(const ITensor& a, const ITensor& b, bool trans_a, bool trans_b) {
+  return bmm_impl<std::int64_t, std::int64_t>(a, b, trans_a, trans_b);
+}
+
+}  // namespace t2c

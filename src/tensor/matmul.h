@@ -1,0 +1,30 @@
+// Matrix multiplication kernels (float and integer).
+//
+// The float kernels back the training path (linear layers, attention, and
+// the im2col convolution). The integer kernel is the deployment datapath:
+// int64 accumulation over integer operands, exactly what a MAC array does.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace t2c {
+
+/// C[M,N] = op(A) * op(B) with optional transposes.
+/// A is [M,K] (or [K,M] if trans_a), B is [K,N] (or [N,K] if trans_b).
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// Batched: A [B,M,K] x B [B,K,N] -> [B,M,N], with optional transposes of
+/// the trailing two dims.
+Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a = false,
+           bool trans_b = false);
+
+/// Integer matmul with int64 accumulation: C[M,N] = A[M,K] * B[K,N].
+ITensor imatmul(const ITensor& a, const ITensor& b, bool trans_a = false,
+                bool trans_b = false);
+
+/// Integer batched matmul, trailing-dim transposes as in bmm().
+ITensor ibmm(const ITensor& a, const ITensor& b, bool trans_a = false,
+             bool trans_b = false);
+
+}  // namespace t2c

@@ -1,0 +1,140 @@
+#include "tensor/reduce.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace t2c {
+
+double sum(const Tensor& x) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) acc += x[i];
+  return acc;
+}
+
+double mean(const Tensor& x) {
+  check(x.numel() > 0, "mean of empty tensor");
+  return sum(x) / static_cast<double>(x.numel());
+}
+
+double variance(const Tensor& x) {
+  check(x.numel() > 0, "variance of empty tensor");
+  const double m = mean(x);
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    const double d = x[i] - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.numel());
+}
+
+float min_value(const Tensor& x) {
+  check(x.numel() > 0, "min of empty tensor");
+  return *std::min_element(x.data(), x.data() + x.numel());
+}
+
+float max_value(const Tensor& x) {
+  check(x.numel() > 0, "max of empty tensor");
+  return *std::max_element(x.data(), x.data() + x.numel());
+}
+
+std::pair<float, float> min_max(const Tensor& x) {
+  check(x.numel() > 0, "min_max of empty tensor");
+  float mn = x[0], mx = x[0];
+  for (std::int64_t i = 1; i < x.numel(); ++i) {
+    mn = std::min(mn, x[i]);
+    mx = std::max(mx, x[i]);
+  }
+  return {mn, mx};
+}
+
+std::int64_t argmax(const Tensor& x) {
+  check(x.numel() > 0, "argmax of empty tensor");
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < x.numel(); ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& logits) {
+  check(logits.rank() == 2, "argmax_rows expects [N, C]");
+  const std::int64_t n = logits.size(0), c = logits.size(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+void channel_mean_var(const Tensor& x, Tensor& mean_out, Tensor& var_out) {
+  check(x.rank() == 4, "channel_mean_var expects NCHW");
+  const std::int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
+  mean_out = Tensor({c});
+  var_out = Tensor({c});
+  const double count = static_cast<double>(n * hw);
+  check(count > 0, "channel_mean_var: empty batch");
+  for (std::int64_t ic = 0; ic < c; ++ic) {
+    double s = 0.0, s2 = 0.0;
+    for (std::int64_t in = 0; in < n; ++in) {
+      const float* plane = x.data() + (in * c + ic) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        s += plane[i];
+        s2 += static_cast<double>(plane[i]) * plane[i];
+      }
+    }
+    const double m = s / count;
+    mean_out[ic] = static_cast<float>(m);
+    var_out[ic] = static_cast<float>(std::max(0.0, s2 / count - m * m));
+  }
+}
+
+void per_channel_min_max(const Tensor& w, Tensor& mn, Tensor& mx) {
+  check(w.rank() >= 2, "per_channel_min_max expects rank >= 2");
+  const std::int64_t oc = w.size(0);
+  const std::int64_t per = w.numel() / oc;
+  mn = Tensor({oc});
+  mx = Tensor({oc});
+  for (std::int64_t c = 0; c < oc; ++c) {
+    const float* row = w.data() + c * per;
+    float lo = row[0], hi = row[0];
+    for (std::int64_t i = 1; i < per; ++i) {
+      lo = std::min(lo, row[i]);
+      hi = std::max(hi, row[i]);
+    }
+    mn[c] = lo;
+    mx[c] = hi;
+  }
+}
+
+double l2_norm(const Tensor& x) {
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    acc += static_cast<double>(x[i]) * x[i];
+  }
+  return std::sqrt(acc);
+}
+
+double sparsity(const Tensor& x) {
+  if (x.numel() == 0) return 0.0;
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (x[i] == 0.0F) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(x.numel());
+}
+
+double sparsity(const ITensor& x) {
+  if (x.numel() == 0) return 0.0;
+  std::int64_t zeros = 0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (x[i] == 0) ++zeros;
+  }
+  return static_cast<double>(zeros) / static_cast<double>(x.numel());
+}
+
+}  // namespace t2c

@@ -1,0 +1,41 @@
+// Reductions and statistics used by normalization layers, observers,
+// accuracy evaluation, and pruning scores.
+#pragma once
+
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace t2c {
+
+double sum(const Tensor& x);
+double mean(const Tensor& x);
+/// Population variance (divide by N), as used by BatchNorm/LayerNorm.
+double variance(const Tensor& x);
+
+float min_value(const Tensor& x);
+float max_value(const Tensor& x);
+/// (min, max) in a single pass.
+std::pair<float, float> min_max(const Tensor& x);
+
+/// Index of the maximum element in a rank-1 tensor (ties -> lowest index).
+std::int64_t argmax(const Tensor& x);
+
+/// Row-wise argmax of a [N, C] logits tensor -> N predictions.
+std::vector<std::int64_t> argmax_rows(const Tensor& logits);
+
+/// Per-channel (dim-1 of NCHW) mean and variance over N*H*W.
+void channel_mean_var(const Tensor& x, Tensor& mean_out, Tensor& var_out);
+
+/// Per-output-channel (dim-0) min/max of a weight tensor flattened per
+/// channel. Returns tensors of shape [OC].
+void per_channel_min_max(const Tensor& w, Tensor& mn, Tensor& mx);
+
+/// L2 norm of all elements.
+double l2_norm(const Tensor& x);
+
+/// Fraction of exactly-zero elements.
+double sparsity(const Tensor& x);
+double sparsity(const ITensor& x);
+
+}  // namespace t2c

@@ -1,0 +1,38 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+namespace t2c {
+
+std::string shape_str(const Shape& shape) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) s += ", ";
+    s += std::to_string(shape[i]);
+  }
+  return s + "]";
+}
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (auto d : shape) n *= d;
+  return n;
+}
+
+ITensor to_int(const Tensor& x) {
+  ITensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = static_cast<std::int64_t>(std::nearbyintf(x[i]));
+  }
+  return out;
+}
+
+Tensor to_float(const ITensor& x) {
+  Tensor out(x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    out[i] = static_cast<float>(x[i]);
+  }
+  return out;
+}
+
+}  // namespace t2c

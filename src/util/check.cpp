@@ -1,0 +1,11 @@
+#include "util/check.h"
+
+namespace t2c {
+
+void fail(const std::string& msg) { throw Error("t2c: " + msg); }
+
+void check_index(bool cond, const std::string& msg, long long value) {
+  if (!cond) fail(msg + " (got " + std::to_string(value) + ")");
+}
+
+}  // namespace t2c

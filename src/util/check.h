@@ -1,0 +1,30 @@
+// Error-handling helpers for Torch2Chip-CPP.
+//
+// Library code reports contract violations by throwing t2c::Error. We use
+// functions (not macros) per the C++ Core Guidelines; the call site passes
+// its own context string.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace t2c {
+
+/// Exception type thrown on any precondition / invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws t2c::Error with the given message.
+[[noreturn]] void fail(const std::string& msg);
+
+/// Throws t2c::Error(msg) when `cond` is false.
+inline void check(bool cond, const std::string& msg) {
+  if (!cond) fail(msg);
+}
+
+/// check() variant for index-style arguments; appends the offending value.
+void check_index(bool cond, const std::string& msg, long long value);
+
+}  // namespace t2c

@@ -1,0 +1,43 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+namespace t2c {
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  return dist(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int Rng::randint(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+void Rng::fill_normal(std::vector<float>& out, float mean, float stddev) {
+  std::normal_distribution<float> dist(mean, stddev);
+  for (auto& v : out) v = dist(engine_);
+}
+
+void Rng::fill_uniform(std::vector<float>& out, float lo, float hi) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  for (auto& v : out) v = dist(engine_);
+}
+
+void Rng::shuffle(std::vector<int>& idx) {
+  std::shuffle(idx.begin(), idx.end(), engine_);
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace t2c

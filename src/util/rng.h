@@ -1,0 +1,50 @@
+// Deterministic random number generation.
+//
+// All stochastic components (weight init, synthetic data, augmentation,
+// QDrop masks, pruning regrowth) draw from an explicitly-seeded Rng so that
+// every experiment in the repo is reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace t2c {
+
+/// Seedable random source. Cheap to copy; pass by reference to share a
+/// stream, by value to fork an independent one.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x7245C1EDu) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo = 0.0F, float hi = 1.0F);
+
+  /// Standard normal (mean 0, stddev 1) scaled/shifted.
+  float normal(float mean = 0.0F, float stddev = 1.0F);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int randint(int lo, int hi);
+
+  /// Bernoulli trial with probability `p` of true.
+  bool bernoulli(double p);
+
+  /// Fills `out` with normal samples.
+  void fill_normal(std::vector<float>& out, float mean, float stddev);
+
+  /// Fills `out` with uniform samples in [lo, hi).
+  void fill_uniform(std::vector<float>& out, float lo, float hi);
+
+  /// In-place Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int>& idx);
+
+  /// Forks a child stream whose seed is derived from this stream.
+  Rng fork();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace t2c

@@ -1,0 +1,10 @@
+#include "util/stopwatch.h"
+
+namespace t2c {
+
+double Stopwatch::seconds() const {
+  const auto dt = Clock::now() - start_;
+  return std::chrono::duration<double>(dt).count();
+}
+
+}  // namespace t2c

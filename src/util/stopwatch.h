@@ -1,0 +1,25 @@
+// Minimal wall-clock stopwatch used by trainers and bench harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace t2c {
+
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last reset().
+  double seconds() const;
+
+  /// Elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace t2c

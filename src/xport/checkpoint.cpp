@@ -1,0 +1,196 @@
+#include "xport/checkpoint.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "deploy/int_ops.h"
+#include "deploy/vit_ops.h"
+
+namespace t2c {
+
+namespace {
+
+constexpr const char* kHeader = "T2C-DEPLOY-V1";
+
+std::vector<std::int64_t> read_vec(std::istream& is) {
+  std::size_t n = 0;
+  check(static_cast<bool>(is >> n), "checkpoint: truncated vector header");
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) {
+    check(static_cast<bool>(is >> x), "checkpoint: truncated vector data");
+  }
+  return v;
+}
+
+ITensor read_itensor(std::istream& is) {
+  int rank = 0;
+  check(static_cast<bool>(is >> rank) && rank >= 1 && rank <= 8,
+        "checkpoint: bad tensor rank");
+  Shape shape(static_cast<std::size_t>(rank));
+  for (auto& d : shape) {
+    check(static_cast<bool>(is >> d), "checkpoint: truncated tensor shape");
+  }
+  ITensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    check(static_cast<bool>(is >> t[i]), "checkpoint: truncated tensor data");
+  }
+  return t;
+}
+
+std::unique_ptr<DeployOp> load_op(const std::string& kind, std::istream& is) {
+  if (kind == "MulQuant") {
+    int layout = 0, bias_frac = 0;
+    std::int64_t lo = 0, hi = 0;
+    is >> lo >> hi >> layout >> bias_frac;
+    auto mul = read_vec(is);
+    auto bias = read_vec(is);
+    std::size_t nf = 0;
+    check(static_cast<bool>(is >> nf), "checkpoint: truncated frac header");
+    std::vector<int> frac(nf);
+    for (auto& f : frac) {
+      check(static_cast<bool>(is >> f), "checkpoint: truncated frac data");
+    }
+    return std::make_unique<MulQuantOp>(std::move(mul), std::move(bias),
+                                        std::move(frac), lo, hi,
+                                        static_cast<MqLayout>(layout),
+                                        bias_frac);
+  }
+  if (kind == "IntConv2d") {
+    ConvSpec spec;
+    is >> spec.in_channels >> spec.out_channels >> spec.kernel >>
+        spec.stride >> spec.padding >> spec.groups;
+    ITensor w = read_itensor(is);
+    return std::make_unique<IntConv2dOp>(std::move(w), spec);
+  }
+  if (kind == "IntLinear") {
+    return std::make_unique<IntLinearOp>(read_itensor(is));
+  }
+  if (kind == "IntAdd") {
+    std::int64_t lo = 0, hi = 0;
+    is >> lo >> hi;
+    return std::make_unique<IntAddOp>(lo, hi);
+  }
+  if (kind == "IntMaxPool2d") {
+    int k = 0, s = 0, p = 0;
+    is >> k >> s >> p;
+    return std::make_unique<IntMaxPool2dOp>(k, s, p);
+  }
+  if (kind == "IntGlobalAvgPool") {
+    std::int64_t m = 0, lo = 0, hi = 0;
+    int f = 0;
+    is >> m >> f >> lo >> hi;
+    return std::make_unique<IntGlobalAvgPoolOp>(m, f, lo, hi);
+  }
+  if (kind == "Tokenize") {
+    return std::make_unique<TokenizeOp>();
+  }
+  if (kind == "IntMeanPoolTokens") {
+    std::int64_t m = 0, lo = 0, hi = 0;
+    int f = 0;
+    is >> m >> f >> lo >> hi;
+    return std::make_unique<IntMeanPoolTokensOp>(m, f, lo, hi);
+  }
+  if (kind == "LutSoftmax") {
+    std::int64_t p_qmax = 0;
+    is >> p_qmax;
+    return std::make_unique<LutSoftmaxOp>(read_vec(is), p_qmax);
+  }
+  if (kind == "LutGelu") {
+    std::int64_t lo = 0, hi = 0, step = 1;
+    is >> lo >> hi >> step;
+    return std::make_unique<LutGeluOp>(read_vec(is), lo, hi, step);
+  }
+  if (kind == "IntLayerNorm") {
+    int running = 0, frac = 0, stat_frac = 0;
+    std::int64_t lo = 0, hi = 0, mean = 0, inv_sigma = 0;
+    is >> running >> frac >> lo >> hi >> mean >> inv_sigma >> stat_frac;
+    auto gamma = read_vec(is);
+    auto beta = read_vec(is);
+    if (running != 0) {
+      return std::make_unique<IntLayerNormOp>(std::move(gamma),
+                                              std::move(beta), frac, lo, hi,
+                                              mean, inv_sigma, stat_frac);
+    }
+    return std::make_unique<IntLayerNormOp>(std::move(gamma), std::move(beta),
+                                            frac, lo, hi);
+  }
+  if (kind == "IntAttention") {
+    IntAttentionParams p;
+    is >> p.heads >> p.frac_bits >> p.bias_frac >> p.stream_min >>
+        p.stream_max >> p.logit_mul >> p.p_qmax >> p.ctx_mul >> p.ctx_min >>
+        p.ctx_max >> p.out_min >> p.out_max;
+    p.wqkv = read_itensor(is);
+    p.qkv_mul = read_vec(is);
+    p.qkv_bias = read_vec(is);
+    p.softmax_lut = read_vec(is);
+    p.wproj = read_itensor(is);
+    p.proj_mul = read_vec(is);
+    p.proj_bias = read_vec(is);
+    return std::make_unique<IntAttentionOp>(std::move(p));
+  }
+  fail("checkpoint: unknown op kind '" + kind + "'");
+}
+
+}  // namespace
+
+void save_checkpoint(const DeployModel& dm, const std::string& path) {
+  std::ofstream os(path);
+  check(os.good(), "save_checkpoint: cannot open " + path);
+  os << kHeader << '\n';
+  os << "input " << dm.input_scale << ' ' << dm.input_zero << ' '
+     << dm.input_qmin << ' ' << dm.input_qmax << '\n';
+  os << "output " << dm.output_scale << ' ' << dm.output_id() << '\n';
+  os << "ops " << dm.num_ops() << '\n';
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    const DeployOp& op = dm.op(i);
+    std::string label = op.label.empty() ? "-" : op.label;
+    for (char& c : label) {
+      if (c == ' ' || c == '\n') c = '_';
+    }
+    os << "op " << op.kind() << ' ' << label << ' ' << op.inputs.size();
+    for (int in : op.inputs) os << ' ' << in;
+    os << '\n';
+    op.save_params(os);
+  }
+  check(os.good(), "save_checkpoint: write failed for " + path);
+}
+
+DeployModel load_checkpoint(const std::string& path) {
+  std::ifstream is(path);
+  check(is.good(), "load_checkpoint: cannot open " + path);
+  std::string tok;
+  is >> tok;
+  check(tok == kHeader, "load_checkpoint: bad header in " + path);
+
+  DeployModel dm;
+  is >> tok;
+  check(tok == "input", "load_checkpoint: expected 'input'");
+  is >> dm.input_scale >> dm.input_zero >> dm.input_qmin >> dm.input_qmax;
+  is >> tok;
+  check(tok == "output", "load_checkpoint: expected 'output'");
+  float out_scale = 1.0F;
+  int out_id = -1;
+  is >> out_scale >> out_id;
+  dm.output_scale = out_scale;
+  is >> tok;
+  check(tok == "ops", "load_checkpoint: expected 'ops'");
+  std::size_t n = 0;
+  is >> n;
+  for (std::size_t i = 0; i < n; ++i) {
+    is >> tok;
+    check(tok == "op", "load_checkpoint: expected 'op'");
+    std::string kind, label;
+    std::size_t nin = 0;
+    is >> kind >> label >> nin;
+    std::vector<int> inputs(nin);
+    for (auto& v : inputs) is >> v;
+    auto op = load_op(kind, is);
+    op->inputs = std::move(inputs);
+    op->label = label == "-" ? "" : label;
+    dm.add_op(std::move(op));
+  }
+  dm.set_output(out_id);
+  return dm;
+}
+
+}  // namespace t2c

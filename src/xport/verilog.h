@@ -1,0 +1,23 @@
+// RTL-verification scaffolding: emits a SystemVerilog testbench skeleton
+// that declares one memory per exported hex image and loads it with
+// $readmemh — the glue a prototype-accelerator testbench needs to consume
+// the Fig. 5 memory images without any hand-written plumbing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "deploy/deploy_model.h"
+
+namespace t2c {
+
+/// Writes `<dir>/t2c_tb.sv` referencing the hex images produced by
+/// export_hex_images(dm, dir, word_bits). Returns the testbench path.
+/// Each weight/LUT tensor becomes
+///   logic signed [W-1:0] mem_<n> [0:DEPTH-1];
+///   initial $readmemh("<file>.hex", mem_<n>);
+/// plus a shape comment, so the DUT hookup is the only manual step left.
+std::string emit_verilog_testbench(const DeployModel& dm,
+                                   const std::string& dir, int word_bits);
+
+}  // namespace t2c

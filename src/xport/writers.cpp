@@ -1,0 +1,240 @@
+#include "xport/writers.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "deploy/int_ops.h"
+#include "deploy/vit_ops.h"
+
+namespace t2c {
+
+namespace {
+
+std::ofstream open_out(const std::string& path, bool binary = false) {
+  std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
+  check(os.good(), "cannot open for writing: " + path);
+  return os;
+}
+
+std::ifstream open_in(const std::string& path, bool binary = false) {
+  std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
+  check(is.good(), "cannot open for reading: " + path);
+  return is;
+}
+
+void write_shape_line(std::ostream& os, const ITensor& t,
+                      const std::string& prefix) {
+  os << prefix << " shape";
+  for (int d = 0; d < t.rank(); ++d) os << ' ' << t.size(d);
+  os << '\n';
+}
+
+Shape parse_shape_tokens(std::istringstream& ls) {
+  Shape shape;
+  std::int64_t d;
+  while (ls >> d) shape.push_back(d);
+  check(!shape.empty(), "parse_shape: empty shape header");
+  return shape;
+}
+
+}  // namespace
+
+void write_decimal(const std::string& path, const ITensor& t) {
+  auto os = open_out(path);
+  write_shape_line(os, t, "#");
+  for (std::int64_t i = 0; i < t.numel(); ++i) os << t[i] << '\n';
+}
+
+ITensor read_decimal(const std::string& path) {
+  auto is = open_in(path);
+  std::string line;
+  check(static_cast<bool>(std::getline(is, line)),
+        "read_decimal: empty file " + path);
+  std::istringstream ls(line);
+  std::string hash, kw;
+  ls >> hash >> kw;
+  check(hash == "#" && kw == "shape", "read_decimal: bad header in " + path);
+  Shape shape = parse_shape_tokens(ls);
+  ITensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    check(static_cast<bool>(is >> t[i]),
+          "read_decimal: truncated data in " + path);
+  }
+  return t;
+}
+
+void write_hex(const std::string& path, const ITensor& t, int word_bits) {
+  check(word_bits >= 2 && word_bits <= 32, "write_hex: word_bits in [2,32]");
+  const std::int64_t lo = -(std::int64_t{1} << (word_bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (word_bits - 1)) - 1;
+  const int digits = (word_bits + 3) / 4;
+  const auto mask = static_cast<std::uint64_t>(
+      (word_bits == 64) ? ~0ULL : ((1ULL << word_bits) - 1));
+  auto os = open_out(path);
+  write_shape_line(os, t, "//");
+  os << "// word_bits " << word_bits << '\n';
+  os << std::uppercase << std::hex;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    check(t[i] >= lo && t[i] <= hi,
+          "write_hex: value does not fit in " + std::to_string(word_bits) +
+              " bits");
+    const std::uint64_t raw = static_cast<std::uint64_t>(t[i]) & mask;
+    os.width(digits);
+    os.fill('0');
+    os << raw << '\n';
+  }
+}
+
+ITensor read_hex(const std::string& path, int word_bits) {
+  auto is = open_in(path);
+  std::string line;
+  Shape shape;
+  std::vector<std::int64_t> values;
+  const std::uint64_t sign_bit = 1ULL << (word_bits - 1);
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("//", 0) == 0) {
+      std::istringstream ls(line.substr(2));
+      std::string kw;
+      ls >> kw;
+      if (kw == "shape") shape = parse_shape_tokens(ls);
+      continue;
+    }
+    std::uint64_t raw = 0;
+    std::istringstream ls(line);
+    ls >> std::hex >> raw;
+    std::int64_t v = static_cast<std::int64_t>(raw);
+    if (raw & sign_bit) {
+      v = static_cast<std::int64_t>(raw) -
+          static_cast<std::int64_t>(1ULL << word_bits);
+    }
+    values.push_back(v);
+  }
+  check(!shape.empty(), "read_hex: missing shape header in " + path);
+  return ITensor::from(shape, std::move(values));
+}
+
+namespace {
+constexpr std::uint32_t kBinMagic = 0x54324321u;  // "T2C!"
+}
+
+void write_binary(const std::string& path, const ITensor& t) {
+  auto os = open_out(path, /*binary=*/true);
+  const auto put32 = [&](std::uint32_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put32(kBinMagic);
+  put32(static_cast<std::uint32_t>(t.rank()));
+  for (int d = 0; d < t.rank(); ++d) {
+    put32(static_cast<std::uint32_t>(t.size(d)));
+  }
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const auto v = static_cast<std::int32_t>(t[i]);
+    check(static_cast<std::int64_t>(v) == t[i],
+          "write_binary: value exceeds int32 range");
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+}
+
+ITensor read_binary(const std::string& path) {
+  auto is = open_in(path, /*binary=*/true);
+  const auto get32 = [&]() {
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    check(is.good(), "read_binary: truncated file " + path);
+    return v;
+  };
+  check(get32() == kBinMagic, "read_binary: bad magic in " + path);
+  const auto rank = static_cast<int>(get32());
+  check(rank >= 1 && rank <= 8, "read_binary: implausible rank");
+  Shape shape;
+  for (int d = 0; d < rank; ++d) {
+    shape.push_back(static_cast<std::int64_t>(get32()));
+  }
+  ITensor t(shape);
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    std::int32_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    check(is.good(), "read_binary: truncated data in " + path);
+    t[i] = v;
+  }
+  return t;
+}
+
+ITensor unroll_tiled(const ITensor& w, int tile) {
+  check(w.rank() >= 1 && tile >= 1, "unroll_tiled: bad arguments");
+  const std::int64_t oc = w.size(0);
+  const std::int64_t per = w.numel() / oc;
+  ITensor out({w.numel()});
+  std::int64_t pos = 0;
+  for (std::int64_t base = 0; base < oc; base += tile) {
+    const std::int64_t lanes = std::min<std::int64_t>(tile, oc - base);
+    // Row-by-row across the active lanes: the order a weight-stationary
+    // array streams its weights.
+    for (std::int64_t i = 0; i < per; ++i) {
+      for (std::int64_t lane = 0; lane < lanes; ++lane) {
+        out[pos++] = w[(base + lane) * per + i];
+      }
+    }
+  }
+  return out;
+}
+
+int required_word_bits(const ITensor& t) {
+  std::int64_t mx = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    mx = std::max(mx, t[i] >= 0 ? t[i] : -(t[i] + 1));
+  }
+  int bits = 2;
+  while (((std::int64_t{1} << (bits - 1)) - 1) < mx) ++bits;
+  return bits;
+}
+
+std::vector<std::string> export_hex_images(const DeployModel& dm,
+                                           const std::string& dir,
+                                           int word_bits) {
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> written;
+  const auto emit = [&](std::size_t idx, const std::string& label,
+                        const ITensor& t, int bits) {
+    std::string name = label.empty() ? "op" : label;
+    for (char& c : name) {
+      if (c == '/' || c == ' ' || c == ':') c = '_';
+    }
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%03zu_", idx);
+    const std::string path = dir + "/" + buf + name + ".hex";
+    write_hex(path, t, bits);
+    written.push_back(path);
+  };
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    const DeployOp& op = dm.op(i);
+    if (const auto* conv = dynamic_cast<const IntConv2dOp*>(&op)) {
+      emit(i, op.label, conv->weight(),
+           std::max(word_bits, required_word_bits(conv->weight())));
+    } else if (const auto* lin = dynamic_cast<const IntLinearOp*>(&op)) {
+      emit(i, op.label, lin->weight(),
+           std::max(word_bits, required_word_bits(lin->weight())));
+    } else if (const auto* attn = dynamic_cast<const IntAttentionOp*>(&op)) {
+      emit(i, op.label + ".wqkv", attn->params().wqkv,
+           std::max(word_bits, required_word_bits(attn->params().wqkv)));
+      emit(i, op.label + ".wproj", attn->params().wproj,
+           std::max(word_bits, required_word_bits(attn->params().wproj)));
+    } else if (const auto* sm = dynamic_cast<const LutSoftmaxOp*>(&op)) {
+      ITensor lut({static_cast<std::int64_t>(sm->lut().size())});
+      for (std::size_t j = 0; j < sm->lut().size(); ++j) lut[j] = sm->lut()[j];
+      emit(i, op.label + ".lut", lut,
+           std::max(word_bits, required_word_bits(lut)));
+    } else if (const auto* ge = dynamic_cast<const LutGeluOp*>(&op)) {
+      ITensor lut({static_cast<std::int64_t>(ge->lut().size())});
+      for (std::size_t j = 0; j < ge->lut().size(); ++j) lut[j] = ge->lut()[j];
+      emit(i, op.label + ".lut", lut,
+           std::max(word_bits, required_word_bits(lut)));
+    }
+  }
+  return written;
+}
+
+}  // namespace t2c

@@ -1,0 +1,174 @@
+// Synthetic dataset + augmentation + loader tests: determinism, balance,
+// learnability signal (class separation), two-view SSL batches, and the
+// shared pattern bank that makes transfer learning meaningful.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/loader.h"
+#include "tensor/elementwise.h"
+#include "tensor/reduce.h"
+
+namespace t2c {
+namespace {
+
+DatasetSpec small_spec() {
+  DatasetSpec s;
+  s.classes = 3;
+  s.height = s.width = 8;
+  s.train_size = 60;
+  s.test_size = 30;
+  s.seed = 9;
+  return s;
+}
+
+TEST(Synthetic, ShapesAndBalancedLabels) {
+  SyntheticImageDataset ds(small_spec());
+  EXPECT_EQ(ds.train_images().shape(), (Shape{60, 3, 8, 8}));
+  EXPECT_EQ(ds.test_images().shape(), (Shape{30, 3, 8, 8}));
+  std::vector<int> counts(3, 0);
+  for (auto y : ds.train_labels()) {
+    ASSERT_GE(y, 0);
+    ASSERT_LT(y, 3);
+    counts[static_cast<std::size_t>(y)]++;
+  }
+  EXPECT_EQ(counts[0], 20);
+  EXPECT_EQ(counts[1], 20);
+  EXPECT_EQ(counts[2], 20);
+}
+
+TEST(Synthetic, DeterministicGivenSeed) {
+  SyntheticImageDataset a(small_spec());
+  SyntheticImageDataset b(small_spec());
+  EXPECT_FLOAT_EQ(max_abs_diff(a.train_images(), b.train_images()), 0.0F);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  DatasetSpec s2 = small_spec();
+  s2.seed = 10;
+  SyntheticImageDataset a(small_spec());
+  SyntheticImageDataset b(s2);
+  EXPECT_GT(max_abs_diff(a.train_images(), b.train_images()), 0.1F);
+}
+
+TEST(Synthetic, ClassesAreSeparable) {
+  // Within-class distance must be smaller than between-class distance —
+  // the property that makes accuracy deltas measurable.
+  SyntheticImageDataset ds(small_spec());
+  const auto& x = ds.train_images();
+  const auto& y = ds.train_labels();
+  // Mean image per class.
+  std::vector<Tensor> means(3, Tensor({3, 8, 8}, 0.0F));
+  std::vector<int> counts(3, 0);
+  for (std::int64_t i = 0; i < ds.train_size(); ++i) {
+    add_(means[static_cast<std::size_t>(y[static_cast<std::size_t>(i)])],
+         x.select0(i));
+    counts[static_cast<std::size_t>(y[static_cast<std::size_t>(i)])]++;
+  }
+  for (int c = 0; c < 3; ++c) {
+    mul_scalar_(means[static_cast<std::size_t>(c)],
+                1.0F / static_cast<float>(counts[static_cast<std::size_t>(c)]));
+  }
+  const double between01 = sse(means[0], means[1]);
+  const double between02 = sse(means[0], means[2]);
+  EXPECT_GT(between01, 1.0);
+  EXPECT_GT(between02, 1.0);
+}
+
+TEST(Synthetic, GlobalBankSharedAcrossDatasets) {
+  const auto& bank1 = global_pattern_bank(3, 8, 8);
+  const auto& bank2 = global_pattern_bank(3, 8, 8);
+  EXPECT_EQ(&bank1, &bank2);  // one canonical bank per geometry
+  EXPECT_GE(bank1.size(), 32u);
+}
+
+TEST(Synthetic, PresetsAreConstructible) {
+  for (const DatasetSpec& s :
+       {cifar10_sim(), cifar100_sim(), aircraft_sim(), flowers_sim()}) {
+    EXPECT_GT(s.classes, 0) << s.name;
+    EXPECT_GE(s.train_size, s.classes) << s.name;
+  }
+}
+
+TEST(Augment, PreservesShapeAndIsRandom) {
+  Augmentor aug(ssl_augment());
+  Rng rng(4);
+  Tensor img({3, 8, 8});
+  Rng fill(5);
+  fill.fill_normal(img.vec(), 0.0F, 1.0F);
+  Tensor a = aug(img, rng);
+  Tensor b = aug(img, rng);
+  EXPECT_EQ(a.shape(), img.shape());
+  EXPECT_GT(max_abs_diff(a, b), 1e-3F);  // two draws differ
+}
+
+TEST(Augment, TwoViewProducesDistinctViews) {
+  Augmentor aug(ssl_augment());
+  Rng rng(6);
+  Tensor img({3, 8, 8});
+  Rng fill(7);
+  fill.fill_normal(img.vec(), 0.0F, 1.0F);
+  auto [a, b] = aug.two_view(img, rng);
+  EXPECT_GT(max_abs_diff(a, b), 1e-3F);
+}
+
+TEST(Augment, NoOpConfigIsIdentity) {
+  AugmentConfig cfg;
+  cfg.hflip = false;
+  cfg.crop_pad = 0;
+  cfg.scale_jitter = 0.0F;
+  cfg.noise = 0.0F;
+  Augmentor aug(cfg);
+  Rng rng(8);
+  Tensor img({2, 4, 4});
+  Rng fill(9);
+  fill.fill_normal(img.vec(), 0.0F, 1.0F);
+  EXPECT_FLOAT_EQ(max_abs_diff(aug(img, rng), img), 0.0F);
+}
+
+TEST(Loader, CoversDatasetOncePerEpoch) {
+  SyntheticImageDataset ds(small_spec());
+  DataLoader loader(ds.train_images(), ds.train_labels(), 16, true, 3);
+  loader.start_epoch();
+  std::int64_t seen = 0;
+  for (std::int64_t b = 0; b < loader.batches_per_epoch(); ++b) {
+    seen += loader.batch(b).images.size(0);
+  }
+  EXPECT_EQ(seen, ds.train_size());
+}
+
+TEST(Loader, ShuffleChangesOrderButNotMultiset) {
+  SyntheticImageDataset ds(small_spec());
+  DataLoader loader(ds.train_images(), ds.train_labels(), 60, true, 3);
+  loader.start_epoch();
+  auto l1 = loader.batch(0).labels;
+  loader.start_epoch();
+  auto l2 = loader.batch(0).labels;
+  EXPECT_NE(l1, l2);  // order differs with overwhelming probability
+  auto s1 = l1, s2 = l2;
+  std::sort(s1.begin(), s1.end());
+  std::sort(s2.begin(), s2.end());
+  EXPECT_EQ(s1, s2);  // same multiset
+}
+
+TEST(Loader, TwoViewBatchShapes) {
+  SyntheticImageDataset ds(small_spec());
+  DataLoader loader(ds.train_images(), ds.train_labels(), 8, true, 3);
+  loader.set_augment(ssl_augment());
+  loader.start_epoch();
+  TwoViewBatch tv = loader.two_view_batch(0);
+  EXPECT_EQ(tv.view_a.shape(), (Shape{8, 3, 8, 8}));
+  EXPECT_EQ(tv.view_b.shape(), tv.view_a.shape());
+  EXPECT_GT(max_abs_diff(tv.view_a, tv.view_b), 1e-3F);
+}
+
+TEST(Loader, TwoViewWithoutAugmentorThrows) {
+  SyntheticImageDataset ds(small_spec());
+  DataLoader loader(ds.train_images(), ds.train_labels(), 8, true, 3);
+  loader.start_epoch();
+  EXPECT_THROW(loader.two_view_batch(0), Error);
+}
+
+}  // namespace
+}  // namespace t2c

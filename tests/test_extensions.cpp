@@ -1,0 +1,184 @@
+// Tests for the extension features: the DoReFa quantizer, mixed-precision
+// stem/head, BRECQ block reconstruction, the Verilog testbench emitter, and
+// deploy-graph summaries.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "models/models.h"
+#include "quant/dorefa.h"
+#include "quant/adaround.h"
+#include "quant/ptq.h"
+#include "tensor/elementwise.h"
+#include "test_util.h"
+#include "xport/verilog.h"
+
+namespace t2c {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec s;
+  s.classes = 4;
+  s.height = s.width = 8;
+  s.train_size = 96;
+  s.test_size = 48;
+  s.noise = 0.25F;
+  s.class_sep = 1.2F;
+  s.seed = 5;
+  return s;
+}
+
+ModelConfig tiny_model() {
+  ModelConfig m;
+  m.num_classes = 4;
+  m.width_mult = 0.25F;
+  m.seed = 3;
+  return m;
+}
+
+TEST(DoReFa, RegisteredAndDualPathConsistent) {
+  QSpec spec;
+  spec.nbits = 4;
+  auto q = make_quantizer("dorefa", spec);
+  Tensor w = testing::random_tensor({256}, 3, 2.0F);
+  Tensor dq = q->forward(w, true);
+  Tensor dq2 = q->dequantize(q->quantize(w));
+  EXPECT_LT(max_abs_diff(dq, dq2), 1e-5F);
+  // tanh squashing keeps everything in [-tanh_max, tanh_max] <= 1.
+  EXPECT_LE(max_abs(dq), 1.0F + 1e-5F);
+}
+
+TEST(DoReFa, GradientFollowsTanhDerivative) {
+  QSpec spec;
+  spec.nbits = 8;
+  DoReFaQuantizer q(spec);
+  Tensor w = Tensor::from({2}, {0.0F, 3.0F});
+  (void)q.forward(w, true);
+  Tensor g({2}, 1.0F);
+  Tensor gw = q.backward(g);
+  // d tanh at 0 is 1; at 3 it is ~0.01 — saturated weights stop moving.
+  EXPECT_GT(gw[0], 0.9F);
+  EXPECT_LT(gw[1], 0.05F);
+}
+
+TEST(MixedPrecision, StemHeadBitsOverrideApplies) {
+  ModelConfig mc = tiny_model();
+  mc.qcfg.wbits = 2;
+  mc.qcfg.abits = 2;
+  mc.stem_head_bits = 8;
+  auto model = make_resnet20(mc);
+  auto layers = collect_qlayers(*model);
+  // Stem first, head last; everything between runs at 2 bits.
+  EXPECT_EQ(layers.front()->weight_quantizer().spec().nbits, 8);
+  EXPECT_EQ(layers.back()->weight_quantizer().spec().nbits, 8);
+  EXPECT_EQ(layers[1]->weight_quantizer().spec().nbits, 2);
+}
+
+TEST(MixedPrecision, ConvertsAndDeploysEndToEnd) {
+  SyntheticImageDataset data(tiny_spec());
+  ModelConfig mc = tiny_model();
+  mc.qcfg.wbits = 4;
+  mc.qcfg.abits = 4;
+  mc.stem_head_bits = 8;
+  auto model = make_resnet20(mc);
+  TrainerOptions o;
+  o.train.epochs = 4;
+  o.train.lr = 0.08F;
+  auto tr = make_trainer("qat", *model, data, o);
+  tr->fit();
+  const double qat = tr->evaluate();
+  freeze_quantizers(*model);
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  T2CConverter conv(cfg);
+  DeployModel dm = conv.convert(*model);
+  EXPECT_NEAR(dm.evaluate(data.test_images(), data.test_labels()), qat, 10.0);
+}
+
+TEST(BlockReconstruction, RunsAndHardensEveryAdaRound) {
+  SyntheticImageDataset data(tiny_spec());
+  ModelConfig mc = tiny_model();
+  mc.qcfg.weight_quantizer = "adaround";
+  mc.qcfg.wbits = 4;
+  mc.qcfg.abits = 4;
+  auto model = make_resnet20(mc);
+  set_quantizer_bypass(*model, true);
+  TrainerOptions o;
+  o.train.epochs = 6;
+  o.train.lr = 0.1F;
+  make_trainer("supervised", *model, data, o)->fit();
+  set_quantizer_bypass(*model, false);
+
+  DataLoader loader(data.train_images(), data.train_labels(), 32, true, 7);
+  calibrate(*model, loader, 3);
+  ReconstructConfig cfg;
+  cfg.iters = 25;
+  cfg.calib_batches = 2;
+  (void)reconstruct_blocks(*model, loader, cfg);
+  for (QLayer* l : collect_qlayers(*model)) {
+    if (auto* ada =
+            dynamic_cast<AdaRoundQuantizer*>(&l->weight_quantizer())) {
+      EXPECT_TRUE(ada->hardened());
+    }
+  }
+  // Still classifies after joint reconstruction.
+  const double acc =
+      evaluate_accuracy(*model, data.test_images(), data.test_labels());
+  EXPECT_GT(acc, 40.0);
+}
+
+TEST(Verilog, TestbenchReferencesEveryWeightImage) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_resnet20(tiny_model());
+  TrainerOptions o;
+  o.train.epochs = 1;
+  make_trainer("qat", *model, data, o)->fit();
+  freeze_quantizers(*model);
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  T2CConverter conv(cfg);
+  DeployModel dm = conv.convert(*model);
+
+  const std::string dir = ::testing::TempDir() + "/t2c_verilog";
+  const std::string tb = emit_verilog_testbench(dm, dir, 8);
+  std::ifstream is(tb);
+  ASSERT_TRUE(is.good());
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  const DeployModel::Summary s = dm.summarize();
+  std::size_t readmem = 0, pos = 0;
+  while ((pos = text.find("$readmemh", pos)) != std::string::npos) {
+    ++readmem;
+    ++pos;
+  }
+  // One memory per conv/linear weight tensor (no attention here).
+  std::size_t weight_ops = 0;
+  for (const auto& [kind, count] : s.op_counts) {
+    if (kind == "IntConv2d" || kind == "IntLinear") weight_ops += count;
+  }
+  EXPECT_EQ(readmem, weight_ops);
+  EXPECT_NE(text.find("module t2c_tb;"), std::string::npos);
+}
+
+TEST(Summary, CountsOpsAndWeights) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_resnet20(tiny_model());
+  TrainerOptions o;
+  o.train.epochs = 1;
+  make_trainer("qat", *model, data, o)->fit();
+  freeze_quantizers(*model);
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  T2CConverter conv(cfg);
+  DeployModel dm = conv.convert(*model);
+  const DeployModel::Summary s = dm.summarize();
+  EXPECT_EQ(s.total_ops, dm.num_ops());
+  EXPECT_GT(s.weight_elements, 1000);
+  EXPECT_GT(s.weight_storage_bits, s.weight_elements);  // > 1 bit per weight
+  EXPECT_NE(dm.summary_text().find("IntConv2d"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace t2c

@@ -1,0 +1,133 @@
+// Fusion-math tests: BN folding identities (Eq. 8-15), pre-fusing vs
+// channel-wise equivalence in float, and MulQuant parameter construction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fusion/bn_fusion.h"
+#include "fusion/mulquant.h"
+#include "tensor/conv_ops.h"
+#include "tensor/elementwise.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+/// Trains nothing: fills a BN with known running stats.
+void fill_bn(BatchNorm2d& bn, Rng& rng) {
+  for (std::int64_t i = 0; i < bn.channels(); ++i) {
+    bn.gamma().value[i] = rng.uniform(0.5F, 1.5F);
+    bn.beta().value[i] = rng.uniform(-0.5F, 0.5F);
+    bn.mutable_running_mean()[i] = rng.uniform(-1.0F, 1.0F);
+    bn.mutable_running_var()[i] = rng.uniform(0.2F, 2.0F);
+  }
+}
+
+TEST(BnFusion, FoldReproducesEvalBatchNorm) {
+  Rng rng(1);
+  BatchNorm2d bn(3);
+  fill_bn(bn, rng);
+  bn.set_mode(ExecMode::kEval);
+  Tensor x = testing::random_tensor({2, 3, 4, 4}, 2);
+  Tensor want = bn.forward(x);
+  BnFold fold = fold_bn(bn);
+  Tensor got = scale_bias_nchw(x, fold.gamma_star, fold.beta_star);
+  EXPECT_LT(max_abs_diff(got, want), 1e-5F);
+}
+
+TEST(BnFusion, PreFuseEqualsPostScaleInFloat) {
+  // conv(x, gamma* . W) == gamma* . conv(x, W) per output channel.
+  Rng rng(3);
+  BatchNorm2d bn(4);
+  fill_bn(bn, rng);
+  BnFold fold = fold_bn(bn);
+  ConvSpec s;
+  s.in_channels = 2;
+  s.out_channels = 4;
+  s.kernel = 3;
+  s.padding = 1;
+  Tensor x = testing::random_tensor({1, 2, 5, 5}, 4);
+  Tensor w = testing::random_tensor({4, 2, 3, 3}, 5);
+  Tensor wf = prefuse_weights(w, fold);
+  Tensor a = conv2d_forward(x, wf, nullptr, s);
+  Tensor b = conv2d_forward(x, w, nullptr, s);
+  Tensor zeros({4}, 0.0F);
+  Tensor b_scaled = scale_bias_nchw(b, fold.gamma_star, zeros);
+  EXPECT_LT(max_abs_diff(a, b_scaled), 1e-4F);
+}
+
+TEST(BnFusion, IdentityFoldCarriesConvBias) {
+  Tensor bias = Tensor::from({2}, {0.5F, -1.0F});
+  BnFold fold = identity_fold(2, &bias);
+  EXPECT_FLOAT_EQ(fold.gamma_star[0], 1.0F);
+  EXPECT_FLOAT_EQ(fold.beta_star[1], -1.0F);
+  BnFold nofold = identity_fold(2, nullptr);
+  EXPECT_FLOAT_EQ(nofold.beta_star[0], 0.0F);
+}
+
+TEST(MulQuantBuild, PerEntryShiftFitsLargeAndSmallMultipliers) {
+  // Each entry keeps the 16-bit word width but gets its own binary point
+  // (TFLite-style normalized multiplier + shift): large multipliers shift
+  // down to fit, small ones shift up to keep full precision.
+  FixedPointFormat fmt{4, 12};
+  MqParams p = make_mq_params({30.0, 0.001}, {0.0, 0.0}, fmt);
+  EXPECT_LT(p.frac_bits[0], 12);   // downshifted to fit 30.0
+  EXPECT_GT(p.frac_bits[1], 12);   // upshifted for precision on 0.001
+  for (int e = 0; e < 2; ++e) {
+    const double m = e == 0 ? 30.0 : 0.001;
+    const double back = static_cast<double>(p.mul[static_cast<std::size_t>(e)]) /
+                        std::ldexp(1.0, p.frac_bits[static_cast<std::size_t>(e)]);
+    EXPECT_NEAR(back, m, m * 2e-3) << "entry " << e;
+  }
+}
+
+TEST(MulQuantBuild, UniformFormatModeMatchesPaperNotation) {
+  // normalize = false pins every entry to the user's INT(i, f) split, as
+  // the paper's tables assume; biases round to accumulator-unit integers.
+  FixedPointFormat fmt{4, 12};
+  MqParams p = make_mq_params({0.5, 0.001}, {10.4, -3.6}, fmt,
+                              /*normalize=*/false);
+  EXPECT_EQ(p.mul[0], 2048);
+  EXPECT_EQ(p.mul[1], 4);  // round(0.001 * 4096)
+  // Biases live in 2^-bias_frac accumulator units.
+  EXPECT_EQ(p.bias[0], std::llround(10.4 * (1 << p.bias_frac)));
+  EXPECT_EQ(p.bias[1], std::llround(-3.6 * (1 << p.bias_frac)));
+  EXPECT_EQ(p.frac_bits, (std::vector<int>{12, 12}));
+}
+
+TEST(MulQuantBuild, RequantComputesScaleRatio) {
+  FixedPointFormat fmt{4, 12};
+  auto op = make_requant(0.1, 0.2, fmt, -127, 127);
+  // m = 0.5 -> raw 2048; y = (2048 * x) >> 12 = x / 2.
+  std::vector<const ITensor*> ins;
+  ITensor x = ITensor::from({2}, {100, -50});
+  ins.push_back(&x);
+  ITensor y = op->run(ins);
+  EXPECT_EQ(y[0], 50);
+  EXPECT_EQ(y[1], -25);
+}
+
+TEST(MulQuantBuild, EmulatesRealRescaleWithinResolution) {
+  // Property: for random scales/biases, the integer MulQuant output matches
+  // the real-arithmetic rescale within (resolution * |acc| + 1) LSB.
+  FixedPointFormat fmt{4, 12};
+  Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double m = rng.uniform(0.002F, 4.0F);
+    const double b_acc = rng.uniform(-500.0F, 500.0F);
+    auto op = make_mulquant({m}, {b_acc}, fmt, -1 << 20, 1 << 20,
+                            MqLayout::kPerTensor);
+    ITensor x = ITensor::from({1}, {rng.randint(-2000, 2000)});
+    std::vector<const ITensor*> ins{&x};
+    const double want = m * (static_cast<double>(x[0]) + b_acc);
+    const double got = static_cast<double>(op->run(ins)[0]);
+    const double bound =
+        fmt.resolution() * (std::fabs(static_cast<double>(x[0])) +
+                            std::fabs(b_acc)) +
+        m + 1.0;
+    EXPECT_LE(std::fabs(got - want), bound) << "m=" << m << " b=" << b_acc;
+  }
+}
+
+}  // namespace
+}  // namespace t2c

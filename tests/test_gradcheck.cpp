@@ -1,0 +1,155 @@
+// Central-difference gradient checks for every trainable layer's backward
+// pass — the correctness backbone of the hand-derived autograd.
+#include <gtest/gtest.h>
+
+#include "models/vit.h"
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+using testing::grad_check;
+using testing::random_tensor;
+
+TEST(GradCheck, Linear2d) {
+  Rng rng(1);
+  Linear lin(5, 4, true, rng);
+  grad_check(lin, random_tensor({3, 5}, 2));
+}
+
+TEST(GradCheck, Linear3dTokens) {
+  Rng rng(3);
+  Linear lin(4, 3, true, rng);
+  grad_check(lin, random_tensor({2, 3, 4}, 4));
+}
+
+TEST(GradCheck, Conv2dDense) {
+  Rng rng(5);
+  ConvSpec s;
+  s.in_channels = 2;
+  s.out_channels = 3;
+  s.kernel = 3;
+  s.padding = 1;
+  Conv2d conv(s, true, rng);
+  grad_check(conv, random_tensor({2, 2, 4, 4}, 6));
+}
+
+TEST(GradCheck, Conv2dDepthwiseStrided) {
+  Rng rng(7);
+  ConvSpec s;
+  s.in_channels = 4;
+  s.out_channels = 4;
+  s.kernel = 3;
+  s.stride = 2;
+  s.padding = 1;
+  s.groups = 4;
+  Conv2d conv(s, false, rng);
+  grad_check(conv, random_tensor({1, 4, 5, 5}, 8));
+}
+
+TEST(GradCheck, BatchNorm) {
+  BatchNorm2d bn(3);
+  grad_check(bn, random_tensor({4, 3, 3, 3}, 9));
+}
+
+TEST(GradCheck, LayerNorm) {
+  LayerNorm ln(6);
+  grad_check(ln, random_tensor({4, 6}, 10));
+}
+
+TEST(GradCheck, ActivationsReLUFamily) {
+  // Nudge values away from kinks so finite differences are valid.
+  Tensor x = random_tensor({2, 8}, 11);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x[i]) < 0.05F) x[i] += 0.1F;
+  }
+  ReLU relu;
+  grad_check(relu, x);
+  ReLU6 relu6(0.8F);  // low cap to exercise both clip edges
+  Tensor x6 = x;
+  for (std::int64_t i = 0; i < x6.numel(); ++i) {
+    if (std::fabs(x6[i] - 0.8F) < 0.05F) x6[i] += 0.1F;
+  }
+  grad_check(relu6, x6);
+}
+
+TEST(GradCheck, Gelu) {
+  GELU gelu;
+  grad_check(gelu, random_tensor({3, 5}, 12, 2.0F));
+}
+
+TEST(GradCheck, MaxPool) {
+  MaxPool2d mp(2, 2);
+  grad_check(mp, random_tensor({1, 2, 4, 4}, 13));
+}
+
+TEST(GradCheck, AvgPools) {
+  AvgPool2d ap(2, 2);
+  grad_check(ap, random_tensor({1, 2, 4, 4}, 14));
+  GlobalAvgPool gap;
+  grad_check(gap, random_tensor({2, 3, 3, 3}, 15));
+}
+
+TEST(GradCheck, Flatten) {
+  Flatten fl;
+  grad_check(fl, random_tensor({2, 2, 2, 2}, 16));
+}
+
+TEST(GradCheck, MultiheadAttention) {
+  Rng rng(17);
+  MultiheadAttention mha(6, 2, rng);
+  grad_check(mha, random_tensor({2, 4, 6}, 18), 1e-3F, 3e-2F);
+}
+
+TEST(GradCheck, ResidualBlockWithShortcut) {
+  Rng rng(19);
+  ConvSpec s;
+  s.in_channels = 2;
+  s.out_channels = 2;
+  s.kernel = 3;
+  s.padding = 1;
+  auto main = std::make_unique<Sequential>();
+  main->add<Conv2d>(s, false, rng);
+  main->add<BatchNorm2d>(2);
+  auto shortcut = std::make_unique<Sequential>();
+  ConvSpec s1 = s;
+  s1.kernel = 1;
+  s1.padding = 0;
+  shortcut->add<Conv2d>(s1, false, rng);
+  ResidualBlock block(std::move(main), std::move(shortcut));
+  grad_check(block, random_tensor({2, 2, 3, 3}, 20), 1e-3F, 3e-2F);
+}
+
+TEST(GradCheck, SequentialComposition) {
+  Rng rng(21);
+  Sequential seq;
+  seq.add<Linear>(5, 7, true, rng);
+  seq.add<GELU>();
+  seq.add<Linear>(7, 3, true, rng);
+  grad_check(seq, random_tensor({3, 5}, 22));
+}
+
+TEST(GradCheck, MeanPoolTokens) {
+  MeanPoolTokens pool;
+  grad_check(pool, random_tensor({2, 4, 3}, 23));
+}
+
+TEST(GradCheck, PatchEmbed) {
+  Rng rng(24);
+  QConfig q;  // default 8-bit; quantizers bypassed for a pure-float check
+  PatchEmbed pe(2, 4, 2, rng, q);
+  auto quants = collect_all_quantizers(pe);
+  for (QBase* qz : quants) qz->set_bypass(true);
+  grad_check(pe, random_tensor({1, 2, 4, 4}, 25));
+}
+
+}  // namespace
+}  // namespace t2c

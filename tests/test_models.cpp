@@ -1,0 +1,122 @@
+// Model-zoo tests: every backbone builds, produces the right logit shape,
+// runs a backward pass, reports parameter counts, and respects the width
+// multiplier. These are the architectures of the paper's Tables 1-4.
+#include <gtest/gtest.h>
+
+#include "models/models.h"
+#include "models/vit.h"
+#include "nn/loss.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+ModelConfig tiny_cfg() {
+  ModelConfig m;
+  m.num_classes = 5;
+  m.width_mult = 0.25F;
+  m.seed = 1;
+  m.vit_depth = 2;
+  m.vit_dim = 16;
+  m.vit_heads = 2;
+  m.vit_patch = 4;
+  return m;
+}
+
+void forward_backward_smoke(Sequential& model, const Shape& input_shape,
+                            int classes) {
+  model.set_mode(ExecMode::kTrain);
+  Tensor x = testing::random_tensor(input_shape, 7);
+  Tensor logits = model.forward(x);
+  ASSERT_EQ(logits.shape(), (Shape{input_shape[0], classes}));
+  CrossEntropyLoss ce;
+  std::vector<std::int64_t> labels(static_cast<std::size_t>(input_shape[0]),
+                                   0);
+  (void)ce.forward(logits, labels);
+  model.zero_grad();
+  (void)model.backward(ce.backward());
+  // Gradients reached the stem.
+  auto params = model.parameters();
+  ASSERT_FALSE(params.empty());
+  bool any_nonzero = false;
+  for (std::int64_t i = 0; i < params.front()->grad.numel(); ++i) {
+    if (params.front()->grad[i] != 0.0F) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(Models, ResNet20BuildsAndTrains) {
+  auto m = make_resnet20(tiny_cfg());
+  forward_backward_smoke(*m, {2, 3, 16, 16}, 5);
+}
+
+TEST(Models, ResNet18BuildsAndTrains) {
+  auto m = make_resnet18(tiny_cfg());
+  forward_backward_smoke(*m, {2, 3, 16, 16}, 5);
+}
+
+TEST(Models, ResNet50BuildsAndTrains) {
+  ModelConfig cfg = tiny_cfg();
+  cfg.width_mult = 0.125F;
+  auto m = make_resnet50(cfg);
+  forward_backward_smoke(*m, {1, 3, 16, 16}, 5);
+}
+
+TEST(Models, MobileNetV1BuildsAndTrains) {
+  auto m = make_mobilenet_v1(tiny_cfg());
+  forward_backward_smoke(*m, {2, 3, 16, 16}, 5);
+}
+
+TEST(Models, VitBuildsAndTrains) {
+  auto m = make_vit(tiny_cfg());
+  forward_backward_smoke(*m, {2, 3, 16, 16}, 5);
+}
+
+TEST(Models, WidthMultScalesParameterCount) {
+  ModelConfig narrow = tiny_cfg();
+  ModelConfig wide = tiny_cfg();
+  wide.width_mult = 0.5F;
+  auto a = make_resnet20(narrow);
+  auto b = make_resnet20(wide);
+  EXPECT_GT(count_model_params(*b), 2 * count_model_params(*a));
+}
+
+TEST(Models, ScaleChannelsFloorsAtTwoAndStaysEven) {
+  EXPECT_EQ(scale_channels(16, 0.01F), 2);
+  EXPECT_EQ(scale_channels(16, 0.25F), 4);
+  EXPECT_EQ(scale_channels(17, 1.0F), 16);  // rounded to even
+}
+
+TEST(Models, ModelSizeTracksWeightBits) {
+  auto m = make_resnet20(tiny_cfg());
+  const double mb8 = model_size_mb(*m, 8);
+  const double mb4 = model_size_mb(*m, 4);
+  EXPECT_GT(mb8, mb4);
+  EXPECT_LT(mb4, mb8);
+  EXPECT_GT(mb4, 0.0);
+}
+
+TEST(Models, QuantizerBypassTogglesEverywhere) {
+  auto m = make_resnet20(tiny_cfg());
+  set_quantizer_bypass(*m, true);
+  for (QBase* q : collect_all_quantizers(*m)) EXPECT_TRUE(q->bypassed());
+  set_quantizer_bypass(*m, false);
+  for (QBase* q : collect_all_quantizers(*m)) EXPECT_FALSE(q->bypassed());
+}
+
+TEST(Models, QLayerDiscoveryFindsAllComputeLayers) {
+  auto m = make_resnet20(tiny_cfg());
+  // ResNet-20: stem + 9 blocks x 2 convs + 2 downsample convs + head.
+  EXPECT_EQ(collect_qlayers(*m).size(), 1u + 18u + 2u + 1u);
+}
+
+TEST(Models, VitHostsStreamQuantizers) {
+  auto m = make_vit(tiny_cfg());
+  // patch-embed conv(aq+wq) + out_q = 3; per block: qkv(2) + proj(2) +
+  // q/k/v/p(4) + res1/res2/gelu_in(3) + fc1(2) + fc2(2) = 15; head = 2.
+  const auto quants = collect_all_quantizers(*m);
+  EXPECT_EQ(quants.size(), 3u + 2u * 15u + 2u);
+}
+
+}  // namespace
+}  // namespace t2c

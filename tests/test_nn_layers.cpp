@@ -1,0 +1,252 @@
+// Forward-behaviour tests for the nn layers: shapes, known values, mode
+// semantics (train vs eval), running statistics, losses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layernorm.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "tensor/elementwise.h"
+#include "tensor/reduce.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear lin(3, 2, /*bias=*/true, rng);
+  lin.weight().value = Tensor::from({2, 3}, {1, 0, 0, 0, 1, 0});
+  lin.bias().value = Tensor::from({2}, {0.5F, -0.5F});
+  Tensor x = Tensor::from({1, 3}, {2, 3, 4});
+  Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2.5F);
+}
+
+TEST(Linear, TokenInputKeepsLeadingDims) {
+  Rng rng(2);
+  Linear lin(4, 6, true, rng);
+  Tensor x = testing::random_tensor({2, 5, 4}, 3);
+  Tensor y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 6}));
+}
+
+TEST(BatchNorm2d, NormalizesBatchInTrainMode) {
+  BatchNorm2d bn(2);
+  bn.set_mode(ExecMode::kTrain);
+  Tensor x = testing::random_tensor({4, 2, 3, 3}, 5);
+  add_scalar_(x, 3.0F);  // offset so normalization is observable
+  Tensor y = bn.forward(x);
+  Tensor m, v;
+  channel_mean_var(y, m, v);
+  EXPECT_NEAR(m[0], 0.0F, 1e-4);
+  EXPECT_NEAR(m[1], 0.0F, 1e-4);
+  EXPECT_NEAR(v[0], 1.0F, 1e-2);
+}
+
+TEST(BatchNorm2d, EvalUsesRunningStats) {
+  BatchNorm2d bn(1, 1e-5F, /*momentum=*/1.0F);  // running = last batch
+  bn.set_mode(ExecMode::kTrain);
+  Tensor x({64, 1, 2, 2}, 0.0F);
+  Rng rng(6);
+  rng.fill_normal(x.vec(), 2.0F, 0.5F);
+  (void)bn.forward(x);
+  bn.set_mode(ExecMode::kEval);
+  Tensor probe({1, 1, 1, 1}, 2.0F);
+  Tensor y = bn.forward(probe);
+  // (2 - mean) / std with mean ~2 -> ~0 (sampling noise of the batch mean).
+  EXPECT_NEAR(y[0], 0.0F, 0.3F);
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  LayerNorm ln(8);
+  ln.set_mode(ExecMode::kTrain);
+  Tensor x = testing::random_tensor({3, 8}, 7, 2.0F);
+  Tensor y = ln.forward(x);
+  for (int r = 0; r < 3; ++r) {
+    double s = 0.0, s2 = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      s += y.at(r, i);
+      s2 += static_cast<double>(y.at(r, i)) * y.at(r, i);
+    }
+    EXPECT_NEAR(s / 8.0, 0.0, 1e-4);
+    EXPECT_NEAR(s2 / 8.0, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, RunningStatsModeUsesCollectedStatistics) {
+  LayerNorm ln(4, 1e-5F, /*momentum=*/1.0F);
+  ln.set_mode(ExecMode::kTrain);
+  Tensor x({2, 4});
+  for (std::int64_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i % 4);
+  (void)ln.forward(x);
+  ln.set_mode(ExecMode::kEval);
+  ln.set_stats_mode(LayerNormStats::kRunning);
+  Tensor probe({1, 4}, ln.running_mean());
+  Tensor y = ln.forward(probe);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(y.at(0, i), 0.0F, 1e-3F);
+}
+
+TEST(Activations, ReLUFamilies) {
+  ReLU relu;
+  relu.set_mode(ExecMode::kEval);
+  Tensor x = Tensor::from({3}, {-1.0F, 0.5F, 7.0F});
+  Tensor y = relu.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 0.0F);
+  EXPECT_FLOAT_EQ(y[2], 7.0F);
+
+  ReLU6 relu6;
+  relu6.set_mode(ExecMode::kEval);
+  Tensor y6 = relu6.forward(x);
+  EXPECT_FLOAT_EQ(y6[2], 6.0F);
+  EXPECT_FLOAT_EQ(y6[1], 0.5F);
+}
+
+TEST(Activations, GeluMatchesReference) {
+  EXPECT_NEAR(gelu_value(0.0F), 0.0F, 1e-6F);
+  EXPECT_NEAR(gelu_value(1.0F), 0.8412F, 1e-3F);
+  EXPECT_NEAR(gelu_value(-1.0F), -0.1588F, 1e-3F);
+  // Derivative consistent with finite differences.
+  for (float x : {-2.0F, -0.3F, 0.0F, 0.7F, 2.5F}) {
+    const float num = (gelu_value(x + 1e-3F) - gelu_value(x - 1e-3F)) / 2e-3F;
+    EXPECT_NEAR(gelu_derivative(x), num, 1e-3F) << "x=" << x;
+  }
+}
+
+TEST(Activations, SoftmaxRowsSumToOneAndStable) {
+  Tensor x = Tensor::from({2, 3}, {1000.0F, 1001.0F, 1002.0F, -5, 0, 5});
+  Tensor p = softmax_lastdim(x);
+  for (int r = 0; r < 2; ++r) {
+    double s = 0.0;
+    for (int i = 0; i < 3; ++i) s += p.at(r, i);
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 0));  // monotone in logits
+}
+
+TEST(Pooling, MaxPoolPicksMaxima) {
+  MaxPool2d mp(2, 2);
+  mp.set_mode(ExecMode::kEval);
+  Tensor x = Tensor::from({1, 1, 2, 4}, {1, 2, 5, 6, 3, 4, 7, 8});
+  Tensor y = mp.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 4.0F);
+  EXPECT_FLOAT_EQ(y[1], 8.0F);
+}
+
+TEST(Pooling, GlobalAvgPool) {
+  GlobalAvgPool gap;
+  gap.set_mode(ExecMode::kEval);
+  Tensor x = Tensor::from({1, 2, 1, 2}, {1, 3, 10, 20});
+  Tensor y = gap.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.0F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 15.0F);
+}
+
+TEST(Attention, ShapeAndUniformValueBehaviour) {
+  Rng rng(9);
+  MultiheadAttention mha(8, 2, rng);
+  mha.set_mode(ExecMode::kEval);
+  Tensor x = testing::random_tensor({2, 5, 8}, 10);
+  Tensor y = mha.forward(x);
+  EXPECT_EQ(y.shape(), (Shape{2, 5, 8}));
+}
+
+TEST(Attention, SplitMergeHeadsRoundTrip) {
+  Tensor qkv = testing::random_tensor({2, 3, 12}, 11);  // D = 4, heads = 2
+  Tensor q = split_heads(qkv, 0, 2);
+  EXPECT_EQ(q.shape(), (Shape{4, 3, 2}));
+  Tensor merged = merge_heads(q, 2);
+  EXPECT_EQ(merged.shape(), (Shape{2, 3, 4}));
+  // merged must equal the q-third of qkv.
+  for (int n = 0; n < 2; ++n) {
+    for (int t = 0; t < 3; ++t) {
+      for (int d = 0; d < 4; ++d) {
+        EXPECT_FLOAT_EQ(merged.at(n, t, d), qkv.at(n, t, d));
+      }
+    }
+  }
+}
+
+TEST(Sequential, ChainsAndResidualAddsAndRelus) {
+  auto main = std::make_unique<Sequential>();
+  main->add<Identity>();
+  ResidualBlock block(std::move(main), nullptr);
+  block.set_mode(ExecMode::kEval);
+  Tensor x = Tensor::from({1, 1, 1, 2}, {1.0F, -3.0F});
+  Tensor y = block.forward(x);
+  EXPECT_FLOAT_EQ(y[0], 2.0F);   // relu(1 + 1)
+  EXPECT_FLOAT_EQ(y[1], 0.0F);   // relu(-6)
+}
+
+TEST(Loss, CrossEntropyKnownValue) {
+  CrossEntropyLoss ce;
+  Tensor logits = Tensor::from({1, 2}, {0.0F, 0.0F});
+  const float l = ce.forward(logits, {0});
+  EXPECT_NEAR(l, std::log(2.0F), 1e-5F);
+  Tensor g = ce.backward();
+  EXPECT_NEAR(g.at(0, 0), -0.5F, 1e-5F);
+  EXPECT_NEAR(g.at(0, 1), 0.5F, 1e-5F);
+}
+
+TEST(Loss, CrossEntropyGradNumeric) {
+  CrossEntropyLoss ce(0.1F);
+  Tensor logits = testing::random_tensor({3, 4}, 13);
+  std::vector<std::int64_t> labels = {1, 3, 0};
+  (void)ce.forward(logits, labels);
+  Tensor g = ce.backward();
+  const float eps = 1e-3F;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    Tensor lp = logits;
+    lp[i] += eps;
+    const float up = ce.forward(lp, labels);
+    lp[i] -= 2 * eps;
+    const float dn = ce.forward(lp, labels);
+    EXPECT_NEAR(g[i], (up - dn) / (2 * eps), 1e-3F);
+  }
+}
+
+TEST(Loss, MSEAndGrad) {
+  MSELoss mse;
+  Tensor p = Tensor::from({2}, {1.0F, 2.0F});
+  Tensor t = Tensor::from({2}, {0.0F, 0.0F});
+  EXPECT_NEAR(mse.forward(p, t), 2.5F, 1e-6F);
+  Tensor g = mse.backward();
+  EXPECT_NEAR(g[0], 1.0F, 1e-6F);  // 2*diff/N
+  EXPECT_NEAR(g[1], 2.0F, 1e-6F);
+}
+
+TEST(Loss, KDMatchesZeroWhenIdentical) {
+  SoftTargetKDLoss kd(2.0F);
+  Tensor s = testing::random_tensor({2, 5}, 14);
+  EXPECT_NEAR(kd.forward(s, s), 0.0F, 1e-6F);
+  Tensor g = kd.backward();
+  EXPECT_LT(max_abs(g), 1e-6F);
+}
+
+TEST(Loss, AccuracyPct) {
+  Tensor logits = Tensor::from({2, 2}, {1, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(accuracy_pct(logits, {0, 1}), 100.0);
+  EXPECT_DOUBLE_EQ(accuracy_pct(logits, {1, 1}), 50.0);
+}
+
+TEST(Module, CopyParamsTransfersValues) {
+  Rng rng1(1), rng2(2);
+  Linear a(4, 3, true, rng1);
+  Linear b(4, 3, true, rng2);
+  ASSERT_GT(max_abs_diff(a.weight().value, b.weight().value), 0.0F);
+  copy_params(b, a);
+  EXPECT_FLOAT_EQ(max_abs_diff(a.weight().value, b.weight().value), 0.0F);
+}
+
+}  // namespace
+}  // namespace t2c

@@ -1,0 +1,107 @@
+// Optimizer and LR-schedule tests: known single-step updates, momentum
+// accumulation, decay exemption, Adam bias correction, schedule shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+Param make_param(float value, float grad) {
+  Param p("p", {1});
+  p.value[0] = value;
+  p.grad[0] = grad;
+  return p;
+}
+
+TEST(SGD, PlainStep) {
+  Param p = make_param(1.0F, 0.5F);
+  SGD opt({&p}, 0.1F, /*momentum=*/0.0F);
+  opt.step();
+  EXPECT_NEAR(p.value[0], 1.0F - 0.1F * 0.5F, 1e-6F);
+}
+
+TEST(SGD, MomentumAccumulates) {
+  Param p = make_param(0.0F, 1.0F);
+  SGD opt({&p}, 1.0F, 0.5F);
+  opt.step();  // v = 1, p = -1
+  p.grad[0] = 1.0F;
+  opt.step();  // v = 1.5, p = -2.5
+  EXPECT_NEAR(p.value[0], -2.5F, 1e-6F);
+}
+
+TEST(SGD, WeightDecayAppliesOnlyWhenEnabled) {
+  Param decayed = make_param(2.0F, 0.0F);
+  Param exempt = make_param(2.0F, 0.0F);
+  exempt.apply_weight_decay = false;
+  SGD opt({&decayed, &exempt}, 0.1F, 0.0F, /*weight_decay=*/0.5F);
+  opt.step();
+  EXPECT_NEAR(decayed.value[0], 2.0F - 0.1F * 0.5F * 2.0F, 1e-6F);
+  EXPECT_FLOAT_EQ(exempt.value[0], 2.0F);
+}
+
+TEST(SGD, RequiresGradGate) {
+  Param p = make_param(1.0F, 1.0F);
+  p.requires_grad = false;
+  SGD opt({&p}, 0.1F);
+  opt.step();
+  EXPECT_FLOAT_EQ(p.value[0], 1.0F);
+}
+
+TEST(Adam, FirstStepIsSignedLr) {
+  // With bias correction, the first Adam step is ~lr * sign(g).
+  Param p = make_param(0.0F, 3.0F);
+  Adam opt({&p}, 0.01F);
+  opt.step();
+  EXPECT_NEAR(p.value[0], -0.01F, 1e-4F);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Param p = make_param(5.0F, 0.0F);
+  Adam opt({&p}, 0.2F);
+  for (int i = 0; i < 200; ++i) {
+    p.grad[0] = 2.0F * p.value[0];  // d/dx x^2
+    opt.step();
+    p.zero_grad();
+  }
+  EXPECT_NEAR(p.value[0], 0.0F, 0.05F);
+}
+
+TEST(Optimizer, ZeroGradClearsAll) {
+  Param a = make_param(0, 1), b = make_param(0, 2);
+  SGD opt({&a, &b}, 0.1F);
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad[0], 0.0F);
+  EXPECT_FLOAT_EQ(b.grad[0], 0.0F);
+}
+
+TEST(Schedule, CosineEndpointsAndWarmup) {
+  CosineLr sched(1.0F, 100, 0.1F, /*warmup=*/10);
+  EXPECT_LT(sched.lr_at(0), 0.2F);                 // warming up
+  EXPECT_NEAR(sched.lr_at(10), 1.0F, 1e-3F);       // warmup done
+  EXPECT_NEAR(sched.lr_at(99), 0.1F, 0.02F);       // decayed to min
+  // Monotone decrease after warmup.
+  for (int s = 11; s < 99; ++s) {
+    EXPECT_GE(sched.lr_at(s - 1), sched.lr_at(s) - 1e-6F);
+  }
+}
+
+TEST(Schedule, StepLrDecays) {
+  StepLr sched(1.0F, 10, 0.5F);
+  EXPECT_FLOAT_EQ(sched.lr_at(9), 1.0F);
+  EXPECT_FLOAT_EQ(sched.lr_at(10), 0.5F);
+  EXPECT_FLOAT_EQ(sched.lr_at(25), 0.25F);
+}
+
+TEST(Schedule, ConstantLr) {
+  ConstantLr sched(0.3F);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.3F);
+  EXPECT_FLOAT_EQ(sched.lr_at(12345), 0.3F);
+}
+
+}  // namespace
+}  // namespace t2c

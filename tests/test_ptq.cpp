@@ -1,0 +1,138 @@
+// PTQ driver tests: calibration settles and freezes observers; AdaRound
+// reconstruction reduces layer reconstruction error and hardens rounding;
+// QDrop runs the same engine with activation dropping.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "models/models.h"
+#include "quant/adaround.h"
+#include "quant/ptq.h"
+#include "tensor/elementwise.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec s;
+  s.classes = 4;
+  s.height = s.width = 8;
+  s.train_size = 96;
+  s.test_size = 48;
+  s.noise = 0.25F;
+  s.class_sep = 1.2F;
+  s.seed = 5;
+  return s;
+}
+
+ModelConfig model_cfg(const std::string& wq, const std::string& aq) {
+  ModelConfig m;
+  m.num_classes = 4;
+  m.width_mult = 0.25F;
+  m.seed = 3;
+  m.qcfg.weight_quantizer = wq;
+  m.qcfg.act_quantizer = aq;
+  return m;
+}
+
+/// fp32-pretrains a model (quantizers bypassed), returns fp accuracy.
+double pretrain_fp(Sequential& model, const SyntheticImageDataset& data) {
+  set_quantizer_bypass(model, true);
+  TrainerOptions o;
+  o.train.epochs = 10;
+  o.train.lr = 0.1F;
+  auto tr = make_trainer("supervised", model, data, o);
+  tr->fit();
+  const double acc = tr->evaluate();
+  set_quantizer_bypass(model, false);
+  return acc;
+}
+
+TEST(PTQ, CalibrationFreezesEverythingAndKeepsAccuracy) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_resnet20(model_cfg("minmax", "minmax"));
+  const double fp_acc = pretrain_fp(*model, data);
+  ASSERT_GT(fp_acc, 55.0);
+
+  DataLoader loader(data.train_images(), data.train_labels(), 32, true, 7);
+  calibrate(*model, loader, 4);
+  for (QBase* q : collect_all_quantizers(*model)) {
+    EXPECT_TRUE(q->frozen());
+  }
+  const double ptq_acc =
+      evaluate_accuracy(*model, data.test_images(), data.test_labels());
+  // 8-bit PTQ should be within a few points of fp32.
+  EXPECT_GT(ptq_acc, fp_acc - 8.0);
+}
+
+TEST(PTQ, AdaRoundReconstructionReducesTaskDamageAt4Bit) {
+  SyntheticImageDataset data(tiny_spec());
+
+  // Baseline: nearest-rounding minmax PTQ at 4/4 vs AdaRound at 4/4.
+  ModelConfig cfg4 = model_cfg("minmax", "minmax");
+  cfg4.qcfg.wbits = 4;
+  cfg4.qcfg.abits = 4;
+  auto base = make_resnet20(cfg4);
+  ModelConfig cfg4a = model_cfg("adaround", "minmax");
+  cfg4a.qcfg.wbits = 4;
+  cfg4a.qcfg.abits = 4;
+  auto tuned = make_resnet20(cfg4a);
+
+  const double fp_base = pretrain_fp(*base, data);
+  copy_params(*tuned, *base);  // identical fp weights for both PTQ paths
+  ASSERT_GT(fp_base, 50.0);
+
+  DataLoader loader(data.train_images(), data.train_labels(), 32, true, 7);
+  calibrate(*base, loader, 4);
+  const double acc_nearest =
+      evaluate_accuracy(*base, data.test_images(), data.test_labels());
+
+  calibrate(*tuned, loader, 4);
+  ReconstructConfig rcfg;
+  rcfg.iters = 60;
+  rcfg.calib_batches = 2;
+  const double mse = reconstruct_adaround(*tuned, loader, rcfg);
+  EXPECT_GE(mse, 0.0);
+  const double acc_ada =
+      evaluate_accuracy(*tuned, data.test_images(), data.test_labels());
+
+  // AdaRound must not be (meaningfully) worse than nearest rounding, and
+  // every AdaRound quantizer must be hardened afterwards.
+  EXPECT_GE(acc_ada, acc_nearest - 4.0);
+  for (QLayer* l : collect_qlayers(*tuned)) {
+    if (auto* ada = dynamic_cast<AdaRoundQuantizer*>(&l->weight_quantizer())) {
+      EXPECT_TRUE(ada->hardened());
+    }
+  }
+}
+
+TEST(PTQ, QDropTrainerRunsEndToEnd) {
+  SyntheticImageDataset data(tiny_spec());
+  ModelConfig cfg = model_cfg("adaround", "qdrop");
+  cfg.qcfg.wbits = 4;
+  cfg.qcfg.abits = 4;
+  auto model = make_resnet20(cfg);
+  const double fp_acc = pretrain_fp(*model, data);
+
+  TrainerOptions opts;
+  opts.calib_batches = 3;
+  opts.ptq.iters = 40;
+  opts.ptq.calib_batches = 2;
+  auto trainer = make_trainer("ptq_qdrop", *model, data, opts);
+  trainer->fit();
+  const double acc = trainer->evaluate();
+  // 4/4 QDrop PTQ should stay within a sane band of fp32 on this easy task.
+  EXPECT_GT(acc, fp_acc - 25.0);
+}
+
+TEST(PTQ, RegistryListsAllTrainers) {
+  const auto names = registered_trainers();
+  EXPECT_NE(std::find(names.begin(), names.end(), "ptq_qdrop"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "ssl_xd"), names.end());
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_resnet20(model_cfg("minmax", "minmax"));
+  EXPECT_THROW(make_trainer("bogus", *model, data), Error);
+}
+
+}  // namespace
+}  // namespace t2c

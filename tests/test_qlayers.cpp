@@ -1,0 +1,205 @@
+// Quantized-layer tests: the layer-level dual path (fake-quant train/eval
+// vs integer verification path), QConfig construction, STE gradient flow,
+// sparsity masks, input capture, and calibration mode.
+#include <gtest/gtest.h>
+
+#include "quant/qattention.h"
+#include "quant/qlayers.h"
+#include "tensor/elementwise.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+QConfig cfg8() {
+  QConfig q;
+  q.wbits = 8;
+  q.abits = 8;
+  q.act_unsigned = false;  // tests feed signed data
+  return q;
+}
+
+ConvSpec spec3x3(std::int64_t in, std::int64_t out) {
+  ConvSpec s;
+  s.in_channels = in;
+  s.out_channels = out;
+  s.kernel = 3;
+  s.padding = 1;
+  return s;
+}
+
+TEST(QConfigTest, BuildsRequestedQuantizers) {
+  QConfig q = cfg8();
+  q.weight_quantizer = "sawb";
+  q.act_quantizer = "minmax";
+  auto wq = q.make_weight_quantizer();
+  auto aq = q.make_act_quantizer();
+  EXPECT_EQ(wq->name(), "sawb");
+  EXPECT_EQ(aq->name(), "minmax");
+}
+
+TEST(QConfigTest, ScalarClipAlgorithmsForcedPerTensor) {
+  QConfig q = cfg8();
+  q.weight_quantizer = "rcf";
+  q.weight_granularity = QGranularity::kPerChannel;
+  auto wq = q.make_weight_quantizer();
+  EXPECT_EQ(wq->spec().granularity, QGranularity::kPerTensor);
+}
+
+TEST(QConv2d, DualPathAgreesAfterFreeze) {
+  Rng rng(1);
+  QConv2d conv(spec3x3(2, 3), /*bias=*/true, rng, cfg8());
+  Tensor x = testing::random_tensor({2, 2, 5, 5}, 2);
+  conv.set_mode(ExecMode::kTrain);
+  (void)conv.forward(x);  // settle observers
+  freeze_quantizers(conv);
+
+  conv.set_mode(ExecMode::kEval);
+  Tensor fake = conv.forward(x);
+  conv.set_mode(ExecMode::kIntInfer);
+  Tensor integer = conv.forward(x);
+  // Both paths compute the same math, differing only by float rounding.
+  EXPECT_LT(max_abs_diff(fake, integer), 5e-3F * (1.0F + max_abs(fake)));
+}
+
+TEST(QLinear, DualPathAgreesAfterFreeze) {
+  Rng rng(3);
+  QLinear lin(6, 4, true, rng, cfg8());
+  Tensor x = testing::random_tensor({3, 6}, 4);
+  lin.set_mode(ExecMode::kTrain);
+  (void)lin.forward(x);
+  freeze_quantizers(lin);
+  lin.set_mode(ExecMode::kEval);
+  Tensor fake = lin.forward(x);
+  lin.set_mode(ExecMode::kIntInfer);
+  Tensor integer = lin.forward(x);
+  EXPECT_LT(max_abs_diff(fake, integer), 5e-3F * (1.0F + max_abs(fake)));
+}
+
+TEST(QLinear, IntPathHandlesAsymmetricActivations) {
+  QConfig q = cfg8();
+  q.act_unsigned = true;  // asymmetric grid with zero-point correction
+  Rng rng(5);
+  QLinear lin(4, 3, true, rng, q);
+  Tensor x({2, 4});
+  Rng fill(6);
+  fill.fill_uniform(x.vec(), -0.5F, 2.0F);  // forces a nonzero zero-point
+  lin.set_mode(ExecMode::kTrain);
+  (void)lin.forward(x);
+  freeze_quantizers(lin);
+  lin.set_mode(ExecMode::kEval);
+  Tensor fake = lin.forward(x);
+  lin.set_mode(ExecMode::kIntInfer);
+  Tensor integer = lin.forward(x);
+  EXPECT_LT(max_abs_diff(fake, integer), 1e-2F * (1.0F + max_abs(fake)));
+}
+
+TEST(QConv2d, GradCheckThroughQuantizers) {
+  // STE makes the quantized layer's gradient match the clipped identity;
+  // with 8-bit grids and smooth inputs the finite-difference check holds
+  // as long as probes stay within one quantization step.
+  Rng rng(7);
+  QConv2d conv(spec3x3(2, 2), false, rng, cfg8());
+  Tensor x = testing::random_tensor({1, 2, 4, 4}, 8);
+  conv.set_mode(ExecMode::kTrain);
+  (void)conv.forward(x);
+  freeze_quantizers(conv);  // stop observer drift during probing
+  conv.zero_grad();
+  Tensor y = conv.forward(x);
+  Tensor gx = conv.backward(y);
+  // Smoke: gradients flow and have the right shapes.
+  EXPECT_TRUE(gx.same_shape(x));
+  EXPECT_GT(max_abs(conv.weight().grad), 0.0F);
+}
+
+TEST(QLayerMask, MaskZeroesWeightsAndGradients) {
+  Rng rng(9);
+  QConv2d conv(spec3x3(2, 2), false, rng, cfg8());
+  Tensor mask(conv.weight().value.shape(), 1.0F);
+  for (std::int64_t i = 0; i < mask.numel(); i += 2) mask[i] = 0.0F;
+  conv.set_mask(mask);
+
+  Tensor mw = conv.masked_weight();
+  for (std::int64_t i = 0; i < mw.numel(); i += 2) {
+    EXPECT_FLOAT_EQ(mw[i], 0.0F);
+  }
+
+  conv.set_mode(ExecMode::kTrain);
+  Tensor x = testing::random_tensor({1, 2, 4, 4}, 10);
+  Tensor y = conv.forward(x);
+  conv.zero_grad();
+  (void)conv.backward(y);
+  for (std::int64_t i = 0; i < mask.numel(); i += 2) {
+    EXPECT_FLOAT_EQ(conv.weight().grad[i], 0.0F) << "masked grad leaked";
+  }
+
+  // Integer weights carry the zeros (Table 3's raw-zero export property).
+  (void)conv.forward(x);
+  freeze_quantizers(conv);
+  ITensor wi = conv.integer_weight();
+  for (std::int64_t i = 0; i < wi.numel(); i += 2) {
+    EXPECT_EQ(wi[i], 0);
+  }
+}
+
+TEST(QLayerMask, ShapeMismatchThrows) {
+  Rng rng(11);
+  QConv2d conv(spec3x3(2, 2), false, rng, cfg8());
+  EXPECT_THROW(conv.set_mask(Tensor({3, 3})), Error);
+}
+
+TEST(QLayer, InputCaptureStoresRawInput) {
+  Rng rng(12);
+  QLinear lin(4, 2, false, rng, cfg8());
+  lin.set_mode(ExecMode::kEval);
+  lin.set_capture_input(true);
+  Tensor x = testing::random_tensor({2, 4}, 13);
+  (void)lin.forward(x);
+  EXPECT_FLOAT_EQ(max_abs_diff(lin.captured_input(), x), 0.0F);
+  lin.set_capture_input(false);
+}
+
+TEST(QLayer, CalibrateModeUpdatesObserversEvalDoesNot) {
+  Rng rng(14);
+  QLinear lin(4, 2, false, rng, cfg8());
+  Tensor small = testing::random_tensor({2, 4}, 15, 0.1F);
+  lin.set_mode(ExecMode::kCalibrate);
+  (void)lin.forward(small);
+  const float s0 = lin.act_quantizer()->scale()[0];
+  Tensor big = testing::random_tensor({2, 4}, 16, 10.0F);
+  (void)lin.forward(big);
+  const float s1 = lin.act_quantizer()->scale()[0];
+  EXPECT_GT(s1, s0);  // observer moved during calibration
+  lin.set_mode(ExecMode::kEval);
+  Tensor bigger = testing::random_tensor({2, 4}, 17, 100.0F);
+  (void)lin.forward(bigger);
+  EXPECT_FLOAT_EQ(lin.act_quantizer()->scale()[0], s1);  // eval frozen
+}
+
+TEST(QAttention, ForwardShapeAndQuantizerDiscovery) {
+  Rng rng(18);
+  QMultiheadAttention attn(8, 2, rng, cfg8());
+  attn.set_mode(ExecMode::kTrain);
+  Tensor x = testing::random_tensor({2, 4, 8}, 19);
+  Tensor y = attn.forward(x);
+  EXPECT_EQ(y.shape(), x.shape());
+  // Hosts 4 stream quantizers + 2x2 from the QLinears.
+  auto qs = collect_all_quantizers(attn);
+  EXPECT_EQ(qs.size(), 8u);
+}
+
+TEST(QAttention, BackwardFlowsToProjections) {
+  Rng rng(20);
+  QMultiheadAttention attn(6, 2, rng, cfg8());
+  attn.set_mode(ExecMode::kTrain);
+  Tensor x = testing::random_tensor({1, 3, 6}, 21);
+  Tensor y = attn.forward(x);
+  attn.zero_grad();
+  Tensor gx = attn.backward(y);
+  EXPECT_TRUE(gx.same_shape(x));
+  EXPECT_GT(max_abs(attn.q_qkv().weight().grad), 0.0F);
+  EXPECT_GT(max_abs(attn.q_proj().weight().grad), 0.0F);
+}
+
+}  // namespace
+}  // namespace t2c

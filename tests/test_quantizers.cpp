@@ -1,0 +1,337 @@
+// Quantizer tests: the dual-path contract of QBase (training path emits
+// grid values, inference path emits the matching integers), properties over
+// bit-widths (parameterized), learnable-parameter gradients, and the
+// specific semantics of each algorithm.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "quant/adaround.h"
+#include "quant/lsq.h"
+#include "quant/minmax.h"
+#include "quant/pact.h"
+#include "quant/qdrop.h"
+#include "quant/rcf.h"
+#include "quant/sawb.h"
+#include "tensor/elementwise.h"
+#include "tensor/reduce.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+QSpec spec_of(int bits, bool uns,
+              QGranularity g = QGranularity::kPerTensor) {
+  QSpec s;
+  s.nbits = bits;
+  s.is_unsigned = uns;
+  s.granularity = g;
+  return s;
+}
+
+// ---- registry ----
+
+TEST(QRegistry, AllBuiltinsConstructible) {
+  for (const auto& name : registered_quantizers()) {
+    const bool uns = (name == "pact");
+    auto q = make_quantizer(name, spec_of(8, uns));
+    EXPECT_EQ(q->name(), name);
+  }
+}
+
+TEST(QRegistry, UnknownNameThrowsWithList) {
+  try {
+    (void)make_quantizer("nope", spec_of(8, false));
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("minmax"), std::string::npos);
+  }
+}
+
+TEST(QSpecTest, GridBounds) {
+  EXPECT_EQ(spec_of(8, false).qmax(), 127);
+  EXPECT_EQ(spec_of(8, false).qmin(), -127);
+  EXPECT_EQ(spec_of(8, true).qmax(), 255);
+  EXPECT_EQ(spec_of(8, true).qmin(), 0);
+  EXPECT_EQ(spec_of(2, false).qmax(), 1);
+  EXPECT_THROW(spec_of(1, false).validate(), Error);
+}
+
+// ---- parameterized dual-path properties over bit-widths ----
+
+class QuantizerBits
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(QuantizerBits, DualPathConsistencyAndErrorBound) {
+  const auto [name, bits] = GetParam();
+  const bool uns = (name == "pact");
+  auto q = make_quantizer(name, spec_of(bits, uns));
+  Tensor x = testing::random_tensor({256}, 5, uns ? 0.0F : 1.0F);
+  if (uns) {
+    // Unsigned quantizers see post-ReLU data.
+    Rng rng(6);
+    rng.fill_uniform(x.vec(), 0.0F, 2.0F);
+  }
+  Tensor dq = q->forward(x, /*update=*/true);  // training path
+  if (auto* ada = dynamic_cast<AdaRoundQuantizer*>(q.get())) {
+    // AdaRound's soft rounding is a training-only relaxation; the dual-path
+    // contract applies after hardening.
+    ada->harden();
+    dq = q->forward(x, /*update=*/false);
+  }
+  ITensor qi = q->quantize(x);                 // inference path
+  Tensor dq2 = q->dequantize(qi);
+
+  // (a) both paths agree.
+  EXPECT_LT(max_abs_diff(dq, dq2), 1e-4F)
+      << name << " bits=" << bits << ": paths diverge";
+  // (b) integers live on the declared grid.
+  for (std::int64_t i = 0; i < qi.numel(); ++i) {
+    ASSERT_GE(qi[i], q->qmin());
+    ASSERT_LE(qi[i], q->qmax());
+  }
+  // (c) inside the clip range, |x - dq(x)| <= step/2 * (1 + slack).
+  //     For uniform quantizers step = scale; APoT's largest gap is bounded
+  //     by alpha * max-level-gap.
+  float max_step = 0.0F;
+  if (name == "rcf") {
+    const auto* rcf = dynamic_cast<const RCFQuantizer*>(q.get());
+    std::int64_t gap = 1;
+    for (std::size_t i = 1; i < rcf->numerators().size(); ++i) {
+      gap = std::max(gap,
+                     rcf->numerators()[i] - rcf->numerators()[i - 1]);
+    }
+    max_step = rcf->alpha() * static_cast<float>(gap) /
+               static_cast<float>(rcf->denominator());
+  } else {
+    max_step = q->scale()[0];
+  }
+  const float lo = static_cast<float>(q->qmin()) * q->scale()[0];
+  const float hi = static_cast<float>(q->qmax()) * q->scale()[0];
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (x[i] > lo && x[i] < hi) {
+      ASSERT_LE(std::fabs(x[i] - dq[i]), 0.51F * max_step + 1e-5F)
+          << name << " bits=" << bits << " at " << i << " x=" << x[i];
+    }
+  }
+}
+
+TEST_P(QuantizerBits, QuantizeIsMonotone) {
+  const auto [name, bits] = GetParam();
+  const bool uns = (name == "pact");
+  auto q = make_quantizer(name, spec_of(bits, uns));
+  Tensor x({64});
+  for (std::int64_t i = 0; i < 64; ++i) {
+    x[i] = uns ? static_cast<float>(i) * 0.05F
+               : static_cast<float>(i - 32) * 0.05F;
+  }
+  (void)q->forward(x, true);
+  ITensor qi = q->quantize(x);
+  for (std::int64_t i = 1; i < 64; ++i) {
+    ASSERT_GE(qi[i], qi[i - 1]) << name << " not monotone at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QuantizerBits,
+    ::testing::Combine(::testing::Values("minmax", "sawb", "pact", "lsq",
+                                         "rcf", "adaround", "percentile"),
+                       ::testing::Values(2, 3, 4, 8)));
+
+// ---- algorithm-specific behaviour ----
+
+TEST(MinMax, PerChannelScalesTrackChannelRanges) {
+  auto q = make_quantizer("minmax",
+                          spec_of(8, false, QGranularity::kPerChannel));
+  Tensor w({2, 8});
+  for (int i = 0; i < 8; ++i) {
+    w.at(0, i) = 0.1F * static_cast<float>(i - 4);
+    w.at(1, i) = 2.0F * static_cast<float>(i - 4);
+  }
+  (void)q->forward(w, true);
+  ASSERT_EQ(q->scale().numel(), 2);
+  EXPECT_LT(q->scale()[0], q->scale()[1]);
+  EXPECT_NEAR(q->scale()[1] / q->scale()[0], 20.0F, 1.0F);
+}
+
+TEST(MinMax, FreezeStopsObserverUpdates) {
+  auto q = make_quantizer("minmax", spec_of(8, false));
+  Tensor small({32}, 0.0F);
+  Rng rng(1);
+  rng.fill_uniform(small.vec(), -0.1F, 0.1F);
+  (void)q->forward(small, true);
+  const float s0 = q->scale()[0];
+  q->freeze();
+  Tensor big({32}, 0.0F);
+  rng.fill_uniform(big.vec(), -10.0F, 10.0F);
+  (void)q->forward(big, true);
+  EXPECT_FLOAT_EQ(q->scale()[0], s0);
+}
+
+TEST(MinMax, UnsignedGridHasZeroZeroPointAfterRelu) {
+  auto q = make_quantizer("minmax", spec_of(8, true));
+  Tensor x({64});
+  Rng rng(2);
+  rng.fill_uniform(x.vec(), 0.0F, 3.0F);
+  (void)q->forward(x, true);
+  EXPECT_FLOAT_EQ(q->zero_point()[0], 0.0F);
+}
+
+TEST(SAWB, CoefficientsSelectClipBelowMax) {
+  // SAWB's statistical clip is tighter than min/max for heavy-tailed data.
+  auto sawb = make_quantizer("sawb", spec_of(4, false));
+  auto mm = make_quantizer("minmax", spec_of(4, false));
+  Tensor w({512});
+  Rng rng(3);
+  rng.fill_normal(w.vec(), 0.0F, 1.0F);
+  w[0] = 20.0F;  // outlier
+  (void)sawb->forward(w, true);
+  (void)mm->forward(w, true);
+  EXPECT_LT(sawb->scale()[0], mm->scale()[0]);
+}
+
+TEST(PACT, AlphaReceivesClippedGradient) {
+  PACTQuantizer pact(spec_of(8, true), /*alpha_init=*/1.0F,
+                     /*alpha_decay=*/0.0F);
+  Tensor x = Tensor::from({4}, {0.5F, 2.0F, 3.0F, -1.0F});
+  (void)pact.forward(x, true);
+  Tensor g({4}, 1.0F);
+  Tensor gx = pact.backward(g);
+  // Elements above alpha route gradient to alpha, not to x.
+  EXPECT_FLOAT_EQ(gx[1], 0.0F);
+  EXPECT_FLOAT_EQ(gx[2], 0.0F);
+  EXPECT_FLOAT_EQ(gx[3], 0.0F);  // below zero
+  EXPECT_FLOAT_EQ(gx[0], 1.0F);
+  std::vector<Param*> ps;
+  pact.collect_params(ps);
+  ASSERT_EQ(ps.size(), 1u);
+  EXPECT_FLOAT_EQ(ps[0]->grad[0], 2.0F);  // two clipped elements
+}
+
+TEST(LSQ, StepInitializesFromFirstBatch) {
+  LSQQuantizer lsq(spec_of(4, false));
+  Tensor x = testing::random_tensor({128}, 5);
+  (void)lsq.forward(x, true);
+  EXPECT_GT(lsq.scale()[0], 0.0F);
+  EXPECT_LT(lsq.scale()[0], 1.0F);
+}
+
+TEST(RCF, ApotLevelsAreDyadicAndSorted) {
+  std::vector<std::int64_t> nums;
+  std::int64_t denom = 0;
+  apot_levels(4, nums, denom);
+  EXPECT_EQ(denom, 48);
+  EXPECT_EQ(nums.front(), 0);
+  EXPECT_EQ(nums.back(), 48);
+  for (std::size_t i = 1; i < nums.size(); ++i) {
+    EXPECT_GT(nums[i], nums[i - 1]);
+  }
+  // 3-bit: plain powers of two.
+  apot_levels(3, nums, denom);
+  EXPECT_EQ(denom, 4);
+  EXPECT_EQ(nums, (std::vector<std::int64_t>{0, 1, 2, 4}));
+}
+
+TEST(RCF, QuantizeProjectsToLevelSet) {
+  RCFQuantizer rcf(spec_of(4, false));
+  Tensor w = testing::random_tensor({256}, 6);
+  (void)rcf.forward(w, true);
+  ITensor qi = rcf.quantize(w);
+  std::set<std::int64_t> allowed(rcf.numerators().begin(),
+                                 rcf.numerators().end());
+  for (std::int64_t i = 0; i < qi.numel(); ++i) {
+    const std::int64_t m = qi[i] < 0 ? -qi[i] : qi[i];
+    ASSERT_TRUE(allowed.count(m)) << "non-APoT numerator " << qi[i];
+  }
+}
+
+TEST(AdaRound, WarmStartReproducesNearestRoundingHalf) {
+  AdaRoundQuantizer ada(spec_of(8, false));
+  Tensor w = testing::random_tensor({128}, 7);
+  ada.initialize(w);
+  // h(V) initialized to the fractional residue: soft forward == identity
+  // rounding of w (up to clamp).
+  Tensor dq = ada.forward(w, true);
+  EXPECT_LT(max_abs_diff(dq, w), ada.scale()[0] * 0.02F + 1e-5F);
+}
+
+TEST(AdaRound, HardenedMatchesQuantize) {
+  AdaRoundQuantizer ada(spec_of(4, false));
+  Tensor w = testing::random_tensor({64}, 8);
+  ada.initialize(w);
+  // Push V around, then harden.
+  Rng rng(9);
+  rng.fill_uniform(ada.v().value.vec(), -2.0F, 2.0F);
+  ada.harden();
+  Tensor dq = ada.forward(w, false);
+  Tensor dq2 = ada.dequantize(ada.quantize(w));
+  EXPECT_LT(max_abs_diff(dq, dq2), 1e-5F);
+}
+
+TEST(AdaRound, RegularizerPullsTowardBinary) {
+  AdaRoundQuantizer ada(spec_of(8, false));
+  Tensor w = testing::random_tensor({32}, 10);
+  ada.initialize(w);
+  const double reg1 = ada.accumulate_reg_grad(0.0F, 2.0F);
+  EXPECT_GT(reg1, 0.0);  // residues are fractional -> positive penalty
+  // Binary V (large magnitude) has ~zero penalty.
+  ada.v().value.fill(10.0F);
+  const double reg2 = ada.accumulate_reg_grad(0.0F, 2.0F);
+  EXPECT_NEAR(reg2, 0.0, 1e-3);
+}
+
+TEST(QDrop, DropDisabledEqualsMinMax) {
+  QDropActivation qd(spec_of(8, true));
+  MinMaxQuantizer mm(spec_of(8, true));
+  Tensor x({128});
+  Rng rng(11);
+  rng.fill_uniform(x.vec(), 0.0F, 2.0F);
+  Tensor a = qd.forward(x, true);
+  Tensor b = mm.forward(x, true);
+  EXPECT_LT(max_abs_diff(a, b), 1e-6F);
+}
+
+TEST(QDrop, DropMixesFullPrecisionValues) {
+  QDropActivation qd(spec_of(4, true), /*drop_p=*/0.5F);
+  Tensor x({512});
+  Rng rng(12);
+  rng.fill_uniform(x.vec(), 0.0F, 2.0F);
+  (void)qd.forward(x, true);  // settle range
+  qd.freeze();
+  qd.set_drop_enabled(true);
+  Tensor mixed = qd.forward(x, true);
+  qd.set_drop_enabled(false);
+  Tensor fq = qd.forward(x, true);
+  // Some entries must match x exactly (dropped), others the grid.
+  std::int64_t kept_fp = 0, quantized = 0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    if (mixed[i] == x[i] && fq[i] != x[i]) ++kept_fp;
+    if (mixed[i] == fq[i]) ++quantized;
+  }
+  EXPECT_GT(kept_fp, 100);
+  EXPECT_GT(quantized, 100);
+}
+
+TEST(QBaseTest, BypassIsIdentity) {
+  auto q = make_quantizer("minmax", spec_of(2, false));
+  Tensor x = testing::random_tensor({32}, 13);
+  q->set_bypass(true);
+  EXPECT_FLOAT_EQ(max_abs_diff(q->forward(x, true), x), 0.0F);
+}
+
+TEST(QBaseTest, AsymmetricZeroPointRoundTrips) {
+  // Direct exercise of the zero-point path (the deploy grammar itself only
+  // uses z = 0, but QBase supports asymmetric grids).
+  auto q = make_quantizer("minmax", spec_of(8, true));
+  Tensor x({64});
+  Rng rng(14);
+  rng.fill_uniform(x.vec(), -1.0F, 3.0F);  // genuinely asymmetric
+  Tensor dq = q->forward(x, true);
+  EXPECT_NE(q->zero_point()[0], 0.0F);
+  Tensor dq2 = q->dequantize(q->quantize(x));
+  EXPECT_LT(max_abs_diff(dq, dq2), 1e-5F);
+}
+
+}  // namespace
+}  // namespace t2c

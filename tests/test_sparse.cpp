@@ -1,0 +1,203 @@
+// Sparsity tests: magnitude/global pruning, the N:M structural invariant,
+// the GraNet cubic schedule + regeneration, sparse training end-to-end, and
+// the "raw zeros survive into the integer export" property of Table 3.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "deploy/int_ops.h"
+#include "models/models.h"
+#include "sparse/sparse_trainer.h"
+#include "tensor/elementwise.h"
+#include "tensor/reduce.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec s;
+  s.classes = 4;
+  s.height = s.width = 8;
+  s.train_size = 96;
+  s.test_size = 48;
+  s.noise = 0.25F;
+  s.class_sep = 1.2F;
+  s.seed = 5;
+  return s;
+}
+
+ModelConfig tiny_model() {
+  ModelConfig m;
+  m.num_classes = 4;
+  m.width_mult = 0.25F;
+  m.seed = 3;
+  return m;
+}
+
+TEST(Magnitude, HitsTargetSparsityGlobally) {
+  auto model = make_resnet20(tiny_model());
+  auto layers = prunable_layers(*model);
+  MagnitudePruner pruner;
+  for (double target : {0.3, 0.5, 0.8}) {
+    pruner.apply(layers, target);
+    EXPECT_NEAR(masked_sparsity(layers), target, 0.03) << target;
+  }
+}
+
+TEST(Magnitude, KeepsLargestWeights) {
+  auto model = make_resnet20(tiny_model());
+  auto layers = prunable_layers(*model);
+  MagnitudePruner pruner;
+  pruner.apply(layers, 0.5);
+  // Surviving magnitudes must dominate pruned ones per the global rule:
+  // min surviving |w| >= max pruned |w| across all layers.
+  float min_alive = 1e9F, max_dead = 0.0F;
+  for (QLayer* l : layers) {
+    const Tensor& w = l->weight_param().value;
+    const Tensor* m = l->mask();
+    ASSERT_NE(m, nullptr);
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      const float a = std::fabs(w[i]);
+      if ((*m)[i] > 0.5F) {
+        min_alive = std::min(min_alive, a);
+      } else {
+        max_dead = std::max(max_dead, a);
+      }
+    }
+  }
+  EXPECT_GE(min_alive, max_dead);
+}
+
+TEST(Magnitude, HeadIsExcludedByDefault) {
+  auto model = make_resnet20(tiny_model());
+  auto all = collect_qlayers(*model);
+  auto prunable = prunable_layers(*model);
+  EXPECT_EQ(prunable.size() + 1, all.size());
+}
+
+class NMCase : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(NMCase, MaskSatisfiesInvariantAndSparsity) {
+  const auto [n, m] = GetParam();
+  Tensor w = testing::random_tensor({8, 32}, 7);
+  Tensor mask = NMPruner::nm_mask(w, n, m);
+  Tensor masked = mul(w, mask);
+  EXPECT_EQ(count_nm_violations(masked, n, m), 0);
+  EXPECT_NEAR(sparsity(masked), 1.0 - static_cast<double>(n) / m, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, NMCase,
+                         ::testing::Values(std::pair{2, 4}, std::pair{1, 4},
+                                           std::pair{4, 8}, std::pair{1, 2}));
+
+TEST(NM, KeepsTopNPerGroup) {
+  Tensor w = Tensor::from({1, 4}, {0.1F, -0.9F, 0.5F, 0.2F});
+  Tensor mask = NMPruner::nm_mask(w, 2, 4);
+  EXPECT_FLOAT_EQ(mask[0], 0.0F);
+  EXPECT_FLOAT_EQ(mask[1], 1.0F);
+  EXPECT_FLOAT_EQ(mask[2], 1.0F);
+  EXPECT_FLOAT_EQ(mask[3], 0.0F);
+}
+
+TEST(NM, ViolationCounterDetects) {
+  Tensor w = Tensor::from({1, 4}, {1.0F, 1.0F, 1.0F, 0.0F});
+  EXPECT_EQ(count_nm_violations(w, 2, 4), 1);
+  EXPECT_EQ(count_nm_violations(w, 3, 4), 0);
+}
+
+TEST(GraNet, CubicScheduleIsMonotoneToTarget) {
+  GraNetConfig cfg;
+  cfg.final_sparsity = 0.8;
+  GraNetPruner pruner(cfg);
+  double prev = -1.0;
+  for (std::int64_t t = 0; t <= 100; t += 10) {
+    const double s = pruner.sparsity_at(t, 100);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+  EXPECT_NEAR(pruner.sparsity_at(100, 100), 0.8, 1e-9);
+  EXPECT_NEAR(pruner.sparsity_at(0, 100), 0.0, 1e-9);
+}
+
+TEST(GraNet, RegrowthPreservesSparsityAndUsesGradients) {
+  auto model = make_resnet20(tiny_model());
+  auto layers = prunable_layers(*model);
+  // Give every weight a gradient so regrowth has a signal.
+  for (QLayer* l : layers) {
+    Rng rng(11);
+    rng.fill_normal(l->weight_param().grad.vec(), 0.0F, 1.0F);
+  }
+  GraNetConfig cfg;
+  cfg.final_sparsity = 0.6;
+  cfg.prune_every = 1;
+  GraNetPruner pruner(cfg);
+  pruner.step(layers, 50, 100);
+  const double s1 = masked_sparsity(layers);
+  pruner.step(layers, 51, 100);
+  const double s2 = masked_sparsity(layers);
+  EXPECT_NEAR(s2, pruner.sparsity_at(51, 100), 0.05);
+  EXPECT_GE(s2 + 0.02, s1);
+}
+
+TEST(SparseTrain, GraNetEndToEndReachesTargetAndLearns) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_resnet20(tiny_model());
+  SparseTrainConfig cfg;
+  cfg.train.epochs = 12;
+  cfg.train.lr = 0.1F;
+  cfg.method = SparseMethod::kGraNet;
+  cfg.final_sparsity = 0.5;
+  SparseTrainer trainer(*model, data, cfg);
+  trainer.fit();
+  EXPECT_NEAR(trainer.achieved_sparsity(), 0.5, 0.06);
+  EXPECT_GT(trainer.evaluate(), 45.0);
+}
+
+TEST(SparseTrain, NMEndToEnd) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_resnet20(tiny_model());
+  SparseTrainConfig cfg;
+  cfg.train.epochs = 5;
+  cfg.train.lr = 0.1F;
+  cfg.method = SparseMethod::kNM;
+  cfg.nm_n = 2;
+  cfg.nm_m = 4;
+  SparseTrainer trainer(*model, data, cfg);
+  trainer.fit();
+  EXPECT_NEAR(trainer.achieved_sparsity(), 0.5, 0.08);
+  // Every prunable layer satisfies the N:M invariant post-training.
+  for (QLayer* l : prunable_layers(*model)) {
+    EXPECT_EQ(count_nm_violations(l->masked_weight(), 2, 4), 0);
+  }
+}
+
+TEST(SparseTrain, ZerosSurviveIntoIntegerExport) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_resnet20(tiny_model());
+  SparseTrainConfig cfg;
+  cfg.train.epochs = 3;
+  cfg.method = SparseMethod::kNM;
+  SparseTrainer trainer(*model, data, cfg);
+  trainer.fit();
+  freeze_quantizers(*model);
+  ConvertConfig ccfg;
+  ccfg.input_shape = {3, 8, 8};
+  T2CConverter conv(ccfg);
+  DeployModel dm = conv.convert(*model);
+  // Integer conv weights (except the unpruned stem/head) carry ~50% zeros.
+  double total_sparsity = 0.0;
+  int counted = 0;
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    if (const auto* c = dynamic_cast<const IntConv2dOp*>(&dm.op(i))) {
+      if (c->weight().numel() < 64) continue;  // skip tiny stems
+      total_sparsity += sparsity(c->weight());
+      ++counted;
+    }
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_GT(total_sparsity / counted, 0.4);
+}
+
+}  // namespace
+}  // namespace t2c

@@ -1,0 +1,137 @@
+// Integer ViT tests (paper §3.2.2, Fig. 4): converting the transformer,
+// LUT softmax/GELU inside the full attention block, LayerNorm statistics
+// modes, and eval-vs-deploy parity.
+#include <gtest/gtest.h>
+
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "models/models.h"
+#include "models/vit.h"
+#include "tensor/elementwise.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec s;
+  s.classes = 4;
+  s.height = s.width = 8;
+  s.train_size = 96;
+  s.test_size = 48;
+  s.noise = 0.25F;
+  s.class_sep = 1.2F;
+  s.seed = 5;
+  return s;
+}
+
+ModelConfig vit_cfg() {
+  ModelConfig m;
+  m.num_classes = 4;
+  m.width_mult = 1.0F;
+  m.vit_dim = 16;
+  m.vit_depth = 2;
+  m.vit_heads = 2;
+  m.vit_patch = 4;
+  m.seed = 3;
+  return m;
+}
+
+void train_vit(Sequential& model, const SyntheticImageDataset& data) {
+  TrainerOptions o;
+  o.train.epochs = 4;
+  o.train.lr = 0.02F;
+  o.train.weight_decay = 1e-4F;
+  auto tr = make_trainer("qat", model, data, o);
+  tr->fit();
+  freeze_quantizers(model);
+}
+
+TEST(VitInt, ConvertsAndMatchesEvalPath) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_vit(vit_cfg());
+  train_vit(*model, data);
+
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  T2CConverter conv(cfg);
+  DeployModel dm = conv.convert(*model);
+
+  Tensor x({8, 3, 8, 8});
+  for (int i = 0; i < 8; ++i) x.set0(i, data.test_images().select0(i));
+  model->set_mode(ExecMode::kEval);
+  Tensor le = model->forward(x);
+  Tensor ld = dm.run(x);
+  EXPECT_LT(max_abs_diff(le, ld) / (1.0F + max_abs(le)), 0.15F);
+
+  const double eval_acc =
+      evaluate_accuracy(*model, data.test_images(), data.test_labels());
+  const double int_acc = dm.evaluate(data.test_images(), data.test_labels());
+  EXPECT_NEAR(int_acc, eval_acc, 12.0);
+}
+
+TEST(VitInt, GraphUsesLutAndIntegerAttention) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_vit(vit_cfg());
+  train_vit(*model, data);
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  T2CConverter conv(cfg);
+  DeployModel dm = conv.convert(*model);
+  std::size_t attn = 0, gelu = 0, ln = 0, tok = 0;
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    const std::string k = dm.op(i).kind();
+    attn += (k == "IntAttention");
+    gelu += (k == "LutGelu");
+    ln += (k == "IntLayerNorm");
+    tok += (k == "Tokenize");
+  }
+  EXPECT_EQ(attn, 2u);   // one per block
+  EXPECT_EQ(gelu, 2u);
+  EXPECT_EQ(ln, 5u);     // 2 per block + final norm
+  EXPECT_EQ(tok, 1u);
+}
+
+TEST(VitInt, RunningStatsLayerNormAlsoDeploys) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_vit(vit_cfg());
+  train_vit(*model, data);
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  cfg.ln_stats = LayerNormStats::kRunning;
+  T2CConverter conv(cfg);
+  DeployModel dm = conv.convert(*model);
+  // Running statistics are an approximation — accuracy stays in a sane
+  // band rather than matching exactly.
+  const double int_acc = dm.evaluate(data.test_images(), data.test_labels());
+  const double eval_acc =
+      evaluate_accuracy(*model, data.test_images(), data.test_labels());
+  EXPECT_GT(int_acc, eval_acc - 30.0);
+}
+
+TEST(VitInt, SoftmaxLutSizeTradesAccuracy) {
+  SyntheticImageDataset data(tiny_spec());
+  auto model = make_vit(vit_cfg());
+  train_vit(*model, data);
+  ConvertConfig fine;
+  fine.input_shape = {3, 8, 8};
+  fine.softmax_lut_size = 512;
+  ConvertConfig coarse = fine;
+  coarse.softmax_lut_size = 8;
+  coarse.gelu_lut_size = 8;
+  T2CConverter cf(fine), cc(coarse);
+  DeployModel dmf = cf.convert(*model);
+  DeployModel dmc = cc.convert(*model);
+  Tensor x({8, 3, 8, 8});
+  for (int i = 0; i < 8; ++i) x.set0(i, data.test_images().select0(i));
+  model->set_mode(ExecMode::kEval);
+  Tensor ref = model->forward(x);
+  const float ef = max_abs_diff(ref, dmf.run(x));
+  const float ec = max_abs_diff(ref, dmc.run(x));
+  // Finer LUTs cannot be meaningfully worse (small-noise tolerance: other
+  // fixed-point rounding in the graph is LUT-independent).
+  EXPECT_LE(ef, ec + 0.1F * (1.0F + max_abs(ref)));
+}
+
+}  // namespace
+}  // namespace t2c

@@ -1,0 +1,265 @@
+// Export tests (Fig. 5): decimal / hex / binary round-trips are bit-exact,
+// word-width enforcement, PE-tile unrolling, the integer checkpoint, and
+// hex memory-image export of a full deploy model with replay verification —
+// precisely what an RTL testbench consumes and checks.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "deploy/int_ops.h"
+#include "models/models.h"
+#include "test_util.h"
+#include "xport/checkpoint.h"
+#include "xport/writers.h"
+
+namespace t2c {
+namespace {
+
+ITensor random_weights(Shape shape, int lo, int hi, std::uint64_t seed) {
+  ITensor t(std::move(shape));
+  Rng rng(seed);
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = rng.randint(lo, hi);
+  return t;
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Writers, DecimalRoundTrip) {
+  ITensor w = random_weights({3, 4, 2, 2}, -127, 127, 1);
+  const std::string p = tmp_path("w.txt");
+  write_decimal(p, w);
+  ITensor r = read_decimal(p);
+  ASSERT_TRUE(r.same_shape(w));
+  for (std::int64_t i = 0; i < w.numel(); ++i) ASSERT_EQ(r[i], w[i]);
+}
+
+TEST(Writers, HexRoundTripSignedValues) {
+  for (int bits : {4, 8, 12, 16}) {
+    const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+    ITensor w = random_weights({16}, static_cast<int>(-hi),
+                               static_cast<int>(hi), 2);
+    const std::string p = tmp_path("w" + std::to_string(bits) + ".hex");
+    write_hex(p, w, bits);
+    ITensor r = read_hex(p, bits);
+    ASSERT_TRUE(r.same_shape(w));
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      ASSERT_EQ(r[i], w[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(Writers, HexRejectsOutOfRangeValues) {
+  ITensor w = ITensor::from({1}, {300});
+  EXPECT_THROW(write_hex(tmp_path("bad.hex"), w, 8), Error);
+}
+
+TEST(Writers, HexFileIsReadmemhCompatible) {
+  ITensor w = ITensor::from({2}, {-1, 10});
+  const std::string p = tmp_path("mem.hex");
+  write_hex(p, w, 8);
+  std::ifstream is(p);
+  std::string l1, l2, l3, l4;
+  std::getline(is, l1);  // // shape comment
+  std::getline(is, l2);  // // word_bits comment
+  std::getline(is, l3);
+  std::getline(is, l4);
+  EXPECT_EQ(l1.rfind("//", 0), 0u);
+  EXPECT_EQ(l3, "FF");  // -1 in 8-bit two's complement
+  EXPECT_EQ(l4, "0A");
+}
+
+TEST(Writers, BinaryRoundTrip) {
+  ITensor w = random_weights({5, 7}, -1000, 1000, 3);
+  const std::string p = tmp_path("w.bin");
+  write_binary(p, w);
+  ITensor r = read_binary(p);
+  ASSERT_TRUE(r.same_shape(w));
+  for (std::int64_t i = 0; i < w.numel(); ++i) ASSERT_EQ(r[i], w[i]);
+}
+
+TEST(Writers, RequiredWordBits) {
+  EXPECT_EQ(required_word_bits(ITensor::from({2}, {1, -2})), 2);
+  EXPECT_EQ(required_word_bits(ITensor::from({1}, {127})), 8);
+  EXPECT_EQ(required_word_bits(ITensor::from({1}, {128})), 9);
+  EXPECT_EQ(required_word_bits(ITensor::from({1}, {-128})), 8);
+}
+
+TEST(Writers, TiledUnrollInterleavesLanes) {
+  // 4 output channels, 2 weights each, tile = 2:
+  // lanes {0,1} stream row-by-row, then lanes {2,3}.
+  ITensor w = ITensor::from({4, 2}, {0, 1, 10, 11, 20, 21, 30, 31});
+  ITensor u = unroll_tiled(w, 2);
+  const std::int64_t want[] = {0, 10, 1, 11, 20, 30, 21, 31};
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(u[i], want[i]) << i;
+}
+
+TEST(Writers, TiledUnrollHandlesRaggedTail) {
+  ITensor w = ITensor::from({3, 1}, {5, 6, 7});
+  ITensor u = unroll_tiled(w, 2);
+  EXPECT_EQ(u[0], 5);
+  EXPECT_EQ(u[1], 6);
+  EXPECT_EQ(u[2], 7);
+}
+
+TEST(Checkpoint, SingleOpRoundTrip) {
+  DeployModel dm;
+  auto mq = std::make_unique<MulQuantOp>(
+      std::vector<std::int64_t>{100, 200}, std::vector<std::int64_t>{-5, 5},
+      12, -127, 127, MqLayout::kLastDim);
+  mq->inputs = {0};
+  mq->label = "probe";
+  dm.set_output(dm.add_op(std::move(mq)));
+  dm.input_scale = 0.25F;
+  dm.output_scale = 0.5F;
+  const std::string p = tmp_path("single.t2c");
+  save_checkpoint(dm, p);
+  DeployModel r = load_checkpoint(p);
+  EXPECT_EQ(r.num_ops(), 1u);
+  EXPECT_EQ(r.op(0).kind(), "MulQuant");
+  EXPECT_EQ(r.op(0).label, "probe");
+  EXPECT_FLOAT_EQ(r.input_scale, 0.25F);
+  ITensor x = ITensor::from({1, 2}, {40, -40});
+  ITensor a = dm.run_int(x);
+  ITensor b = r.run_int(x);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+}
+
+TEST(Checkpoint, RejectsCorruptFiles) {
+  const std::string p = tmp_path("corrupt.t2c");
+  std::ofstream(p) << "NOT-A-CHECKPOINT\n";
+  EXPECT_THROW((void)load_checkpoint(p), Error);
+}
+
+class ExportedModel : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DatasetSpec spec;
+    spec.classes = 4;
+    spec.height = spec.width = 8;
+    spec.train_size = 96;
+    spec.test_size = 48;
+    spec.noise = 0.25F;
+    spec.class_sep = 1.2F;
+    spec.seed = 5;
+    data_ = std::make_unique<SyntheticImageDataset>(spec);
+    ModelConfig mc;
+    mc.num_classes = 4;
+    mc.width_mult = 0.25F;
+    mc.seed = 3;
+    model_ = make_resnet20(mc);
+    TrainerOptions o;
+    o.train.epochs = 2;
+    auto tr = make_trainer("qat", *model_, *data_, o);
+    tr->fit();
+    freeze_quantizers(*model_);
+    ConvertConfig cfg;
+    cfg.input_shape = {3, 8, 8};
+    T2CConverter conv(cfg);
+    dm_ = std::make_unique<DeployModel>(conv.convert(*model_));
+  }
+
+  std::unique_ptr<SyntheticImageDataset> data_;
+  std::unique_ptr<Sequential> model_;
+  std::unique_ptr<DeployModel> dm_;
+};
+
+TEST_F(ExportedModel, FullCheckpointReplaysBitExact) {
+  const std::string p = tmp_path("model_full.t2c");
+  save_checkpoint(*dm_, p);
+  DeployModel r = load_checkpoint(p);
+  Tensor x({4, 3, 8, 8});
+  for (int i = 0; i < 4; ++i) x.set0(i, data_->test_images().select0(i));
+  ITensor a = dm_->run_int(dm_->quantize_input(x));
+  ITensor b = r.run_int(r.quantize_input(x));
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST_F(ExportedModel, HexImagesMatchGraphWeights) {
+  const std::string dir = tmp_path("heximg");
+  auto files = export_hex_images(*dm_, dir, 8);
+  ASSERT_FALSE(files.empty());
+  // Parse the first conv image back and compare to the in-graph weights.
+  for (std::size_t i = 0; i < dm_->num_ops(); ++i) {
+    if (const auto* c = dynamic_cast<const IntConv2dOp*>(&dm_->op(i))) {
+      // Find the file whose name starts with the op index.
+      char prefix[16];
+      std::snprintf(prefix, sizeof(prefix), "%03zu_", i);
+      std::string found;
+      for (const auto& f : files) {
+        if (f.find(std::string("/") + prefix) != std::string::npos) found = f;
+      }
+      ASSERT_FALSE(found.empty());
+      ITensor r = read_hex(found, 8);
+      ASSERT_TRUE(r.same_shape(c->weight()));
+      for (std::int64_t j = 0; j < r.numel(); ++j) {
+        ASSERT_EQ(r[j], c->weight()[j]);
+      }
+      break;  // one conv is representative; loop kept for generality
+    }
+  }
+}
+
+TEST(CheckpointViT, AttentionGraphReplaysBitExact) {
+  // Exercises serialization of IntAttention / LutSoftmax / LutGelu /
+  // IntLayerNorm / Tokenize — every field, including the logit prescale
+  // and fractional-bias units.
+  DatasetSpec spec;
+  spec.classes = 4;
+  spec.height = spec.width = 8;
+  spec.train_size = 96;
+  spec.test_size = 48;
+  spec.noise = 0.25F;
+  spec.class_sep = 1.2F;
+  spec.seed = 5;
+  SyntheticImageDataset data(spec);
+  ModelConfig mc;
+  mc.num_classes = 4;
+  mc.vit_dim = 16;
+  mc.vit_depth = 2;
+  mc.vit_heads = 2;
+  mc.vit_patch = 4;
+  mc.seed = 3;
+  auto model = make_vit(mc);
+  TrainerOptions o;
+  o.train.epochs = 2;
+  o.train.lr = 0.02F;
+  make_trainer("qat", *model, data, o)->fit();
+  freeze_quantizers(*model);
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  T2CConverter conv(cfg);
+  DeployModel dm = conv.convert(*model);
+
+  const std::string p = tmp_path("vit_full.t2c");
+  save_checkpoint(dm, p);
+  DeployModel r = load_checkpoint(p);
+  Tensor x({3, 3, 8, 8});
+  for (int i = 0; i < 3; ++i) x.set0(i, data.test_images().select0(i));
+  ITensor a = dm.run_int(dm.quantize_input(x));
+  ITensor b = r.run_int(r.quantize_input(x));
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST_F(ExportedModel, T2CFiveLineApiWritesAllArtifacts) {
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  T2C t2c(*model_, cfg);
+  const std::string dir = tmp_path("five_line_out");
+  (void)t2c.nn2chip(/*save_model=*/true, dir);
+  EXPECT_TRUE(std::filesystem::exists(dir + "/model.t2c"));
+  EXPECT_TRUE(std::filesystem::is_directory(dir + "/hex"));
+  EXPECT_GT(std::distance(std::filesystem::directory_iterator(dir + "/hex"),
+                          std::filesystem::directory_iterator{}),
+            10);
+}
+
+}  // namespace
+}  // namespace t2c

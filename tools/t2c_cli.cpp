@@ -1,0 +1,176 @@
+// t2c_cli — the whole toolkit from the command line.
+//
+//   t2c_cli --model resnet20 --dataset cifar10_sim --trainer qat \
+//           --wq sawb --aq pact --wbits 4 --abits 4 --epochs 8 \
+//           --out run_out --emit-verilog
+//
+// Trains (or calibrates) the requested configuration, converts it to the
+// integer-only deploy graph, reports fake-quant and deployed accuracy, and
+// writes the export artifacts. `--list` prints every registered model,
+// dataset, trainer and quantizer.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "models/models.h"
+#include "xport/verilog.h"
+
+namespace {
+
+using namespace t2c;
+
+struct Args {
+  std::string model = "resnet20";
+  std::string dataset = "cifar10_sim";
+  std::string trainer = "qat";
+  std::string wq = "minmax";
+  std::string aq = "minmax";
+  int wbits = 8;
+  int abits = 8;
+  int stem_head_bits = 0;
+  int epochs = 8;
+  float lr = 0.1F;
+  float width = 0.5F;
+  std::string out = "t2c_cli_out";
+  bool emit_verilog = false;
+  bool list = false;
+};
+
+DatasetSpec dataset_by_name(const std::string& name) {
+  static const std::map<std::string, DatasetSpec (*)()> kSets = {
+      {"cifar10_sim", &cifar10_sim},   {"cifar100_sim", &cifar100_sim},
+      {"imagenet_sim", &imagenet_sim}, {"aircraft_sim", &aircraft_sim},
+      {"flowers_sim", &flowers_sim},   {"food101_sim", &food101_sim},
+  };
+  auto it = kSets.find(name);
+  if (it == kSets.end()) {
+    std::string known;
+    for (const auto& [k, v] : kSets) known += k + " ";
+    fail("unknown dataset '" + name + "'; known: " + known);
+  }
+  return it->second();
+}
+
+std::unique_ptr<Sequential> model_by_name(const std::string& name,
+                                          const ModelConfig& cfg) {
+  if (name == "resnet20") return make_resnet20(cfg);
+  if (name == "resnet18") return make_resnet18(cfg);
+  if (name == "resnet50") return make_resnet50(cfg);
+  if (name == "mobilenet_v1") return make_mobilenet_v1(cfg);
+  if (name == "vit") return make_vit(cfg);
+  fail("unknown model '" + name +
+       "'; known: resnet20 resnet18 resnet50 mobilenet_v1 vit");
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  const auto want = [&](int i) -> const char* {
+    check(i + 1 < argc, std::string("missing value for ") + argv[i]);
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string f = argv[i];
+    if (f == "--model") a.model = want(i++);
+    else if (f == "--dataset") a.dataset = want(i++);
+    else if (f == "--trainer") a.trainer = want(i++);
+    else if (f == "--wq") a.wq = want(i++);
+    else if (f == "--aq") a.aq = want(i++);
+    else if (f == "--wbits") a.wbits = std::atoi(want(i++));
+    else if (f == "--abits") a.abits = std::atoi(want(i++));
+    else if (f == "--stem-head-bits") a.stem_head_bits = std::atoi(want(i++));
+    else if (f == "--epochs") a.epochs = std::atoi(want(i++));
+    else if (f == "--lr") a.lr = static_cast<float>(std::atof(want(i++)));
+    else if (f == "--width") a.width = static_cast<float>(std::atof(want(i++)));
+    else if (f == "--out") a.out = want(i++);
+    else if (f == "--emit-verilog") a.emit_verilog = true;
+    else if (f == "--list") a.list = true;
+    else if (f == "--help") {
+      std::puts(
+          "usage: t2c_cli [--model M] [--dataset D] [--trainer T]\n"
+          "               [--wq Q] [--aq Q] [--wbits N] [--abits N]\n"
+          "               [--stem-head-bits N] [--epochs N] [--lr F]\n"
+          "               [--width F] [--out DIR] [--emit-verilog] [--list]");
+      std::exit(0);
+    } else {
+      fail("unknown flag '" + f + "' (try --help)");
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.list) {
+      std::printf("models:     resnet20 resnet18 resnet50 mobilenet_v1 vit\n");
+      std::printf("datasets:   cifar10_sim cifar100_sim imagenet_sim "
+                  "aircraft_sim flowers_sim food101_sim\n");
+      std::printf("trainers:  ");
+      for (const auto& t : registered_trainers()) std::printf(" %s", t.c_str());
+      std::printf("\nquantizers:");
+      for (const auto& q : registered_quantizers()) {
+        std::printf(" %s", q.c_str());
+      }
+      std::printf("\n");
+      return 0;
+    }
+
+    const DatasetSpec spec = dataset_by_name(a.dataset);
+    SyntheticImageDataset data(spec);
+    ModelConfig mc;
+    mc.num_classes = spec.classes;
+    mc.width_mult = a.width;
+    mc.qcfg.weight_quantizer = a.wq;
+    mc.qcfg.act_quantizer = a.aq;
+    mc.qcfg.wbits = a.wbits;
+    mc.qcfg.abits = a.abits;
+    mc.stem_head_bits = a.stem_head_bits;
+    auto model = model_by_name(a.model, mc);
+
+    std::printf("%s on %s: %s trainer, W%d/A%d (%s/%s)\n", a.model.c_str(),
+                a.dataset.c_str(), a.trainer.c_str(), a.wbits, a.abits,
+                a.wq.c_str(), a.aq.c_str());
+
+    TrainerOptions opts;
+    opts.train.epochs = a.epochs;
+    opts.train.lr = a.lr;
+    if (a.trainer == "ssl_xd") {
+      opts.teacher_factory = [&] { return model_by_name(a.model, mc); };
+    }
+    // PTQ trainers calibrate a pre-trained model: give them fp32 weights.
+    if (a.trainer.rfind("ptq", 0) == 0) {
+      set_quantizer_bypass(*model, true);
+      TrainerOptions fp = opts;
+      auto pre = make_trainer("supervised", *model, data, fp);
+      pre->fit();
+      std::printf("fp32 pre-training accuracy: %.2f%%\n", pre->evaluate());
+      set_quantizer_bypass(*model, false);
+    }
+    auto trainer = make_trainer(a.trainer, *model, data, std::move(opts));
+    trainer->fit();
+    std::printf("fake-quant accuracy: %.2f%%\n", trainer->evaluate());
+
+    freeze_quantizers(*model);
+    ConvertConfig ccfg;
+    ccfg.input_shape = {spec.channels, spec.height, spec.width};
+    T2C t2c_api(*model, ccfg);
+    DeployModel chip = t2c_api.nn2chip(/*save_model=*/true, a.out);
+    std::printf("integer-deployed accuracy: %.2f%%\n",
+                chip.evaluate(data.test_images(), data.test_labels()));
+    std::printf("%s\n", chip.summary_text().c_str());
+    std::printf("artifacts under %s/ (model.t2c, hex/)\n", a.out.c_str());
+    if (a.emit_verilog) {
+      std::printf("testbench: %s\n",
+                  emit_verilog_testbench(chip, a.out + "/rtl", 8).c_str());
+    }
+    return 0;
+  } catch (const t2c::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
