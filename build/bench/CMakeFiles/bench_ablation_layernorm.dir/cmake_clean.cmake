@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_layernorm.dir/bench_ablation_layernorm.cpp.o"
+  "CMakeFiles/bench_ablation_layernorm.dir/bench_ablation_layernorm.cpp.o.d"
+  "bench_ablation_layernorm"
+  "bench_ablation_layernorm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_layernorm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_dualpath.dir/bench_fig2_dualpath.cpp.o"
+  "CMakeFiles/bench_fig2_dualpath.dir/bench_fig2_dualpath.cpp.o.d"
+  "bench_fig2_dualpath"
+  "bench_fig2_dualpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_dualpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

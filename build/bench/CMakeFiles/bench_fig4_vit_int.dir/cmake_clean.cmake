@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_vit_int.dir/bench_fig4_vit_int.cpp.o"
+  "CMakeFiles/bench_fig4_vit_int.dir/bench_fig4_vit_int.cpp.o.d"
+  "bench_fig4_vit_int"
+  "bench_fig4_vit_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_vit_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_imagenet_ptq.dir/bench_table1_imagenet_ptq.cpp.o"
+  "CMakeFiles/bench_table1_imagenet_ptq.dir/bench_table1_imagenet_ptq.cpp.o.d"
+  "bench_table1_imagenet_ptq"
+  "bench_table1_imagenet_ptq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_imagenet_ptq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

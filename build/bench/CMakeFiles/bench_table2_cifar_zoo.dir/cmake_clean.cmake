@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cifar_zoo.dir/bench_table2_cifar_zoo.cpp.o"
+  "CMakeFiles/bench_table2_cifar_zoo.dir/bench_table2_cifar_zoo.cpp.o.d"
+  "bench_table2_cifar_zoo"
+  "bench_table2_cifar_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cifar_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ssl_transfer.dir/bench_table4_ssl_transfer.cpp.o"
+  "CMakeFiles/bench_table4_ssl_transfer.dir/bench_table4_ssl_transfer.cpp.o.d"
+  "bench_table4_ssl_transfer"
+  "bench_table4_ssl_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ssl_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_qat_deploy.dir/cifar_qat_deploy.cpp.o"
+  "CMakeFiles/cifar_qat_deploy.dir/cifar_qat_deploy.cpp.o.d"
+  "cifar_qat_deploy"
+  "cifar_qat_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_qat_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

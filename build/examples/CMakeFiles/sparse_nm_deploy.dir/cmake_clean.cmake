@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_nm_deploy.dir/sparse_nm_deploy.cpp.o"
+  "CMakeFiles/sparse_nm_deploy.dir/sparse_nm_deploy.cpp.o.d"
+  "sparse_nm_deploy"
+  "sparse_nm_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_nm_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

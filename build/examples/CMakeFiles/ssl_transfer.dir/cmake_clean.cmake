@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssl_transfer.dir/ssl_transfer.cpp.o"
+  "CMakeFiles/ssl_transfer.dir/ssl_transfer.cpp.o.d"
+  "ssl_transfer"
+  "ssl_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssl_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vit_ptq_int8.dir/vit_ptq_int8.cpp.o"
+  "CMakeFiles/vit_ptq_int8.dir/vit_ptq_int8.cpp.o.d"
+  "vit_ptq_int8"
+  "vit_ptq_int8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vit_ptq_int8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

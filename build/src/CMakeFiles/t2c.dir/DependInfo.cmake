@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/registry.cpp" "src/CMakeFiles/t2c.dir/core/registry.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/core/registry.cpp.o.d"
+  "/root/repo/src/core/t2c.cpp" "src/CMakeFiles/t2c.dir/core/t2c.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/core/t2c.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/t2c.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/data/augment.cpp" "src/CMakeFiles/t2c.dir/data/augment.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/data/augment.cpp.o.d"
+  "/root/repo/src/data/loader.cpp" "src/CMakeFiles/t2c.dir/data/loader.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/data/loader.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/t2c.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/deploy/deploy_model.cpp" "src/CMakeFiles/t2c.dir/deploy/deploy_model.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/deploy/deploy_model.cpp.o.d"
+  "/root/repo/src/deploy/int_ops.cpp" "src/CMakeFiles/t2c.dir/deploy/int_ops.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/deploy/int_ops.cpp.o.d"
+  "/root/repo/src/deploy/vit_ops.cpp" "src/CMakeFiles/t2c.dir/deploy/vit_ops.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/deploy/vit_ops.cpp.o.d"
+  "/root/repo/src/fusion/bn_fusion.cpp" "src/CMakeFiles/t2c.dir/fusion/bn_fusion.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/fusion/bn_fusion.cpp.o.d"
+  "/root/repo/src/fusion/converter.cpp" "src/CMakeFiles/t2c.dir/fusion/converter.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/fusion/converter.cpp.o.d"
+  "/root/repo/src/fusion/mulquant.cpp" "src/CMakeFiles/t2c.dir/fusion/mulquant.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/fusion/mulquant.cpp.o.d"
+  "/root/repo/src/models/mobilenet_v1.cpp" "src/CMakeFiles/t2c.dir/models/mobilenet_v1.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/models/mobilenet_v1.cpp.o.d"
+  "/root/repo/src/models/resnet_cifar.cpp" "src/CMakeFiles/t2c.dir/models/resnet_cifar.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/models/resnet_cifar.cpp.o.d"
+  "/root/repo/src/models/resnet_imagenet.cpp" "src/CMakeFiles/t2c.dir/models/resnet_imagenet.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/models/resnet_imagenet.cpp.o.d"
+  "/root/repo/src/models/vit.cpp" "src/CMakeFiles/t2c.dir/models/vit.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/models/vit.cpp.o.d"
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/t2c.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/t2c.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/CMakeFiles/t2c.dir/nn/batchnorm.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/t2c.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/CMakeFiles/t2c.dir/nn/layernorm.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/t2c.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/t2c.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "src/CMakeFiles/t2c.dir/nn/module.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/module.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/t2c.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/t2c.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/schedule.cpp" "src/CMakeFiles/t2c.dir/nn/schedule.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/schedule.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/t2c.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/quant/adaround.cpp" "src/CMakeFiles/t2c.dir/quant/adaround.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/adaround.cpp.o.d"
+  "/root/repo/src/quant/builtin.cpp" "src/CMakeFiles/t2c.dir/quant/builtin.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/builtin.cpp.o.d"
+  "/root/repo/src/quant/dorefa.cpp" "src/CMakeFiles/t2c.dir/quant/dorefa.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/dorefa.cpp.o.d"
+  "/root/repo/src/quant/lsq.cpp" "src/CMakeFiles/t2c.dir/quant/lsq.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/lsq.cpp.o.d"
+  "/root/repo/src/quant/minmax.cpp" "src/CMakeFiles/t2c.dir/quant/minmax.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/minmax.cpp.o.d"
+  "/root/repo/src/quant/mse.cpp" "src/CMakeFiles/t2c.dir/quant/mse.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/mse.cpp.o.d"
+  "/root/repo/src/quant/observer.cpp" "src/CMakeFiles/t2c.dir/quant/observer.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/observer.cpp.o.d"
+  "/root/repo/src/quant/pact.cpp" "src/CMakeFiles/t2c.dir/quant/pact.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/pact.cpp.o.d"
+  "/root/repo/src/quant/ptq.cpp" "src/CMakeFiles/t2c.dir/quant/ptq.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/ptq.cpp.o.d"
+  "/root/repo/src/quant/qattention.cpp" "src/CMakeFiles/t2c.dir/quant/qattention.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/qattention.cpp.o.d"
+  "/root/repo/src/quant/qbase.cpp" "src/CMakeFiles/t2c.dir/quant/qbase.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/qbase.cpp.o.d"
+  "/root/repo/src/quant/qdrop.cpp" "src/CMakeFiles/t2c.dir/quant/qdrop.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/qdrop.cpp.o.d"
+  "/root/repo/src/quant/qlayers.cpp" "src/CMakeFiles/t2c.dir/quant/qlayers.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/qlayers.cpp.o.d"
+  "/root/repo/src/quant/rcf.cpp" "src/CMakeFiles/t2c.dir/quant/rcf.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/rcf.cpp.o.d"
+  "/root/repo/src/quant/sawb.cpp" "src/CMakeFiles/t2c.dir/quant/sawb.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/quant/sawb.cpp.o.d"
+  "/root/repo/src/sparse/granet.cpp" "src/CMakeFiles/t2c.dir/sparse/granet.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/sparse/granet.cpp.o.d"
+  "/root/repo/src/sparse/nm_pruner.cpp" "src/CMakeFiles/t2c.dir/sparse/nm_pruner.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/sparse/nm_pruner.cpp.o.d"
+  "/root/repo/src/sparse/pruner.cpp" "src/CMakeFiles/t2c.dir/sparse/pruner.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/sparse/pruner.cpp.o.d"
+  "/root/repo/src/sparse/sparse_trainer.cpp" "src/CMakeFiles/t2c.dir/sparse/sparse_trainer.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/sparse/sparse_trainer.cpp.o.d"
+  "/root/repo/src/ssl/barlow.cpp" "src/CMakeFiles/t2c.dir/ssl/barlow.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/ssl/barlow.cpp.o.d"
+  "/root/repo/src/ssl/projector.cpp" "src/CMakeFiles/t2c.dir/ssl/projector.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/ssl/projector.cpp.o.d"
+  "/root/repo/src/ssl/ssl_trainer.cpp" "src/CMakeFiles/t2c.dir/ssl/ssl_trainer.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/ssl/ssl_trainer.cpp.o.d"
+  "/root/repo/src/ssl/xd.cpp" "src/CMakeFiles/t2c.dir/ssl/xd.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/ssl/xd.cpp.o.d"
+  "/root/repo/src/tensor/conv_ops.cpp" "src/CMakeFiles/t2c.dir/tensor/conv_ops.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/tensor/conv_ops.cpp.o.d"
+  "/root/repo/src/tensor/elementwise.cpp" "src/CMakeFiles/t2c.dir/tensor/elementwise.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/tensor/elementwise.cpp.o.d"
+  "/root/repo/src/tensor/matmul.cpp" "src/CMakeFiles/t2c.dir/tensor/matmul.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/tensor/matmul.cpp.o.d"
+  "/root/repo/src/tensor/reduce.cpp" "src/CMakeFiles/t2c.dir/tensor/reduce.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/tensor/reduce.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/t2c.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/util/check.cpp" "src/CMakeFiles/t2c.dir/util/check.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/util/check.cpp.o.d"
+  "/root/repo/src/util/fixed_point.cpp" "src/CMakeFiles/t2c.dir/util/fixed_point.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/util/fixed_point.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/t2c.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stopwatch.cpp" "src/CMakeFiles/t2c.dir/util/stopwatch.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/util/stopwatch.cpp.o.d"
+  "/root/repo/src/xport/checkpoint.cpp" "src/CMakeFiles/t2c.dir/xport/checkpoint.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/xport/checkpoint.cpp.o.d"
+  "/root/repo/src/xport/verilog.cpp" "src/CMakeFiles/t2c.dir/xport/verilog.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/xport/verilog.cpp.o.d"
+  "/root/repo/src/xport/writers.cpp" "src/CMakeFiles/t2c.dir/xport/writers.cpp.o" "gcc" "src/CMakeFiles/t2c.dir/xport/writers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

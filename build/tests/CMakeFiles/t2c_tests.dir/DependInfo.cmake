@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_conv_ops.cpp" "tests/CMakeFiles/t2c_tests.dir/test_conv_ops.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_conv_ops.cpp.o.d"
+  "/root/repo/tests/test_converter.cpp" "tests/CMakeFiles/t2c_tests.dir/test_converter.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_converter.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/t2c_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_deploy_ops.cpp" "tests/CMakeFiles/t2c_tests.dir/test_deploy_ops.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_deploy_ops.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/t2c_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fixed_point.cpp" "tests/CMakeFiles/t2c_tests.dir/test_fixed_point.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_fixed_point.cpp.o.d"
+  "/root/repo/tests/test_fusion.cpp" "tests/CMakeFiles/t2c_tests.dir/test_fusion.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_fusion.cpp.o.d"
+  "/root/repo/tests/test_gradcheck.cpp" "tests/CMakeFiles/t2c_tests.dir/test_gradcheck.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_gradcheck.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/t2c_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_models.cpp" "tests/CMakeFiles/t2c_tests.dir/test_models.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_models.cpp.o.d"
+  "/root/repo/tests/test_nn_layers.cpp" "tests/CMakeFiles/t2c_tests.dir/test_nn_layers.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_nn_layers.cpp.o.d"
+  "/root/repo/tests/test_optim.cpp" "tests/CMakeFiles/t2c_tests.dir/test_optim.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_optim.cpp.o.d"
+  "/root/repo/tests/test_ptq.cpp" "tests/CMakeFiles/t2c_tests.dir/test_ptq.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_ptq.cpp.o.d"
+  "/root/repo/tests/test_qlayers.cpp" "tests/CMakeFiles/t2c_tests.dir/test_qlayers.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_qlayers.cpp.o.d"
+  "/root/repo/tests/test_quantizers.cpp" "tests/CMakeFiles/t2c_tests.dir/test_quantizers.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_quantizers.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/t2c_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_ssl.cpp" "tests/CMakeFiles/t2c_tests.dir/test_ssl.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_ssl.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/t2c_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_trainers.cpp" "tests/CMakeFiles/t2c_tests.dir/test_trainers.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_trainers.cpp.o.d"
+  "/root/repo/tests/test_vit_int.cpp" "tests/CMakeFiles/t2c_tests.dir/test_vit_int.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_vit_int.cpp.o.d"
+  "/root/repo/tests/test_xport.cpp" "tests/CMakeFiles/t2c_tests.dir/test_xport.cpp.o" "gcc" "tests/CMakeFiles/t2c_tests.dir/test_xport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/t2c.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/t2c_cli.dir/t2c_cli.cpp.o"
+  "CMakeFiles/t2c_cli.dir/t2c_cli.cpp.o.d"
+  "t2c_cli"
+  "t2c_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/t2c_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
