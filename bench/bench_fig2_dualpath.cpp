@@ -124,6 +124,24 @@ void BM_IntVerificationPath(benchmark::State& state) {
 }
 BENCHMARK(BM_IntVerificationPath);
 
+// T2C_BENCH_JSON: hand-timed versions of the three paths, emitted as
+// machine-readable rows alongside the google-benchmark console output.
+void emit_json_stats() {
+  if (bench::bench_json_path() == nullptr) return;
+  std::vector<bench::BenchStat> stats;
+  for (const auto& [name, mode] :
+       std::vector<std::pair<std::string, ExecMode>>{
+           {"fig2.train_path", ExecMode::kTrain},
+           {"fig2.eval_path", ExecMode::kEval},
+           {"fig2.int_verification_path", ExecMode::kIntInfer}}) {
+    PathBench b;
+    b.conv->set_mode(mode);
+    stats.push_back(bench::time_reps(
+        name, [&] { benchmark::DoNotOptimize(b.conv->forward(b.x)); }, 30));
+  }
+  bench::write_bench_json(stats);
+}
+
 }  // namespace
 }  // namespace t2c
 
@@ -131,5 +149,6 @@ int main(int argc, char** argv) {
   t2c::report_consistency();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  t2c::emit_json_stats();
   return 0;
 }

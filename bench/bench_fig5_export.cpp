@@ -148,6 +148,30 @@ void BM_LoadCheckpoint(benchmark::State& state) {
 }
 BENCHMARK(BM_LoadCheckpoint);
 
+// T2C_BENCH_JSON: hand-timed writer benchmarks as machine-readable rows.
+void emit_json_stats() {
+  if (bench::bench_json_path() == nullptr) return;
+  const std::string dir = g_dir + "/bench_hex";
+  const std::string path = g_dir + "/bench.t2c";
+  save_checkpoint(*g_dm, path);
+  std::vector<bench::BenchStat> stats;
+  stats.push_back(bench::time_reps(
+      "fig5.write_hex_images",
+      [&] { benchmark::DoNotOptimize(export_hex_images(*g_dm, dir, 8)); },
+      10));
+  stats.push_back(bench::time_reps(
+      "fig5.save_checkpoint",
+      [&] {
+        save_checkpoint(*g_dm, path);
+        benchmark::ClobberMemory();
+      },
+      10));
+  stats.push_back(bench::time_reps(
+      "fig5.load_checkpoint",
+      [&] { benchmark::DoNotOptimize(load_checkpoint(path)); }, 10));
+  bench::write_bench_json(stats);
+}
+
 }  // namespace
 }  // namespace t2c
 
@@ -155,5 +179,6 @@ int main(int argc, char** argv) {
   t2c::run_tables();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  t2c::emit_json_stats();
   return 0;
 }

@@ -4,8 +4,12 @@
 // corresponding paper table/figure plus our measured values. Set
 // T2C_SCALE=full for larger datasets / longer training (default: quick,
 // sized for a single CPU core — see DESIGN.md §4).
+// Set T2C_BENCH_JSON=/path/to/file.json to additionally dump the
+// hand-timed sections as machine-readable rows (name, reps, mean/p50/p95
+// milliseconds) for CI trend tracking.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +19,7 @@
 #include "core/registry.h"
 #include "core/t2c.h"
 #include "models/models.h"
+#include "util/check.h"
 #include "util/stopwatch.h"
 
 namespace t2c::bench {
@@ -114,6 +119,69 @@ inline std::string fmt_delta(double v, double ref, int prec = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f (%+.*f)", prec, v, prec, v - ref);
   return buf;
+}
+
+// ---- machine-readable timing (T2C_BENCH_JSON) ----
+
+/// One timed section, digested for trend tracking.
+struct BenchStat {
+  std::string name;
+  int reps = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+};
+
+/// Runs `fn` `reps` times and reports mean/p50/p95 wall milliseconds.
+template <typename Fn>
+BenchStat time_reps(const std::string& name, Fn&& fn, int reps = 20) {
+  check(reps > 0, "time_reps: reps must be positive");
+  std::vector<double> ms;
+  ms.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch sw;
+    fn();
+    ms.push_back(sw.millis());
+  }
+  std::sort(ms.begin(), ms.end());
+  BenchStat s;
+  s.name = name;
+  s.reps = reps;
+  for (double v : ms) s.mean_ms += v;
+  s.mean_ms /= static_cast<double>(reps);
+  const auto at = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(ms.size() - 1));
+    return ms[idx];
+  };
+  s.p50_ms = at(0.5);
+  s.p95_ms = at(0.95);
+  return s;
+}
+
+/// Path from the T2C_BENCH_JSON env var, or nullptr when JSON output is off.
+inline const char* bench_json_path() { return std::getenv("T2C_BENCH_JSON"); }
+
+/// Writes `[{"name":...,"reps":N,"mean_ms":...,"p50_ms":...,"p95_ms":...}]`
+/// to T2C_BENCH_JSON. No-op (returns false) when the env var is unset.
+inline bool write_bench_json(const std::vector<BenchStat>& stats) {
+  const char* path = bench_json_path();
+  if (path == nullptr) return false;
+  FILE* f = std::fopen(path, "w");
+  check(f != nullptr, std::string("cannot open for writing: ") + path);
+  std::fprintf(f, "[");
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const BenchStat& s = stats[i];
+    std::fprintf(f,
+                 "%s\n  {\"name\":\"%s\",\"reps\":%d,\"mean_ms\":%.6f,"
+                 "\"p50_ms\":%.6f,\"p95_ms\":%.6f}",
+                 i == 0 ? "" : ",", s.name.c_str(), s.reps, s.mean_ms,
+                 s.p50_ms, s.p95_ms);
+  }
+  std::fprintf(f, "\n]\n");
+  std::fclose(f);
+  std::printf("bench json: %s (%zu rows)\n", path, stats.size());
+  return true;
 }
 
 }  // namespace t2c::bench

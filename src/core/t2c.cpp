@@ -2,6 +2,9 @@
 
 #include <filesystem>
 
+#include "obs/log.h"
+#include "obs/trace.h"
+
 namespace t2c {
 
 T2C::T2C(Sequential& model, ConvertConfig cfg)
@@ -9,11 +12,15 @@ T2C::T2C(Sequential& model, ConvertConfig cfg)
 
 DeployModel T2C::nn2chip(bool save_model, const std::string& out_dir,
                          int hex_word_bits) {
+  const obs::TraceSpan span("convert.nn2chip", "convert");
   DeployModel dm = converter_.convert(*model_);
   if (save_model) {
+    const obs::TraceSpan save_span("xport.save", "xport");
     std::filesystem::create_directories(out_dir);
     save_checkpoint(dm, out_dir + "/model.t2c");
-    (void)export_hex_images(dm, out_dir + "/hex", hex_word_bits);
+    const auto hex = export_hex_images(dm, out_dir + "/hex", hex_word_bits);
+    obs::log_debug("nn2chip: wrote ", out_dir, "/model.t2c and ", hex.size(),
+                   " hex images under ", out_dir, "/hex");
   }
   return dm;
 }

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quant/qlayers.h"
 #include "tensor/reduce.h"
 #include "tensor/elementwise.h"
+#include "util/stopwatch.h"
 
 namespace t2c {
 
@@ -39,11 +42,22 @@ void SupervisedTrainer::fit() {
   CrossEntropyLoss loss(cfg_.label_smoothing);
 
   model_->set_mode(ExecMode::kTrain);
+  const obs::TraceSpan fit_span("train.fit", "train");
+  // TrainConfig::verbose routes per-epoch progress through the log level:
+  // verbose runs speak at info, quiet runs are still visible at debug.
+  const obs::LogLevel lvl =
+      cfg_.verbose ? obs::LogLevel::kInfo : obs::LogLevel::kDebug;
+  obs::log(lvl, "train.fit: ", cfg_.epochs, " epochs, ", total, " steps, lr ",
+           obs::fixed(cfg_.lr, 4));
   std::int64_t step = 0;
   for (int e = 0; e < cfg_.epochs; ++e) {
+    const obs::TraceSpan epoch_span("train.epoch." + std::to_string(e + 1),
+                                    "train");
     loader.start_epoch();
     double epoch_loss = 0.0;
+    const bool prof = obs::metrics_enabled();
     for (std::int64_t b = 0; b < loader.batches_per_epoch(); ++b, ++step) {
+      Stopwatch sw;
       Batch batch = loader.batch(b);
       opt.set_lr(sched->lr_at(step));
       model_->zero_grad();
@@ -52,18 +66,33 @@ void SupervisedTrainer::fit() {
       (void)model_->backward(loss.backward());
       if (step_hook) step_hook(step, total);
       opt.step();
+      if (prof) {
+        obs::metrics().counter("train.steps").add(1);
+        obs::metrics().histogram("train.step_ms").observe(sw.millis());
+      }
     }
-    if (cfg_.verbose) {
-      std::printf("  epoch %d/%d  loss %.4f\n", e + 1, cfg_.epochs,
-                  epoch_loss / static_cast<double>(loader.batches_per_epoch()));
+    const double mean_loss =
+        epoch_loss / static_cast<double>(loader.batches_per_epoch());
+    if (prof) {
+      obs::metrics().gauge("train.epoch_loss").set(mean_loss);
+      obs::metrics()
+          .histogram("train.loss", {0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0})
+          .observe(mean_loss);
     }
+    obs::log(lvl, "epoch ", e + 1, "/", cfg_.epochs, "  loss ",
+             obs::fixed(mean_loss));
   }
   model_->set_mode(ExecMode::kEval);
 }
 
 double SupervisedTrainer::evaluate() {
-  return evaluate_accuracy(*model_, data_->test_images(),
-                           data_->test_labels());
+  const obs::TraceSpan span("train.evaluate", "train");
+  const double acc = evaluate_accuracy(*model_, data_->test_images(),
+                                       data_->test_labels());
+  if (obs::metrics_enabled()) {
+    obs::metrics().gauge("train.eval_accuracy").set(acc);
+  }
+  return acc;
 }
 
 ProfitTrainer::ProfitTrainer(Module& model, const SyntheticImageDataset& data,
@@ -73,6 +102,7 @@ ProfitTrainer::ProfitTrainer(Module& model, const SyntheticImageDataset& data,
 }
 
 void ProfitTrainer::fit() {
+  const obs::TraceSpan span("train.profit", "train");
   auto qlayers = collect_qlayers(*model_);
   // Split the epoch budget across phases (at least one epoch each).
   TrainConfig phase_cfg = cfg_;
@@ -80,6 +110,10 @@ void ProfitTrainer::fit() {
 
   std::vector<QLayer*> active(qlayers.begin(), qlayers.end());
   for (int phase = 0; phase < phases_; ++phase) {
+    const obs::TraceSpan phase_span(
+        "train.profit.phase." + std::to_string(phase + 1), "train");
+    obs::log_debug("profit: phase ", phase + 1, "/", phases_, ", ",
+                   active.size(), " layers still training");
     SupervisedTrainer inner(*model_, *data_, phase_cfg);
     inner.fit();
     if (phase == phases_ - 1 || active.empty()) break;

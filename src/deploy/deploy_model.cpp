@@ -7,8 +7,11 @@
 
 #include "deploy/int_ops.h"
 #include "deploy/vit_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/reduce.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 #include "xport/writers.h"
 
 namespace t2c {
@@ -41,12 +44,16 @@ DeployOp& DeployModel::mutable_op(std::size_t i) {
 
 ITensor DeployModel::quantize_input(const Tensor& x) const {
   ITensor q(x.shape());
+  const bool prof = obs::metrics_enabled();
+  std::int64_t clipped = 0;  // accumulated locally; one registry hit per call
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     std::int64_t v = static_cast<std::int64_t>(
                          std::nearbyintf(x[i] / input_scale)) +
                      static_cast<std::int64_t>(input_zero);
+    if (prof && (v < input_qmin || v > input_qmax)) ++clipped;
     q[i] = std::min(input_qmax, std::max(input_qmin, v));
   }
+  if (prof) obs::metrics().counter("deploy.sat.input_quantize").add(clipped);
   return q;
 }
 
@@ -55,22 +62,48 @@ ITensor DeployModel::run_int(const ITensor& input) const {
   std::vector<ITensor> values;
   values.reserve(ops_.size() + 1);
   values.push_back(input);
+  // One flag read per run; the per-op key strings are only built when the
+  // observability layer is on, so the disabled path is the seed hot loop
+  // plus a single predictable branch per op.
+  const bool prof = obs::metrics_enabled();
+  const bool trace = obs::trace_enabled();
   for (const auto& op : ops_) {
     std::vector<const ITensor*> ins;
     ins.reserve(op->inputs.size());
     for (int id : op->inputs) {
       ins.push_back(&values[static_cast<std::size_t>(id)]);
     }
-    values.push_back(op->run(ins));
+    if (prof || trace) {
+      const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
+      Stopwatch sw;
+      values.push_back(op->run(ins));
+      const double ms = sw.millis();
+      const std::string key =
+          op->kind() + (op->label.empty() ? "" : ":" + op->label);
+      if (prof) {
+        obs::metrics().histogram("deploy.op_ms." + key).observe(ms);
+      }
+      if (trace) {
+        obs::tracer().record({key, "deploy", ts,
+                              static_cast<std::int64_t>(ms * 1000.0)});
+      }
+    } else {
+      values.push_back(op->run(ins));
+    }
   }
   return values[static_cast<std::size_t>(output_id_)];
 }
 
 Tensor DeployModel::run(const Tensor& x) const {
+  const obs::TraceSpan span("deploy.run", "deploy");
   const ITensor logits = run_int(quantize_input(x));
   Tensor out(logits.shape());
   for (std::int64_t i = 0; i < logits.numel(); ++i) {
     out[i] = static_cast<float>(logits[i]) * output_scale;
+  }
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("deploy.batches").add(1);
+    obs::metrics().counter("deploy.images").add(x.size(0));
   }
   return out;
 }
@@ -78,6 +111,7 @@ Tensor DeployModel::run(const Tensor& x) const {
 double DeployModel::evaluate(const Tensor& images,
                              const std::vector<std::int64_t>& labels,
                              std::int64_t batch_size) const {
+  const obs::TraceSpan span("deploy.evaluate", "deploy");
   check(images.rank() == 4, "DeployModel::evaluate expects [N,C,H,W]");
   const std::int64_t n = images.size(0);
   check(n == static_cast<std::int64_t>(labels.size()),

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace t2c {
 
 namespace {
@@ -16,6 +18,24 @@ const ITensor& only_input(const std::vector<const ITensor*>& ins,
 
 std::int64_t clamp64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
   return std::min(hi, std::max(lo, v));
+}
+
+/// Saturation counter naming: `deploy.sat.<kind>[:<label>]` plus the
+/// aggregate `deploy.sat.total`. Call sites accumulate per-element clips in
+/// a local and hit the registry once per run() invocation; counters are
+/// created even at zero so an instrumented run always exposes them.
+void record_saturation(const char* kind, const std::string& label,
+                       std::int64_t sat) {
+  std::string key = std::string("deploy.sat.") + kind;
+  if (!label.empty()) key += ":" + label;
+  obs::metrics().counter(key).add(sat);
+  obs::metrics().counter("deploy.sat.total").add(sat);
+}
+
+/// Clips to a zero lower bound are ReLU semantics, not saturation — only a
+/// nonzero floor counts as a clipped value on the low side.
+bool is_clip(std::int64_t y, std::int64_t lo, std::int64_t hi) {
+  return y > hi || (lo != 0 && y < lo);
 }
 
 }  // namespace
@@ -55,11 +75,14 @@ MulQuantOp::MulQuantOp(std::vector<std::int64_t> mul,
 ITensor MulQuantOp::run(const std::vector<const ITensor*>& ins) const {
   const ITensor& x = only_input(ins, "MulQuant");
   ITensor out(x.shape());
+  const bool prof = obs::metrics_enabled();
+  std::int64_t sat = 0;
   const auto apply = [&](std::int64_t v, std::size_t e) {
     const int f = frac_[e] + bias_frac_;
     const std::int64_t half = f > 0 ? (std::int64_t{1} << (f - 1)) : 0;
     const std::int64_t y =
         (mul_[e] * ((v << bias_frac_) + bias_[e]) + half) >> f;
+    if (prof && is_clip(y, out_min_, out_max_)) ++sat;
     return clamp64(y, out_min_, out_max_);
   };
   switch (layout_) {
@@ -96,6 +119,7 @@ ITensor MulQuantOp::run(const std::vector<const ITensor*>& ins) const {
       break;
     }
   }
+  if (prof) record_saturation("MulQuant", label, sat);
   return out;
 }
 
@@ -146,9 +170,14 @@ ITensor IntAddOp::run(const std::vector<const ITensor*>& ins) const {
   const ITensor& b = *ins[1];
   check(a.same_shape(b), "IntAdd: shape mismatch");
   ITensor out(a.shape());
+  const bool prof = obs::metrics_enabled();
+  std::int64_t sat = 0;
   for (std::int64_t i = 0; i < a.numel(); ++i) {
-    out[i] = clamp64(a[i] + b[i], out_min_, out_max_);
+    const std::int64_t y = a[i] + b[i];
+    if (prof && is_clip(y, out_min_, out_max_)) ++sat;
+    out[i] = clamp64(y, out_min_, out_max_);
   }
+  if (prof) record_saturation("IntAdd", label, sat);
   return out;
 }
 
@@ -204,15 +233,19 @@ ITensor IntGlobalAvgPoolOp::run(const std::vector<const ITensor*>& ins) const {
   ITensor out({n, c});
   const std::int64_t half =
       frac_bits_ > 0 ? (std::int64_t{1} << (frac_bits_ - 1)) : 0;
+  const bool prof = obs::metrics_enabled();
+  std::int64_t sat = 0;
   for (std::int64_t in = 0; in < n; ++in) {
     for (std::int64_t ic = 0; ic < c; ++ic) {
       const std::int64_t* plane = x.data() + (in * c + ic) * hw;
       std::int64_t acc = 0;
       for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
-      out[in * c + ic] =
-          clamp64((mul_ * acc + half) >> frac_bits_, out_min_, out_max_);
+      const std::int64_t y = (mul_ * acc + half) >> frac_bits_;
+      if (prof && is_clip(y, out_min_, out_max_)) ++sat;
+      out[in * c + ic] = clamp64(y, out_min_, out_max_);
     }
   }
+  if (prof) record_saturation("IntGlobalAvgPool", label, sat);
   return out;
 }
 
@@ -244,14 +277,18 @@ ITensor IntMeanPoolTokensOp::run(
   ITensor out({n, d});
   const std::int64_t half =
       frac_bits_ > 0 ? (std::int64_t{1} << (frac_bits_ - 1)) : 0;
+  const bool prof = obs::metrics_enabled();
+  std::int64_t sat = 0;
   for (std::int64_t in = 0; in < n; ++in) {
     for (std::int64_t i = 0; i < d; ++i) {
       std::int64_t acc = 0;
       for (std::int64_t it = 0; it < t; ++it) acc += x[(in * t + it) * d + i];
-      out[in * d + i] =
-          clamp64((mul_ * acc + half) >> frac_bits_, out_min_, out_max_);
+      const std::int64_t y = (mul_ * acc + half) >> frac_bits_;
+      if (prof && is_clip(y, out_min_, out_max_)) ++sat;
+      out[in * d + i] = clamp64(y, out_min_, out_max_);
     }
   }
+  if (prof) record_saturation("IntMeanPoolTokens", label, sat);
   return out;
 }
 

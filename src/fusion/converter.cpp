@@ -9,6 +9,9 @@
 #include "models/vit.h"
 #include "nn/activations.h"
 #include "nn/pooling.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quant/minmax.h"
 
 namespace t2c {
@@ -29,6 +32,32 @@ constexpr int kLnFrac = 8;
 
 double rel_diff(double a, double b) {
   return std::fabs(a - b) / std::max(1e-12, std::fabs(b));
+}
+
+/// Per-layer quantization error between the float path (reference weights)
+/// and the integer path (emitted integer weights dequantized with the
+/// emitted scales): the transparency metric the paper's per-layer report
+/// is built on. Recorded as gauge `convert.weight_mse.<label>`.
+void record_weight_mse(const std::string& label, const Tensor& w_ref,
+                       const ITensor& w_int, const Tensor& sw) {
+  if (!obs::metrics_enabled() || w_ref.numel() == 0) return;
+  check(w_ref.numel() == w_int.numel(),
+        "record_weight_mse: weight element count mismatch");
+  const std::int64_t oc = w_int.size(0);
+  const std::int64_t per = w_int.numel() / oc;
+  double sum = 0.0;
+  for (std::int64_t c = 0; c < oc; ++c) {
+    const double s = sw.numel() == 1 ? sw[0] : sw[c];
+    for (std::int64_t i = c * per; i < (c + 1) * per; ++i) {
+      const double d =
+          static_cast<double>(w_ref[i]) - static_cast<double>(w_int[i]) * s;
+      sum += d * d;
+    }
+  }
+  const double mse = sum / static_cast<double>(w_ref.numel());
+  obs::metrics().gauge("convert.weight_mse." + label).set(mse);
+  obs::log_debug("convert: ", label, " weight quantization mse ",
+                 obs::fixed(mse, 8));
 }
 
 }  // namespace
@@ -110,6 +139,7 @@ T2CConverter::Cursor T2CConverter::requant_to(DeployModel& dm, Cursor cur,
 T2CConverter::Cursor T2CConverter::emit_conv_group(
     DeployModel& dm, QConv2d& conv, BatchNorm2d* bn, Module* act, Cursor cur,
     const Grid& out_grid, bool clamp_to_grid) const {
+  const obs::TraceSpan span("convert.conv." + conv.label, "convert");
   QBase* aq = conv.act_quantizer();
   check(aq != nullptr, "convert: QConv2d '" + conv.label +
                            "' has no input activation quantizer");
@@ -134,9 +164,11 @@ T2CConverter::Cursor T2CConverter::emit_conv_group(
     req.freeze();
     w_int = req.quantize(wf);
     sw = req.scale();
+    record_weight_mse(conv.label, wf, w_int, sw);
   } else {
     w_int = conv.integer_weight();
     sw = conv.weight_quantizer().scale();
+    record_weight_mse(conv.label, conv.masked_weight(), w_int, sw);
     for (std::int64_t c = 0; c < spec.out_channels; ++c) {
       gamma[static_cast<std::size_t>(c)] = fold.gamma_star[c];
     }
@@ -198,6 +230,7 @@ T2CConverter::Cursor T2CConverter::emit_linear(DeployModel& dm, QLinear& lin,
                                                Cursor cur,
                                                const Grid& out_grid,
                                                bool clamp_to_grid) const {
+  const obs::TraceSpan span("convert.linear." + lin.label, "convert");
   QBase* aq = lin.act_quantizer();
   check(aq != nullptr, "convert: QLinear '" + lin.label +
                            "' has no input activation quantizer");
@@ -206,6 +239,7 @@ T2CConverter::Cursor T2CConverter::emit_linear(DeployModel& dm, QLinear& lin,
 
   ITensor w_int = lin.integer_weight();
   const Tensor& sw = lin.weight_quantizer().scale();
+  record_weight_mse(lin.label, lin.masked_weight(), w_int, sw);
   const std::int64_t out_f = lin.out_features();
 
   auto lin_op = std::make_unique<IntLinearOp>(
@@ -243,6 +277,7 @@ T2CConverter::Cursor T2CConverter::emit_residual(DeployModel& dm,
                                                  ResidualBlock& block,
                                                  Cursor cur,
                                                  const Grid& out_grid) const {
+  const obs::TraceSpan span("convert.residual." + block.label, "convert");
   // Both branches land on a grid kMidGrid-times finer than the consumer's,
   // so the single rounding to the consumer grid happens after the add —
   // where the training path rounds. The ReLU floor applies at the add.
@@ -283,6 +318,7 @@ T2CConverter::Cursor T2CConverter::emit_residual(DeployModel& dm,
 T2CConverter::Cursor T2CConverter::emit_patch_embed(DeployModel& dm,
                                                     PatchEmbed& pe,
                                                     Cursor cur) const {
+  const obs::TraceSpan span("convert.patch_embed." + pe.label, "convert");
   const Grid out = grid_of(pe.out_quant());
   cur = emit_conv_group(dm, pe.proj(), /*bn=*/nullptr, /*act=*/nullptr, cur,
                         out, /*clamp_to_grid=*/true);
@@ -335,6 +371,7 @@ T2CConverter::Cursor T2CConverter::emit_layernorm(DeployModel& dm,
 T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
                                                     TransformerBlock& block,
                                                     Cursor cur) const {
+  const obs::TraceSpan span("convert.transformer." + block.label, "convert");
   const Cursor entry = cur;
   QMultiheadAttention& attn = block.attn();
   QLinear& qkv = attn.q_qkv();
@@ -610,6 +647,7 @@ T2CConverter::Cursor T2CConverter::emit_sequential(DeployModel& dm,
 }
 
 DeployModel T2CConverter::convert(Sequential& model) const {
+  const obs::TraceSpan span("convert.model", "convert");
   check_convertible(model);
   const QBase* in_q = first_input_quantizer(model);
   check(in_q != nullptr, "convert: model has no input activation quantizer");
@@ -654,6 +692,13 @@ DeployModel T2CConverter::convert(Sequential& model) const {
   cur = emit_sequential(dm, model, cur, logits);
   dm.set_output(cur.id);
   dm.output_scale = cur.scale;
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("convert.ops_emitted").add(
+        static_cast<std::int64_t>(dm.num_ops()));
+    obs::metrics().counter("convert.models").add(1);
+  }
+  obs::log_debug("convert: emitted ", dm.num_ops(),
+                 " deploy ops, logit scale ", obs::fixed(logit_scale, 6));
   return dm;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace t2c {
 
 FixedPointFormat fit_format(const std::vector<double>& mul_real,
@@ -34,8 +36,15 @@ MqParams make_mq_params(const std::vector<double>& mul_real,
   MqParams p;
   p.mul.reserve(mul_real.size());
   p.frac_bits.reserve(mul_real.size());
+  const bool prof = obs::metrics_enabled();
+  std::int64_t mul_saturated = 0;
   for (double m : mul_real) {
     const FixedPointFormat fmt = fit_format({m}, base, normalize);
+    if (prof) {
+      const std::int64_t raw =
+          std::llround(m * std::ldexp(1.0, fmt.frac_bits));
+      if (raw < fmt.min_raw() || raw > fmt.max_raw()) ++mul_saturated;
+    }
     p.mul.push_back(to_fixed(m, fmt));
     p.frac_bits.push_back(fmt.frac_bits);
   }
@@ -43,6 +52,11 @@ MqParams make_mq_params(const std::vector<double>& mul_real,
   for (double b : bias_real) {
     p.bias.push_back(static_cast<std::int64_t>(
         std::llround(b * std::ldexp(1.0, p.bias_frac))));
+  }
+  if (prof) {
+    obs::metrics().counter("fusion.mulquant.entries")
+        .add(static_cast<std::int64_t>(mul_real.size()));
+    obs::metrics().counter("fusion.mulquant.mul_saturated").add(mul_saturated);
   }
   return p;
 }

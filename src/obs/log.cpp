@@ -1,0 +1,70 @@
+#include "obs/log.h"
+
+#include <mutex>
+
+#include "util/check.h"
+
+namespace t2c::obs {
+
+namespace detail {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+}  // namespace detail
+
+namespace {
+
+std::mutex g_sink_mu;
+LogSink g_sink;  // empty = default stderr sink
+
+void default_sink(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[t2c][%s] %s\n", log_level_name(lvl), msg.c_str());
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(
+      detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel lvl) {
+  detail::g_log_level.store(static_cast<int>(lvl), std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  fail("unknown log level '" + name +
+       "'; known: trace debug info warn error off");
+}
+
+const char* log_level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "trace";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
+  g_sink = std::move(sink);
+}
+
+void log_write(LogLevel lvl, const std::string& msg) {
+  const std::lock_guard<std::mutex> lock(g_sink_mu);
+  if (g_sink) {
+    g_sink(lvl, msg);
+  } else {
+    default_sink(lvl, msg);
+  }
+}
+
+}  // namespace t2c::obs

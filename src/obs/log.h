@@ -1,0 +1,95 @@
+// Structured logging — pillar 1 of the observability layer (obs/).
+//
+// Levels, a process-wide threshold, and a pluggable sink. Call sites are
+// cheap by construction: `log(...)` is a variadic template whose arguments
+// are only stringified after an inlined relaxed-atomic level check, so a
+// disabled call site costs one load and one predictable branch. Library
+// code must route all diagnostics through here (tools/check_format.sh
+// rejects raw std::cout / printf inside src/).
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace t2c::obs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+namespace detail {
+/// Current threshold as an int; read on every call site, so relaxed.
+extern std::atomic<int> g_log_level;
+}  // namespace detail
+
+/// True when a message at `lvl` would be emitted. Inline: this is the only
+/// cost a disabled call site pays.
+inline bool log_enabled(LogLevel lvl) {
+  return static_cast<int>(lvl) >=
+         detail::g_log_level.load(std::memory_order_relaxed);
+}
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+
+/// "trace" | "debug" | "info" | "warn" | "error" | "off"; throws t2c::Error
+/// on anything else (listing the valid names).
+LogLevel parse_log_level(const std::string& name);
+const char* log_level_name(LogLevel lvl);
+
+/// Sink receiving every emitted record. The default writes
+/// "[t2c][level] message\n" to stderr; passing an empty function restores
+/// that default.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
+
+/// Emits unconditionally (the level check happens in the caller).
+void log_write(LogLevel lvl, const std::string& msg);
+
+/// Streams all arguments into one record iff `lvl` clears the threshold.
+template <typename... Args>
+void log(LogLevel lvl, Args&&... args) {
+  if (!log_enabled(lvl)) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  log_write(lvl, os.str());
+}
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+  log(LogLevel::kTrace, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  log(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  log(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  log(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  log(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+/// Fixed-precision double formatting for log/metric text ("0.1234").
+inline std::string fixed(double v, int prec = 4) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace t2c::obs

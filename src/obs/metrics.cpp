@@ -1,0 +1,257 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace t2c::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Gauge::set_max(double v) {
+  double cur = v_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  check(!bounds_.empty(), "Histogram: need at least one bucket bound");
+  check(std::is_sorted(bounds_.begin(), bounds_.end()),
+        "Histogram: bounds must be ascending");
+  counts_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  reset();
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+  double cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  const std::int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::percentile(double p) const {
+  check(p >= 0.0 && p <= 1.0, "Histogram::percentile: p must be in [0, 1]");
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  const double target = p * static_cast<double>(n);
+  const double lo_edge = min();
+  const double hi_edge = max();
+  double cum = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const auto c = static_cast<double>(
+        counts_[i].load(std::memory_order_relaxed));
+    if (c <= 0.0) continue;
+    if (cum + c >= target) {
+      // Interpolate inside bucket i, clamped to the observed range.
+      double lo = i == 0 ? lo_edge : std::max(lo_edge, bounds_[i - 1]);
+      double hi = i == bounds_.size() ? hi_edge
+                                      : std::min(hi_edge, bounds_[i]);
+      if (hi < lo) hi = lo;
+      const double frac = std::min(1.0, std::max(0.0, (target - cum) / c));
+      return lo + (hi - lo) * frac;
+    }
+    cum += c;
+  }
+  return hi_edge;
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Compact, locale-independent number rendering for stable JSON.
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":" << json_num(v);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << json_num(h.sum) << ",\"mean\":" << json_num(h.mean)
+       << ",\"min\":" << json_num(h.min) << ",\"max\":" << json_num(h.max)
+       << ",\"p50\":" << json_num(h.p50) << ",\"p95\":" << json_num(h.p95)
+       << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i) os << ',';
+      os << "{\"le\":";
+      if (i < h.bounds.size()) {
+        os << json_num(h.bounds[i]);
+      } else {
+        os << "\"inf\"";
+      }
+      os << ",\"count\":" << h.bucket_counts[i] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::vector<double>& bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramStats s;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.mean = h->mean();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->percentile(0.50);
+    s.p95 = h->percentile(0.95);
+    s.bounds = h->bounds();
+    s.bucket_counts = h->bucket_counts();
+    snap.histograms[name] = std::move(s);
+  }
+  return snap;
+}
+
+void MetricsRegistry::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  check(os.good(), "metrics: cannot open for writing: " + path);
+  os << to_json() << '\n';
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+const std::vector<double>& MetricsRegistry::latency_ms_buckets() {
+  static const std::vector<double> kBuckets = {
+      0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0,
+      5.0,   10.0,  50.0, 100., 500., 1000.0, 5000.0};
+  return kBuckets;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* reg = new MetricsRegistry();
+  return *reg;
+}
+
+}  // namespace t2c::obs

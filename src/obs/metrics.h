@@ -1,0 +1,150 @@
+// Metrics registry — pillar 2 of the observability layer (obs/).
+//
+// Named counters, gauges, and fixed-bucket histograms behind one global
+// registry with a deterministic snapshot()/to_json() API. Everything is
+// gated on `metrics_enabled()` (default off): hot paths check the flag
+// once per op/step and accumulate per-element statistics in locals, so a
+// disabled build path pays one relaxed load and one predictable branch.
+//
+// Naming convention (see README "Observability"): dot-separated
+// `<stage>.<metric>[.<kind>][:<layer label>]`, e.g.
+//   train.step_ms            deploy.op_ms.IntConv2d:stage1.b0.conv1
+//   convert.weight_mse.head  deploy.sat.MulQuant:stage1.b0.conv1.mulquant
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace t2c::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+
+/// fetch_add for atomic<double> without relying on C++20 FP atomics.
+inline void atomic_add(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Global switch for all metric collection (default: disabled).
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool on);
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Last-value-wins scalar (with a keep-the-max variant for drift peaks).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void set_max(double v);
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending bucket upper edges, with
+/// an implicit +inf overflow bucket. Tracks count/sum/min/max and reports
+/// interpolated percentiles — enough for mean/p50/p95 latency reporting
+/// without storing samples.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// p in [0, 1]; linear interpolation inside the bucket holding the rank.
+  double percentile(double p) const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, length bounds().size() + 1 (last = overflow).
+  std::vector<std::int64_t> bucket_counts() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::int64_t>[]> counts_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time copy of one histogram, pre-digested for reporting.
+struct HistogramStats {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  std::vector<double> bounds;
+  std::vector<std::int64_t> bucket_counts;
+};
+
+/// Deterministic snapshot of the whole registry (names sorted).
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Stable JSON: {"counters":{...},"gauges":{...},"histograms":{...}},
+  /// every map emitted in sorted key order.
+  std::string to_json() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create; the same name always returns the same instance.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies only on first creation of `name`.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>& bounds = latency_ms_buckets());
+
+  MetricsSnapshot snapshot() const;
+  std::string to_json() const { return snapshot().to_json(); }
+  void write_json(const std::string& path) const;
+
+  /// Drops every registered metric. References obtained earlier dangle;
+  /// intended for test isolation and between CLI runs only.
+  void reset();
+
+  /// Default buckets for millisecond latencies (sub-us .. multi-second).
+  static const std::vector<double>& latency_ms_buckets();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry all instrumentation writes to.
+MetricsRegistry& metrics();
+
+}  // namespace t2c::obs

@@ -1,0 +1,111 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace t2c::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+void set_trace_enabled(bool on) {
+  detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::int64_t TraceRecorder::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
+}
+
+void TraceRecorder::record(Event e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+TraceRecorder::Event TraceRecorder::event(std::size_t i) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  check(i < events_.size(), "TraceRecorder::event: index out of range");
+  return events_[i];
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TraceRecorder::to_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (i) os << ',';
+    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.cat) << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
+       << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":1}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void TraceRecorder::write_json(const std::string& path) const {
+  std::ofstream os(path);
+  check(os.good(), "trace: cannot open for writing: " + path);
+  os << to_json() << '\n';
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ = Clock::now();
+}
+
+TraceRecorder& tracer() {
+  static TraceRecorder* rec = new TraceRecorder();
+  return *rec;
+}
+
+TraceSpan::TraceSpan(std::string name, std::string cat)
+    : name_(std::move(name)), cat_(std::move(cat)) {
+  if (trace_enabled()) start_us_ = tracer().now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_us_ < 0) return;
+  const std::int64_t end = tracer().now_us();
+  tracer().record({std::move(name_), std::move(cat_), start_us_,
+                   end - start_us_});
+}
+
+}  // namespace t2c::obs

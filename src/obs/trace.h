@@ -1,0 +1,80 @@
+// Trace spans — pillar 3 of the observability layer (obs/).
+//
+// RAII spans record nested wall-clock intervals into a global recorder
+// that exports Chrome trace_event JSON ("ph":"X" complete events),
+// directly loadable in chrome://tracing or https://ui.perfetto.dev.
+// Nesting is implied by interval containment on one track, which matches
+// the single-threaded pipeline. Collection is gated on `trace_enabled()`
+// (default off); a disabled span costs one relaxed load per constructor.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace t2c::obs {
+
+namespace detail {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace detail
+
+inline bool trace_enabled() {
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool on);
+
+class TraceRecorder {
+ public:
+  struct Event {
+    std::string name;
+    std::string cat;
+    std::int64_t ts_us = 0;   ///< start, microseconds since the epoch mark
+    std::int64_t dur_us = 0;  ///< duration in microseconds
+  };
+
+  /// Microseconds since the recorder epoch (reset by clear()).
+  std::int64_t now_us() const;
+
+  void record(Event e);
+
+  std::size_t size() const;
+  Event event(std::size_t i) const;
+
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the Chrome trace_event
+  /// "JSON object format"; events carry ph:"X" with ts/dur microseconds.
+  std::string to_json() const;
+  void write_json(const std::string& path) const;
+
+  /// Drops all events and re-zeroes the time origin.
+  void clear();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  mutable std::mutex mu_;
+  Clock::time_point epoch_ = Clock::now();
+  std::vector<Event> events_;
+};
+
+/// The process-wide recorder all spans write to.
+TraceRecorder& tracer();
+
+/// RAII interval: records [construction, destruction) as one complete
+/// event when tracing was enabled at construction time.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name, std::string cat = "t2c");
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  std::string cat_;
+  std::int64_t start_us_ = -1;  ///< -1 = span inactive (tracing was off)
+};
+
+}  // namespace t2c::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "tensor/reduce.h"
 #include "util/check.h"
 
@@ -15,6 +16,20 @@ void EmaMinMaxObserver::observe(const Tensor& x) {
     max_ = mx;
     initialized_ = true;
   } else {
+    if (obs::metrics_enabled()) {
+      // Relative drift of the incoming batch range against the running EMA:
+      // a calibration-stability signal (large values mean the observed range
+      // is still moving and the frozen scale would be stale).
+      const float span = std::max(1e-12F, max_ - min_);
+      const double drift =
+          std::max(std::fabs(mn - min_), std::fabs(mx - max_)) / span;
+      obs::metrics()
+          .histogram("quant.observer.range_drift",
+                     {0.001, 0.01, 0.05, 0.1, 0.5, 1.0})
+          .observe(drift);
+      obs::metrics().gauge("quant.observer.max_drift").set_max(drift);
+      obs::metrics().counter("quant.observer.updates").add(1);
+    }
     min_ = (1.0F - momentum_) * min_ + momentum_ * mn;
     max_ = (1.0F - momentum_) * max_ + momentum_ * mx;
   }
@@ -46,12 +61,24 @@ void PercentileObserver::observe(const Tensor& x) {
   }
   const float inv_w =
       static_cast<float>(bins_) / std::max(1e-12F, range_hi_ - range_lo_);
+  const bool prof = obs::metrics_enabled();
+  std::int64_t clipped = 0;
   for (std::int64_t i = 0; i < x.numel(); ++i) {
     int b = static_cast<int>((x[i] - range_lo_) * inv_w);
-    b = std::min(bins_ - 1, std::max(0, b));
+    if (b < 0) {
+      ++clipped;
+      b = 0;
+    } else if (b >= bins_) {
+      ++clipped;
+      b = bins_ - 1;
+    }
     ++hist_[static_cast<std::size_t>(b)];
   }
   total_ += x.numel();
+  if (prof) {
+    obs::metrics().counter("quant.observer.clipped_samples").add(clipped);
+    obs::metrics().counter("quant.observer.samples").add(x.numel());
+  }
 }
 
 void PercentileObserver::reset() {

@@ -1,10 +1,12 @@
 #include "ssl/ssl_trainer.h"
 
 #include <cmath>
-#include <cstdio>
 
 #include "models/models.h"
 #include "nn/linear.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ssl/projector.h"
 #include "tensor/elementwise.h"
 
@@ -104,8 +106,16 @@ void SSLTrainer::fit() {
   BarlowLoss barlow(cfg_.lambda);
   XDLoss xd_a(cfg_.lambda), xd_b(cfg_.lambda);
 
+  const obs::TraceSpan fit_span("ssl.fit", "train");
+  const obs::LogLevel lvl =
+      cfg_.verbose ? obs::LogLevel::kInfo : obs::LogLevel::kDebug;
+  obs::log(lvl, "ssl.fit: ", cfg_.epochs, " epochs", cfg_.use_xd
+                                                          ? " (with XD teacher)"
+                                                          : "");
   std::int64_t step = 0;
   for (int e = 0; e < cfg_.epochs; ++e) {
+    const obs::TraceSpan epoch_span("ssl.epoch." + std::to_string(e + 1),
+                                    "train");
     loader.start_epoch();
     double epoch_loss = 0.0;
     for (std::int64_t b = 0; b < loader.batches_per_epoch(); ++b, ++step) {
@@ -151,10 +161,12 @@ void SSLTrainer::fit() {
       }
     }
     last_loss_ = epoch_loss / static_cast<double>(loader.batches_per_epoch());
-    if (cfg_.verbose) {
-      std::printf("  ssl epoch %d/%d  loss %.4f\n", e + 1, cfg_.epochs,
-                  last_loss_);
+    if (obs::metrics_enabled()) {
+      obs::metrics().gauge("ssl.epoch_loss").set(last_loss_);
+      obs::metrics().counter("ssl.steps").add(loader.batches_per_epoch());
     }
+    obs::log(lvl, "ssl epoch ", e + 1, "/", cfg_.epochs, "  loss ",
+             obs::fixed(last_loss_));
   }
 
   set_quantizer_bypass(*model_, false);
@@ -162,6 +174,7 @@ void SSLTrainer::fit() {
 }
 
 double SSLTrainer::evaluate() {
+  const obs::TraceSpan span("ssl.evaluate", "train");
   // Linear probe: frozen fp features, fresh linear head.
   set_quantizer_bypass(*model_, true);
   model_->set_mode(ExecMode::kEval);

@@ -7,6 +7,8 @@
 
 #include "deploy/int_ops.h"
 #include "deploy/vit_ops.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace t2c {
 
@@ -203,10 +205,12 @@ std::vector<std::string> export_hex_images(const DeployModel& dm,
     for (char& c : name) {
       if (c == '/' || c == ' ' || c == ':') c = '_';
     }
-    char buf[16];
+    char buf[32];
     std::snprintf(buf, sizeof(buf), "%03zu_", idx);
     const std::string path = dir + "/" + buf + name + ".hex";
     write_hex(path, t, bits);
+    obs::log_trace("xport: wrote ", path, " (", t.numel(), " words, ", bits,
+                   " bits)");
     written.push_back(path);
   };
   for (std::size_t i = 0; i < dm.num_ops(); ++i) {
@@ -234,6 +238,11 @@ std::vector<std::string> export_hex_images(const DeployModel& dm,
            std::max(word_bits, required_word_bits(lut)));
     }
   }
+  if (obs::metrics_enabled()) {
+    obs::metrics().counter("xport.files_written")
+        .add(static_cast<std::int64_t>(written.size()));
+  }
+  obs::log_debug("xport: ", written.size(), " hex images under ", dir);
   return written;
 }
 

@@ -189,7 +189,7 @@ TEST_F(ExportedModel, HexImagesMatchGraphWeights) {
   for (std::size_t i = 0; i < dm_->num_ops(); ++i) {
     if (const auto* c = dynamic_cast<const IntConv2dOp*>(&dm_->op(i))) {
       // Find the file whose name starts with the op index.
-      char prefix[16];
+      char prefix[32];
       std::snprintf(prefix, sizeof(prefix), "%03zu_", i);
       std::string found;
       for (const auto& f : files) {

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Lightweight formatting / hygiene gate, run by the `check_format` CMake
+# target and as a ctest case. Checks, over the C++ sources in src/, tests/,
+# tools/, bench/ and examples/:
+#
+#   1. no tab characters
+#   2. no trailing whitespace
+#   3. no CRLF line endings
+#   4. every file ends with a newline
+#   5. no direct stdio/iostream output from library code (src/) — the
+#      structured logger (src/obs/log.*) is the only sanctioned writer.
+#
+# Exits nonzero with a per-violation report; prints nothing on success.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root" || exit 1
+
+files=$(find src tests tools bench examples \
+          -name '*.h' -o -name '*.cpp' 2>/dev/null | sort)
+[ -n "$files" ] || { echo "check_format: no sources found" >&2; exit 1; }
+
+status=0
+
+bad=$(printf '%s\n' "$files" | xargs grep -l -P '\t' 2>/dev/null)
+if [ -n "$bad" ]; then
+  echo "check_format: tab characters in:" >&2
+  printf '  %s\n' $bad >&2
+  status=1
+fi
+
+bad=$(printf '%s\n' "$files" | xargs grep -l -P '[ \t]+$' 2>/dev/null)
+if [ -n "$bad" ]; then
+  echo "check_format: trailing whitespace in:" >&2
+  printf '  %s\n' $bad >&2
+  status=1
+fi
+
+bad=$(printf '%s\n' "$files" | xargs grep -l -P '\r$' 2>/dev/null)
+if [ -n "$bad" ]; then
+  echo "check_format: CRLF line endings in:" >&2
+  printf '  %s\n' $bad >&2
+  status=1
+fi
+
+for f in $files; do
+  if [ -s "$f" ] && [ "$(tail -c 1 "$f" | wc -l)" -eq 0 ]; then
+    echo "check_format: missing final newline: $f" >&2
+    status=1
+  fi
+done
+
+# Library code must not write to stdout/stderr directly; everything goes
+# through the obs logger so sinks and levels stay in control.
+lib_files=$(printf '%s\n' "$files" | grep '^src/' | grep -v '^src/obs/log')
+bad=$(printf '%s\n' "$lib_files" | \
+      xargs grep -l -E 'std::(printf|puts|fprintf|cout|cerr)' 2>/dev/null)
+if [ -n "$bad" ]; then
+  echo "check_format: direct console output in library code (use obs::log):" >&2
+  printf '  %s\n' $bad >&2
+  status=1
+fi
+
+exit $status

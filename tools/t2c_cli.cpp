@@ -1,21 +1,31 @@
 // t2c_cli — the whole toolkit from the command line.
 //
-//   t2c_cli --model resnet20 --dataset cifar10_sim --trainer qat \
-//           --wq sawb --aq pact --wbits 4 --abits 4 --epochs 8 \
+//   t2c_cli --model resnet20 --dataset cifar10_sim --trainer qat
+//           --wq sawb --aq pact --wbits 4 --abits 4 --epochs 8
 //           --out run_out --emit-verilog
 //
 // Trains (or calibrates) the requested configuration, converts it to the
 // integer-only deploy graph, reports fake-quant and deployed accuracy, and
 // writes the export artifacts. `--list` prints every registered model,
 // dataset, trainer and quantizer.
+//
+// Observability: `--log-level LEVEL` tunes the structured log output
+// (trace|debug|info|warn|error|off), `--metrics-json PATH` dumps the metrics
+// registry snapshot, and `--trace-json PATH` writes a Chrome trace_event
+// file loadable in chrome://tracing or Perfetto.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "core/registry.h"
 #include "core/t2c.h"
 #include "models/models.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xport/verilog.h"
 
 namespace {
@@ -37,6 +47,9 @@ struct Args {
   std::string out = "t2c_cli_out";
   bool emit_verilog = false;
   bool list = false;
+  std::string log_level;
+  std::string metrics_json;
+  std::string trace_json;
 };
 
 DatasetSpec dataset_by_name(const std::string& name) {
@@ -87,12 +100,17 @@ Args parse(int argc, char** argv) {
     else if (f == "--out") a.out = want(i++);
     else if (f == "--emit-verilog") a.emit_verilog = true;
     else if (f == "--list") a.list = true;
+    else if (f == "--log-level") a.log_level = want(i++);
+    else if (f == "--metrics-json") a.metrics_json = want(i++);
+    else if (f == "--trace-json") a.trace_json = want(i++);
     else if (f == "--help") {
       std::puts(
           "usage: t2c_cli [--model M] [--dataset D] [--trainer T]\n"
           "               [--wq Q] [--aq Q] [--wbits N] [--abits N]\n"
           "               [--stem-head-bits N] [--epochs N] [--lr F]\n"
-          "               [--width F] [--out DIR] [--emit-verilog] [--list]");
+          "               [--width F] [--out DIR] [--emit-verilog] [--list]\n"
+          "               [--log-level trace|debug|info|warn|error|off]\n"
+          "               [--metrics-json PATH] [--trace-json PATH]");
       std::exit(0);
     } else {
       fail("unknown flag '" + f + "' (try --help)");
@@ -101,11 +119,72 @@ Args parse(int argc, char** argv) {
   return a;
 }
 
+// Per-op latency / saturation table from the metrics snapshot: one row per
+// `deploy.op_ms.<kind>[:<label>]` histogram, joined with the matching
+// `deploy.sat.*` counter, sorted by total time spent.
+void print_op_table(const obs::MetricsSnapshot& snap) {
+  struct Row {
+    std::string key;
+    obs::HistogramStats h;
+    std::int64_t sat = 0;
+    bool has_sat = false;
+  };
+  const std::string lat_prefix = "deploy.op_ms.";
+  std::vector<Row> rows;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind(lat_prefix, 0) != 0) continue;
+    Row r;
+    r.key = name.substr(lat_prefix.size());
+    r.h = h;
+    const auto it = snap.counters.find("deploy.sat." + r.key);
+    if (it != snap.counters.end()) {
+      r.sat = it->second;
+      r.has_sat = true;
+    }
+    rows.push_back(std::move(r));
+  }
+  if (rows.empty()) return;
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.h.sum > b.h.sum; });
+  std::printf("\nper-op deploy profile (by total time):\n");
+  std::printf("  %-44s %8s %9s %9s %9s %10s\n", "op", "calls", "mean ms",
+              "p50 ms", "p95 ms", "saturated");
+  const std::size_t shown = std::min<std::size_t>(rows.size(), 24);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const Row& r = rows[i];
+    char sat[24];
+    if (r.has_sat) {
+      std::snprintf(sat, sizeof(sat), "%lld",
+                    static_cast<long long>(r.sat));
+    } else {
+      std::snprintf(sat, sizeof(sat), "-");
+    }
+    std::printf("  %-44s %8lld %9.3f %9.3f %9.3f %10s\n", r.key.c_str(),
+                static_cast<long long>(r.h.count), r.h.mean, r.h.p50,
+                r.h.p95, sat);
+  }
+  if (rows.size() > shown) {
+    std::printf("  ... and %zu more ops\n", rows.size() - shown);
+  }
+  const auto total = snap.counters.find("deploy.sat.total");
+  if (total != snap.counters.end()) {
+    std::printf("  total saturated values: %lld\n",
+                static_cast<long long>(total->second));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const Args a = parse(argc, argv);
+    if (!a.log_level.empty()) {
+      obs::set_log_level(obs::parse_log_level(a.log_level));
+    }
+    // The CLI is a reporting tool: metrics are always on (the per-op table
+    // below depends on them); tracing only when someone asked for the file.
+    obs::set_metrics_enabled(true);
+    obs::set_trace_enabled(!a.trace_json.empty());
     if (a.list) {
       std::printf("models:     resnet20 resnet18 resnet50 mobilenet_v1 vit\n");
       std::printf("datasets:   cifar10_sim cifar100_sim imagenet_sim "
@@ -142,31 +221,51 @@ int main(int argc, char** argv) {
     if (a.trainer == "ssl_xd") {
       opts.teacher_factory = [&] { return model_by_name(a.model, mc); };
     }
-    // PTQ trainers calibrate a pre-trained model: give them fp32 weights.
-    if (a.trainer.rfind("ptq", 0) == 0) {
-      set_quantizer_bypass(*model, true);
-      TrainerOptions fp = opts;
-      auto pre = make_trainer("supervised", *model, data, fp);
-      pre->fit();
-      std::printf("fp32 pre-training accuracy: %.2f%%\n", pre->evaluate());
-      set_quantizer_bypass(*model, false);
+    {
+      const obs::TraceSpan span("train", "cli");
+      // PTQ trainers calibrate a pre-trained model: give them fp32 weights.
+      if (a.trainer.rfind("ptq", 0) == 0) {
+        set_quantizer_bypass(*model, true);
+        TrainerOptions fp = opts;
+        auto pre = make_trainer("supervised", *model, data, fp);
+        pre->fit();
+        std::printf("fp32 pre-training accuracy: %.2f%%\n", pre->evaluate());
+        set_quantizer_bypass(*model, false);
+      }
+      auto trainer = make_trainer(a.trainer, *model, data, std::move(opts));
+      trainer->fit();
+      std::printf("fake-quant accuracy: %.2f%%\n", trainer->evaluate());
     }
-    auto trainer = make_trainer(a.trainer, *model, data, std::move(opts));
-    trainer->fit();
-    std::printf("fake-quant accuracy: %.2f%%\n", trainer->evaluate());
 
     freeze_quantizers(*model);
     ConvertConfig ccfg;
     ccfg.input_shape = {spec.channels, spec.height, spec.width};
     T2C t2c_api(*model, ccfg);
-    DeployModel chip = t2c_api.nn2chip(/*save_model=*/true, a.out);
-    std::printf("integer-deployed accuracy: %.2f%%\n",
-                chip.evaluate(data.test_images(), data.test_labels()));
+    DeployModel chip = [&] {
+      const obs::TraceSpan span("convert", "cli");
+      return t2c_api.nn2chip(/*save_model=*/true, a.out);
+    }();
+    {
+      const obs::TraceSpan span("deploy", "cli");
+      std::printf("integer-deployed accuracy: %.2f%%\n",
+                  chip.evaluate(data.test_images(), data.test_labels()));
+    }
     std::printf("%s\n", chip.summary_text().c_str());
     std::printf("artifacts under %s/ (model.t2c, hex/)\n", a.out.c_str());
     if (a.emit_verilog) {
       std::printf("testbench: %s\n",
                   emit_verilog_testbench(chip, a.out + "/rtl", 8).c_str());
+    }
+
+    print_op_table(obs::metrics().snapshot());
+    if (!a.metrics_json.empty()) {
+      obs::metrics().write_json(a.metrics_json);
+      std::printf("metrics snapshot: %s\n", a.metrics_json.c_str());
+    }
+    if (!a.trace_json.empty()) {
+      obs::tracer().write_json(a.trace_json);
+      std::printf("chrome trace (%zu events): %s\n", obs::tracer().size(),
+                  a.trace_json.c_str());
     }
     return 0;
   } catch (const t2c::Error& e) {
