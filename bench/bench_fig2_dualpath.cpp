@@ -7,7 +7,11 @@
 // architecture figure.
 #include <benchmark/benchmark.h>
 
+#include "audit/dualpath_audit.h"
 #include "bench_util.h"
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "models/models.h"
 #include "quant/qlayers.h"
 #include "tensor/elementwise.h"
 
@@ -75,6 +79,47 @@ void report_consistency() {
   t.rule();
   std::puts("expected: every row << 1% — the user-defined training path and "
             "the automatically derived integer path compute the same math.");
+}
+
+// Whole-model version of the same story: train a small ResNet-20, convert
+// it, and let the divergence auditor score every deploy op — the per-layer
+// SQNR profile behind the single max-rel-diff number reported above.
+void report_model_audit() {
+  DatasetSpec spec;
+  spec.classes = 4;
+  spec.height = spec.width = 8;
+  spec.train_size = 96;
+  spec.test_size = 48;
+  spec.noise = 0.25F;
+  spec.class_sep = 1.2F;
+  spec.seed = 5;
+  SyntheticImageDataset data(spec);
+  ModelConfig mc;
+  mc.num_classes = 4;
+  mc.width_mult = 0.25F;
+  mc.seed = 3;
+  auto model = make_resnet20(mc);
+  TrainerOptions o;
+  o.train.epochs = 3;
+  o.train.lr = 0.08F;
+  make_trainer("qat", *model, data, o)->fit();
+  freeze_quantizers(*model);
+  ConvertConfig ccfg;
+  ccfg.input_shape = {3, 8, 8};
+  T2CConverter conv(ccfg);
+  const DeployModel dm = conv.convert(*model);
+  // First 8 test images; [N,C,H,W] storage is contiguous, so a flat prefix
+  // copy is the batch.
+  Shape s = data.test_images().shape();
+  s[0] = 8;
+  Tensor batch(std::move(s));
+  for (std::int64_t i = 0; i < batch.numel(); ++i) {
+    batch[i] = data.test_images()[i];
+  }
+  const AuditReport report = run_dualpath_audit(*model, dm, batch);
+  std::puts("\n=== Fig. 2 extended: per-op dual-path divergence (ResNet-20, "
+            "W8/A8) ===");
+  std::printf("%s", report.table_text().c_str());
 }
 
 // ---- timing: the three execution paths of one quantized conv ----
@@ -147,6 +192,7 @@ void emit_json_stats() {
 
 int main(int argc, char** argv) {
   t2c::report_consistency();
+  t2c::report_model_audit();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   t2c::emit_json_stats();

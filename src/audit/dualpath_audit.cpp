@@ -1,0 +1,372 @@
+#include "audit/dualpath_audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "obs/capture.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "xport/writers.h"
+
+namespace t2c {
+
+namespace {
+
+/// SQNR ceiling reported when the integer path is bit-exact (zero noise);
+/// 140 dB is beyond any fixed-point grid this toolkit can express.
+constexpr double kSqnrCapDb = 140.0;
+
+std::string fmt_num(double v) {
+  if (!std::isfinite(v)) v = v > 0 ? kSqnrCapDb : -kSqnrCapDb;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Rebuilds the integer tensor a tap captured. Taps store doubles, but every
+/// deploy-path value is an int64 well below 2^53, so this is exact.
+ITensor tap_to_itensor(const obs::TensorTap& tap) {
+  ITensor t(Shape(tap.shape.begin(), tap.shape.end()));
+  check(t.numel() == static_cast<std::int64_t>(tap.samples.size()),
+        "audit: golden dump needs a complete capture");
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    t[i] = static_cast<std::int64_t>(tap.samples[static_cast<std::size_t>(i)]);
+  }
+  return t;
+}
+
+/// Divergence statistics between a float reference and a dequantized
+/// integer capture, computed over the overlapping sample prefix.
+///
+/// The reference is first projected onto the op's output grid (round to
+/// 1/scale, clamp to [qmin, qmax] when the grid is real). That projection is
+/// not a fudge: the fake-quant path applies exactly this quantization before
+/// the next layer consumes the tensor, so the projected value is what the
+/// float path actually propagates. Comparing against it isolates cross-path
+/// divergence (fixed-point scale approximation, double rounding, headroom
+/// clips) from the quantization error both paths share by construction.
+void compare_taps(const obs::TensorTap& ref, const obs::TensorTap& got,
+                  AuditRow& row) {
+  const std::size_t n = std::min(ref.samples.size(), got.samples.size());
+  if (n == 0) return;
+  const double scale = static_cast<double>(row.scale);
+  const bool real_grid = row.qmin < row.qmax;
+  double sig = 0.0;
+  double noise = 0.0;
+  double dot = 0.0;
+  double nrm_ref = 0.0;
+  double nrm_got = 0.0;
+  double max_err = 0.0;
+  double sum_err = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double qr = std::nearbyint(ref.samples[i] / scale);
+    if (real_grid) {
+      qr = std::min(static_cast<double>(row.qmax),
+                    std::max(static_cast<double>(row.qmin), qr));
+    }
+    const double y = qr * scale;
+    const double yq = got.samples[i] * scale;
+    const double e = y - yq;
+    sig += y * y;
+    noise += e * e;
+    dot += y * yq;
+    nrm_ref += y * y;
+    nrm_got += yq * yq;
+    max_err = std::max(max_err, std::abs(e));
+    sum_err += std::abs(e);
+  }
+  row.has_ref = true;
+  row.samples = static_cast<std::int64_t>(n);
+  row.sqnr_db = (noise <= 0.0 || sig <= 0.0)
+                    ? kSqnrCapDb
+                    : std::min(kSqnrCapDb, 10.0 * std::log10(sig / noise));
+  row.max_abs_err = max_err;
+  row.mean_abs_err = sum_err / static_cast<double>(n);
+  row.cosine = (nrm_ref > 0.0 && nrm_got > 0.0)
+                   ? dot / (std::sqrt(nrm_ref) * std::sqrt(nrm_got))
+                   : 0.0;
+}
+
+/// Saturation fraction and range utilization over the integer capture.
+void grid_stats(const obs::TensorTap& got, AuditRow& row) {
+  if (got.samples.empty()) return;
+  std::int64_t max_abs = 0;
+  std::int64_t sat = 0;
+  const bool real_grid = row.qmin < row.qmax;
+  for (double d : got.samples) {
+    const auto q = static_cast<std::int64_t>(d);
+    max_abs = std::max(max_abs, q >= 0 ? q : -q);
+    if (real_grid && (q <= row.qmin || q >= row.qmax)) ++sat;
+  }
+  if (real_grid) {
+    row.sat_frac =
+        static_cast<double>(sat) / static_cast<double>(got.samples.size());
+    const std::int64_t bound =
+        std::max(row.qmin >= 0 ? row.qmin : -row.qmin,
+                 row.qmax >= 0 ? row.qmax : -row.qmax);
+    if (bound > 0) {
+      row.range_util =
+          static_cast<double>(max_abs) / static_cast<double>(bound);
+    }
+  }
+}
+
+}  // namespace
+
+double AuditReport::min_sqnr_db() const {
+  double mn = kSqnrCapDb;
+  bool any = false;
+  for (const AuditRow& r : rows) {
+    if (!r.has_ref) continue;
+    any = true;
+    mn = std::min(mn, r.sqnr_db);
+  }
+  return any ? mn : 0.0;
+}
+
+std::string AuditReport::to_json() const {
+  std::string js = "{";
+  js += "\"threshold_db\":" + fmt_num(threshold_db);
+  js += ",\"first_below\":" + std::to_string(first_below);
+  js += ",\"min_sqnr_db\":" + fmt_num(min_sqnr_db());
+  js += ",\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const AuditRow& r = rows[i];
+    if (i) js += ",";
+    js += "{\"op_index\":" + std::to_string(r.op_index);
+    js += ",\"op_label\":\"" + json_escape(r.op_label) + "\"";
+    js += ",\"kind\":\"" + json_escape(r.kind) + "\"";
+    js += ",\"source\":\"" + json_escape(r.source) + "\"";
+    js += ",\"scale\":" + fmt_num(static_cast<double>(r.scale));
+    js += ",\"qmin\":" + std::to_string(r.qmin);
+    js += ",\"qmax\":" + std::to_string(r.qmax);
+    js += ",\"captured\":" + std::to_string(r.captured);
+    js += ",\"samples\":" + std::to_string(r.samples);
+    js += std::string(",\"has_ref\":") + (r.has_ref ? "true" : "false");
+    js += ",\"sqnr_db\":" + fmt_num(r.sqnr_db);
+    js += ",\"max_abs_err\":" + fmt_num(r.max_abs_err);
+    js += ",\"mean_abs_err\":" + fmt_num(r.mean_abs_err);
+    js += ",\"cosine\":" + fmt_num(r.cosine);
+    js += ",\"sat_frac\":" + fmt_num(r.sat_frac);
+    js += ",\"range_util\":" + fmt_num(r.range_util);
+    js += "}";
+  }
+  js += "],\"golden_files\":[";
+  for (std::size_t i = 0; i < golden_files.size(); ++i) {
+    if (i) js += ",";
+    js += "\"" + json_escape(golden_files[i]) + "\"";
+  }
+  js += "]}";
+  return js;
+}
+
+std::string AuditReport::table_text() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%-4s %-12s %-28s %9s %9s %9s %7s %6s\n",
+                "op", "kind", "label", "sqnr_dB", "max_err", "cos", "sat%",
+                "util");
+  out += buf;
+  out += std::string(89, '-') + "\n";
+  for (const AuditRow& r : rows) {
+    std::string label = r.op_label.empty() ? "-" : r.op_label;
+    if (label.size() > 28) label = label.substr(0, 25) + "...";
+    if (r.has_ref) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-4zu %-12s %-28s %9.2f %9.3g %9.6f %6.2f%% %6.3f\n",
+                    r.op_index, r.kind.c_str(), label.c_str(), r.sqnr_db,
+                    r.max_abs_err, r.cosine, 100.0 * r.sat_frac, r.range_util);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%-4zu %-12s %-28s %9s %9s %9s %6.2f%% %6.3f\n",
+                    r.op_index, r.kind.c_str(), label.c_str(), "--", "--", "--",
+                    100.0 * r.sat_frac, r.range_util);
+    }
+    out += buf;
+  }
+  if (first_below >= 0) {
+    const AuditRow& r = rows[static_cast<std::size_t>(first_below)];
+    std::snprintf(buf, sizeof(buf),
+                  "first op below %.1f dB: #%zu %s (%s) at %.2f dB\n",
+                  threshold_db, r.op_index, r.op_label.c_str(), r.kind.c_str(),
+                  r.sqnr_db);
+    out += buf;
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "all compared ops above %.1f dB (worst %.2f dB)\n",
+                  threshold_db, min_sqnr_db());
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+/// Dumps the integer input/output tensors of every completely captured op as
+/// hex memory images an RTL testbench can `$readmemh` and replay.
+void dump_golden(const DeployModel& dm, const AuditConfig& cfg,
+                 AuditReport& report) {
+  namespace fs = std::filesystem;
+  fs::create_directories(cfg.golden_dir);
+  std::ofstream manifest(cfg.golden_dir + "/golden_manifest.txt");
+  check(manifest.good(), "audit: cannot open golden manifest for writing");
+  manifest << "# op_index kind label file word_bits\n";
+  const auto emit = [&](std::size_t idx, const std::string& kind,
+                        const std::string& label, const std::string& stem,
+                        const obs::TensorTap& tap) {
+    const ITensor t = tap_to_itensor(tap);
+    const int bits = std::max(cfg.golden_word_bits, required_word_bits(t));
+    const std::string path = cfg.golden_dir + "/" + stem + ".hex";
+    write_hex(path, t, bits);
+    manifest << idx << ' ' << kind << ' '
+             << (label.empty() ? "-" : label) << ' ' << stem << ".hex "
+             << bits << '\n';
+    report.golden_files.push_back(path);
+  };
+  const obs::TapRegistry& taps = obs::int_taps();
+  if (taps.has(obs::kInputTapLabel) &&
+      taps.tap(obs::kInputTapLabel).complete()) {
+    emit(0, "Input", obs::kInputTapLabel, "input",
+         taps.tap(obs::kInputTapLabel));
+  }
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    const DeployOp& op = dm.op(i);
+    const std::string key = obs::op_tap_key(i, op.label);
+    if (!taps.has(key) || !taps.tap(key).complete()) continue;
+    char pre[32];
+    std::snprintf(pre, sizeof(pre), "%03zu_", i);
+    const std::string stem = pre + memory_image_name(op.label);
+    // Inputs first: value 0 is the quantized network input, value id > 0 is
+    // the output of op id-1 and was captured under that op's key.
+    for (std::size_t k = 0; k < op.inputs.size(); ++k) {
+      const int id = op.inputs[k];
+      const std::string in_key =
+          id == 0 ? std::string(obs::kInputTapLabel)
+                  : obs::op_tap_key(static_cast<std::size_t>(id - 1),
+                                    dm.op(static_cast<std::size_t>(id - 1))
+                                        .label);
+      if (!taps.has(in_key) || !taps.tap(in_key).complete()) continue;
+      emit(i, op.kind(), op.label, stem + ".in" + std::to_string(k),
+           taps.tap(in_key));
+    }
+    emit(i, op.kind(), op.label, stem + ".out", taps.tap(key));
+  }
+  obs::log_info("audit: ", report.golden_files.size(),
+                " golden vectors under ", cfg.golden_dir);
+}
+
+}  // namespace
+
+AuditReport run_dualpath_audit(Sequential& model, const DeployModel& dm,
+                               const Tensor& batch, const AuditConfig& cfg) {
+  AuditReport report;
+  report.threshold_db = cfg.threshold_db;
+
+  // -- capture both paths -------------------------------------------------
+  const ExecMode saved_mode = model.mode();
+  const bool saved_capture = obs::capture_enabled();
+  obs::float_taps().clear();
+  obs::int_taps().clear();
+  obs::float_taps().set_sample_cap(cfg.sample_cap);
+  obs::int_taps().set_sample_cap(cfg.sample_cap);
+  obs::set_capture_enabled(true);
+
+  model.set_mode(ExecMode::kEval);
+  (void)model.forward(batch);          // fake-quant float path
+  (void)dm.run_int(dm.quantize_input(batch));  // integer path
+
+  obs::set_capture_enabled(saved_capture);
+  model.set_mode(saved_mode);
+
+  // -- align per op and score ---------------------------------------------
+  const obs::TapRegistry& ft = obs::float_taps();
+  const obs::TapRegistry& it = obs::int_taps();
+  report.rows.reserve(dm.num_ops());
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    const DeployOp& op = dm.op(i);
+    const OpAuditInfo& info = dm.audit_of(i);
+    AuditRow row;
+    row.op_index = i;
+    row.op_label = op.label;
+    row.kind = op.kind();
+    row.source = info.source;
+    row.scale = info.out_scale;
+    row.qmin = info.qmin;
+    row.qmax = info.qmax;
+    const std::string key = obs::op_tap_key(i, op.label);
+    if (it.has(key)) {
+      const obs::TensorTap& got = it.tap(key);
+      row.captured = static_cast<std::int64_t>(got.samples.size());
+      grid_stats(got, row);
+      // Scalar-dequantizable ops with a converter-assigned source label are
+      // compared against the float-path tap of that module; raw accumulators
+      // (per-channel scale, out_scale == 0) and internal ops are skipped.
+      if (!info.source.empty() && info.out_scale > 0.0F &&
+          ft.has(info.source)) {
+        compare_taps(ft.tap(info.source), got, row);
+      }
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    const AuditRow& r = report.rows[i];
+    if (r.has_ref && r.sqnr_db < cfg.threshold_db) {
+      report.first_below = static_cast<int>(i);
+      break;
+    }
+  }
+
+  // -- feed the metrics registry ------------------------------------------
+  if (obs::metrics_enabled()) {
+    auto& m = obs::metrics();
+    for (const AuditRow& r : report.rows) {
+      const std::string tag = obs::op_tap_key(r.op_index, r.op_label);
+      if (r.has_ref) m.gauge("audit.sqnr_db." + tag).set(r.sqnr_db);
+      if (r.captured > 0) {
+        m.gauge("audit.sat_frac." + tag).set(r.sat_frac);
+        m.gauge("audit.range_util." + tag).set(r.range_util);
+      }
+    }
+    m.gauge("audit.first_below_index")
+        .set(static_cast<double>(report.first_below));
+    m.gauge("audit.min_sqnr_db").set(report.min_sqnr_db());
+  }
+
+  // -- golden vectors ------------------------------------------------------
+  if (!cfg.golden_dir.empty()) dump_golden(dm, cfg, report);
+
+  obs::log_debug("audit: ", report.rows.size(), " ops, worst sqnr ",
+                 obs::fixed(report.min_sqnr_db(), 2), " dB, first_below ",
+                 report.first_below);
+  return report;
+}
+
+}  // namespace t2c

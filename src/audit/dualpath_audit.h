@@ -1,0 +1,84 @@
+// Dual-path divergence auditor (paper Fig. 2-3 transparency story).
+//
+// Runs one batch through BOTH execution paths — the fake-quantized float
+// model and the integer-only deploy graph — capturing every intermediate
+// tensor via obs/capture, then aligns the two paths with the converter's
+// label map (DeployModel audit metadata), dequantizes each tapped integer
+// tensor with its op's scale, and reports per-layer divergence: SQNR (dB),
+// max/mean absolute error, cosine similarity, saturation fraction, and
+// integer-range utilization. The first op whose SQNR falls below a
+// threshold is flagged — that is where accuracy loss after conversion
+// enters the graph, in the spirit of BRECQ/AdaRound layer-wise diagnostics.
+//
+// Optionally dumps golden vectors: the full integer input/output tensors of
+// every tapped deploy op in the xport hex format, next to the weight memory
+// images, so an RTL testbench can replay any single op bit-exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deploy/deploy_model.h"
+#include "nn/sequential.h"
+
+namespace t2c {
+
+/// One row of the layer-by-layer divergence table (one deploy op).
+struct AuditRow {
+  std::size_t op_index = 0;
+  std::string op_label;
+  std::string kind;
+  std::string source;  ///< aligned float-path module label ("" = internal)
+  float scale = 0.0F;  ///< scalar dequant scale (0 = per-channel, skipped)
+  std::int64_t qmin = 0;
+  std::int64_t qmax = 0;
+  std::int64_t captured = 0;  ///< int-path elements captured for this op
+  std::int64_t samples = 0;   ///< elements compared against the float path
+  bool has_ref = false;       ///< float reference found and compared
+  double sqnr_db = 0.0;
+  double max_abs_err = 0.0;
+  double mean_abs_err = 0.0;
+  double cosine = 0.0;
+  double sat_frac = 0.0;    ///< fraction of values at qmin/qmax (real grids)
+  double range_util = 0.0;  ///< max|q| / max(|qmin|, |qmax|)
+};
+
+struct AuditConfig {
+  /// SQNR below this flags the op as the first divergence point.
+  double threshold_db = 20.0;
+  /// Per-tap capture cap (elements); <= 0 means unlimited. Golden vectors
+  /// are only dumped for ops whose capture was complete under this cap.
+  std::int64_t sample_cap = std::int64_t{1} << 16;
+  /// When nonempty, dump per-op golden hex vectors into this directory.
+  std::string golden_dir;
+  /// Minimum word width for golden hex files (widened per tensor as needed).
+  int golden_word_bits = 8;
+};
+
+struct AuditReport {
+  std::vector<AuditRow> rows;  ///< one per deploy op, in graph order
+  double threshold_db = 20.0;
+  /// Index into `rows` of the first op with a float reference whose SQNR
+  /// is below the threshold; -1 when every compared layer clears it.
+  int first_below = -1;
+  std::vector<std::string> golden_files;  ///< written golden vector paths
+
+  /// Worst SQNR over all compared layers (+inf-free; 0 when none compared).
+  double min_sqnr_db() const;
+  /// Deterministic JSON (stable key order, %.9g numbers, no timestamps).
+  std::string to_json() const;
+  /// Human-readable layer-by-layer table.
+  std::string table_text() const;
+};
+
+/// Runs `batch` through the fake-quant eval path of `model` and the integer
+/// path of `dm`, computes the per-layer divergence report, feeds `audit.*`
+/// gauges into the metrics registry (when metrics are enabled), and dumps
+/// golden vectors when configured. Saves and restores the model's ExecMode
+/// and the global capture state; both tap registries are clobbered.
+AuditReport run_dualpath_audit(Sequential& model, const DeployModel& dm,
+                               const Tensor& batch,
+                               const AuditConfig& cfg = {});
+
+}  // namespace t2c

@@ -7,6 +7,7 @@
 
 #include "deploy/int_ops.h"
 #include "deploy/vit_ops.h"
+#include "obs/capture.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/reduce.h"
@@ -23,7 +24,19 @@ int DeployModel::add_op(std::unique_ptr<DeployOp> op) {
           "DeployModel: op consumes a value that does not exist yet");
   }
   ops_.push_back(std::move(op));
+  audit_.emplace_back();
   return static_cast<int>(ops_.size());  // value id of this op's output
+}
+
+void DeployModel::set_audit(int value_id, OpAuditInfo info) {
+  check(value_id >= 1 && value_id <= static_cast<int>(ops_.size()),
+        "DeployModel::set_audit: unknown value id");
+  audit_[static_cast<std::size_t>(value_id - 1)] = std::move(info);
+}
+
+const OpAuditInfo& DeployModel::audit_of(std::size_t i) const {
+  check(i < audit_.size(), "DeployModel::audit_of: index out of range");
+  return audit_[i];
 }
 
 void DeployModel::set_output(int value_id) {
@@ -67,7 +80,13 @@ ITensor DeployModel::run_int(const ITensor& input) const {
   // plus a single predictable branch per op.
   const bool prof = obs::metrics_enabled();
   const bool trace = obs::trace_enabled();
-  for (const auto& op : ops_) {
+  const bool cap = obs::capture_enabled();
+  if (cap) {
+    obs::int_taps().record(obs::kInputTapLabel, input.data(), input.numel(),
+                           input.shape());
+  }
+  for (std::size_t oi = 0; oi < ops_.size(); ++oi) {
+    const auto& op = ops_[oi];
     std::vector<const ITensor*> ins;
     ins.reserve(op->inputs.size());
     for (int id : op->inputs) {
@@ -89,6 +108,11 @@ ITensor DeployModel::run_int(const ITensor& input) const {
       }
     } else {
       values.push_back(op->run(ins));
+    }
+    if (cap) {
+      const ITensor& v = values.back();
+      obs::int_taps().record(obs::op_tap_key(oi, op->label), v.data(),
+                             v.numel(), v.shape());
     }
   }
   return values[static_cast<std::size_t>(output_id_)];

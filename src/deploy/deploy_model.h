@@ -36,6 +36,23 @@ class DeployOp {
   std::string label;        ///< provenance ("stage1.block0.conv1", ...)
 };
 
+/// Converter-attached metadata mapping one deploy op's integer output back
+/// onto the fake-quant training path — the label map the dual-path
+/// divergence auditor (src/audit/) aligns the two paths with.
+struct OpAuditInfo {
+  /// Label of the float-path module whose output this op's dequantized
+  /// output mirrors; empty for internal ops (raw accumulators, requants)
+  /// that have no single float counterpart.
+  std::string source;
+  /// Scalar dequantization scale of this op's output grid; 0 when the
+  /// output carries per-channel scales (raw conv/linear accumulators) and
+  /// cannot be dequantized with one number.
+  float out_scale = 0.0F;
+  /// Output clamp range; (0, 0) when unknown or pure accumulator headroom.
+  std::int64_t qmin = 0;
+  std::int64_t qmax = 0;
+};
+
 class DeployModel {
  public:
   /// Appends an op; returns the value id its output occupies.
@@ -47,6 +64,12 @@ class DeployModel {
   std::size_t num_ops() const { return ops_.size(); }
   const DeployOp& op(std::size_t i) const;
   DeployOp& mutable_op(std::size_t i);
+
+  /// Attaches audit metadata to the op producing `value_id` (the id
+  /// add_op returned). Converter-only; defaults to an empty OpAuditInfo.
+  void set_audit(int value_id, OpAuditInfo info);
+  /// Audit metadata of op `i` (op index, not value id).
+  const OpAuditInfo& audit_of(std::size_t i) const;
 
   // Input/output float boundaries.
   float input_scale = 1.0F;
@@ -85,6 +108,7 @@ class DeployModel {
 
  private:
   std::vector<std::unique_ptr<DeployOp>> ops_;
+  std::vector<OpAuditInfo> audit_;  ///< parallel to ops_
   int output_id_ = -1;
 };
 

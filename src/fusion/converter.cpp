@@ -60,6 +60,14 @@ void record_weight_mse(const std::string& label, const Tensor& w_ref,
                  obs::fixed(mse, 8));
 }
 
+/// Audit label-map entry: the op producing `id` dequantizes with `scale`
+/// and (when `source` is nonempty) mirrors the float-path output of the
+/// module labeled `source` — the alignment the dual-path auditor uses.
+void set_audit(DeployModel& dm, int id, std::string source, float scale,
+               std::int64_t qmin = 0, std::int64_t qmax = 0) {
+  dm.set_audit(id, OpAuditInfo{std::move(source), scale, qmin, qmax});
+}
+
 }  // namespace
 
 void check_convertible(Module& model) {
@@ -132,6 +140,7 @@ T2CConverter::Cursor T2CConverter::requant_to(DeployModel& dm, Cursor cur,
   op->inputs = {cur.id};
   op->label = label + ".requant";
   cur.id = dm.add_op(std::move(op));
+  set_audit(dm, cur.id, "", to.scale, to.qmin, to.qmax);
   cur.scale = to.scale;
   return cur;
 }
@@ -219,6 +228,12 @@ T2CConverter::Cursor T2CConverter::emit_conv_group(
   mq->inputs = {conv_id};
   mq->label = conv.label + ".mulquant";
   cur.id = dm.add_op(std::move(mq));
+  // The MulQuant output mirrors the float path right after the group's last
+  // module (act > bn > conv); the raw conv accumulator keeps the default
+  // (per-channel scale, not scalar-dequantizable).
+  const std::string group_end =
+      act != nullptr ? act->label : (bn != nullptr ? bn->label : conv.label);
+  set_audit(dm, cur.id, group_end, target_scale, lo, hi);
   cur.scale = target_scale;
   check(cur.feat.size() == 3, "convert: conv input feature shape mismatch");
   cur.feat = {spec.out_channels, spec.out_hw(cur.feat[1]),
@@ -268,6 +283,7 @@ T2CConverter::Cursor T2CConverter::emit_linear(DeployModel& dm, QLinear& lin,
   mq->inputs = {lin_id};
   mq->label = lin.label + ".mulquant";
   cur.id = dm.add_op(std::move(mq));
+  set_audit(dm, cur.id, lin.label, out_grid.scale, lo, hi);
   cur.scale = out_grid.scale;
   cur.feat.back() = out_f;
   return cur;
@@ -294,6 +310,7 @@ T2CConverter::Cursor T2CConverter::emit_residual(DeployModel& dm,
     rq->inputs = {cur.id};
     rq->label = block.label + ".identity.requant";
     short_out.id = dm.add_op(std::move(rq));
+    set_audit(dm, short_out.id, "", main_out.scale);
     short_out.scale = main_out.scale;
   }
   check(rel_diff(main_out.scale, short_out.scale) < 1e-5,
@@ -303,6 +320,10 @@ T2CConverter::Cursor T2CConverter::emit_residual(DeployModel& dm,
   add->label = block.label + ".add_relu";
   Cursor out = main_out;
   out.id = dm.add_op(std::move(add));
+  // The block's float output aligns with whichever op finishes the block:
+  // the rounding requant when the consumer grid directly follows, else the
+  // add itself (still on the fine mid grid).
+  set_audit(dm, out.id, out_grid.direct ? "" : block.label, out.scale);
   if (out_grid.direct) {
     auto rq = make_requant(out.scale, out_grid.scale, cfg_.scale_format,
                            std::max<std::int64_t>(0, out_grid.qmin),
@@ -310,6 +331,8 @@ T2CConverter::Cursor T2CConverter::emit_residual(DeployModel& dm,
     rq->inputs = {out.id};
     rq->label = block.label + ".out.requant";
     out.id = dm.add_op(std::move(rq));
+    set_audit(dm, out.id, block.label, out_grid.scale,
+              std::max<std::int64_t>(0, out_grid.qmin), out_grid.qmax);
     out.scale = out_grid.scale;
   }
   return out;
@@ -326,6 +349,7 @@ T2CConverter::Cursor T2CConverter::emit_patch_embed(DeployModel& dm,
   tok->inputs = {cur.id};
   tok->label = pe.label + ".tokenize";
   cur.id = dm.add_op(std::move(tok));
+  set_audit(dm, cur.id, pe.label, cur.scale, out.qmin, out.qmax);
   cur.feat = {cur.feat[1] * cur.feat[2], cur.feat[0]};  // [T, D]
   return cur;
 }
@@ -364,6 +388,8 @@ T2CConverter::Cursor T2CConverter::emit_layernorm(DeployModel& dm,
   op->inputs = {cur.id};
   op->label = ln.label;
   cur.id = dm.add_op(std::move(op));
+  set_audit(dm, cur.id, ln.label, out_grid.scale, out_grid.qmin,
+            out_grid.qmax);
   cur.scale = out_grid.scale;
   return cur;
 }
@@ -462,6 +488,7 @@ T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
   attn_op->inputs = {ln_out.id};
   attn_op->label = block.label + ".attn";
   const int attn_id = dm.add_op(std::move(attn_op));
+  set_audit(dm, attn_id, "", r1_mid);
 
   // Residual add 1 on the fine grid, then one rounding to the res_q1 grid
   // (exactly where the training path fake-quantizes).
@@ -472,6 +499,7 @@ T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
     rq->inputs = {entry.id};
     rq->label = block.label + ".res1.requant";
     x_rq.id = dm.add_op(std::move(rq));
+    set_audit(dm, x_rq.id, "", r1_mid);
     x_rq.scale = r1_mid;
   }
   auto add1 = std::make_unique<IntAddOp>(-kWide, kWide);
@@ -479,6 +507,7 @@ T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
   add1->label = block.label + ".res1.add";
   Cursor a_cur = entry;
   a_cur.id = dm.add_op(std::move(add1));
+  set_audit(dm, a_cur.id, "", r1_mid);
   a_cur.scale = r1_mid;
   {
     auto rq = make_requant(a_cur.scale, r1.scale, cfg_.scale_format, r1.qmin,
@@ -486,6 +515,7 @@ T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
     rq->inputs = {a_cur.id};
     rq->label = block.label + ".res1.round";
     a_cur.id = dm.add_op(std::move(rq));
+    set_audit(dm, a_cur.id, "", r1.scale, r1.qmin, r1.qmax);
     a_cur.scale = r1.scale;
   }
 
@@ -508,6 +538,7 @@ T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
   gelu_op->inputs = {m_cur.id};
   gelu_op->label = block.label + ".gelu";
   m_cur.id = dm.add_op(std::move(gelu_op));
+  set_audit(dm, m_cur.id, "", fc2_in.scale, fc2_in.qmin, fc2_in.qmax);
   m_cur.scale = fc2_in.scale;
 
   Grid fc2_target = r2;
@@ -523,6 +554,7 @@ T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
     rq->inputs = {a_cur.id};
     rq->label = block.label + ".res2.requant";
     a_rq.id = dm.add_op(std::move(rq));
+    set_audit(dm, a_rq.id, "", m_cur.scale);
     a_rq.scale = m_cur.scale;
   }
   auto add2 = std::make_unique<IntAddOp>(-kWide, kWide);
@@ -530,6 +562,7 @@ T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
   add2->label = block.label + ".res2.add";
   Cursor out = entry;
   out.id = dm.add_op(std::move(add2));
+  set_audit(dm, out.id, "", m_cur.scale);
   out.scale = m_cur.scale;
   {
     auto rq = make_requant(out.scale, r2.scale, cfg_.scale_format, r2.qmin,
@@ -537,6 +570,8 @@ T2CConverter::Cursor T2CConverter::emit_transformer(DeployModel& dm,
     rq->inputs = {out.id};
     rq->label = block.label + ".res2.round";
     out.id = dm.add_op(std::move(rq));
+    // The transformer block's float output rounds exactly here.
+    set_audit(dm, out.id, block.label, r2.scale, r2.qmin, r2.qmax);
     out.scale = r2.scale;
   }
   return out;
@@ -594,6 +629,7 @@ T2CConverter::Cursor T2CConverter::emit_sequential(DeployModel& dm,
       op->inputs = {cur.id};
       op->label = mp->label;
       cur.id = dm.add_op(std::move(op));
+      set_audit(dm, cur.id, mp->label, cur.scale);
       const std::int64_t oh =
           (cur.feat[1] + 2 * mp->padding() - mp->kernel()) / mp->stride() + 1;
       const std::int64_t ow =
@@ -613,6 +649,7 @@ T2CConverter::Cursor T2CConverter::emit_sequential(DeployModel& dm,
       op->inputs = {cur.id};
       op->label = child.label;
       cur.id = dm.add_op(std::move(op));
+      set_audit(dm, cur.id, child.label, out.scale, out.qmin, out.qmax);
       cur.scale = out.scale;
       cur.feat = {cur.feat[0]};
       ++i;
@@ -628,6 +665,7 @@ T2CConverter::Cursor T2CConverter::emit_sequential(DeployModel& dm,
       op->inputs = {cur.id};
       op->label = child.label;
       cur.id = dm.add_op(std::move(op));
+      set_audit(dm, cur.id, child.label, out.scale, out.qmin, out.qmax);
       cur.scale = out.scale;
       cur.feat = {cur.feat[1]};
       ++i;

@@ -2,7 +2,14 @@
 
 #include <cmath>
 
+#include "obs/capture.h"
+
 namespace t2c {
+
+void tap_module_output(const Module& m, const Tensor& out) {
+  if (m.label.empty()) return;  // anonymous glue has no alignment key
+  obs::float_taps().record(m.label, out.data(), out.numel(), out.shape());
+}
 
 void Module::collect_local_params(std::vector<Param*>&) {}
 

@@ -130,6 +130,13 @@ class Flatten final : public Module {
 /// serialized state dict.
 void copy_params(Module& dst, Module& src);
 
+/// Forward hook feeding the observability capture layer: container modules
+/// (Sequential, ResidualBlock) pass every labeled child's output here after
+/// computing it. Records into obs::float_taps() keyed by the child's label.
+/// Callers must gate on obs::capture_enabled() so the disabled path costs
+/// one relaxed load per child.
+void tap_module_output(const Module& m, const Tensor& out);
+
 // ---- weight initialization helpers ----
 
 /// Kaiming-normal fan-in initialization for conv / linear weights.

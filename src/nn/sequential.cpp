@@ -1,5 +1,6 @@
 #include "nn/sequential.h"
 
+#include "obs/capture.h"
 #include "tensor/elementwise.h"
 
 namespace t2c {
@@ -22,7 +23,12 @@ const Module& Sequential::child(std::size_t i) const {
 
 Tensor Sequential::forward(const Tensor& x) {
   Tensor cur = x;
-  for (auto& m : children_) cur = m->forward(cur);
+  for (auto& m : children_) {
+    cur = m->forward(cur);
+    // Float-path tensor tap for the divergence auditor. One relaxed load
+    // per child when capture is off — the default training path.
+    if (obs::capture_enabled()) tap_module_output(*m, cur);
+  }
   return cur;
 }
 

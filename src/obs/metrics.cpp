@@ -236,6 +236,11 @@ void MetricsRegistry::write_json(const std::string& path) const {
 }
 
 void MetricsRegistry::reset() {
+  // Dropping the instruments also turns collection off: any Counter/Gauge/
+  // Histogram reference obtained before this call now dangles, and the
+  // disabled flag keeps gated hot paths from re-registering half a run's
+  // worth of metrics against a cleared registry.
+  set_metrics_enabled(false);
   const std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();

@@ -130,8 +130,10 @@ class MetricsRegistry {
   std::string to_json() const { return snapshot().to_json(); }
   void write_json(const std::string& path) const;
 
-  /// Drops every registered metric. References obtained earlier dangle;
-  /// intended for test isolation and between CLI runs only.
+  /// Drops every registered metric and disables collection (the global
+  /// enable flag is cleared first, so gated hot paths stop touching the
+  /// registry). References obtained earlier dangle; intended for test
+  /// isolation and between CLI runs only.
   void reset();
 
   /// Default buckets for millisecond latencies (sub-us .. multi-second).

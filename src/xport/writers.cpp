@@ -194,6 +194,14 @@ int required_word_bits(const ITensor& t) {
   return bits;
 }
 
+std::string memory_image_name(const std::string& label) {
+  std::string name = label.empty() ? "op" : label;
+  for (char& c : name) {
+    if (c == '/' || c == ' ' || c == ':') c = '_';
+  }
+  return name;
+}
+
 std::vector<std::string> export_hex_images(const DeployModel& dm,
                                            const std::string& dir,
                                            int word_bits) {
@@ -201,10 +209,7 @@ std::vector<std::string> export_hex_images(const DeployModel& dm,
   std::vector<std::string> written;
   const auto emit = [&](std::size_t idx, const std::string& label,
                         const ITensor& t, int bits) {
-    std::string name = label.empty() ? "op" : label;
-    for (char& c : name) {
-      if (c == '/' || c == ' ' || c == ':') c = '_';
-    }
+    const std::string name = memory_image_name(label);
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%03zu_", idx);
     const std::string path = dir + "/" + buf + name + ".hex";

@@ -38,6 +38,11 @@ ITensor unroll_tiled(const ITensor& w, int tile);
 /// Minimum word width (bits, two's complement) that can hold every value.
 int required_word_bits(const ITensor& t);
 
+/// Filesystem-safe memory-image stem for an op label ('/', ' ', ':' become
+/// '_'; empty labels become "op"). Shared by the weight-image exporter and
+/// the audit golden-vector dump so both lay out files identically.
+std::string memory_image_name(const std::string& label);
+
 /// Exports every weight/LUT tensor of a deploy model as hex memory images
 /// into `dir` (one file per op, `NNN_<label>.hex`); returns written paths.
 std::vector<std::string> export_hex_images(const DeployModel& dm,

@@ -1,0 +1,247 @@
+// Dual-path divergence auditor: capture gating, SQNR alignment on a real
+// trained/converted model, deterministic JSON, first-below-threshold
+// detection, and bit-identical golden-vector hex round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/dualpath_audit.h"
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "models/models.h"
+#include "obs/capture.h"
+#include "obs/metrics.h"
+#include "xport/writers.h"
+
+namespace t2c {
+namespace {
+
+DatasetSpec tiny_spec() {
+  DatasetSpec s;
+  s.classes = 4;
+  s.height = s.width = 8;
+  s.train_size = 96;
+  s.test_size = 48;
+  s.noise = 0.25F;
+  s.class_sep = 1.2F;
+  s.seed = 5;
+  return s;
+}
+
+ModelConfig tiny_model() {
+  ModelConfig m;
+  m.num_classes = 4;
+  m.width_mult = 0.25F;
+  m.seed = 3;
+  return m;
+}
+
+/// One trained tiny ResNet-20 + its converted deploy graph, built once and
+/// shared by every test in this suite (training dominates the suite's cost).
+struct AuditEnv {
+  std::unique_ptr<SyntheticImageDataset> data;
+  std::unique_ptr<Sequential> model;
+  std::unique_ptr<DeployModel> dm;
+  Tensor batch{{1, 3, 8, 8}};
+
+  AuditEnv() {
+    data = std::make_unique<SyntheticImageDataset>(tiny_spec());
+    model = make_resnet20(tiny_model());
+    TrainerOptions o;
+    o.train.epochs = 3;
+    o.train.lr = 0.08F;
+    auto tr = make_trainer("qat", *model, *data, o);
+    tr->fit();
+    freeze_quantizers(*model);
+    dm = std::make_unique<DeployModel>(convert());
+    Shape s = data->test_images().shape();
+    s[0] = 8;
+    Tensor x(std::move(s));
+    for (std::int64_t i = 0; i < 8; ++i) {
+      x.set0(i, data->test_images().select0(i));
+    }
+    batch = std::move(x);
+  }
+
+  DeployModel convert() const {
+    ConvertConfig cfg;
+    cfg.input_shape = {3, 8, 8};
+    T2CConverter conv(cfg);
+    return conv.convert(*model);
+  }
+};
+
+AuditEnv& env() {
+  static AuditEnv* e = new AuditEnv();
+  return *e;
+}
+
+/// Audit tests toggle process-wide capture/metrics state: restore both and
+/// drop the tap registries so the rest of the suite sees observability off.
+class AuditTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::set_capture_enabled(false);
+    obs::set_metrics_enabled(false);
+    obs::float_taps().clear();
+    obs::int_taps().clear();
+    obs::float_taps().set_sample_cap(std::int64_t{1} << 16);
+    obs::int_taps().set_sample_cap(std::int64_t{1} << 16);
+    obs::metrics().reset();
+  }
+};
+
+TEST_F(AuditTest, CaptureDisabledLeavesRegistriesEmpty) {
+  AuditEnv& e = env();
+  ASSERT_FALSE(obs::capture_enabled());
+  e.model->set_mode(ExecMode::kEval);
+  (void)e.model->forward(e.batch);
+  (void)e.dm->run_int(e.dm->quantize_input(e.batch));
+  EXPECT_EQ(obs::float_taps().size(), 0u);
+  EXPECT_EQ(obs::int_taps().size(), 0u);
+}
+
+TEST_F(AuditTest, SampleCapBoundsMemoryAndMarksTruncation) {
+  obs::TapRegistry reg;
+  reg.set_sample_cap(10);
+  std::vector<std::int64_t> v(16);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::int64_t>(i);
+  }
+  reg.record("x", v.data(), 16, {16});
+  const obs::TensorTap tap = reg.tap("x");
+  EXPECT_EQ(tap.samples.size(), 10u);
+  EXPECT_EQ(tap.total, 16);
+  EXPECT_FALSE(tap.complete());
+  EXPECT_TRUE(tap.from_int);
+  reg.set_sample_cap(0);  // unlimited from now on
+  reg.record("y", v.data(), 16, {16});
+  EXPECT_TRUE(reg.tap("y").complete());
+}
+
+TEST_F(AuditTest, EveryComparedLayerAboveTwentyDb) {
+  AuditEnv& e = env();
+  AuditConfig cfg;
+  cfg.sample_cap = 0;  // capture everything; the batch is tiny
+  const AuditReport report = run_dualpath_audit(*e.model, *e.dm, e.batch, cfg);
+  ASSERT_EQ(report.rows.size(), e.dm->num_ops());
+  std::size_t compared = 0;
+  for (const AuditRow& r : report.rows) {
+    if (!r.has_ref) continue;
+    ++compared;
+    EXPECT_GT(r.sqnr_db, 20.0) << "op " << r.op_index << " (" << r.op_label
+                               << ") source " << r.source;
+    EXPECT_GT(r.cosine, 0.99) << "op " << r.op_index;
+  }
+  // ResNet-20 has 21 convs + 1 fc + 9 residual outputs to align.
+  EXPECT_GE(compared, 20u);
+  EXPECT_EQ(report.first_below, -1);
+  EXPECT_GT(report.min_sqnr_db(), 20.0);
+  // Capture state was restored.
+  EXPECT_FALSE(obs::capture_enabled());
+}
+
+TEST_F(AuditTest, ReportJsonIsDeterministic) {
+  AuditEnv& e = env();
+  const AuditReport a = run_dualpath_audit(*e.model, *e.dm, e.batch);
+  const AuditReport b = run_dualpath_audit(*e.model, *e.dm, e.batch);
+  const std::string ja = a.to_json();
+  EXPECT_EQ(ja, b.to_json());
+  EXPECT_NE(ja.find("\"first_below\":-1"), std::string::npos);
+  EXPECT_NE(ja.find("\"rows\":["), std::string::npos);
+  EXPECT_FALSE(a.table_text().empty());
+}
+
+TEST_F(AuditTest, FeedsAuditGaugesIntoMetricsRegistry) {
+  AuditEnv& e = env();
+  obs::metrics().reset();
+  obs::set_metrics_enabled(true);
+  (void)run_dualpath_audit(*e.model, *e.dm, e.batch);
+  const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+  EXPECT_EQ(snap.gauges.at("audit.first_below_index"), -1.0);
+  EXPECT_GT(snap.gauges.at("audit.min_sqnr_db"), 20.0);
+  std::size_t sqnr_gauges = 0;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind("audit.sqnr_db.", 0) == 0) {
+      ++sqnr_gauges;
+      EXPECT_GT(value, 20.0) << name;
+    }
+  }
+  EXPECT_GE(sqnr_gauges, 20u);
+}
+
+TEST_F(AuditTest, DetectsFirstOpBelowThreshold) {
+  AuditEnv& e = env();
+  DeployModel dm = e.convert();
+  // Corrupt the recorded dequant scale of the first aligned op: the int path
+  // is unchanged, but the auditor now dequantizes it on the wrong grid, so
+  // SQNR collapses exactly there.
+  int victim = -1;
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    const OpAuditInfo& info = dm.audit_of(i);
+    if (!info.source.empty() && info.out_scale > 0.0F) {
+      OpAuditInfo bad = info;
+      bad.out_scale *= 16.0F;
+      dm.set_audit(static_cast<int>(i) + 1, bad);
+      victim = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  const AuditReport report = run_dualpath_audit(*e.model, dm, e.batch);
+  ASSERT_GE(report.first_below, 0);
+  EXPECT_EQ(report.rows[static_cast<std::size_t>(report.first_below)].op_index,
+            static_cast<std::size_t>(victim));
+  EXPECT_LT(report.rows[static_cast<std::size_t>(report.first_below)].sqnr_db,
+            report.threshold_db);
+}
+
+TEST_F(AuditTest, GoldenVectorsRoundTripBitIdentical) {
+  AuditEnv& e = env();
+  AuditConfig cfg;
+  cfg.sample_cap = 0;  // complete captures so every op is dumped
+  cfg.golden_dir = ::testing::TempDir() + "/t2c_golden";
+  const AuditReport report = run_dualpath_audit(*e.model, *e.dm, e.batch, cfg);
+  ASSERT_FALSE(report.golden_files.empty());
+  // Taps are left in the registries after the audit: re-read every written
+  // hex file and compare bit-for-bit against the captured integer stream.
+  std::ifstream manifest(cfg.golden_dir + "/golden_manifest.txt");
+  ASSERT_TRUE(manifest.good());
+  std::string line;
+  ASSERT_TRUE(static_cast<bool>(std::getline(manifest, line)));  // header
+  std::size_t checked = 0;
+  while (std::getline(manifest, line)) {
+    std::istringstream ls(line);
+    std::size_t idx = 0;
+    std::string kind, label, file;
+    int bits = 0;
+    ASSERT_TRUE(static_cast<bool>(ls >> idx >> kind >> label >> file >> bits));
+    // Only out-files map one-to-one onto a tap key; in-files alias them.
+    if (file.size() < 8 || file.substr(file.size() - 8) != ".out.hex") {
+      continue;
+    }
+    const ITensor back = read_hex(cfg.golden_dir + "/" + file, bits);
+    const obs::TensorTap tap =
+        obs::int_taps().tap(obs::op_tap_key(idx, e.dm->op(idx).label));
+    ASSERT_TRUE(tap.complete());
+    ASSERT_EQ(back.numel(), static_cast<std::int64_t>(tap.samples.size()));
+    for (std::int64_t i = 0; i < back.numel(); ++i) {
+      ASSERT_EQ(back[i], static_cast<std::int64_t>(
+                             tap.samples[static_cast<std::size_t>(i)]))
+          << file << " word " << i;
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, e.dm->num_ops());
+  // The network input is dumped too.
+  const ITensor input_back = read_hex(cfg.golden_dir + "/input.hex", 8);
+  EXPECT_EQ(input_back.numel(), e.batch.numel());
+}
+
+}  // namespace
+}  // namespace t2c

@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "deploy/deploy_model.h"
@@ -221,6 +222,54 @@ TEST_F(ObsTest, InstrumentedDeployRunProducesPerOpMetrics) {
   // Input was quantized against the default [-127,127] grid: 100/1.0 fits,
   // so no input clipping.
   EXPECT_EQ(snap.counters.at("deploy.sat.input_quantize"), 0);
+}
+
+TEST_F(ObsTest, ConcurrentInstrumentsKeepExactTotals) {
+  // N threads hammer one counter, one keep-the-max gauge and one histogram.
+  // Every update path is atomic (fetch_add or a CAS loop), so the totals
+  // must come out exact, not approximately right.
+  obs::set_metrics_enabled(true);
+  obs::Counter& c = obs::metrics().counter("hammer.count");
+  obs::Gauge& g = obs::metrics().gauge("hammer.peak");
+  obs::Histogram& h = obs::metrics().histogram(
+      "hammer.obs", {10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0});
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        c.add(1);
+        g.set_max(static_cast<double>(t * kOps + i));
+        h.observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  EXPECT_EQ(c.value(), kThreads * kOps);
+  // The global max over every thread's sequence.
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>((kThreads - 1) * kOps +
+                                                  kOps - 1));
+  EXPECT_EQ(h.count(), kThreads * kOps);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 99.0);
+  // kOps/100 full cycles of 0..99 per thread; integer-valued doubles this
+  // small add exactly in any interleaving.
+  const double cycle_sum = 99.0 * 100.0 / 2.0;
+  EXPECT_DOUBLE_EQ(h.sum(), kThreads * (kOps / 100) * cycle_sum);
+  std::int64_t bucketed = 0;
+  for (std::int64_t b : h.bucket_counts()) bucketed += b;
+  EXPECT_EQ(bucketed, kThreads * kOps);
+}
+
+TEST_F(ObsTest, RegistryResetDisablesCollection) {
+  obs::set_metrics_enabled(true);
+  obs::metrics().counter("x").add(3);
+  obs::metrics().reset();
+  EXPECT_FALSE(obs::metrics_enabled());
+  EXPECT_TRUE(obs::metrics().snapshot().counters.empty());
 }
 
 TEST_F(ObsTest, DisabledRunLeavesRegistryEmpty) {

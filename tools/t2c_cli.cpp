@@ -12,14 +12,24 @@
 // Observability: `--log-level LEVEL` tunes the structured log output
 // (trace|debug|info|warn|error|off), `--metrics-json PATH` dumps the metrics
 // registry snapshot, and `--trace-json PATH` writes a Chrome trace_event
-// file loadable in chrome://tracing or Perfetto.
+// file loadable in chrome://tracing or Perfetto. Every *-json flag accepts
+// `-` to stream the JSON to stdout instead of a file.
+//
+// Dual-path audit: `--audit` replays one test batch through the fake-quant
+// and integer paths and prints the per-layer divergence table (SQNR,
+// saturation, range utilization); `--audit-json PATH` dumps the report,
+// `--audit-golden-dir DIR` writes per-op golden hex vectors for RTL replay,
+// `--audit-threshold-db DB` sets the first-divergence threshold.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "audit/dualpath_audit.h"
 #include "core/registry.h"
 #include "core/t2c.h"
 #include "models/models.h"
@@ -50,6 +60,10 @@ struct Args {
   std::string log_level;
   std::string metrics_json;
   std::string trace_json;
+  bool audit = false;
+  std::string audit_json;
+  std::string audit_golden_dir;
+  double audit_threshold_db = 20.0;
 };
 
 DatasetSpec dataset_by_name(const std::string& name) {
@@ -103,6 +117,16 @@ Args parse(int argc, char** argv) {
     else if (f == "--log-level") a.log_level = want(i++);
     else if (f == "--metrics-json") a.metrics_json = want(i++);
     else if (f == "--trace-json") a.trace_json = want(i++);
+    else if (f == "--audit") a.audit = true;
+    else if (f == "--audit-json") { a.audit_json = want(i++); a.audit = true; }
+    else if (f == "--audit-golden-dir") {
+      a.audit_golden_dir = want(i++);
+      a.audit = true;
+    }
+    else if (f == "--audit-threshold-db") {
+      a.audit_threshold_db = std::atof(want(i++));
+      a.audit = true;
+    }
     else if (f == "--help") {
       std::puts(
           "usage: t2c_cli [--model M] [--dataset D] [--trainer T]\n"
@@ -110,7 +134,10 @@ Args parse(int argc, char** argv) {
           "               [--stem-head-bits N] [--epochs N] [--lr F]\n"
           "               [--width F] [--out DIR] [--emit-verilog] [--list]\n"
           "               [--log-level trace|debug|info|warn|error|off]\n"
-          "               [--metrics-json PATH] [--trace-json PATH]");
+          "               [--metrics-json PATH] [--trace-json PATH]\n"
+          "               [--audit] [--audit-json PATH]\n"
+          "               [--audit-golden-dir DIR] [--audit-threshold-db DB]\n"
+          "JSON PATHs accept '-' for stdout.");
       std::exit(0);
     } else {
       fail("unknown flag '" + f + "' (try --help)");
@@ -171,6 +198,21 @@ void print_op_table(const obs::MetricsSnapshot& snap) {
     std::printf("  total saturated values: %lld\n",
                 static_cast<long long>(total->second));
   }
+}
+
+// Emits a JSON document to `path`, where "-" means stdout. File writes log
+// the resolved absolute path so artifact locations survive in the log.
+void emit_json(const std::string& path, const std::string& what,
+               const std::string& json) {
+  if (path == "-") {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  std::ofstream os(path);
+  check(os.good(), what + ": cannot open for writing: " + path);
+  os << json << '\n';
+  obs::log_info(what, ": wrote ",
+                std::filesystem::absolute(path).string());
 }
 
 }  // namespace
@@ -252,6 +294,33 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", chip.summary_text().c_str());
     std::printf("artifacts under %s/ (model.t2c, hex/)\n", a.out.c_str());
+    if (a.audit) {
+      const obs::TraceSpan span("audit", "cli");
+      // One small batch is enough: the auditor compares every intermediate
+      // tensor, not just the logits.
+      const std::int64_t n = std::min<std::int64_t>(8, data.test_images().size(0));
+      Shape s = data.test_images().shape();
+      s[0] = n;
+      Tensor batch(std::move(s));
+      // [N,C,H,W] storage is contiguous: the first n images are a flat prefix.
+      for (std::int64_t i = 0; i < batch.numel(); ++i) {
+        batch[i] = data.test_images()[i];
+      }
+      AuditConfig acfg;
+      acfg.threshold_db = a.audit_threshold_db;
+      acfg.golden_dir = a.audit_golden_dir;
+      const AuditReport report =
+          run_dualpath_audit(*model, chip, batch, acfg);
+      std::printf("\ndual-path divergence audit (%lld images):\n%s",
+                  static_cast<long long>(n), report.table_text().c_str());
+      if (!a.audit_golden_dir.empty()) {
+        std::printf("golden vectors: %zu files under %s/\n",
+                    report.golden_files.size(), a.audit_golden_dir.c_str());
+      }
+      if (!a.audit_json.empty()) {
+        emit_json(a.audit_json, "audit", report.to_json());
+      }
+    }
     if (a.emit_verilog) {
       std::printf("testbench: %s\n",
                   emit_verilog_testbench(chip, a.out + "/rtl", 8).c_str());
@@ -259,14 +328,16 @@ int main(int argc, char** argv) {
 
     print_op_table(obs::metrics().snapshot());
     if (!a.metrics_json.empty()) {
-      obs::metrics().write_json(a.metrics_json);
-      std::printf("metrics snapshot: %s\n", a.metrics_json.c_str());
+      emit_json(a.metrics_json, "metrics", obs::metrics().to_json());
     }
     if (!a.trace_json.empty()) {
-      obs::tracer().write_json(a.trace_json);
-      std::printf("chrome trace (%zu events): %s\n", obs::tracer().size(),
-                  a.trace_json.c_str());
+      std::printf("chrome trace: %zu events\n", obs::tracer().size());
+      emit_json(a.trace_json, "trace", obs::tracer().to_json());
     }
+    // Registry teardown also flips metrics off. Any Counter/Gauge/Histogram
+    // reference taken above dangles after this line — this must stay the
+    // last registry touch before return.
+    obs::metrics().reset();
     return 0;
   } catch (const t2c::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
