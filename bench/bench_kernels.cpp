@@ -1,0 +1,193 @@
+// Kernel-level benches for the parallel execution runtime (DESIGN.md
+// "Threading model"): tiled/packed GEMM (float + int64), im2col conv2d,
+// and the deploy element-wise sweeps (MulQuant, LUT softmax).
+//
+// Two speedup axes are reported separately:
+//   - tiling/packing alone: tiled GEMM at 1 thread vs an in-file naive
+//     triple loop (the acceptance floor is 3x on the 512^3 float GEMM);
+//   - threading: every kernel at max_threads() vs 1 thread (1.0x on a
+//     single-core box — the determinism tests still exercise the pool).
+// GFLOP/s counts one multiply + one add per MAC; integer kernels reuse the
+// same figure (GOP/s) so rows compare directly.
+#include "bench_util.h"
+
+#include "core/parallel.h"
+#include "deploy/int_ops.h"
+#include "deploy/vit_ops.h"
+#include "tensor/conv_ops.h"
+#include "tensor/matmul.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace t2c;
+using namespace t2c::bench;
+
+/// Naive ikj GEMM — the strongest "untiled" baseline (unit-stride inner
+/// loop, no blocking, no packing), so the tiling speedup is not inflated
+/// by comparing against a pathological loop order.
+void naive_gemm_f32(const float* a, const float* b, float* c, std::int64_t m,
+                    std::int64_t n, std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      for (std::int64_t j = 0; j < n; ++j) c[i * n + j] += av * b[p * n + j];
+    }
+  }
+}
+
+void naive_gemm_i64(const std::int64_t* a, const std::int64_t* b,
+                    std::int64_t* c, std::int64_t m, std::int64_t n,
+                    std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const std::int64_t av = a[i * k + p];
+      for (std::int64_t j = 0; j < n; ++j) c[i * n + j] += av * b[p * n + j];
+    }
+  }
+}
+
+double gflops(double macs, double ms) { return 2.0 * macs / (ms * 1e6); }
+
+Tensor rand_tensor(Shape shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  Rng rng(seed);
+  rng.fill_uniform(t.vec(), -1.0F, 1.0F);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Kernel benches: tiled GEMM + parallel deploy sweeps ===");
+  const int hw_threads = par::max_threads();
+  std::printf("pool size: %d thread(s)\n\n", hw_threads);
+  std::vector<BenchStat> stats;
+  const int reps = 3 * scale_factor();
+
+  // ---- 512^3 GEMM, float and int64 ----
+  const std::int64_t n = 512;
+  const double gemm_macs = static_cast<double>(n) * n * n;
+  Tensor af = rand_tensor({n, n}, 1), bf = rand_tensor({n, n}, 2);
+  Tensor cf({n, n});
+  ITensor ai({n, n}), bi({n, n}), ci({n, n});
+  for (std::int64_t i = 0; i < ai.numel(); ++i) {
+    ai[i] = static_cast<std::int64_t>(af[i] * 127.0F);
+    bi[i] = static_cast<std::int64_t>(bf[i] * 127.0F);
+  }
+
+  Table t({26, 10, 12, 12});
+  t.rule();
+  t.row({"kernel", "threads", "mean ms", "GFLOP/s"});
+  t.rule();
+
+  const auto gemm_row = [&](const std::string& name, double macs, auto&& fn,
+                            int threads) {
+    par::set_max_threads(threads);
+    BenchStat s = time_reps(name, fn, reps);
+    stats.push_back(s);
+    t.row({name, std::to_string(threads), fmt(s.mean_ms),
+           fmt(gflops(macs, s.mean_ms))});
+    return s.mean_ms;
+  };
+
+  const double naive_f_ms =
+      gemm_row("gemm_f32_512_naive", gemm_macs,
+               [&] { cf.zero(); naive_gemm_f32(af.data(), bf.data(),
+                                               cf.data(), n, n, n); }, 1);
+  const double tiled_f_ms =
+      gemm_row("gemm_f32_512_tiled", gemm_macs,
+               [&] { cf.zero(); gemm_f32(af.data(), bf.data(), cf.data(), n,
+                                         n, n, false, false, true); }, 1);
+  const double tiled_f_mt_ms =
+      gemm_row("gemm_f32_512_tiled", gemm_macs,
+               [&] { cf.zero(); gemm_f32(af.data(), bf.data(), cf.data(), n,
+                                         n, n, false, false, true); },
+               hw_threads);
+  const double naive_i_ms =
+      gemm_row("gemm_i64_512_naive", gemm_macs,
+               [&] { ci.zero(); naive_gemm_i64(ai.data(), bi.data(),
+                                               ci.data(), n, n, n); }, 1);
+  const double tiled_i_ms =
+      gemm_row("gemm_i64_512_tiled", gemm_macs,
+               [&] { ci.zero(); gemm_i64(ai.data(), bi.data(), ci.data(), n,
+                                         n, n, false, false, true); }, 1);
+
+  // ---- conv2d forward: ResNet-ish mid-stage shape ----
+  const ConvSpec cs = [] {
+    ConvSpec s;
+    s.in_channels = 32;
+    s.out_channels = 64;
+    s.kernel = 3;
+    s.stride = 1;
+    s.padding = 1;
+    return s;
+  }();
+  Tensor cx = rand_tensor({8, 32, 32, 32}, 3);
+  Tensor cw = rand_tensor({64, 32, 3, 3}, 4);
+  const double conv_macs = 8.0 * 64 * 32 * 32 * (32 * 9);
+  double conv_1t = 0.0;
+  for (const int threads : {1, hw_threads}) {
+    par::set_max_threads(threads);
+    BenchStat s = time_reps("conv2d_8x32x32x32_k3",
+                            [&] { (void)conv2d_forward(cx, cw, nullptr, cs); },
+                            reps);
+    stats.push_back(s);
+    if (threads == 1) conv_1t = s.mean_ms;
+    t.row({s.name, std::to_string(threads), fmt(s.mean_ms),
+           fmt(gflops(conv_macs, s.mean_ms))});
+    if (threads == hw_threads) break;  // avoid a duplicate row on 1 core
+  }
+
+  // ---- deploy element-wise sweeps ----
+  const std::int64_t mq_c = 64;
+  ITensor mqx({8, mq_c, 56, 56});
+  Rng mq_rng(7);
+  for (std::int64_t i = 0; i < mqx.numel(); ++i) {
+    mqx[i] = static_cast<std::int64_t>(mq_rng.uniform(-60000.0F, 60000.0F));
+  }
+  const MulQuantOp mq(std::vector<std::int64_t>(mq_c, 181),
+                      std::vector<std::int64_t>(mq_c, 11), 16, -127, 127,
+                      MqLayout::kChannelNCHW);
+  const LutSoftmaxOp sm(build_exp_lut(0.05F, 256, 15), 255);
+  ITensor smx({4, 8, 197, 197});
+  Rng sm_rng(8);
+  for (std::int64_t i = 0; i < smx.numel(); ++i) {
+    smx[i] = static_cast<std::int64_t>(sm_rng.uniform(0.0F, 4000.0F));
+  }
+  double mq_1t = 0.0, sm_1t = 0.0;
+  for (const int threads : {1, hw_threads}) {
+    par::set_max_threads(threads);
+    BenchStat s = time_reps("mulquant_8x64x56x56",
+                            [&] { (void)mq.run({&mqx}); }, reps);
+    stats.push_back(s);
+    if (threads == 1) mq_1t = s.mean_ms;
+    t.row({s.name, std::to_string(threads), fmt(s.mean_ms), "-"});
+    s = time_reps("int_softmax_4x8x197x197", [&] { (void)sm.run({&smx}); },
+                  reps);
+    stats.push_back(s);
+    if (threads == 1) sm_1t = s.mean_ms;
+    t.row({s.name, std::to_string(threads), fmt(s.mean_ms), "-"});
+    if (threads == hw_threads) break;
+  }
+  t.rule();
+
+  par::set_max_threads(hw_threads);
+  std::printf("\ntiling/packing alone (1 thread): f32 %.2fx, i64 %.2fx\n",
+              naive_f_ms / tiled_f_ms, naive_i_ms / tiled_i_ms);
+  std::printf("threads %d vs 1: gemm_f32 %.2fx", hw_threads,
+              tiled_f_ms / tiled_f_mt_ms);
+  // Re-time the sweeps at the full pool for the scaling summary line.
+  const double conv_mt =
+      time_reps("conv_mt", [&] { (void)conv2d_forward(cx, cw, nullptr, cs); },
+                reps).mean_ms;
+  const double mq_mt =
+      time_reps("mq_mt", [&] { (void)mq.run({&mqx}); }, reps).mean_ms;
+  const double sm_mt =
+      time_reps("sm_mt", [&] { (void)sm.run({&smx}); }, reps).mean_ms;
+  std::printf(", conv2d %.2fx, mulquant %.2fx, softmax %.2fx\n",
+              conv_1t / conv_mt, mq_1t / mq_mt, sm_1t / sm_mt);
+
+  write_bench_json(stats);
+  return 0;
+}

@@ -1,0 +1,199 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace t2c::par {
+
+namespace {
+
+/// Set while a thread executes a parallel_for body; nested calls run inline
+/// instead of deadlocking on the (busy) pool.
+thread_local bool g_in_parallel = false;
+
+int default_threads() {
+  if (const char* env = std::getenv("T2C_THREADS")) {
+    const int n = std::atoi(env);
+    check(n >= 1 && n <= 1024, "T2C_THREADS must be in [1, 1024]");
+    return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 1024U));
+}
+
+/// Persistent pool: nthreads-1 sleeping workers plus the calling thread.
+/// One region at a time: run() publishes a job under the mutex, every
+/// worker wakes, executes its part (possibly empty) and acknowledges; the
+/// caller executes part 0 and waits for all acknowledgements.
+class Pool {
+ public:
+  Pool() { start(default_threads()); }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  int threads() const { return nthreads_; }
+
+  void resize(int n) {
+    n = std::max(1, n);
+    if (n == nthreads_) return;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& w : workers_) w.join();
+    workers_.clear();
+    stop_ = false;
+    generation_ = 0;  // fresh workers start with seen == 0
+    pending_ = 0;
+    job_ = nullptr;
+    job_parts_ = 0;
+    start(n);
+  }
+
+  /// Runs fn(part) for part in [0, nparts); nparts <= threads(). Part p
+  /// executes on worker p (part 0 on the caller). Rethrows the first body
+  /// exception after every part finished.
+  void run(int nparts, const std::function<void(int)>& fn) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      job_ = &fn;
+      job_parts_ = nparts;
+      pending_ = nthreads_ - 1;
+      err_ = nullptr;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+    try {
+      fn(0);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (!err_) err_ = std::current_exception();
+    }
+    std::exception_ptr err;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_done_.wait(lock, [&] { return pending_ == 0; });
+      job_ = nullptr;
+      err = err_;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+ private:
+  void start(int n) {
+    nthreads_ = n;
+    workers_.reserve(static_cast<std::size_t>(n - 1));
+    for (int w = 1; w < n; ++w) {
+      workers_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+
+  void worker_main(int part) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* fn = nullptr;
+      int nparts = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        fn = job_;
+        nparts = job_parts_;
+      }
+      if (part < nparts) {
+        try {
+          (*fn)(part);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(mu_);
+          if (!err_) err_ = std::current_exception();
+        }
+      }
+      bool last = false;
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        last = --pending_ == 0;
+      }
+      if (last) cv_done_.notify_all();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  int nthreads_ = 1;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  const std::function<void(int)>* job_ = nullptr;
+  int job_parts_ = 0;
+  std::exception_ptr err_;
+};
+
+Pool& pool() {
+  static Pool p;
+  return p;
+}
+
+}  // namespace
+
+int max_threads() { return pool().threads(); }
+
+int max_slots() { return pool().threads(); }
+
+void set_max_threads(int n) {
+  check(!g_in_parallel, "set_max_threads inside a parallel region");
+  pool().resize(n);
+}
+
+namespace detail {
+
+void parallel_for_impl(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, int)>& fn) {
+  const std::int64_t range = end - begin;
+  if (range <= 0) return;
+  const std::int64_t g = std::max<std::int64_t>(1, grain);
+  const std::int64_t max_parts = (range + g - 1) / g;
+  const int nparts = static_cast<int>(
+      std::min<std::int64_t>(pool().threads(), max_parts));
+  if (nparts <= 1 || g_in_parallel) {
+    fn(begin, end, 0);
+    return;
+  }
+  const std::int64_t base = range / nparts;
+  const std::int64_t rem = range % nparts;
+  pool().run(nparts, [&](int part) {
+    const std::int64_t i0 =
+        begin + part * base + std::min<std::int64_t>(part, rem);
+    const std::int64_t i1 = i0 + base + (part < rem ? 1 : 0);
+    g_in_parallel = true;
+    try {
+      fn(i0, i1, part);
+    } catch (...) {
+      g_in_parallel = false;
+      throw;
+    }
+    g_in_parallel = false;
+  });
+}
+
+}  // namespace detail
+
+}  // namespace t2c::par

@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include <map>
+#include <numeric>
 #include <sstream>
 
+#include "core/parallel.h"
 #include "deploy/int_ops.h"
 #include "deploy/vit_ops.h"
 #include "obs/capture.h"
@@ -16,6 +18,25 @@
 #include "xport/writers.h"
 
 namespace t2c {
+
+void SatCounterCache::add(const char* kind, const std::string& label,
+                          std::int64_t sat) const {
+  const std::uint64_t gen = obs::metrics().generation();
+  if (gen_.load(std::memory_order_acquire) != gen) {
+    std::string key = std::string("deploy.sat.") + kind;
+    if (!label.empty()) key += ":" + label;
+    // Counters are created even at zero so an instrumented run always
+    // exposes them. Publish the handles before the generation tag; a racing
+    // reader that sees the new tag therefore sees the new handles (both
+    // would resolve to the same registry instances anyway).
+    op_.store(&obs::metrics().counter(key), std::memory_order_release);
+    total_.store(&obs::metrics().counter("deploy.sat.total"),
+                 std::memory_order_release);
+    gen_.store(gen, std::memory_order_release);
+  }
+  op_.load(std::memory_order_acquire)->add(sat);
+  total_.load(std::memory_order_acquire)->add(sat);
+}
 
 int DeployModel::add_op(std::unique_ptr<DeployOp> op) {
   check(op != nullptr, "DeployModel::add_op(nullptr)");
@@ -58,15 +79,26 @@ DeployOp& DeployModel::mutable_op(std::size_t i) {
 ITensor DeployModel::quantize_input(const Tensor& x) const {
   ITensor q(x.shape());
   const bool prof = obs::metrics_enabled();
-  std::int64_t clipped = 0;  // accumulated locally; one registry hit per call
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    std::int64_t v = static_cast<std::int64_t>(
-                         std::nearbyintf(x[i] / input_scale)) +
-                     static_cast<std::int64_t>(input_zero);
-    if (prof && (v < input_qmin || v > input_qmax)) ++clipped;
-    q[i] = std::min(input_qmax, std::max(input_qmin, v));
+  // Clip counts accumulate per partition slot and merge once below — one
+  // registry hit per call, identical totals at any thread count.
+  std::vector<std::int64_t> clipped(
+      static_cast<std::size_t>(par::max_slots()), 0);
+  par::parallel_for(
+      0, x.numel(), 4096, [&](std::int64_t i0, std::int64_t i1, int slot) {
+        std::int64_t c = 0;
+        for (std::int64_t i = i0; i < i1; ++i) {
+          std::int64_t v = static_cast<std::int64_t>(
+                               std::nearbyintf(x[i] / input_scale)) +
+                           static_cast<std::int64_t>(input_zero);
+          if (prof && (v < input_qmin || v > input_qmax)) ++c;
+          q[i] = std::min(input_qmax, std::max(input_qmin, v));
+        }
+        clipped[static_cast<std::size_t>(slot)] += c;
+      });
+  if (prof) {
+    obs::metrics().counter("deploy.sat.input_quantize")
+        .add(std::accumulate(clipped.begin(), clipped.end(), std::int64_t{0}));
   }
-  if (prof) obs::metrics().counter("deploy.sat.input_quantize").add(clipped);
   return q;
 }
 
@@ -122,9 +154,12 @@ Tensor DeployModel::run(const Tensor& x) const {
   const obs::TraceSpan span("deploy.run", "deploy");
   const ITensor logits = run_int(quantize_input(x));
   Tensor out(logits.shape());
-  for (std::int64_t i = 0; i < logits.numel(); ++i) {
-    out[i] = static_cast<float>(logits[i]) * output_scale;
-  }
+  par::parallel_for(0, logits.numel(), 4096,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                      for (std::int64_t i = i0; i < i1; ++i) {
+                        out[i] = static_cast<float>(logits[i]) * output_scale;
+                      }
+                    });
   if (obs::metrics_enabled()) {
     obs::metrics().counter("deploy.batches").add(1);
     obs::metrics().counter("deploy.images").add(x.size(0));

@@ -7,15 +7,38 @@
 // edges (run()). The xport module serializes exactly this structure.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "tensor/tensor.h"
 #include "util/fixed_point.h"
 
 namespace t2c {
+
+/// Cached handles for one op's saturation counters
+/// (`deploy.sat.<kind>[:<label>]` + the aggregate `deploy.sat.total`).
+/// Resolving a counter costs a string build plus a registry map lookup, so
+/// ops resolve once and reuse the handles on every run(). Resolution is
+/// lazy — labels are assigned by DeployModel::add_op after construction —
+/// and tagged with the registry generation: MetricsRegistry::reset() bumps
+/// the generation (and disables collection), so a stale handle is
+/// re-resolved instead of dereferenced. add() must only be called while
+/// metrics are enabled.
+class SatCounterCache {
+ public:
+  void add(const char* kind, const std::string& label, std::int64_t sat) const;
+
+ private:
+  // ~0 never matches a real generation, forcing the first resolve.
+  mutable std::atomic<std::uint64_t> gen_{~std::uint64_t{0}};
+  mutable std::atomic<obs::Counter*> op_{nullptr};
+  mutable std::atomic<obs::Counter*> total_{nullptr};
+};
 
 class DeployOp {
  public:

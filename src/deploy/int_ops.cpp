@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <numeric>
 
+#include "core/parallel.h"
 #include "obs/metrics.h"
+#include "tensor/matmul.h"
 
 namespace t2c {
 
@@ -20,17 +23,23 @@ std::int64_t clamp64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
   return std::min(hi, std::max(lo, v));
 }
 
-/// Saturation counter naming: `deploy.sat.<kind>[:<label>]` plus the
-/// aggregate `deploy.sat.total`. Call sites accumulate per-element clips in
-/// a local and hit the registry once per run() invocation; counters are
-/// created even at zero so an instrumented run always exposes them.
-void record_saturation(const char* kind, const std::string& label,
-                       std::int64_t sat) {
-  std::string key = std::string("deploy.sat.") + kind;
-  if (!label.empty()) key += ":" + label;
-  obs::metrics().counter(key).add(sat);
-  obs::metrics().counter("deploy.sat.total").add(sat);
-}
+/// Minimum items per parallel chunk for element-wise sweeps; rows of width
+/// d use max(1, kElemGrain / d) so tiny tensors stay serial.
+constexpr std::int64_t kElemGrain = 4096;
+
+/// Per-slot saturation accumulators: parallel bodies clip-count into their
+/// slot, total() merges once per run(). Integer sums are order-independent,
+/// so the merged count is identical at any thread count.
+struct SlotSats {
+  std::vector<std::int64_t> v;
+  SlotSats() : v(static_cast<std::size_t>(par::max_slots()), 0) {}
+  std::int64_t& operator[](int slot) {
+    return v[static_cast<std::size_t>(slot)];
+  }
+  std::int64_t total() const {
+    return std::accumulate(v.begin(), v.end(), std::int64_t{0});
+  }
+};
 
 /// Clips to a zero lower bound are ReLU semantics, not saturation — only a
 /// nonzero floor counts as a clipped value on the low side.
@@ -76,8 +85,8 @@ ITensor MulQuantOp::run(const std::vector<const ITensor*>& ins) const {
   const ITensor& x = only_input(ins, "MulQuant");
   ITensor out(x.shape());
   const bool prof = obs::metrics_enabled();
-  std::int64_t sat = 0;
-  const auto apply = [&](std::int64_t v, std::size_t e) {
+  SlotSats sats;
+  const auto apply = [&](std::int64_t v, std::size_t e, std::int64_t& sat) {
     const int f = frac_[e] + bias_frac_;
     const std::int64_t half = f > 0 ? (std::int64_t{1} << (f - 1)) : 0;
     const std::int64_t y =
@@ -87,7 +96,15 @@ ITensor MulQuantOp::run(const std::vector<const ITensor*>& ins) const {
   };
   switch (layout_) {
     case MqLayout::kPerTensor: {
-      for (std::int64_t i = 0; i < x.numel(); ++i) out[i] = apply(x[i], 0);
+      par::parallel_for(
+          0, x.numel(), kElemGrain,
+          [&](std::int64_t i0, std::int64_t i1, int slot) {
+            std::int64_t sat = 0;
+            for (std::int64_t i = i0; i < i1; ++i) {
+              out[i] = apply(x[i], 0, sat);
+            }
+            sats[slot] += sat;
+          });
       break;
     }
     case MqLayout::kChannelNCHW: {
@@ -96,14 +113,19 @@ ITensor MulQuantOp::run(const std::vector<const ITensor*>& ins) const {
                          hw = x.size(2) * x.size(3);
       check(static_cast<std::int64_t>(mul_.size()) == c,
             "MulQuant: channel count mismatch");
-      for (std::int64_t in = 0; in < n; ++in) {
-        for (std::int64_t ic = 0; ic < c; ++ic) {
-          const std::int64_t base = (in * c + ic) * hw;
-          for (std::int64_t i = 0; i < hw; ++i) {
-            out[base + i] = apply(x[base + i], static_cast<std::size_t>(ic));
-          }
-        }
-      }
+      par::parallel_for(
+          0, n * c, std::max<std::int64_t>(1, kElemGrain / std::max<std::int64_t>(1, hw)),
+          [&](std::int64_t p0, std::int64_t p1, int slot) {
+            std::int64_t sat = 0;
+            for (std::int64_t p = p0; p < p1; ++p) {
+              const auto ic = static_cast<std::size_t>(p % c);
+              const std::int64_t base = p * hw;
+              for (std::int64_t i = 0; i < hw; ++i) {
+                out[base + i] = apply(x[base + i], ic, sat);
+              }
+            }
+            sats[slot] += sat;
+          });
       break;
     }
     case MqLayout::kLastDim: {
@@ -111,15 +133,22 @@ ITensor MulQuantOp::run(const std::vector<const ITensor*>& ins) const {
       check(static_cast<std::int64_t>(mul_.size()) == d,
             "MulQuant: last-dim count mismatch");
       const std::int64_t rows = x.numel() / d;
-      for (std::int64_t r = 0; r < rows; ++r) {
-        for (std::int64_t i = 0; i < d; ++i) {
-          out[r * d + i] = apply(x[r * d + i], static_cast<std::size_t>(i));
-        }
-      }
+      par::parallel_for(
+          0, rows, std::max<std::int64_t>(1, kElemGrain / d),
+          [&](std::int64_t r0, std::int64_t r1, int slot) {
+            std::int64_t sat = 0;
+            for (std::int64_t r = r0; r < r1; ++r) {
+              for (std::int64_t i = 0; i < d; ++i) {
+                out[r * d + i] =
+                    apply(x[r * d + i], static_cast<std::size_t>(i), sat);
+              }
+            }
+            sats[slot] += sat;
+          });
       break;
     }
   }
-  if (prof) record_saturation("MulQuant", label, sat);
+  if (prof) sat_cache_.add("MulQuant", label, sats.total());
   return out;
 }
 
@@ -145,15 +174,9 @@ ITensor IntLinearOp::run(const std::vector<const ITensor*>& ins) const {
   check(x.size(x.rank() - 1) == in, "IntLinear: feature mismatch");
   const std::int64_t rows = x.numel() / in;
   ITensor y({rows, out});
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int64_t* px = x.data() + r * in;
-    for (std::int64_t c = 0; c < out; ++c) {
-      const std::int64_t* pw = weight_.data() + c * in;
-      std::int64_t acc = 0;
-      for (std::int64_t k = 0; k < in; ++k) acc += px[k] * pw[k];
-      y[r * out + c] = acc;
-    }
-  }
+  // y [rows, OUT] += x [rows, IN] x W^T [IN, OUT] on the tiled int64 GEMM.
+  gemm_i64(x.data(), weight_.data(), y.data(), rows, out, in, false,
+           /*trans_b=*/true, /*threaded=*/true);
   Shape s = x.shape();
   s.back() = out;
   y.reshape(std::move(s));
@@ -171,13 +194,18 @@ ITensor IntAddOp::run(const std::vector<const ITensor*>& ins) const {
   check(a.same_shape(b), "IntAdd: shape mismatch");
   ITensor out(a.shape());
   const bool prof = obs::metrics_enabled();
-  std::int64_t sat = 0;
-  for (std::int64_t i = 0; i < a.numel(); ++i) {
-    const std::int64_t y = a[i] + b[i];
-    if (prof && is_clip(y, out_min_, out_max_)) ++sat;
-    out[i] = clamp64(y, out_min_, out_max_);
-  }
-  if (prof) record_saturation("IntAdd", label, sat);
+  SlotSats sats;
+  par::parallel_for(0, a.numel(), kElemGrain,
+                    [&](std::int64_t i0, std::int64_t i1, int slot) {
+                      std::int64_t sat = 0;
+                      for (std::int64_t i = i0; i < i1; ++i) {
+                        const std::int64_t y = a[i] + b[i];
+                        if (prof && is_clip(y, out_min_, out_max_)) ++sat;
+                        out[i] = clamp64(y, out_min_, out_max_);
+                      }
+                      sats[slot] += sat;
+                    });
+  if (prof) sat_cache_.add("IntAdd", label, sats.total());
   return out;
 }
 
@@ -194,28 +222,31 @@ ITensor IntMaxPool2dOp::run(const std::vector<const ITensor*>& ins) const {
   const std::int64_t ow = (w + 2 * padding_ - kernel_) / stride_ + 1;
   check(oh > 0 && ow > 0, "IntMaxPool2d: output would be empty");
   ITensor out({n, c, oh, ow});
-  std::int64_t oidx = 0;
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t ic = 0; ic < c; ++ic) {
-      const std::int64_t* plane = x.data() + (in * c + ic) * h * w;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox, ++oidx) {
-          std::int64_t best = std::numeric_limits<std::int64_t>::min();
-          for (int ki = 0; ki < kernel_; ++ki) {
-            const std::int64_t iy = oy * stride_ + ki - padding_;
-            if (iy < 0 || iy >= h) continue;
-            for (int kj = 0; kj < kernel_; ++kj) {
-              const std::int64_t ix = ox * stride_ + kj - padding_;
-              if (ix < 0 || ix >= w) continue;
-              best = std::max(best, plane[iy * w + ix]);
+  // One task per (image, channel) plane; max is order-independent.
+  par::parallel_for(
+      0, n * c, std::max<std::int64_t>(1, kElemGrain / (oh * ow)),
+      [&](std::int64_t p0, std::int64_t p1) {
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t* plane = x.data() + p * h * w;
+          std::int64_t oidx = p * oh * ow;
+          for (std::int64_t oy = 0; oy < oh; ++oy) {
+            for (std::int64_t ox = 0; ox < ow; ++ox, ++oidx) {
+              std::int64_t best = std::numeric_limits<std::int64_t>::min();
+              for (int ki = 0; ki < kernel_; ++ki) {
+                const std::int64_t iy = oy * stride_ + ki - padding_;
+                if (iy < 0 || iy >= h) continue;
+                for (int kj = 0; kj < kernel_; ++kj) {
+                  const std::int64_t ix = ox * stride_ + kj - padding_;
+                  if (ix < 0 || ix >= w) continue;
+                  best = std::max(best, plane[iy * w + ix]);
+                }
+              }
+              out[oidx] =
+                  best == std::numeric_limits<std::int64_t>::min() ? 0 : best;
             }
           }
-          out[oidx] =
-              best == std::numeric_limits<std::int64_t>::min() ? 0 : best;
         }
-      }
-    }
-  }
+      });
   return out;
 }
 
@@ -234,18 +265,22 @@ ITensor IntGlobalAvgPoolOp::run(const std::vector<const ITensor*>& ins) const {
   const std::int64_t half =
       frac_bits_ > 0 ? (std::int64_t{1} << (frac_bits_ - 1)) : 0;
   const bool prof = obs::metrics_enabled();
-  std::int64_t sat = 0;
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t ic = 0; ic < c; ++ic) {
-      const std::int64_t* plane = x.data() + (in * c + ic) * hw;
-      std::int64_t acc = 0;
-      for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
-      const std::int64_t y = (mul_ * acc + half) >> frac_bits_;
-      if (prof && is_clip(y, out_min_, out_max_)) ++sat;
-      out[in * c + ic] = clamp64(y, out_min_, out_max_);
-    }
-  }
-  if (prof) record_saturation("IntGlobalAvgPool", label, sat);
+  SlotSats sats;
+  par::parallel_for(
+      0, n * c, std::max<std::int64_t>(1, kElemGrain / hw),
+      [&](std::int64_t p0, std::int64_t p1, int slot) {
+        std::int64_t sat = 0;
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t* plane = x.data() + p * hw;
+          std::int64_t acc = 0;
+          for (std::int64_t i = 0; i < hw; ++i) acc += plane[i];
+          const std::int64_t y = (mul_ * acc + half) >> frac_bits_;
+          if (prof && is_clip(y, out_min_, out_max_)) ++sat;
+          out[p] = clamp64(y, out_min_, out_max_);
+        }
+        sats[slot] += sat;
+      });
+  if (prof) sat_cache_.add("IntGlobalAvgPool", label, sats.total());
   return out;
 }
 
@@ -254,13 +289,15 @@ ITensor TokenizeOp::run(const std::vector<const ITensor*>& ins) const {
   check(x.rank() == 4, "Tokenize: input must be NCHW");
   const std::int64_t n = x.size(0), c = x.size(1), hw = x.size(2) * x.size(3);
   ITensor out({n, hw, c});
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t ic = 0; ic < c; ++ic) {
-      for (std::int64_t t = 0; t < hw; ++t) {
-        out[(in * hw + t) * c + ic] = x[(in * c + ic) * hw + t];
+  par::parallel_for(0, n, 1, [&](std::int64_t n0, std::int64_t n1) {
+    for (std::int64_t in = n0; in < n1; ++in) {
+      for (std::int64_t ic = 0; ic < c; ++ic) {
+        for (std::int64_t t = 0; t < hw; ++t) {
+          out[(in * hw + t) * c + ic] = x[(in * c + ic) * hw + t];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -278,17 +315,24 @@ ITensor IntMeanPoolTokensOp::run(
   const std::int64_t half =
       frac_bits_ > 0 ? (std::int64_t{1} << (frac_bits_ - 1)) : 0;
   const bool prof = obs::metrics_enabled();
-  std::int64_t sat = 0;
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t i = 0; i < d; ++i) {
-      std::int64_t acc = 0;
-      for (std::int64_t it = 0; it < t; ++it) acc += x[(in * t + it) * d + i];
-      const std::int64_t y = (mul_ * acc + half) >> frac_bits_;
-      if (prof && is_clip(y, out_min_, out_max_)) ++sat;
-      out[in * d + i] = clamp64(y, out_min_, out_max_);
-    }
-  }
-  if (prof) record_saturation("IntMeanPoolTokens", label, sat);
+  SlotSats sats;
+  par::parallel_for(
+      0, n * d, std::max<std::int64_t>(1, kElemGrain / t),
+      [&](std::int64_t p0, std::int64_t p1, int slot) {
+        std::int64_t sat = 0;
+        for (std::int64_t p = p0; p < p1; ++p) {
+          const std::int64_t in = p / d, i = p % d;
+          std::int64_t acc = 0;
+          for (std::int64_t it = 0; it < t; ++it) {
+            acc += x[(in * t + it) * d + i];
+          }
+          const std::int64_t y = (mul_ * acc + half) >> frac_bits_;
+          if (prof && is_clip(y, out_min_, out_max_)) ++sat;
+          out[p] = clamp64(y, out_min_, out_max_);
+        }
+        sats[slot] += sat;
+      });
+  if (prof) sat_cache_.add("IntMeanPoolTokens", label, sats.total());
   return out;
 }
 

@@ -62,6 +62,7 @@ class MulQuantOp final : public DeployOp {
   int bias_frac_;
   std::int64_t out_min_, out_max_;
   MqLayout layout_;
+  SatCounterCache sat_cache_;
 };
 
 /// Integer convolution (weights already quantized; bias in accumulator
@@ -108,6 +109,7 @@ class IntAddOp final : public DeployOp {
 
  private:
   std::int64_t out_min_, out_max_;
+  SatCounterCache sat_cache_;
 };
 
 /// Max pooling on integers (order-preserving, no rescale needed).
@@ -139,6 +141,7 @@ class IntGlobalAvgPoolOp final : public DeployOp {
   std::int64_t mul_;
   int frac_bits_;
   std::int64_t out_min_, out_max_;
+  SatCounterCache sat_cache_;
 };
 
 /// NCHW -> [N, H*W, C] tokenization after the patch-embedding conv.
@@ -163,6 +166,7 @@ class IntMeanPoolTokensOp final : public DeployOp {
   std::int64_t mul_;
   int frac_bits_;
   std::int64_t out_min_, out_max_;
+  SatCounterCache sat_cache_;
 };
 
 }  // namespace t2c

@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "nn/activations.h"
 
 namespace t2c {
 
 namespace {
+
+// Minimum elements per chunk for element-wise sweeps (same rationale as
+// int_ops.cpp): below this, partitioning overhead dwarfs the work.
+constexpr std::int64_t kElemGrain = 4096;
 
 std::int64_t clamp64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
   return std::min(hi, std::max(lo, v));
@@ -77,25 +82,32 @@ ITensor LutSoftmaxOp::run(const std::vector<const ITensor*>& ins) const {
   const std::int64_t rows = x.numel() / d;
   const auto last = static_cast<std::int64_t>(lut_.size()) - 1;
   ITensor out(x.shape());
-  std::vector<std::int64_t> e(static_cast<std::size_t>(d));
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int64_t* px = x.data() + r * d;
-    std::int64_t m = px[0];
-    for (std::int64_t i = 1; i < d; ++i) m = std::max(m, px[i]);
-    std::int64_t sum = 0;
-    for (std::int64_t i = 0; i < d; ++i) {
-      const std::int64_t idx = std::min(last, m - px[i]);
-      e[static_cast<std::size_t>(i)] = lut_[static_cast<std::size_t>(idx)];
-      sum += e[static_cast<std::size_t>(i)];
-    }
-    std::int64_t* po = out.data() + r * d;
-    for (std::int64_t i = 0; i < d; ++i) {
-      // Integer divide with rounding: p = e * qmax / sum.
-      po[i] = sum > 0
-                  ? (e[static_cast<std::size_t>(i)] * p_qmax_ + sum / 2) / sum
-                  : 0;
-    }
-  }
+  // Rows are independent; the exp scratch lives per chunk, not per row.
+  par::parallel_for(
+      0, rows, std::max<std::int64_t>(1, kElemGrain / d),
+      [&](std::int64_t r0, std::int64_t r1) {
+        std::vector<std::int64_t> e(static_cast<std::size_t>(d));
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const std::int64_t* px = x.data() + r * d;
+          std::int64_t m = px[0];
+          for (std::int64_t i = 1; i < d; ++i) m = std::max(m, px[i]);
+          std::int64_t sum = 0;
+          for (std::int64_t i = 0; i < d; ++i) {
+            const std::int64_t idx = std::min(last, m - px[i]);
+            e[static_cast<std::size_t>(i)] =
+                lut_[static_cast<std::size_t>(idx)];
+            sum += e[static_cast<std::size_t>(i)];
+          }
+          std::int64_t* po = out.data() + r * d;
+          for (std::int64_t i = 0; i < d; ++i) {
+            // Integer divide with rounding: p = e * qmax / sum.
+            po[i] = sum > 0 ? (e[static_cast<std::size_t>(i)] * p_qmax_ +
+                               sum / 2) /
+                                  sum
+                            : 0;
+          }
+        }
+      });
   return out;
 }
 
@@ -113,13 +125,17 @@ ITensor LutGeluOp::run(const std::vector<const ITensor*>& ins) const {
   const ITensor& x = *ins[0];
   ITensor out(x.shape());
   const auto last = static_cast<std::int64_t>(lut_.size()) - 1;
-  for (std::int64_t i = 0; i < x.numel(); ++i) {
-    const std::int64_t q = clamp64(x[i], in_min_, in_max_);
-    // Nearest-entry lookup.
-    const std::int64_t idx =
-        clamp64((q - in_min_ + index_step_ / 2) / index_step_, 0, last);
-    out[i] = lut_[static_cast<std::size_t>(idx)];
-  }
+  par::parallel_for(0, x.numel(), kElemGrain,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                      for (std::int64_t i = i0; i < i1; ++i) {
+                        const std::int64_t q = clamp64(x[i], in_min_, in_max_);
+                        // Nearest-entry lookup.
+                        const std::int64_t idx = clamp64(
+                            (q - in_min_ + index_step_ / 2) / index_step_, 0,
+                            last);
+                        out[i] = lut_[static_cast<std::size_t>(idx)];
+                      }
+                    });
   return out;
 }
 
@@ -161,44 +177,52 @@ ITensor IntLayerNormOp::run(const std::vector<const ITensor*>& ins) const {
   const int f = frac_bits_;
   const std::int64_t half2f = std::int64_t{1} << (2 * f - 1);
   constexpr int kG = 10;  // variance headroom bits for the instant isqrt
-  for (std::int64_t r = 0; r < rows; ++r) {
-    const std::int64_t* px = x.data() + r * d;
-    std::int64_t* po = out.data() + r * d;
-    for (std::int64_t i = 0; i < d; ++i) {
-      std::int64_t xhat_f;  // xhat * 2^f
-      if (running_) {
-        xhat_f = ((px[i] - mean_int_) * inv_sigma_fx_) >> (stat_frac_ - f);
-      } else {
-        // Instant statistics: integer mean/variance over the row.
-        // (Computed once per row below — hoisted via the else-branch guard.)
-        xhat_f = 0;  // filled by the row-level path
-      }
-      po[i] = xhat_f;  // temp; finalized below
-    }
-    if (!running_) {
-      std::int64_t sum = 0;
-      for (std::int64_t i = 0; i < d; ++i) sum += px[i];
-      const std::int64_t mean = (2 * sum + d) / (2 * d);  // round-nearest
-      std::int64_t var_sum = 0;
-      for (std::int64_t i = 0; i < d; ++i) {
-        const std::int64_t dv = px[i] - mean;
-        var_sum += dv * dv;
-      }
-      const std::int64_t var = var_sum / d;
-      const std::int64_t sq = std::max<std::int64_t>(
-          1, isqrt64(var << (2 * kG)));  // sqrt(var) << kG
-      for (std::int64_t i = 0; i < d; ++i) {
-        po[i] = ((px[i] - mean) << (f + kG)) / sq;  // xhat * 2^f
-      }
-    }
-    for (std::int64_t i = 0; i < d; ++i) {
-      const std::int64_t y =
-          (gamma_fx_[static_cast<std::size_t>(i)] * po[i] +
-           (beta_fx_[static_cast<std::size_t>(i)] << f) + half2f) >>
-          (2 * f);
-      po[i] = clamp64(y, out_min_, out_max_);
-    }
-  }
+  // Every row's statistics come from that row alone, so the row sweep
+  // parallelizes without touching the accumulation order.
+  par::parallel_for(
+      0, rows, std::max<std::int64_t>(1, kElemGrain / d),
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const std::int64_t* px = x.data() + r * d;
+          std::int64_t* po = out.data() + r * d;
+          for (std::int64_t i = 0; i < d; ++i) {
+            std::int64_t xhat_f;  // xhat * 2^f
+            if (running_) {
+              xhat_f =
+                  ((px[i] - mean_int_) * inv_sigma_fx_) >> (stat_frac_ - f);
+            } else {
+              // Instant statistics: integer mean/variance over the row.
+              // (Computed once per row below — hoisted via the else-branch
+              // guard.)
+              xhat_f = 0;  // filled by the row-level path
+            }
+            po[i] = xhat_f;  // temp; finalized below
+          }
+          if (!running_) {
+            std::int64_t sum = 0;
+            for (std::int64_t i = 0; i < d; ++i) sum += px[i];
+            const std::int64_t mean = (2 * sum + d) / (2 * d);  // round-nearest
+            std::int64_t var_sum = 0;
+            for (std::int64_t i = 0; i < d; ++i) {
+              const std::int64_t dv = px[i] - mean;
+              var_sum += dv * dv;
+            }
+            const std::int64_t var = var_sum / d;
+            const std::int64_t sq = std::max<std::int64_t>(
+                1, isqrt64(var << (2 * kG)));  // sqrt(var) << kG
+            for (std::int64_t i = 0; i < d; ++i) {
+              po[i] = ((px[i] - mean) << (f + kG)) / sq;  // xhat * 2^f
+            }
+          }
+          for (std::int64_t i = 0; i < d; ++i) {
+            const std::int64_t y =
+                (gamma_fx_[static_cast<std::size_t>(i)] * po[i] +
+                 (beta_fx_[static_cast<std::size_t>(i)] << f) + half2f) >>
+                (2 * f);
+            po[i] = clamp64(y, out_min_, out_max_);
+          }
+        }
+      });
   return out;
 }
 
@@ -232,11 +256,13 @@ ITensor IntAttentionOp::run(const std::vector<const ITensor*>& ins) const {
   const std::int64_t bhalf = std::int64_t{1} << (f + bf - 1);
 
   // 1. qkv projection + per-output-channel requant to the stream grids.
+  // Each (sample, token) row is one task; the k-loop stays ascending per
+  // output element, so the split never changes the accumulation order.
   ITensor qkv({n, t, 3 * d});
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t it = 0; it < t; ++it) {
-      const std::int64_t* row = x.data() + (in * t + it) * d;
-      std::int64_t* orow = qkv.data() + (in * t + it) * 3 * d;
+  par::parallel_for(0, n * t, 1, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t* row = x.data() + r * d;
+      std::int64_t* orow = qkv.data() + r * 3 * d;
       for (std::int64_t j = 0; j < 3 * d; ++j) {
         const std::int64_t* w = p_.wqkv.data() + j * d;
         std::int64_t acc = 0;
@@ -249,15 +275,17 @@ ITensor IntAttentionOp::run(const std::vector<const ITensor*>& ins) const {
         orow[j] = clamp64(y, p_.stream_min, p_.stream_max);
       }
     }
-  }
+  });
 
-  // 2-5. per (sample, head): logits, LUT softmax, context.
+  // 2-5. per (sample, head): logits, LUT softmax, context. Parallel over
+  // the (sample, head) pairs; logit/prob scratch lives per chunk.
   const auto last = static_cast<std::int64_t>(p_.softmax_lut.size()) - 1;
   ITensor ctx({n, t, d});
-  std::vector<std::int64_t> logits(static_cast<std::size_t>(t));
-  std::vector<std::int64_t> probs(static_cast<std::size_t>(t));
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (std::int64_t ih = 0; ih < h; ++ih) {
+  par::parallel_for(0, n * h, 1, [&](std::int64_t p0, std::int64_t p1) {
+    std::vector<std::int64_t> logits(static_cast<std::size_t>(t));
+    std::vector<std::int64_t> probs(static_cast<std::size_t>(t));
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t in = p / h, ih = p % h;
       for (std::int64_t iq = 0; iq < t; ++iq) {
         const std::int64_t* qrow =
             qkv.data() + (in * t + iq) * 3 * d + 0 * d + ih * dh;
@@ -303,25 +331,27 @@ ITensor IntAttentionOp::run(const std::vector<const ITensor*>& ins) const {
         }
       }
     }
-  }
+  });
 
   // 6. output projection + requant to the residual-stream grid.
   ITensor out({n, t, d});
-  for (std::int64_t r = 0; r < n * t; ++r) {
-    const std::int64_t* row = ctx.data() + r * d;
-    std::int64_t* orow = out.data() + r * d;
-    for (std::int64_t j = 0; j < d; ++j) {
-      const std::int64_t* w = p_.wproj.data() + j * d;
-      std::int64_t acc = 0;
-      for (std::int64_t k = 0; k < d; ++k) acc += row[k] * w[k];
-      const std::int64_t y =
-          (p_.proj_mul[static_cast<std::size_t>(j)] *
-               ((acc << bf) + p_.proj_bias[static_cast<std::size_t>(j)]) +
-           bhalf) >>
-          (f + bf);
-      orow[j] = clamp64(y, p_.out_min, p_.out_max);
+  par::parallel_for(0, n * t, 1, [&](std::int64_t r0, std::int64_t r1) {
+    for (std::int64_t r = r0; r < r1; ++r) {
+      const std::int64_t* row = ctx.data() + r * d;
+      std::int64_t* orow = out.data() + r * d;
+      for (std::int64_t j = 0; j < d; ++j) {
+        const std::int64_t* w = p_.wproj.data() + j * d;
+        std::int64_t acc = 0;
+        for (std::int64_t k = 0; k < d; ++k) acc += row[k] * w[k];
+        const std::int64_t y =
+            (p_.proj_mul[static_cast<std::size_t>(j)] *
+                 ((acc << bf) + p_.proj_bias[static_cast<std::size_t>(j)]) +
+             bhalf) >>
+            (f + bf);
+        orow[j] = clamp64(y, p_.out_min, p_.out_max);
+      }
     }
-  }
+  });
   return out;
 }
 

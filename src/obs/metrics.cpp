@@ -242,6 +242,7 @@ void MetricsRegistry::reset() {
   // worth of metrics against a cleared registry.
   set_metrics_enabled(false);
   const std::lock_guard<std::mutex> lock(mu_);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -130,6 +130,15 @@ class MetricsRegistry {
   std::string to_json() const { return snapshot().to_json(); }
   void write_json(const std::string& path) const;
 
+  /// Monotonic epoch, bumped by reset(). Hot paths that cache Counter* /
+  /// Gauge* handles (deploy ops cache their saturation counters) tag the
+  /// cache with this value and re-resolve when it changes — the only event
+  /// that invalidates a handle is reset(), which bumps the generation
+  /// before dropping the instruments.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
   /// Drops every registered metric and disables collection (the global
   /// enable flag is cleared first, so gated hot paths stop touching the
   /// registry). References obtained earlier dangle; intended for test
@@ -144,6 +153,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 /// The process-wide registry all instrumentation writes to.

@@ -1,5 +1,6 @@
 #include "tensor/conv_ops.h"
 
+#include "core/parallel.h"
 #include "tensor/matmul.h"
 
 namespace t2c {
@@ -55,6 +56,18 @@ void im2col_raw(const T* x, const ConvSpec& s, const Geometry& g,
       }
     }
   }
+}
+
+// Typed dispatch onto the shared tiled GEMM (tensor/matmul.h).
+void gemm_any(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+              bool threaded) {
+  gemm_f32(a, b, c, m, n, k, trans_a, trans_b, threaded);
+}
+void gemm_any(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+              std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
+              bool trans_b, bool threaded) {
+  gemm_i64(a, b, c, m, n, k, trans_a, trans_b, threaded);
 }
 
 }  // namespace
@@ -116,28 +129,32 @@ static TensorT<T> conv_forward_impl(const TensorT<T>& x, const TensorT<T>& w,
   const std::int64_t ohw = g.oh * g.ow;
   const std::int64_t kk = g.icg * spec.kernel * spec.kernel;
   TensorT<T> out({n, spec.out_channels, g.oh, g.ow});
-  TensorT<T> cols({kk, ohw});
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (int grp = 0; grp < spec.groups; ++grp) {
+  // Parallel over (image, group); the im2col scratch is allocated once per
+  // worker and reused across its tasks. Each task owns a disjoint output
+  // slice and the GEMM accumulates K in fixed order, so results are
+  // bit-identical at any thread count.
+  const std::int64_t tasks = n * spec.groups;
+  const bool single = tasks == 1;
+  par::parallel_for(0, tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
+    TensorT<T> cols({kk, ohw});
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t in = t / spec.groups;
+      const int grp = static_cast<int>(t % spec.groups);
       im2col_raw(x.data(), spec, g, in, grp, cols.data());
-      // W_g [OCg, KK] x cols [KK, OHW] -> out slice [OCg, OHW]
-      for (std::int64_t oc = 0; oc < g.ocg; ++oc) {
-        const std::int64_t och = grp * g.ocg + oc;
-        const T* wrow = w.data() + och * kk;
-        T* orow = out.data() + (in * spec.out_channels + och) * ohw;
-        for (std::int64_t p = 0; p < kk; ++p) {
-          const T wv = wrow[p];
-          if (wv == T{}) continue;
-          const T* crow = cols.data() + p * ohw;
-          for (std::int64_t j = 0; j < ohw; ++j) orow[j] += wv * crow[j];
-        }
-        if (bias != nullptr) {
-          const T b = (*bias)[och];
+      // W_g [OCg, KK] x cols [KK, OHW] += out slice [OCg, OHW] (zero-init).
+      T* oslice =
+          out.data() + (in * spec.out_channels + grp * g.ocg) * ohw;
+      gemm_any(w.data() + grp * g.ocg * kk, cols.data(), oslice, g.ocg, ohw,
+               kk, false, false, /*threaded=*/single);
+      if (bias != nullptr) {
+        for (std::int64_t oc = 0; oc < g.ocg; ++oc) {
+          const T b = (*bias)[grp * g.ocg + oc];
+          T* orow = oslice + oc * ohw;
           for (std::int64_t j = 0; j < ohw; ++j) orow[j] += b;
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -160,26 +177,24 @@ Tensor conv2d_backward_input(const Tensor& grad_out, const Tensor& w,
   const std::int64_t n = grad_out.size(0);
   const std::int64_t ohw = g.oh * g.ow;
   const std::int64_t kk = g.icg * spec.kernel * spec.kernel;
-  Tensor cols({kk, ohw});
-  for (std::int64_t in = 0; in < n; ++in) {
-    for (int grp = 0; grp < spec.groups; ++grp) {
-      // cols = W_g^T [KK, OCg] x grad_out_g [OCg, OHW]
-      cols.zero();
-      for (std::int64_t oc = 0; oc < g.ocg; ++oc) {
-        const std::int64_t och = grp * g.ocg + oc;
-        const float* wrow = w.data() + och * kk;
-        const float* grow =
-            grad_out.data() + (in * spec.out_channels + och) * ohw;
-        for (std::int64_t p = 0; p < kk; ++p) {
-          const float wv = wrow[p];
-          if (wv == 0.0F) continue;
-          float* crow = cols.data() + p * ohw;
-          for (std::int64_t j = 0; j < ohw; ++j) crow[j] += wv * grow[j];
+  // Parallel over (image, group): each task scatters into a disjoint set of
+  // grad_x channel planes; the cols scratch is hoisted per worker.
+  par::parallel_for(
+      0, n * spec.groups, 1, [&](std::int64_t t0, std::int64_t t1) {
+        Tensor cols({kk, ohw});
+        for (std::int64_t t = t0; t < t1; ++t) {
+          const std::int64_t in = t / spec.groups;
+          const int grp = static_cast<int>(t % spec.groups);
+          // cols = W_g^T [KK, OCg] x grad_out_g [OCg, OHW]
+          cols.zero();
+          gemm_any(w.data() + grp * g.ocg * kk,
+                   grad_out.data() + (in * spec.out_channels + grp * g.ocg) *
+                                         ohw,
+                   cols.data(), kk, ohw, g.ocg, /*trans_a=*/true, false,
+                   /*threaded=*/false);
+          col2im_accum(cols, spec, in, grp, grad_x);
         }
-      }
-      col2im_accum(cols, spec, in, grp, grad_x);
-    }
-  }
+      });
   return grad_x;
 }
 
@@ -190,37 +205,35 @@ Tensor conv2d_backward_weight(const Tensor& grad_out, const Tensor& x,
   const std::int64_t ohw = g.oh * g.ow;
   const std::int64_t kk = g.icg * spec.kernel * spec.kernel;
   Tensor grad_w({spec.out_channels, g.icg, spec.kernel, spec.kernel}, 0.0F);
+  // The (image, group) loop stays serial: grad_w accumulates across images,
+  // and a fixed outer order keeps the float reduction deterministic at any
+  // thread count (the audit replays this path). Parallelism comes from the
+  // tiled GEMM splitting the OCg row blocks.
   Tensor cols({kk, ohw});
   for (std::int64_t in = 0; in < n; ++in) {
     for (int grp = 0; grp < spec.groups; ++grp) {
       im2col_raw(x.data(), spec, g, in, grp, cols.data());
       // grad_W_g [OCg, KK] += grad_out_g [OCg, OHW] x cols^T [OHW, KK]
-      for (std::int64_t oc = 0; oc < g.ocg; ++oc) {
-        const std::int64_t och = grp * g.ocg + oc;
-        const float* grow =
-            grad_out.data() + (in * spec.out_channels + och) * ohw;
-        float* wrow = grad_w.data() + och * kk;
-        for (std::int64_t p = 0; p < kk; ++p) {
-          const float* crow = cols.data() + p * ohw;
-          float acc = 0.0F;
-          for (std::int64_t j = 0; j < ohw; ++j) acc += grow[j] * crow[j];
-          wrow[p] += acc;
-        }
-      }
+      gemm_f32(grad_out.data() + (in * spec.out_channels + grp * g.ocg) * ohw,
+               cols.data(), grad_w.data() + grp * g.ocg * kk, g.ocg, kk, ohw,
+               false, /*trans_b=*/true, /*threaded=*/true);
     }
   }
   if (grad_bias != nullptr) {
     check(grad_bias->numel() == spec.out_channels,
           "conv2d_backward_weight: grad_bias size mismatch");
-    for (std::int64_t in = 0; in < n; ++in) {
-      for (std::int64_t oc = 0; oc < spec.out_channels; ++oc) {
-        const float* grow =
-            grad_out.data() + (in * spec.out_channels + oc) * ohw;
-        float acc = 0.0F;
-        for (std::int64_t j = 0; j < ohw; ++j) acc += grow[j];
-        (*grad_bias)[oc] += acc;
-      }
-    }
+    par::parallel_for(
+        0, spec.out_channels, 4, [&](std::int64_t c0, std::int64_t c1) {
+          for (std::int64_t oc = c0; oc < c1; ++oc) {
+            float acc = 0.0F;
+            for (std::int64_t in = 0; in < n; ++in) {
+              const float* grow =
+                  grad_out.data() + (in * spec.out_channels + oc) * ohw;
+              for (std::int64_t j = 0; j < ohw; ++j) acc += grow[j];
+            }
+            (*grad_bias)[oc] += acc;
+          }
+        });
   }
   return grad_w;
 }

@@ -27,4 +27,18 @@ ITensor imatmul(const ITensor& a, const ITensor& b, bool trans_a = false,
 ITensor ibmm(const ITensor& a, const ITensor& b, bool trans_a = false,
              bool trans_b = false);
 
+// Raw tiled-GEMM entry points for kernels that own their output buffer
+// (conv im2col product, integer linear): C[M,N] += op(A) * op(B), with C
+// pre-initialized by the caller (zeroed or carrying bias). `threaded`
+// parallelizes over row blocks and B packing — pass false from call sites
+// that already run inside a parallel region. Accumulation over K is always
+// ascending and independent of the partition, so integer results are
+// bit-identical for any thread count.
+void gemm_f32(const float* a, const float* b, float* c, std::int64_t m,
+              std::int64_t n, std::int64_t k, bool trans_a, bool trans_b,
+              bool threaded);
+void gemm_i64(const std::int64_t* a, const std::int64_t* b, std::int64_t* c,
+              std::int64_t m, std::int64_t n, std::int64_t k, bool trans_a,
+              bool trans_b, bool threaded);
+
 }  // namespace t2c

@@ -1,0 +1,278 @@
+// Parallel runtime tests: the parallel_for partition contract (coverage,
+// slot bounds, nesting, exception propagation, pool resizing) and the
+// headline determinism guarantee — integer deploy outputs, golden vectors,
+// and audit reports are bit-identical at any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "audit/dualpath_audit.h"
+#include "core/parallel.h"
+#include "obs/capture.h"
+#include "core/registry.h"
+#include "core/t2c.h"
+#include "models/models.h"
+#include "test_util.h"
+
+namespace t2c {
+namespace {
+
+/// Restores the pool size on scope exit so tests can't leak a setting.
+struct ThreadGuard {
+  int saved = par::max_threads();
+  ~ThreadGuard() { par::set_max_threads(saved); }
+};
+
+TEST(ParallelRuntime, PartitionCoversRangeExactlyOnce) {
+  const ThreadGuard guard;
+  par::set_max_threads(7);
+  const std::int64_t n = 10007;  // prime: uneven split across 7 parts
+  std::vector<int> hits(static_cast<std::size_t>(n), 0);
+  par::parallel_for(0, n, 16, [&](std::int64_t i0, std::int64_t i1) {
+    for (std::int64_t i = i0; i < i1; ++i) {
+      ++hits[static_cast<std::size_t>(i)];  // one chunk owns each index
+    }
+  });
+  for (std::int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)], 1) << "index " << i;
+  }
+}
+
+TEST(ParallelRuntime, ChunksAreContiguousAndOrderedPerSlot) {
+  const ThreadGuard guard;
+  par::set_max_threads(5);
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  par::parallel_for(0, 1000, 10, [&](std::int64_t i0, std::int64_t i1) {
+    const std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(i0, i1);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 0);
+  EXPECT_EQ(chunks.back().second, 1000);
+  for (std::size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);  // no gap, no overlap
+  }
+}
+
+TEST(ParallelRuntime, SlotStaysWithinMaxSlots) {
+  const ThreadGuard guard;
+  par::set_max_threads(4);
+  const int slots = par::max_slots();
+  std::atomic<bool> ok{true};
+  par::parallel_for(0, 4096, 1,
+                    [&](std::int64_t, std::int64_t, int slot) {
+                      if (slot < 0 || slot >= slots) ok = false;
+                    });
+  EXPECT_TRUE(ok);
+}
+
+TEST(ParallelRuntime, NestedParallelForRunsInlineAndStaysCorrect) {
+  const ThreadGuard guard;
+  par::set_max_threads(4);
+  std::vector<std::int64_t> sums(8, 0);
+  par::parallel_for(0, 8, 1, [&](std::int64_t o0, std::int64_t o1) {
+    for (std::int64_t o = o0; o < o1; ++o) {
+      // Inner region must run inline on this worker (no pool re-entry).
+      par::parallel_for(0, 100, 1, [&](std::int64_t i0, std::int64_t i1,
+                                       int slot) {
+        EXPECT_EQ(slot, 0);  // inline ⇒ single chunk, slot 0
+        for (std::int64_t i = i0; i < i1; ++i) sums[o] += i;
+      });
+    }
+  });
+  for (const std::int64_t s : sums) EXPECT_EQ(s, 4950);
+}
+
+TEST(ParallelRuntime, BodyExceptionPropagatesToCaller) {
+  const ThreadGuard guard;
+  par::set_max_threads(4);
+  EXPECT_THROW(
+      par::parallel_for(0, 1000, 1,
+                        [&](std::int64_t i0, std::int64_t) {
+                          if (i0 > 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must survive a throwing region and accept the next one.
+  std::atomic<std::int64_t> count{0};
+  par::parallel_for(0, 100, 1,
+                    [&](std::int64_t i0, std::int64_t i1) { count += i1 - i0; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelRuntime, SetMaxThreadsClampsAndRoundTrips) {
+  const ThreadGuard guard;
+  par::set_max_threads(3);
+  EXPECT_EQ(par::max_threads(), 3);
+  EXPECT_GE(par::max_slots(), 3);
+  par::set_max_threads(0);  // clamped
+  EXPECT_EQ(par::max_threads(), 1);
+  std::int64_t sum = 0;  // single-thread pool runs bodies inline
+  par::parallel_for(0, 10, 1,
+                    [&](std::int64_t i0, std::int64_t i1) {
+                      for (std::int64_t i = i0; i < i1; ++i) sum += i;
+                    });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(ParallelRuntime, EmptyAndSingleElementRanges) {
+  const ThreadGuard guard;
+  par::set_max_threads(4);
+  int calls = 0;
+  par::parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  par::parallel_for(5, 6, 1, [&](std::int64_t i0, std::int64_t i1) {
+    EXPECT_EQ(i0, 5);
+    EXPECT_EQ(i1, 6);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+// ---- determinism across thread counts ----
+
+DatasetSpec tiny_spec() {
+  DatasetSpec s;
+  s.classes = 4;
+  s.height = s.width = 8;
+  s.train_size = 96;
+  s.test_size = 48;
+  s.noise = 0.25F;
+  s.class_sep = 1.2F;
+  s.seed = 5;
+  return s;
+}
+
+void qat_train(Sequential& model, const SyntheticImageDataset& data,
+               int epochs, float lr) {
+  TrainerOptions o;
+  o.train.epochs = epochs;
+  o.train.lr = lr;
+  auto tr = make_trainer("qat", model, data, o);
+  tr->fit();
+  freeze_quantizers(model);
+}
+
+void expect_bit_identical(const ITensor& a, const ITensor& b, int threads) {
+  ASSERT_EQ(a.numel(), b.numel());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "element " << i << " diverged at " << threads
+                          << " threads";
+  }
+}
+
+/// Replaces every occurrence of `dir` so reports written into different
+/// temp dirs (one per thread count) compare equal when the data matches.
+std::string strip_dir(std::string json, const std::string& dir) {
+  for (std::size_t p = json.find(dir); p != std::string::npos;
+       p = json.find(dir, p)) {
+    json.replace(p, dir.size(), "<golden>");
+  }
+  return json;
+}
+
+std::map<std::string, std::string> read_dir_bytes(const std::string& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    std::ifstream is(e.path(), std::ios::binary);
+    files[e.path().filename().string()] = std::string(
+        std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>());
+  }
+  return files;
+}
+
+TEST(ParallelDeterminism, CnnIntegerPathBitIdenticalAcrossThreadCounts) {
+  const ThreadGuard guard;
+  SyntheticImageDataset data(tiny_spec());
+  ModelConfig mc;
+  mc.num_classes = 4;
+  mc.width_mult = 0.25F;
+  mc.seed = 3;
+  auto model = make_resnet20(mc);
+  qat_train(*model, data, 2, 0.08F);
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  T2CConverter conv(cfg);
+  const DeployModel dm = conv.convert(*model);
+
+  Tensor x({8, 3, 8, 8});
+  for (int i = 0; i < 8; ++i) x.set0(i, data.test_images().select0(i));
+
+  par::set_max_threads(1);
+  const ITensor q1 = dm.quantize_input(x);
+  const ITensor y1 = dm.run_int(q1);
+  for (const int t : {4, 16}) {
+    par::set_max_threads(t);
+    const ITensor q = dm.quantize_input(x);
+    expect_bit_identical(q1, q, t);
+    expect_bit_identical(y1, dm.run_int(q), t);
+  }
+}
+
+TEST(ParallelDeterminism, VitAuditAndGoldenVectorsIdenticalAcrossThreadCounts) {
+  const ThreadGuard guard;
+  SyntheticImageDataset data(tiny_spec());
+  ModelConfig mc;
+  mc.num_classes = 4;
+  mc.width_mult = 1.0F;
+  mc.vit_dim = 16;
+  mc.vit_depth = 2;
+  mc.vit_heads = 2;
+  mc.vit_patch = 4;
+  mc.seed = 3;
+  auto model = make_vit(mc);
+  qat_train(*model, data, 2, 0.02F);
+  ConvertConfig cfg;
+  cfg.input_shape = {3, 8, 8};
+  T2CConverter conv(cfg);
+  const DeployModel dm = conv.convert(*model);
+
+  Tensor x({4, 3, 8, 8});
+  for (int i = 0; i < 4; ++i) x.set0(i, data.test_images().select0(i));
+
+  // The audit compares the float path against the integer path, so an
+  // identical JSON at every thread count pins down BOTH paths bit-wise.
+  std::string json1;
+  std::map<std::string, std::string> golden1;
+  ITensor y1({1});
+  for (const int t : {1, 4, 16}) {
+    par::set_max_threads(t);
+    const ITensor y = dm.run_int(dm.quantize_input(x));
+    AuditConfig acfg;
+    acfg.golden_dir =
+        ::testing::TempDir() + "/t2c_par_golden_" + std::to_string(t);
+    std::filesystem::remove_all(acfg.golden_dir);
+    const AuditReport rep = run_dualpath_audit(*model, dm, x, acfg);
+    EXPECT_FALSE(rep.golden_files.empty());
+    const auto golden = read_dir_bytes(acfg.golden_dir);
+    if (t == 1) {
+      y1 = y;
+      json1 = strip_dir(rep.to_json(), acfg.golden_dir);
+      golden1 = golden;
+    } else {
+      expect_bit_identical(y1, y, t);
+      EXPECT_EQ(json1, strip_dir(rep.to_json(), acfg.golden_dir))
+          << "audit diverged at " << t;
+      ASSERT_EQ(golden1.size(), golden.size());
+      for (const auto& [name, bytes] : golden1) {
+        const auto it = golden.find(name);
+        ASSERT_NE(it, golden.end()) << name << " missing at " << t;
+        EXPECT_EQ(bytes, it->second) << name << " diverged at " << t;
+      }
+    }
+  }
+  // The audit clobbers the global tap registries; leave them empty for
+  // suites that assert on pristine capture state.
+  obs::float_taps().clear();
+  obs::int_taps().clear();
+}
+
+}  // namespace
+}  // namespace t2c

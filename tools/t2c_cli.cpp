@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "audit/dualpath_audit.h"
+#include "core/parallel.h"
 #include "core/registry.h"
 #include "core/t2c.h"
 #include "models/models.h"
@@ -64,6 +65,7 @@ struct Args {
   std::string audit_json;
   std::string audit_golden_dir;
   double audit_threshold_db = 20.0;
+  int threads = 0;  ///< 0 = leave the pool at its T2C_THREADS/HW default
 };
 
 DatasetSpec dataset_by_name(const std::string& name) {
@@ -127,6 +129,10 @@ Args parse(int argc, char** argv) {
       a.audit_threshold_db = std::atof(want(i++));
       a.audit = true;
     }
+    else if (f == "--threads") {
+      a.threads = std::atoi(want(i++));
+      check(a.threads >= 1, "--threads must be >= 1");
+    }
     else if (f == "--help") {
       std::puts(
           "usage: t2c_cli [--model M] [--dataset D] [--trainer T]\n"
@@ -137,7 +143,11 @@ Args parse(int argc, char** argv) {
           "               [--metrics-json PATH] [--trace-json PATH]\n"
           "               [--audit] [--audit-json PATH]\n"
           "               [--audit-golden-dir DIR] [--audit-threshold-db DB]\n"
-          "JSON PATHs accept '-' for stdout.");
+          "               [--threads N]\n"
+          "JSON PATHs accept '-' for stdout.\n"
+          "--threads sizes the worker pool (default: T2C_THREADS env var,\n"
+          "else hardware concurrency); integer outputs are bit-identical\n"
+          "at any setting.");
       std::exit(0);
     } else {
       fail("unknown flag '" + f + "' (try --help)");
@@ -223,6 +233,7 @@ int main(int argc, char** argv) {
     if (!a.log_level.empty()) {
       obs::set_log_level(obs::parse_log_level(a.log_level));
     }
+    if (a.threads > 0) par::set_max_threads(a.threads);
     // The CLI is a reporting tool: metrics are always on (the per-op table
     // below depends on them); tracing only when someone asked for the file.
     obs::set_metrics_enabled(true);
