@@ -1,0 +1,114 @@
+// Deploy-graph memory-planning bench (DESIGN.md "Deploy-graph IR"):
+// run_int() latency and peak intermediate bytes of the liveness-planned
+// arena executor, at --opt-level 0 (graph exactly as emitted) vs the full
+// pass pipeline, for the CIFAR ResNet-20 and the tiny ViT.
+//
+// naive bytes   what the retired keep-everything executor held live
+//               (the input copy plus every op output until the end);
+// peak bytes    the arena executor's liveness high-water mark;
+// arena bytes   heap retained between runs for buffer recycling.
+//
+// The acceptance bar recorded in README.md: on the CIFAR ResNet the peak
+// is at most 50% of naive. Set T2C_BENCH_JSON for machine-readable rows.
+#include "bench_util.h"
+
+#include "deploy/exec_plan.h"
+#include "fusion/converter.h"
+
+namespace {
+
+using namespace t2c;
+using namespace t2c::bench;
+
+struct Row {
+  std::string model;
+  int opt_level = 0;
+  DeployModel dm;
+};
+
+DeployModel convert_at(Sequential& model, const DatasetSpec& spec,
+                       int opt_level) {
+  ConvertConfig cfg;
+  cfg.input_shape = {spec.channels, spec.height, spec.width};
+  cfg.opt_level = opt_level;
+  T2CConverter conv(cfg);
+  return conv.convert(model);
+}
+
+std::string mib(std::int64_t bytes) {
+  return fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 3);
+}
+
+}  // namespace
+
+int main() {
+  const DatasetSpec spec = cifar_bench_spec();
+  SyntheticImageDataset data(spec);
+
+  TrainerOptions o;
+  o.train.epochs = 2 * scale_factor();
+
+  ModelConfig rc;
+  rc.num_classes = spec.classes;
+  rc.width_mult = 0.5F;
+  rc.seed = 3;
+  auto resnet = make_resnet20(rc);
+  make_trainer("qat", *resnet, data, o)->fit();
+  freeze_quantizers(*resnet);
+
+  ModelConfig vc;
+  vc.num_classes = spec.classes;
+  vc.vit_dim = 32;
+  vc.vit_depth = 2;
+  vc.vit_heads = 4;
+  vc.vit_patch = 4;
+  vc.seed = 3;
+  auto vit = make_vit(vc);
+  make_trainer("qat", *vit, data, o)->fit();
+  freeze_quantizers(*vit);
+
+  std::vector<Row> rows;
+  for (const int opt : {0, 2}) {
+    rows.push_back({"resnet20", opt, convert_at(*resnet, spec, opt)});
+    rows.push_back({"vit", opt, convert_at(*vit, spec, opt)});
+  }
+
+  const std::int64_t batch = 8;
+  Tensor x({batch, spec.channels, spec.height, spec.width});
+  for (std::int64_t i = 0; i < batch; ++i) {
+    x.set0(i, data.test_images().select0(i));
+  }
+
+  std::printf("deploy memory planning: batch %lld, %dx%d input, "
+              "opt-level 0 vs 2\n",
+              static_cast<long long>(batch), spec.height, spec.width);
+  Table t({10, 9, 5, 6, 8, 11, 10, 10, 10});
+  t.rule();
+  t.row({"model", "opt", "ops", "slots", "inplace", "naive MiB", "peak MiB",
+         "arena MiB", "run ms"});
+  t.rule();
+
+  std::vector<BenchStat> stats;
+  double resnet_ratio = 0.0;
+  for (Row& r : rows) {
+    const ITensor q = r.dm.quantize_input(x);
+    const std::string name =
+        r.model + ".opt" + std::to_string(r.opt_level) + ".run_int";
+    const BenchStat st = time_reps(name, [&] { (void)r.dm.run_int(q); }, 10);
+    stats.push_back(st);
+    const DeployModel::MemoryStats mem = r.dm.memory_stats();
+    t.row({r.model, std::to_string(r.opt_level),
+           std::to_string(r.dm.num_ops()), std::to_string(mem.plan_slots),
+           std::to_string(mem.inplace_steps), mib(mem.naive_bytes),
+           mib(mem.peak_bytes), mib(mem.arena_bytes), fmt(st.mean_ms, 2)});
+    if (r.model == "resnet20" && r.opt_level == 2) {
+      resnet_ratio = 100.0 * static_cast<double>(mem.peak_bytes) /
+                     static_cast<double>(mem.naive_bytes);
+    }
+  }
+  t.rule();
+  std::printf("resnet20 peak/naive: %.1f%% (acceptance: <= 50%%)\n",
+              resnet_ratio);
+  write_bench_json(stats);
+  return 0;
+}

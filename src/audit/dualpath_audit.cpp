@@ -263,15 +263,17 @@ void dump_golden(const DeployModel& dm, const AuditConfig& cfg,
     char pre[32];
     std::snprintf(pre, sizeof(pre), "%03zu_", i);
     const std::string stem = pre + memory_image_name(op.label);
-    // Inputs first: value 0 is the quantized network input, value id > 0 is
-    // the output of op id-1 and was captured under that op's key.
+    // Inputs first: the graph view maps each operand value back to its
+    // producing op, whose key the tap was captured under (value 0 = the
+    // quantized network input).
     for (std::size_t k = 0; k < op.inputs.size(); ++k) {
       const int id = op.inputs[k];
+      const int prod = dm.producer_of(id);
       const std::string in_key =
-          id == 0 ? std::string(obs::kInputTapLabel)
-                  : obs::op_tap_key(static_cast<std::size_t>(id - 1),
-                                    dm.op(static_cast<std::size_t>(id - 1))
-                                        .label);
+          prod < 0 ? std::string(obs::kInputTapLabel)
+                   : obs::op_tap_key(static_cast<std::size_t>(prod),
+                                     dm.op(static_cast<std::size_t>(prod))
+                                         .label);
       if (!taps.has(in_key) || !taps.tap(in_key).complete()) continue;
       emit(i, op.kind(), op.label, stem + ".in" + std::to_string(k),
            taps.tap(in_key));

@@ -2,19 +2,19 @@
 
 #include <cmath>
 
+#include <algorithm>
 #include <map>
 #include <numeric>
 #include <sstream>
 
 #include "core/parallel.h"
+#include "deploy/exec_plan.h"
 #include "deploy/int_ops.h"
 #include "deploy/vit_ops.h"
-#include "obs/capture.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/reduce.h"
 #include "util/check.h"
-#include "util/stopwatch.h"
 #include "xport/writers.h"
 
 namespace t2c {
@@ -38,14 +38,46 @@ void SatCounterCache::add(const char* kind, const std::string& label,
   total_.load(std::memory_order_acquire)->add(sat);
 }
 
+void DeployOp::run_into(const std::vector<const ITensor*>& ins,
+                        ITensor& out) const {
+  out = run(ins);
+}
+
+void recycle_tensor(ITensor& out, const Shape& shape) {
+  if (out.shape() == shape) return;
+  std::vector<std::int64_t> buf = std::move(out.vec());
+  buf.resize(static_cast<std::size_t>(shape_numel(shape)));
+  out = ITensor::from(shape, std::move(buf));
+}
+
+DeployModel::DeployModel() : exec_(std::make_unique<ExecState>()) {
+  consumers_.emplace_back();  // value 0: the network input
+}
+DeployModel::~DeployModel() = default;
+DeployModel::DeployModel(DeployModel&&) noexcept = default;
+DeployModel& DeployModel::operator=(DeployModel&&) noexcept = default;
+
 int DeployModel::add_op(std::unique_ptr<DeployOp> op) {
   check(op != nullptr, "DeployModel::add_op(nullptr)");
   for (int in : op->inputs) {
-    check(in >= 0 && in <= static_cast<int>(ops_.size()),
-          "DeployModel: op consumes a value that does not exist yet");
+    if (in < 0 || in > static_cast<int>(ops_.size())) {
+      std::ostringstream os;
+      os << "DeployModel::add_op: op #" << ops_.size() << " (" << op->kind()
+         << (op->label.empty() ? "" : " '" + op->label + "'")
+         << ") consumes value v" << in << ", but only v0..v" << ops_.size()
+         << " exist — inputs must name the network input or an earlier "
+            "op's output";
+      check(false, os.str());
+    }
   }
+  const int op_index = static_cast<int>(ops_.size());
+  for (int in : op->inputs) {
+    consumers_[static_cast<std::size_t>(in)].push_back(op_index);
+  }
+  consumers_.emplace_back();  // this op's output value, no consumers yet
   ops_.push_back(std::move(op));
   audit_.emplace_back();
+  invalidate_plan();
   return static_cast<int>(ops_.size());  // value id of this op's output
 }
 
@@ -64,6 +96,98 @@ void DeployModel::set_output(int value_id) {
   check(value_id >= 0 && value_id <= static_cast<int>(ops_.size()),
         "DeployModel::set_output: unknown value id");
   output_id_ = value_id;
+  invalidate_plan();
+}
+
+int DeployModel::producer_of(int value_id) const {
+  check(value_id >= 0 && value_id < num_values(),
+        "DeployModel::producer_of: unknown value id");
+  return value_id - 1;
+}
+
+const std::vector<int>& DeployModel::consumers_of(int value_id) const {
+  check(value_id >= 0 && value_id < num_values(),
+        "DeployModel::consumers_of: unknown value id");
+  return consumers_[static_cast<std::size_t>(value_id)];
+}
+
+void DeployModel::rebuild_consumers() {
+  consumers_.assign(static_cast<std::size_t>(num_values()), {});
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    for (int in : ops_[i]->inputs) {
+      consumers_[static_cast<std::size_t>(in)].push_back(
+          static_cast<int>(i));
+    }
+  }
+}
+
+void DeployModel::invalidate_plan() {
+  if (!exec_) return;
+  const std::lock_guard<std::mutex> lock(exec_->mu);
+  exec_->plan.reset();
+  exec_->idle.clear();
+  exec_->stats = MemoryStats{};
+}
+
+void DeployModel::replace_uses(int from, int to) {
+  check(from >= 1 && from < num_values() && to >= 0 && to < num_values(),
+        "DeployModel::replace_uses: unknown value id");
+  check(to < from,
+        "DeployModel::replace_uses: replacement must be produced earlier");
+  for (auto& op : ops_) {
+    for (int& in : op->inputs) {
+      if (in == from) in = to;
+    }
+  }
+  if (output_id_ == from) output_id_ = to;
+  rebuild_consumers();
+  invalidate_plan();
+}
+
+std::size_t DeployModel::erase_ops(const std::vector<bool>& keep) {
+  check(keep.size() == ops_.size(),
+        "DeployModel::erase_ops: keep mask size mismatch");
+  // New id of each surviving value; -1 marks a removed op's output.
+  std::vector<int> new_id(static_cast<std::size_t>(num_values()), -1);
+  new_id[0] = 0;
+  int next = 1;
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (keep[i]) new_id[i + 1] = next++;
+  }
+  std::size_t removed = 0;
+  std::vector<std::unique_ptr<DeployOp>> ops;
+  std::vector<OpAuditInfo> audit;
+  ops.reserve(static_cast<std::size_t>(next) - 1);
+  audit.reserve(static_cast<std::size_t>(next) - 1);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (!keep[i]) {
+      for (int c : consumers_[i + 1]) {
+        check(!keep[static_cast<std::size_t>(c)],
+              "DeployModel::erase_ops: op '" + ops_[i]->kind() +
+                  "' still has uses");
+      }
+      ++removed;
+      continue;
+    }
+    for (int& in : ops_[i]->inputs) {
+      const int mapped = new_id[static_cast<std::size_t>(in)];
+      check(mapped >= 0, "DeployModel::erase_ops: operand of kept op '" +
+                             ops_[i]->kind() + "' was removed");
+      in = mapped;
+    }
+    ops.push_back(std::move(ops_[i]));
+    audit.push_back(std::move(audit_[i]));
+  }
+  ops_ = std::move(ops);
+  audit_ = std::move(audit);
+  if (output_id_ >= 0) {
+    const int mapped = new_id[static_cast<std::size_t>(output_id_)];
+    check(mapped >= 0, "DeployModel::erase_ops: output value was removed");
+    output_id_ = mapped;
+  }
+  rebuild_consumers();
+  invalidate_plan();
+  return removed;
 }
 
 const DeployOp& DeployModel::op(std::size_t i) const {
@@ -102,52 +226,69 @@ ITensor DeployModel::quantize_input(const Tensor& x) const {
   return q;
 }
 
+const ExecutionPlan& DeployModel::plan() const {
+  const std::lock_guard<std::mutex> lock(exec_->mu);
+  if (!exec_->plan) {
+    exec_->plan = std::make_unique<ExecutionPlan>(ExecutionPlan::compile(*this));
+  }
+  return *exec_->plan;
+}
+
+DeployModel::MemoryStats DeployModel::memory_stats() const {
+  const std::lock_guard<std::mutex> lock(exec_->mu);
+  MemoryStats s = exec_->stats;
+  if (exec_->plan) {
+    s.plan_slots = exec_->plan->num_slots();
+    s.inplace_steps = exec_->plan->inplace_steps();
+  }
+  return s;
+}
+
 ITensor DeployModel::run_int(const ITensor& input) const {
   check(output_id_ >= 0, "DeployModel: output not set");
-  std::vector<ITensor> values;
-  values.reserve(ops_.size() + 1);
-  values.push_back(input);
-  // One flag read per run; the per-op key strings are only built when the
-  // observability layer is on, so the disabled path is the seed hot loop
-  // plus a single predictable branch per op.
-  const bool prof = obs::metrics_enabled();
-  const bool trace = obs::trace_enabled();
-  const bool cap = obs::capture_enabled();
-  if (cap) {
-    obs::int_taps().record(obs::kInputTapLabel, input.data(), input.numel(),
-                           input.shape());
-  }
-  for (std::size_t oi = 0; oi < ops_.size(); ++oi) {
-    const auto& op = ops_[oi];
-    std::vector<const ITensor*> ins;
-    ins.reserve(op->inputs.size());
-    for (int id : op->inputs) {
-      ins.push_back(&values[static_cast<std::size_t>(id)]);
+  // Plan once, then hand each concurrent run its own arena; buffers stay
+  // pooled across runs so steady-state serving reuses warm allocations.
+  const ExecutionPlan* plan = nullptr;
+  std::unique_ptr<Arena> arena;
+  {
+    const std::lock_guard<std::mutex> lock(exec_->mu);
+    if (!exec_->plan) {
+      exec_->plan =
+          std::make_unique<ExecutionPlan>(ExecutionPlan::compile(*this));
     }
-    if (prof || trace) {
-      const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
-      Stopwatch sw;
-      values.push_back(op->run(ins));
-      const double ms = sw.millis();
-      const std::string key =
-          op->kind() + (op->label.empty() ? "" : ":" + op->label);
-      if (prof) {
-        obs::metrics().histogram("deploy.op_ms." + key).observe(ms);
-      }
-      if (trace) {
-        obs::tracer().record({key, "deploy", ts,
-                              static_cast<std::int64_t>(ms * 1000.0)});
-      }
-    } else {
-      values.push_back(op->run(ins));
-    }
-    if (cap) {
-      const ITensor& v = values.back();
-      obs::int_taps().record(obs::op_tap_key(oi, op->label), v.data(),
-                             v.numel(), v.shape());
+    plan = exec_->plan.get();
+    if (!exec_->idle.empty()) {
+      arena = std::move(exec_->idle.back());
+      exec_->idle.pop_back();
     }
   }
-  return values[static_cast<std::size_t>(output_id_)];
+  if (!arena) arena = std::make_unique<Arena>();
+  MemoryStats run_stats;
+  ITensor out = plan->execute(*this, input, *arena, run_stats);
+  {
+    const std::lock_guard<std::mutex> lock(exec_->mu);
+    MemoryStats& agg = exec_->stats;
+    agg.naive_bytes = std::max(agg.naive_bytes, run_stats.naive_bytes);
+    agg.peak_bytes = std::max(agg.peak_bytes, run_stats.peak_bytes);
+    agg.arena_bytes = std::max(agg.arena_bytes, run_stats.arena_bytes);
+    agg.plan_slots = run_stats.plan_slots;
+    agg.inplace_steps = run_stats.inplace_steps;
+    agg.runs += 1;
+    exec_->idle.push_back(std::move(arena));
+  }
+  if (obs::metrics_enabled()) {
+    obs::metrics().gauge("deploy.mem.naive_bytes")
+        .set(static_cast<double>(run_stats.naive_bytes));
+    obs::metrics().gauge("deploy.mem.peak_bytes")
+        .set(static_cast<double>(run_stats.peak_bytes));
+    obs::metrics().gauge("deploy.mem.arena_bytes")
+        .set(static_cast<double>(run_stats.arena_bytes));
+    obs::metrics().gauge("deploy.mem.plan_slots")
+        .set(static_cast<double>(run_stats.plan_slots));
+    obs::metrics().gauge("deploy.mem.inplace_steps")
+        .set(static_cast<double>(run_stats.inplace_steps));
+  }
+  return out;
 }
 
 Tensor DeployModel::run(const Tensor& x) const {
@@ -220,6 +361,12 @@ DeployModel::Summary DeployModel::summarize() const {
     }
   }
   s.op_counts.assign(counts.begin(), counts.end());
+  s.mem = memory_stats();
+  if (s.mem.runs == 0 && output_id_ >= 0) {
+    // No run yet: the plan still gives the static planning numbers.
+    s.mem.plan_slots = plan().num_slots();
+    s.mem.inplace_steps = plan().inplace_steps();
+  }
   return s;
 }
 
@@ -234,6 +381,16 @@ std::string DeployModel::summary_text() const {
   os << "); " << s.weight_elements << " integer weights, "
      << (s.weight_storage_bits + 7) / 8 << " bytes at minimal width";
   if (s.lut_entries > 0) os << "; " << s.lut_entries << " LUT entries";
+  if (output_id_ >= 0) {
+    os << "\nmemory plan: " << s.mem.plan_slots << " arena slots, "
+       << s.mem.inplace_steps << " in-place steps";
+    if (s.mem.runs > 0) {
+      os << "; measured over " << s.mem.runs
+         << " runs: " << s.mem.naive_bytes << " B keep-everything, "
+         << s.mem.peak_bytes << " B planned peak, " << s.mem.arena_bytes
+         << " B arena retained";
+    }
+  }
   return os.str();
 }
 

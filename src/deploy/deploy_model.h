@@ -50,6 +50,19 @@ class DeployOp {
   virtual ITensor run(const std::vector<const ITensor*>& ins) const = 0;
   virtual std::string kind() const = 0;
 
+  /// True for pure element-wise ops: the output has ins[0]'s shape, every
+  /// output element depends only on the same-index input element(s), and
+  /// run_into() recycles storage. Only such ops may execute in place on
+  /// their first input's buffer (the planner checks the value is dead).
+  virtual bool elementwise() const { return false; }
+
+  /// Runs the op writing into `out`, reusing out's heap storage when the
+  /// op supports it. `out` may alias *ins[0] (in-place execution) only
+  /// when elementwise() is true. The default discards out's storage and
+  /// falls back to run().
+  virtual void run_into(const std::vector<const ITensor*>& ins,
+                        ITensor& out) const;
+
   /// Writes the op's parameters as whitespace-separated tokens — the
   /// payload of the integer checkpoint (xport/checkpoint.h). Each op kind
   /// has a matching loader registered there.
@@ -58,6 +71,11 @@ class DeployOp {
   std::vector<int> inputs;  ///< value ids consumed (most ops: one)
   std::string label;        ///< provenance ("stage1.block0.conv1", ...)
 };
+
+/// run_into() helper: gives `out` the target shape, reusing its heap block
+/// when the capacity suffices. When out already has that shape (in-place
+/// execution aliasing the input) the data is left untouched.
+void recycle_tensor(ITensor& out, const Shape& shape);
 
 /// Converter-attached metadata mapping one deploy op's integer output back
 /// onto the fake-quant training path — the label map the dual-path
@@ -76,9 +94,21 @@ struct OpAuditInfo {
   std::int64_t qmax = 0;
 };
 
+class ExecutionPlan;
+struct ExecState;
+
 class DeployModel {
  public:
-  /// Appends an op; returns the value id its output occupies.
+  DeployModel();
+  ~DeployModel();
+  DeployModel(DeployModel&&) noexcept;
+  DeployModel& operator=(DeployModel&&) noexcept;
+  DeployModel(const DeployModel&) = delete;
+  DeployModel& operator=(const DeployModel&) = delete;
+
+  /// Appends an op; returns the value id its output occupies. Rejects
+  /// out-of-range / forward-referencing input ids with a diagnostic
+  /// naming the offending op.
   int add_op(std::unique_ptr<DeployOp> op);
 
   void set_output(int value_id);
@@ -87,6 +117,32 @@ class DeployModel {
   std::size_t num_ops() const { return ops_.size(); }
   const DeployOp& op(std::size_t i) const;
   DeployOp& mutable_op(std::size_t i);
+
+  // ---- graph view ----
+  // Values are the SSA names: value 0 is the network input, op i produces
+  // value i + 1. The consumer lists are maintained by add_op and rebuilt
+  // by the rewrite helpers, so passes can walk uses without re-scanning.
+
+  /// Number of SSA values (num_ops() + 1; value 0 is the input).
+  int num_values() const { return static_cast<int>(ops_.size()) + 1; }
+  /// Index of the op producing `value_id`, or -1 for the input value 0.
+  int producer_of(int value_id) const;
+  /// Op indices consuming `value_id`, ascending; an op consuming the value
+  /// through several operands appears once per use.
+  const std::vector<int>& consumers_of(int value_id) const;
+
+  // ---- pass support (see deploy/passes.h) ----
+
+  /// Rewrites every use of value `from` — op operands and the graph
+  /// output — to value `to`. `to` must be produced no later than `from`
+  /// so SSA dominance is preserved.
+  void replace_uses(int from, int to);
+
+  /// Removes the ops whose `keep` entry is false (keep.size() ==
+  /// num_ops()). Removed ops must be use-free; remaining value ids,
+  /// operands, the output id, and audit metadata are renumbered in place.
+  /// Returns the number of ops removed.
+  std::size_t erase_ops(const std::vector<bool>& keep);
 
   /// Attaches audit metadata to the op producing `value_id` (the id
   /// add_op returned). Converter-only; defaults to an empty OpAuditInfo.
@@ -104,8 +160,31 @@ class DeployModel {
   /// Quantizes a float input with the input spec.
   ITensor quantize_input(const Tensor& x) const;
 
-  /// Integer-only execution from an already-quantized input.
+  /// Integer-only execution from an already-quantized input. Runs the
+  /// liveness-planned arena executor (deploy/exec_plan.h): the plan is
+  /// compiled lazily on first use and cached until the graph mutates;
+  /// arena buffers are recycled across calls. Thread-safe against
+  /// concurrent run_int/run calls (each grabs its own arena).
   ITensor run_int(const ITensor& input) const;
+
+  /// The cached execution plan (compiled on demand; output must be set).
+  const ExecutionPlan& plan() const;
+
+  /// Memory-planning stats, aggregated (max per field) over every run
+  /// since the last graph mutation. naive_bytes is what the retired
+  /// keep-everything executor would have held live (input copy + every
+  /// intermediate); peak_bytes is the liveness high-water mark of the
+  /// arena executor; arena_bytes is the heap the arena retains between
+  /// runs for buffer recycling.
+  struct MemoryStats {
+    std::int64_t naive_bytes = 0;
+    std::int64_t peak_bytes = 0;
+    std::int64_t arena_bytes = 0;
+    std::size_t plan_slots = 0;     ///< arena slots the plan needs
+    std::size_t inplace_steps = 0;  ///< steps run in place on a dead input
+    std::size_t runs = 0;
+  };
+  MemoryStats memory_stats() const;
 
   /// Full pipeline: quantize -> integer graph -> dequantize logits.
   Tensor run(const Tensor& x) const;
@@ -123,6 +202,7 @@ class DeployModel {
     std::int64_t weight_elements = 0;  ///< conv/linear/attention weights
     std::int64_t weight_storage_bits = 0;  ///< at each tensor's minimal width
     std::int64_t lut_entries = 0;
+    MemoryStats mem;  ///< plan width + measured bytes (zero before any run)
   };
   Summary summarize() const;
 
@@ -130,9 +210,19 @@ class DeployModel {
   std::string summary_text() const;
 
  private:
+  void rebuild_consumers();
+  /// Drops the cached plan, pooled arenas, and memory stats; called by
+  /// every graph mutation.
+  void invalidate_plan();
+
   std::vector<std::unique_ptr<DeployOp>> ops_;
   std::vector<OpAuditInfo> audit_;  ///< parallel to ops_
+  std::vector<std::vector<int>> consumers_;  ///< per value id
   int output_id_ = -1;
+  /// Plan cache + arena pool + aggregated stats; behind a pointer so the
+  /// model stays movable (the state holds a mutex) and the header stays
+  /// free of exec_plan.h.
+  std::unique_ptr<ExecState> exec_;
 };
 
 }  // namespace t2c

@@ -1,0 +1,217 @@
+#include "deploy/exec_plan.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/capture.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/stopwatch.h"
+
+namespace t2c {
+
+namespace {
+
+constexpr std::int64_t kElemBytes =
+    static_cast<std::int64_t>(sizeof(std::int64_t));
+
+/// Spare buffers kept per arena. Element-wise steps that cannot run in
+/// place (live forks) draw from the pool, so a handful covers a graph.
+constexpr std::size_t kSpareCap = 8;
+
+}  // namespace
+
+std::int64_t Arena::retained_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& buf : spare) {
+    bytes += static_cast<std::int64_t>(buf.capacity()) * kElemBytes;
+  }
+  for (const auto& t : slots) bytes += t.numel() * kElemBytes;
+  return bytes;
+}
+
+ExecutionPlan ExecutionPlan::compile(const DeployModel& dm) {
+  check(dm.output_id() >= 0, "ExecutionPlan: output not set");
+  const int n = static_cast<int>(dm.num_ops());
+  // Ops are already topologically ordered (SSA append order), so a single
+  // ascending sweep leaves last_use[v] = the highest op index reading v.
+  std::vector<int> last_use(static_cast<std::size_t>(n) + 1, -1);
+  for (int i = 0; i < n; ++i) {
+    for (int in : dm.op(static_cast<std::size_t>(i)).inputs) {
+      last_use[static_cast<std::size_t>(in)] = i;
+    }
+  }
+  last_use[static_cast<std::size_t>(dm.output_id())] = n;  // outlives the run
+
+  ExecutionPlan p;
+  std::vector<int> slot_of(static_cast<std::size_t>(n) + 1, -1);
+  std::vector<int> free_slots;
+  p.steps_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const DeployOp& op = dm.op(static_cast<std::size_t>(i));
+    Step st;
+    st.op = i;
+    st.elementwise = op.elementwise();
+    st.in_slots.reserve(op.inputs.size());
+    for (int in : op.inputs) {
+      st.in_slots.push_back(in == 0 ? -1
+                                    : slot_of[static_cast<std::size_t>(in)]);
+    }
+    // In-place: element-wise op whose first operand is a non-input value
+    // read exactly once, dying here — the output takes over its buffer.
+    const int first = op.inputs.empty() ? 0 : op.inputs[0];
+    if (st.elementwise && first != 0 &&
+        last_use[static_cast<std::size_t>(first)] == i &&
+        std::count(op.inputs.begin(), op.inputs.end(), first) == 1) {
+      st.inplace = true;
+      st.out_slot = slot_of[static_cast<std::size_t>(first)];
+      ++p.inplace_steps_;
+    } else if (!free_slots.empty()) {
+      st.out_slot = free_slots.back();
+      free_slots.pop_back();
+    } else {
+      st.out_slot = static_cast<int>(p.num_slots_++);
+    }
+    const int v = i + 1;
+    slot_of[static_cast<std::size_t>(v)] = st.out_slot;
+    // Operands dying at this op release their slots — after the op runs,
+    // never before. The in-place operand's slot is the output now.
+    for (int in : op.inputs) {
+      if (in == 0 || last_use[static_cast<std::size_t>(in)] != i) continue;
+      if (st.inplace && in == first) continue;
+      const int s = slot_of[static_cast<std::size_t>(in)];
+      if (std::find(st.release.begin(), st.release.end(), s) !=
+          st.release.end()) {
+        continue;  // value read through several operands
+      }
+      st.release.push_back(s);
+      free_slots.push_back(s);
+    }
+    // A value nothing reads dies on arrival (dead code at --opt-level 0).
+    if (last_use[static_cast<std::size_t>(v)] < 0) {
+      st.release.push_back(st.out_slot);
+      free_slots.push_back(st.out_slot);
+    }
+    p.steps_.push_back(std::move(st));
+  }
+  p.output_slot_ =
+      dm.output_id() == 0
+          ? -1
+          : slot_of[static_cast<std::size_t>(dm.output_id())];
+  return p;
+}
+
+ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
+                               Arena& arena,
+                               DeployModel::MemoryStats& stats) const {
+  arena.slots.resize(num_slots_);
+  const bool prof = obs::metrics_enabled();
+  const bool trace = obs::trace_enabled();
+  const bool cap = obs::capture_enabled();
+  if (cap) {
+    obs::int_taps().record(obs::kInputTapLabel, input.data(), input.numel(),
+                           input.shape());
+  }
+  stats = DeployModel::MemoryStats{};
+  stats.plan_slots = num_slots_;
+  stats.inplace_steps = inplace_steps_;
+  stats.runs = 1;
+  // naive = what the keep-everything executor held live at once: an input
+  // copy plus every intermediate, none released before the end.
+  stats.naive_bytes = input.numel() * kElemBytes;
+  std::int64_t live = 0;
+  for (const Step& st : steps_) {
+    const DeployOp& op = dm.op(static_cast<std::size_t>(st.op));
+    std::vector<const ITensor*> ins;
+    ins.reserve(st.in_slots.size());
+    for (int s : st.in_slots) {
+      ins.push_back(s < 0 ? &input
+                          : &arena.slots[static_cast<std::size_t>(s)]);
+    }
+    ITensor out;
+    if (st.elementwise) {
+      if (st.inplace) {
+        out = std::move(arena.slots[static_cast<std::size_t>(st.out_slot)]);
+        ins[0] = &out;  // first operand and output share the buffer
+      } else if (!arena.spare.empty()) {
+        std::vector<std::int64_t> buf = std::move(arena.spare.back());
+        arena.spare.pop_back();
+        buf.clear();
+        out = ITensor::from({0}, std::move(buf));
+      }
+    }
+    if (prof || trace) {
+      const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
+      Stopwatch sw;
+      op.run_into(ins, out);
+      const double ms = sw.millis();
+      const std::string key =
+          op.kind() + (op.label.empty() ? "" : ":" + op.label);
+      if (prof) {
+        obs::metrics().histogram("deploy.op_ms." + key).observe(ms);
+      }
+      if (trace) {
+        obs::tracer().record({key, "deploy", ts,
+                              static_cast<std::int64_t>(ms * 1000.0)});
+      }
+    } else {
+      op.run_into(ins, out);
+    }
+    if (cap) {
+      obs::int_taps().record(
+          obs::op_tap_key(static_cast<std::size_t>(st.op), op.label),
+          out.data(), out.numel(), out.shape());
+    }
+    const std::int64_t out_bytes = out.numel() * kElemBytes;
+    stats.naive_bytes += out_bytes;
+    if (!st.inplace) live += out_bytes;  // in place: buffer already counted
+    stats.peak_bytes = std::max(stats.peak_bytes, live);
+    arena.slots[static_cast<std::size_t>(st.out_slot)] = std::move(out);
+    for (int s : st.release) {
+      ITensor& dead = arena.slots[static_cast<std::size_t>(s)];
+      live -= dead.numel() * kElemBytes;
+      if (arena.spare.size() < kSpareCap && dead.numel() > 0) {
+        arena.spare.push_back(std::move(dead.vec()));
+      }
+      dead = ITensor();
+    }
+  }
+  ITensor result =
+      output_slot_ < 0
+          ? input
+          : std::move(arena.slots[static_cast<std::size_t>(output_slot_)]);
+  stats.arena_bytes = arena.retained_bytes();
+  return result;
+}
+
+std::string ExecutionPlan::render(const DeployModel& dm) const {
+  std::ostringstream os;
+  os << "plan: " << steps_.size() << " steps, " << num_slots_ << " slots, "
+     << inplace_steps_ << " in-place\n";
+  for (const Step& st : steps_) {
+    const DeployOp& op = dm.op(static_cast<std::size_t>(st.op));
+    os << "  " << std::setw(3) << st.op << "  " << std::left << std::setw(18)
+       << op.kind() << " " << std::setw(34)
+       << (op.label.empty() ? "-" : op.label) << std::right << " (";
+    for (std::size_t k = 0; k < op.inputs.size(); ++k) {
+      if (k) os << " ";
+      os << "v" << op.inputs[k];
+    }
+    os << ") -> s" << st.out_slot;
+    if (st.inplace) os << " inplace";
+    if (!st.release.empty()) {
+      os << " free[";
+      for (std::size_t k = 0; k < st.release.size(); ++k) {
+        if (k) os << " ";
+        os << "s" << st.release[k];
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace t2c

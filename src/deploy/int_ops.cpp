@@ -84,6 +84,29 @@ MulQuantOp::MulQuantOp(std::vector<std::int64_t> mul,
 ITensor MulQuantOp::run(const std::vector<const ITensor*>& ins) const {
   const ITensor& x = only_input(ins, "MulQuant");
   ITensor out(x.shape());
+  compute(x, out);
+  return out;
+}
+
+void MulQuantOp::run_into(const std::vector<const ITensor*>& ins,
+                          ITensor& out) const {
+  const ITensor& x = only_input(ins, "MulQuant");
+  recycle_tensor(out, x.shape());
+  compute(x, out);
+}
+
+void MulQuantOp::absorb_upshift(int k) {
+  check(k >= 0, "MulQuantOp::absorb_upshift: negative shift");
+  check(bias_frac_ + k <= 16,
+        "MulQuantOp::absorb_upshift: bias_frac would leave its range");
+  for (int f : frac_) {
+    check(f >= k, "MulQuantOp::absorb_upshift: frac_bits would go negative");
+  }
+  for (int& f : frac_) f -= k;
+  bias_frac_ += k;
+}
+
+void MulQuantOp::compute(const ITensor& x, ITensor& out) const {
   const bool prof = obs::metrics_enabled();
   SlotSats sats;
   const auto apply = [&](std::int64_t v, std::size_t e, std::int64_t& sat) {
@@ -149,7 +172,6 @@ ITensor MulQuantOp::run(const std::vector<const ITensor*>& ins) const {
     }
   }
   if (prof) sat_cache_.add("MulQuant", label, sats.total());
-  return out;
 }
 
 IntConv2dOp::IntConv2dOp(ITensor weight, ConvSpec spec)
@@ -193,6 +215,27 @@ ITensor IntAddOp::run(const std::vector<const ITensor*>& ins) const {
   const ITensor& b = *ins[1];
   check(a.same_shape(b), "IntAdd: shape mismatch");
   ITensor out(a.shape());
+  compute(a, b, out);
+  return out;
+}
+
+void IntAddOp::run_into(const std::vector<const ITensor*>& ins,
+                        ITensor& out) const {
+  check(ins.size() == 2 && ins[0] != nullptr && ins[1] != nullptr,
+        "IntAdd: expects two inputs");
+  const ITensor& a = *ins[0];
+  const ITensor& b = *ins[1];
+  check(a.same_shape(b), "IntAdd: shape mismatch");
+  if (&out == &b && &out != &a) {
+    out = run(ins);  // planner never aliases operand 1; stay safe anyway
+    return;
+  }
+  recycle_tensor(out, a.shape());
+  compute(a, b, out);
+}
+
+void IntAddOp::compute(const ITensor& a, const ITensor& b,
+                       ITensor& out) const {
   const bool prof = obs::metrics_enabled();
   SlotSats sats;
   par::parallel_for(0, a.numel(), kElemGrain,
@@ -206,7 +249,6 @@ ITensor IntAddOp::run(const std::vector<const ITensor*>& ins) const {
                       sats[slot] += sat;
                     });
   if (prof) sat_cache_.add("IntAdd", label, sats.total());
-  return out;
 }
 
 IntMaxPool2dOp::IntMaxPool2dOp(int kernel, int stride, int padding)

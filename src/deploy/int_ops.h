@@ -44,8 +44,18 @@ class MulQuantOp final : public DeployOp {
              MqLayout layout, int bias_frac = 0);
 
   ITensor run(const std::vector<const ITensor*>& ins) const override;
+  bool elementwise() const override { return true; }
+  void run_into(const std::vector<const ITensor*>& ins,
+                ITensor& out) const override;
   std::string kind() const override { return "MulQuant"; }
   void save_params(std::ostream& os) const override;
+
+  /// Folds an upstream exact upshift requant (y = x << k) into this op.
+  /// With frac' = frac - k and bias_frac' = bias_frac + k the datapath
+  /// expression on the pre-shift input x is literally the original
+  /// expression on y, so outputs are bit-identical. Requires every frac
+  /// entry >= k and bias_frac + k within the constructor's range.
+  void absorb_upshift(int k);
 
   const std::vector<std::int64_t>& mul() const { return mul_; }
   const std::vector<std::int64_t>& bias() const { return bias_; }
@@ -56,6 +66,10 @@ class MulQuantOp final : public DeployOp {
   MqLayout layout() const { return layout_; }
 
  private:
+  /// The rescale sweep; `out` must be pre-sized to x's shape and may
+  /// alias x (same-index reads and writes only).
+  void compute(const ITensor& x, ITensor& out) const;
+
   std::vector<std::int64_t> mul_;
   std::vector<std::int64_t> bias_;
   std::vector<int> frac_;
@@ -104,10 +118,18 @@ class IntAddOp final : public DeployOp {
   IntAddOp(std::int64_t out_min, std::int64_t out_max);
 
   ITensor run(const std::vector<const ITensor*>& ins) const override;
+  bool elementwise() const override { return true; }
+  void run_into(const std::vector<const ITensor*>& ins,
+                ITensor& out) const override;
   std::string kind() const override { return "IntAdd"; }
   void save_params(std::ostream& os) const override;
 
+  std::int64_t out_min() const { return out_min_; }
+  std::int64_t out_max() const { return out_max_; }
+
  private:
+  void compute(const ITensor& a, const ITensor& b, ITensor& out) const;
+
   std::int64_t out_min_, out_max_;
   SatCounterCache sat_cache_;
 };
@@ -137,6 +159,9 @@ class IntGlobalAvgPoolOp final : public DeployOp {
   std::string kind() const override { return "IntGlobalAvgPool"; }
   void save_params(std::ostream& os) const override;
 
+  std::int64_t out_min() const { return out_min_; }
+  std::int64_t out_max() const { return out_max_; }
+
  private:
   std::int64_t mul_;
   int frac_bits_;
@@ -161,6 +186,9 @@ class IntMeanPoolTokensOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntMeanPoolTokens"; }
   void save_params(std::ostream& os) const override;
+
+  std::int64_t out_min() const { return out_min_; }
+  std::int64_t out_max() const { return out_max_; }
 
  private:
   std::int64_t mul_;

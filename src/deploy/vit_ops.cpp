@@ -124,6 +124,19 @@ ITensor LutGeluOp::run(const std::vector<const ITensor*>& ins) const {
   check(ins.size() == 1 && ins[0] != nullptr, "LutGelu: one input");
   const ITensor& x = *ins[0];
   ITensor out(x.shape());
+  compute(x, out);
+  return out;
+}
+
+void LutGeluOp::run_into(const std::vector<const ITensor*>& ins,
+                         ITensor& out) const {
+  check(ins.size() == 1 && ins[0] != nullptr, "LutGelu: one input");
+  const ITensor& x = *ins[0];
+  recycle_tensor(out, x.shape());
+  compute(x, out);
+}
+
+void LutGeluOp::compute(const ITensor& x, ITensor& out) const {
   const auto last = static_cast<std::int64_t>(lut_.size()) - 1;
   par::parallel_for(0, x.numel(), kElemGrain,
                     [&](std::int64_t i0, std::int64_t i1) {
@@ -136,7 +149,6 @@ ITensor LutGeluOp::run(const std::vector<const ITensor*>& ins) const {
                         out[i] = lut_[static_cast<std::size_t>(idx)];
                       }
                     });
-  return out;
 }
 
 IntLayerNormOp::IntLayerNormOp(std::vector<std::int64_t> gamma_fx,

@@ -48,12 +48,17 @@ class LutGeluOp final : public DeployOp {
             std::int64_t in_max, std::int64_t index_step);
 
   ITensor run(const std::vector<const ITensor*>& ins) const override;
+  bool elementwise() const override { return true; }
+  void run_into(const std::vector<const ITensor*>& ins,
+                ITensor& out) const override;
   std::string kind() const override { return "LutGelu"; }
   void save_params(std::ostream& os) const override;
 
   const std::vector<std::int64_t>& lut() const { return lut_; }
 
  private:
+  void compute(const ITensor& x, ITensor& out) const;
+
   std::vector<std::int64_t> lut_;
   std::int64_t in_min_, in_max_, index_step_;
 };
@@ -79,6 +84,8 @@ class IntLayerNormOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntLayerNorm"; }
   bool running_stats() const { return running_; }
+  std::int64_t out_min() const { return out_min_; }
+  std::int64_t out_max() const { return out_max_; }
   void save_params(std::ostream& os) const override;
 
  private:

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "deploy/int_ops.h"
+#include "deploy/passes.h"
 #include "deploy/vit_ops.h"
 #include "fusion/mulquant.h"
 #include "models/vit.h"
@@ -730,6 +731,11 @@ DeployModel T2CConverter::convert(Sequential& model) const {
   cur = emit_sequential(dm, model, cur, logits);
   dm.set_output(cur.id);
   dm.output_scale = cur.scale;
+  const std::size_t removed = optimize_deploy_graph(dm, cfg_.opt_level);
+  if (removed > 0) {
+    obs::log_debug("convert: passes removed ", removed, " ops at opt level ",
+                   cfg_.opt_level);
+  }
   if (obs::metrics_enabled()) {
     obs::metrics().counter("convert.ops_emitted").add(
         static_cast<std::int64_t>(dm.num_ops()));

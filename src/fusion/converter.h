@@ -42,6 +42,10 @@ struct ConvertConfig {
   int gelu_lut_size = 256;
   LayerNormStats ln_stats = LayerNormStats::kInstant;
   Shape input_shape;           ///< [C, H, W] of the deployed input
+  /// Pass-pipeline level run on the emitted graph (deploy/passes.h):
+  /// 0 = validate only, 1 = + dedup/dve, 2 = + exact requant folding.
+  /// Every level produces bit-identical integer outputs.
+  int opt_level = 2;
 };
 
 class T2CConverter {

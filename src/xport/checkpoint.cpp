@@ -1,6 +1,8 @@
 #include "xport/checkpoint.h"
 
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 #include "deploy/int_ops.h"
@@ -11,6 +13,15 @@ namespace t2c {
 namespace {
 
 constexpr const char* kHeader = "T2C-DEPLOY-V1";
+
+std::string escape_token(const std::string& s) {
+  if (s.empty()) return "-";
+  std::string out = s;
+  for (char& c : out) {
+    if (c == ' ' || c == '\n') c = '_';
+  }
+  return out;
+}
 
 std::vector<std::int64_t> read_vec(std::istream& is) {
   std::size_t n = 0;
@@ -136,6 +147,9 @@ std::unique_ptr<DeployOp> load_op(const std::string& kind, std::istream& is) {
 void save_checkpoint(const DeployModel& dm, const std::string& path) {
   std::ofstream os(path);
   check(os.good(), "save_checkpoint: cannot open " + path);
+  // Scales must survive the text round trip exactly — optimized graphs are
+  // asserted bit-identical (and audit-identical) after save/load.
+  os << std::setprecision(std::numeric_limits<float>::max_digits10);
   os << kHeader << '\n';
   os << "input " << dm.input_scale << ' ' << dm.input_zero << ' '
      << dm.input_qmin << ' ' << dm.input_qmax << '\n';
@@ -143,14 +157,17 @@ void save_checkpoint(const DeployModel& dm, const std::string& path) {
   os << "ops " << dm.num_ops() << '\n';
   for (std::size_t i = 0; i < dm.num_ops(); ++i) {
     const DeployOp& op = dm.op(i);
-    std::string label = op.label.empty() ? "-" : op.label;
-    for (char& c : label) {
-      if (c == ' ' || c == '\n') c = '_';
-    }
-    os << "op " << op.kind() << ' ' << label << ' ' << op.inputs.size();
+    os << "op " << op.kind() << ' ' << escape_token(op.label) << ' '
+       << op.inputs.size();
     for (int in : op.inputs) os << ' ' << in;
     os << '\n';
     op.save_params(os);
+    const OpAuditInfo& a = dm.audit_of(i);
+    if (!a.source.empty() || a.out_scale != 0.0F || a.qmin != 0 ||
+        a.qmax != 0) {
+      os << "audit " << escape_token(a.source) << ' ' << a.out_scale << ' '
+         << a.qmin << ' ' << a.qmax << '\n';
+    }
   }
   check(os.good(), "save_checkpoint: write failed for " + path);
 }
@@ -187,7 +204,19 @@ DeployModel load_checkpoint(const std::string& path) {
     auto op = load_op(kind, is);
     op->inputs = std::move(inputs);
     op->label = label == "-" ? "" : label;
-    dm.add_op(std::move(op));
+    const int id = dm.add_op(std::move(op));
+    // Optional audit metadata line (absent in pre-audit checkpoints).
+    const std::streampos pos = is.tellg();
+    if (is >> tok && tok == "audit") {
+      OpAuditInfo a;
+      std::string source;
+      is >> source >> a.out_scale >> a.qmin >> a.qmax;
+      a.source = source == "-" ? "" : source;
+      dm.set_audit(id, std::move(a));
+    } else {
+      is.clear();
+      is.seekg(pos);
+    }
   }
   dm.set_output(out_id);
   return dm;

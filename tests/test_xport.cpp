@@ -7,10 +7,14 @@
 #include <filesystem>
 #include <fstream>
 
+#include "audit/dualpath_audit.h"
 #include "core/registry.h"
 #include "core/t2c.h"
 #include "deploy/int_ops.h"
+#include "deploy/passes.h"
+#include "fusion/mulquant.h"
 #include "models/models.h"
+#include "obs/capture.h"
 #include "test_util.h"
 #include "xport/checkpoint.h"
 #include "xport/writers.h"
@@ -130,6 +134,56 @@ TEST(Checkpoint, SingleOpRoundTrip) {
   EXPECT_EQ(a[1], b[1]);
 }
 
+TEST(Checkpoint, OptimizedGraphRoundTripsBitExactWithAudit) {
+  // Build a graph the pass pipeline actually rewrites (a foldable x16
+  // upshift requant), optimize it, and require the checkpoint to carry the
+  // rewritten ops AND the remapped audit metadata through the text format.
+  DeployModel dm;
+  auto pre = std::make_unique<MulQuantOp>(
+      std::vector<std::int64_t>{3}, std::vector<std::int64_t>{0}, 2, -7, 7,
+      MqLayout::kPerTensor);
+  pre->inputs = {0};
+  pre->label = "pre";
+  dm.add_op(std::move(pre));
+  const FixedPointFormat fmt{8, 8};
+  auto rq = make_requant(16.0, 1.0, fmt, -(1 << 14), 1 << 14);
+  rq->inputs = {1};
+  rq->label = "requant";
+  dm.add_op(std::move(rq));
+  auto post = std::make_unique<MulQuantOp>(
+      std::vector<std::int64_t>{100}, std::vector<std::int64_t>{37}, 8, -127,
+      127, MqLayout::kPerTensor, 6);
+  post->inputs = {2};
+  post->label = "post";
+  const int out = dm.add_op(std::move(post));
+  dm.set_output(out);
+  OpAuditInfo info;
+  info.source = "stage.post";
+  info.out_scale = 0.1234567F;  // must survive the text format exactly
+  info.qmin = -127;
+  info.qmax = 127;
+  dm.set_audit(out, info);
+
+  ASSERT_GE(optimize_deploy_graph(dm, 2), 1u);
+  ASSERT_EQ(dm.num_ops(), 2u);
+
+  const std::string p = tmp_path("optimized.t2c");
+  save_checkpoint(dm, p);
+  DeployModel r = load_checkpoint(p);
+  ASSERT_EQ(r.num_ops(), 2u);
+  EXPECT_EQ(r.op(1).label, "post");
+  EXPECT_EQ(r.audit_of(1).source, "stage.post");
+  EXPECT_EQ(r.audit_of(1).out_scale, dm.audit_of(1).out_scale);  // bit-exact
+  EXPECT_EQ(r.audit_of(1).qmin, -127);
+  EXPECT_EQ(r.audit_of(1).qmax, 127);
+  for (std::int64_t v = -127; v <= 127; ++v) {
+    const ITensor x = ITensor::from({1, 1}, {v});
+    const ITensor a = dm.run_int(x);
+    const ITensor b = r.run_int(x);
+    ASSERT_EQ(a[0], b[0]) << "x=" << v;
+  }
+}
+
 TEST(Checkpoint, RejectsCorruptFiles) {
   const std::string p = tmp_path("corrupt.t2c");
   std::ofstream(p) << "NOT-A-CHECKPOINT\n";
@@ -179,6 +233,37 @@ TEST_F(ExportedModel, FullCheckpointReplaysBitExact) {
   ITensor b = r.run_int(r.quantize_input(x));
   ASSERT_TRUE(a.same_shape(b));
   for (std::int64_t i = 0; i < a.numel(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST_F(ExportedModel, CheckpointedGraphYieldsIdenticalAuditJson) {
+  // The converter-attached audit metadata now rides in the checkpoint, so
+  // a reloaded (optimized, opt_level 2 default) graph must audit exactly
+  // like the in-memory one — same rows, same SQNR, same golden vectors.
+  const std::string p = tmp_path("model_audit.t2c");
+  save_checkpoint(*dm_, p);
+  DeployModel r = load_checkpoint(p);
+  for (std::size_t i = 0; i < dm_->num_ops(); ++i) {
+    EXPECT_EQ(r.audit_of(i).source, dm_->audit_of(i).source) << i;
+    EXPECT_EQ(r.audit_of(i).out_scale, dm_->audit_of(i).out_scale) << i;
+    EXPECT_EQ(r.audit_of(i).qmin, dm_->audit_of(i).qmin) << i;
+    EXPECT_EQ(r.audit_of(i).qmax, dm_->audit_of(i).qmax) << i;
+  }
+  Tensor x({4, 3, 8, 8});
+  for (int i = 0; i < 4; ++i) x.set0(i, data_->test_images().select0(i));
+  const auto audit_json = [&](const DeployModel& dm, const std::string& tag) {
+    AuditConfig acfg;
+    acfg.golden_dir = ::testing::TempDir() + "/t2c_xport_audit_" + tag;
+    std::filesystem::remove_all(acfg.golden_dir);
+    std::string json = run_dualpath_audit(*model_, dm, x, acfg).to_json();
+    for (std::size_t q = json.find(acfg.golden_dir); q != std::string::npos;
+         q = json.find(acfg.golden_dir, q)) {
+      json.replace(q, acfg.golden_dir.size(), "<dir>");
+    }
+    return json;
+  };
+  EXPECT_EQ(audit_json(*dm_, "mem"), audit_json(r, "ckpt"));
+  obs::float_taps().clear();
+  obs::int_taps().clear();
 }
 
 TEST_F(ExportedModel, HexImagesMatchGraphWeights) {

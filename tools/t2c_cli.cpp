@@ -33,6 +33,7 @@
 #include "core/parallel.h"
 #include "core/registry.h"
 #include "core/t2c.h"
+#include "deploy/exec_plan.h"
 #include "models/models.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -66,6 +67,8 @@ struct Args {
   std::string audit_golden_dir;
   double audit_threshold_db = 20.0;
   int threads = 0;  ///< 0 = leave the pool at its T2C_THREADS/HW default
+  int opt_level = 2;      ///< deploy-graph pass pipeline level (0..2)
+  std::string plan_dump;  ///< render the execution plan ('-' = stdout)
 };
 
 DatasetSpec dataset_by_name(const std::string& name) {
@@ -133,6 +136,12 @@ Args parse(int argc, char** argv) {
       a.threads = std::atoi(want(i++));
       check(a.threads >= 1, "--threads must be >= 1");
     }
+    else if (f == "--opt-level") {
+      a.opt_level = std::atoi(want(i++));
+      check(a.opt_level >= 0 && a.opt_level <= 2,
+            "--opt-level must be 0, 1, or 2");
+    }
+    else if (f == "--plan-dump") a.plan_dump = want(i++);
     else if (f == "--help") {
       std::puts(
           "usage: t2c_cli [--model M] [--dataset D] [--trainer T]\n"
@@ -143,11 +152,17 @@ Args parse(int argc, char** argv) {
           "               [--metrics-json PATH] [--trace-json PATH]\n"
           "               [--audit] [--audit-json PATH]\n"
           "               [--audit-golden-dir DIR] [--audit-threshold-db DB]\n"
-          "               [--threads N]\n"
+          "               [--threads N] [--opt-level 0|1|2]\n"
+          "               [--plan-dump PATH]\n"
           "JSON PATHs accept '-' for stdout.\n"
           "--threads sizes the worker pool (default: T2C_THREADS env var,\n"
           "else hardware concurrency); integer outputs are bit-identical\n"
-          "at any setting.");
+          "at any setting.\n"
+          "--opt-level selects the deploy-graph pass pipeline (0 = as\n"
+          "emitted, 1 = dedup + dead-value elimination, 2 = + exact requant\n"
+          "folding; outputs are bit-identical at every level).\n"
+          "--plan-dump writes the liveness-planned execution schedule\n"
+          "(arena slots, in-place steps; '-' = stdout).");
       std::exit(0);
     } else {
       fail("unknown flag '" + f + "' (try --help)");
@@ -293,11 +308,15 @@ int main(int argc, char** argv) {
     freeze_quantizers(*model);
     ConvertConfig ccfg;
     ccfg.input_shape = {spec.channels, spec.height, spec.width};
+    ccfg.opt_level = a.opt_level;
     T2C t2c_api(*model, ccfg);
     DeployModel chip = [&] {
       const obs::TraceSpan span("convert", "cli");
       return t2c_api.nn2chip(/*save_model=*/true, a.out);
     }();
+    if (!a.plan_dump.empty()) {
+      emit_json(a.plan_dump, "plan", chip.plan().render(chip));
+    }
     {
       const obs::TraceSpan span("deploy", "cli");
       std::printf("integer-deployed accuracy: %.2f%%\n",
