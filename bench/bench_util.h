@@ -20,6 +20,7 @@
 #include "core/t2c.h"
 #include "models/models.h"
 #include "util/check.h"
+#include "util/jsonlite.h"
 #include "util/stopwatch.h"
 
 namespace t2c::bench {
@@ -175,8 +176,8 @@ inline bool write_bench_json(const std::vector<BenchStat>& stats) {
     std::fprintf(f,
                  "%s\n  {\"name\":\"%s\",\"reps\":%d,\"mean_ms\":%.6f,"
                  "\"p50_ms\":%.6f,\"p95_ms\":%.6f}",
-                 i == 0 ? "" : ",", s.name.c_str(), s.reps, s.mean_ms,
-                 s.p50_ms, s.p95_ms);
+                 i == 0 ? "" : ",", jsonlite::json_escape(s.name).c_str(),
+                 s.reps, s.mean_ms, s.p50_ms, s.p95_ms);
   }
   std::fprintf(f, "\n]\n");
   std::fclose(f);

@@ -11,6 +11,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "util/check.h"
+#include "util/jsonlite.h"
 #include "xport/writers.h"
 
 namespace t2c {
@@ -28,27 +29,7 @@ std::string fmt_num(double v) {
   return buf;
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using jsonlite::json_escape;
 
 /// Rebuilds the integer tensor a tap captured. Taps store doubles, but every
 /// deploy-path value is an int64 well below 2^53, so this is exact.
@@ -181,7 +162,9 @@ std::string AuditReport::to_json() const {
   js += "],\"golden_files\":[";
   for (std::size_t i = 0; i < golden_files.size(); ++i) {
     if (i) js += ",";
-    js += "\"" + json_escape(golden_files[i]) + "\"";
+    js += '"';
+    js += json_escape(golden_files[i]);
+    js += '"';
   }
   js += "]}";
   return js;

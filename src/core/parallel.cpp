@@ -5,10 +5,14 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/stopwatch.h"
 
 namespace t2c::par {
 
@@ -104,6 +108,10 @@ class Pool {
   }
 
   void worker_main(int part) {
+    // Register the trace track once per thread: "M" metadata in the
+    // exported JSON names every pool worker even if tracing turns on
+    // after the pool was built.
+    obs::name_current_thread("pool.worker." + std::to_string(part));
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(int)>* fn = nullptr;
@@ -164,6 +172,18 @@ void set_max_threads(int n) {
 
 namespace detail {
 
+namespace {
+
+/// Bucket edges for the slowest/mean chunk ratio: 1.0 is a perfectly
+/// balanced region, the tail buckets catch pathological splits.
+const std::vector<double>& imbalance_buckets() {
+  static const std::vector<double> kBuckets = {1.0, 1.05, 1.1, 1.25, 1.5,
+                                               2.0, 3.0,  5.0, 10.0};
+  return kBuckets;
+}
+
+}  // namespace
+
 void parallel_for_impl(
     std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t, int)>& fn) {
@@ -179,10 +199,44 @@ void parallel_for_impl(
   }
   const std::int64_t base = range / nparts;
   const std::int64_t rem = range % nparts;
+  const auto chunk_of = [&](int part, std::int64_t& i0, std::int64_t& i1) {
+    i0 = begin + part * base + std::min<std::int64_t>(part, rem);
+    i1 = i0 + base + (part < rem ? 1 : 0);
+  };
+  // Pooled dispatch is the instrumented boundary: per-worker busy spans
+  // ("X" on each worker's track), pool.occupancy counter samples, and
+  // per-region chunk stats feeding pool.* metrics. Nested/inline regions
+  // stay uninstrumented — they run inside a chunk that is already
+  // accounted for. Cost when everything is off: the two relaxed loads.
+  const bool met = obs::metrics_enabled();
+  const bool trace = obs::trace_enabled();
+  if (!met && !trace) {
+    pool().run(nparts, [&](int part) {
+      std::int64_t i0 = 0;
+      std::int64_t i1 = 0;
+      chunk_of(part, i0, i1);
+      g_in_parallel = true;
+      try {
+        fn(i0, i1, part);
+      } catch (...) {
+        g_in_parallel = false;
+        throw;
+      }
+      g_in_parallel = false;
+    });
+    return;
+  }
+  std::vector<double> chunk_ms(static_cast<std::size_t>(nparts), 0.0);
+  if (trace) {
+    obs::tracer().counter("pool.occupancy", "pool",
+                          static_cast<double>(nparts));
+  }
   pool().run(nparts, [&](int part) {
-    const std::int64_t i0 =
-        begin + part * base + std::min<std::int64_t>(part, rem);
-    const std::int64_t i1 = i0 + base + (part < rem ? 1 : 0);
+    std::int64_t i0 = 0;
+    std::int64_t i1 = 0;
+    chunk_of(part, i0, i1);
+    const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
+    Stopwatch sw;
     g_in_parallel = true;
     try {
       fn(i0, i1, part);
@@ -191,7 +245,36 @@ void parallel_for_impl(
       throw;
     }
     g_in_parallel = false;
+    chunk_ms[static_cast<std::size_t>(part)] = sw.millis();
+    if (trace) {
+      obs::TraceRecorder::Event e;
+      e.name = "chunk";
+      e.cat = "pool";
+      e.ts_us = ts;
+      e.dur_us = obs::tracer().now_us() - ts;
+      e.tid = obs::trace_tid();
+      obs::tracer().record(std::move(e));
+    }
   });
+  if (trace) obs::tracer().counter("pool.occupancy", "pool", 0.0);
+  if (met) {
+    double total = 0.0;
+    double slowest = 0.0;
+    for (const double ms : chunk_ms) {
+      total += ms;
+      slowest = std::max(slowest, ms);
+    }
+    const double mean = total / static_cast<double>(nparts);
+    obs::metrics().counter("pool.regions").add(1);
+    obs::metrics().counter("pool.chunks").add(nparts);
+    // The region's wall time is its critical path — the slowest chunk.
+    obs::metrics().histogram("pool.region_ms").observe(slowest);
+    if (mean > 0.0) {
+      obs::metrics()
+          .histogram("pool.imbalance", imbalance_buckets())
+          .observe(slowest / mean);
+    }
+  }
 }
 
 }  // namespace detail

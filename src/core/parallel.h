@@ -17,6 +17,14 @@
 // env var (default: hardware concurrency), resizable via set_max_threads()
 // (`t2c_cli --threads`). Workers sleep on a condition variable between
 // regions; nested parallel_for calls run inline on the calling worker.
+//
+// Observability (DESIGN.md §3.8): every pooled dispatch is the
+// instrumentation boundary. With tracing on, each chunk records a busy
+// span on its worker's trace track (workers register as `pool.worker.N`)
+// and the region brackets a `pool.occupancy` counter; with metrics on,
+// per-region stats land in `pool.regions`/`pool.chunks` counters and the
+// `pool.region_ms`/`pool.imbalance` (slowest/mean chunk) histograms.
+// Disabled cost: two relaxed loads per pooled region.
 #pragma once
 
 #include <cstdint>

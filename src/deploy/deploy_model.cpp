@@ -43,6 +43,17 @@ void DeployOp::run_into(const std::vector<const ITensor*>& ins,
   out = run(ins);
 }
 
+obs::OpCost DeployOp::cost(const std::vector<const ITensor*>& ins,
+                           const ITensor& out) const {
+  obs::OpCost c;
+  c.flops = out.numel();
+  for (const ITensor* t : ins) {
+    c.bytes_read += t->numel() * static_cast<std::int64_t>(sizeof(std::int64_t));
+  }
+  c.bytes_written = out.numel() * static_cast<std::int64_t>(sizeof(std::int64_t));
+  return c;
+}
+
 void recycle_tensor(ITensor& out, const Shape& shape) {
   if (out.shape() == shape) return;
   std::vector<std::int64_t> buf = std::move(out.vec());

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "tensor/tensor.h"
 #include "util/fixed_point.h"
 
@@ -67,6 +68,16 @@ class DeployOp {
   /// payload of the integer checkpoint (xport/checkpoint.h). Each op kind
   /// has a matching loader registered there.
   virtual void save_params(std::ostream& os) const = 0;
+
+  /// Shape-derived work/traffic of one execution, consumed by the
+  /// profiler (obs/profile.h; DESIGN.md §3.8 has the per-kind accounting
+  /// rules). Implementations must derive the numbers from operand/output
+  /// shapes and static parameters only — never from tensor data, timings,
+  /// or the thread partition — so profiles are bit-identical across
+  /// --threads settings. The default models an element-wise op: one flop
+  /// per output element, bytes = every operand read + the output written.
+  virtual obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                           const ITensor& out) const;
 
   std::vector<int> inputs;  ///< value ids consumed (most ops: one)
   std::string label;        ///< provenance ("stage1.block0.conv1", ...)

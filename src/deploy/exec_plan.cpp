@@ -6,6 +6,7 @@
 
 #include "obs/capture.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -107,8 +108,9 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
                                Arena& arena,
                                DeployModel::MemoryStats& stats) const {
   arena.slots.resize(num_slots_);
-  const bool prof = obs::metrics_enabled();
+  const bool met = obs::metrics_enabled();
   const bool trace = obs::trace_enabled();
+  const bool prof = obs::profile_enabled();
   const bool cap = obs::capture_enabled();
   if (cap) {
     obs::int_taps().record(obs::kInputTapLabel, input.data(), input.numel(),
@@ -122,9 +124,13 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
   // copy plus every intermediate, none released before the end.
   stats.naive_bytes = input.numel() * kElemBytes;
   std::int64_t live = 0;
+  // Hoisted out of the loop: the operand list reuses its capacity across
+  // steps, keeping the disabled-observability path free of per-step heap
+  // traffic from the executor itself.
+  std::vector<const ITensor*> ins;
   for (const Step& st : steps_) {
     const DeployOp& op = dm.op(static_cast<std::size_t>(st.op));
-    std::vector<const ITensor*> ins;
+    ins.clear();
     ins.reserve(st.in_slots.size());
     for (int s : st.in_slots) {
       ins.push_back(s < 0 ? &input
@@ -142,19 +148,37 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         out = ITensor::from({0}, std::move(buf));
       }
     }
-    if (prof || trace) {
+    if (met || trace || prof) {
       const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
       Stopwatch sw;
       op.run_into(ins, out);
       const double ms = sw.millis();
       const std::string key =
           op.kind() + (op.label.empty() ? "" : ":" + op.label);
-      if (prof) {
+      if (met) {
         obs::metrics().histogram("deploy.op_ms." + key).observe(ms);
       }
+      if (prof) {
+        // cost() is shape-derived, so the aggregated totals are identical
+        // at any thread count even though the timings are not.
+        const obs::OpCost c = op.cost(ins, out);
+        obs::profiler().record_step(key, ms, c);
+        if (met) {
+          obs::metrics().counter("profile.flops." + op.kind()).add(c.flops);
+          obs::metrics().counter("profile.macs." + op.kind()).add(c.macs);
+          obs::metrics()
+              .counter("profile.bytes." + op.kind())
+              .add(c.bytes_read + c.bytes_written);
+        }
+      }
       if (trace) {
-        obs::tracer().record({key, "deploy", ts,
-                              static_cast<std::int64_t>(ms * 1000.0)});
+        obs::TraceRecorder::Event e;
+        e.name = key;
+        e.cat = "deploy";
+        e.ts_us = ts;
+        e.dur_us = obs::tracer().now_us() - ts;
+        e.tid = obs::trace_tid();
+        obs::tracer().record(std::move(e));
       }
     } else {
       op.run_into(ins, out);
@@ -176,6 +200,19 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         arena.spare.push_back(std::move(dead.vec()));
       }
       dead = ITensor();
+    }
+    if (trace) {
+      // Arena occupancy after this step — a counter track charting the
+      // liveness plan's high-water profile over the run — plus, when the
+      // saturation counters are live, cumulative clipped values over time.
+      obs::tracer().counter("deploy.arena.live_bytes", "deploy",
+                            static_cast<double>(live));
+      if (met) {
+        obs::tracer().counter(
+            "deploy.sat.total", "deploy",
+            static_cast<double>(
+                obs::metrics().counter("deploy.sat.total").value()));
+      }
     }
   }
   ITensor result =

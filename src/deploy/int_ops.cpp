@@ -447,3 +447,107 @@ void IntMeanPoolTokensOp::save_params(std::ostream& os) const {
 }
 
 }  // namespace t2c
+
+// ---- profiling cost models (DESIGN.md §3.8) ----
+//
+// Everything here is derived from operand/output shapes and static op
+// parameters, so the numbers are bit-identical at any T2C_THREADS. Lanes
+// are int64 throughout the deploy path: traffic = numel * 8 bytes, with
+// parameter vectors / LUTs counted as read once per call. A MAC counts as
+// one mac plus two flops (multiply + accumulate).
+
+namespace t2c {
+
+namespace {
+
+std::int64_t lane_bytes(std::int64_t elems) {
+  return elems * static_cast<std::int64_t>(sizeof(std::int64_t));
+}
+
+std::int64_t operand_bytes(const std::vector<const ITensor*>& ins) {
+  std::int64_t b = 0;
+  for (const ITensor* t : ins) b += lane_bytes(t->numel());
+  return b;
+}
+
+}  // namespace
+
+obs::OpCost MulQuantOp::cost(const std::vector<const ITensor*>& ins,
+                             const ITensor& out) const {
+  // Per element: multiply, bias add, round-shift (clamp is free compare).
+  obs::OpCost c;
+  const std::int64_t n = out.numel();
+  c.macs = n;
+  c.flops = 3 * n;
+  c.bytes_read =
+      operand_bytes(ins) +
+      lane_bytes(static_cast<std::int64_t>(mul_.size() + bias_.size()));
+  c.bytes_written = lane_bytes(n);
+  return c;
+}
+
+obs::OpCost IntConv2dOp::cost(const std::vector<const ITensor*>& ins,
+                              const ITensor& out) const {
+  obs::OpCost c;
+  const std::int64_t k = spec_.kernel;
+  const std::int64_t ic_g = spec_.in_channels / spec_.groups;
+  c.macs = out.numel() * ic_g * k * k;
+  c.flops = 2 * c.macs;
+  c.bytes_read = operand_bytes(ins) + lane_bytes(weight_.numel());
+  c.bytes_written = lane_bytes(out.numel());
+  return c;
+}
+
+obs::OpCost IntLinearOp::cost(const std::vector<const ITensor*>& ins,
+                              const ITensor& out) const {
+  obs::OpCost c;
+  const std::int64_t in = weight_.size(1);
+  const std::int64_t rows = ins[0]->numel() / in;
+  c.macs = rows * weight_.size(0) * in;
+  c.flops = 2 * c.macs;
+  c.bytes_read = operand_bytes(ins) + lane_bytes(weight_.numel());
+  c.bytes_written = lane_bytes(out.numel());
+  return c;
+}
+
+obs::OpCost IntMaxPool2dOp::cost(const std::vector<const ITensor*>& ins,
+                                 const ITensor& out) const {
+  // One compare per window element.
+  obs::OpCost c;
+  c.flops = out.numel() * static_cast<std::int64_t>(kernel_) * kernel_;
+  c.bytes_read = operand_bytes(ins);
+  c.bytes_written = lane_bytes(out.numel());
+  return c;
+}
+
+obs::OpCost IntGlobalAvgPoolOp::cost(const std::vector<const ITensor*>& ins,
+                                     const ITensor& out) const {
+  // Sum every input element, then one fused requant per output.
+  obs::OpCost c;
+  c.macs = out.numel();
+  c.flops = ins[0]->numel() + 2 * out.numel();
+  c.bytes_read = operand_bytes(ins);
+  c.bytes_written = lane_bytes(out.numel());
+  return c;
+}
+
+obs::OpCost TokenizeOp::cost(const std::vector<const ITensor*>& ins,
+                             const ITensor& out) const {
+  // Pure data movement (NCHW -> [N, T, C] permutation).
+  obs::OpCost c;
+  c.bytes_read = operand_bytes(ins);
+  c.bytes_written = lane_bytes(out.numel());
+  return c;
+}
+
+obs::OpCost IntMeanPoolTokensOp::cost(const std::vector<const ITensor*>& ins,
+                                      const ITensor& out) const {
+  obs::OpCost c;
+  c.macs = out.numel();
+  c.flops = ins[0]->numel() + 2 * out.numel();
+  c.bytes_read = operand_bytes(ins);
+  c.bytes_written = lane_bytes(out.numel());
+  return c;
+}
+
+}  // namespace t2c

@@ -49,6 +49,8 @@ class MulQuantOp final : public DeployOp {
                 ITensor& out) const override;
   std::string kind() const override { return "MulQuant"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
   /// Folds an upstream exact upshift requant (y = x << k) into this op.
   /// With frac' = frac - k and bias_frac' = bias_frac + k the datapath
@@ -88,6 +90,8 @@ class IntConv2dOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntConv2d"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
   const ITensor& weight() const { return weight_; }
   const ConvSpec& spec() const { return spec_; }
@@ -105,6 +109,8 @@ class IntLinearOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntLinear"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
   const ITensor& weight() const { return weight_; }
 
@@ -142,6 +148,8 @@ class IntMaxPool2dOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntMaxPool2d"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
  private:
   int kernel_, stride_, padding_;
@@ -158,6 +166,8 @@ class IntGlobalAvgPoolOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntGlobalAvgPool"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
   std::int64_t out_min() const { return out_min_; }
   std::int64_t out_max() const { return out_max_; }
@@ -175,6 +185,8 @@ class TokenizeOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "Tokenize"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 };
 
 /// Token mean pool with requant: [N,T,D] -> [N,D] (1/T folded into mul).
@@ -186,6 +198,8 @@ class IntMeanPoolTokensOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntMeanPoolTokens"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
   std::int64_t out_min() const { return out_min_; }
   std::int64_t out_max() const { return out_max_; }

@@ -427,3 +427,89 @@ void IntAttentionOp::save_params(std::ostream& os) const {
 }
 
 }  // namespace t2c
+
+// ---- profiling cost models (DESIGN.md §3.8) ----
+//
+// Shape-derived, thread-count-invariant; see int_ops.cpp for the shared
+// conventions. LUTs count as one full read per call.
+
+namespace t2c {
+
+namespace {
+
+std::int64_t lane_bytes64(std::int64_t elems) {
+  return elems * static_cast<std::int64_t>(sizeof(std::int64_t));
+}
+
+std::int64_t operand_bytes64(const std::vector<const ITensor*>& ins) {
+  std::int64_t b = 0;
+  for (const ITensor* t : ins) b += lane_bytes64(t->numel());
+  return b;
+}
+
+}  // namespace
+
+obs::OpCost LutSoftmaxOp::cost(const std::vector<const ITensor*>& ins,
+                               const ITensor& out) const {
+  // Per element: rowmax compare, index subtract, LUT accumulate, final
+  // normalizing divide.
+  obs::OpCost c;
+  c.flops = 4 * out.numel();
+  c.bytes_read = operand_bytes64(ins) +
+                 lane_bytes64(static_cast<std::int64_t>(lut_.size()));
+  c.bytes_written = lane_bytes64(out.numel());
+  return c;
+}
+
+obs::OpCost LutGeluOp::cost(const std::vector<const ITensor*>& ins,
+                            const ITensor& out) const {
+  // Clamp + index per element, then the lookup.
+  obs::OpCost c;
+  c.flops = 2 * out.numel();
+  c.bytes_read = operand_bytes64(ins) +
+                 lane_bytes64(static_cast<std::int64_t>(lut_.size()));
+  c.bytes_written = lane_bytes64(out.numel());
+  return c;
+}
+
+obs::OpCost IntLayerNormOp::cost(const std::vector<const ITensor*>& ins,
+                                 const ITensor& out) const {
+  // Mean + variance passes (instant stats), xhat, then the G*xhat + B
+  // requant: ~8 flops and one mac per element either way.
+  obs::OpCost c;
+  const std::int64_t n = out.numel();
+  c.macs = n;
+  c.flops = 8 * n;
+  c.bytes_read = operand_bytes64(ins) +
+                 lane_bytes64(static_cast<std::int64_t>(gamma_fx_.size() +
+                                                        beta_fx_.size()));
+  c.bytes_written = lane_bytes64(n);
+  return c;
+}
+
+obs::OpCost IntAttentionOp::cost(const std::vector<const ITensor*>& ins,
+                                 const ITensor& out) const {
+  // ins[0] is [N, T, D]. GEMM work: qkv projection (3*T*D*D), q*k^T and
+  // p*v (T*T*D each), output projection (T*D*D) => 4*T*D^2 + 2*T^2*D macs
+  // per batch row. Elementwise work: the four requant stages (~3 flops
+  // per element over qkv + ctx + out = 6*T*D) and the softmax (~4 per
+  // logit over H*T*T logits).
+  obs::OpCost c;
+  const ITensor& x = *ins[0];
+  const std::int64_t n = x.size(0);
+  const std::int64_t t = x.size(1);
+  const std::int64_t d = x.size(2);
+  const std::int64_t h = p_.heads;
+  c.macs = n * (4 * t * d * d + 2 * t * t * d);
+  c.flops = 2 * c.macs + 6 * n * t * d + 4 * n * h * t * t;
+  c.bytes_read =
+      operand_bytes64(ins) + lane_bytes64(p_.wqkv.numel()) +
+      lane_bytes64(p_.wproj.numel()) +
+      lane_bytes64(static_cast<std::int64_t>(
+          p_.qkv_mul.size() + p_.qkv_bias.size() + p_.softmax_lut.size() +
+          p_.proj_mul.size() + p_.proj_bias.size()));
+  c.bytes_written = lane_bytes64(out.numel());
+  return c;
+}
+
+}  // namespace t2c

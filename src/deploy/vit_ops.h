@@ -32,6 +32,8 @@ class LutSoftmaxOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "LutSoftmax"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
   const std::vector<std::int64_t>& lut() const { return lut_; }
   std::int64_t p_qmax() const { return p_qmax_; }
@@ -53,6 +55,8 @@ class LutGeluOp final : public DeployOp {
                 ITensor& out) const override;
   std::string kind() const override { return "LutGelu"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
   const std::vector<std::int64_t>& lut() const { return lut_; }
 
@@ -87,6 +91,8 @@ class IntLayerNormOp final : public DeployOp {
   std::int64_t out_min() const { return out_min_; }
   std::int64_t out_max() const { return out_max_; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
  private:
   std::vector<std::int64_t> gamma_fx_, beta_fx_;
@@ -131,6 +137,8 @@ class IntAttentionOp final : public DeployOp {
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntAttention"; }
   void save_params(std::ostream& os) const override;
+  obs::OpCost cost(const std::vector<const ITensor*>& ins,
+                   const ITensor& out) const override;
 
   const IntAttentionParams& params() const { return p_; }
 

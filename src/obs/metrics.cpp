@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/jsonlite.h"
 
 namespace t2c::obs {
 
@@ -111,36 +112,8 @@ void Histogram::reset() {
 
 namespace {
 
-/// Compact, locale-independent number rendering for stable JSON.
-std::string json_num(double v) {
-  if (!std::isfinite(v)) return "0";
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using jsonlite::json_escape;
+using jsonlite::json_num;
 
 }  // namespace
 
@@ -169,7 +142,7 @@ std::string MetricsSnapshot::to_json() const {
        << ",\"sum\":" << json_num(h.sum) << ",\"mean\":" << json_num(h.mean)
        << ",\"min\":" << json_num(h.min) << ",\"max\":" << json_num(h.max)
        << ",\"p50\":" << json_num(h.p50) << ",\"p95\":" << json_num(h.p95)
-       << ",\"buckets\":[";
+       << ",\"p99\":" << json_num(h.p99) << ",\"buckets\":[";
     for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
       if (i) os << ',';
       os << "{\"le\":";
@@ -222,6 +195,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     s.max = h->max();
     s.p50 = h->percentile(0.50);
     s.p95 = h->percentile(0.95);
+    s.p99 = h->percentile(0.99);
     s.bounds = h->bounds();
     s.bucket_counts = h->bucket_counts();
     snap.histograms[name] = std::move(s);

@@ -94,6 +94,8 @@ class Histogram {
 };
 
 /// Point-in-time copy of one histogram, pre-digested for reporting.
+/// p99 rides along with p50/p95 because profiler tail latency needs more
+/// than the median and one shoulder percentile.
 struct HistogramStats {
   std::int64_t count = 0;
   double sum = 0.0;
@@ -102,6 +104,7 @@ struct HistogramStats {
   double max = 0.0;
   double p50 = 0.0;
   double p95 = 0.0;
+  double p99 = 0.0;
   std::vector<double> bounds;
   std::vector<std::int64_t> bucket_counts;
 };

@@ -1,0 +1,164 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/jsonlite.h"
+
+namespace t2c::obs {
+
+namespace detail {
+std::atomic<bool> g_profile_enabled{false};
+}  // namespace detail
+
+void set_profile_enabled(bool on) {
+  detail::g_profile_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Profiler::record_step(const std::string& key, double ms,
+                           const OpCost& cost) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Agg& a = agg_[key];
+  a.calls += 1;
+  a.total_ms += ms;
+  if (a.samples_ms.size() < kMaxSamples) a.samples_ms.push_back(ms);
+  a.cost.flops += cost.flops;
+  a.cost.macs += cost.macs;
+  a.cost.bytes_read += cost.bytes_read;
+  a.cost.bytes_written += cost.bytes_written;
+}
+
+std::size_t Profiler::num_keys() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return agg_.size();
+}
+
+void Profiler::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  agg_.clear();
+}
+
+namespace {
+
+/// Linear-interpolated percentile over a sorted sample vector.
+double pct(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+ProfileReport Profiler::report() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ProfileReport r;
+  r.rows.reserve(agg_.size());
+  for (const auto& [key, a] : agg_) {
+    ProfileRow row;
+    row.key = key;
+    row.calls = a.calls;
+    row.total_ms = a.total_ms;
+    row.mean_ms = a.calls > 0 ? a.total_ms / static_cast<double>(a.calls) : 0.0;
+    std::vector<double> sorted = a.samples_ms;
+    std::sort(sorted.begin(), sorted.end());
+    row.p50_ms = pct(sorted, 0.50);
+    row.p95_ms = pct(sorted, 0.95);
+    row.p99_ms = pct(sorted, 0.99);
+    row.cost = a.cost;
+    const std::int64_t bytes = a.cost.bytes_read + a.cost.bytes_written;
+    if (bytes > 0) {
+      row.intensity =
+          static_cast<double>(a.cost.flops) / static_cast<double>(bytes);
+    }
+    if (a.total_ms > 0.0) {
+      row.gflops = static_cast<double>(a.cost.flops) / (a.total_ms * 1e6);
+      row.gbps = static_cast<double>(bytes) / (a.total_ms * 1e6);
+    }
+    r.total_ms += a.total_ms;
+    r.total_flops += a.cost.flops;
+    r.total_macs += a.cost.macs;
+    r.total_bytes += bytes;
+    r.rows.push_back(std::move(row));
+  }
+  if (r.total_ms > 0.0) {
+    for (ProfileRow& row : r.rows) {
+      row.time_pct = 100.0 * row.total_ms / r.total_ms;
+    }
+  }
+  std::sort(r.rows.begin(), r.rows.end(),
+            [](const ProfileRow& a, const ProfileRow& b) {
+              if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+              return a.key < b.key;
+            });
+  return r;
+}
+
+std::string ProfileReport::table_text() const {
+  std::ostringstream os;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "per-op roofline profile: %.3f ms total, %.3f GFLOP "
+                "(%.3f GMAC), %.3f GB moved\n",
+                total_ms, static_cast<double>(total_flops) * 1e-9,
+                static_cast<double>(total_macs) * 1e-9,
+                static_cast<double>(total_bytes) * 1e-9);
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "  %-44s %7s %6s %9s %8s %8s %8s %9s %8s %6s %8s %7s\n", "op",
+                "calls", "time%", "total ms", "p50 ms", "p95 ms", "p99 ms",
+                "MFLOP", "MB", "fl/B", "GFLOP/s", "GB/s");
+  os << buf;
+  for (const ProfileRow& r : rows) {
+    const double mb = static_cast<double>(r.cost.bytes_read +
+                                          r.cost.bytes_written) * 1e-6;
+    std::snprintf(buf, sizeof(buf),
+                  "  %-44s %7lld %6.1f %9.3f %8.3f %8.3f %8.3f %9.2f %8.2f "
+                  "%6.2f %8.2f %7.2f\n",
+                  r.key.c_str(), static_cast<long long>(r.calls), r.time_pct,
+                  r.total_ms, r.p50_ms, r.p95_ms, r.p99_ms,
+                  static_cast<double>(r.cost.flops) * 1e-6, mb, r.intensity,
+                  r.gflops, r.gbps);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string ProfileReport::to_json() const {
+  using jsonlite::json_escape;
+  using jsonlite::json_num;
+  std::ostringstream os;
+  os << "{\"total_ms\":" << json_num(total_ms)
+     << ",\"total_flops\":" << total_flops << ",\"total_macs\":" << total_macs
+     << ",\"total_bytes\":" << total_bytes << ",\"ops\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ProfileRow& r = rows[i];
+    if (i) os << ',';
+    os << "{\"op\":\"" << json_escape(r.key) << "\",\"calls\":" << r.calls
+       << ",\"total_ms\":" << json_num(r.total_ms)
+       << ",\"mean_ms\":" << json_num(r.mean_ms)
+       << ",\"p50_ms\":" << json_num(r.p50_ms)
+       << ",\"p95_ms\":" << json_num(r.p95_ms)
+       << ",\"p99_ms\":" << json_num(r.p99_ms)
+       << ",\"time_pct\":" << json_num(r.time_pct)
+       << ",\"flops\":" << r.cost.flops << ",\"macs\":" << r.cost.macs
+       << ",\"bytes_read\":" << r.cost.bytes_read
+       << ",\"bytes_written\":" << r.cost.bytes_written
+       << ",\"intensity\":" << json_num(r.intensity)
+       << ",\"gflops\":" << json_num(r.gflops)
+       << ",\"gbps\":" << json_num(r.gbps) << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+Profiler& profiler() {
+  static Profiler* p = new Profiler();
+  return *p;
+}
+
+}  // namespace t2c::obs

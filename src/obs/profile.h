@@ -1,0 +1,114 @@
+// Execution profiler — per-op roofline accounting for the integer deploy
+// path (DESIGN.md §3.8).
+//
+// The planned executor (deploy/exec_plan) feeds one sample per executed
+// step: wall milliseconds plus an OpCost (FLOPs, MACs, bytes moved)
+// derived purely from operand/output *shapes* via DeployOp::cost(). Shape
+//-derived costs make profiles thread-count-invariant: run the same model
+// at --threads 1 and 16 and every count/FLOP/byte column diffs clean —
+// only the timing columns move.
+//
+// Collection is gated on `profile_enabled()` (default off) with the same
+// one-relaxed-load-per-step discipline as metrics/tracing: a disabled run
+// takes the un-instrumented executor branch and never touches the
+// profiler (no allocation, no lock).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace t2c::obs {
+
+namespace detail {
+extern std::atomic<bool> g_profile_enabled;
+}  // namespace detail
+
+inline bool profile_enabled() {
+  return detail::g_profile_enabled.load(std::memory_order_relaxed);
+}
+void set_profile_enabled(bool on);
+
+/// Work and traffic of one op execution, derived from shapes only (never
+/// from timings or the thread partition). Conventions in DESIGN.md §3.8:
+/// a MAC counts once in `macs` and twice in `flops` (multiply + add);
+/// bytes are int64 lanes (8 per element) including weight/LUT operands.
+struct OpCost {
+  std::int64_t flops = 0;
+  std::int64_t macs = 0;
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+};
+
+/// One aggregated table row of a ProfileReport.
+struct ProfileRow {
+  std::string key;  ///< `<kind>[:<label>]`, the deploy.op_ms key
+  std::int64_t calls = 0;
+  double total_ms = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double time_pct = 0.0;  ///< share of the report's total_ms
+  OpCost cost;            ///< summed over every call
+  /// Roofline coordinates: arithmetic intensity (FLOPs per byte moved)
+  /// and the effective throughputs at the measured wall time.
+  double intensity = 0.0;
+  double gflops = 0.0;  ///< cost.flops / total time, 1e9/s
+  double gbps = 0.0;    ///< bytes moved / total time, 1e9/s
+};
+
+/// Point-in-time digest of the profiler, sorted by total time descending
+/// (ties broken by key so the rendering is deterministic).
+struct ProfileReport {
+  double total_ms = 0.0;
+  std::int64_t total_flops = 0;
+  std::int64_t total_macs = 0;
+  std::int64_t total_bytes = 0;
+  std::vector<ProfileRow> rows;
+
+  /// Fixed-width per-op roofline table (the t2c_cli --profile output).
+  std::string table_text() const;
+  /// Deterministic JSON for --profile-json; timings are included but the
+  /// count/FLOP/byte fields are the ones guaranteed stable across runs.
+  std::string to_json() const;
+};
+
+/// Aggregates per-op samples. Keys follow the deploy.op_ms convention
+/// (`<kind>[:<label>]`); repeated executions of the same key (multiple
+/// batches, repeated layers with empty labels) accumulate.
+class Profiler {
+ public:
+  /// Records one executed step. Costs add; `ms` lands in the per-key
+  /// sample set (capped at kMaxSamples per key to bound memory — the cap
+  /// affects tail percentiles of very long runs only, never the
+  /// call/FLOP/byte totals).
+  void record_step(const std::string& key, double ms, const OpCost& cost);
+
+  ProfileReport report() const;
+
+  std::size_t num_keys() const;
+
+  /// Drops every aggregate (test isolation and between CLI phases).
+  void clear();
+
+  static constexpr std::size_t kMaxSamples = 8192;
+
+ private:
+  struct Agg {
+    std::int64_t calls = 0;
+    double total_ms = 0.0;
+    std::vector<double> samples_ms;
+    OpCost cost;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Agg> agg_;
+};
+
+/// The process-wide profiler the planned executor writes to.
+Profiler& profiler();
+
+}  // namespace t2c::obs

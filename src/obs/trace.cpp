@@ -1,18 +1,42 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 #include "util/check.h"
+#include "util/jsonlite.h"
 
 namespace t2c::obs {
 
 namespace detail {
 std::atomic<bool> g_trace_enabled{false};
+
+namespace {
+std::atomic<int> g_next_tid{1};
+}  // namespace
 }  // namespace detail
+
+int trace_tid() {
+  thread_local const int tid =
+      detail::g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void name_current_thread(const std::string& name) {
+  TraceRecorder& rec = tracer();
+  const int tid = trace_tid();
+  const std::lock_guard<std::mutex> lock(rec.mu_);
+  for (const auto& [t, n] : rec.thread_names_) {
+    if (t == tid) return;  // first name wins
+  }
+  rec.thread_names_.emplace_back(tid, name);
+}
 
 void set_trace_enabled(bool on) {
   detail::g_trace_enabled.store(on, std::memory_order_relaxed);
+  if (on) name_current_thread("main");
 }
 
 std::int64_t TraceRecorder::now_us() const {
@@ -26,6 +50,17 @@ void TraceRecorder::record(Event e) {
   events_.push_back(std::move(e));
 }
 
+void TraceRecorder::counter(std::string name, std::string cat, double value) {
+  Event e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'C';
+  e.ts_us = now_us();
+  e.tid = trace_tid();
+  e.value = value;
+  record(std::move(e));
+}
+
 std::size_t TraceRecorder::size() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return events_.size();
@@ -37,43 +72,51 @@ TraceRecorder::Event TraceRecorder::event(std::size_t i) const {
   return events_[i];
 }
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
 std::string TraceRecorder::to_json() const {
+  using jsonlite::json_escape;
+  using jsonlite::json_num;
   const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "{\"traceEvents\":[";
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const Event& e = events_[i];
-    if (i) os << ',';
-    os << "{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
-       << json_escape(e.cat) << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
-       << ",\"dur\":" << e.dur_us << ",\"pid\":1,\"tid\":1}";
+  // Metadata first: the process, every named thread track, then fallback
+  // names for tids that recorded events without registering a name.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":\"t2c\"}}";
+  std::set<int> named;
+  std::vector<std::pair<int, std::string>> names = thread_names_;
+  std::sort(names.begin(), names.end());
+  for (const auto& [tid, name] : names) {
+    if (!named.insert(tid).second) continue;
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
+  }
+  for (const Event& e : events_) {
+    if (named.insert(e.tid).second) {
+      os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+         << e.tid << ",\"args\":{\"name\":\"thread." << e.tid << "\"}}";
+    }
+  }
+  // Emit in start-time order: spans are recorded at their *end*, so the
+  // raw log interleaves; sorting gives viewers (and the t2c_json_check
+  // validator) a monotonically non-decreasing ts stream.
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& e : events_) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Event* a, const Event* b) {
+                     return a->ts_us < b->ts_us;
+                   });
+  for (const Event* ep : ordered) {
+    const Event& e = *ep;
+    os << ",{\"name\":\"" << json_escape(e.name) << "\",\"cat\":\""
+       << json_escape(e.cat) << "\",\"ph\":\"" << e.ph
+       << "\",\"ts\":" << e.ts_us;
+    if (e.ph == 'X') os << ",\"dur\":" << e.dur_us;
+    os << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.ph == 'C') {
+      os << ",\"args\":{\"value\":" << json_num(e.value) << '}';
+    }
+    os << '}';
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();
@@ -104,8 +147,13 @@ TraceSpan::TraceSpan(std::string name, std::string cat)
 TraceSpan::~TraceSpan() {
   if (start_us_ < 0) return;
   const std::int64_t end = tracer().now_us();
-  tracer().record({std::move(name_), std::move(cat_), start_us_,
-                   end - start_us_});
+  TraceRecorder::Event e;
+  e.name = std::move(name_);
+  e.cat = std::move(cat_);
+  e.ts_us = start_us_;
+  e.dur_us = end - start_us_;
+  e.tid = trace_tid();
+  tracer().record(std::move(e));
 }
 
 }  // namespace t2c::obs

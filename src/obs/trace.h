@@ -1,11 +1,14 @@
 // Trace spans — pillar 3 of the observability layer (obs/).
 //
-// RAII spans record nested wall-clock intervals into a global recorder
-// that exports Chrome trace_event JSON ("ph":"X" complete events),
-// directly loadable in chrome://tracing or https://ui.perfetto.dev.
-// Nesting is implied by interval containment on one track, which matches
-// the single-threaded pipeline. Collection is gated on `trace_enabled()`
-// (default off); a disabled span costs one relaxed load per constructor.
+// RAII spans record wall-clock intervals into a global recorder that
+// exports Chrome trace_event JSON, directly loadable in chrome://tracing
+// or https://ui.perfetto.dev. The recorder is multi-track: every event
+// carries a process id and a per-thread track id (`trace_tid()`), "M"
+// metadata events name the process and each registered thread (pool
+// workers register as `pool.worker.N`), and "C" counter events chart
+// time-series values (arena bytes, pool occupancy, saturation) alongside
+// the spans. Collection is gated on `trace_enabled()` (default off); a
+// disabled span costs one relaxed load per constructor.
 #pragma once
 
 #include <atomic>
@@ -25,15 +28,30 @@ extern std::atomic<bool> g_trace_enabled;
 inline bool trace_enabled() {
   return detail::g_trace_enabled.load(std::memory_order_relaxed);
 }
+/// Enabling also names the calling thread "main" when it has no name yet,
+/// so single-threaded traces come out fully labelled.
 void set_trace_enabled(bool on);
+
+/// Stable per-thread track id (1-based, assigned on first use). The id a
+/// thread gets depends on registration order, not on anything the traced
+/// workload computes, so traces of the same run shape line up.
+int trace_tid();
+
+/// Registers a display name for the calling thread's track, emitted as a
+/// Chrome "M" thread_name metadata event on export. First name wins;
+/// names survive clear() (thread identity outlives any one trace).
+void name_current_thread(const std::string& name);
 
 class TraceRecorder {
  public:
   struct Event {
     std::string name;
     std::string cat;
+    char ph = 'X';            ///< 'X' complete span or 'C' counter sample
     std::int64_t ts_us = 0;   ///< start, microseconds since the epoch mark
-    std::int64_t dur_us = 0;  ///< duration in microseconds
+    std::int64_t dur_us = 0;  ///< duration in microseconds ('X' only)
+    int tid = 1;              ///< thread track (trace_tid())
+    double value = 0.0;       ///< counter sample ('C' only)
   };
 
   /// Microseconds since the recorder epoch (reset by clear()).
@@ -41,29 +59,40 @@ class TraceRecorder {
 
   void record(Event e);
 
+  /// Records one "C" counter sample at now_us() on the calling thread's
+  /// track. Callers gate on trace_enabled().
+  void counter(std::string name, std::string cat, double value);
+
   std::size_t size() const;
   Event event(std::size_t i) const;
 
   /// {"traceEvents":[...],"displayTimeUnit":"ms"} — the Chrome trace_event
-  /// "JSON object format"; events carry ph:"X" with ts/dur microseconds.
+  /// "JSON object format". Metadata ("M") events naming the process and
+  /// every thread track are synthesized first (threads that never called
+  /// name_current_thread get a "thread.N" fallback so every tid in the
+  /// document is named), then the recorded "X"/"C" events.
   std::string to_json() const;
   void write_json(const std::string& path) const;
 
-  /// Drops all events and re-zeroes the time origin.
+  /// Drops all events and re-zeroes the time origin. Thread names persist.
   void clear();
 
  private:
+  friend void name_current_thread(const std::string& name);
+
   using Clock = std::chrono::steady_clock;
   mutable std::mutex mu_;
   Clock::time_point epoch_ = Clock::now();
   std::vector<Event> events_;
+  std::vector<std::pair<int, std::string>> thread_names_;  ///< tid -> name
 };
 
 /// The process-wide recorder all spans write to.
 TraceRecorder& tracer();
 
 /// RAII interval: records [construction, destruction) as one complete
-/// event when tracing was enabled at construction time.
+/// event on the calling thread's track when tracing was enabled at
+/// construction time.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string name, std::string cat = "t2c");

@@ -1,0 +1,58 @@
+# Perf-trajectory collector (the `bench_regress` target).
+#
+# Runs the hand-timed bench binaries with T2C_BENCH_JSON set and merges
+# their row arrays into one schema'd document at the repo root, so every
+# PR can diff runtime numbers against the committed baseline:
+#
+#   {
+#     "schema": "t2c.bench.v1",
+#     "benches": {
+#       "bench_kernels":    [{"name":..., "reps":..., "mean_ms":...}, ...],
+#       "bench_deploy_mem": [...]
+#     }
+#   }
+#
+# Invoked in script mode:
+#   cmake -DBENCH_KERNELS=<exe> -DBENCH_DEPLOY_MEM=<exe>
+#         -DOUT_JSON=<repo>/BENCH_runtime.json -DWORK_DIR=<build>/bench_regress
+#         -P tools/bench_regress.cmake
+
+foreach(var BENCH_KERNELS BENCH_DEPLOY_MEM OUT_JSON WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_regress.cmake: ${var} not set")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(benches "")
+foreach(entry "bench_kernels|${BENCH_KERNELS}" "bench_deploy_mem|${BENCH_DEPLOY_MEM}")
+  string(REPLACE "|" ";" parts "${entry}")
+  list(GET parts 0 bench_name)
+  list(GET parts 1 bench_exe)
+  set(row_json "${WORK_DIR}/${bench_name}.json")
+  message(STATUS "bench_regress: running ${bench_name}")
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env "T2C_BENCH_JSON=${row_json}" "${bench_exe}"
+    WORKING_DIRECTORY "${WORK_DIR}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE run_out
+    ERROR_VARIABLE run_err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "bench_regress: ${bench_name} failed (${rc})\n${run_out}\n${run_err}")
+  endif()
+  if(NOT EXISTS "${row_json}")
+    message(FATAL_ERROR "bench_regress: ${bench_name} wrote no ${row_json}")
+  endif()
+  file(READ "${row_json}" rows)
+  string(STRIP "${rows}" rows)
+  if(benches)
+    string(APPEND benches ",\n")
+  endif()
+  string(APPEND benches "    \"${bench_name}\": ${rows}")
+endforeach()
+
+file(WRITE "${OUT_JSON}"
+     "{\n  \"schema\": \"t2c.bench.v1\",\n  \"benches\": {\n${benches}\n  }\n}\n")
+message(STATUS "bench_regress: wrote ${OUT_JSON}")

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Runs t2c_cli with profiling + tracing + metrics JSON output on a small
+# model and validates every emitted document with t2c_json_check. Driven by
+# the `t2c_profile_valid` ctest entry:
+#   check_profile.sh <t2c_cli> <t2c_json_check> <workdir>
+set -e
+CLI="$1"
+CHECK="$2"
+WORK="$3"
+[ -n "$CLI" ] && [ -n "$CHECK" ] && [ -n "$WORK" ] || {
+  echo "usage: check_profile.sh <t2c_cli> <t2c_json_check> <workdir>" >&2
+  exit 2
+}
+mkdir -p "$WORK"
+cd "$WORK"
+"$CLI" --model resnet20 --width 0.25 --epochs 1 --threads 4 --out cli_out \
+       --profile --profile-json prof.json --trace-json trace.json \
+       --metrics-json metrics.json > cli.log 2>&1 || {
+  echo "t2c_cli failed; log follows" >&2
+  cat cli.log >&2
+  exit 1
+}
+"$CHECK" --trace trace.json --profile prof.json --metrics metrics.json

@@ -12,8 +12,12 @@
 // Observability: `--log-level LEVEL` tunes the structured log output
 // (trace|debug|info|warn|error|off), `--metrics-json PATH` dumps the metrics
 // registry snapshot, and `--trace-json PATH` writes a Chrome trace_event
-// file loadable in chrome://tracing or Perfetto. Every *-json flag accepts
-// `-` to stream the JSON to stdout instead of a file.
+// file (multi-track: one lane per pool worker plus counter tracks)
+// loadable in chrome://tracing or Perfetto. `--profile` prints the per-op
+// roofline table (time %, percentiles, arithmetic intensity, effective
+// GFLOP/s and GB/s) for the integer deploy phase; `--profile-json PATH`
+// dumps the same report as JSON. Every *-json flag accepts `-` to stream
+// the JSON to stdout instead of a file.
 //
 // Dual-path audit: `--audit` replays one test batch through the fake-quant
 // and integer paths and prints the per-layer divergence table (SQNR,
@@ -37,6 +41,7 @@
 #include "models/models.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "xport/verilog.h"
 
@@ -62,6 +67,8 @@ struct Args {
   std::string log_level;
   std::string metrics_json;
   std::string trace_json;
+  bool profile = false;
+  std::string profile_json;
   bool audit = false;
   std::string audit_json;
   std::string audit_golden_dir;
@@ -122,6 +129,11 @@ Args parse(int argc, char** argv) {
     else if (f == "--log-level") a.log_level = want(i++);
     else if (f == "--metrics-json") a.metrics_json = want(i++);
     else if (f == "--trace-json") a.trace_json = want(i++);
+    else if (f == "--profile") a.profile = true;
+    else if (f == "--profile-json") {
+      a.profile_json = want(i++);
+      a.profile = true;
+    }
     else if (f == "--audit") a.audit = true;
     else if (f == "--audit-json") { a.audit_json = want(i++); a.audit = true; }
     else if (f == "--audit-golden-dir") {
@@ -150,6 +162,7 @@ Args parse(int argc, char** argv) {
           "               [--width F] [--out DIR] [--emit-verilog] [--list]\n"
           "               [--log-level trace|debug|info|warn|error|off]\n"
           "               [--metrics-json PATH] [--trace-json PATH]\n"
+          "               [--profile] [--profile-json PATH]\n"
           "               [--audit] [--audit-json PATH]\n"
           "               [--audit-golden-dir DIR] [--audit-threshold-db DB]\n"
           "               [--threads N] [--opt-level 0|1|2]\n"
@@ -162,7 +175,11 @@ Args parse(int argc, char** argv) {
           "emitted, 1 = dedup + dead-value elimination, 2 = + exact requant\n"
           "folding; outputs are bit-identical at every level).\n"
           "--plan-dump writes the liveness-planned execution schedule\n"
-          "(arena slots, in-place steps; '-' = stdout).");
+          "(arena slots, in-place steps; '-' = stdout).\n"
+          "--profile times every executed deploy step and prints the per-op\n"
+          "roofline table (time %, p50/p95/p99, arithmetic intensity,\n"
+          "effective GFLOP/s and GB/s); op counts and FLOP/byte totals are\n"
+          "bit-identical at any --threads setting.");
       std::exit(0);
     } else {
       fail("unknown flag '" + f + "' (try --help)");
@@ -225,6 +242,30 @@ void print_op_table(const obs::MetricsSnapshot& snap) {
   }
 }
 
+// One-line pool digest from the metrics snapshot: how many pooled regions
+// ran, how the chunks balanced, and the region critical-path percentiles.
+void print_pool_stats(const obs::MetricsSnapshot& snap) {
+  const auto regions = snap.counters.find("pool.regions");
+  if (regions == snap.counters.end() || regions->second == 0) return;
+  const auto chunks = snap.counters.find("pool.chunks");
+  std::printf("pool: %d threads, %lld regions, %lld chunks",
+              par::max_threads(),
+              static_cast<long long>(regions->second),
+              static_cast<long long>(
+                  chunks == snap.counters.end() ? 0 : chunks->second));
+  const auto imb = snap.histograms.find("pool.imbalance");
+  if (imb != snap.histograms.end() && imb->second.count > 0) {
+    std::printf(", imbalance p50/p95 %.2f/%.2f", imb->second.p50,
+                imb->second.p95);
+  }
+  const auto reg_ms = snap.histograms.find("pool.region_ms");
+  if (reg_ms != snap.histograms.end() && reg_ms->second.count > 0) {
+    std::printf(", region p50/p99 %.3f/%.3f ms", reg_ms->second.p50,
+                reg_ms->second.p99);
+  }
+  std::printf("\n");
+}
+
 // Emits a JSON document to `path`, where "-" means stdout. File writes log
 // the resolved absolute path so artifact locations survive in the log.
 void emit_json(const std::string& path, const std::string& what,
@@ -253,6 +294,7 @@ int main(int argc, char** argv) {
     // below depends on them); tracing only when someone asked for the file.
     obs::set_metrics_enabled(true);
     obs::set_trace_enabled(!a.trace_json.empty());
+    obs::set_profile_enabled(a.profile);
     if (a.list) {
       std::printf("models:     resnet20 resnet18 resnet50 mobilenet_v1 vit\n");
       std::printf("datasets:   cifar10_sim cifar100_sim imagenet_sim "
@@ -357,6 +399,14 @@ int main(int argc, char** argv) {
     }
 
     print_op_table(obs::metrics().snapshot());
+    if (a.profile) {
+      const obs::ProfileReport report = obs::profiler().report();
+      std::printf("\n%s", report.table_text().c_str());
+      print_pool_stats(obs::metrics().snapshot());
+      if (!a.profile_json.empty()) {
+        emit_json(a.profile_json, "profile", report.to_json());
+      }
+    }
     if (!a.metrics_json.empty()) {
       emit_json(a.metrics_json, "metrics", obs::metrics().to_json());
     }

@@ -1,0 +1,148 @@
+// t2c_json_check — validates the JSON artifacts t2c_cli emits, used by the
+// `t2c_profile_valid` ctest entry.
+//
+//   t2c_json_check --trace trace.json --profile profile.json
+//                  [--metrics metrics.json]
+//
+// Trace checks: the document parses, every event is one of the phases this
+// repo emits (M/X/C), "X" durations are non-negative, timestamps are
+// monotonically non-decreasing, every tid carrying events has a
+// thread_name metadata record, at least two distinct named tracks exist
+// (main + a pool worker) and at least one counter track is present.
+// Profile checks: the document parses, totals are present, and every row
+// carries the call/FLOP/byte fields with sane (non-negative) values.
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/check.h"
+#include "util/jsonlite.h"
+
+namespace {
+
+using t2c::check;
+using t2c::jsonlite::JsonValue;
+using t2c::jsonlite::parse_json;
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  check(is.good(), "cannot open " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void check_trace(const std::string& path) {
+  const JsonValue doc = parse_json(slurp(path));
+  check(doc.is_object() && doc.has("traceEvents"),
+        path + ": no traceEvents array");
+  const JsonValue& events = doc.at("traceEvents");
+  check(events.is_array() && !events.array.empty(),
+        path + ": traceEvents empty");
+  std::set<double> named_tids;
+  std::set<double> event_tids;
+  std::set<std::string> track_names;
+  std::set<std::string> counter_names;
+  double last_ts = -1.0;
+  std::size_t spans = 0;
+  for (const JsonValue& e : events.array) {
+    check(e.is_object() && e.has("ph") && e.has("name"),
+          path + ": event missing ph/name");
+    const std::string& ph = e.at("ph").str;
+    check(ph == "M" || ph == "X" || ph == "C",
+          path + ": unexpected event phase '" + ph + "'");
+    if (ph == "M") {
+      if (e.at("name").str == "thread_name") {
+        named_tids.insert(e.at("tid").number);
+        track_names.insert(e.at("args").at("name").str);
+      }
+      continue;
+    }
+    check(e.has("ts") && e.at("ts").number >= 0.0, path + ": bad ts");
+    check(e.at("ts").number >= last_ts, path + ": ts not monotonic");
+    last_ts = e.at("ts").number;
+    event_tids.insert(e.at("tid").number);
+    if (ph == "X") {
+      ++spans;
+      check(e.has("dur") && e.at("dur").number >= 0.0,
+            path + ": negative span duration");
+    } else {
+      counter_names.insert(e.at("name").str);
+      check(e.at("args").has("value"), path + ": counter without value");
+    }
+  }
+  check(spans > 0, path + ": no complete (X) events");
+  check(!counter_names.empty(), path + ": no counter (C) track");
+  for (const double tid : event_tids) {
+    check(named_tids.count(tid) == 1,
+          path + ": events on an unnamed tid");
+  }
+  check(track_names.size() >= 2,
+        path + ": expected at least two named thread tracks");
+  std::printf("trace ok: %zu events, %zu named tracks, %zu counter tracks\n",
+              events.array.size(), track_names.size(), counter_names.size());
+}
+
+void check_profile(const std::string& path) {
+  const JsonValue doc = parse_json(slurp(path));
+  for (const char* key :
+       {"total_ms", "total_flops", "total_macs", "total_bytes"}) {
+    check(doc.has(key) && doc.at(key).is_number(),
+          path + ": missing " + key);
+  }
+  check(doc.has("ops") && doc.at("ops").is_array() &&
+            !doc.at("ops").array.empty(),
+        path + ": no ops rows");
+  for (const JsonValue& row : doc.at("ops").array) {
+    check(row.has("op") && row.at("op").is_string(), path + ": row w/o op");
+    for (const char* key : {"calls", "total_ms", "p50_ms", "p95_ms", "p99_ms",
+                            "time_pct", "flops", "macs", "bytes_read",
+                            "bytes_written", "intensity", "gflops", "gbps"}) {
+      check(row.has(key) && row.at(key).is_number() &&
+                row.at(key).number >= 0.0,
+            path + ": row '" + row.at("op").str + "' bad field " + key);
+    }
+    check(row.at("calls").number > 0, path + ": zero-call row");
+  }
+  std::printf("profile ok: %zu op rows\n", doc.at("ops").array.size());
+}
+
+void check_metrics(const std::string& path) {
+  const JsonValue doc = parse_json(slurp(path));
+  check(doc.has("counters") && doc.has("gauges") && doc.has("histograms"),
+        path + ": missing registry sections");
+  const JsonValue& hists = doc.at("histograms");
+  check(hists.is_object(), path + ": histograms is not an object");
+  for (const auto& [name, h] : hists.object) {
+    for (const char* key :
+         {"count", "sum", "mean", "min", "max", "p50", "p95", "p99"}) {
+      check(h.has(key), path + ": histogram '" + name + "' missing " + key);
+    }
+  }
+  std::printf("metrics ok: %zu histograms\n", hists.object.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    bool any = false;
+    for (int i = 1; i + 1 < argc; i += 2) {
+      const std::string flag = argv[i];
+      const std::string path = argv[i + 1];
+      if (flag == "--trace") check_trace(path);
+      else if (flag == "--profile") check_profile(path);
+      else if (flag == "--metrics") check_metrics(path);
+      else t2c::fail("unknown flag '" + flag + "'");
+      any = true;
+    }
+    check(any, "usage: t2c_json_check [--trace F] [--profile F] "
+               "[--metrics F]");
+    return 0;
+  } catch (const t2c::Error& e) {
+    std::fprintf(stderr, "t2c_json_check: %s\n", e.what());
+    return 1;
+  }
+}
