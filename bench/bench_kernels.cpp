@@ -63,7 +63,9 @@ int main() {
   const int hw_threads = par::max_threads();
   std::printf("pool size: %d thread(s)\n\n", hw_threads);
   std::vector<BenchStat> stats;
-  const int reps = 3 * scale_factor();
+  // Enough reps for the min/stddev statistics the t2c_perf_diff noise
+  // window is built on — 3 reps made p50 == p95 and stddev meaningless.
+  const int reps = 9 * scale_factor();
 
   // ---- 512^3 GEMM, float and int64 ----
   const std::int64_t n = 512;
@@ -99,8 +101,10 @@ int main() {
       gemm_row("gemm_f32_512_tiled", gemm_macs,
                [&] { cf.zero(); gemm_f32(af.data(), bf.data(), cf.data(), n,
                                          n, n, false, false, true); }, 1);
+  // Distinct row name for the full-pool run: JSON row names are unique
+  // keys for the regression comparator.
   const double tiled_f_mt_ms =
-      gemm_row("gemm_f32_512_tiled", gemm_macs,
+      gemm_row("gemm_f32_512_tiled_mt", gemm_macs,
                [&] { cf.zero(); gemm_f32(af.data(), bf.data(), cf.data(), n,
                                          n, n, false, false, true); },
                hw_threads);
@@ -129,7 +133,8 @@ int main() {
   double conv_1t = 0.0;
   for (const int threads : {1, hw_threads}) {
     par::set_max_threads(threads);
-    BenchStat s = time_reps("conv2d_8x32x32x32_k3",
+    const std::string suffix = threads == 1 ? "" : "_mt";
+    BenchStat s = time_reps("conv2d_8x32x32x32_k3" + suffix,
                             [&] { (void)conv2d_forward(cx, cw, nullptr, cs); },
                             reps);
     stats.push_back(s);
@@ -158,13 +163,14 @@ int main() {
   double mq_1t = 0.0, sm_1t = 0.0;
   for (const int threads : {1, hw_threads}) {
     par::set_max_threads(threads);
-    BenchStat s = time_reps("mulquant_8x64x56x56",
+    const std::string suffix = threads == 1 ? "" : "_mt";
+    BenchStat s = time_reps("mulquant_8x64x56x56" + suffix,
                             [&] { (void)mq.run({&mqx}); }, reps);
     stats.push_back(s);
     if (threads == 1) mq_1t = s.mean_ms;
     t.row({s.name, std::to_string(threads), fmt(s.mean_ms), "-"});
-    s = time_reps("int_softmax_4x8x197x197", [&] { (void)sm.run({&smx}); },
-                  reps);
+    s = time_reps("int_softmax_4x8x197x197" + suffix,
+                  [&] { (void)sm.run({&smx}); }, reps);
     stats.push_back(s);
     if (threads == 1) sm_1t = s.mean_ms;
     t.row({s.name, std::to_string(threads), fmt(s.mean_ms), "-"});

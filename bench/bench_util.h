@@ -5,11 +5,13 @@
 // T2C_SCALE=full for larger datasets / longer training (default: quick,
 // sized for a single CPU core — see DESIGN.md §4).
 // Set T2C_BENCH_JSON=/path/to/file.json to additionally dump the
-// hand-timed sections as machine-readable rows (name, reps, mean/p50/p95
-// milliseconds) for CI trend tracking.
+// hand-timed sections as machine-readable rows (name, reps, min/mean/
+// p50/p95/stddev milliseconds) plus the build_info provenance block, for
+// CI trend tracking and the t2c_perf_diff regression gate.
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +21,8 @@
 #include "core/registry.h"
 #include "core/t2c.h"
 #include "models/models.h"
+#include "obs/pmu.h"
+#include "util/build_info.h"
 #include "util/check.h"
 #include "util/jsonlite.h"
 #include "util/stopwatch.h"
@@ -124,32 +128,71 @@ inline std::string fmt_delta(double v, double ref, int prec = 2) {
 
 // ---- machine-readable timing (T2C_BENCH_JSON) ----
 
-/// One timed section, digested for trend tracking.
+/// One timed section, digested for trend tracking. `min_ms` is the
+/// regression-gate statistic (least-noise estimate of the true cost);
+/// `stddev_ms` feeds the comparator's noise window.
 struct BenchStat {
   std::string name;
   int reps = 0;
+  double min_ms = 0.0;
   double mean_ms = 0.0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
+  double stddev_ms = 0.0;
+  /// Mean per-rep IPC and its coefficient of variation; 0 unless
+  /// T2C_BENCH_PMU is set and the hardware counter tier is available.
+  /// ipc_cv feeds the t2c_perf_diff noise window (an unstable IPC means
+  /// the machine, not the code, moved).
+  double ipc = 0.0;
+  double ipc_cv = 0.0;
 };
 
-/// Runs `fn` `reps` times and reports mean/p50/p95 wall milliseconds.
+/// Runs `fn` `reps` times and reports min/mean/p50/p95/stddev wall ms.
+/// With T2C_BENCH_PMU set, each rep is additionally bracketed with the
+/// thread's hardware counter group (obs/pmu) for the IPC columns.
 template <typename Fn>
 BenchStat time_reps(const std::string& name, Fn&& fn, int reps = 20) {
   check(reps > 0, "time_reps: reps must be positive");
+  static const bool want_pmu = std::getenv("T2C_BENCH_PMU") != nullptr;
+  if (want_pmu) {
+    static const bool init = [] {
+      obs::set_pmu_mode(obs::PmuMode::kAuto);
+      return true;
+    }();
+    (void)init;
+  }
+  const bool hw = want_pmu && obs::pmu_tier() == obs::PmuTier::kHardware;
   std::vector<double> ms;
   ms.reserve(static_cast<std::size_t>(reps));
+  std::vector<double> ipcs;
   for (int i = 0; i < reps; ++i) {
+    obs::PmuCounts c0;
+    if (hw) obs::thread_pmu().read(c0);
     Stopwatch sw;
     fn();
     ms.push_back(sw.millis());
+    if (hw) {
+      obs::PmuCounts c1;
+      obs::thread_pmu().read(c1);
+      const obs::PmuSample d = obs::pmu_delta(c0, c1);
+      if (d.hw && d.cycles > 0) {
+        ipcs.push_back(static_cast<double>(d.instructions) /
+                       static_cast<double>(d.cycles));
+      }
+    }
   }
   std::sort(ms.begin(), ms.end());
   BenchStat s;
   s.name = name;
   s.reps = reps;
+  s.min_ms = ms.front();
   for (double v : ms) s.mean_ms += v;
   s.mean_ms /= static_cast<double>(reps);
+  double var = 0.0;
+  for (double v : ms) var += (v - s.mean_ms) * (v - s.mean_ms);
+  s.stddev_ms = reps > 1
+                    ? std::sqrt(var / static_cast<double>(reps - 1))
+                    : 0.0;
   const auto at = [&](double p) {
     const auto idx = static_cast<std::size_t>(
         p * static_cast<double>(ms.size() - 1));
@@ -157,29 +200,49 @@ BenchStat time_reps(const std::string& name, Fn&& fn, int reps = 20) {
   };
   s.p50_ms = at(0.5);
   s.p95_ms = at(0.95);
+  if (!ipcs.empty()) {
+    for (double v : ipcs) s.ipc += v;
+    s.ipc /= static_cast<double>(ipcs.size());
+    if (ipcs.size() > 1 && s.ipc > 0.0) {
+      double ivar = 0.0;
+      for (double v : ipcs) ivar += (v - s.ipc) * (v - s.ipc);
+      s.ipc_cv = std::sqrt(ivar / static_cast<double>(ipcs.size() - 1)) /
+                 s.ipc;
+    }
+  }
   return s;
 }
 
 /// Path from the T2C_BENCH_JSON env var, or nullptr when JSON output is off.
 inline const char* bench_json_path() { return std::getenv("T2C_BENCH_JSON"); }
 
-/// Writes `[{"name":...,"reps":N,"mean_ms":...,"p50_ms":...,"p95_ms":...}]`
-/// to T2C_BENCH_JSON. No-op (returns false) when the env var is unset.
+/// Writes `{"build_info":{...},"rows":[{"name":...,"reps":N,"min_ms":...,
+/// "mean_ms":...,"p50_ms":...,"p95_ms":...,"stddev_ms":...}]}` to
+/// T2C_BENCH_JSON. No-op (returns false) when the env var is unset.
+/// t2c_perf_diff also reads the legacy bare-array form, so committed
+/// baselines survive schema upgrades.
 inline bool write_bench_json(const std::vector<BenchStat>& stats) {
   const char* path = bench_json_path();
   if (path == nullptr) return false;
   FILE* f = std::fopen(path, "w");
   check(f != nullptr, std::string("cannot open for writing: ") + path);
-  std::fprintf(f, "[");
+  std::fprintf(f, "{\"build_info\":%s,\n \"rows\":[",
+               build_info_json().c_str());
   for (std::size_t i = 0; i < stats.size(); ++i) {
     const BenchStat& s = stats[i];
     std::fprintf(f,
-                 "%s\n  {\"name\":\"%s\",\"reps\":%d,\"mean_ms\":%.6f,"
-                 "\"p50_ms\":%.6f,\"p95_ms\":%.6f}",
+                 "%s\n  {\"name\":\"%s\",\"reps\":%d,\"min_ms\":%.6f,"
+                 "\"mean_ms\":%.6f,\"p50_ms\":%.6f,\"p95_ms\":%.6f,"
+                 "\"stddev_ms\":%.6f",
                  i == 0 ? "" : ",", jsonlite::json_escape(s.name).c_str(),
-                 s.reps, s.mean_ms, s.p50_ms, s.p95_ms);
+                 s.reps, s.min_ms, s.mean_ms, s.p50_ms, s.p95_ms,
+                 s.stddev_ms);
+    if (s.ipc > 0.0) {
+      std::fprintf(f, ",\"ipc\":%.4f,\"ipc_cv\":%.4f", s.ipc, s.ipc_cv);
+    }
+    std::fprintf(f, "}");
   }
-  std::fprintf(f, "\n]\n");
+  std::fprintf(f, "\n]}\n");
   std::fclose(f);
   std::printf("bench json: %s (%zu rows)\n", path, stats.size());
   return true;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/pmu.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -205,12 +206,18 @@ void parallel_for_impl(
   };
   // Pooled dispatch is the instrumented boundary: per-worker busy spans
   // ("X" on each worker's track), pool.occupancy counter samples, and
-  // per-region chunk stats feeding pool.* metrics. Nested/inline regions
-  // stay uninstrumented — they run inside a chunk that is already
-  // accounted for. Cost when everything is off: the two relaxed loads.
+  // per-region chunk stats feeding pool.* metrics. With the PMU on, every
+  // chunk that runs on a pool worker (part >= 1; part 0 executes on the
+  // caller, inside the caller's own bracket) reads its thread's counter
+  // group before/after and lands the delta in the worker accumulator so
+  // the executor can attribute it to the current step (DESIGN.md §3.9).
+  // Nested/inline regions stay uninstrumented — they run inside a chunk
+  // that is already accounted for. Cost when everything is off: the three
+  // relaxed loads.
   const bool met = obs::metrics_enabled();
   const bool trace = obs::trace_enabled();
-  if (!met && !trace) {
+  const bool pmu = obs::pmu_enabled();
+  if (!met && !trace && !pmu) {
     pool().run(nparts, [&](int part) {
       std::int64_t i0 = 0;
       std::int64_t i1 = 0;
@@ -236,6 +243,9 @@ void parallel_for_impl(
     std::int64_t i1 = 0;
     chunk_of(part, i0, i1);
     const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
+    const bool sample_pmu = pmu && part != 0;
+    obs::PmuCounts pmu0;
+    if (sample_pmu) obs::thread_pmu().read(pmu0);
     Stopwatch sw;
     g_in_parallel = true;
     try {
@@ -246,6 +256,11 @@ void parallel_for_impl(
     }
     g_in_parallel = false;
     chunk_ms[static_cast<std::size_t>(part)] = sw.millis();
+    if (sample_pmu) {
+      obs::PmuCounts pmu1;
+      obs::thread_pmu().read(pmu1);
+      obs::pmu_worker_acc().add(obs::pmu_delta(pmu0, pmu1));
+    }
     if (trace) {
       obs::TraceRecorder::Event e;
       e.name = "chunk";

@@ -6,6 +6,7 @@
 
 #include "obs/capture.h"
 #include "obs/metrics.h"
+#include "obs/pmu.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -111,6 +112,9 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
   const bool met = obs::metrics_enabled();
   const bool trace = obs::trace_enabled();
   const bool prof = obs::profile_enabled();
+  // PMU samples only matter when someone aggregates them, so measurement
+  // is gated on the profiler being live too.
+  const bool pmu = prof && obs::pmu_enabled();
   const bool cap = obs::capture_enabled();
   if (cap) {
     obs::int_taps().record(obs::kInputTapLabel, input.data(), input.numel(),
@@ -150,9 +154,26 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
     }
     if (met || trace || prof) {
       const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
+      // Step bracket (DESIGN.md §3.9): this thread's counters plus the
+      // worker accumulator before and after. The step's sample is the
+      // main-thread delta (covers inline work and part 0 of every pooled
+      // region) plus whatever the pool workers deposited meanwhile.
+      obs::PmuCounts pmu_self0, pmu_acc0;
+      if (pmu) {
+        obs::pmu_worker_acc().snapshot(pmu_acc0);
+        obs::thread_pmu().read(pmu_self0);
+      }
       Stopwatch sw;
       op.run_into(ins, out);
       const double ms = sw.millis();
+      obs::PmuSample sample;
+      if (pmu) {
+        obs::PmuCounts pmu_self1, pmu_acc1;
+        obs::thread_pmu().read(pmu_self1);
+        obs::pmu_worker_acc().snapshot(pmu_acc1);
+        sample = obs::pmu_delta(pmu_self0, pmu_self1);
+        sample.accumulate(obs::pmu_delta(pmu_acc0, pmu_acc1));
+      }
       const std::string key =
           op.kind() + (op.label.empty() ? "" : ":" + op.label);
       if (met) {
@@ -162,13 +183,42 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         // cost() is shape-derived, so the aggregated totals are identical
         // at any thread count even though the timings are not.
         const obs::OpCost c = op.cost(ins, out);
-        obs::profiler().record_step(key, ms, c);
+        obs::profiler().record_step(key, ms, c, pmu ? &sample : nullptr);
         if (met) {
           obs::metrics().counter("profile.flops." + op.kind()).add(c.flops);
           obs::metrics().counter("profile.macs." + op.kind()).add(c.macs);
           obs::metrics()
               .counter("profile.bytes." + op.kind())
               .add(c.bytes_read + c.bytes_written);
+        }
+      }
+      if (pmu) {
+        if (met) {
+          obs::metrics().counter("pmu.cpu_ns").add(sample.cpu_ns);
+          if (sample.hw) {
+            obs::metrics().counter("pmu.cycles").add(sample.cycles);
+            obs::metrics().counter("pmu.instructions").add(sample.instructions);
+            obs::metrics().counter("pmu.cache_refs").add(sample.cache_refs);
+            obs::metrics().counter("pmu.cache_misses").add(sample.cache_misses);
+            obs::metrics()
+                .counter("pmu.branch_misses")
+                .add(sample.branch_misses);
+          }
+        }
+        if (trace && sample.hw) {
+          // Per-step counter tracks: IPC and cache-miss rate over the run
+          // timeline, next to the op spans they describe.
+          if (sample.cycles > 0) {
+            obs::tracer().counter("pmu.ipc", "pmu",
+                                  static_cast<double>(sample.instructions) /
+                                      static_cast<double>(sample.cycles));
+          }
+          if (sample.cache_refs > 0) {
+            obs::tracer().counter(
+                "pmu.cache_miss_rate", "pmu",
+                static_cast<double>(sample.cache_misses) /
+                    static_cast<double>(sample.cache_refs));
+          }
         }
       }
       if (trace) {

@@ -7,6 +7,7 @@
 #include <limits>
 #include <sstream>
 
+#include "util/build_info.h"
 #include "util/check.h"
 #include "util/jsonlite.h"
 
@@ -119,7 +120,7 @@ using jsonlite::json_num;
 
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream os;
-  os << "{\"counters\":{";
+  os << "{\"build_info\":" << build_info_json() << ",\"counters\":{";
   bool first = true;
   for (const auto& [name, v] : counters) {
     if (!first) os << ',';

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "util/build_info.h"
 #include "util/jsonlite.h"
 
 namespace t2c::obs {
@@ -18,7 +19,7 @@ void set_profile_enabled(bool on) {
 }
 
 void Profiler::record_step(const std::string& key, double ms,
-                           const OpCost& cost) {
+                           const OpCost& cost, const PmuSample* pmu) {
   const std::lock_guard<std::mutex> lock(mu_);
   Agg& a = agg_[key];
   a.calls += 1;
@@ -28,6 +29,10 @@ void Profiler::record_step(const std::string& key, double ms,
   a.cost.macs += cost.macs;
   a.cost.bytes_read += cost.bytes_read;
   a.cost.bytes_written += cost.bytes_written;
+  if (pmu != nullptr) {
+    a.pmu_steps += 1;
+    a.pmu.accumulate(*pmu);
+  }
 }
 
 std::size_t Profiler::num_keys() const {
@@ -79,6 +84,31 @@ ProfileReport Profiler::report() const {
       row.gflops = static_cast<double>(a.cost.flops) / (a.total_ms * 1e6);
       row.gbps = static_cast<double>(bytes) / (a.total_ms * 1e6);
     }
+    row.pmu_steps = a.pmu_steps;
+    row.pmu = a.pmu;
+    if (a.pmu_steps > 0) {
+      row.cpu_ms = static_cast<double>(a.pmu.cpu_ns) * 1e-6;
+      r.has_cpu_pmu = r.has_cpu_pmu || a.pmu.cpu_ns > 0;
+      if (a.pmu.hw) {
+        r.has_hw_pmu = true;
+        if (a.pmu.cycles > 0) {
+          row.ipc = static_cast<double>(a.pmu.instructions) /
+                    static_cast<double>(a.pmu.cycles);
+        }
+        if (a.pmu.cache_refs > 0) {
+          row.miss_rate = static_cast<double>(a.pmu.cache_misses) /
+                          static_cast<double>(a.pmu.cache_refs);
+        }
+        // 64B cache lines: the measured-traffic estimate the roofline
+        // model is compared against.
+        row.measured_bytes = static_cast<double>(a.pmu.cache_misses) * 64.0;
+        if (bytes > 0) {
+          row.measured_vs_modeled =
+              row.measured_bytes / static_cast<double>(bytes);
+        }
+      }
+      r.pmu_total.accumulate(a.pmu);
+    }
     r.total_ms += a.total_ms;
     r.total_flops += a.cost.flops;
     r.total_macs += a.cost.macs;
@@ -95,12 +125,13 @@ ProfileReport Profiler::report() const {
               if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
               return a.key < b.key;
             });
+  r.pmu_tier = pmu_tier();
   return r;
 }
 
 std::string ProfileReport::table_text() const {
   std::ostringstream os;
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "per-op roofline profile: %.3f ms total, %.3f GFLOP "
                 "(%.3f GMAC), %.3f GB moved\n",
@@ -108,22 +139,59 @@ std::string ProfileReport::table_text() const {
                 static_cast<double>(total_macs) * 1e-9,
                 static_cast<double>(total_bytes) * 1e-9);
   os << buf;
+  if (pmu_tier != PmuTier::kDisabled) {
+    std::snprintf(buf, sizeof(buf),
+                  "pmu tier: %s, %.3f CPU ms measured\n",
+                  pmu_tier_name(pmu_tier),
+                  static_cast<double>(pmu_total.cpu_ns) * 1e-6);
+    os << buf;
+  }
   std::snprintf(buf, sizeof(buf),
-                "  %-44s %7s %6s %9s %8s %8s %8s %9s %8s %6s %8s %7s\n", "op",
+                "  %-44s %7s %6s %9s %8s %8s %8s %9s %8s %6s %8s %7s", "op",
                 "calls", "time%", "total ms", "p50 ms", "p95 ms", "p99 ms",
                 "MFLOP", "MB", "fl/B", "GFLOP/s", "GB/s");
   os << buf;
+  // Measured columns ride along only at the tier that can fill them: IPC,
+  // cache-miss rate, and measured/modeled bytes need the hardware group;
+  // CPU ms needs only the per-thread clock.
+  if (has_hw_pmu) {
+    std::snprintf(buf, sizeof(buf), " %6s %6s %7s", "IPC", "miss%", "mea/mod");
+    os << buf;
+  }
+  if (has_cpu_pmu) {
+    std::snprintf(buf, sizeof(buf), " %8s", "cpu ms");
+    os << buf;
+  }
+  os << '\n';
   for (const ProfileRow& r : rows) {
     const double mb = static_cast<double>(r.cost.bytes_read +
                                           r.cost.bytes_written) * 1e-6;
     std::snprintf(buf, sizeof(buf),
                   "  %-44s %7lld %6.1f %9.3f %8.3f %8.3f %8.3f %9.2f %8.2f "
-                  "%6.2f %8.2f %7.2f\n",
+                  "%6.2f %8.2f %7.2f",
                   r.key.c_str(), static_cast<long long>(r.calls), r.time_pct,
                   r.total_ms, r.p50_ms, r.p95_ms, r.p99_ms,
                   static_cast<double>(r.cost.flops) * 1e-6, mb, r.intensity,
                   r.gflops, r.gbps);
     os << buf;
+    if (has_hw_pmu) {
+      if (r.pmu_steps > 0 && r.pmu.hw) {
+        std::snprintf(buf, sizeof(buf), " %6.2f %6.2f %7.2f", r.ipc,
+                      100.0 * r.miss_rate, r.measured_vs_modeled);
+      } else {
+        std::snprintf(buf, sizeof(buf), " %6s %6s %7s", "-", "-", "-");
+      }
+      os << buf;
+    }
+    if (has_cpu_pmu) {
+      if (r.pmu_steps > 0) {
+        std::snprintf(buf, sizeof(buf), " %8.3f", r.cpu_ms);
+      } else {
+        std::snprintf(buf, sizeof(buf), " %8s", "-");
+      }
+      os << buf;
+    }
+    os << '\n';
   }
   return os.str();
 }
@@ -132,7 +200,9 @@ std::string ProfileReport::to_json() const {
   using jsonlite::json_escape;
   using jsonlite::json_num;
   std::ostringstream os;
-  os << "{\"total_ms\":" << json_num(total_ms)
+  os << "{\"build_info\":" << build_info_json()
+     << ",\"pmu_tier\":\"" << pmu_tier_name(pmu_tier) << '"'
+     << ",\"total_ms\":" << json_num(total_ms)
      << ",\"total_flops\":" << total_flops << ",\"total_macs\":" << total_macs
      << ",\"total_bytes\":" << total_bytes << ",\"ops\":[";
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -150,7 +220,31 @@ std::string ProfileReport::to_json() const {
        << ",\"bytes_written\":" << r.cost.bytes_written
        << ",\"intensity\":" << json_num(r.intensity)
        << ",\"gflops\":" << json_num(r.gflops)
-       << ",\"gbps\":" << json_num(r.gbps) << '}';
+       << ",\"gbps\":" << json_num(r.gbps);
+    if (r.pmu_steps > 0) {
+      os << ",\"pmu\":{\"steps\":" << r.pmu_steps
+         << ",\"cpu_ms\":" << json_num(r.cpu_ms);
+      if (r.pmu.hw) {
+        os << ",\"cycles\":" << r.pmu.cycles
+           << ",\"instructions\":" << r.pmu.instructions
+           << ",\"cache_refs\":" << r.pmu.cache_refs
+           << ",\"cache_misses\":" << r.pmu.cache_misses
+           << ",\"branch_misses\":" << r.pmu.branch_misses
+           << ",\"ipc\":" << json_num(r.ipc)
+           << ",\"cache_miss_rate\":" << json_num(r.miss_rate)
+           << ",\"measured_bytes\":" << json_num(r.measured_bytes)
+           << ",\"measured_vs_modeled\":" << json_num(r.measured_vs_modeled);
+        for (int k = 0; k < pmu_num_raw_events(); ++k) {
+          char name[32];
+          std::snprintf(name, sizeof(name), "r%llx",
+                        static_cast<unsigned long long>(
+                            pmu_raw_event_config(k)));
+          os << ",\"" << name << "\":" << r.pmu.raw[k];
+        }
+      }
+      os << '}';
+    }
+    os << '}';
   }
   os << "]}";
   return os.str();

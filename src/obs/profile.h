@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/pmu.h"
+
 namespace t2c::obs {
 
 namespace detail {
@@ -59,6 +61,21 @@ struct ProfileRow {
   double intensity = 0.0;
   double gflops = 0.0;  ///< cost.flops / total time, 1e9/s
   double gbps = 0.0;    ///< bytes moved / total time, 1e9/s
+  /// Measured counters (obs/pmu, DESIGN.md §3.9). `pmu_steps` counts the
+  /// calls that carried a sample; zero means the columns below are absent
+  /// for this row. Unlike the modeled cost columns these are *measured*
+  /// and vary run to run and with --threads.
+  std::int64_t pmu_steps = 0;
+  PmuSample pmu;               ///< summed deltas over sampled calls
+  double ipc = 0.0;            ///< instructions / cycles (hardware tier)
+  double miss_rate = 0.0;      ///< cache_misses / cache_references
+  double cpu_ms = 0.0;         ///< summed thread CPU time (any tier)
+  /// Measured traffic estimate (cache_misses x 64B lines) against the
+  /// modeled bytes — the "does the kernel thrash?" column: ~1 means the
+  /// roofline model holds, >> 1 means the op moves far more memory than
+  /// its shapes require.
+  double measured_bytes = 0.0;
+  double measured_vs_modeled = 0.0;
 };
 
 /// Point-in-time digest of the profiler, sorted by total time descending
@@ -68,6 +85,12 @@ struct ProfileReport {
   std::int64_t total_flops = 0;
   std::int64_t total_macs = 0;
   std::int64_t total_bytes = 0;
+  /// PMU rollup: the tier the report was taken at, whether any row has
+  /// hardware counters / CPU-time samples, and the summed deltas.
+  PmuTier pmu_tier = PmuTier::kDisabled;
+  bool has_hw_pmu = false;
+  bool has_cpu_pmu = false;
+  PmuSample pmu_total;
   std::vector<ProfileRow> rows;
 
   /// Fixed-width per-op roofline table (the t2c_cli --profile output).
@@ -85,8 +108,10 @@ class Profiler {
   /// Records one executed step. Costs add; `ms` lands in the per-key
   /// sample set (capped at kMaxSamples per key to bound memory — the cap
   /// affects tail percentiles of very long runs only, never the
-  /// call/FLOP/byte totals).
-  void record_step(const std::string& key, double ms, const OpCost& cost);
+  /// call/FLOP/byte totals). `pmu` (optional) attaches the measured
+  /// counter deltas attributed to this step; its fields sum per key.
+  void record_step(const std::string& key, double ms, const OpCost& cost,
+                   const PmuSample* pmu = nullptr);
 
   ProfileReport report() const;
 
@@ -103,6 +128,8 @@ class Profiler {
     double total_ms = 0.0;
     std::vector<double> samples_ms;
     OpCost cost;
+    std::int64_t pmu_steps = 0;
+    PmuSample pmu;
   };
   mutable std::mutex mu_;
   std::map<std::string, Agg> agg_;

@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "util/build_info.h"
 #include "util/check.h"
 #include "util/jsonlite.h"
 
@@ -77,7 +78,9 @@ std::string TraceRecorder::to_json() const {
   using jsonlite::json_num;
   const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
-  os << "{\"traceEvents\":[";
+  // Extra top-level keys are legal in the Chrome/Perfetto JSON format;
+  // viewers ignore build_info, tooling can attribute the trace.
+  os << "{\"build_info\":" << build_info_json() << ",\"traceEvents\":[";
   // Metadata first: the process, every named thread track, then fallback
   // names for tids that recorded events without registering a name.
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"

@@ -1,0 +1,86 @@
+#include "util/build_info.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/parallel.h"
+#include "util/jsonlite.h"
+
+#ifndef T2C_GIT_SHA
+#define T2C_GIT_SHA "unknown"
+#endif
+#ifndef T2C_CXX_FLAGS
+#define T2C_CXX_FLAGS ""
+#endif
+
+namespace t2c {
+
+namespace {
+
+std::string detect_compiler() {
+#if defined(__clang__)
+  return std::string("Clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("GCC ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// The best target_clones variant this CPU resolves to (matmul.cpp
+/// compiles "default", "arch=haswell", "arch=x86-64-v4").
+std::string detect_isa() {
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx512f")) return "x86-64-v4 (avx512)";
+  if (__builtin_cpu_supports("avx2")) return "haswell (avx2)";
+  return "x86-64 (sse2)";
+#elif defined(__aarch64__)
+  return "aarch64 (neon)";
+#else
+  return "default";
+#endif
+}
+
+std::string detect_cpu_model() {
+  std::ifstream is("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.rfind("model name", 0) != 0) continue;
+    std::size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+BuildInfo build_info() {
+  // Static probes run once; only the pool size is re-read per call.
+  static const std::string isa = detect_isa();
+  static const std::string cpu = detect_cpu_model();
+  static const std::string compiler = detect_compiler();
+  BuildInfo b;
+  b.git_sha = T2C_GIT_SHA;
+  b.compiler = compiler;
+  b.flags = T2C_CXX_FLAGS;
+  b.isa = isa;
+  b.cpu_model = cpu;
+  b.threads = par::max_threads();
+  return b;
+}
+
+std::string build_info_json() {
+  using jsonlite::json_escape;
+  const BuildInfo b = build_info();
+  std::ostringstream os;
+  os << "{\"git_sha\":\"" << json_escape(b.git_sha) << "\",\"compiler\":\""
+     << json_escape(b.compiler) << "\",\"flags\":\"" << json_escape(b.flags)
+     << "\",\"isa\":\"" << json_escape(b.isa) << "\",\"cpu_model\":\""
+     << json_escape(b.cpu_model) << "\",\"threads\":" << b.threads << '}';
+  return os.str();
+}
+
+}  // namespace t2c

@@ -1,0 +1,31 @@
+// Build/run attribution stamped into every machine-readable artifact
+// (--metrics-json, --profile-json, --trace-json, bench JSON): without the
+// git sha, compiler, ISA dispatch level, CPU model, and thread count a
+// cross-run perf comparison cannot tell a code change from a machine
+// change. The git sha and compile flags are baked in at configure time
+// (see src/CMakeLists.txt); the ISA level and CPU model are probed once
+// at first use; the thread count is read per emission (it can change via
+// --threads / set_max_threads).
+#pragma once
+
+#include <string>
+
+namespace t2c {
+
+struct BuildInfo {
+  std::string git_sha;    ///< short sha at configure time, or "unknown"
+  std::string compiler;   ///< e.g. "GCC 13.2.0"
+  std::string flags;      ///< CMAKE_CXX_FLAGS + build-type flags
+  std::string isa;        ///< best target_clones level this CPU dispatches
+  std::string cpu_model;  ///< /proc/cpuinfo "model name", or "unknown"
+  int threads = 1;        ///< pool size at emission time
+};
+
+/// Snapshot of the current build + runtime attribution.
+BuildInfo build_info();
+
+/// `{"git_sha":...,"compiler":...,"flags":...,"isa":...,"cpu_model":...,
+/// "threads":N}` — the block every JSON writer embeds under "build_info".
+std::string build_info_json();
+
+}  // namespace t2c

@@ -6,14 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <cstdlib>
 #include <map>
-#include <new>
 #include <set>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "alloc_count.h"
 #include "core/parallel.h"
 #include "core/registry.h"
 #include "core/t2c.h"
@@ -24,44 +23,6 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/jsonlite.h"
-
-// ---- global allocation counter ----
-// Replacing the global operator new/delete pair counts every heap
-// allocation in the test binary; DisabledPathAddsNoAllocations uses the
-// deltas to prove that flipping profiling/tracing off returns run_int to
-// its exact baseline allocation count. ASan interposes every new/delete
-// variant itself, and a partial replacement trips its alloc-dealloc
-// matcher (e.g. nothrow-new paired with our free-backed delete), so the
-// replacement is compiled out there and the test skips.
-namespace {
-std::atomic<std::int64_t> g_alloc_count{0};
-#if defined(__SANITIZE_ADDRESS__)
-constexpr bool kAllocCounting = false;
-#else
-constexpr bool kAllocCounting = true;
-#endif
-}  // namespace
-
-#if !defined(__SANITIZE_ADDRESS__)
-
-// GCC pairs our malloc-backed operator new with the replaced operator
-// delete just fine at runtime, but its static analysis flags the free()
-// as mismatched once the operators inline — silence that one diagnostic.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-
-void* operator new(std::size_t n) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
-  throw std::bad_alloc();
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-
-#pragma GCC diagnostic pop
-
-#endif  // !__SANITIZE_ADDRESS__
 
 namespace t2c {
 namespace {
@@ -373,7 +334,7 @@ TEST_F(ProfileTest, CnnAndVitProfilesThreadCountInvariant) {
 }
 
 TEST_F(ProfileTest, DisabledPathAddsNoAllocations) {
-  if (!kAllocCounting) {
+  if (!kT2cAllocCounting) {
     GTEST_SKIP() << "operator new/delete not replaced under ASan";
   }
   const ThreadGuard guard;
@@ -383,9 +344,9 @@ TEST_F(ProfileTest, DisabledPathAddsNoAllocations) {
   const ITensor q = dm.quantize_input(test_batch(data, 4));
 
   const auto allocs_per_run = [&] {
-    const std::int64_t before = g_alloc_count.load();
+    const std::int64_t before = g_t2c_alloc_count.load();
     (void)dm.run_int(q);
-    return g_alloc_count.load() - before;
+    return g_t2c_alloc_count.load() - before;
   };
   // Warm the plan cache, arena pool, and spare buffers until the per-run
   // allocation count is reproducible.

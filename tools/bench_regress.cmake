@@ -1,16 +1,24 @@
 # Perf-trajectory collector (the `bench_regress` target).
 #
 # Runs the hand-timed bench binaries with T2C_BENCH_JSON set and merges
-# their row arrays into one schema'd document at the repo root, so every
-# PR can diff runtime numbers against the committed baseline:
+# their per-bench documents into one schema'd file at the repo root, so
+# every PR can diff runtime numbers against the committed baseline (the
+# t2c_perf_diff tool consumes two of these):
 #
 #   {
 #     "schema": "t2c.bench.v1",
 #     "benches": {
-#       "bench_kernels":    [{"name":..., "reps":..., "mean_ms":...}, ...],
-#       "bench_deploy_mem": [...]
+#       "bench_kernels": {
+#         "build_info": {"git_sha":..., "compiler":..., ...},
+#         "rows": [{"name":..., "reps":..., "min_ms":..., "mean_ms":...,
+#                   "p50_ms":..., "p95_ms":..., "stddev_ms":...}, ...]
+#       },
+#       "bench_deploy_mem": {...}
 #     }
 #   }
+#
+# (Per-bench values were bare row arrays before the min/stddev upgrade;
+# t2c_perf_diff still reads that legacy form.)
 #
 # Invoked in script mode:
 #   cmake -DBENCH_KERNELS=<exe> -DBENCH_DEPLOY_MEM=<exe>

@@ -41,6 +41,7 @@
 #include "models/models.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/pmu.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "xport/verilog.h"
@@ -69,6 +70,7 @@ struct Args {
   std::string trace_json;
   bool profile = false;
   std::string profile_json;
+  std::string pmu;  ///< --pmu MODE; empty = auto when profiling, else off
   bool audit = false;
   std::string audit_json;
   std::string audit_golden_dir;
@@ -134,6 +136,7 @@ Args parse(int argc, char** argv) {
       a.profile_json = want(i++);
       a.profile = true;
     }
+    else if (f == "--pmu") a.pmu = want(i++);
     else if (f == "--audit") a.audit = true;
     else if (f == "--audit-json") { a.audit_json = want(i++); a.audit = true; }
     else if (f == "--audit-golden-dir") {
@@ -163,6 +166,7 @@ Args parse(int argc, char** argv) {
           "               [--log-level trace|debug|info|warn|error|off]\n"
           "               [--metrics-json PATH] [--trace-json PATH]\n"
           "               [--profile] [--profile-json PATH]\n"
+          "               [--pmu off|auto|cputime|hw]\n"
           "               [--audit] [--audit-json PATH]\n"
           "               [--audit-golden-dir DIR] [--audit-threshold-db DB]\n"
           "               [--threads N] [--opt-level 0|1|2]\n"
@@ -179,7 +183,12 @@ Args parse(int argc, char** argv) {
           "--profile times every executed deploy step and prints the per-op\n"
           "roofline table (time %, p50/p95/p99, arithmetic intensity,\n"
           "effective GFLOP/s and GB/s); op counts and FLOP/byte totals are\n"
-          "bit-identical at any --threads setting.");
+          "bit-identical at any --threads setting.\n"
+          "--pmu selects the measured-counter tier for --profile: auto\n"
+          "(default when profiling) tries perf_event_open and degrades to\n"
+          "per-thread CPU time; hw insists and warns on fallback; cputime\n"
+          "skips the probe; off disables measurement. T2C_PMU_RAW=r<hex>,..\n"
+          "adds up to 4 raw PMU events as extra profile columns.");
       std::exit(0);
     } else {
       fail("unknown flag '" + f + "' (try --help)");
@@ -295,6 +304,18 @@ int main(int argc, char** argv) {
     obs::set_metrics_enabled(true);
     obs::set_trace_enabled(!a.trace_json.empty());
     obs::set_profile_enabled(a.profile);
+    // Counter measurement defaults to auto whenever profiling is on: the
+    // probe resolves the best available tier (hardware group, CPU-time
+    // fallback, or disabled via --pmu off) and the profile banner / logs
+    // say which one actually ran.
+    const obs::PmuMode pmu_mode = !a.pmu.empty()
+                                      ? obs::parse_pmu_mode(a.pmu.c_str())
+                                      : (a.profile ? obs::PmuMode::kAuto
+                                                   : obs::PmuMode::kOff);
+    obs::set_pmu_mode(pmu_mode);
+    if (a.profile) {
+      obs::log_info("pmu: tier ", obs::pmu_tier_name(obs::pmu_tier()));
+    }
     if (a.list) {
       std::printf("models:     resnet20 resnet18 resnet50 mobilenet_v1 vit\n");
       std::printf("datasets:   cifar10_sim cifar100_sim imagenet_sim "

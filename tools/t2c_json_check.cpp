@@ -2,15 +2,19 @@
 // `t2c_profile_valid` ctest entry.
 //
 //   t2c_json_check --trace trace.json --profile profile.json
-//                  [--metrics metrics.json]
+//                  [--metrics metrics.json] [--bench BENCH_runtime.json]
 //
 // Trace checks: the document parses, every event is one of the phases this
 // repo emits (M/X/C), "X" durations are non-negative, timestamps are
 // monotonically non-decreasing, every tid carrying events has a
 // thread_name metadata record, at least two distinct named tracks exist
 // (main + a pool worker) and at least one counter track is present.
-// Profile checks: the document parses, totals are present, and every row
-// carries the call/FLOP/byte fields with sane (non-negative) values.
+// Profile checks: the document parses, the build_info/pmu_tier stamps are
+// present, every row carries the call/FLOP/byte fields with sane
+// (non-negative) values, and any pmu block is internally consistent.
+// Bench checks (t2c.bench.v1): every bench carries build_info + rows, row
+// names are unique per bench, reps >= 5, and the min/mean/p50/p95/stddev
+// fields are present with min <= mean.
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -32,6 +36,19 @@ std::string slurp(const std::string& path) {
   std::ostringstream os;
   os << is.rdbuf();
   return os.str();
+}
+
+void check_build_info(const JsonValue& doc, const std::string& path) {
+  check(doc.has("build_info") && doc.at("build_info").is_object(),
+        path + ": missing build_info block");
+  const JsonValue& b = doc.at("build_info");
+  for (const char* key : {"git_sha", "compiler", "flags", "isa", "cpu_model"}) {
+    check(b.has(key) && b.at(key).is_string(),
+          path + ": build_info missing " + key);
+  }
+  check(b.has("threads") && b.at("threads").is_number() &&
+            b.at("threads").number >= 1.0,
+        path + ": build_info.threads must be >= 1");
 }
 
 void check_trace(const std::string& path) {
@@ -87,6 +104,12 @@ void check_trace(const std::string& path) {
 
 void check_profile(const std::string& path) {
   const JsonValue doc = parse_json(slurp(path));
+  check_build_info(doc, path);
+  check(doc.has("pmu_tier") && doc.at("pmu_tier").is_string(),
+        path + ": missing pmu_tier");
+  const std::string& tier = doc.at("pmu_tier").str;
+  check(tier == "disabled" || tier == "cputime" || tier == "hardware",
+        path + ": unknown pmu_tier '" + tier + "'");
   for (const char* key :
        {"total_ms", "total_flops", "total_macs", "total_bytes"}) {
     check(doc.has(key) && doc.at(key).is_number(),
@@ -95,6 +118,7 @@ void check_profile(const std::string& path) {
   check(doc.has("ops") && doc.at("ops").is_array() &&
             !doc.at("ops").array.empty(),
         path + ": no ops rows");
+  std::size_t pmu_rows = 0;
   for (const JsonValue& row : doc.at("ops").array) {
     check(row.has("op") && row.at("op").is_string(), path + ": row w/o op");
     for (const char* key : {"calls", "total_ms", "p50_ms", "p95_ms", "p99_ms",
@@ -105,12 +129,72 @@ void check_profile(const std::string& path) {
             path + ": row '" + row.at("op").str + "' bad field " + key);
     }
     check(row.at("calls").number > 0, path + ": zero-call row");
+    if (row.has("pmu")) {
+      // Measured-counter block: only present at an enabled tier; the
+      // hardware-only fields (cycles, ipc, ...) ride along as a unit.
+      check(tier != "disabled",
+            path + ": pmu block in a disabled-tier profile");
+      const JsonValue& p = row.at("pmu");
+      check(p.has("steps") && p.at("steps").number > 0,
+            path + ": pmu block without steps");
+      check(p.has("cpu_ms") && p.at("cpu_ms").number >= 0.0,
+            path + ": pmu block without cpu_ms");
+      if (p.has("cycles")) {
+        for (const char* key : {"instructions", "cache_refs", "cache_misses",
+                                "branch_misses", "ipc", "cache_miss_rate",
+                                "measured_bytes"}) {
+          check(p.has(key) && p.at(key).number >= 0.0,
+                path + ": pmu block missing " + key);
+        }
+      }
+      ++pmu_rows;
+    }
   }
-  std::printf("profile ok: %zu op rows\n", doc.at("ops").array.size());
+  std::printf("profile ok: %zu op rows (%zu with pmu, tier %s)\n",
+              doc.at("ops").array.size(), pmu_rows, tier.c_str());
+}
+
+void check_bench(const std::string& path) {
+  const JsonValue doc = parse_json(slurp(path));
+  check(doc.has("schema") && doc.at("schema").str == "t2c.bench.v1",
+        path + ": schema is not t2c.bench.v1");
+  check(doc.has("benches") && doc.at("benches").is_object() &&
+            !doc.at("benches").object.empty(),
+        path + ": no benches");
+  std::size_t rows = 0;
+  for (const auto& [bench, value] : doc.at("benches").object) {
+    check(value.is_object() && value.has("rows"),
+          path + ": bench '" + bench + "' lacks the build_info+rows form");
+    check_build_info(value, path + ": " + bench);
+    check(value.at("rows").is_array() && !value.at("rows").array.empty(),
+          path + ": bench '" + bench + "' has no rows");
+    std::set<std::string> names;
+    for (const JsonValue& row : value.at("rows").array) {
+      check(row.has("name") && row.at("name").is_string(),
+            path + ": " + bench + " row without name");
+      const std::string& name = row.at("name").str;
+      check(names.insert(name).second,
+            path + ": " + bench + " duplicate row name '" + name + "'");
+      check(row.has("reps") && row.at("reps").number >= 5.0,
+            path + ": " + bench + "/" + name + " needs reps >= 5");
+      for (const char* key :
+           {"min_ms", "mean_ms", "p50_ms", "p95_ms", "stddev_ms"}) {
+        check(row.has(key) && row.at(key).is_number() &&
+                  row.at(key).number >= 0.0,
+              path + ": " + bench + "/" + name + " bad field " + key);
+      }
+      check(row.at("min_ms").number <= row.at("mean_ms").number + 1e-9,
+            path + ": " + bench + "/" + name + " min_ms > mean_ms");
+      ++rows;
+    }
+  }
+  std::printf("bench ok: %zu benches, %zu rows\n",
+              doc.at("benches").object.size(), rows);
 }
 
 void check_metrics(const std::string& path) {
   const JsonValue doc = parse_json(slurp(path));
+  check_build_info(doc, path);
   check(doc.has("counters") && doc.has("gauges") && doc.has("histograms"),
         path + ": missing registry sections");
   const JsonValue& hists = doc.at("histograms");
@@ -135,11 +219,12 @@ int main(int argc, char** argv) {
       if (flag == "--trace") check_trace(path);
       else if (flag == "--profile") check_profile(path);
       else if (flag == "--metrics") check_metrics(path);
+      else if (flag == "--bench") check_bench(path);
       else t2c::fail("unknown flag '" + flag + "'");
       any = true;
     }
     check(any, "usage: t2c_json_check [--trace F] [--profile F] "
-               "[--metrics F]");
+               "[--metrics F] [--bench F]");
     return 0;
   } catch (const t2c::Error& e) {
     std::fprintf(stderr, "t2c_json_check: %s\n", e.what());
