@@ -11,6 +11,7 @@
 
 #include "obs/metrics.h"
 #include "obs/pmu.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -55,6 +56,7 @@ class Pool {
   void resize(int n) {
     n = std::max(1, n);
     if (n == nthreads_) return;
+    const std::lock_guard<std::mutex> run_lock(run_mu_);
     {
       const std::lock_guard<std::mutex> lock(mu_);
       stop_ = true;
@@ -72,8 +74,12 @@ class Pool {
 
   /// Runs fn(part) for part in [0, nparts); nparts <= threads(). Part p
   /// executes on worker p (part 0 on the caller). Rethrows the first body
-  /// exception after every part finished.
+  /// exception after every part finished. Callers serialize on run_mu_:
+  /// concurrent pooled regions (two serving threads inside run_int) queue
+  /// up instead of clobbering each other's job state — the pool really is
+  /// one region at a time.
   void run(int nparts, const std::function<void(int)>& fn) {
+    const std::lock_guard<std::mutex> run_lock(run_mu_);
     {
       const std::lock_guard<std::mutex> lock(mu_);
       job_ = &fn;
@@ -113,6 +119,9 @@ class Pool {
     // exported JSON names every pool worker even if tracing turns on
     // after the pool was built.
     obs::name_current_thread("pool.worker." + std::to_string(part));
+    // Eagerly create this worker's telemetry event ring so the first
+    // recorded event inside a pooled region never allocates.
+    obs::telemetry_register_thread();
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(int)>* fn = nullptr;
@@ -142,6 +151,7 @@ class Pool {
     }
   }
 
+  std::mutex run_mu_;  ///< serializes whole regions across caller threads
   std::mutex mu_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;

@@ -12,6 +12,7 @@
 #include "deploy/int_ops.h"
 #include "deploy/vit_ops.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tensor/reduce.h"
 #include "util/check.h"
@@ -21,21 +22,34 @@ namespace t2c {
 
 void SatCounterCache::add(const char* kind, const std::string& label,
                           std::int64_t sat) const {
-  const std::uint64_t gen = obs::metrics().generation();
-  if (gen_.load(std::memory_order_acquire) != gen) {
-    std::string key = std::string("deploy.sat.") + kind;
-    if (!label.empty()) key += ":" + label;
-    // Counters are created even at zero so an instrumented run always
-    // exposes them. Publish the handles before the generation tag; a racing
-    // reader that sees the new tag therefore sees the new handles (both
-    // would resolve to the same registry instances anyway).
-    op_.store(&obs::metrics().counter(key), std::memory_order_release);
-    total_.store(&obs::metrics().counter("deploy.sat.total"),
-                 std::memory_order_release);
-    gen_.store(gen, std::memory_order_release);
+  if (obs::metrics_enabled()) {
+    const std::uint64_t gen = obs::metrics().generation();
+    if (gen_.load(std::memory_order_acquire) != gen) {
+      std::string key = std::string("deploy.sat.") + kind;
+      if (!label.empty()) key += ":" + label;
+      // Counters are created even at zero so an instrumented run always
+      // exposes them. Publish the handles before the generation tag; a
+      // racing reader that sees the new tag therefore sees the new handles
+      // (both would resolve to the same registry instances anyway).
+      op_.store(&obs::metrics().counter(key), std::memory_order_release);
+      total_.store(&obs::metrics().counter("deploy.sat.total"),
+                   std::memory_order_release);
+      gen_.store(gen, std::memory_order_release);
+    }
+    op_.load(std::memory_order_acquire)->add(sat);
+    total_.load(std::memory_order_acquire)->add(sat);
   }
-  op_.load(std::memory_order_acquire)->add(sat);
-  total_.load(std::memory_order_acquire)->add(sat);
+  if (obs::telemetry_enabled()) {
+    std::uint32_t k = tele_key_.load(std::memory_order_acquire);
+    if (k == ~std::uint32_t{0}) {
+      std::string key = std::string("deploy.sat.") + kind;
+      if (!label.empty()) key += ":" + label;
+      k = obs::telemetry_key(key);
+      tele_key_.store(k, std::memory_order_release);
+    }
+    obs::telemetry_record(obs::TeleKind::kSaturation, k,
+                          static_cast<double>(sat));
+  }
 }
 
 void DeployOp::run_into(const std::vector<const ITensor*>& ins,

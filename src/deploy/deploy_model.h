@@ -29,7 +29,11 @@ namespace t2c {
 /// and tagged with the registry generation: MetricsRegistry::reset() bumps
 /// the generation (and disables collection), so a stale handle is
 /// re-resolved instead of dereferenced. add() must only be called while
-/// metrics are enabled.
+/// metrics or telemetry are enabled; each sink is gated on its own flag
+/// inside. The live plane gets the same counts as a kSaturation event on
+/// the `deploy.sat.<kind>[:<label>]` series, attributed to the current
+/// request (telemetry keys are interned once and never invalidated, so
+/// that handle needs no generation tag).
 class SatCounterCache {
  public:
   void add(const char* kind, const std::string& label, std::int64_t sat) const;
@@ -39,6 +43,8 @@ class SatCounterCache {
   mutable std::atomic<std::uint64_t> gen_{~std::uint64_t{0}};
   mutable std::atomic<obs::Counter*> op_{nullptr};
   mutable std::atomic<obs::Counter*> total_{nullptr};
+  // ~0 = unresolved (interned ids start at 0).
+  mutable std::atomic<std::uint32_t> tele_key_{~std::uint32_t{0}};
 };
 
 class DeployOp {

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/pmu.h"
 #include "obs/profile.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/stopwatch.h"
@@ -97,6 +98,11 @@ ExecutionPlan ExecutionPlan::compile(const DeployModel& dm) {
       free_slots.push_back(st.out_slot);
     }
     p.steps_.push_back(std::move(st));
+    // Compile time is the cold path: intern the step's telemetry series
+    // name now so execute() never builds a key string per step.
+    p.tele_keys_.push_back(obs::telemetry_key(
+        "deploy.step." + op.kind() +
+        (op.label.empty() ? "" : ":" + op.label)));
   }
   p.output_slot_ =
       dm.output_id() == 0
@@ -112,6 +118,7 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
   const bool met = obs::metrics_enabled();
   const bool trace = obs::trace_enabled();
   const bool prof = obs::profile_enabled();
+  const bool tele = obs::telemetry_enabled();
   // PMU samples only matter when someone aggregates them, so measurement
   // is gated on the profiler being live too.
   const bool pmu = prof && obs::pmu_enabled();
@@ -132,7 +139,8 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
   // steps, keeping the disabled-observability path free of per-step heap
   // traffic from the executor itself.
   std::vector<const ITensor*> ins;
-  for (const Step& st : steps_) {
+  for (std::size_t si = 0; si < steps_.size(); ++si) {
+    const Step& st = steps_[si];
     const DeployOp& op = dm.op(static_cast<std::size_t>(st.op));
     ins.clear();
     ins.reserve(st.in_slots.size());
@@ -152,7 +160,7 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         out = ITensor::from({0}, std::move(buf));
       }
     }
-    if (met || trace || prof) {
+    if (met || trace || prof || tele) {
       const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
       // Step bracket (DESIGN.md §3.9): this thread's counters plus the
       // worker accumulator before and after. The step's sample is the
@@ -174,8 +182,18 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         sample = obs::pmu_delta(pmu_self0, pmu_self1);
         sample.accumulate(obs::pmu_delta(pmu_acc0, pmu_acc1));
       }
-      const std::string key =
-          op.kind() + (op.label.empty() ? "" : ":" + op.label);
+      if (tele) {
+        // Series key was interned at compile time; the record is a fixed
+        // 32-byte event pushed into this thread's ring (or dropped).
+        obs::telemetry_record(obs::TeleKind::kStep, tele_keys_[si], ms);
+        obs::telemetry_note_step();
+      }
+      // The legacy pillars key by string; telemetry-only runs skip the
+      // concatenation and stay allocation-free per step.
+      std::string key;
+      if (met || trace || prof) {
+        key = op.kind() + (op.label.empty() ? "" : ":" + op.label);
+      }
       if (met) {
         obs::metrics().histogram("deploy.op_ms." + key).observe(ms);
       }
@@ -228,6 +246,7 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         e.ts_us = ts;
         e.dur_us = obs::tracer().now_us() - ts;
         e.tid = obs::trace_tid();
+        e.req = obs::current_request();
         obs::tracer().record(std::move(e));
       }
     } else {

@@ -65,6 +65,11 @@ class ExecutionPlan {
 
  private:
   std::vector<Step> steps_;
+  /// Interned telemetry series ids, parallel to steps_: one
+  /// "deploy.step.<kind>[:<label>]" key per step, resolved once at
+  /// compile time so the execute loop records live telemetry without
+  /// building a key string (zero allocations per step).
+  std::vector<std::uint32_t> tele_keys_;
   std::size_t num_slots_ = 0;
   std::size_t inplace_steps_ = 0;
   int output_slot_ = -1;  ///< slot of the output value; -1 = the input

@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "tensor/matmul.h"
 
 namespace t2c {
@@ -107,7 +108,7 @@ void MulQuantOp::absorb_upshift(int k) {
 }
 
 void MulQuantOp::compute(const ITensor& x, ITensor& out) const {
-  const bool prof = obs::metrics_enabled();
+  const bool prof = obs::metrics_enabled() || obs::telemetry_enabled();
   SlotSats sats;
   const auto apply = [&](std::int64_t v, std::size_t e, std::int64_t& sat) {
     const int f = frac_[e] + bias_frac_;
@@ -236,7 +237,7 @@ void IntAddOp::run_into(const std::vector<const ITensor*>& ins,
 
 void IntAddOp::compute(const ITensor& a, const ITensor& b,
                        ITensor& out) const {
-  const bool prof = obs::metrics_enabled();
+  const bool prof = obs::metrics_enabled() || obs::telemetry_enabled();
   SlotSats sats;
   par::parallel_for(0, a.numel(), kElemGrain,
                     [&](std::int64_t i0, std::int64_t i1, int slot) {
@@ -306,7 +307,7 @@ ITensor IntGlobalAvgPoolOp::run(const std::vector<const ITensor*>& ins) const {
   ITensor out({n, c});
   const std::int64_t half =
       frac_bits_ > 0 ? (std::int64_t{1} << (frac_bits_ - 1)) : 0;
-  const bool prof = obs::metrics_enabled();
+  const bool prof = obs::metrics_enabled() || obs::telemetry_enabled();
   SlotSats sats;
   par::parallel_for(
       0, n * c, std::max<std::int64_t>(1, kElemGrain / hw),
@@ -356,7 +357,7 @@ ITensor IntMeanPoolTokensOp::run(
   ITensor out({n, d});
   const std::int64_t half =
       frac_bits_ > 0 ? (std::int64_t{1} << (frac_bits_ - 1)) : 0;
-  const bool prof = obs::metrics_enabled();
+  const bool prof = obs::metrics_enabled() || obs::telemetry_enabled();
   SlotSats sats;
   par::parallel_for(
       0, n * d, std::max<std::int64_t>(1, kElemGrain / t),

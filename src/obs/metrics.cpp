@@ -118,6 +118,16 @@ using jsonlite::json_num;
 
 }  // namespace
 
+std::vector<std::int64_t> HistogramStats::cumulative_counts() const {
+  std::vector<std::int64_t> cum(bucket_counts.size(), 0);
+  std::int64_t running = 0;
+  for (std::size_t i = 0; i < bucket_counts.size(); ++i) {
+    running += bucket_counts[i];
+    cum[i] = running;
+  }
+  return cum;
+}
+
 std::string MetricsSnapshot::to_json() const {
   std::ostringstream os;
   os << "{\"build_info\":" << build_info_json() << ",\"counters\":{";

@@ -107,6 +107,12 @@ struct HistogramStats {
   double p99 = 0.0;
   std::vector<double> bounds;
   std::vector<std::int64_t> bucket_counts;
+
+  /// Cumulative per-bucket counts with Prometheus `_bucket` semantics:
+  /// entry i counts observations <= bounds[i]; the final entry (the
+  /// implicit +Inf bucket) equals count. Derived from the exact
+  /// bucket_counts, never reconstructed from quantiles.
+  std::vector<std::int64_t> cumulative_counts() const;
 };
 
 /// Deterministic snapshot of the whole registry (names sorted).

@@ -1,0 +1,69 @@
+// Embedded Prometheus exporter (DESIGN.md §3.10) — a dependency-free
+// HTTP/1.0 endpoint for long-running inference:
+//
+//   /metrics    Prometheus text exposition (version 0.0.4): the metrics
+//               registry (counters, gauges, histograms with exact
+//               cumulative _bucket lines) plus the telemetry plane's
+//               sliding-window p50/p95/p99/rate series and request
+//               counters;
+//   /healthz    stall watchdog — 200 while plan steps keep completing
+//               (or before any ran), 503 once the last completed step is
+//               older than the deadline;
+//   /buildinfo  the util/build_info attribution block as JSON;
+//   /requests   recent completed requests with per-request latency,
+//               step count, and saturation attribution (plain text).
+//
+// The server is deliberately primitive: one blocking listen/accept scrape
+// thread, one request per connection, response closed immediately —
+// exactly what a Prometheus scraper (or curl) needs and nothing more. It
+// shares no locks with the inference hot path; a scrape costs one
+// registry snapshot and one telemetry drain.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+namespace t2c::obs {
+
+/// Renders the full /metrics document (exposed for tests and for
+/// t2c_json_check --prom round-trips). Always ends with a newline.
+std::string render_prometheus();
+
+/// Escapes a Prometheus label value (backslash, double quote, newline).
+std::string prom_escape_label(const std::string& v);
+
+/// Sanitizes an arbitrary dotted metric name into a legal Prometheus
+/// metric name with the "t2c_" prefix (e.g. "deploy.op_ms" ->
+/// "t2c_deploy_op_ms").
+std::string prom_metric_name(const std::string& name);
+
+class PromExporter {
+ public:
+  PromExporter() = default;
+  ~PromExporter();
+  PromExporter(const PromExporter&) = delete;
+  PromExporter& operator=(const PromExporter&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the scrape thread.
+  /// Returns false (with a warn log) when the socket cannot be set up.
+  bool start(int port);
+
+  /// Unblocks the accept loop, joins the scrape thread, closes the
+  /// socket. Safe to call repeatedly or without a successful start().
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+  /// The bound port (resolves the ephemeral port after start(0)).
+  int port() const { return port_; }
+
+ private:
+  void serve_main();
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread server_;
+};
+
+}  // namespace t2c::obs

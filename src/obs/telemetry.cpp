@@ -1,0 +1,522 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <unistd.h>
+#endif
+
+namespace t2c::obs {
+
+// The telemetry plane's timestamps must share the trace/stopwatch clock
+// (DESIGN.md §3.10): windows and trace spans are joined on time.
+static_assert(MonotonicClock::is_steady,
+              "telemetry requires the repo-wide monotonic clock");
+
+namespace detail {
+std::atomic<bool> g_telemetry_enabled{false};
+}  // namespace detail
+
+void set_telemetry_enabled(bool on) {
+  detail::g_telemetry_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---- series-name interning ----
+
+namespace {
+
+/// Interned names: id = index into the vector. Lookups during aggregation
+/// copy the string under the lock (names are short; aggregation is cold
+/// relative to the producers).
+struct KeyTable {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::map<std::string, std::uint32_t> ids;
+};
+
+KeyTable& key_table() {
+  static KeyTable* t = new KeyTable();
+  return *t;
+}
+
+std::string key_name(std::uint32_t id) {
+  KeyTable& t = key_table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  if (id >= t.names.size()) return "tele.unknown";
+  return t.names[id];
+}
+
+/// How many completed requests the snapshot retains.
+constexpr std::size_t kRecentRequestCap = 64;
+/// Active-request attribution bound: entries whose kRequestDone event was
+/// dropped by a full ring must not leak forever.
+constexpr std::size_t kActiveRequestCap = 1024;
+/// Aggregator tick; also the staleness bound of a scrape that does not
+/// drain on demand (ours always drains, see snapshot()).
+constexpr auto kTick = std::chrono::milliseconds(100);
+/// Process gauges refresh every kProcEveryTicks ticks (~1 s).
+constexpr int kProcEveryTicks = 10;
+
+}  // namespace
+
+std::uint32_t telemetry_key(const std::string& name) {
+  KeyTable& t = key_table();
+  const std::lock_guard<std::mutex> lock(t.mu);
+  const auto it = t.ids.find(name);
+  if (it != t.ids.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(t.names.size());
+  t.names.push_back(name);
+  t.ids.emplace(name, id);
+  return id;
+}
+
+// ---- event rings ----
+
+std::size_t EventRing::drain(std::vector<TeleEvent>& out) {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+  for (std::uint64_t i = tail; i != head; ++i) {
+    out.push_back(buf_[i & (kCapacity - 1)]);
+  }
+  tail_.store(head, std::memory_order_release);
+  return static_cast<std::size_t>(head - tail);
+}
+
+namespace {
+
+/// Thread-local ring handle. The hub co-owns the ring, so retirement just
+/// flags it; the aggregator frees it once drained.
+struct RingTls {
+  std::shared_ptr<EventRing> ring;
+  ~RingTls() {
+    if (ring) ring->retire();
+  }
+};
+
+EventRing* thread_ring() {
+  thread_local RingTls tls;
+  if (!tls.ring) tls.ring = telemetry().register_thread_ring();
+  return tls.ring.get();
+}
+
+}  // namespace
+
+void telemetry_record(TeleKind kind, std::uint32_t key, double value) {
+  TeleEvent e;
+  e.t_ns = mono_now_ns();
+  e.value = value;
+  e.req = current_request();
+  e.key = key;
+  e.kind = kind;
+  thread_ring()->push(e);
+}
+
+void telemetry_register_thread() { (void)thread_ring(); }
+
+// ---- request attribution ----
+
+namespace {
+std::atomic<std::uint64_t> g_next_request{1};
+thread_local std::uint64_t g_current_request = 0;
+}  // namespace
+
+std::uint64_t current_request() { return g_current_request; }
+
+RequestScope::RequestScope()
+    : id_(g_next_request.fetch_add(1, std::memory_order_relaxed)),
+      prev_(g_current_request),
+      t0_ns_(mono_now_ns()) {
+  g_current_request = id_;
+  telemetry().note_request_started();
+}
+
+RequestScope::~RequestScope() {
+  if (telemetry_enabled()) {
+    static const std::uint32_t kKey = telemetry_key("request.latency");
+    const double ms =
+        static_cast<double>(mono_now_ns() - t0_ns_) / 1e6;
+    telemetry_record(TeleKind::kRequestDone, kKey, ms);
+  }
+  telemetry().note_request_done();
+  g_current_request = prev_;
+}
+
+// ---- sliding windows ----
+
+int SlidingWindow::bucket_of(double value_ms) {
+  if (!(value_ms > 0.0)) return 0;
+  const double r = value_ms / 1e-3;  // in units of the 1 us first edge
+  if (r < 1.0) return 0;
+  const int idx = 1 + static_cast<int>(std::floor(std::log2(r) * 4.0));
+  return std::min(idx, kBuckets - 1);
+}
+
+double SlidingWindow::bucket_lo(int i) {
+  return i <= 0 ? 0.0 : 1e-3 * std::exp2(static_cast<double>(i - 1) / 4.0);
+}
+
+double SlidingWindow::bucket_hi(int i) {
+  return 1e-3 * std::exp2(static_cast<double>(i) / 4.0);
+}
+
+void SlidingWindow::observe(std::int64_t t_ns, double value_ms) {
+  const std::int64_t sub_start = t_ns - t_ns % kSubNs;
+  const auto slot = static_cast<std::size_t>((t_ns / kSubNs) % kSubWindows);
+  Sub& s = subs_[slot];
+  if (s.start_ns != sub_start) {
+    // The slot holds a stale (or no) sub-window: a full wrap of the ring
+    // has passed (or this is the first event here). Recycle it.
+    if (s.start_ns > sub_start) return;  // event older than the whole ring
+    s.start_ns = sub_start;
+    s.count = 0;
+    s.sum = 0.0;
+    s.buckets.fill(0);
+  }
+  ++s.count;
+  s.sum += value_ms;
+  ++s.buckets[static_cast<std::size_t>(bucket_of(value_ms))];
+  ++total_count_;
+  total_sum_ += value_ms;
+}
+
+WindowStats SlidingWindow::digest(int nsub, std::int64_t now_ns) const {
+  WindowStats w;
+  const std::int64_t span = static_cast<std::int64_t>(nsub) * kSubNs;
+  w.start_ns = now_ns - span;
+  w.end_ns = now_ns;
+  std::array<std::uint64_t, kBuckets> merged{};
+  for (const Sub& s : subs_) {
+    if (s.start_ns < 0 || s.start_ns < w.start_ns || s.start_ns >= now_ns) {
+      continue;
+    }
+    w.count += s.count;
+    w.sum += s.sum;
+    for (int i = 0; i < kBuckets; ++i) {
+      merged[static_cast<std::size_t>(i)] += s.buckets[static_cast<std::size_t>(i)];
+    }
+  }
+  w.rate_per_s = static_cast<double>(w.count) /
+                 (static_cast<double>(span) / 1e9);
+  if (w.count == 0) return w;
+  const auto pct = [&](double p) {
+    const double target = p * static_cast<double>(w.count);
+    double cum = 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+      const auto c = static_cast<double>(merged[static_cast<std::size_t>(i)]);
+      if (c <= 0.0) continue;
+      if (cum + c >= target) {
+        const double lo = bucket_lo(i);
+        const double hi = i >= kBuckets - 1 ? lo : bucket_hi(i);
+        const double frac =
+            std::min(1.0, std::max(0.0, (target - cum) / c));
+        return lo + (hi - lo) * frac;
+      }
+      cum += c;
+    }
+    return bucket_hi(kBuckets - 1);
+  };
+  w.p50 = pct(0.50);
+  w.p95 = pct(0.95);
+  w.p99 = pct(0.99);
+  return w;
+}
+
+// ---- hub ----
+
+TelemetryHub& telemetry() {
+  static TelemetryHub* hub = new TelemetryHub();
+  return *hub;
+}
+
+std::shared_ptr<EventRing> TelemetryHub::register_thread_ring() {
+  auto ring = std::make_shared<EventRing>();
+  const std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(ring);
+  return ring;
+}
+
+void TelemetryHub::note_request_started() {
+  requests_started_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TelemetryHub::note_request_done() {
+  requests_done_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TelemetryHub::start() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (running_.load(std::memory_order_relaxed)) return;
+    stop_requested_ = false;
+    running_.store(true, std::memory_order_relaxed);
+  }
+  set_telemetry_enabled(true);
+  aggregator_ = std::thread([this] { aggregator_main(); });
+}
+
+void TelemetryHub::stop() {
+  set_telemetry_enabled(false);
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!running_.load(std::memory_order_relaxed)) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  aggregator_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  drain_all_locked();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+bool TelemetryHub::running() const {
+  return running_.load(std::memory_order_relaxed);
+}
+
+void TelemetryHub::aggregator_main() {
+  int tick = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait_for(lock, kTick, [&] { return stop_requested_; });
+    if (stop_requested_) return;
+    drain_all_locked();
+    if (++tick % kProcEveryTicks == 0) {
+      lock.unlock();
+      sample_proc_gauges();
+      lock.lock();
+    }
+  }
+}
+
+void TelemetryHub::drain_all_locked() {
+  scratch_.clear();
+  bool any_retired = false;
+  for (const auto& ring : rings_) {
+    ring->drain(scratch_);
+    any_retired = any_retired || ring->retired();
+  }
+  if (any_retired) {
+    // Free rings whose producer thread exited, banking their drop counts
+    // so dropped_total stays monotone after the ring is gone.
+    auto keep = rings_.begin();
+    for (auto& ring : rings_) {
+      if (ring->retired() && ring->pending() == 0) {
+        dropped_drained_ += ring->dropped();
+      } else {
+        *keep++ = std::move(ring);
+      }
+    }
+    rings_.erase(keep, rings_.end());
+  }
+  if (!scratch_.empty()) aggregate_locked(scratch_);
+}
+
+void TelemetryHub::aggregate_locked(const std::vector<TeleEvent>& events) {
+  static const std::uint32_t kStepAgg = telemetry_key("deploy.step.latency");
+  events_total_ += static_cast<std::int64_t>(events.size());
+  // Attribution table entry for request `id`. Ids are assigned from one
+  // monotone counter, so map order is age order: at the cap (entries whose
+  // kRequestDone event was dropped would otherwise pin slots forever) the
+  // oldest record is evicted, never the incoming one.
+  const auto request_slot = [&](std::uint64_t id) -> RequestRecord& {
+    auto it = active_requests_.find(id);
+    if (it == active_requests_.end()) {
+      if (active_requests_.size() >= kActiveRequestCap) {
+        active_requests_.erase(active_requests_.begin());
+      }
+      it = active_requests_.emplace(id, RequestRecord{}).first;
+      it->second.id = id;
+    }
+    return it->second;
+  };
+  for (const TeleEvent& e : events) {
+    windows_[key_name(e.key)].observe(e.t_ns, e.value);
+    switch (e.kind) {
+      case TeleKind::kStep: {
+        if (e.key != kStepAgg) {
+          windows_[key_name(kStepAgg)].observe(e.t_ns, e.value);
+        }
+        if (e.req != 0) ++request_slot(e.req).steps;
+        break;
+      }
+      case TeleKind::kSaturation: {
+        if (e.req != 0) {
+          request_slot(e.req).saturated += static_cast<std::int64_t>(e.value);
+        }
+        break;
+      }
+      case TeleKind::kRequestDone: {
+        RequestRecord rec;
+        const auto it = active_requests_.find(e.req);
+        if (it != active_requests_.end()) {
+          rec = it->second;
+          active_requests_.erase(it);
+        }
+        rec.id = e.req;
+        rec.latency_ms = e.value;
+        recent_requests_.push_back(rec);
+        if (recent_requests_.size() > kRecentRequestCap) {
+          recent_requests_.erase(recent_requests_.begin());
+        }
+        break;
+      }
+    }
+  }
+}
+
+TelemetrySnapshot TelemetryHub::snapshot() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  drain_all_locked();
+  TelemetrySnapshot snap;
+  snap.taken_ns = mono_now_ns();
+  std::int64_t dropped = dropped_drained_;
+  for (const auto& ring : rings_) dropped += ring->dropped();
+  snap.dropped_total = dropped;
+  snap.events_total = events_total_;
+  snap.requests_started = requests_started_.load(std::memory_order_relaxed);
+  snap.requests_done = requests_done_.load(std::memory_order_relaxed);
+  snap.recent_requests = recent_requests_;
+  for (const auto& [name, win] : windows_) {
+    TelemetrySnapshot::Series s;
+    s.name = name;
+    s.total_count = win.total_count();
+    s.total_sum = win.total_sum();
+    s.w10s = win.digest(2, snap.taken_ns);
+    s.w1m = win.digest(12, snap.taken_ns);
+    s.w5m = win.digest(SlidingWindow::kSubWindows, snap.taken_ns);
+    snap.series.push_back(std::move(s));
+  }
+  return snap;
+}
+
+bool TelemetryHub::healthy(double deadline_ms, double* ago_ms) const {
+  const std::int64_t last = last_step_ns_.load(std::memory_order_relaxed);
+  if (last < 0) {
+    if (ago_ms) *ago_ms = -1.0;
+    return true;  // idle: no plan step has ever run
+  }
+  const double age = static_cast<double>(mono_now_ns() - last) / 1e6;
+  if (ago_ms) *ago_ms = age;
+  return age <= deadline_ms;
+}
+
+void TelemetryHub::set_stall_deadline_ms(double ms) {
+  stall_deadline_ms_.store(ms, std::memory_order_relaxed);
+}
+
+double TelemetryHub::stall_deadline_ms() const {
+  return stall_deadline_ms_.load(std::memory_order_relaxed);
+}
+
+void TelemetryHub::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Discard anything pending so the next drain starts from scratch.
+  scratch_.clear();
+  for (const auto& ring : rings_) ring->drain(scratch_);
+  scratch_.clear();
+  windows_.clear();
+  active_requests_.clear();
+  recent_requests_.clear();
+  events_total_ = 0;
+  dropped_drained_ = 0;
+  requests_started_.store(0, std::memory_order_relaxed);
+  requests_done_.store(0, std::memory_order_relaxed);
+  last_step_ns_.store(-1, std::memory_order_relaxed);
+}
+
+// ---- /proc/self process gauges ----
+
+namespace {
+
+#if defined(__linux__)
+/// Parses one numeric "Key: value" line out of /proc/self/status.
+bool proc_status_field(const char* field, double* out) {
+  std::ifstream is("/proc/self/status");
+  if (!is.good()) return false;
+  std::string line;
+  const std::string want = std::string(field) + ":";
+  while (std::getline(is, line)) {
+    if (line.rfind(want, 0) != 0) continue;
+    std::istringstream ls(line.substr(want.size()));
+    double v = 0.0;
+    if (ls >> v) {
+      *out = v;
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+bool proc_cpu_seconds(double* utime_s, double* stime_s) {
+  std::ifstream is("/proc/self/stat");
+  if (!is.good()) return false;
+  std::string stat;
+  std::getline(is, stat);
+  // comm (field 2) may contain spaces; everything after the closing paren
+  // is whitespace-separated, with utime/stime at positions 14/15.
+  const std::size_t paren = stat.rfind(')');
+  if (paren == std::string::npos) return false;
+  std::istringstream ls(stat.substr(paren + 1));
+  std::string tok;
+  double utime = 0.0;
+  double stime = 0.0;
+  for (int field = 3; field <= 15 && (ls >> tok); ++field) {
+    if (field == 14) utime = std::atof(tok.c_str());
+    if (field == 15) stime = std::atof(tok.c_str());
+  }
+  const double hz = static_cast<double>(sysconf(_SC_CLK_TCK));
+  if (hz <= 0.0) return false;
+  *utime_s = utime / hz;
+  *stime_s = stime / hz;
+  return true;
+}
+
+bool proc_open_fds(double* out) {
+  DIR* d = opendir("/proc/self/fd");
+  if (d == nullptr) return false;
+  double n = 0.0;
+  while (const dirent* e = readdir(d)) {
+    if (e->d_name[0] != '.') n += 1.0;
+  }
+  closedir(d);
+  *out = n;
+  return true;
+}
+#endif  // __linux__
+
+}  // namespace
+
+void TelemetryHub::sample_proc_gauges() {
+  // Registry discipline: reset() disables collection first, so gating on
+  // the flag keeps the aggregator from re-registering proc.* gauges
+  // against a freshly cleared registry. Non-Linux (or a hidden /proc)
+  // degrades to the gauges simply never appearing.
+  if (!metrics_enabled()) return;
+#if defined(__linux__)
+  double v = 0.0;
+  if (proc_status_field("VmRSS", &v)) {
+    metrics().gauge("proc.rss_bytes").set(v * 1024.0);  // VmRSS is in kB
+  }
+  if (proc_status_field("Threads", &v)) {
+    metrics().gauge("proc.threads").set(v);
+  }
+  double ut = 0.0;
+  double st = 0.0;
+  if (proc_cpu_seconds(&ut, &st)) {
+    metrics().gauge("proc.utime_s").set(ut);
+    metrics().gauge("proc.stime_s").set(st);
+  }
+  if (proc_open_fds(&v)) {
+    metrics().gauge("proc.open_fds").set(v);
+  }
+#endif
+}
+
+}  // namespace t2c::obs

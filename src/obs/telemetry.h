@@ -1,0 +1,323 @@
+// Live telemetry plane — pillar 5 of the observability layer (obs/;
+// DESIGN.md §3.10).
+//
+// The registry/profiler/trace pillars aggregate *cumulatively* and dump
+// once at process exit. Long-running inference (the `t2c_serve` direction)
+// needs the opposite: what happened in the last 10 seconds, scraped while
+// the process runs. This module provides that substrate:
+//
+//   producer side   lock-free per-thread SPSC event rings (fixed capacity,
+//                   drop-counted, zero allocations per event) — many
+//                   threads produce, one consumer drains, so the plane as
+//                   a whole is an MPSC channel;
+//   consumer side   a background aggregator thread draining the rings into
+//                   log-bucketed sliding-window histograms (ring of
+//                   sub-window buckets) giving p50/p95/p99/rate over the
+//                   last 10 s / 1 m / 5 m per series;
+//   attribution     RequestScope RAII ids stamped on every event (and on
+//                   trace spans), so tail latency and saturation attach to
+//                   a request, not the process;
+//   liveness        a stall watchdog fed by executed plan steps, backing
+//                   the exporter's /healthz.
+//
+// Collection is gated on `telemetry_enabled()` (default off) with the same
+// one-relaxed-load discipline as metrics/trace/profile: the disabled
+// deploy hot path never touches a ring (pinned by the alloc-count tests).
+// All timestamps come from the repo-wide monotonic clock
+// (util/stopwatch.h) — never the wall clock.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace t2c::obs {
+
+namespace detail {
+extern std::atomic<bool> g_telemetry_enabled;
+}  // namespace detail
+
+inline bool telemetry_enabled() {
+  return detail::g_telemetry_enabled.load(std::memory_order_relaxed);
+}
+/// Normally flipped by TelemetryHub::start()/stop(); exposed for tests
+/// that exercise the ring/record path without an aggregator thread.
+void set_telemetry_enabled(bool on);
+
+/// What one event measures. The aggregator fans kinds into series:
+/// kStep feeds both its own per-op series and the "deploy.step.latency"
+/// aggregate; kRequestDone feeds "request.latency" and closes the
+/// request's attribution record; kSaturation adds clipped-value counts to
+/// its series and to the owning request.
+enum class TeleKind : std::uint8_t {
+  kStep = 0,
+  kRequestDone = 1,
+  kSaturation = 2,
+};
+
+/// One fixed-size event. No owned memory: the series name is an interned
+/// id (telemetry_key), resolved back to a string by the aggregator.
+struct TeleEvent {
+  std::int64_t t_ns = 0;   ///< mono_now_ns() at record time
+  double value = 0.0;      ///< latency ms (kStep/kRequestDone) or count
+  std::uint64_t req = 0;   ///< current_request() at record time; 0 = none
+  std::uint32_t key = 0;   ///< interned series name
+  TeleKind kind = TeleKind::kStep;
+};
+
+/// Interns `name`, returning a stable id for TeleEvent::key. Cold path
+/// (takes a lock, may allocate): call at plan-compile / handle-resolve
+/// time, never per event. The same name always returns the same id.
+std::uint32_t telemetry_key(const std::string& name);
+
+/// Fixed-capacity single-producer single-consumer event ring. The owning
+/// thread pushes; the aggregator (serialized by the hub mutex) drains.
+/// A full ring drops the event and counts it — the hot path never blocks
+/// and never allocates.
+class EventRing {
+ public:
+  static constexpr std::size_t kCapacity = 2048;  // power of two
+
+  /// Producer side. Returns false (and counts a drop) when full.
+  bool push(const TeleEvent& e) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= kCapacity) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    buf_[head & (kCapacity - 1)] = e;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side (hub-mutex serialized): moves every pending event into
+  /// `out` (appended) and returns how many were drained.
+  std::size_t drain(std::vector<TeleEvent>& out);
+
+  std::int64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::size_t pending() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+  /// Marks the producer thread gone; the hub frees the ring once drained.
+  void retire() { retired_.store(true, std::memory_order_release); }
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
+
+ private:
+  std::array<TeleEvent, kCapacity> buf_;
+  std::atomic<std::uint64_t> head_{0};  ///< producer-owned
+  std::atomic<std::uint64_t> tail_{0};  ///< consumer-owned
+  std::atomic<std::int64_t> dropped_{0};
+  std::atomic<bool> retired_{false};
+};
+
+/// Records one event into the calling thread's ring. Callers gate on
+/// telemetry_enabled(); the only allocation ever made is the thread's
+/// ring itself, created on first use (or eagerly for pool workers via
+/// telemetry_register_thread()).
+void telemetry_record(TeleKind kind, std::uint32_t key, double value);
+
+/// Eagerly creates and registers the calling thread's event ring so the
+/// first recorded event is allocation-free. Pool workers call this at
+/// startup (core/parallel.cpp).
+void telemetry_register_thread();
+
+/// Stall-watchdog heartbeat: the planned executor calls this after every
+/// completed step (one relaxed store). /healthz reports unhealthy when
+/// the last heartbeat is older than the configured deadline.
+void telemetry_note_step();
+
+// ---- request attribution ----
+
+/// Id of the innermost live RequestScope on this thread; 0 outside any.
+std::uint64_t current_request();
+
+/// RAII request context: assigns a process-unique id, makes it the
+/// calling thread's current request, and on destruction records the
+/// request's wall latency as a kRequestDone event (when telemetry is on).
+/// Scopes nest; the previous id is restored on exit.
+class RequestScope {
+ public:
+  RequestScope();
+  ~RequestScope();
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::uint64_t prev_ = 0;
+  std::int64_t t0_ns_ = 0;
+};
+
+// ---- sliding windows ----
+
+/// Digest of one series over one trailing window. Percentiles come from
+/// log-bucketed counts (geometric bucket edges, ~19% wide), interpolated
+/// inside the winning bucket — coarse but stable and allocation-bounded.
+struct WindowStats {
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double rate_per_s = 0.0;       ///< count / window span
+  std::int64_t start_ns = 0;     ///< window [start, end) on MonotonicClock
+  std::int64_t end_ns = 0;
+};
+
+/// Log-bucketed histogram over a ring of sub-windows. observe() lands the
+/// value in the sub-window holding its timestamp; digest(n) sums the
+/// trailing n sub-windows. Sub-windows are 5 s wide and 60 are kept, so
+/// the supported windows are 10 s (2), 1 m (12), and 5 m (60). Not
+/// thread-safe: the hub serializes all access (aggregator + scrapes).
+class SlidingWindow {
+ public:
+  static constexpr int kSubWindows = 60;
+  static constexpr std::int64_t kSubNs = 5'000'000'000;  // 5 s
+  static constexpr int kBuckets = 112;  ///< 1 us .. ~100 s, ratio 2^(1/4)
+
+  void observe(std::int64_t t_ns, double value_ms);
+
+  /// Digest over the trailing `nsub` sub-windows ending at `now_ns`.
+  WindowStats digest(int nsub, std::int64_t now_ns) const;
+
+  std::int64_t total_count() const { return total_count_; }
+  double total_sum() const { return total_sum_; }
+
+  /// Bucket index for a millisecond value (exposed for tests).
+  static int bucket_of(double value_ms);
+  /// [lo, hi) edge of bucket `i` in milliseconds.
+  static double bucket_lo(int i);
+  static double bucket_hi(int i);
+
+ private:
+  struct Sub {
+    std::int64_t start_ns = -1;  ///< -1 = slot empty
+    std::int64_t count = 0;
+    double sum = 0.0;
+    std::array<std::uint32_t, kBuckets> buckets{};
+  };
+  std::array<Sub, kSubWindows> subs_{};
+  std::int64_t total_count_ = 0;
+  double total_sum_ = 0.0;
+};
+
+// ---- snapshots ----
+
+/// One completed request's attribution record.
+struct RequestRecord {
+  std::uint64_t id = 0;
+  double latency_ms = 0.0;
+  std::int64_t steps = 0;      ///< plan steps executed under this request
+  std::int64_t saturated = 0;  ///< clipped values attributed to it
+};
+
+/// Point-in-time digest of the whole plane, taken under the hub mutex
+/// after an on-demand drain — a scrape never waits for the next
+/// aggregator tick.
+struct TelemetrySnapshot {
+  struct Series {
+    std::string name;
+    std::int64_t total_count = 0;
+    double total_sum = 0.0;
+    WindowStats w10s;
+    WindowStats w1m;
+    WindowStats w5m;
+  };
+  std::vector<Series> series;  ///< sorted by name
+  std::int64_t events_total = 0;    ///< drained events, monotone
+  std::int64_t dropped_total = 0;   ///< ring drops, monotone
+  std::uint64_t requests_started = 0;
+  std::uint64_t requests_done = 0;
+  std::vector<RequestRecord> recent_requests;  ///< newest last, bounded
+  std::int64_t taken_ns = 0;  ///< mono_now_ns() of the snapshot
+};
+
+/// The plane's owner: ring registry, aggregator thread, window store,
+/// watchdog state, and the request-attribution table.
+class TelemetryHub {
+ public:
+  /// Starts the aggregator thread and enables collection. Idempotent.
+  void start();
+  /// Disables collection, drains every ring one last time, and joins the
+  /// aggregator. Idempotent.
+  void stop();
+  bool running() const;
+
+  /// Drains all rings and digests every series (on-demand; also what the
+  /// aggregator does every tick).
+  TelemetrySnapshot snapshot();
+
+  /// Watchdog: false when steps have run but none completed within
+  /// `deadline_ms` (a stalled executor); true while idle (no step ever)
+  /// or fresh. `ago_ms` (optional) receives the age of the heartbeat.
+  bool healthy(double deadline_ms, double* ago_ms = nullptr) const;
+  void set_stall_deadline_ms(double ms);
+  double stall_deadline_ms() const;
+
+  /// Drops every window, request record, and counter (test isolation).
+  /// Rings stay registered; enabled state is preserved.
+  void clear();
+
+  // Internal producer-side hooks (see free functions above). The hub and
+  // the owning thread each hold a reference, so a ring safely outlives
+  // whichever goes away first.
+  std::shared_ptr<EventRing> register_thread_ring();
+  // Request start/done counters live outside the ring: they are bumped by
+  // RequestScope directly, so a dropped kRequestDone event loses only its
+  // latency sample — the started/done/active arithmetic stays exact.
+  void note_request_started();
+  void note_request_done();
+
+ private:
+  friend TelemetryHub& telemetry();
+  TelemetryHub() = default;
+
+  void aggregate_locked(const std::vector<TeleEvent>& events);
+  void drain_all_locked();
+  void sample_proc_gauges();
+  void aggregator_main();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<EventRing>> rings_;
+  std::vector<TeleEvent> scratch_;  ///< drain buffer, reused every tick
+  std::map<std::string, SlidingWindow> windows_;
+  std::map<std::uint64_t, RequestRecord> active_requests_;
+  std::vector<RequestRecord> recent_requests_;  ///< bounded FIFO
+  std::int64_t events_total_ = 0;
+  std::int64_t dropped_drained_ = 0;  ///< drops from retired, freed rings
+  std::atomic<std::uint64_t> requests_started_{0};
+  std::atomic<std::uint64_t> requests_done_{0};
+  std::atomic<std::int64_t> last_step_ns_{-1};  ///< -1 = no step ever
+  std::atomic<double> stall_deadline_ms_{10000.0};
+  std::atomic<bool> running_{false};
+  bool stop_requested_ = false;       ///< under mu_, woken via cv_
+  std::condition_variable cv_;
+  std::thread aggregator_;
+
+  friend void telemetry_note_step();
+};
+
+/// The process-wide hub all instrumentation writes to.
+TelemetryHub& telemetry();
+
+inline void telemetry_note_step() {
+  telemetry().last_step_ns_.store(mono_now_ns(), std::memory_order_relaxed);
+}
+
+}  // namespace t2c::obs

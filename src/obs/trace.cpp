@@ -4,12 +4,20 @@
 #include <fstream>
 #include <set>
 #include <sstream>
+#include <type_traits>
 
 #include "util/build_info.h"
 #include "util/check.h"
 #include "util/jsonlite.h"
 
 namespace t2c::obs {
+
+// Every trace timestamp must come from the same monotonic clock the
+// stopwatch and the telemetry plane use (DESIGN.md §3.10).
+static_assert(std::is_same_v<TraceRecorder::Clock, MonotonicClock>,
+              "TraceRecorder must use the repo-wide monotonic clock");
+static_assert(MonotonicClock::is_steady,
+              "the shared timing clock must be monotonic");
 
 namespace detail {
 std::atomic<bool> g_trace_enabled{false};
@@ -118,6 +126,10 @@ std::string TraceRecorder::to_json() const {
     os << ",\"pid\":1,\"tid\":" << e.tid;
     if (e.ph == 'C') {
       os << ",\"args\":{\"value\":" << json_num(e.value) << '}';
+    } else if (e.ph == 'X' && e.req != 0) {
+      // Request attribution: spans recorded inside a RequestScope carry
+      // the id so tail latency in the trace joins against /metrics.
+      os << ",\"args\":{\"req\":" << e.req << '}';
     }
     os << '}';
   }

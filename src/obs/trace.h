@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "util/stopwatch.h"
+
 namespace t2c::obs {
 
 namespace detail {
@@ -44,6 +46,11 @@ void name_current_thread(const std::string& name);
 
 class TraceRecorder {
  public:
+  /// The recorder's timebase. Must stay the repo-wide monotonic clock
+  /// (util/stopwatch.h): exporter windows and trace spans are compared
+  /// against each other, so they must never disagree about time.
+  using Clock = MonotonicClock;
+
   struct Event {
     std::string name;
     std::string cat;
@@ -52,6 +59,7 @@ class TraceRecorder {
     std::int64_t dur_us = 0;  ///< duration in microseconds ('X' only)
     int tid = 1;              ///< thread track (trace_tid())
     double value = 0.0;       ///< counter sample ('C' only)
+    std::uint64_t req = 0;    ///< request id ('X' only; 0 = unattributed)
   };
 
   /// Microseconds since the recorder epoch (reset by clear()).
@@ -80,7 +88,6 @@ class TraceRecorder {
  private:
   friend void name_current_thread(const std::string& name);
 
-  using Clock = std::chrono::steady_clock;
   mutable std::mutex mu_;
   Clock::time_point epoch_ = Clock::now();
   std::vector<Event> events_;

@@ -2,6 +2,12 @@
 
 namespace t2c {
 
+std::int64_t mono_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             MonotonicClock::now().time_since_epoch())
+      .count();
+}
+
 double Stopwatch::seconds() const {
   const auto dt = Clock::now() - start_;
   return std::chrono::duration<double>(dt).count();

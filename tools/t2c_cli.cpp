@@ -19,18 +19,26 @@
 // dumps the same report as JSON. Every *-json flag accepts `-` to stream
 // the JSON to stdout instead of a file.
 //
+// Live monitoring: `--serve-obs PORT` starts the telemetry plane and an
+// HTTP exporter on 127.0.0.1 serving /metrics (Prometheus text exposition
+// with sliding-window percentiles), /healthz, /buildinfo, and /requests;
+// `--loop N` soaks the deployed graph with N integer inferences across two
+// client threads so there is live traffic to scrape.
+//
 // Dual-path audit: `--audit` replays one test batch through the fake-quant
 // and integer paths and prints the per-layer divergence table (SQNR,
 // saturation, range utilization); `--audit-json PATH` dumps the report,
 // `--audit-golden-dir DIR` writes per-op golden hex vectors for RTL replay,
 // `--audit-threshold-db DB` sets the first-divergence threshold.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "audit/dualpath_audit.h"
@@ -43,6 +51,8 @@
 #include "obs/metrics.h"
 #include "obs/pmu.h"
 #include "obs/profile.h"
+#include "obs/prom.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "xport/verilog.h"
 
@@ -78,6 +88,8 @@ struct Args {
   int threads = 0;  ///< 0 = leave the pool at its T2C_THREADS/HW default
   int opt_level = 2;      ///< deploy-graph pass pipeline level (0..2)
   std::string plan_dump;  ///< render the execution plan ('-' = stdout)
+  int serve_obs = -1;  ///< /metrics port; -1 = off, 0 = ephemeral
+  int loop = 0;        ///< soak mode: total run_int iterations after deploy
 };
 
 DatasetSpec dataset_by_name(const std::string& name) {
@@ -157,6 +169,15 @@ Args parse(int argc, char** argv) {
             "--opt-level must be 0, 1, or 2");
     }
     else if (f == "--plan-dump") a.plan_dump = want(i++);
+    else if (f == "--serve-obs") {
+      a.serve_obs = std::atoi(want(i++));
+      check(a.serve_obs >= 0 && a.serve_obs <= 65535,
+            "--serve-obs PORT must be in [0, 65535] (0 = ephemeral)");
+    }
+    else if (f == "--loop") {
+      a.loop = std::atoi(want(i++));
+      check(a.loop >= 1, "--loop must be >= 1");
+    }
     else if (f == "--help") {
       std::puts(
           "usage: t2c_cli [--model M] [--dataset D] [--trainer T]\n"
@@ -171,6 +192,7 @@ Args parse(int argc, char** argv) {
           "               [--audit-golden-dir DIR] [--audit-threshold-db DB]\n"
           "               [--threads N] [--opt-level 0|1|2]\n"
           "               [--plan-dump PATH]\n"
+          "               [--serve-obs PORT] [--loop N]\n"
           "JSON PATHs accept '-' for stdout.\n"
           "--threads sizes the worker pool (default: T2C_THREADS env var,\n"
           "else hardware concurrency); integer outputs are bit-identical\n"
@@ -188,7 +210,14 @@ Args parse(int argc, char** argv) {
           "(default when profiling) tries perf_event_open and degrades to\n"
           "per-thread CPU time; hw insists and warns on fallback; cputime\n"
           "skips the probe; off disables measurement. T2C_PMU_RAW=r<hex>,..\n"
-          "adds up to 4 raw PMU events as extra profile columns.");
+          "adds up to 4 raw PMU events as extra profile columns.\n"
+          "--serve-obs starts the live telemetry plane and an HTTP\n"
+          "exporter on 127.0.0.1:PORT (0 picks an ephemeral port; the\n"
+          "chosen port is printed) serving /metrics (Prometheus text),\n"
+          "/healthz (stall watchdog), /buildinfo, and /requests.\n"
+          "--loop N runs N extra integer inferences across two client\n"
+          "threads after deployment (soak mode) so the windowed\n"
+          "percentiles on /metrics have live traffic to digest.");
       std::exit(0);
     } else {
       fail("unknown flag '" + f + "' (try --help)");
@@ -304,6 +333,15 @@ int main(int argc, char** argv) {
     obs::set_metrics_enabled(true);
     obs::set_trace_enabled(!a.trace_json.empty());
     obs::set_profile_enabled(a.profile);
+    // Live plane first so /metrics answers during training and conversion
+    // too, not just once the soak loop starts.
+    obs::PromExporter exporter;
+    if (a.serve_obs >= 0) {
+      obs::telemetry().start();
+      check(exporter.start(a.serve_obs), "obs: exporter failed to bind");
+      std::printf("obs: serving /metrics on port %d\n", exporter.port());
+      std::fflush(stdout);
+    }
     // Counter measurement defaults to auto whenever profiling is on: the
     // probe resolves the best available tier (hardware group, CPU-time
     // fallback, or disabled via --pmu off) and the profile banner / logs
@@ -385,6 +423,37 @@ int main(int argc, char** argv) {
       std::printf("integer-deployed accuracy: %.2f%%\n",
                   chip.evaluate(data.test_images(), data.test_labels()));
     }
+    if (a.loop > 0) {
+      // Soak mode: repeated integer inference across client threads, each
+      // iteration wrapped in a RequestScope so /metrics and /requests show
+      // per-request latency and attribution while this runs.
+      const obs::TraceSpan span("soak", "cli");
+      Shape one_shape = data.test_images().shape();
+      one_shape[0] = 1;
+      Tensor one(std::move(one_shape));
+      for (std::int64_t i = 0; i < one.numel(); ++i) {
+        one[i] = data.test_images()[i];
+      }
+      const ITensor q = chip.quantize_input(one);
+      constexpr int kClients = 2;
+      std::printf("soak: %d iterations across %d client threads\n", a.loop,
+                  kClients);
+      std::fflush(stdout);
+      std::atomic<int> remaining{a.loop};
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&] {
+          while (remaining.fetch_sub(1, std::memory_order_relaxed) > 0) {
+            const obs::RequestScope req;
+            (void)chip.run_int(q);
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+      std::printf("soak: done\n");
+      std::fflush(stdout);
+    }
     std::printf("%s\n", chip.summary_text().c_str());
     std::printf("artifacts under %s/ (model.t2c, hex/)\n", a.out.c_str());
     if (a.audit) {
@@ -434,6 +503,12 @@ int main(int argc, char** argv) {
     if (!a.trace_json.empty()) {
       std::printf("chrome trace: %zu events\n", obs::tracer().size());
       emit_json(a.trace_json, "trace", obs::tracer().to_json());
+    }
+    // Exporter and aggregator go first: both read the registry, so they
+    // must be down before it is torn out from under them.
+    if (a.serve_obs >= 0) {
+      exporter.stop();
+      obs::telemetry().stop();
     }
     // Registry teardown also flips metrics off. Any Counter/Gauge/Histogram
     // reference taken above dangles after this line — this must stay the

@@ -15,11 +15,30 @@
 // Bench checks (t2c.bench.v1): every bench carries build_info + rows, row
 // names are unique per bench, reps >= 5, and the min/mean/p50/p95/stddev
 // fields are present with min <= mean.
+// Prometheus checks (--prom FILE): text exposition format 0.0.4 — every
+// sample's family has HELP and TYPE lines that precede it, TYPE is one of
+// counter/gauge/histogram, metric and label names match the spec grammar,
+// label values are quoted with only \\ \" \n escapes, histogram _bucket
+// series are cumulative (non-decreasing in `le` order) and end in a +Inf
+// bucket equal to the family's _count, and the document ends in a newline.
+// --prom-scrape PORT fetches http://127.0.0.1:PORT/metrics over a raw
+// socket (no curl dependency), requires a 200, validates the body the same
+// way, and writes it to $T2C_PROM_DUMP when that variable names a file.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <limits>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "util/check.h"
 #include "util/jsonlite.h"
@@ -208,6 +227,235 @@ void check_metrics(const std::string& path) {
   std::printf("metrics ok: %zu histograms\n", hists.object.size());
 }
 
+// ---- Prometheus text exposition ----
+
+bool valid_metric_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (i == 0 ? !alpha : !(alpha || (c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(const std::string& s) {
+  if (s.empty()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_';
+    if (i == 0 ? !alpha : !(alpha || (c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+struct PromSample {
+  std::string name;
+  std::string labels;  ///< canonical "k=v,k=v" excluding `le`
+  double le = 0.0;     ///< parsed le label (histogram buckets)
+  bool has_le = false;
+  double value = 0.0;
+};
+
+/// Parses one `name{labels} value` line; fails loudly on grammar errors.
+PromSample parse_sample(const std::string& line, const std::string& where) {
+  PromSample s;
+  std::size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+  s.name = line.substr(0, i);
+  check(valid_metric_name(s.name), where + ": bad metric name '" + s.name +
+                                       "' in: " + line);
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    std::map<std::string, std::string> labels;
+    while (i < line.size() && line[i] != '}') {
+      std::size_t eq = line.find('=', i);
+      check(eq != std::string::npos, where + ": unterminated label in: " + line);
+      const std::string lname = line.substr(i, eq - i);
+      check(valid_label_name(lname),
+            where + ": bad label name '" + lname + "' in: " + line);
+      check(eq + 1 < line.size() && line[eq + 1] == '"',
+            where + ": unquoted label value in: " + line);
+      std::string lval;
+      i = eq + 2;
+      bool closed = false;
+      while (i < line.size()) {
+        const char c = line[i];
+        if (c == '\\') {
+          check(i + 1 < line.size(), where + ": dangling escape in: " + line);
+          const char e = line[i + 1];
+          check(e == '\\' || e == '"' || e == 'n',
+                where + ": bad escape \\" + std::string(1, e) + " in: " + line);
+          lval += e == 'n' ? '\n' : e;
+          i += 2;
+        } else if (c == '"') {
+          closed = true;
+          ++i;
+          break;
+        } else {
+          lval += c;
+          ++i;
+        }
+      }
+      check(closed, where + ": unterminated label value in: " + line);
+      check(labels.emplace(lname, lval).second,
+            where + ": duplicate label '" + lname + "' in: " + line);
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    check(i < line.size() && line[i] == '}',
+          where + ": unterminated label block in: " + line);
+    ++i;
+    for (const auto& [k, v] : labels) {
+      if (k == "le") {
+        s.has_le = true;
+        s.le = v == "+Inf" ? std::numeric_limits<double>::infinity()
+                           : std::atof(v.c_str());
+      } else {
+        if (!s.labels.empty()) s.labels += ',';
+        s.labels += k + "=" + v;
+      }
+    }
+  }
+  check(i < line.size() && line[i] == ' ',
+        where + ": missing value separator in: " + line);
+  const std::string val = line.substr(i + 1);
+  check(!val.empty() && val.find(' ') == std::string::npos,
+        where + ": malformed value in: " + line);
+  s.value = std::atof(val.c_str());
+  return s;
+}
+
+void check_prom_text(const std::string& body, const std::string& where) {
+  check(!body.empty() && body.back() == '\n',
+        where + ": exposition must end in a newline");
+  std::map<std::string, std::string> types;  ///< family -> TYPE
+  std::set<std::string> helps;
+  // (family, labels) -> bucket series in appearance order / _count value.
+  std::map<std::string, std::vector<PromSample>> buckets;
+  std::map<std::string, double> counts;
+  std::size_t samples = 0;
+  std::istringstream is(body);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash;
+      std::string kind;
+      std::string fam;
+      ls >> hash >> kind >> fam;
+      check(kind == "HELP" || kind == "TYPE",
+            where + ": unknown comment form: " + line);
+      check(valid_metric_name(fam), where + ": bad family name in: " + line);
+      if (kind == "HELP") {
+        check(helps.insert(fam).second,
+              where + ": duplicate HELP for " + fam);
+      } else {
+        std::string type;
+        ls >> type;
+        check(type == "counter" || type == "gauge" || type == "histogram",
+              where + ": bad TYPE '" + type + "' for " + fam);
+        check(types.emplace(fam, type).second,
+              where + ": duplicate TYPE for " + fam);
+      }
+      continue;
+    }
+    const PromSample s = parse_sample(line, where);
+    ++samples;
+    // Resolve the sample to its family: histogram samples append
+    // _bucket/_sum/_count, counters append _total.
+    std::string fam = s.name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string suf = suffix;
+      if (fam.size() > suf.size() &&
+          fam.compare(fam.size() - suf.size(), suf.size(), suf) == 0 &&
+          types.count(fam.substr(0, fam.size() - suf.size()))) {
+        fam = fam.substr(0, fam.size() - suf.size());
+        break;
+      }
+    }
+    check(types.count(fam) == 1,
+          where + ": sample before TYPE (or unknown family): " + line);
+    check(helps.count(fam) == 1, where + ": family without HELP: " + fam);
+    if (types.at(fam) == "histogram") {
+      const std::string key = fam + "{" + s.labels + "}";
+      if (s.has_le) {
+        buckets[key].push_back(s);
+      } else if (s.name == fam + "_count") {
+        counts[key] = s.value;
+      }
+    } else {
+      check(!s.has_le, where + ": le label outside a histogram: " + line);
+    }
+  }
+  check(samples > 0, where + ": no samples");
+  for (const auto& [key, series] : buckets) {
+    check(!series.empty(), where + ": histogram without buckets: " + key);
+    double prev_le = -std::numeric_limits<double>::infinity();
+    double prev_v = -1.0;
+    for (const PromSample& b : series) {
+      check(b.le > prev_le, where + ": le not increasing for " + key);
+      check(b.value >= prev_v,
+            where + ": bucket counts not cumulative for " + key);
+      prev_le = b.le;
+      prev_v = b.value;
+    }
+    check(series.back().le ==
+              std::numeric_limits<double>::infinity(),
+          where + ": histogram missing +Inf bucket: " + key);
+    const auto it = counts.find(key);
+    check(it != counts.end(), where + ": histogram missing _count: " + key);
+    check(series.back().value == it->second,
+          where + ": +Inf bucket != _count for " + key);
+  }
+  std::printf("prom ok: %zu families, %zu samples, %zu histogram series\n",
+              types.size(), samples, buckets.size());
+}
+
+void check_prom(const std::string& path) {
+  check_prom_text(slurp(path), path);
+}
+
+void scrape_prom(const std::string& port_str) {
+  const int port = std::atoi(port_str.c_str());
+  check(port > 0 && port <= 65535, "--prom-scrape: bad port " + port_str);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  check(fd >= 0, "--prom-scrape: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  check(connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0,
+        "--prom-scrape: cannot connect to 127.0.0.1:" + port_str);
+  const char req[] = "GET /metrics HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  check(send(fd, req, sizeof(req) - 1, 0) ==
+            static_cast<ssize_t>(sizeof(req) - 1),
+        "--prom-scrape: send failed");
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  close(fd);
+  check(resp.rfind("HTTP/1.0 200", 0) == 0 ||
+            resp.rfind("HTTP/1.1 200", 0) == 0,
+        "--prom-scrape: non-200 response: " + resp.substr(0, 64));
+  const std::size_t split = resp.find("\r\n\r\n");
+  check(split != std::string::npos, "--prom-scrape: malformed response");
+  const std::string body = resp.substr(split + 4);
+  if (const char* dump = std::getenv("T2C_PROM_DUMP")) {
+    std::ofstream os(dump);
+    check(os.good(), std::string("--prom-scrape: cannot write ") + dump);
+    os << body;
+  }
+  check_prom_text(body, "scrape 127.0.0.1:" + port_str);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,11 +468,13 @@ int main(int argc, char** argv) {
       else if (flag == "--profile") check_profile(path);
       else if (flag == "--metrics") check_metrics(path);
       else if (flag == "--bench") check_bench(path);
+      else if (flag == "--prom") check_prom(path);
+      else if (flag == "--prom-scrape") scrape_prom(path);
       else t2c::fail("unknown flag '" + flag + "'");
       any = true;
     }
     check(any, "usage: t2c_json_check [--trace F] [--profile F] "
-               "[--metrics F] [--bench F]");
+               "[--metrics F] [--bench F] [--prom F] [--prom-scrape PORT]");
     return 0;
   } catch (const t2c::Error& e) {
     std::fprintf(stderr, "t2c_json_check: %s\n", e.what());
