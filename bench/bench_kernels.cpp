@@ -15,6 +15,7 @@
 #include "deploy/int_ops.h"
 #include "deploy/vit_ops.h"
 #include "tensor/conv_ops.h"
+#include "tensor/int8_gemm.h"
 #include "tensor/matmul.h"
 #include "util/rng.h"
 
@@ -43,6 +44,22 @@ void naive_gemm_i64(const std::int64_t* a, const std::int64_t* b,
     for (std::int64_t p = 0; p < k; ++p) {
       const std::int64_t av = a[i * k + p];
       for (std::int64_t j = 0; j < n; ++j) c[i * n + j] += av * b[p * n + j];
+    }
+  }
+}
+
+/// Naive int16 x int16 -> int32 GEMM, same ikj order — the unpacked
+/// baseline for the narrow-lane rows (operands are 8-bit valued, so the
+/// int32 accumulation is exact at k = 512).
+void naive_gemm_i16(const std::int16_t* a, const std::int16_t* b,
+                    std::int32_t* c, std::int64_t m, std::int64_t n,
+                    std::int64_t k) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      const auto av = static_cast<std::int32_t>(a[i * k + p]);
+      for (std::int64_t j = 0; j < n; ++j) {
+        c[i * n + j] += av * static_cast<std::int32_t>(b[p * n + j]);
+      }
     }
   }
 }
@@ -84,9 +101,9 @@ int main() {
   t.rule();
 
   const auto gemm_row = [&](const std::string& name, double macs, auto&& fn,
-                            int threads) {
+                            int threads, const std::string& kernel = "") {
     par::set_max_threads(threads);
-    BenchStat s = time_reps(name, fn, reps);
+    BenchStat s = time_reps_kernel(name, kernel, fn, reps);
     stats.push_back(s);
     t.row({name, std::to_string(threads), fmt(s.mean_ms),
            fmt(gflops(macs, s.mean_ms))});
@@ -115,7 +132,56 @@ int main() {
   const double tiled_i_ms =
       gemm_row("gemm_i64_512_tiled", gemm_macs,
                [&] { ci.zero(); gemm_i64(ai.data(), bi.data(), ci.data(), n,
-                                         n, n, false, false, true); }, 1);
+                                         n, n, false, false, true); }, 1,
+               "gemm_i64");
+
+  // ---- int8-native packed GEMM (tensor/int8_gemm.h) ----
+  // Weights are prepacked outside the timed region, exactly as the
+  // execution plan prepacks them at compile time; the fused row adds the
+  // requant epilogue a paired MulQuant would contribute.
+  std::vector<std::int16_t> a16(static_cast<std::size_t>(n * n));
+  std::vector<std::int16_t> b16(static_cast<std::size_t>(n * n));
+  std::vector<std::int32_t> c32(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < ai.numel(); ++i) {
+    a16[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(ai[i]);
+    b16[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(bi[i]);
+  }
+  const auto pb8 = i8::pack_b(bi.data(), n, n, false);
+  const std::int64_t mq8_mul[] = {181};
+  const std::int64_t mq8_bias[] = {0};
+  i8::Epilogue ep8;
+  ep8.mode = i8::Epilogue::Mode::kScalar;
+  ep8.mul = mq8_mul;
+  ep8.bias = mq8_bias;
+  ep8.frac0 = 11;
+  ep8.lo = -127;
+  ep8.hi = 127;
+  const double naive_i8_ms =
+      gemm_row("gemm_i8_512_naive", gemm_macs,
+               [&] {
+                 std::fill(c32.begin(), c32.end(), 0);
+                 naive_gemm_i16(a16.data(), b16.data(), c32.data(), n, n, n);
+               },
+               1, "gemm_i16_naive");
+  const double packed_i8_ms =
+      gemm_row("gemm_i8_512_packed", gemm_macs,
+               [&] {
+                 i8::gemm_b_packed(ai.data(), *pb8, ci.data(), n,
+                                   i8::Epilogue{}, true);
+               },
+               1, "gemm_i8_packed");
+  const double fused_i8_ms =
+      gemm_row("gemm_i8_512_fused", gemm_macs,
+               [&] {
+                 i8::gemm_b_packed(ai.data(), *pb8, ci.data(), n, ep8, true);
+               },
+               1, "gemm_i8_fused");
+  gemm_row("gemm_i8_512_packed_mt", gemm_macs,
+           [&] {
+             i8::gemm_b_packed(ai.data(), *pb8, ci.data(), n, i8::Epilogue{},
+                               true);
+           },
+           hw_threads, "gemm_i8_packed");
 
   // ---- conv2d forward: ResNet-ish mid-stage shape ----
   const ConvSpec cs = [] {
@@ -181,6 +247,10 @@ int main() {
   par::set_max_threads(hw_threads);
   std::printf("\ntiling/packing alone (1 thread): f32 %.2fx, i64 %.2fx\n",
               naive_f_ms / tiled_f_ms, naive_i_ms / tiled_i_ms);
+  std::printf("int8 packed vs i64 tiled (1 thread): %.2fx "
+              "(vs i16 naive %.2fx; fused epilogue overhead %.0f%%)\n",
+              tiled_i_ms / packed_i8_ms, naive_i8_ms / packed_i8_ms,
+              100.0 * (fused_i8_ms - packed_i8_ms) / packed_i8_ms);
   std::printf("threads %d vs 1: gemm_f32 %.2fx", hw_threads,
               tiled_f_ms / tiled_f_mt_ms);
   // Re-time the sweeps at the full pool for the scaling summary line.

@@ -145,6 +145,10 @@ struct BenchStat {
   /// the machine, not the code, moved).
   double ipc = 0.0;
   double ipc_cv = 0.0;
+  /// Which code path produced the timing (e.g. "gemm_i8_fused",
+  /// "gemm_i64"); empty = untagged. t2c_perf_diff treats a row whose
+  /// kernel changed as a new measurement, not a regression of the old one.
+  std::string kernel;
 };
 
 /// Runs `fn` `reps` times and reports min/mean/p50/p95/stddev wall ms.
@@ -213,6 +217,15 @@ BenchStat time_reps(const std::string& name, Fn&& fn, int reps = 20) {
   return s;
 }
 
+/// time_reps with the row tagged by the code path that produced it.
+template <typename Fn>
+BenchStat time_reps_kernel(const std::string& name, const std::string& kernel,
+                           Fn&& fn, int reps = 20) {
+  BenchStat s = time_reps(name, std::forward<Fn>(fn), reps);
+  s.kernel = kernel;
+  return s;
+}
+
 /// Path from the T2C_BENCH_JSON env var, or nullptr when JSON output is off.
 inline const char* bench_json_path() { return std::getenv("T2C_BENCH_JSON"); }
 
@@ -239,6 +252,10 @@ inline bool write_bench_json(const std::vector<BenchStat>& stats) {
                  s.stddev_ms);
     if (s.ipc > 0.0) {
       std::fprintf(f, ",\"ipc\":%.4f,\"ipc_cv\":%.4f", s.ipc, s.ipc_cv);
+    }
+    if (!s.kernel.empty()) {
+      std::fprintf(f, ",\"kernel\":\"%s\"",
+                   jsonlite::json_escape(s.kernel).c_str());
     }
     std::fprintf(f, "}");
   }

@@ -47,6 +47,9 @@ class SatCounterCache {
   mutable std::atomic<std::uint32_t> tele_key_{~std::uint32_t{0}};
 };
 
+struct PackedWeights;
+class MulQuantOp;
+
 class DeployOp {
  public:
   DeployOp() = default;
@@ -56,6 +59,32 @@ class DeployOp {
 
   virtual ITensor run(const std::vector<const ITensor*>& ins) const = 0;
   virtual std::string kind() const = 0;
+
+  /// Kernel the op would select under the current plan annotations —
+  /// "gemm_i8_fused", "gemm_i8", "gemm_i64(<fallback reason>)", ... —
+  /// surfaced in the profiler's kernel column and --plan-dump. Empty for
+  /// ops with a single implementation.
+  virtual std::string kernel() const { return {}; }
+
+  /// Prepacked static operands for the op's narrow kernel (tensor/
+  /// int8_gemm.h), or nullptr when the op runs the default path. Called
+  /// once per plan compile; the ExecutionPlan caches the result so
+  /// steady-state runs never repack weights.
+  virtual std::shared_ptr<const PackedWeights> pack_weights() const {
+    return nullptr;
+  }
+
+  /// Runs the op on its packed operands, optionally folding the consuming
+  /// MulQuant `fused` into the kernel epilogue (fused != nullptr only when
+  /// the planner proved the pairing safe). The default ignores both and
+  /// falls back to run_into.
+  virtual void run_packed(const std::vector<const ITensor*>& ins,
+                          const PackedWeights* packed,
+                          const MulQuantOp* fused, ITensor& out) const {
+    (void)packed;
+    (void)fused;
+    run_into(ins, out);
+  }
 
   /// True for pure element-wise ops: the output has ins[0]'s shape, every
   /// output element depends only on the same-index input element(s), and
@@ -167,6 +196,14 @@ class DeployModel {
   /// Audit metadata of op `i` (op index, not value id).
   const OpAuditInfo& audit_of(std::size_t i) const;
 
+  /// Drops the cached execution plan (and pooled arenas/stats). Graph
+  /// mutations call this internally; passes that change *op-level* state
+  /// the plan bakes in (kernel annotations, prepacked weights) without
+  /// touching the graph must call it explicitly, or a plan compiled
+  /// mid-pipeline (e.g. by summarize()) would keep serving stale kernel
+  /// selections.
+  void invalidate_plan();
+
   // Input/output float boundaries.
   float input_scale = 1.0F;
   float input_zero = 0.0F;
@@ -228,9 +265,6 @@ class DeployModel {
 
  private:
   void rebuild_consumers();
-  /// Drops the cached plan, pooled arenas, and memory stats; called by
-  /// every graph mutation.
-  void invalidate_plan();
 
   std::vector<std::unique_ptr<DeployOp>> ops_;
   std::vector<OpAuditInfo> audit_;  ///< parallel to ops_

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "deploy/int_ops.h"
 #include "obs/capture.h"
 #include "obs/metrics.h"
 #include "obs/pmu.h"
@@ -25,6 +26,14 @@ constexpr std::int64_t kElemBytes =
 constexpr std::size_t kSpareCap = 8;
 
 }  // namespace
+
+std::int64_t ExecutionPlan::packed_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& pw : packed_) {
+    if (pw != nullptr) bytes += pw->bytes();
+  }
+  return bytes;
+}
 
 std::int64_t Arena::retained_bytes() const {
   std::int64_t bytes = 0;
@@ -98,11 +107,41 @@ ExecutionPlan ExecutionPlan::compile(const DeployModel& dm) {
       free_slots.push_back(st.out_slot);
     }
     p.steps_.push_back(std::move(st));
-    // Compile time is the cold path: intern the step's telemetry series
-    // name now so execute() never builds a key string per step.
+    // Compile time is the cold path: pack this op's static operands for
+    // its narrow kernel (nullptr on the default path) and intern the
+    // step's telemetry series name, so execute() neither repacks weights
+    // nor builds a key string per step.
+    p.packed_.push_back(op.pack_weights());
     p.tele_keys_.push_back(obs::telemetry_key(
         "deploy.step." + op.kind() +
         (op.label.empty() ? "" : ":" + op.label)));
+  }
+  // Pair each fuse-annotated GEMM with its consuming MulQuant. The pass
+  // only sets `fuse` when the accumulator has a single MulQuant consumer
+  // and is not the graph output, which is exactly the in-place condition —
+  // re-verified here so a stale annotation degrades to unfused, never to a
+  // wrong result.
+  for (int i = 0; i < n; ++i) {
+    const DeployOp& op = dm.op(static_cast<std::size_t>(i));
+    const auto* cv = dynamic_cast<const IntConv2dOp*>(&op);
+    const auto* ln = dynamic_cast<const IntLinearOp*>(&op);
+    const GemmKernelPlan* kp =
+        cv != nullptr ? &cv->kernel_plan()
+                      : (ln != nullptr ? &ln->kernel_plan() : nullptr);
+    if (kp == nullptr || !kp->fuse ||
+        p.packed_[static_cast<std::size_t>(i)] == nullptr) {
+      continue;
+    }
+    const auto& cons = dm.consumers_of(i + 1);
+    if (cons.size() != 1 || i + 1 == dm.output_id()) continue;
+    const int c = cons[0];
+    if (dynamic_cast<const MulQuantOp*>(
+            &dm.op(static_cast<std::size_t>(c))) == nullptr ||
+        !p.steps_[static_cast<std::size_t>(c)].inplace) {
+      continue;
+    }
+    p.steps_[static_cast<std::size_t>(i)].fuse_mq = c;
+    p.steps_[static_cast<std::size_t>(c)].fused = true;
   }
   p.output_slot_ =
       dm.output_id() == 0
@@ -160,6 +199,28 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         out = ITensor::from({0}, std::move(buf));
       }
     }
+    // Kernel dispatch. Under artifact capture the fused pair runs unfused
+    // (packed GEMM with a raw-accumulator epilogue + the MulQuant step),
+    // so every tapped intermediate is byte-identical to the reference
+    // path; outside capture the epilogue is fused and the MulQuant step is
+    // skipped — its in-place buffer dance above already moved the fused
+    // result into `out`.
+    const PackedWeights* pw =
+        packed_[static_cast<std::size_t>(st.op)].get();
+    const MulQuantOp* fmq =
+        st.fuse_mq >= 0 && !cap
+            ? dynamic_cast<const MulQuantOp*>(
+                  &dm.op(static_cast<std::size_t>(st.fuse_mq)))
+            : nullptr;
+    const bool skip = st.fused && !cap;
+    const auto run_step = [&] {
+      if (skip) return;
+      if (pw != nullptr) {
+        op.run_packed(ins, pw, fmq, out);
+      } else {
+        op.run_into(ins, out);
+      }
+    };
     if (met || trace || prof || tele) {
       const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
       // Step bracket (DESIGN.md §3.9): this thread's counters plus the
@@ -172,7 +233,7 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         obs::thread_pmu().read(pmu_self0);
       }
       Stopwatch sw;
-      op.run_into(ins, out);
+      run_step();
       const double ms = sw.millis();
       obs::PmuSample sample;
       if (pmu) {
@@ -199,9 +260,20 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
       }
       if (prof) {
         // cost() is shape-derived, so the aggregated totals are identical
-        // at any thread count even though the timings are not.
-        const obs::OpCost c = op.cost(ins, out);
-        obs::profiler().record_step(key, ms, c, pmu ? &sample : nullptr);
+        // at any thread count even though the timings are not. A skipped
+        // (fused-away) step reports zero cost — its work is charged to the
+        // producer's fused kernel.
+        const obs::OpCost c = skip ? obs::OpCost{} : op.cost(ins, out);
+        std::string kstr;
+        if (skip) {
+          kstr = "fused";
+        } else if (pw != nullptr) {
+          kstr = fmq != nullptr ? "gemm_i8_fused" : "gemm_i8";
+        } else {
+          kstr = op.kernel();
+        }
+        obs::profiler().record_step(key, ms, c, pmu ? &sample : nullptr,
+                                    kstr);
         if (met) {
           obs::metrics().counter("profile.flops." + op.kind()).add(c.flops);
           obs::metrics().counter("profile.macs." + op.kind()).add(c.macs);
@@ -250,7 +322,7 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         obs::tracer().record(std::move(e));
       }
     } else {
-      op.run_into(ins, out);
+      run_step();
     }
     if (cap) {
       obs::int_taps().record(
@@ -307,6 +379,10 @@ std::string ExecutionPlan::render(const DeployModel& dm) const {
     }
     os << ") -> s" << st.out_slot;
     if (st.inplace) os << " inplace";
+    // Kernel selection (and fallback reason) chosen at compile time;
+    // "fused" marks a MulQuant folded into its producer's epilogue.
+    const std::string kern = st.fused ? "fused" : op.kernel();
+    if (!kern.empty()) os << " kernel=" << kern;
     if (!st.release.empty()) {
       os << " free[";
       for (std::size_t k = 0; k < st.release.size(); ++k) {

@@ -43,6 +43,14 @@ class ExecutionPlan {
     int out_slot = 0;
     bool inplace = false;      ///< output reuses the (dead) first input's slot
     bool elementwise = false;  ///< op recycles storage via run_into
+    /// Op index of the MulQuant fused into this GEMM step's epilogue, or
+    /// -1. Fusion is kernel-level only: the graph keeps both ops, and
+    /// under artifact capture the pair runs unfused so every tapped
+    /// intermediate (the raw accumulator included) stays byte-identical.
+    int fuse_mq = -1;
+    /// This MulQuant step's work happens in its producer's epilogue; the
+    /// step is skipped at execute (outside capture) with zero cost.
+    bool fused = false;
     std::vector<int> in_slots;  ///< per operand; -1 = the network input
     std::vector<int> release;
   };
@@ -58,6 +66,15 @@ class ExecutionPlan {
   std::size_t num_slots() const { return num_slots_; }
   std::size_t inplace_steps() const { return inplace_steps_; }
 
+  /// Prepacked static operands, parallel to steps_ (nullptr for ops on the
+  /// default path). Packed once at compile; the plan owns the cache so
+  /// steady-state runs never repack weights.
+  const std::vector<std::shared_ptr<const PackedWeights>>& packed() const {
+    return packed_;
+  }
+  /// Heap bytes held by the packed-weight cache.
+  std::int64_t packed_bytes() const;
+
   /// Deterministic human-readable rendering (t2c_cli --plan-dump and the
   /// golden-text plan tests): one line per step with the op, its operand
   /// values, the arena slot, and the slots freed.
@@ -65,6 +82,7 @@ class ExecutionPlan {
 
  private:
   std::vector<Step> steps_;
+  std::vector<std::shared_ptr<const PackedWeights>> packed_;
   /// Interned telemetry series ids, parallel to steps_: one
   /// "deploy.step.<kind>[:<label>]" key per step, resolved once at
   /// compile time so the execute loop records live telemetry without

@@ -1,8 +1,13 @@
 #include "deploy/int_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 #include <numeric>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
 
 #include "core/parallel.h"
 #include "obs/metrics.h"
@@ -46,6 +51,141 @@ struct SlotSats {
 /// nonzero floor counts as a clipped value on the low side.
 bool is_clip(std::int64_t y, std::int64_t lo, std::int64_t hi) {
   return y > hi || (lo != 0 && y < lo);
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define T2C_MQ_AVX512 1
+// GCC 12's inliner trips -Wmaybe-uninitialized on the _mm*_maskz_*
+// builtins; the masked-lane zeroing is architectural, so it is a false
+// positive (same note as tensor/int8_gemm.cpp).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+/// AVX-512 sweep of the MulQuant datapath over a contiguous span with one
+/// requant entry (per-tensor, or one channel's plane). vpmullq / vpsravq /
+/// min / max have the exact 64-bit wrap semantics of the scalar
+/// expression, so bits and clip counts match MulQuantOp::compute verbatim.
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void mq_span_avx512(
+    const std::int64_t* x, std::int64_t* out, std::int64_t len,
+    std::int64_t mul, std::int64_t bias, int bias_frac, int f,
+    std::int64_t lo, std::int64_t hi, bool count, std::int64_t& sat) {
+  const __m512i vmul = _mm512_set1_epi64(mul);
+  const __m512i vbias = _mm512_set1_epi64(bias);
+  const __m512i vhalf =
+      _mm512_set1_epi64(f > 0 ? (std::int64_t{1} << (f - 1)) : 0);
+  const __m512i vf = _mm512_set1_epi64(f);
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  const bool check_lo = lo != 0;
+  for (std::int64_t i = 0; i < len; i += 8) {
+    const auto m = static_cast<__mmask8>(
+        len - i >= 8 ? 0xff : (1u << (len - i)) - 1u);
+    const __m512i v = _mm512_maskz_loadu_epi64(m, x + i);
+    const __m512i t = _mm512_add_epi64(
+        _mm512_slli_epi64(v, static_cast<unsigned>(bias_frac)), vbias);
+    const __m512i y = _mm512_srav_epi64(
+        _mm512_add_epi64(_mm512_mullo_epi64(t, vmul), vhalf), vf);
+    if (count) {
+      __mmask8 sm = _mm512_cmpgt_epi64_mask(y, vhi);
+      if (check_lo) sm |= _mm512_cmplt_epi64_mask(y, vlo);
+      sat += __builtin_popcount(static_cast<unsigned>(sm & m));
+    }
+    _mm512_mask_storeu_epi64(
+        out + i, m, _mm512_min_epi64(vhi, _mm512_max_epi64(vlo, y)));
+  }
+}
+
+/// AVX-512 sweep for the per-entry last-dim layout: entry constants load
+/// as vectors over an 8-column block and amortize across the row batch.
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void mq_rows_avx512(
+    const std::int64_t* x, std::int64_t* out, std::int64_t rows,
+    std::int64_t d, const std::int64_t* mul, const std::int64_t* bias,
+    const int* frac, int bias_frac, std::int64_t lo, std::int64_t hi,
+    bool count, std::int64_t& sat) {
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  const bool check_lo = lo != 0;
+  for (std::int64_t j = 0; j < d; j += 8) {
+    const auto m = static_cast<__mmask8>(
+        d - j >= 8 ? 0xff : (1u << (d - j)) - 1u);
+    const __m512i vmul = _mm512_maskz_loadu_epi64(m, mul + j);
+    const __m512i vbias = _mm512_maskz_loadu_epi64(m, bias + j);
+    const __m512i vf = _mm512_add_epi64(
+        _mm512_cvtepi32_epi64(_mm256_maskz_loadu_epi32(m, frac + j)),
+        _mm512_set1_epi64(bias_frac));
+    const __mmask8 pos = _mm512_cmpgt_epi64_mask(vf, _mm512_setzero_si512());
+    const __m512i vhalf = _mm512_maskz_sllv_epi64(
+        pos, _mm512_set1_epi64(1),
+        _mm512_sub_epi64(vf, _mm512_set1_epi64(1)));
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const __m512i v = _mm512_maskz_loadu_epi64(m, x + r * d + j);
+      const __m512i t = _mm512_add_epi64(
+          _mm512_slli_epi64(v, static_cast<unsigned>(bias_frac)), vbias);
+      const __m512i y = _mm512_srav_epi64(
+          _mm512_add_epi64(_mm512_mullo_epi64(t, vmul), vhalf), vf);
+      if (count) {
+        __mmask8 sm = _mm512_cmpgt_epi64_mask(y, vhi);
+        if (check_lo) sm |= _mm512_cmplt_epi64_mask(y, vlo);
+        sat += __builtin_popcount(static_cast<unsigned>(sm & m));
+      }
+      _mm512_mask_storeu_epi64(
+          out + r * d + j, m,
+          _mm512_min_epi64(vhi, _mm512_max_epi64(vlo, y)));
+    }
+  }
+}
+
+/// AVX-512 clamped element-wise add (the residual-join datapath). Lane
+/// adds wrap exactly like the scalar +, and min/max clamp identically.
+__attribute__((target("avx512f"))) void add_span_avx512(
+    const std::int64_t* a, const std::int64_t* b, std::int64_t* out,
+    std::int64_t len, std::int64_t lo, std::int64_t hi, bool count,
+    std::int64_t& sat) {
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  const bool check_lo = lo != 0;
+  for (std::int64_t i = 0; i < len; i += 8) {
+    const auto m = static_cast<__mmask8>(
+        len - i >= 8 ? 0xff : (1u << (len - i)) - 1u);
+    const __m512i y = _mm512_add_epi64(_mm512_maskz_loadu_epi64(m, a + i),
+                                       _mm512_maskz_loadu_epi64(m, b + i));
+    if (count) {
+      __mmask8 sm = _mm512_cmpgt_epi64_mask(y, vhi);
+      if (check_lo) sm |= _mm512_cmplt_epi64_mask(y, vlo);
+      sat += __builtin_popcount(static_cast<unsigned>(sm & m));
+    }
+    _mm512_mask_storeu_epi64(
+        out + i, m, _mm512_min_epi64(vhi, _mm512_max_epi64(vlo, y)));
+  }
+}
+
+#pragma GCC diagnostic pop
+
+const bool g_mq_avx512 = __builtin_cpu_supports("avx512dq") &&
+                         __builtin_cpu_supports("avx512vl");
+const bool g_add_avx512 = __builtin_cpu_supports("avx512f");
+#else
+#define T2C_MQ_AVX512 0
+#endif
+
+/// Builds the fused-GEMM epilogue view of a MulQuant (tensor/int8_gemm.h).
+/// `per_row` selects how the per-entry axis maps onto the GEMM tile: conv
+/// (kChannelNCHW) entries follow output rows, linear (kLastDim) entries
+/// follow output columns. The pointers borrow the op's parameter vectors,
+/// so the epilogue must not outlive the op.
+i8::Epilogue mq_epilogue(const MulQuantOp& mq, bool per_row) {
+  i8::Epilogue ep;
+  ep.mode = mq.layout() == MqLayout::kPerTensor
+                ? i8::Epilogue::Mode::kScalar
+                : (per_row ? i8::Epilogue::Mode::kPerRow
+                           : i8::Epilogue::Mode::kPerCol);
+  ep.mul = mq.mul().data();
+  ep.bias = mq.bias().data();
+  ep.frac = mq.frac_bits().data();
+  ep.bias_frac = mq.bias_frac();
+  ep.lo = mq.out_min();
+  ep.hi = mq.out_max();
+  return ep;
 }
 
 }  // namespace
@@ -124,6 +264,16 @@ void MulQuantOp::compute(const ITensor& x, ITensor& out) const {
           0, x.numel(), kElemGrain,
           [&](std::int64_t i0, std::int64_t i1, int slot) {
             std::int64_t sat = 0;
+#if T2C_MQ_AVX512
+            if (g_mq_avx512) {
+              mq_span_avx512(x.data() + i0, out.data() + i0, i1 - i0,
+                             mul_[0], bias_[0], bias_frac_,
+                             frac_[0] + bias_frac_, out_min_, out_max_, prof,
+                             sat);
+              sats[slot] += sat;
+              return;
+            }
+#endif
             for (std::int64_t i = i0; i < i1; ++i) {
               out[i] = apply(x[i], 0, sat);
             }
@@ -144,6 +294,15 @@ void MulQuantOp::compute(const ITensor& x, ITensor& out) const {
             for (std::int64_t p = p0; p < p1; ++p) {
               const auto ic = static_cast<std::size_t>(p % c);
               const std::int64_t base = p * hw;
+#if T2C_MQ_AVX512
+              if (g_mq_avx512) {
+                mq_span_avx512(x.data() + base, out.data() + base, hw,
+                               mul_[ic], bias_[ic], bias_frac_,
+                               frac_[ic] + bias_frac_, out_min_, out_max_,
+                               prof, sat);
+                continue;
+              }
+#endif
               for (std::int64_t i = 0; i < hw; ++i) {
                 out[base + i] = apply(x[base + i], ic, sat);
               }
@@ -161,6 +320,16 @@ void MulQuantOp::compute(const ITensor& x, ITensor& out) const {
           0, rows, std::max<std::int64_t>(1, kElemGrain / d),
           [&](std::int64_t r0, std::int64_t r1, int slot) {
             std::int64_t sat = 0;
+#if T2C_MQ_AVX512
+            if (g_mq_avx512) {
+              mq_rows_avx512(x.data() + r0 * d, out.data() + r0 * d,
+                             r1 - r0, d, mul_.data(), bias_.data(),
+                             frac_.data(), bias_frac_, out_min_, out_max_,
+                             prof, sat);
+              sats[slot] += sat;
+              return;
+            }
+#endif
             for (std::int64_t r = r0; r < r1; ++r) {
               for (std::int64_t i = 0; i < d; ++i) {
                 out[r * d + i] =
@@ -187,6 +356,72 @@ ITensor IntConv2dOp::run(const std::vector<const ITensor*>& ins) const {
                          spec_);
 }
 
+std::string IntConv2dOp::kernel() const {
+  if (kplan_.i8) return kplan_.fuse ? "gemm_i8_fused" : "gemm_i8";
+  return kplan_.reason.empty() ? "gemm_i64"
+                               : "gemm_i64(" + kplan_.reason + ")";
+}
+
+std::shared_ptr<const PackedWeights> IntConv2dOp::pack_weights() const {
+  if (!kplan_.i8) return nullptr;
+  const std::int64_t kk =
+      (spec_.in_channels / spec_.groups) * spec_.kernel * spec_.kernel;
+  return i8::pack_a(weight_.data(), spec_.out_channels / spec_.groups, kk,
+                    spec_.groups);
+}
+
+void IntConv2dOp::run_packed(const std::vector<const ITensor*>& ins,
+                             const PackedWeights* packed,
+                             const MulQuantOp* fused, ITensor& out) const {
+  const auto* pa = dynamic_cast<const i8::PackedA*>(packed);
+  if (pa == nullptr) {
+    run_into(ins, out);
+    return;
+  }
+  const ITensor& x = only_input(ins, "IntConv2d");
+  check(x.rank() == 4 && x.size(1) == spec_.in_channels,
+        "IntConv2d: input must be NCHW with matching channels");
+  const std::int64_t n = x.size(0);
+  const std::int64_t oh = spec_.out_hw(x.size(2));
+  const std::int64_t ow = spec_.out_hw(x.size(3));
+  const std::int64_t ohw = oh * ow;
+  const std::int64_t ocg = spec_.out_channels / spec_.groups;
+  recycle_tensor(out, {n, spec_.out_channels, oh, ow});
+  i8::Epilogue ep0;
+  std::atomic<std::int64_t> sats{0};
+  const bool prof =
+      fused != nullptr &&
+      (obs::metrics_enabled() || obs::telemetry_enabled());
+  if (fused != nullptr) {
+    ep0 = mq_epilogue(*fused, /*per_row=*/true);
+    if (prof) {
+      ep0.sat = &sats;
+      ep0.count_sat = true;
+    }
+  }
+  // Same (image, group) task split and K order as iconv2d_forward: disjoint
+  // output slices, fixed accumulation order, bit-identical at any thread
+  // count. The im2col scratch is int16 — the planner's range proof covers
+  // the patches, and the narrow scratch halves the dominant memory traffic.
+  const std::int64_t tasks = n * spec_.groups;
+  const bool single = tasks == 1;
+  par::parallel_for(0, tasks, 1, [&](std::int64_t t0, std::int64_t t1) {
+    std::vector<std::int16_t> cols;
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t in = t / spec_.groups;
+      const int grp = static_cast<int>(t % spec_.groups);
+      im2col_i16(x, spec_, in, grp, cols);
+      i8::Epilogue ep = ep0;
+      ep.base = grp * ocg;  // per-row entries index the full channel axis
+      std::int64_t* oslice =
+          out.data() + (in * spec_.out_channels + grp * ocg) * ohw;
+      i8::gemm_a_packed(*pa, grp, cols.data(), oslice, ohw, ep,
+                        /*threaded=*/single);
+    }
+  });
+  if (prof) fused->record_sats(sats.load(std::memory_order_relaxed));
+}
+
 IntLinearOp::IntLinearOp(ITensor weight) : weight_(std::move(weight)) {
   check(weight_.rank() == 2, "IntLinearOp: weight must be [OUT, IN]");
 }
@@ -204,6 +439,51 @@ ITensor IntLinearOp::run(const std::vector<const ITensor*>& ins) const {
   s.back() = out;
   y.reshape(std::move(s));
   return y;
+}
+
+std::string IntLinearOp::kernel() const {
+  if (kplan_.i8) return kplan_.fuse ? "gemm_i8_fused" : "gemm_i8";
+  return kplan_.reason.empty() ? "gemm_i64"
+                               : "gemm_i64(" + kplan_.reason + ")";
+}
+
+std::shared_ptr<const PackedWeights> IntLinearOp::pack_weights() const {
+  if (!kplan_.i8) return nullptr;
+  // W is [OUT, IN] consumed as B^T: pack_b with trans_b folds the transpose
+  // into the panel layout once, at plan-compile time.
+  return i8::pack_b(weight_.data(), weight_.size(1), weight_.size(0),
+                    /*trans_b=*/true);
+}
+
+void IntLinearOp::run_packed(const std::vector<const ITensor*>& ins,
+                             const PackedWeights* packed,
+                             const MulQuantOp* fused, ITensor& out) const {
+  const auto* pb = dynamic_cast<const i8::PackedB*>(packed);
+  if (pb == nullptr) {
+    run_into(ins, out);
+    return;
+  }
+  const ITensor& x = only_input(ins, "IntLinear");
+  const std::int64_t in = weight_.size(1), o = weight_.size(0);
+  check(x.size(x.rank() - 1) == in, "IntLinear: feature mismatch");
+  const std::int64_t rows = x.numel() / in;
+  Shape s = x.shape();
+  s.back() = o;
+  recycle_tensor(out, s);
+  i8::Epilogue ep;
+  std::atomic<std::int64_t> sats{0};
+  const bool prof =
+      fused != nullptr &&
+      (obs::metrics_enabled() || obs::telemetry_enabled());
+  if (fused != nullptr) {
+    ep = mq_epilogue(*fused, /*per_row=*/false);
+    if (prof) {
+      ep.sat = &sats;
+      ep.count_sat = true;
+    }
+  }
+  i8::gemm_b_packed(x.data(), *pb, out.data(), rows, ep, /*threaded=*/true);
+  if (prof) fused->record_sats(sats.load(std::memory_order_relaxed));
 }
 
 IntAddOp::IntAddOp(std::int64_t out_min, std::int64_t out_max)
@@ -242,6 +522,15 @@ void IntAddOp::compute(const ITensor& a, const ITensor& b,
   par::parallel_for(0, a.numel(), kElemGrain,
                     [&](std::int64_t i0, std::int64_t i1, int slot) {
                       std::int64_t sat = 0;
+#if T2C_MQ_AVX512
+                      if (g_add_avx512) {
+                        add_span_avx512(a.data() + i0, b.data() + i0,
+                                        out.data() + i0, i1 - i0, out_min_,
+                                        out_max_, prof, sat);
+                        sats[slot] += sat;
+                        return;
+                      }
+#endif
                       for (std::int64_t i = i0; i < i1; ++i) {
                         const std::int64_t y = a[i] + b[i];
                         if (prof && is_clip(y, out_min_, out_max_)) ++sat;
@@ -487,6 +776,16 @@ obs::OpCost MulQuantOp::cost(const std::vector<const ITensor*>& ins,
   return c;
 }
 
+// GEMM-backed ops model the packed execution actually performed, not an
+// abstract dense pass (DESIGN.md §3.8/§3.11):
+//   * im2col materializes the patch matrix (written once, then re-read by
+//     the packing step) — that traffic was previously unmodeled;
+//   * packed panels are streamed from cache across every row block, so
+//     each panel counts ONCE, not once per block (packed-panel reuse);
+//   * the int8 kernels move 2-byte lanes for packed operands and skip the
+//     per-run weight pack entirely (weights are prepacked at plan compile);
+//   * a fused epilogue adds the MulQuant's work here because the separate
+//     MulQuant step is skipped and reports zero.
 obs::OpCost IntConv2dOp::cost(const std::vector<const ITensor*>& ins,
                               const ITensor& out) const {
   obs::OpCost c;
@@ -494,8 +793,27 @@ obs::OpCost IntConv2dOp::cost(const std::vector<const ITensor*>& ins,
   const std::int64_t ic_g = spec_.in_channels / spec_.groups;
   c.macs = out.numel() * ic_g * k * k;
   c.flops = 2 * c.macs;
-  c.bytes_read = operand_bytes(ins) + lane_bytes(weight_.numel());
-  c.bytes_written = lane_bytes(out.numel());
+  // Patch-matrix elements across all (image, group) tasks.
+  const std::int64_t ohw = out.size(2) * out.size(3);
+  const std::int64_t cols =
+      ins[0]->size(0) * spec_.in_channels * k * k * ohw;
+  if (kplan_.i8) {
+    // im2col reads x (i64) and writes int16 cols directly; the kernel
+    // re-reads cols while panel-packing and streams prepacked int16
+    // weight blocks once.
+    c.bytes_read = lane_bytes(ins[0]->numel()) + 2 * cols +
+                   2 * weight_.numel();
+    c.bytes_written = lane_bytes(out.numel()) + 2 * cols;
+    if (kplan_.fuse) {
+      c.macs += out.numel();
+      c.flops += 3 * out.numel();
+    }
+  } else {
+    // i64 GEMM: cols written by im2col, re-read by the panel pack, panels
+    // written then streamed once; weights read once per task set.
+    c.bytes_read = lane_bytes(ins[0]->numel() + 2 * cols + weight_.numel());
+    c.bytes_written = lane_bytes(out.numel() + cols);
+  }
   return c;
 }
 
@@ -506,8 +824,21 @@ obs::OpCost IntLinearOp::cost(const std::vector<const ITensor*>& ins,
   const std::int64_t rows = ins[0]->numel() / in;
   c.macs = rows * weight_.size(0) * in;
   c.flops = 2 * c.macs;
-  c.bytes_read = operand_bytes(ins) + lane_bytes(weight_.numel());
-  c.bytes_written = lane_bytes(out.numel());
+  if (kplan_.i8) {
+    // Activations narrowed on the fly; weight panels prepacked int16 and
+    // streamed once (panel reuse across row blocks hits cache).
+    c.bytes_read = lane_bytes(ins[0]->numel()) + 2 * weight_.numel();
+    c.bytes_written = lane_bytes(out.numel());
+    if (kplan_.fuse) {
+      c.macs += out.numel();
+      c.flops += 3 * out.numel();
+    }
+  } else {
+    // Weights read once by the panel pack, panels written then streamed
+    // once from cache across all row blocks.
+    c.bytes_read = lane_bytes(ins[0]->numel() + weight_.numel());
+    c.bytes_written = lane_bytes(out.numel() + weight_.numel());
+  }
   return c;
 }
 

@@ -7,8 +7,22 @@
 
 #include "deploy/deploy_model.h"
 #include "tensor/conv_ops.h"
+#include "tensor/int8_gemm.h"
 
 namespace t2c {
+
+/// Kernel selection for a GEMM-backed op, computed by
+/// pass_fuse_requant_into_gemm (deploy/passes.h) from value-range
+/// analysis. Default (all false) is the bit-exact int64 path; `i8` means
+/// the int16-operand/int32-accumulator packed kernel is proven safe;
+/// `fuse` additionally folds the single consuming MulQuant into the GEMM
+/// epilogue. `reason` records why the narrow kernel was declined
+/// ("overflow", "layout", ...) for --plan-dump and the profiler.
+struct GemmKernelPlan {
+  bool i8 = false;
+  bool fuse = false;
+  std::string reason;
+};
 
 /// How a MulQuant's per-entry parameters map onto the value layout.
 enum class MqLayout {
@@ -67,6 +81,13 @@ class MulQuantOp final : public DeployOp {
   std::int64_t out_max() const { return out_max_; }
   MqLayout layout() const { return layout_; }
 
+  /// Feeds clip counts measured by a fused GEMM epilogue into this op's
+  /// saturation counters, so fusion keeps `deploy.sat.MulQuant:<label>`
+  /// alive. Only call while metrics or telemetry are enabled.
+  void record_sats(std::int64_t sat) const {
+    sat_cache_.add("MulQuant", label, sat);
+  }
+
  private:
   /// The rescale sweep; `out` must be pre-sized to x's shape and may
   /// alias x (same-index reads and writes only).
@@ -89,6 +110,11 @@ class IntConv2dOp final : public DeployOp {
 
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntConv2d"; }
+  std::string kernel() const override;
+  std::shared_ptr<const PackedWeights> pack_weights() const override;
+  void run_packed(const std::vector<const ITensor*>& ins,
+                  const PackedWeights* packed, const MulQuantOp* fused,
+                  ITensor& out) const override;
   void save_params(std::ostream& os) const override;
   obs::OpCost cost(const std::vector<const ITensor*>& ins,
                    const ITensor& out) const override;
@@ -96,9 +122,13 @@ class IntConv2dOp final : public DeployOp {
   const ITensor& weight() const { return weight_; }
   const ConvSpec& spec() const { return spec_; }
 
+  const GemmKernelPlan& kernel_plan() const { return kplan_; }
+  void set_kernel_plan(GemmKernelPlan kp) { kplan_ = std::move(kp); }
+
  private:
   ITensor weight_;
   ConvSpec spec_;
+  GemmKernelPlan kplan_;
 };
 
 /// Integer fully-connected layer over [..., IN] token/feature rows.
@@ -108,14 +138,23 @@ class IntLinearOp final : public DeployOp {
 
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntLinear"; }
+  std::string kernel() const override;
+  std::shared_ptr<const PackedWeights> pack_weights() const override;
+  void run_packed(const std::vector<const ITensor*>& ins,
+                  const PackedWeights* packed, const MulQuantOp* fused,
+                  ITensor& out) const override;
   void save_params(std::ostream& os) const override;
   obs::OpCost cost(const std::vector<const ITensor*>& ins,
                    const ITensor& out) const override;
 
   const ITensor& weight() const { return weight_; }
 
+  const GemmKernelPlan& kernel_plan() const { return kplan_; }
+  void set_kernel_plan(GemmKernelPlan kp) { kplan_ = std::move(kp); }
+
  private:
   ITensor weight_;
+  GemmKernelPlan kplan_;
 };
 
 /// Elementwise integer add of two same-shape values, with clamp.

@@ -59,6 +59,23 @@ ValueRange clamp_range(std::int64_t lo_pre, std::int64_t hi_pre,
   return {std::clamp(lo_pre, lo, hi), std::clamp(hi_pre, lo, hi)};
 }
 
+/// Largest magnitude inside a value range (kI64Min/kI64Max-safe).
+std::int64_t range_abs(const ValueRange& r) {
+  const std::int64_t alo =
+      r.lo == kI64Min ? kI64Max : (r.lo < 0 ? -r.lo : r.lo);
+  const std::int64_t ahi =
+      r.hi == kI64Min ? kI64Max : (r.hi < 0 ? -r.hi : r.hi);
+  return std::max(alo, ahi);
+}
+
+std::int64_t max_abs_elem(const ITensor& w) {
+  std::int64_t m = 0;
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    m = std::max(m, w[i] < 0 ? sat_i64(-static_cast<__int128>(w[i])) : w[i]);
+  }
+  return m;
+}
+
 /// True when the per-tensor MulQuant `mq` computes exactly y = x << k
 /// before its clamp: bias 0 and multiplier a power of two 2^(frac + k),
 /// k >= 0. With mul = 2^(frac+k) the datapath is
@@ -272,6 +289,79 @@ std::size_t pass_dve(DeployModel& dm) {
   return dm.erase_ops(keep);
 }
 
+std::size_t pass_fuse_requant_into_gemm(DeployModel& dm) {
+  const auto ranges = compute_value_ranges(dm);
+  std::size_t changes = 0;
+  for (std::size_t i = 0; i < dm.num_ops(); ++i) {
+    DeployOp& op = dm.mutable_op(i);
+    const int v = static_cast<int>(i) + 1;
+    const auto in_abs = [&] {
+      return range_abs(ranges[static_cast<std::size_t>(op.inputs[0])]);
+    };
+    if (auto* at = dynamic_cast<IntAttentionOp*>(&op)) {
+      const std::int64_t b = in_abs();
+      at->set_input_bound(b == kI64Max ? 0 : b);
+      if (at->kernel() == "attn_i16") ++changes;
+      continue;
+    }
+    auto* cv = dynamic_cast<IntConv2dOp*>(&op);
+    auto* ln = dynamic_cast<IntLinearOp*>(&op);
+    if (cv == nullptr && ln == nullptr) continue;
+    const ITensor& w = cv != nullptr ? cv->weight() : ln->weight();
+    const std::int64_t kdepth =
+        cv != nullptr ? (cv->spec().in_channels / cv->spec().groups) *
+                            cv->spec().kernel * cv->spec().kernel
+                      : w.size(1);
+    const std::int64_t a_max = in_abs();
+    const std::int64_t w_max = max_abs_elem(w);
+    GemmKernelPlan kp;
+    if (a_max > i8::kOperandMax || w_max > i8::kOperandMax ||
+        !i8::accum_fits_i32(kdepth, a_max, w_max)) {
+      // The int32 accumulator cannot be proven safe; K · max|a| · max|w|
+      // reaches 2^31 (or an operand leaves int16). Keep the exact i64 path.
+      kp.reason = "overflow";
+    } else {
+      kp.i8 = true;
+      ++changes;
+      // Epilogue fusion additionally needs the accumulator's single
+      // consumer to be a layout-compatible MulQuant (and the raw
+      // accumulator must not itself be the graph output).
+      const auto& cons = dm.consumers_of(v);
+      const MulQuantOp* mq =
+          cons.size() == 1 && v != dm.output_id()
+              ? dynamic_cast<const MulQuantOp*>(
+                    &dm.op(static_cast<std::size_t>(cons[0])))
+              : nullptr;
+      if (mq == nullptr) {
+        kp.reason = cons.size() == 1 ? "consumer" : "shared";
+      } else if (cv != nullptr) {
+        // Conv entries follow the channel (GEMM-row) axis.
+        kp.fuse = mq->layout() == MqLayout::kPerTensor ||
+                  (mq->layout() == MqLayout::kChannelNCHW &&
+                   mq->mul().size() ==
+                       static_cast<std::size_t>(cv->spec().out_channels));
+        if (!kp.fuse) kp.reason = "layout";
+      } else {
+        // Linear entries follow the feature (GEMM-column) axis.
+        kp.fuse = mq->layout() == MqLayout::kPerTensor ||
+                  (mq->layout() == MqLayout::kLastDim &&
+                   mq->mul().size() == static_cast<std::size_t>(w.size(0)));
+        if (!kp.fuse) kp.reason = "layout";
+      }
+    }
+    if (cv != nullptr) {
+      cv->set_kernel_plan(std::move(kp));
+    } else {
+      ln->set_kernel_plan(std::move(kp));
+    }
+  }
+  // Kernel annotations are baked into the compiled plan (weight packing and
+  // epilogue pairing), so any plan cached before this pass is stale even
+  // though the graph itself did not change.
+  dm.invalidate_plan();
+  return changes;
+}
+
 PassManager& PassManager::add(std::string name, PassFn fn) {
   passes_.emplace_back(std::move(name), std::move(fn));
   return *this;
@@ -316,6 +406,9 @@ PassManager PassManager::pipeline(int opt_level) {
     pm.add("dedup", pass_dedup);
     pm.add("dve", pass_dve);
   }
+  // Kernel annotation runs on the final graph shape so the single-consumer
+  // fusion test sees the post-DVE use lists.
+  if (opt_level >= 2) pm.add("fuse_requant_gemm", pass_fuse_requant_into_gemm);
   return pm;
 }
 

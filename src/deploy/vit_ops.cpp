@@ -2,6 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#if defined(__x86_64__)
+#include <emmintrin.h>  // SSE2: baseline on x86_64, no dispatch needed
+#if defined(__GNUC__) || defined(__clang__)
+#define T2C_LN_AVX512 1
+#include <immintrin.h>
+#endif
+#endif
+#ifndef T2C_LN_AVX512
+#define T2C_LN_AVX512 0
+#endif
 
 #include "core/parallel.h"
 #include "nn/activations.h"
@@ -27,6 +39,58 @@ std::int64_t isqrt64(std::int64_t v) {
   while ((x + 1) * (x + 1) <= v) ++x;
   return x;
 }
+
+/// Largest magnitude inside a clamp window [lo, hi] (overflow-safe).
+std::int64_t abs_bound(std::int64_t lo, std::int64_t hi) {
+  const std::int64_t alo = lo == std::numeric_limits<std::int64_t>::min()
+                               ? std::numeric_limits<std::int64_t>::max()
+                               : (lo < 0 ? -lo : lo);
+  return std::max(alo, hi < 0 ? -hi : hi);
+}
+
+#if T2C_LN_AVX512
+// Same -Wmaybe-uninitialized false positive on _mm*_maskz_* as
+// tensor/int8_gemm.cpp; the masked-lane zeroing is architectural.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+/// AVX-512 running-statistics LayerNorm row: xhat plus the fused affine
+/// requant, 8 lanes per step. vpmullq / vpsravq carry the exact 64-bit
+/// wrap semantics of the scalar loop, so the bits are identical.
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void ln_row_avx512(
+    const std::int64_t* px, std::int64_t* po, std::int64_t d,
+    std::int64_t mean, std::int64_t inv_sigma, int sh,
+    const std::int64_t* gamma, const std::int64_t* beta, int f,
+    std::int64_t half2f, std::int64_t lo, std::int64_t hi) {
+  const __m512i vmean = _mm512_set1_epi64(mean);
+  const __m512i vsig = _mm512_set1_epi64(inv_sigma);
+  const __m512i vhalf = _mm512_set1_epi64(half2f);
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  for (std::int64_t i = 0; i < d; i += 8) {
+    const auto m = static_cast<__mmask8>(
+        d - i >= 8 ? 0xff : (1u << (d - i)) - 1u);
+    const __m512i v = _mm512_maskz_loadu_epi64(m, px + i);
+    const __m512i xhat = _mm512_srai_epi64(
+        _mm512_mullo_epi64(_mm512_sub_epi64(v, vmean), vsig),
+        static_cast<unsigned>(sh));
+    const __m512i vg = _mm512_maskz_loadu_epi64(m, gamma + i);
+    const __m512i vb = _mm512_slli_epi64(
+        _mm512_maskz_loadu_epi64(m, beta + i), static_cast<unsigned>(f));
+    const __m512i y = _mm512_srai_epi64(
+        _mm512_add_epi64(_mm512_add_epi64(_mm512_mullo_epi64(vg, xhat), vb),
+                         vhalf),
+        static_cast<unsigned>(2 * f));
+    _mm512_mask_storeu_epi64(
+        po + i, m, _mm512_min_epi64(vhi, _mm512_max_epi64(vlo, y)));
+  }
+}
+
+#pragma GCC diagnostic pop
+
+const bool g_ln_avx512 = __builtin_cpu_supports("avx512dq") &&
+                         __builtin_cpu_supports("avx512vl");
+#endif
 
 }  // namespace
 
@@ -138,15 +202,26 @@ void LutGeluOp::run_into(const std::vector<const ITensor*>& ins,
 
 void LutGeluOp::compute(const ITensor& x, ITensor& out) const {
   const auto last = static_cast<std::int64_t>(lut_.size()) - 1;
+  // Nearest-entry index = (q - in_min + step/2) / step, computed via a
+  // double reciprocal plus an exact one-off fixup (the numerator is far
+  // below 2^53, so the estimate is within one of the true quotient) —
+  // identical indices to the hardware division at a fraction of the cost.
+  const double rstep = 1.0 / static_cast<double>(index_step_);
+  const std::int64_t h2 = index_step_ / 2;
   par::parallel_for(0, x.numel(), kElemGrain,
                     [&](std::int64_t i0, std::int64_t i1) {
                       for (std::int64_t i = i0; i < i1; ++i) {
                         const std::int64_t q = clamp64(x[i], in_min_, in_max_);
-                        // Nearest-entry lookup.
-                        const std::int64_t idx = clamp64(
-                            (q - in_min_ + index_step_ / 2) / index_step_, 0,
-                            last);
-                        out[i] = lut_[static_cast<std::size_t>(idx)];
+                        const std::int64_t num = q - in_min_ + h2;
+                        auto idx = static_cast<std::int64_t>(
+                            static_cast<double>(num) * rstep);
+                        if ((idx + 1) * index_step_ <= num) {
+                          ++idx;
+                        } else if (idx * index_step_ > num) {
+                          --idx;
+                        }
+                        out[i] = lut_[static_cast<std::size_t>(
+                            clamp64(idx, 0, last))];
                       }
                     });
 }
@@ -197,38 +272,46 @@ ITensor IntLayerNormOp::run(const std::vector<const ITensor*>& ins) const {
         for (std::int64_t r = r0; r < r1; ++r) {
           const std::int64_t* px = x.data() + r * d;
           std::int64_t* po = out.data() + r * d;
-          for (std::int64_t i = 0; i < d; ++i) {
-            std::int64_t xhat_f;  // xhat * 2^f
-            if (running_) {
-              xhat_f =
-                  ((px[i] - mean_int_) * inv_sigma_fx_) >> (stat_frac_ - f);
-            } else {
-              // Instant statistics: integer mean/variance over the row.
-              // (Computed once per row below — hoisted via the else-branch
-              // guard.)
-              xhat_f = 0;  // filled by the row-level path
+          if (running_) {
+            // Running statistics: xhat and the affine requant fuse into a
+            // single branch-free pass over the row.
+            const int sh = stat_frac_ - f;
+#if T2C_LN_AVX512
+            if (g_ln_avx512) {
+              ln_row_avx512(px, po, d, mean_int_, inv_sigma_fx_, sh,
+                            gamma_fx_.data(), beta_fx_.data(), f, half2f,
+                            out_min_, out_max_);
+              continue;
             }
-            po[i] = xhat_f;  // temp; finalized below
-          }
-          if (!running_) {
-            std::int64_t sum = 0;
-            for (std::int64_t i = 0; i < d; ++i) sum += px[i];
-            const std::int64_t mean = (2 * sum + d) / (2 * d);  // round-nearest
-            std::int64_t var_sum = 0;
+#endif
             for (std::int64_t i = 0; i < d; ++i) {
-              const std::int64_t dv = px[i] - mean;
-              var_sum += dv * dv;
+              const std::int64_t xhat_f =
+                  ((px[i] - mean_int_) * inv_sigma_fx_) >> sh;
+              const std::int64_t y =
+                  (gamma_fx_[static_cast<std::size_t>(i)] * xhat_f +
+                   (beta_fx_[static_cast<std::size_t>(i)] << f) + half2f) >>
+                  (2 * f);
+              po[i] = clamp64(y, out_min_, out_max_);
             }
-            const std::int64_t var = var_sum / d;
-            const std::int64_t sq = std::max<std::int64_t>(
-                1, isqrt64(var << (2 * kG)));  // sqrt(var) << kG
-            for (std::int64_t i = 0; i < d; ++i) {
-              po[i] = ((px[i] - mean) << (f + kG)) / sq;  // xhat * 2^f
-            }
+            continue;
           }
+          // Instant statistics: integer mean/variance over the row.
+          std::int64_t sum = 0;
+          for (std::int64_t i = 0; i < d; ++i) sum += px[i];
+          const std::int64_t mean = (2 * sum + d) / (2 * d);  // round-nearest
+          std::int64_t var_sum = 0;
           for (std::int64_t i = 0; i < d; ++i) {
+            const std::int64_t dv = px[i] - mean;
+            var_sum += dv * dv;
+          }
+          const std::int64_t var = var_sum / d;
+          const std::int64_t sq = std::max<std::int64_t>(
+              1, isqrt64(var << (2 * kG)));  // sqrt(var) << kG
+          for (std::int64_t i = 0; i < d; ++i) {
+            const std::int64_t xhat_f =
+                ((px[i] - mean) << (f + kG)) / sq;  // xhat * 2^f
             const std::int64_t y =
-                (gamma_fx_[static_cast<std::size_t>(i)] * po[i] +
+                (gamma_fx_[static_cast<std::size_t>(i)] * xhat_f +
                  (beta_fx_[static_cast<std::size_t>(i)] << f) + half2f) >>
                 (2 * f);
             po[i] = clamp64(y, out_min_, out_max_);
@@ -254,12 +337,52 @@ IntAttentionOp::IntAttentionOp(IntAttentionParams params)
             p_.proj_bias.size() == p_.proj_mul.size(),
         "IntAttentionOp: proj requant arity mismatch");
   check(!p_.softmax_lut.empty(), "IntAttentionOp: missing softmax LUT");
+  for (std::int64_t i = 0; i < p_.wqkv.numel(); ++i) {
+    wq_max_ = std::max(wq_max_, p_.wqkv[i] < 0 ? -p_.wqkv[i] : p_.wqkv[i]);
+  }
+  for (std::int64_t i = 0; i < p_.wproj.numel(); ++i) {
+    wp_max_ = std::max(wp_max_, p_.wproj[i] < 0 ? -p_.wproj[i] : p_.wproj[i]);
+  }
+  // Both projections consume W as B^T ([rows=out, cols=in] row-major), the
+  // same orientation IntLinearOp packs. Panels are only built when the
+  // weights fit int16; whether they are ever used is decided by
+  // i16_eligible() once the pass proves an input bound.
+  if (wq_max_ <= i8::kOperandMax && wp_max_ <= i8::kOperandMax) {
+    pbqkv_ = i8::pack_b(p_.wqkv.data(), d, 3 * d, /*trans_b=*/true);
+    pbproj_ = i8::pack_b(p_.wproj.data(), d, d, /*trans_b=*/true);
+  }
+}
+
+bool IntAttentionOp::i16_eligible() const {
+  if (input_bound_ <= 0 || pbqkv_ == nullptr) return false;
+  const std::int64_t d = p_.wqkv.size(1);
+  const std::int64_t dh = d / p_.heads;
+  const std::int64_t sb = abs_bound(p_.stream_min, p_.stream_max);
+  const std::int64_t cb = abs_bound(p_.ctx_min, p_.ctx_max);
+  return input_bound_ <= i8::kOperandMax &&
+         i8::accum_fits_i32(d, input_bound_, wq_max_) &&   // qkv projection
+         sb <= i8::kOperandMax &&
+         i8::accum_fits_i32(dh, sb, sb) &&                 // q * k^T logits
+         p_.p_qmax <= i8::kOperandMax &&                   // probs as int16
+         cb <= i8::kOperandMax &&
+         i8::accum_fits_i32(d, cb, wp_max_);               // out projection
+}
+
+std::string IntAttentionOp::kernel() const {
+  return i16_eligible() ? "attn_i16" : "attn_i64";
 }
 
 ITensor IntAttentionOp::run(const std::vector<const ITensor*>& ins) const {
   check(ins.size() == 1 && ins[0] != nullptr, "IntAttention: one input");
   const ITensor& x = *ins[0];
   check(x.rank() == 3, "IntAttention: input must be [N,T,D]");
+  // The p*v accumulation depth is the (runtime) token count, so its int32
+  // bound is the one eligibility term checked per run.
+  if (i16_eligible() &&
+      i8::accum_fits_i32(x.size(1), p_.p_qmax,
+                         abs_bound(p_.stream_min, p_.stream_max))) {
+    return run_i16(x);
+  }
   const std::int64_t n = x.size(0), t = x.size(1), d = x.size(2);
   const std::int64_t h = p_.heads, dh = d / h;
   const int f = p_.frac_bits;
@@ -364,6 +487,189 @@ ITensor IntAttentionOp::run(const std::vector<const ITensor*>& ins) const {
       }
     }
   });
+  return out;
+}
+
+// Narrow-lane twin of run(): identical stage structure and identical
+// values at every stage. The projections run through the prepacked int16
+// panels with the per-stream requant fused into the epilogue (the epilogue
+// arithmetic is MulQuantOp's, and uniform frac0 = frac_bits + bias_frac
+// reproduces the bhalf rounding term of the hand loop above); the
+// logits/softmax/context stages keep the loop order and the int64 softmax
+// arithmetic, narrowing only the stream operands and accumulators that
+// i16_eligible() proved safe. Integer arithmetic without overflow is
+// exact, so outputs match the int64 path bit for bit at any thread count.
+ITensor IntAttentionOp::run_i16(const ITensor& x) const {
+  const std::int64_t n = x.size(0), t = x.size(1), d = x.size(2);
+  const std::int64_t h = p_.heads, dh = d / h;
+  const int f = p_.frac_bits;
+  const std::int64_t half = std::int64_t{1} << (f - 1);
+
+  // 1. qkv projection + per-stream requant, fused; clamped streams land in
+  // int16 scratch.
+  std::vector<std::int16_t> qkv(static_cast<std::size_t>(n * t * 3 * d));
+  i8::Epilogue eq;
+  eq.mode = i8::Epilogue::Mode::kPerCol;
+  eq.mul = p_.qkv_mul.data();
+  eq.bias = p_.qkv_bias.data();
+  eq.frac0 = f;
+  eq.bias_frac = p_.bias_frac;
+  eq.lo = p_.stream_min;
+  eq.hi = p_.stream_max;
+  i8::gemm_b_packed(x.data(), *pbqkv_, qkv.data(), n * t, eq,
+                    /*threaded=*/true);
+
+  // 2-4. logits, LUT softmax, context per (sample, head); int32 logit and
+  // context accumulators, int16 normalized probabilities (<= p_qmax). On
+  // x86_64 the dot products run on SSE2 pmaddwd (pairwise int32 sums are
+  // wrap-free: 2 * 32767^2 < 2^31, and the running totals are covered by
+  // the i16_eligible accumulation proof); integer adds are associative,
+  // so the reassociated sums match the scalar loops bit for bit.
+  const auto last = static_cast<std::int64_t>(p_.softmax_lut.size()) - 1;
+  const std::int64_t rs = 3 * d;  // token row stride inside the qkv scratch
+  std::vector<std::int16_t> ctx(static_cast<std::size_t>(n * t * d));
+  par::parallel_for(0, n * h, 1, [&](std::int64_t p0, std::int64_t p1) {
+    std::vector<std::int32_t> logits(static_cast<std::size_t>(t));
+    std::vector<std::int64_t> expv(static_cast<std::size_t>(t));
+    // One zero pad slot so the paired context kernel can read an even
+    // number of probability lanes.
+    std::vector<std::int16_t> probs(static_cast<std::size_t>(t + 1), 0);
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const std::int64_t in = p / h, ih = p % h;
+      const std::int16_t* qbase = qkv.data() + in * t * rs + 0 * d + ih * dh;
+      const std::int16_t* kbase = qkv.data() + in * t * rs + 1 * d + ih * dh;
+      const std::int16_t* vbase = qkv.data() + in * t * rs + 2 * d + ih * dh;
+      for (std::int64_t iq = 0; iq < t; ++iq) {
+        const std::int16_t* qrow = qbase + iq * rs;
+        std::int32_t m = std::numeric_limits<std::int32_t>::min();
+        for (std::int64_t ik = 0; ik < t; ++ik) {
+          const std::int16_t* krow = kbase + ik * rs;
+          std::int32_t acc = 0;
+          std::int64_t e = 0;
+#if defined(__x86_64__)
+          __m128i acc4 = _mm_setzero_si128();
+          for (; e + 8 <= dh; e += 8) {
+            const __m128i qv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(qrow + e));
+            const __m128i kv = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(krow + e));
+            acc4 = _mm_add_epi32(acc4, _mm_madd_epi16(qv, kv));
+          }
+          __m128i s4 = _mm_add_epi32(
+              acc4, _mm_shuffle_epi32(acc4, _MM_SHUFFLE(1, 0, 3, 2)));
+          s4 = _mm_add_epi32(s4,
+                             _mm_shuffle_epi32(s4, _MM_SHUFFLE(2, 3, 0, 1)));
+          acc = _mm_cvtsi128_si32(s4);
+#endif
+          for (; e < dh; ++e) {
+            acc += static_cast<std::int32_t>(qrow[e]) * krow[e];
+          }
+          logits[static_cast<std::size_t>(ik)] = acc;
+          m = std::max(m, acc);
+        }
+        std::int64_t sum = 0;
+        for (std::int64_t ik = 0; ik < t; ++ik) {
+          const std::int64_t diff =
+              static_cast<std::int64_t>(m) -
+              logits[static_cast<std::size_t>(ik)];
+          const std::int64_t idx =
+              std::min(last, (p_.logit_mul * diff + half) >> f);
+          expv[static_cast<std::size_t>(ik)] =
+              p_.softmax_lut[static_cast<std::size_t>(idx)];
+          sum += expv[static_cast<std::size_t>(ik)];
+        }
+        if (sum > 0) {
+          // Round-half-up division by the invariant sum via a double
+          // reciprocal plus an exact fixup: the estimate is within one of
+          // floor(num / sum) (num < 2^53 is exactly representable), so the
+          // two corrections make every quotient exactly the hardware-
+          // division result — bit-identical, at a fraction of the latency.
+          const double rinv = 1.0 / static_cast<double>(sum);
+          const std::int64_t h2 = sum / 2;
+          for (std::int64_t ik = 0; ik < t; ++ik) {
+            const std::int64_t num =
+                expv[static_cast<std::size_t>(ik)] * p_.p_qmax + h2;
+            auto q = static_cast<std::int64_t>(static_cast<double>(num) *
+                                               rinv);
+            if ((q + 1) * sum <= num) {
+              ++q;
+            } else if (q * sum > num) {
+              --q;
+            }
+            probs[static_cast<std::size_t>(ik)] =
+                static_cast<std::int16_t>(q);
+          }
+        } else {
+          std::fill(probs.begin(), probs.begin() + t, std::int16_t{0});
+        }
+        std::int16_t* crow = ctx.data() + (in * t + iq) * d + ih * dh;
+        std::int64_t e0 = 0;
+#if defined(__x86_64__)
+        for (; e0 + 8 <= dh; e0 += 8) {
+          // Two probability lanes per madd: interleave the value rows of
+          // tokens ik and ik+1 so each int32 lane is p0*v0 + p1*v1 (the
+          // pad slot zeroes the odd tail).
+          __m128i acc_lo = _mm_setzero_si128();
+          __m128i acc_hi = _mm_setzero_si128();
+          for (std::int64_t ik = 0; ik < t; ik += 2) {
+            const __m128i v0 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(vbase + ik * rs + e0));
+            const __m128i v1 =
+                ik + 1 < t
+                    ? _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+                          vbase + (ik + 1) * rs + e0))
+                    : _mm_setzero_si128();
+            const auto pp = static_cast<std::int32_t>(
+                static_cast<std::uint32_t>(static_cast<std::uint16_t>(
+                    probs[static_cast<std::size_t>(ik)])) |
+                (static_cast<std::uint32_t>(static_cast<std::uint16_t>(
+                     probs[static_cast<std::size_t>(ik + 1)]))
+                 << 16));
+            const __m128i pv = _mm_set1_epi32(pp);
+            acc_lo = _mm_add_epi32(acc_lo,
+                                   _mm_madd_epi16(_mm_unpacklo_epi16(v0, v1),
+                                                  pv));
+            acc_hi = _mm_add_epi32(acc_hi,
+                                   _mm_madd_epi16(_mm_unpackhi_epi16(v0, v1),
+                                                  pv));
+          }
+          alignas(16) std::int32_t tmp[8];
+          _mm_store_si128(reinterpret_cast<__m128i*>(tmp), acc_lo);
+          _mm_store_si128(reinterpret_cast<__m128i*>(tmp + 4), acc_hi);
+          for (std::int64_t j = 0; j < 8; ++j) {
+            const std::int64_t y = (p_.ctx_mul * tmp[j] + half) >> f;
+            crow[e0 + j] = static_cast<std::int16_t>(
+                clamp64(y, p_.ctx_min, p_.ctx_max));
+          }
+        }
+#endif
+        for (; e0 < dh; ++e0) {
+          std::int32_t acc = 0;
+          for (std::int64_t ik = 0; ik < t; ++ik) {
+            acc += static_cast<std::int32_t>(
+                       probs[static_cast<std::size_t>(ik)]) *
+                   vbase[ik * rs + e0];
+          }
+          const std::int64_t y = (p_.ctx_mul * acc + half) >> f;
+          crow[e0] = static_cast<std::int16_t>(
+              clamp64(y, p_.ctx_min, p_.ctx_max));
+        }
+      }
+    }
+  });
+
+  // 5. output projection + requant, fused, widening back to int64 lanes.
+  ITensor out({n, t, d});
+  i8::Epilogue ep;
+  ep.mode = i8::Epilogue::Mode::kPerCol;
+  ep.mul = p_.proj_mul.data();
+  ep.bias = p_.proj_bias.data();
+  ep.frac0 = f;
+  ep.bias_frac = p_.bias_frac;
+  ep.lo = p_.out_min;
+  ep.hi = p_.out_max;
+  i8::gemm_b_packed(ctx.data(), *pbproj_, out.data(), n * t, ep,
+                    /*threaded=*/true);
   return out;
 }
 
@@ -502,13 +808,19 @@ obs::OpCost IntAttentionOp::cost(const std::vector<const ITensor*>& ins,
   const std::int64_t h = p_.heads;
   c.macs = n * (4 * t * d * d + 2 * t * t * d);
   c.flops = 2 * c.macs + 6 * n * t * d + 4 * n * h * t * t;
+  // The narrow kernel streams prepacked int16 weight panels and int16
+  // qkv/ctx scratch (2-byte lanes); the int64 path moves 8-byte lanes.
+  const std::int64_t wlane = i16_eligible() ? 2 : 8;
+  const std::int64_t slane = i16_eligible() ? 2 : 8;
   c.bytes_read =
-      operand_bytes64(ins) + lane_bytes64(p_.wqkv.numel()) +
-      lane_bytes64(p_.wproj.numel()) +
+      operand_bytes64(ins) +
+      wlane * (p_.wqkv.numel() + p_.wproj.numel()) +
+      slane * (2 * n * t * 3 * d + 2 * n * t * d) +  // qkv / ctx scratch
       lane_bytes64(static_cast<std::int64_t>(
           p_.qkv_mul.size() + p_.qkv_bias.size() + p_.softmax_lut.size() +
           p_.proj_mul.size() + p_.proj_bias.size()));
-  c.bytes_written = lane_bytes64(out.numel());
+  c.bytes_written =
+      lane_bytes64(out.numel()) + slane * (n * t * 3 * d + n * t * d);
   return c;
 }
 

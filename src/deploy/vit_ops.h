@@ -6,6 +6,7 @@
 #include <iosfwd>
 
 #include "deploy/deploy_model.h"
+#include "tensor/int8_gemm.h"
 
 namespace t2c {
 
@@ -136,14 +137,34 @@ class IntAttentionOp final : public DeployOp {
 
   ITensor run(const std::vector<const ITensor*>& ins) const override;
   std::string kind() const override { return "IntAttention"; }
+  std::string kernel() const override;
   void save_params(std::ostream& os) const override;
   obs::OpCost cost(const std::vector<const ITensor*>& ins,
                    const ITensor& out) const override;
 
   const IntAttentionParams& params() const { return p_; }
 
+  /// Proven bound on |input| from value-range analysis, set by
+  /// pass_fuse_requant_into_gemm; 0 (the default) keeps the int64 path.
+  /// With a bound proven, every matmul stage whose int32 accumulation
+  /// provably cannot overflow runs on int16 streams through the prepacked
+  /// panels (bit-identical — all integer arithmetic is exact).
+  void set_input_bound(std::int64_t bound) { input_bound_ = bound; }
+  std::int64_t input_bound() const { return input_bound_; }
+
  private:
+  /// Shape-independent eligibility of the narrow path (the token-count-
+  /// dependent p*v bound is re-checked per run).
+  bool i16_eligible() const;
+  ITensor run_i16(const ITensor& x) const;
+
   IntAttentionParams p_;
+  std::int64_t input_bound_ = 0;
+  std::int64_t wq_max_ = 0, wp_max_ = 0;  ///< max |w| of wqkv / wproj
+  /// Weight panels packed once at construction when the weights fit int16
+  /// (the op owns its static operands, unlike the exec-plan-cached
+  /// conv/linear packs).
+  std::shared_ptr<const i8::PackedB> pbqkv_, pbproj_;
 };
 
 }  // namespace t2c

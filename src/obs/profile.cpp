@@ -19,7 +19,8 @@ void set_profile_enabled(bool on) {
 }
 
 void Profiler::record_step(const std::string& key, double ms,
-                           const OpCost& cost, const PmuSample* pmu) {
+                           const OpCost& cost, const PmuSample* pmu,
+                           const std::string& kernel) {
   const std::lock_guard<std::mutex> lock(mu_);
   Agg& a = agg_[key];
   a.calls += 1;
@@ -29,6 +30,7 @@ void Profiler::record_step(const std::string& key, double ms,
   a.cost.macs += cost.macs;
   a.cost.bytes_read += cost.bytes_read;
   a.cost.bytes_written += cost.bytes_written;
+  if (!kernel.empty()) a.kernel = kernel;
   if (pmu != nullptr) {
     a.pmu_steps += 1;
     a.pmu.accumulate(*pmu);
@@ -66,6 +68,7 @@ ProfileReport Profiler::report() const {
   for (const auto& [key, a] : agg_) {
     ProfileRow row;
     row.key = key;
+    row.kernel = a.kernel;
     row.calls = a.calls;
     row.total_ms = a.total_ms;
     row.mean_ms = a.calls > 0 ? a.total_ms / static_cast<double>(a.calls) : 0.0;
@@ -147,9 +150,9 @@ std::string ProfileReport::table_text() const {
     os << buf;
   }
   std::snprintf(buf, sizeof(buf),
-                "  %-44s %7s %6s %9s %8s %8s %8s %9s %8s %6s %8s %7s", "op",
-                "calls", "time%", "total ms", "p50 ms", "p95 ms", "p99 ms",
-                "MFLOP", "MB", "fl/B", "GFLOP/s", "GB/s");
+                "  %-44s %-14s %7s %6s %9s %8s %8s %8s %9s %8s %6s %8s %7s",
+                "op", "kernel", "calls", "time%", "total ms", "p50 ms",
+                "p95 ms", "p99 ms", "MFLOP", "MB", "fl/B", "GFLOP/s", "GB/s");
   os << buf;
   // Measured columns ride along only at the tier that can fill them: IPC,
   // cache-miss rate, and measured/modeled bytes need the hardware group;
@@ -167,10 +170,11 @@ std::string ProfileReport::table_text() const {
     const double mb = static_cast<double>(r.cost.bytes_read +
                                           r.cost.bytes_written) * 1e-6;
     std::snprintf(buf, sizeof(buf),
-                  "  %-44s %7lld %6.1f %9.3f %8.3f %8.3f %8.3f %9.2f %8.2f "
-                  "%6.2f %8.2f %7.2f",
-                  r.key.c_str(), static_cast<long long>(r.calls), r.time_pct,
-                  r.total_ms, r.p50_ms, r.p95_ms, r.p99_ms,
+                  "  %-44s %-14s %7lld %6.1f %9.3f %8.3f %8.3f %8.3f %9.2f "
+                  "%8.2f %6.2f %8.2f %7.2f",
+                  r.key.c_str(), r.kernel.empty() ? "-" : r.kernel.c_str(),
+                  static_cast<long long>(r.calls), r.time_pct, r.total_ms,
+                  r.p50_ms, r.p95_ms, r.p99_ms,
                   static_cast<double>(r.cost.flops) * 1e-6, mb, r.intensity,
                   r.gflops, r.gbps);
     os << buf;
@@ -208,7 +212,11 @@ std::string ProfileReport::to_json() const {
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const ProfileRow& r = rows[i];
     if (i) os << ',';
-    os << "{\"op\":\"" << json_escape(r.key) << "\",\"calls\":" << r.calls
+    os << "{\"op\":\"" << json_escape(r.key) << '"';
+    if (!r.kernel.empty()) {
+      os << ",\"kernel\":\"" << json_escape(r.kernel) << '"';
+    }
+    os << ",\"calls\":" << r.calls
        << ",\"total_ms\":" << json_num(r.total_ms)
        << ",\"mean_ms\":" << json_num(r.mean_ms)
        << ",\"p50_ms\":" << json_num(r.p50_ms)

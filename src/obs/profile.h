@@ -48,6 +48,11 @@ struct OpCost {
 /// One aggregated table row of a ProfileReport.
 struct ProfileRow {
   std::string key;  ///< `<kind>[:<label>]`, the deploy.op_ms key
+  /// Kernel the executor selected for this op ("gemm_i8_fused", "gemm_i8",
+  /// "gemm_i64(<fallback reason>)", "attn_i16", "fused" for a MulQuant
+  /// folded into its producer's epilogue, ...). Empty for single-
+  /// implementation ops.
+  std::string kernel;
   std::int64_t calls = 0;
   double total_ms = 0.0;
   double mean_ms = 0.0;
@@ -110,8 +115,11 @@ class Profiler {
   /// affects tail percentiles of very long runs only, never the
   /// call/FLOP/byte totals). `pmu` (optional) attaches the measured
   /// counter deltas attributed to this step; its fields sum per key.
+  /// `kernel` names the kernel the executor dispatched (empty for single-
+  /// implementation ops; the last non-empty value per key wins).
   void record_step(const std::string& key, double ms, const OpCost& cost,
-                   const PmuSample* pmu = nullptr);
+                   const PmuSample* pmu = nullptr,
+                   const std::string& kernel = {});
 
   ProfileReport report() const;
 
@@ -128,6 +136,7 @@ class Profiler {
     double total_ms = 0.0;
     std::vector<double> samples_ms;
     OpCost cost;
+    std::string kernel;
     std::int64_t pmu_steps = 0;
     PmuSample pmu;
   };

@@ -1,5 +1,7 @@
 #include "tensor/conv_ops.h"
 
+#include <algorithm>
+
 #include "core/parallel.h"
 #include "tensor/matmul.h"
 
@@ -30,28 +32,51 @@ Geometry geom(const Shape& x_shape, const ConvSpec& s) {
   return g;
 }
 
-// Generic im2col on raw data; shared by float and integer paths.
-template <typename T>
-void im2col_raw(const T* x, const ConvSpec& s, const Geometry& g,
-                std::int64_t n, int grp, T* cols) {
+// Generic im2col on raw data; shared by float and integer paths. TDst may
+// be narrower than TSrc (the int16 patch scratch of the packed int8 conv)
+// when the caller's value-range analysis proved the cast lossless. The
+// padding test is hoisted out of the inner loop: the valid ox interval
+// [ox_lo, ox_hi) is computed once per (ki, kj) tap, so the interior is a
+// branch-free strided copy the compiler can vectorize.
+template <typename TSrc, typename TDst>
+void im2col_raw(const TSrc* x, const ConvSpec& s, const Geometry& g,
+                std::int64_t n, int grp, TDst* cols) {
   const int k = s.kernel;
+  const std::int64_t st = s.stride;
   const std::int64_t hw = g.h * g.w;
   const std::int64_t ohw = g.oh * g.ow;
   for (std::int64_t c = 0; c < g.icg; ++c) {
     const std::int64_t ch = grp * g.icg + c;
-    const T* plane = x + (n * s.in_channels + ch) * hw;
+    const TSrc* plane = x + (n * s.in_channels + ch) * hw;
     for (int ki = 0; ki < k; ++ki) {
       for (int kj = 0; kj < k; ++kj) {
-        T* crow = cols + ((c * k + ki) * k + kj) * ohw;
+        TDst* crow = cols + ((c * k + ki) * k + kj) * ohw;
+        // ix = ox*st + off is in [0, w) iff ox in [ox_lo, ox_hi).
+        const std::int64_t off = kj - s.padding;
+        std::int64_t ox_lo = off < 0 ? (-off + st - 1) / st : 0;
+        std::int64_t ox_hi =
+            g.w - 1 - off < 0 ? 0 : (g.w - 1 - off) / st + 1;
+        ox_lo = std::min(ox_lo, g.ow);
+        ox_hi = std::min(std::max(ox_hi, ox_lo), g.ow);
         for (std::int64_t oy = 0; oy < g.oh; ++oy) {
-          const std::int64_t iy = oy * s.stride + ki - s.padding;
-          const bool y_ok = iy >= 0 && iy < g.h;
-          for (std::int64_t ox = 0; ox < g.ow; ++ox) {
-            const std::int64_t ix = ox * s.stride + kj - s.padding;
-            crow[oy * g.ow + ox] = (y_ok && ix >= 0 && ix < g.w)
-                                       ? plane[iy * g.w + ix]
-                                       : T{};
+          const std::int64_t iy = oy * st + ki - s.padding;
+          TDst* orow = crow + oy * g.ow;
+          if (iy < 0 || iy >= g.h) {
+            std::fill(orow, orow + g.ow, TDst{});
+            continue;
           }
+          const TSrc* irow = plane + iy * g.w + off;
+          std::fill(orow, orow + ox_lo, TDst{});
+          if (st == 1) {
+            for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+              orow[ox] = static_cast<TDst>(irow[ox]);
+            }
+          } else {
+            for (std::int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+              orow[ox] = static_cast<TDst>(irow[ox * st]);
+            }
+          }
+          std::fill(orow + ox_hi, orow + g.ow, TDst{});
         }
       }
     }
@@ -80,6 +105,17 @@ Tensor im2col(const Tensor& x, const ConvSpec& spec, std::int64_t n, int g) {
   Tensor cols({gm.icg * spec.kernel * spec.kernel, gm.oh * gm.ow});
   im2col_raw(x.data(), spec, gm, n, g, cols.data());
   return cols;
+}
+
+void im2col_i16(const ITensor& x, const ConvSpec& spec, std::int64_t n,
+                int g, std::vector<std::int16_t>& cols) {
+  spec.validate();
+  check(x.rank() == 4 && x.size(1) == spec.in_channels,
+        "im2col_i16: input must be NCHW with matching channels");
+  const Geometry gm = geom(x.shape(), spec);
+  cols.resize(static_cast<std::size_t>(gm.icg * spec.kernel * spec.kernel
+                                       * gm.oh * gm.ow));
+  im2col_raw(x.data(), spec, gm, n, g, cols.data());
 }
 
 void col2im_accum(const Tensor& cols, const ConvSpec& spec, std::int64_t n,

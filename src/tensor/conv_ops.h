@@ -4,6 +4,9 @@
 // Layouts: activations NCHW, weights [OC, IC/groups, KH, KW].
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "tensor/tensor.h"
 
 namespace t2c {
@@ -53,5 +56,13 @@ Tensor conv2d_backward_weight(const Tensor& grad_out, const Tensor& x,
 /// semantics the deploy graph and the RTL testbench share.
 ITensor iconv2d_forward(const ITensor& x, const ITensor& w,
                         const ITensor* bias, const ConvSpec& spec);
+
+/// Integer im2col into caller-owned int16 scratch `cols` ([ICg*K*K,
+/// OH*OW] flattened, resized as needed) — the patch matrix the packed
+/// int8 conv kernel consumes (tensor/int8_gemm.h). The narrowing cast is
+/// lossless only when the planner's value-range analysis proved the
+/// activations fit int16; callers must check that first.
+void im2col_i16(const ITensor& x, const ConvSpec& spec, std::int64_t n,
+                int g, std::vector<std::int16_t>& cols);
 
 }  // namespace t2c

@@ -1,0 +1,566 @@
+#include "tensor/int8_gemm.h"
+
+#include <algorithm>
+#include <type_traits>
+
+#include "core/parallel.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define T2C_I8_AVX2 1
+#include <immintrin.h>
+#else
+#define T2C_I8_AVX2 0
+#endif
+
+namespace t2c {
+
+namespace i8 {
+
+namespace {
+
+// Per-CPU dispatch for the scalar micro-kernel, same contract as
+// matmul.cpp: GCC clones for the wider SIMD levels and resolves via ifunc
+// at load time, so every thread runs the same clone and the thread-count
+// determinism contract is untouched. Sanitized builds skip the clones.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define T2C_MICROKERNEL_SIMD \
+  __attribute__((target_clones("default", "arch=haswell", "arch=x86-64-v4")))
+#else
+#define T2C_MICROKERNEL_SIMD
+#endif
+
+/// acc[kMr][kNr] = Apack · Bpanel over k2 depth pairs, int16 lanes into
+/// int32 accumulators. Both packs are pair-major ([k2][rows][2]), so every
+/// pair step is kMr two-lane broadcasts plus kNr-wide dual multiply-adds —
+/// the scalar mirror of vpmaddwd. The caller proved (via accum_fits_i32)
+/// that no partial sum leaves int32, so the accumulation never wraps and
+/// equals the int64 reference exactly; integer adds are associative, so
+/// the pairing order changes nothing.
+T2C_MICROKERNEL_SIMD void micro_kernel_i16(const std::int16_t* apack,
+                                           const std::int16_t* bpanel,
+                                           std::int32_t* acc,
+                                           std::int64_t k2) {
+  std::int32_t local[kMr][kNr] = {};
+  for (std::int64_t p2 = 0; p2 < k2; ++p2) {
+    const std::int16_t* bp = bpanel + p2 * kNr * 2;
+    const std::int16_t* ap = apack + p2 * kMr * 2;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const auto a0 = static_cast<std::int32_t>(ap[2 * r]);
+      const auto a1 = static_cast<std::int32_t>(ap[2 * r + 1]);
+      for (std::int64_t j = 0; j < kNr; ++j) {
+        local[r][j] += a0 * static_cast<std::int32_t>(bp[2 * j]) +
+                       a1 * static_cast<std::int32_t>(bp[2 * j + 1]);
+      }
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    for (std::int64_t j = 0; j < kNr; ++j) acc[r * kNr + j] = local[r][j];
+  }
+}
+
+#if T2C_I8_AVX2
+/// vpmaddwd micro-kernel: each madd multiplies 16 int16 lanes and adds
+/// adjacent products, yielding a0*b0 + a1*b1 for eight columns — exactly
+/// one packed depth pair. The pairwise sum is wrap-free unconditionally
+/// (operands are clamped to kOperandMax, and 2 · 32767² < 2^31); the
+/// running int32 adds are covered by the caller's accum_fits_i32 proof.
+/// Pure integer arithmetic in a fixed order: bit-identical to the scalar
+/// kernel at any thread count.
+__attribute__((target("avx2"))) void micro_kernel_avx2(
+    const std::int16_t* apack, const std::int16_t* bpanel, std::int32_t* acc,
+    std::int64_t k2) {
+  static_assert(kMr == 4 && kNr == 32, "register tiling assumes 4x32");
+  __m256i vacc[kMr][kNr / 8];
+  for (auto& row : vacc) {
+    for (auto& v : row) v = _mm256_setzero_si256();
+  }
+  for (std::int64_t p2 = 0; p2 < k2; ++p2) {
+    const auto* bp =
+        reinterpret_cast<const __m256i*>(bpanel + p2 * kNr * 2);
+    const __m256i b0 = _mm256_loadu_si256(bp + 0);
+    const __m256i b1 = _mm256_loadu_si256(bp + 1);
+    const __m256i b2 = _mm256_loadu_si256(bp + 2);
+    const __m256i b3 = _mm256_loadu_si256(bp + 3);
+    const std::int16_t* ap = apack + p2 * kMr * 2;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const auto pair = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(static_cast<std::uint16_t>(ap[2 * r])) |
+          (static_cast<std::uint32_t>(
+               static_cast<std::uint16_t>(ap[2 * r + 1]))
+           << 16));
+      const __m256i av = _mm256_set1_epi32(pair);
+      vacc[r][0] =
+          _mm256_add_epi32(vacc[r][0], _mm256_madd_epi16(av, b0));
+      vacc[r][1] =
+          _mm256_add_epi32(vacc[r][1], _mm256_madd_epi16(av, b1));
+      vacc[r][2] =
+          _mm256_add_epi32(vacc[r][2], _mm256_madd_epi16(av, b2));
+      vacc[r][3] =
+          _mm256_add_epi32(vacc[r][3], _mm256_madd_epi16(av, b3));
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    auto* out = reinterpret_cast<__m256i*>(acc + r * kNr);
+    for (std::int64_t v = 0; v < kNr / 8; ++v) {
+      _mm256_storeu_si256(out + v, vacc[r][v]);
+    }
+  }
+}
+/// AVX-512 variant: one 512-bit load covers a full 32-column pair row, so
+/// each depth pair is 2 loads + per row (broadcast, 2 madd, 2 add) — half
+/// the instruction count of the AVX2 kernel. Same exact integer
+/// arithmetic, same wrap-free bounds.
+__attribute__((target("avx512bw"))) void micro_kernel_avx512(
+    const std::int16_t* apack, const std::int16_t* bpanel, std::int32_t* acc,
+    std::int64_t k2) {
+  static_assert(kMr == 4 && kNr == 32, "register tiling assumes 4x32");
+  __m512i vacc[kMr][kNr / 16];
+  for (auto& row : vacc) {
+    for (auto& v : row) v = _mm512_setzero_si512();
+  }
+  for (std::int64_t p2 = 0; p2 < k2; ++p2) {
+    const auto* bp =
+        reinterpret_cast<const __m512i*>(bpanel + p2 * kNr * 2);
+    const __m512i b0 = _mm512_loadu_si512(bp + 0);
+    const __m512i b1 = _mm512_loadu_si512(bp + 1);
+    const std::int16_t* ap = apack + p2 * kMr * 2;
+    for (std::int64_t r = 0; r < kMr; ++r) {
+      const auto pair = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(static_cast<std::uint16_t>(ap[2 * r])) |
+          (static_cast<std::uint32_t>(
+               static_cast<std::uint16_t>(ap[2 * r + 1]))
+           << 16));
+      const __m512i av = _mm512_set1_epi32(pair);
+      vacc[r][0] =
+          _mm512_add_epi32(vacc[r][0], _mm512_madd_epi16(av, b0));
+      vacc[r][1] =
+          _mm512_add_epi32(vacc[r][1], _mm512_madd_epi16(av, b1));
+    }
+  }
+  for (std::int64_t r = 0; r < kMr; ++r) {
+    auto* out = reinterpret_cast<__m512i*>(acc + r * kNr);
+    _mm512_storeu_si512(out + 0, vacc[r][0]);
+    _mm512_storeu_si512(out + 1, vacc[r][1]);
+  }
+}
+#endif  // T2C_I8_AVX2
+
+using MicroKernelFn = void (*)(const std::int16_t*, const std::int16_t*,
+                               std::int32_t*, std::int64_t);
+
+MicroKernelFn pick_micro_kernel() {
+#if T2C_I8_AVX2
+  if (__builtin_cpu_supports("avx512bw")) return micro_kernel_avx512;
+  if (__builtin_cpu_supports("avx2")) return micro_kernel_avx2;
+#endif
+  return micro_kernel_i16;
+}
+
+/// Resolved once at load; every thread runs the same kernel, so the
+/// thread-count determinism contract holds trivially.
+const MicroKernelFn g_micro_kernel = pick_micro_kernel();
+
+std::int64_t clamp64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+#if T2C_I8_AVX2
+// GCC 12's inliner trips -Wmaybe-uninitialized on the _mm*_maskz_* builtins
+// (the masked-off lanes are "uninitialized" by construction); the zeroing
+// semantics are architectural, so the warning is a false positive.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+/// AVX-512 requant writeback for int64 C lanes, 8 columns per step. Every
+/// lane op (vpmullq multiply, vpsravq shift, min/max clamp) has the exact
+/// 64-bit wrap semantics of the scalar expression, so the emitted bits —
+/// and the saturation count — match write_tile verbatim. Tail lanes are
+/// masked off before the sat popcount so padding never counts.
+__attribute__((target("avx512f,avx512dq,avx512vl"))) void write_tile_avx512(
+    const std::int32_t* acc, std::int64_t* c, std::int64_t ldc,
+    std::int64_t mr, std::int64_t jn, std::int64_t row0, std::int64_t col0,
+    const Epilogue& ep, std::int64_t& sat) {
+  if (ep.mode == Epilogue::Mode::kNone) {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      for (std::int64_t j = 0; j < jn; j += 8) {
+        const auto m = static_cast<__mmask8>(
+            jn - j >= 8 ? 0xff : (1u << (jn - j)) - 1u);
+        const __m256i a = _mm256_maskz_loadu_epi32(m, acc + r * kNr + j);
+        _mm512_mask_storeu_epi64(c + r * ldc + j, m,
+                                 _mm512_cvtepi32_epi64(a));
+      }
+    }
+    return;
+  }
+  const __m512i vlo = _mm512_set1_epi64(ep.lo);
+  const __m512i vhi = _mm512_set1_epi64(ep.hi);
+  const bool check_lo = ep.lo != 0;
+  if (ep.mode != Epilogue::Mode::kPerCol) {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const auto e = static_cast<std::size_t>(
+          ep.mode == Epilogue::Mode::kPerRow ? ep.base + row0 + r : 0);
+      const int f = (ep.frac != nullptr ? ep.frac[e] : ep.frac0) +
+                    ep.bias_frac;
+      const __m512i vmul = _mm512_set1_epi64(ep.mul[e]);
+      const __m512i vbias = _mm512_set1_epi64(ep.bias[e]);
+      const __m512i vhalf =
+          _mm512_set1_epi64(f > 0 ? (std::int64_t{1} << (f - 1)) : 0);
+      const __m512i vf = _mm512_set1_epi64(f);
+      for (std::int64_t j = 0; j < jn; j += 8) {
+        const auto m = static_cast<__mmask8>(
+            jn - j >= 8 ? 0xff : (1u << (jn - j)) - 1u);
+        const __m512i v = _mm512_cvtepi32_epi64(
+            _mm256_maskz_loadu_epi32(m, acc + r * kNr + j));
+        const __m512i t = _mm512_add_epi64(
+            _mm512_slli_epi64(v, static_cast<unsigned>(ep.bias_frac)),
+            vbias);
+        const __m512i y = _mm512_srav_epi64(
+            _mm512_add_epi64(_mm512_mullo_epi64(t, vmul), vhalf), vf);
+        if (ep.count_sat) {
+          __mmask8 sm = _mm512_cmpgt_epi64_mask(y, vhi);
+          if (check_lo) sm |= _mm512_cmplt_epi64_mask(y, vlo);
+          sat += __builtin_popcount(static_cast<unsigned>(sm & m));
+        }
+        _mm512_mask_storeu_epi64(
+            c + r * ldc + j, m,
+            _mm512_min_epi64(vhi, _mm512_max_epi64(vlo, y)));
+      }
+    }
+    return;
+  }
+  // Per-column: the requant entries are contiguous in j, so the constants
+  // load as vectors and amortize over the tile's rows.
+  for (std::int64_t j = 0; j < jn; j += 8) {
+    const auto m = static_cast<__mmask8>(
+        jn - j >= 8 ? 0xff : (1u << (jn - j)) - 1u);
+    const std::size_t e0 = static_cast<std::size_t>(ep.base + col0 + j);
+    const __m512i vmul = _mm512_maskz_loadu_epi64(m, ep.mul + e0);
+    const __m512i vbias = _mm512_maskz_loadu_epi64(m, ep.bias + e0);
+    const __m512i vf = _mm512_add_epi64(
+        ep.frac != nullptr
+            ? _mm512_cvtepi32_epi64(
+                  _mm256_maskz_loadu_epi32(m, ep.frac + e0))
+            : _mm512_set1_epi64(ep.frac0),
+        _mm512_set1_epi64(ep.bias_frac));
+    const __mmask8 pos = _mm512_cmpgt_epi64_mask(vf, _mm512_setzero_si512());
+    const __m512i vhalf = _mm512_maskz_sllv_epi64(
+        pos, _mm512_set1_epi64(1),
+        _mm512_sub_epi64(vf, _mm512_set1_epi64(1)));
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const __m512i v = _mm512_cvtepi32_epi64(
+          _mm256_maskz_loadu_epi32(m, acc + r * kNr + j));
+      const __m512i t = _mm512_add_epi64(
+          _mm512_slli_epi64(v, static_cast<unsigned>(ep.bias_frac)), vbias);
+      const __m512i y = _mm512_srav_epi64(
+          _mm512_add_epi64(_mm512_mullo_epi64(t, vmul), vhalf), vf);
+      if (ep.count_sat) {
+        __mmask8 sm = _mm512_cmpgt_epi64_mask(y, vhi);
+        if (check_lo) sm |= _mm512_cmplt_epi64_mask(y, vlo);
+        sat += __builtin_popcount(static_cast<unsigned>(sm & m));
+      }
+      _mm512_mask_storeu_epi64(
+          c + r * ldc + j, m,
+          _mm512_min_epi64(vhi, _mm512_max_epi64(vlo, y)));
+    }
+  }
+}
+
+#pragma GCC diagnostic pop
+
+const bool g_avx512_epilogue = __builtin_cpu_supports("avx512dq") &&
+                               __builtin_cpu_supports("avx512vl");
+#endif
+
+/// Writes one accumulator tile into C, applying the fused requant. The
+/// fixed-point expression is MulQuantOp::compute verbatim (including the
+/// ReLU exemption in the clip count: a zero floor is activation
+/// semantics, not saturation), so a fused run emits the exact bits the
+/// separate GEMM + MulQuant pair would.
+template <typename OutT>
+void write_tile(const std::int32_t* acc, OutT* c, std::int64_t ldc,
+                std::int64_t mr, std::int64_t jn, std::int64_t row0,
+                std::int64_t col0, const Epilogue& ep, std::int64_t& sat) {
+#if T2C_I8_AVX2
+  if constexpr (std::is_same_v<OutT, std::int64_t>) {
+    if (g_avx512_epilogue) {
+      write_tile_avx512(acc, c, ldc, mr, jn, row0, col0, ep, sat);
+      return;
+    }
+  }
+#endif
+  if (ep.mode == Epilogue::Mode::kNone) {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      for (std::int64_t j = 0; j < jn; ++j) {
+        c[r * ldc + j] = static_cast<OutT>(acc[r * kNr + j]);
+      }
+    }
+    return;
+  }
+  if (ep.mode != Epilogue::Mode::kPerCol) {
+    // Scalar / per-row: one requant entry covers a whole output row, so
+    // the fixed-point constants hoist out of the column loop.
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const auto e = static_cast<std::size_t>(
+          ep.mode == Epilogue::Mode::kPerRow ? ep.base + row0 + r : 0);
+      const int f = (ep.frac != nullptr ? ep.frac[e] : ep.frac0) +
+                    ep.bias_frac;
+      const std::int64_t half = f > 0 ? (std::int64_t{1} << (f - 1)) : 0;
+      const std::int64_t mul_e = ep.mul[e];
+      const std::int64_t bias_e = ep.bias[e];
+      for (std::int64_t j = 0; j < jn; ++j) {
+        const auto v = static_cast<std::int64_t>(acc[r * kNr + j]);
+        const std::int64_t y =
+            (mul_e * ((v << ep.bias_frac) + bias_e) + half) >> f;
+        if (ep.count_sat && (y > ep.hi || (ep.lo != 0 && y < ep.lo))) ++sat;
+        c[r * ldc + j] = static_cast<OutT>(clamp64(y, ep.lo, ep.hi));
+      }
+    }
+    return;
+  }
+  // Per-column: walk columns in the outer loop so each entry's constants
+  // amortize over the tile's rows.
+  for (std::int64_t j = 0; j < jn; ++j) {
+    const auto e = static_cast<std::size_t>(ep.base + col0 + j);
+    const int f = (ep.frac != nullptr ? ep.frac[e] : ep.frac0) +
+                  ep.bias_frac;
+    const std::int64_t half = f > 0 ? (std::int64_t{1} << (f - 1)) : 0;
+    const std::int64_t mul_e = ep.mul[e];
+    const std::int64_t bias_e = ep.bias[e];
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const auto v = static_cast<std::int64_t>(acc[r * kNr + j]);
+      const std::int64_t y =
+          (mul_e * ((v << ep.bias_frac) + bias_e) + half) >> f;
+      if (ep.count_sat && (y > ep.hi || (ep.lo != 0 && y < ep.lo))) ++sat;
+      c[r * ldc + j] = static_cast<OutT>(clamp64(y, ep.lo, ep.hi));
+    }
+  }
+}
+
+/// Packs columns [j0, j0 + jn) of a row-major B (all k rows) into a
+/// pair-major kNr-wide int16 panel ([k2][kNr][2]), zero-padded on the
+/// right edge and on an odd-k tail. ST is the caller's lane type (int64
+/// graph values or int16 im2col scratch); narrowing is safe by the
+/// caller's int16 operand proof.
+template <typename ST>
+void pack_b_panel_i16(const ST* b, std::int16_t* dst, std::int64_t k,
+                      std::int64_t jn, std::int64_t b_rs, std::int64_t b_cs,
+                      std::int64_t j0) {
+  const std::int64_t k2 = (k + 1) / 2;
+  for (std::int64_t p2 = 0; p2 < k2; ++p2) {
+    const std::int64_t p = 2 * p2;
+    const ST* src0 = b + p * b_rs + j0 * b_cs;
+    const ST* src1 = p + 1 < k ? src0 + b_rs : nullptr;
+    std::int16_t* row = dst + p2 * kNr * 2;
+    for (std::int64_t j = 0; j < jn; ++j) {
+      row[2 * j] = static_cast<std::int16_t>(src0[j * b_cs]);
+      row[2 * j + 1] =
+          src1 != nullptr ? static_cast<std::int16_t>(src1[j * b_cs])
+                          : std::int16_t{0};
+    }
+    for (std::int64_t j = jn; j < kNr; ++j) {
+      row[2 * j] = 0;
+      row[2 * j + 1] = 0;
+    }
+  }
+}
+
+/// Interleaved pair-major A pack of one kMr row block ([k2][kMr][2]),
+/// edge rows and an odd-k tail zero-filled. AT is the caller's lane type.
+template <typename AT>
+void pack_a_block_i16(const AT* a, std::int16_t* apack, std::int64_t i0,
+                      std::int64_t mr, std::int64_t k) {
+  const std::int64_t k2 = (k + 1) / 2;
+  for (std::int64_t p2 = 0; p2 < k2; ++p2) {
+    const std::int64_t p = 2 * p2;
+    std::int16_t* ap = apack + p2 * kMr * 2;
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const AT* src = a + (i0 + r) * k + p;
+      ap[2 * r] = static_cast<std::int16_t>(src[0]);
+      ap[2 * r + 1] =
+          p + 1 < k ? static_cast<std::int16_t>(src[1]) : std::int16_t{0};
+    }
+    for (std::int64_t r = mr; r < kMr; ++r) {
+      ap[2 * r] = 0;
+      ap[2 * r + 1] = 0;
+    }
+  }
+}
+
+template <typename AT, typename OutT>
+void gemm_b_packed_impl(const AT* a, const PackedB& pb, OutT* c,
+                        std::int64_t m, const Epilogue& ep, bool threaded) {
+  const std::int64_t k = pb.k;
+  const std::int64_t k2 = pb.k2;
+  const std::int64_t n = pb.n;
+  const std::int64_t mblocks = (m + kMr - 1) / kMr;
+  const auto row_blocks = [&](std::int64_t ib0, std::int64_t ib1) {
+    std::vector<std::int16_t> apack(static_cast<std::size_t>(kMr * k2 * 2));
+    std::int32_t acc[kMr * kNr];
+    std::int64_t sat = 0;
+    for (std::int64_t ib = ib0; ib < ib1; ++ib) {
+      const std::int64_t i0 = ib * kMr;
+      const std::int64_t mr = std::min(kMr, m - i0);
+      pack_a_block_i16(a, apack.data(), i0, mr, k);
+      for (std::int64_t jp = 0; jp < pb.npanels; ++jp) {
+        g_micro_kernel(apack.data(), pb.panels.data() + jp * k2 * kNr * 2,
+                       acc, k2);
+        write_tile(acc, c + i0 * n + jp * kNr, n, mr,
+                   std::min(kNr, n - jp * kNr), i0, jp * kNr, ep, sat);
+      }
+    }
+    if (ep.sat != nullptr && sat != 0) {
+      ep.sat->fetch_add(sat, std::memory_order_relaxed);
+    }
+  };
+  if (threaded) {
+    par::parallel_for(0, mblocks, 1, row_blocks);
+  } else {
+    row_blocks(0, mblocks);
+  }
+}
+
+template <typename BT>
+void gemm_a_packed_impl(const PackedA& pa, std::int64_t group, const BT* b,
+                        std::int64_t* c, std::int64_t n, const Epilogue& ep,
+                        bool threaded) {
+  const std::int64_t k = pa.k;
+  const std::int64_t k2 = pa.k2;
+  const std::int64_t m = pa.m;
+  const std::int64_t npanels = (n + kNr - 1) / kNr;
+  std::vector<std::int16_t> packed(
+      static_cast<std::size_t>(npanels * k2 * kNr * 2));
+  const auto pack = [&](std::int64_t jp0, std::int64_t jp1) {
+    for (std::int64_t jp = jp0; jp < jp1; ++jp) {
+      pack_b_panel_i16(b, packed.data() + jp * k2 * kNr * 2, k,
+                       std::min(kNr, n - jp * kNr), n, 1, jp * kNr);
+    }
+  };
+  const auto row_blocks = [&](std::int64_t ib0, std::int64_t ib1) {
+    std::int32_t acc[kMr * kNr];
+    std::int64_t sat = 0;
+    for (std::int64_t ib = ib0; ib < ib1; ++ib) {
+      const std::int64_t i0 = ib * kMr;
+      const std::int16_t* ablock =
+          pa.blocks.data() + (group * pa.mblocks + ib) * k2 * kMr * 2;
+      for (std::int64_t jp = 0; jp < npanels; ++jp) {
+        g_micro_kernel(ablock, packed.data() + jp * k2 * kNr * 2, acc, k2);
+        write_tile(acc, c + i0 * n + jp * kNr, n, std::min(kMr, m - i0),
+                   std::min(kNr, n - jp * kNr), i0, jp * kNr, ep, sat);
+      }
+    }
+    if (ep.sat != nullptr && sat != 0) {
+      ep.sat->fetch_add(sat, std::memory_order_relaxed);
+    }
+  };
+  if (threaded) {
+    par::parallel_for(0, npanels, 1, pack);
+    par::parallel_for(0, pa.mblocks, 1, row_blocks);
+  } else {
+    pack(0, npanels);
+    row_blocks(0, pa.mblocks);
+  }
+}
+
+}  // namespace
+
+bool accum_fits_i32(std::int64_t k, std::int64_t a_max, std::int64_t w_max) {
+  if (k <= 0 || a_max < 0 || w_max < 0) return false;
+  if (a_max > kOperandMax || w_max > kOperandMax) return false;
+  const __int128 bound = static_cast<__int128>(k) * a_max * w_max;
+  return bound < (static_cast<__int128>(1) << 31);
+}
+
+std::int64_t PackedB::bytes() const {
+  return static_cast<std::int64_t>(panels.size() * sizeof(std::int16_t) +
+                                   col_offsets.size() * sizeof(std::int32_t));
+}
+
+std::shared_ptr<const PackedB> pack_b(const std::int64_t* b, std::int64_t k,
+                                      std::int64_t n, bool trans_b) {
+  auto pb = std::make_shared<PackedB>();
+  pb->k = k;
+  pb->n = n;
+  pb->npanels = (n + kNr - 1) / kNr;
+  pb->k2 = (k + 1) / 2;
+  pb->panels.resize(static_cast<std::size_t>(pb->npanels * pb->k2 * kNr * 2));
+  pb->col_offsets.resize(static_cast<std::size_t>(n));
+  const std::int64_t b_rs = trans_b ? 1 : n;
+  const std::int64_t b_cs = trans_b ? k : 1;
+  for (std::int64_t jp = 0; jp < pb->npanels; ++jp) {
+    pack_b_panel_i16(b, pb->panels.data() + jp * pb->k2 * kNr * 2, k,
+                     std::min(kNr, n - jp * kNr), b_rs, b_cs, jp * kNr);
+  }
+  for (std::int64_t j = 0; j < n; ++j) {
+    std::int64_t sum = 0;
+    for (std::int64_t p = 0; p < k; ++p) sum += b[p * b_rs + j * b_cs];
+    pb->col_offsets[static_cast<std::size_t>(j)] =
+        static_cast<std::int32_t>(sum);
+  }
+  return pb;
+}
+
+std::int64_t PackedA::bytes() const {
+  return static_cast<std::int64_t>(blocks.size() * sizeof(std::int16_t) +
+                                   row_offsets.size() * sizeof(std::int32_t));
+}
+
+std::shared_ptr<const PackedA> pack_a(const std::int64_t* a, std::int64_t m,
+                                      std::int64_t k, std::int64_t groups) {
+  auto pa = std::make_shared<PackedA>();
+  pa->m = m;
+  pa->k = k;
+  pa->groups = groups;
+  pa->mblocks = (m + kMr - 1) / kMr;
+  pa->k2 = (k + 1) / 2;
+  pa->blocks.resize(
+      static_cast<std::size_t>(groups * pa->mblocks * pa->k2 * kMr * 2));
+  pa->row_offsets.resize(static_cast<std::size_t>(groups * m));
+  for (std::int64_t g = 0; g < groups; ++g) {
+    const std::int64_t* ag = a + g * m * k;
+    for (std::int64_t ib = 0; ib < pa->mblocks; ++ib) {
+      const std::int64_t i0 = ib * kMr;
+      pack_a_block_i16(
+          ag,
+          pa->blocks.data() + (g * pa->mblocks + ib) * pa->k2 * kMr * 2, i0,
+          std::min(kMr, m - i0), k);
+    }
+    for (std::int64_t r = 0; r < m; ++r) {
+      std::int64_t sum = 0;
+      for (std::int64_t p = 0; p < k; ++p) sum += ag[r * k + p];
+      pa->row_offsets[static_cast<std::size_t>(g * m + r)] =
+          static_cast<std::int32_t>(sum);
+    }
+  }
+  return pa;
+}
+
+void gemm_b_packed(const std::int64_t* a, const PackedB& pb, std::int64_t* c,
+                   std::int64_t m, const Epilogue& ep, bool threaded) {
+  gemm_b_packed_impl(a, pb, c, m, ep, threaded);
+}
+
+void gemm_b_packed(const std::int64_t* a, const PackedB& pb, std::int16_t* c,
+                   std::int64_t m, const Epilogue& ep, bool threaded) {
+  gemm_b_packed_impl(a, pb, c, m, ep, threaded);
+}
+
+void gemm_b_packed(const std::int16_t* a, const PackedB& pb, std::int64_t* c,
+                   std::int64_t m, const Epilogue& ep, bool threaded) {
+  gemm_b_packed_impl(a, pb, c, m, ep, threaded);
+}
+
+void gemm_a_packed(const PackedA& pa, std::int64_t group,
+                   const std::int64_t* b, std::int64_t* c, std::int64_t n,
+                   const Epilogue& ep, bool threaded) {
+  gemm_a_packed_impl(pa, group, b, c, n, ep, threaded);
+}
+
+void gemm_a_packed(const PackedA& pa, std::int64_t group,
+                   const std::int16_t* b, std::int64_t* c, std::int64_t n,
+                   const Epilogue& ep, bool threaded) {
+  gemm_a_packed_impl(pa, group, b, c, n, ep, threaded);
+}
+
+}  // namespace i8
+
+}  // namespace t2c

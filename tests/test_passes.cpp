@@ -317,7 +317,8 @@ TEST(PassesTest, CheckpointRoundTripsAtEveryOptLevel) {
 TEST(PassesTest, PassManagerReportsPerPassStats) {
   DeployModel dm = foldable_graph();
   const auto stats = PassManager::pipeline(2).run(dm);
-  ASSERT_EQ(stats.size(), 4u);  // validate, fold_requants, dedup, dve
+  // validate, fold_requants, dedup, dve, fuse_requant_gemm
+  ASSERT_EQ(stats.size(), 5u);
   EXPECT_EQ(stats[0].name, "validate");
   EXPECT_EQ(stats[0].changes, 0u);
   EXPECT_EQ(stats[1].name, "fold_requants");
@@ -325,6 +326,101 @@ TEST(PassesTest, PassManagerReportsPerPassStats) {
   EXPECT_EQ(stats[3].name, "dve");
   EXPECT_GE(stats[3].changes, 1u);
   EXPECT_LT(stats[3].ops_after, stats[0].ops_before);
+  EXPECT_EQ(stats[4].name, "fuse_requant_gemm");
+  // The annotation pass never rewrites the graph shape.
+  EXPECT_EQ(stats[4].ops_after, stats[4].ops_before);
+}
+
+// ---- int8 kernel selection (overflow gating) ----
+
+// With the default +/-127 input range and the full int16 weight magnitude,
+// K = 516 is the deepest dot product whose worst-case partial sum
+// 516 * 127 * 32767 = 2147287044 still sits below 2^31.
+constexpr std::int64_t kJustFitsDepth = 516;
+
+/// Input -> IntLinear([1 x k] all `wval`) -> per-tensor MulQuant.
+DeployModel linear_graph(std::int64_t k, std::int64_t wval) {
+  DeployModel dm;
+  ITensor w({1, k});
+  for (std::int64_t i = 0; i < k; ++i) w[i] = wval;
+  const int v1 = add(dm, std::make_unique<IntLinearOp>(std::move(w)), {0});
+  const int v2 = add(dm, scalar_mq(3, 5, 12, -127, 127), {v1});
+  dm.set_output(v2);
+  return dm;
+}
+
+const IntLinearOp& linear_at(const DeployModel& dm, std::size_t i) {
+  const auto* ln = dynamic_cast<const IntLinearOp*>(&dm.op(i));
+  EXPECT_NE(ln, nullptr);
+  return *ln;
+}
+
+TEST(KernelGateTest, JustFittingDepthSelectsInt8AndStaysBitIdentical) {
+  DeployModel ref = linear_graph(kJustFitsDepth, i8::kOperandMax);
+  DeployModel opt = linear_graph(kJustFitsDepth, i8::kOperandMax);
+  EXPECT_GE(pass_fuse_requant_into_gemm(opt), 1u);
+  const GemmKernelPlan& kp = linear_at(opt, 0).kernel_plan();
+  EXPECT_TRUE(kp.i8);
+  EXPECT_TRUE(kp.fuse);
+  // Drive the fused kernel through the worst-case accumulation the gate
+  // just proved safe: an all +/-127 input against the all-32767 weight
+  // lands the int32 accumulator within 196604 of wrap-around.
+  ITensor x({1, kJustFitsDepth});
+  for (std::int64_t i = 0; i < kJustFitsDepth; ++i) {
+    x[i] = i % 3 == 0 ? -127 : 127;
+  }
+  expect_bit_identical(ref.run_int(x), opt.run_int(x), "just-fits mixed");
+  for (std::int64_t i = 0; i < kJustFitsDepth; ++i) x[i] = 127;
+  expect_bit_identical(ref.run_int(x), opt.run_int(x), "just-fits peak");
+}
+
+TEST(KernelGateTest, OneExtraDepthStepOverflowsAndKeepsI64) {
+  // K = 517 pushes the worst case to 2151448453 >= 2^31: the proof fails
+  // and the plan must stay on the exact i64 path with the reason recorded.
+  DeployModel dm = linear_graph(kJustFitsDepth + 1, i8::kOperandMax);
+  pass_fuse_requant_into_gemm(dm);
+  const GemmKernelPlan& kp = linear_at(dm, 0).kernel_plan();
+  EXPECT_FALSE(kp.i8);
+  EXPECT_FALSE(kp.fuse);
+  EXPECT_EQ(kp.reason, "overflow");
+}
+
+TEST(KernelGateTest, UpstreamClampNarrowsTheRangeAndUnlocksInt8) {
+  // A depth-1000 full-magnitude dot overflows from the raw +/-127 input
+  // (1000 * 127 * 32767 ~ 4.2e9)...
+  DeployModel wide = linear_graph(1000, i8::kOperandMax);
+  pass_fuse_requant_into_gemm(wide);
+  EXPECT_FALSE(linear_at(wide, 0).kernel_plan().i8);
+  EXPECT_EQ(linear_at(wide, 0).kernel_plan().reason, "overflow");
+  // ...but an upstream clamp to [-3, 3] re-proves it: 1000 * 3 * 32767
+  // stays far below 2^31, so the same layer now takes the int8 kernel.
+  DeployModel dm;
+  const int v1 = add(dm, scalar_mq(1, 0, 0, -3, 3), {0});
+  ITensor w({1, 1000});
+  for (std::int64_t i = 0; i < w.numel(); ++i) w[i] = i8::kOperandMax;
+  const int v2 = add(dm, std::make_unique<IntLinearOp>(std::move(w)), {v1});
+  const int v3 = add(dm, scalar_mq(3, 5, 12, -127, 127), {v2});
+  dm.set_output(v3);
+  EXPECT_GE(pass_fuse_requant_into_gemm(dm), 1u);
+  const GemmKernelPlan& kp = linear_at(dm, 1).kernel_plan();
+  EXPECT_TRUE(kp.i8);
+  EXPECT_TRUE(kp.fuse);
+}
+
+TEST(KernelGateTest, WideOperandsNeverSelectInt8) {
+  // A single weight above the int16 ceiling disqualifies the layer no
+  // matter how shallow the dot product is...
+  DeployModel dm = linear_graph(1, i8::kOperandMax + 1);
+  pass_fuse_requant_into_gemm(dm);
+  EXPECT_FALSE(linear_at(dm, 0).kernel_plan().i8);
+  EXPECT_EQ(linear_at(dm, 0).kernel_plan().reason, "overflow");
+  // ...and so does an input range outside int16, even with weight 1.
+  DeployModel act = linear_graph(1, 1);
+  act.input_qmin = -(i8::kOperandMax + 1);
+  act.input_qmax = i8::kOperandMax + 1;
+  pass_fuse_requant_into_gemm(act);
+  EXPECT_FALSE(linear_at(act, 0).kernel_plan().i8);
+  EXPECT_EQ(linear_at(act, 0).kernel_plan().reason, "overflow");
 }
 
 // ---- execution plan + arena ----

@@ -105,8 +105,11 @@ TEST_F(ProfileTest, ConvAndLinearCostsFollowShapes) {
   const std::int64_t expect_macs = y.numel() * 4 * 3 * 3;
   EXPECT_EQ(cc.macs, expect_macs);
   EXPECT_EQ(cc.flops, 2 * expect_macs);
-  EXPECT_EQ(cc.bytes_read, (x.numel() + 6 * 4 * 3 * 3) * 8);
-  EXPECT_EQ(cc.bytes_written, y.numel() * 8);
+  // i64 path: the im2col scratch (written once, read back by the GEMM) is
+  // part of the modeled traffic — cols = n * ic * k^2 * oh * ow patches.
+  const std::int64_t cols = 2 * 4 * 3 * 3 * 8 * 8;
+  EXPECT_EQ(cc.bytes_read, (x.numel() + 2 * cols + 6 * 4 * 3 * 3) * 8);
+  EXPECT_EQ(cc.bytes_written, (y.numel() + cols) * 8);
 
   const IntLinearOp fc(ITensor({5, 16}));
   ITensor fx({3, 16});
@@ -114,6 +117,10 @@ TEST_F(ProfileTest, ConvAndLinearCostsFollowShapes) {
   const obs::OpCost lc = fc.cost({&fx}, fy);
   EXPECT_EQ(lc.macs, 3 * 5 * 16);
   EXPECT_EQ(lc.flops, 2 * lc.macs);
+  // i64 linear reads x + the packed weight panels, and charges the one-
+  // time panel pack as written-once traffic.
+  EXPECT_EQ(lc.bytes_read, (fx.numel() + 5 * 16) * 8);
+  EXPECT_EQ(lc.bytes_written, (fy.numel() + 5 * 16) * 8);
 
   // Element-wise default (IntAdd): one flop per output element, traffic =
   // both operands read + output written.

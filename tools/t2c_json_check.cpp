@@ -13,7 +13,8 @@
 // present, every row carries the call/FLOP/byte fields with sane
 // (non-negative) values, and any pmu block is internally consistent.
 // Bench checks (t2c.bench.v1): every bench carries build_info + rows, row
-// names are unique per bench, reps >= 5, and the min/mean/p50/p95/stddev
+// names are unique per bench, reps >= 5, any optional "kernel" code-path
+// tag is a [a-z0-9_]+ identifier, and the min/mean/p50/p95/stddev
 // fields are present with min <= mean.
 // Prometheus checks (--prom FILE): text exposition format 0.0.4 — every
 // sample's family has HELP and TYPE lines that precede it, TYPE is one of
@@ -204,6 +205,18 @@ void check_bench(const std::string& path) {
       }
       check(row.at("min_ms").number <= row.at("mean_ms").number + 1e-9,
             path + ": " + bench + "/" + name + " min_ms > mean_ms");
+      if (row.has("kernel")) {
+        // Optional code-path tag (t2c_perf_diff keys kernel switches off
+        // it): must be a non-empty [a-z0-9_]+ identifier.
+        check(row.at("kernel").is_string() && !row.at("kernel").str.empty(),
+              path + ": " + bench + "/" + name + " kernel must be a "
+              "non-empty string");
+        for (const char c : row.at("kernel").str) {
+          check((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_',
+                path + ": " + bench + "/" + name + " kernel has invalid "
+                "character '" + std::string(1, c) + "'");
+        }
+      }
       ++rows;
     }
   }

@@ -18,7 +18,10 @@
 // with T2C_BENCH_PMU on the hardware counter tier) is the per-rep IPC
 // coefficient of variation — an unstable IPC means the machine moved, not
 // the code, so the window widens. delta = new/old - 1 beyond +window is
-// `regressed`, beyond -window is `improved`, inside is `noise`.
+// `regressed`, beyond -window is `improved`, inside is `noise`. Rows that
+// carry a "kernel" tag on both sides and disagree are classified `added`:
+// a kernel switch (e.g. gemm_i64 -> gemm_i8_fused) is a new measurement,
+// not a delta of the old one.
 //
 // Output is a markdown table (stdout, or --markdown PATH). Exit status: 0
 // when nothing regressed, 1 when any row regressed (suppressed by --soft
@@ -48,6 +51,7 @@ struct RowStat {
   double stat_ms = 0.0;  ///< min_ms, or mean_ms for legacy rows
   double cv = 0.0;       ///< stddev_ms / mean_ms
   double ipc_cv = 0.0;   ///< 0 when the row carries no PMU data
+  std::string kernel;    ///< code-path tag; empty for untagged rows
 };
 
 struct Options {
@@ -106,6 +110,7 @@ std::map<std::string, RowStat> load_rows(const JsonValue& doc,
       const double stddev = num_or(row, "stddev_ms", 0.0);
       if (mean > 0.0) s.cv = stddev / mean;
       s.ipc_cv = num_or(row, "ipc_cv", 0.0);
+      if (row.has("kernel")) s.kernel = row.at("kernel").str;
       out[bench + "/" + row.at("name").str] = s;
     }
   }
@@ -136,6 +141,15 @@ std::vector<Verdict> classify(const std::map<std::string, RowStat>& olds,
       continue;
     }
     v.new_ms = it->second.stat_ms;
+    if (!o.kernel.empty() && !it->second.kernel.empty() &&
+        o.kernel != it->second.kernel) {
+      // Same row name, different code path: the old timing measured a
+      // kernel that no longer runs, so there is nothing to regress
+      // against — restart the row's history.
+      v.klass = "added";
+      out.push_back(std::move(v));
+      continue;
+    }
     v.window = window_of(o, it->second, opt);
     v.delta = o.stat_ms > 0.0 ? v.new_ms / v.old_ms - 1.0 : 0.0;
     if (v.delta > v.window) {
@@ -208,27 +222,37 @@ int selftest(const Options& opt) {
                       "{\"build_info\":{},\"rows\":[" + rows + "]}}}");
   };
   const auto row = [](const char* name, double min_ms, double mean_ms,
-                      double stddev_ms, double ipc_cv) {
-    char buf[256];
+                      double stddev_ms, double ipc_cv,
+                      const char* kernel = nullptr) {
+    char buf[320];
     std::snprintf(buf, sizeof(buf),
                   "{\"name\":\"%s\",\"reps\":9,\"min_ms\":%.4f,"
                   "\"mean_ms\":%.4f,\"p50_ms\":%.4f,\"p95_ms\":%.4f,"
-                  "\"stddev_ms\":%.4f,\"ipc_cv\":%.4f}",
+                  "\"stddev_ms\":%.4f,\"ipc_cv\":%.4f",
                   name, min_ms, mean_ms, mean_ms, mean_ms * 1.1, stddev_ms,
                   ipc_cv);
-    return std::string(buf);
+    std::string out(buf);
+    if (kernel != nullptr) {
+      out += std::string(",\"kernel\":\"") + kernel + "\"";
+    }
+    return out + "}";
   };
-  // old: four stable rows. new: slow regressed 20%; jitter moved 3%;
+  // old: five stable rows. new: slow regressed 20%; jitter moved 3%;
   // shifted moved 20% but with wildly unstable IPC (machine, not code);
-  // fast improved 30%.
+  // fast improved 30%; switched improved 4x but on a different kernel
+  // tag, so its history restarts instead of reading as an improvement.
   const JsonValue olds = doc(row("slow", 10.0, 10.2, 0.05, 0.01) + "," +
                              row("jitter", 5.0, 5.1, 0.04, 0.01) + "," +
                              row("shifted", 8.0, 8.1, 0.05, 0.01) + "," +
-                             row("fast", 20.0, 20.3, 0.1, 0.01));
+                             row("fast", 20.0, 20.3, 0.1, 0.01) + "," +
+                             row("switched", 8.0, 8.1, 0.05, 0.01,
+                                 "gemm_i64"));
   const JsonValue news = doc(row("slow", 12.0, 12.2, 0.05, 0.01) + "," +
                              row("jitter", 5.15, 5.3, 0.04, 0.01) + "," +
                              row("shifted", 9.6, 9.8, 0.05, 0.08) + "," +
                              row("fast", 14.0, 14.2, 0.1, 0.01) + "," +
+                             row("switched", 2.0, 2.1, 0.02, 0.01,
+                                 "gemm_i8_fused") + "," +
                              row("brand_new", 1.0, 1.0, 0.01, 0.0));
   const std::vector<Verdict> vs =
       classify(load_rows(olds, "old"), load_rows(news, "new"), opt);
@@ -250,8 +274,9 @@ int selftest(const Options& opt) {
   expect("jitter", "noise");
   expect("shifted", "noise");
   expect("fast", "improved");
+  expect("switched", "added");
   expect("brand_new", "added");
-  std::printf(failures == 0 ? "selftest OK (5 cases)\n"
+  std::printf(failures == 0 ? "selftest OK (6 cases)\n"
                             : "selftest: %d failure(s)\n",
               failures);
   return failures == 0 ? 0 : 1;
