@@ -17,6 +17,7 @@
 #include "tensor/conv_ops.h"
 #include "tensor/int8_gemm.h"
 #include "tensor/matmul.h"
+#include "tensor/solver.h"
 #include "util/rng.h"
 
 namespace {
@@ -110,30 +111,36 @@ int main() {
     return s.mean_ms;
   };
 
+  // Kernel tags come from the solver registry's vocabulary (the same
+  // names --plan-dump and --list-solvers print); t2c_perf_diff treats a
+  // tag switch as a new measurement rather than a regression.
   const double naive_f_ms =
       gemm_row("gemm_f32_512_naive", gemm_macs,
                [&] { cf.zero(); naive_gemm_f32(af.data(), bf.data(),
-                                               cf.data(), n, n, n); }, 1);
+                                               cf.data(), n, n, n); }, 1,
+               "gemm_f32_naive");
   const double tiled_f_ms =
       gemm_row("gemm_f32_512_tiled", gemm_macs,
                [&] { cf.zero(); gemm_f32(af.data(), bf.data(), cf.data(), n,
-                                         n, n, false, false, true); }, 1);
+                                         n, n, false, false, true); }, 1,
+               "gemm_f32_tiled");
   // Distinct row name for the full-pool run: JSON row names are unique
   // keys for the regression comparator.
   const double tiled_f_mt_ms =
       gemm_row("gemm_f32_512_tiled_mt", gemm_macs,
                [&] { cf.zero(); gemm_f32(af.data(), bf.data(), cf.data(), n,
                                          n, n, false, false, true); },
-               hw_threads);
+               hw_threads, "gemm_f32_tiled");
   const double naive_i_ms =
       gemm_row("gemm_i64_512_naive", gemm_macs,
                [&] { ci.zero(); naive_gemm_i64(ai.data(), bi.data(),
-                                               ci.data(), n, n, n); }, 1);
+                                               ci.data(), n, n, n); }, 1,
+               "gemm_i64_naive");
   const double tiled_i_ms =
       gemm_row("gemm_i64_512_tiled", gemm_macs,
                [&] { ci.zero(); gemm_i64(ai.data(), bi.data(), ci.data(), n,
                                          n, n, false, false, true); }, 1,
-               "gemm_i64");
+               "gemm_i64_tiled");
 
   // ---- int8-native packed GEMM (tensor/int8_gemm.h) ----
   // Weights are prepacked outside the timed region, exactly as the
@@ -147,6 +154,20 @@ int main() {
     b16[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(bi[i]);
   }
   const auto pb8 = i8::pack_b(bi.data(), n, n, false);
+  // The packed-row tags are the solver the registry would actually pick
+  // for this shape (micro-kernel width included), asked rather than
+  // hard-coded so they can never drift from the registry's table.
+  const auto solver_tag = [&](bool fused) {
+    solver::Problem sp;
+    sp.op = solver::OpKind::kLinearInt;
+    sp.n = n;
+    sp.k = n;
+    sp.a_max = 127;
+    sp.w_max = 127;
+    sp.epilogue = fused;
+    if (!fused) sp.epilogue_reason = "consumer";
+    return solver::Registry::instance().choose(sp).name;
+  };
   const std::int64_t mq8_mul[] = {181};
   const std::int64_t mq8_bias[] = {0};
   i8::Epilogue ep8;
@@ -169,19 +190,19 @@ int main() {
                  i8::gemm_b_packed(ai.data(), *pb8, ci.data(), n,
                                    i8::Epilogue{}, true);
                },
-               1, "gemm_i8_packed");
+               1, solver_tag(false));
   const double fused_i8_ms =
       gemm_row("gemm_i8_512_fused", gemm_macs,
                [&] {
                  i8::gemm_b_packed(ai.data(), *pb8, ci.data(), n, ep8, true);
                },
-               1, "gemm_i8_fused");
+               1, solver_tag(true));
   gemm_row("gemm_i8_512_packed_mt", gemm_macs,
            [&] {
              i8::gemm_b_packed(ai.data(), *pb8, ci.data(), n, i8::Epilogue{},
                                true);
            },
-           hw_threads, "gemm_i8_packed");
+           hw_threads, solver_tag(false));
 
   // ---- conv2d forward: ResNet-ish mid-stage shape ----
   const ConvSpec cs = [] {

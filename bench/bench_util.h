@@ -145,9 +145,10 @@ struct BenchStat {
   /// the machine, not the code, moved).
   double ipc = 0.0;
   double ipc_cv = 0.0;
-  /// Which code path produced the timing (e.g. "gemm_i8_fused",
-  /// "gemm_i64"); empty = untagged. t2c_perf_diff treats a row whose
-  /// kernel changed as a new measurement, not a regression of the old one.
+  /// Which code path produced the timing — a solver-registry name such
+  /// as "gemm_i8_fused_avx512" or "gemm_i64_tiled"; empty = untagged.
+  /// t2c_perf_diff treats a row whose kernel changed as a new
+  /// measurement, not a regression of the old one.
   std::string kernel;
 };
 

@@ -60,10 +60,11 @@ class DeployOp {
   virtual ITensor run(const std::vector<const ITensor*>& ins) const = 0;
   virtual std::string kind() const = 0;
 
-  /// Kernel the op would select under the current plan annotations —
-  /// "gemm_i8_fused", "gemm_i8", "gemm_i64(<fallback reason>)", ... —
-  /// surfaced in the profiler's kernel column and --plan-dump. Empty for
-  /// ops with a single implementation.
+  /// Kernel the op would select under the current plan annotations: the
+  /// solver name chosen by the registry ("gemm_i8_fused_avx512",
+  /// "attn_i16", ...) or "gemm_i64(<fallback reason>)" when every narrow
+  /// solver declined — surfaced in the profiler's kernel column and
+  /// --plan-dump. Empty for ops with a single implementation.
   virtual std::string kernel() const { return {}; }
 
   /// Prepacked static operands for the op's narrow kernel (tensor/

@@ -125,10 +125,10 @@ ExecutionPlan ExecutionPlan::compile(const DeployModel& dm) {
     const DeployOp& op = dm.op(static_cast<std::size_t>(i));
     const auto* cv = dynamic_cast<const IntConv2dOp*>(&op);
     const auto* ln = dynamic_cast<const IntLinearOp*>(&op);
-    const GemmKernelPlan* kp =
-        cv != nullptr ? &cv->kernel_plan()
-                      : (ln != nullptr ? &ln->kernel_plan() : nullptr);
-    if (kp == nullptr || !kp->fuse ||
+    const solver::SolverChoice* sc =
+        cv != nullptr ? &cv->solver_choice()
+                      : (ln != nullptr ? &ln->solver_choice() : nullptr);
+    if (sc == nullptr || !sc->fuse ||
         p.packed_[static_cast<std::size_t>(i)] == nullptr) {
       continue;
     }
@@ -264,14 +264,10 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         // (fused-away) step reports zero cost — its work is charged to the
         // producer's fused kernel.
         const obs::OpCost c = skip ? obs::OpCost{} : op.cost(ins, out);
-        std::string kstr;
-        if (skip) {
-          kstr = "fused";
-        } else if (pw != nullptr) {
-          kstr = fmq != nullptr ? "gemm_i8_fused" : "gemm_i8";
-        } else {
-          kstr = op.kernel();
-        }
+        // The profiler tag is the solver name chosen at compile time
+        // (kernel() reports it for GEMM-backed ops), so plan dump, bench
+        // and profile all speak the registry's vocabulary.
+        const std::string kstr = skip ? "fused" : op.kernel();
         obs::profiler().record_step(key, ms, c, pmu ? &sample : nullptr,
                                     kstr);
         if (met) {

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "tensor/matmul.h"
+#include "util/cpuinfo.h"
 
 namespace t2c {
 
@@ -161,9 +162,14 @@ __attribute__((target("avx512f"))) void add_span_avx512(
 
 #pragma GCC diagnostic pop
 
-const bool g_mq_avx512 = __builtin_cpu_supports("avx512dq") &&
-                         __builtin_cpu_supports("avx512vl");
-const bool g_add_avx512 = __builtin_cpu_supports("avx512f");
+/// Elementwise AVX-512 paths gate on the shared cpuinfo tier (bit-exact
+/// vs. their scalar mirrors, so the tier cap only affects speed).
+bool mq_avx512() {
+  return util::cpu_isa_tier() >= util::IsaTier::kAvx512;
+}
+bool add_avx512() {
+  return util::cpu_isa_tier() >= util::IsaTier::kAvx512;
+}
 #else
 #define T2C_MQ_AVX512 0
 #endif
@@ -265,7 +271,7 @@ void MulQuantOp::compute(const ITensor& x, ITensor& out) const {
           [&](std::int64_t i0, std::int64_t i1, int slot) {
             std::int64_t sat = 0;
 #if T2C_MQ_AVX512
-            if (g_mq_avx512) {
+            if (mq_avx512()) {
               mq_span_avx512(x.data() + i0, out.data() + i0, i1 - i0,
                              mul_[0], bias_[0], bias_frac_,
                              frac_[0] + bias_frac_, out_min_, out_max_, prof,
@@ -295,7 +301,7 @@ void MulQuantOp::compute(const ITensor& x, ITensor& out) const {
               const auto ic = static_cast<std::size_t>(p % c);
               const std::int64_t base = p * hw;
 #if T2C_MQ_AVX512
-              if (g_mq_avx512) {
+              if (mq_avx512()) {
                 mq_span_avx512(x.data() + base, out.data() + base, hw,
                                mul_[ic], bias_[ic], bias_frac_,
                                frac_[ic] + bias_frac_, out_min_, out_max_,
@@ -321,7 +327,7 @@ void MulQuantOp::compute(const ITensor& x, ITensor& out) const {
           [&](std::int64_t r0, std::int64_t r1, int slot) {
             std::int64_t sat = 0;
 #if T2C_MQ_AVX512
-            if (g_mq_avx512) {
+            if (mq_avx512()) {
               mq_rows_avx512(x.data() + r0 * d, out.data() + r0 * d,
                              r1 - r0, d, mul_.data(), bias_.data(),
                              frac_.data(), bias_frac_, out_min_, out_max_,
@@ -357,13 +363,13 @@ ITensor IntConv2dOp::run(const std::vector<const ITensor*>& ins) const {
 }
 
 std::string IntConv2dOp::kernel() const {
-  if (kplan_.i8) return kplan_.fuse ? "gemm_i8_fused" : "gemm_i8";
-  return kplan_.reason.empty() ? "gemm_i64"
-                               : "gemm_i64(" + kplan_.reason + ")";
+  if (choice_.i8) return choice_.name;
+  return choice_.reason.empty() ? "gemm_i64"
+                                : "gemm_i64(" + choice_.reason + ")";
 }
 
 std::shared_ptr<const PackedWeights> IntConv2dOp::pack_weights() const {
-  if (!kplan_.i8) return nullptr;
+  if (!choice_.i8) return nullptr;
   const std::int64_t kk =
       (spec_.in_channels / spec_.groups) * spec_.kernel * spec_.kernel;
   return i8::pack_a(weight_.data(), spec_.out_channels / spec_.groups, kk,
@@ -416,7 +422,7 @@ void IntConv2dOp::run_packed(const std::vector<const ITensor*>& ins,
       std::int64_t* oslice =
           out.data() + (in * spec_.out_channels + grp * ocg) * ohw;
       i8::gemm_a_packed(*pa, grp, cols.data(), oslice, ohw, ep,
-                        /*threaded=*/single);
+                        /*threaded=*/single, choice_.mk);
     }
   });
   if (prof) fused->record_sats(sats.load(std::memory_order_relaxed));
@@ -442,13 +448,13 @@ ITensor IntLinearOp::run(const std::vector<const ITensor*>& ins) const {
 }
 
 std::string IntLinearOp::kernel() const {
-  if (kplan_.i8) return kplan_.fuse ? "gemm_i8_fused" : "gemm_i8";
-  return kplan_.reason.empty() ? "gemm_i64"
-                               : "gemm_i64(" + kplan_.reason + ")";
+  if (choice_.i8) return choice_.name;
+  return choice_.reason.empty() ? "gemm_i64"
+                                : "gemm_i64(" + choice_.reason + ")";
 }
 
 std::shared_ptr<const PackedWeights> IntLinearOp::pack_weights() const {
-  if (!kplan_.i8) return nullptr;
+  if (!choice_.i8) return nullptr;
   // W is [OUT, IN] consumed as B^T: pack_b with trans_b folds the transpose
   // into the panel layout once, at plan-compile time.
   return i8::pack_b(weight_.data(), weight_.size(1), weight_.size(0),
@@ -482,7 +488,8 @@ void IntLinearOp::run_packed(const std::vector<const ITensor*>& ins,
       ep.count_sat = true;
     }
   }
-  i8::gemm_b_packed(x.data(), *pb, out.data(), rows, ep, /*threaded=*/true);
+  i8::gemm_b_packed(x.data(), *pb, out.data(), rows, ep, /*threaded=*/true,
+                    choice_.mk);
   if (prof) fused->record_sats(sats.load(std::memory_order_relaxed));
 }
 
@@ -523,7 +530,7 @@ void IntAddOp::compute(const ITensor& a, const ITensor& b,
                     [&](std::int64_t i0, std::int64_t i1, int slot) {
                       std::int64_t sat = 0;
 #if T2C_MQ_AVX512
-                      if (g_add_avx512) {
+                      if (add_avx512()) {
                         add_span_avx512(a.data() + i0, b.data() + i0,
                                         out.data() + i0, i1 - i0, out_min_,
                                         out_max_, prof, sat);
@@ -797,14 +804,14 @@ obs::OpCost IntConv2dOp::cost(const std::vector<const ITensor*>& ins,
   const std::int64_t ohw = out.size(2) * out.size(3);
   const std::int64_t cols =
       ins[0]->size(0) * spec_.in_channels * k * k * ohw;
-  if (kplan_.i8) {
+  if (choice_.i8) {
     // im2col reads x (i64) and writes int16 cols directly; the kernel
     // re-reads cols while panel-packing and streams prepacked int16
     // weight blocks once.
     c.bytes_read = lane_bytes(ins[0]->numel()) + 2 * cols +
                    2 * weight_.numel();
     c.bytes_written = lane_bytes(out.numel()) + 2 * cols;
-    if (kplan_.fuse) {
+    if (choice_.fuse) {
       c.macs += out.numel();
       c.flops += 3 * out.numel();
     }
@@ -824,12 +831,12 @@ obs::OpCost IntLinearOp::cost(const std::vector<const ITensor*>& ins,
   const std::int64_t rows = ins[0]->numel() / in;
   c.macs = rows * weight_.size(0) * in;
   c.flops = 2 * c.macs;
-  if (kplan_.i8) {
+  if (choice_.i8) {
     // Activations narrowed on the fly; weight panels prepacked int16 and
     // streamed once (panel reuse across row blocks hits cache).
     c.bytes_read = lane_bytes(ins[0]->numel()) + 2 * weight_.numel();
     c.bytes_written = lane_bytes(out.numel());
-    if (kplan_.fuse) {
+    if (choice_.fuse) {
       c.macs += out.numel();
       c.flops += 3 * out.numel();
     }

@@ -8,21 +8,19 @@
 #include "deploy/deploy_model.h"
 #include "tensor/conv_ops.h"
 #include "tensor/int8_gemm.h"
+#include "tensor/solver.h"
 
 namespace t2c {
 
-/// Kernel selection for a GEMM-backed op, computed by
-/// pass_fuse_requant_into_gemm (deploy/passes.h) from value-range
-/// analysis. Default (all false) is the bit-exact int64 path; `i8` means
-/// the int16-operand/int32-accumulator packed kernel is proven safe;
-/// `fuse` additionally folds the single consuming MulQuant into the GEMM
-/// epilogue. `reason` records why the narrow kernel was declined
-/// ("overflow", "layout", ...) for --plan-dump and the profiler.
-struct GemmKernelPlan {
-  bool i8 = false;
-  bool fuse = false;
-  std::string reason;
-};
+// Kernel selection for the GEMM-backed ops is a solver::SolverChoice
+// computed by pass_select_solvers (deploy/passes.h): the pass builds a
+// solver::Problem from value-range analysis and graph structure and asks
+// the registry. The default-constructed choice (empty name) is the
+// bit-exact int64 path; `i8` means a packed narrow kernel was chosen
+// (with `mk` naming its micro-kernel), `fuse` folds the single consuming
+// MulQuant into the GEMM epilogue, and `reason` records why a preferred
+// solver was declined ("overflow", "layout", ...) for --plan-dump and
+// the profiler.
 
 /// How a MulQuant's per-entry parameters map onto the value layout.
 enum class MqLayout {
@@ -122,13 +120,13 @@ class IntConv2dOp final : public DeployOp {
   const ITensor& weight() const { return weight_; }
   const ConvSpec& spec() const { return spec_; }
 
-  const GemmKernelPlan& kernel_plan() const { return kplan_; }
-  void set_kernel_plan(GemmKernelPlan kp) { kplan_ = std::move(kp); }
+  const solver::SolverChoice& solver_choice() const { return choice_; }
+  void set_solver_choice(solver::SolverChoice c) { choice_ = std::move(c); }
 
  private:
   ITensor weight_;
   ConvSpec spec_;
-  GemmKernelPlan kplan_;
+  solver::SolverChoice choice_;
 };
 
 /// Integer fully-connected layer over [..., IN] token/feature rows.
@@ -149,12 +147,12 @@ class IntLinearOp final : public DeployOp {
 
   const ITensor& weight() const { return weight_; }
 
-  const GemmKernelPlan& kernel_plan() const { return kplan_; }
-  void set_kernel_plan(GemmKernelPlan kp) { kplan_ = std::move(kp); }
+  const solver::SolverChoice& solver_choice() const { return choice_; }
+  void set_solver_choice(solver::SolverChoice c) { choice_ = std::move(c); }
 
  private:
   ITensor weight_;
-  GemmKernelPlan kplan_;
+  solver::SolverChoice choice_;
 };
 
 /// Elementwise integer add of two same-shape values, with clamp.

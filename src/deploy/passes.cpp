@@ -5,10 +5,12 @@
 #include <map>
 #include <sstream>
 
+#include "core/parallel.h"
 #include "deploy/int_ops.h"
 #include "deploy/vit_ops.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "tensor/solver.h"
 #include "util/check.h"
 
 namespace t2c {
@@ -289,8 +291,9 @@ std::size_t pass_dve(DeployModel& dm) {
   return dm.erase_ops(keep);
 }
 
-std::size_t pass_fuse_requant_into_gemm(DeployModel& dm) {
+std::size_t pass_select_solvers(DeployModel& dm) {
   const auto ranges = compute_value_ranges(dm);
+  solver::Registry& reg = solver::Registry::instance();
   std::size_t changes = 0;
   for (std::size_t i = 0; i < dm.num_ops(); ++i) {
     DeployOp& op = dm.mutable_op(i);
@@ -300,7 +303,7 @@ std::size_t pass_fuse_requant_into_gemm(DeployModel& dm) {
     };
     if (auto* at = dynamic_cast<IntAttentionOp*>(&op)) {
       const std::int64_t b = in_abs();
-      at->set_input_bound(b == kI64Max ? 0 : b);
+      at->set_input_bound(b == kI64Max ? 0 : b);  // consults the registry
       if (at->kernel() == "attn_i16") ++changes;
       continue;
     }
@@ -308,51 +311,58 @@ std::size_t pass_fuse_requant_into_gemm(DeployModel& dm) {
     auto* ln = dynamic_cast<IntLinearOp*>(&op);
     if (cv == nullptr && ln == nullptr) continue;
     const ITensor& w = cv != nullptr ? cv->weight() : ln->weight();
-    const std::int64_t kdepth =
-        cv != nullptr ? (cv->spec().in_channels / cv->spec().groups) *
-                            cv->spec().kernel * cv->spec().kernel
-                      : w.size(1);
-    const std::int64_t a_max = in_abs();
-    const std::int64_t w_max = max_abs_elem(w);
-    GemmKernelPlan kp;
-    if (a_max > i8::kOperandMax || w_max > i8::kOperandMax ||
-        !i8::accum_fits_i32(kdepth, a_max, w_max)) {
-      // The int32 accumulator cannot be proven safe; K · max|a| · max|w|
-      // reaches 2^31 (or an operand leaves int16). Keep the exact i64 path.
-      kp.reason = "overflow";
+    // Assemble the selection key: geometry, value-range bounds (the int8
+    // overflow proof lives in solver applicability now), and whether the
+    // accumulator's single consumer offers a fusable requant epilogue.
+    solver::Problem p;
+    if (cv != nullptr) {
+      p.op = solver::OpKind::kConvInt;
+      p.m = cv->spec().out_channels / cv->spec().groups;
+      p.n = -1;  // output pixels are batch/input-size dependent
+      p.k = (cv->spec().in_channels / cv->spec().groups) * cv->spec().kernel *
+            cv->spec().kernel;
+      p.groups = cv->spec().groups;
     } else {
-      kp.i8 = true;
-      ++changes;
-      // Epilogue fusion additionally needs the accumulator's single
-      // consumer to be a layout-compatible MulQuant (and the raw
-      // accumulator must not itself be the graph output).
-      const auto& cons = dm.consumers_of(v);
-      const MulQuantOp* mq =
-          cons.size() == 1 && v != dm.output_id()
-              ? dynamic_cast<const MulQuantOp*>(
-                    &dm.op(static_cast<std::size_t>(cons[0])))
-              : nullptr;
-      if (mq == nullptr) {
-        kp.reason = cons.size() == 1 ? "consumer" : "shared";
-      } else if (cv != nullptr) {
-        // Conv entries follow the channel (GEMM-row) axis.
-        kp.fuse = mq->layout() == MqLayout::kPerTensor ||
-                  (mq->layout() == MqLayout::kChannelNCHW &&
-                   mq->mul().size() ==
-                       static_cast<std::size_t>(cv->spec().out_channels));
-        if (!kp.fuse) kp.reason = "layout";
+      p.op = solver::OpKind::kLinearInt;
+      p.m = -1;  // token/row count is batch dependent
+      p.n = w.size(0);
+      p.k = w.size(1);
+    }
+    p.a_max = in_abs();
+    p.w_max = max_abs_elem(w);
+    p.threads = par::max_threads();
+    const auto& cons = dm.consumers_of(v);
+    const MulQuantOp* mq =
+        cons.size() == 1 && v != dm.output_id()
+            ? dynamic_cast<const MulQuantOp*>(
+                  &dm.op(static_cast<std::size_t>(cons[0])))
+            : nullptr;
+    if (mq == nullptr) {
+      p.epilogue_reason = cons.size() == 1 ? "consumer" : "shared";
+    } else {
+      // Conv entries follow the channel (GEMM-row) axis, linear entries
+      // the feature (GEMM-column) axis.
+      const bool ok =
+          cv != nullptr
+              ? mq->layout() == MqLayout::kPerTensor ||
+                    (mq->layout() == MqLayout::kChannelNCHW &&
+                     mq->mul().size() ==
+                         static_cast<std::size_t>(cv->spec().out_channels))
+              : mq->layout() == MqLayout::kPerTensor ||
+                    (mq->layout() == MqLayout::kLastDim &&
+                     mq->mul().size() == static_cast<std::size_t>(w.size(0)));
+      if (ok) {
+        p.epilogue = true;
       } else {
-        // Linear entries follow the feature (GEMM-column) axis.
-        kp.fuse = mq->layout() == MqLayout::kPerTensor ||
-                  (mq->layout() == MqLayout::kLastDim &&
-                   mq->mul().size() == static_cast<std::size_t>(w.size(0)));
-        if (!kp.fuse) kp.reason = "layout";
+        p.epilogue_reason = "layout";
       }
     }
+    solver::SolverChoice choice = reg.choose(p);
+    if (choice.i8) ++changes;
     if (cv != nullptr) {
-      cv->set_kernel_plan(std::move(kp));
+      cv->set_solver_choice(std::move(choice));
     } else {
-      ln->set_kernel_plan(std::move(kp));
+      ln->set_solver_choice(std::move(choice));
     }
   }
   // Kernel annotations are baked into the compiled plan (weight packing and
@@ -406,9 +416,9 @@ PassManager PassManager::pipeline(int opt_level) {
     pm.add("dedup", pass_dedup);
     pm.add("dve", pass_dve);
   }
-  // Kernel annotation runs on the final graph shape so the single-consumer
+  // Solver selection runs on the final graph shape so the single-consumer
   // fusion test sees the post-DVE use lists.
-  if (opt_level >= 2) pm.add("fuse_requant_gemm", pass_fuse_requant_into_gemm);
+  if (opt_level >= 2) pm.add("select_solvers", pass_select_solvers);
   return pm;
 }
 

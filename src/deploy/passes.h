@@ -50,17 +50,18 @@ std::size_t pass_fold_requants(DeployModel& dm);
 std::size_t pass_dedup(DeployModel& dm);
 std::size_t pass_dve(DeployModel& dm);
 
-/// Annotates GEMM-backed ops with their kernel selection (DESIGN.md
-/// §3.11): a conv/linear whose operands provably fit int16 with the
-/// K-deep accumulation inside int32 (K · max|a| · max|w| < 2^31, from
-/// compute_value_ranges) is marked for the packed int8-native kernel, and
-/// additionally for a fused requant epilogue when its single consumer is a
-/// layout-compatible MulQuant. IntAttention ops get their proven input
-/// bound for the int16 stream path. Purely an annotation pass — the graph
-/// structure, op count, and every audit artifact are untouched; the
-/// ExecutionPlan reads the annotations at compile time. Returns the number
-/// of ops switched to a narrow kernel.
-std::size_t pass_fuse_requant_into_gemm(DeployModel& dm);
+/// Annotates GEMM-backed ops with their solver choice (DESIGN.md §3.12):
+/// for each conv/linear the pass assembles a solver::Problem — geometry,
+/// value-range bounds from compute_value_ranges (feeding the int8
+/// overflow proof K · max|a| · max|w| < 2^31), and whether the single
+/// consumer is a layout-compatible MulQuant offering a fusable requant
+/// epilogue — and asks the solver registry. IntAttention ops get their
+/// proven input bound, which routes through the registry's attention
+/// list. Purely an annotation pass — the graph structure, op count, and
+/// every audit artifact are untouched; the ExecutionPlan reads the
+/// annotations at compile time. Returns the number of ops switched to a
+/// narrow kernel.
+std::size_t pass_select_solvers(DeployModel& dm);
 
 /// Outcome of one pass over one graph.
 struct PassStats {
@@ -84,9 +85,8 @@ class PassManager {
   /// The standard pipeline:
   ///   0: validate only (the graph exactly as emitted)
   ///   1: validate + dedup + dve
-  ///   2: validate + fold_requants + dedup + dve + fuse_requant_gemm
-  ///      (default; the kernel-annotation pass runs last, on the final
-  ///      graph shape)
+  ///   2: validate + fold_requants + dedup + dve + select_solvers
+  ///      (default; solver selection runs last, on the final graph shape)
   static PassManager pipeline(int opt_level);
 
  private:

@@ -17,6 +17,7 @@
 
 #include "core/parallel.h"
 #include "nn/activations.h"
+#include "util/cpuinfo.h"
 
 namespace t2c {
 
@@ -88,8 +89,9 @@ __attribute__((target("avx512f,avx512dq,avx512vl"))) void ln_row_avx512(
 
 #pragma GCC diagnostic pop
 
-const bool g_ln_avx512 = __builtin_cpu_supports("avx512dq") &&
-                         __builtin_cpu_supports("avx512vl");
+bool ln_avx512() {
+  return util::cpu_isa_tier() >= util::IsaTier::kAvx512;
+}
 #endif
 
 }  // namespace
@@ -277,7 +279,7 @@ ITensor IntLayerNormOp::run(const std::vector<const ITensor*>& ins) const {
             // single branch-free pass over the row.
             const int sh = stat_frac_ - f;
 #if T2C_LN_AVX512
-            if (g_ln_avx512) {
+            if (ln_avx512()) {
               ln_row_avx512(px, po, d, mean_int_, inv_sigma_fx_, sh,
                             gamma_fx_.data(), beta_fx_.data(), f, half2f,
                             out_min_, out_max_);
@@ -345,32 +347,43 @@ IntAttentionOp::IntAttentionOp(IntAttentionParams params)
   }
   // Both projections consume W as B^T ([rows=out, cols=in] row-major), the
   // same orientation IntLinearOp packs. Panels are only built when the
-  // weights fit int16; whether they are ever used is decided by
-  // i16_eligible() once the pass proves an input bound.
+  // weights fit int16; whether they are ever used is decided by the solver
+  // registry once the pass proves an input bound.
   if (wq_max_ <= i8::kOperandMax && wp_max_ <= i8::kOperandMax) {
     pbqkv_ = i8::pack_b(p_.wqkv.data(), d, 3 * d, /*trans_b=*/true);
     pbproj_ = i8::pack_b(p_.wproj.data(), d, d, /*trans_b=*/true);
   }
+  set_input_bound(0);  // seed choice_ with the int64 fallback
 }
 
-bool IntAttentionOp::i16_eligible() const {
-  if (input_bound_ <= 0 || pbqkv_ == nullptr) return false;
+bool IntAttentionOp::static_i16_ok() const {
+  if (pbqkv_ == nullptr) return false;
   const std::int64_t d = p_.wqkv.size(1);
   const std::int64_t dh = d / p_.heads;
   const std::int64_t sb = abs_bound(p_.stream_min, p_.stream_max);
   const std::int64_t cb = abs_bound(p_.ctx_min, p_.ctx_max);
-  return input_bound_ <= i8::kOperandMax &&
-         i8::accum_fits_i32(d, input_bound_, wq_max_) &&   // qkv projection
-         sb <= i8::kOperandMax &&
+  return sb <= i8::kOperandMax &&
          i8::accum_fits_i32(dh, sb, sb) &&                 // q * k^T logits
          p_.p_qmax <= i8::kOperandMax &&                   // probs as int16
          cb <= i8::kOperandMax &&
          i8::accum_fits_i32(d, cb, wp_max_);               // out projection
 }
 
-std::string IntAttentionOp::kernel() const {
-  return i16_eligible() ? "attn_i16" : "attn_i64";
+void IntAttentionOp::set_input_bound(std::int64_t bound) {
+  input_bound_ = bound;
+  const std::int64_t d = p_.wqkv.size(1);
+  solver::Problem p;
+  p.op = solver::OpKind::kAttnInt;
+  p.n = d / p_.heads;
+  p.k = d;
+  p.a_max = bound;
+  p.w_max = wq_max_;
+  p.aux_ok = static_i16_ok();
+  p.threads = par::max_threads();
+  choice_ = solver::Registry::instance().choose(p);
 }
+
+std::string IntAttentionOp::kernel() const { return choice_.name; }
 
 ITensor IntAttentionOp::run(const std::vector<const ITensor*>& ins) const {
   check(ins.size() == 1 && ins[0] != nullptr, "IntAttention: one input");
@@ -378,7 +391,7 @@ ITensor IntAttentionOp::run(const std::vector<const ITensor*>& ins) const {
   check(x.rank() == 3, "IntAttention: input must be [N,T,D]");
   // The p*v accumulation depth is the (runtime) token count, so its int32
   // bound is the one eligibility term checked per run.
-  if (i16_eligible() &&
+  if (choice_.i8 &&
       i8::accum_fits_i32(x.size(1), p_.p_qmax,
                          abs_bound(p_.stream_min, p_.stream_max))) {
     return run_i16(x);
@@ -497,7 +510,7 @@ ITensor IntAttentionOp::run(const std::vector<const ITensor*>& ins) const {
 // reproduces the bhalf rounding term of the hand loop above); the
 // logits/softmax/context stages keep the loop order and the int64 softmax
 // arithmetic, narrowing only the stream operands and accumulators that
-// i16_eligible() proved safe. Integer arithmetic without overflow is
+// the solver gate proved safe. Integer arithmetic without overflow is
 // exact, so outputs match the int64 path bit for bit at any thread count.
 ITensor IntAttentionOp::run_i16(const ITensor& x) const {
   const std::int64_t n = x.size(0), t = x.size(1), d = x.size(2);
@@ -523,7 +536,7 @@ ITensor IntAttentionOp::run_i16(const ITensor& x) const {
   // context accumulators, int16 normalized probabilities (<= p_qmax). On
   // x86_64 the dot products run on SSE2 pmaddwd (pairwise int32 sums are
   // wrap-free: 2 * 32767^2 < 2^31, and the running totals are covered by
-  // the i16_eligible accumulation proof); integer adds are associative,
+  // the solver gate's accumulation proof); integer adds are associative,
   // so the reassociated sums match the scalar loops bit for bit.
   const auto last = static_cast<std::int64_t>(p_.softmax_lut.size()) - 1;
   const std::int64_t rs = 3 * d;  // token row stride inside the qkv scratch
@@ -810,8 +823,8 @@ obs::OpCost IntAttentionOp::cost(const std::vector<const ITensor*>& ins,
   c.flops = 2 * c.macs + 6 * n * t * d + 4 * n * h * t * t;
   // The narrow kernel streams prepacked int16 weight panels and int16
   // qkv/ctx scratch (2-byte lanes); the int64 path moves 8-byte lanes.
-  const std::int64_t wlane = i16_eligible() ? 2 : 8;
-  const std::int64_t slane = i16_eligible() ? 2 : 8;
+  const std::int64_t wlane = choice_.i8 ? 2 : 8;
+  const std::int64_t slane = choice_.i8 ? 2 : 8;
   c.bytes_read =
       operand_bytes64(ins) +
       wlane * (p_.wqkv.numel() + p_.wproj.numel()) +

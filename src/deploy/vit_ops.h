@@ -7,6 +7,7 @@
 
 #include "deploy/deploy_model.h"
 #include "tensor/int8_gemm.h"
+#include "tensor/solver.h"
 
 namespace t2c {
 
@@ -145,20 +146,28 @@ class IntAttentionOp final : public DeployOp {
   const IntAttentionParams& params() const { return p_; }
 
   /// Proven bound on |input| from value-range analysis, set by
-  /// pass_fuse_requant_into_gemm; 0 (the default) keeps the int64 path.
-  /// With a bound proven, every matmul stage whose int32 accumulation
-  /// provably cannot overflow runs on int16 streams through the prepacked
-  /// panels (bit-identical — all integer arithmetic is exact).
-  void set_input_bound(std::int64_t bound) { input_bound_ = bound; }
+  /// pass_select_solvers; 0 (the default) keeps the int64 path. The bound
+  /// feeds a solver::Problem (op=kAttnInt) and the registry's attention
+  /// list decides between attn_i16 and attn_i64: with a bound proven,
+  /// every matmul stage whose int32 accumulation provably cannot overflow
+  /// runs on int16 streams through the prepacked panels (bit-identical —
+  /// all integer arithmetic is exact).
+  void set_input_bound(std::int64_t bound);
   std::int64_t input_bound() const { return input_bound_; }
 
+  const solver::SolverChoice& solver_choice() const { return choice_; }
+
  private:
-  /// Shape-independent eligibility of the narrow path (the token-count-
-  /// dependent p*v bound is re-checked per run).
-  bool i16_eligible() const;
+  /// Bound-independent eligibility terms of the narrow path (packed
+  /// panels exist, stream/probability/context grids fit the int16
+  /// kernels). Feeds Problem.aux_ok; the input-bound-dependent overflow
+  /// proof lives in the registry's attn_i16 applicability gate, and the
+  /// token-count-dependent p*v bound is re-checked per run.
+  bool static_i16_ok() const;
   ITensor run_i16(const ITensor& x) const;
 
   IntAttentionParams p_;
+  solver::SolverChoice choice_;
   std::int64_t input_bound_ = 0;
   std::int64_t wq_max_ = 0, wp_max_ = 0;  ///< max |w| of wqkv / wproj
   /// Weight panels packed once at construction when the weights fit int16

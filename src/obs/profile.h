@@ -48,10 +48,11 @@ struct OpCost {
 /// One aggregated table row of a ProfileReport.
 struct ProfileRow {
   std::string key;  ///< `<kind>[:<label>]`, the deploy.op_ms key
-  /// Kernel the executor selected for this op ("gemm_i8_fused", "gemm_i8",
-  /// "gemm_i64(<fallback reason>)", "attn_i16", "fused" for a MulQuant
-  /// folded into its producer's epilogue, ...). Empty for single-
-  /// implementation ops.
+  /// Kernel the executor selected for this op: the registry's solver name
+  /// ("gemm_i8_fused_avx512", "attn_i16", ...),
+  /// "gemm_i64(<fallback reason>)" when every narrow solver declined, or
+  /// "fused" for a MulQuant folded into its producer's epilogue. Empty for
+  /// single-implementation ops.
   std::string kernel;
   std::int64_t calls = 0;
   double total_ms = 0.0;

@@ -4,6 +4,7 @@
 #include <type_traits>
 
 #include "core/parallel.h"
+#include "util/cpuinfo.h"
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define T2C_I8_AVX2 1
@@ -149,17 +150,34 @@ __attribute__((target("avx512bw"))) void micro_kernel_avx512(
 using MicroKernelFn = void (*)(const std::int16_t*, const std::int16_t*,
                                std::int32_t*, std::int64_t);
 
-MicroKernelFn pick_micro_kernel() {
+/// Maps the caller's MicroKernel request onto a function pointer,
+/// downgrading to the best variant the CPU tier supports. kAuto picks the
+/// widest available — the pre-registry behavior. The resolved pointer is
+/// captured once per GEMM call and shared by every worker, so all threads
+/// run the same variant and the determinism contract holds; the variants
+/// compute identical integer arithmetic anyway, so even a mid-run tier
+/// change could not alter the bits.
+MicroKernelFn resolve_micro_kernel(MicroKernel mk) {
 #if T2C_I8_AVX2
-  if (__builtin_cpu_supports("avx512bw")) return micro_kernel_avx512;
-  if (__builtin_cpu_supports("avx2")) return micro_kernel_avx2;
+  const util::IsaTier tier = util::cpu_isa_tier();
+  if (mk == MicroKernel::kAuto) {
+    mk = tier >= util::IsaTier::kAvx512  ? MicroKernel::kAvx512
+         : tier >= util::IsaTier::kAvx2 ? MicroKernel::kAvx2
+                                         : MicroKernel::kScalar;
+  }
+  if (mk == MicroKernel::kAvx512 && tier < util::IsaTier::kAvx512) {
+    mk = MicroKernel::kAvx2;
+  }
+  if (mk == MicroKernel::kAvx2 && tier < util::IsaTier::kAvx2) {
+    mk = MicroKernel::kScalar;
+  }
+  if (mk == MicroKernel::kAvx512) return micro_kernel_avx512;
+  if (mk == MicroKernel::kAvx2) return micro_kernel_avx2;
+#else
+  (void)mk;
 #endif
   return micro_kernel_i16;
 }
-
-/// Resolved once at load; every thread runs the same kernel, so the
-/// thread-count determinism contract holds trivially.
-const MicroKernelFn g_micro_kernel = pick_micro_kernel();
 
 std::int64_t clamp64(std::int64_t v, std::int64_t lo, std::int64_t hi) {
   return std::min(hi, std::max(lo, v));
@@ -267,8 +285,11 @@ __attribute__((target("avx512f,avx512dq,avx512vl"))) void write_tile_avx512(
 
 #pragma GCC diagnostic pop
 
-const bool g_avx512_epilogue = __builtin_cpu_supports("avx512dq") &&
-                               __builtin_cpu_supports("avx512vl");
+/// The AVX-512 writeback is bit-identical to the scalar expression, so it
+/// engages on tier alone (the micro-kernel choice does not constrain it).
+bool avx512_epilogue() {
+  return util::cpu_isa_tier() >= util::IsaTier::kAvx512;
+}
 #endif
 
 /// Writes one accumulator tile into C, applying the fused requant. The
@@ -282,7 +303,7 @@ void write_tile(const std::int32_t* acc, OutT* c, std::int64_t ldc,
                 std::int64_t col0, const Epilogue& ep, std::int64_t& sat) {
 #if T2C_I8_AVX2
   if constexpr (std::is_same_v<OutT, std::int64_t>) {
-    if (g_avx512_epilogue) {
+    if (avx512_epilogue()) {
       write_tile_avx512(acc, c, ldc, mr, jn, row0, col0, ep, sat);
       return;
     }
@@ -388,7 +409,9 @@ void pack_a_block_i16(const AT* a, std::int16_t* apack, std::int64_t i0,
 
 template <typename AT, typename OutT>
 void gemm_b_packed_impl(const AT* a, const PackedB& pb, OutT* c,
-                        std::int64_t m, const Epilogue& ep, bool threaded) {
+                        std::int64_t m, const Epilogue& ep, bool threaded,
+                        MicroKernel mk) {
+  const MicroKernelFn kf = resolve_micro_kernel(mk);
   const std::int64_t k = pb.k;
   const std::int64_t k2 = pb.k2;
   const std::int64_t n = pb.n;
@@ -402,8 +425,7 @@ void gemm_b_packed_impl(const AT* a, const PackedB& pb, OutT* c,
       const std::int64_t mr = std::min(kMr, m - i0);
       pack_a_block_i16(a, apack.data(), i0, mr, k);
       for (std::int64_t jp = 0; jp < pb.npanels; ++jp) {
-        g_micro_kernel(apack.data(), pb.panels.data() + jp * k2 * kNr * 2,
-                       acc, k2);
+        kf(apack.data(), pb.panels.data() + jp * k2 * kNr * 2, acc, k2);
         write_tile(acc, c + i0 * n + jp * kNr, n, mr,
                    std::min(kNr, n - jp * kNr), i0, jp * kNr, ep, sat);
       }
@@ -422,7 +444,8 @@ void gemm_b_packed_impl(const AT* a, const PackedB& pb, OutT* c,
 template <typename BT>
 void gemm_a_packed_impl(const PackedA& pa, std::int64_t group, const BT* b,
                         std::int64_t* c, std::int64_t n, const Epilogue& ep,
-                        bool threaded) {
+                        bool threaded, MicroKernel mk) {
+  const MicroKernelFn kf = resolve_micro_kernel(mk);
   const std::int64_t k = pa.k;
   const std::int64_t k2 = pa.k2;
   const std::int64_t m = pa.m;
@@ -443,7 +466,7 @@ void gemm_a_packed_impl(const PackedA& pa, std::int64_t group, const BT* b,
       const std::int16_t* ablock =
           pa.blocks.data() + (group * pa.mblocks + ib) * k2 * kMr * 2;
       for (std::int64_t jp = 0; jp < npanels; ++jp) {
-        g_micro_kernel(ablock, packed.data() + jp * k2 * kNr * 2, acc, k2);
+        kf(ablock, packed.data() + jp * k2 * kNr * 2, acc, k2);
         write_tile(acc, c + i0 * n + jp * kNr, n, std::min(kMr, m - i0),
                    std::min(kNr, n - jp * kNr), i0, jp * kNr, ep, sat);
       }
@@ -535,30 +558,33 @@ std::shared_ptr<const PackedA> pack_a(const std::int64_t* a, std::int64_t m,
 }
 
 void gemm_b_packed(const std::int64_t* a, const PackedB& pb, std::int64_t* c,
-                   std::int64_t m, const Epilogue& ep, bool threaded) {
-  gemm_b_packed_impl(a, pb, c, m, ep, threaded);
+                   std::int64_t m, const Epilogue& ep, bool threaded,
+                   MicroKernel mk) {
+  gemm_b_packed_impl(a, pb, c, m, ep, threaded, mk);
 }
 
 void gemm_b_packed(const std::int64_t* a, const PackedB& pb, std::int16_t* c,
-                   std::int64_t m, const Epilogue& ep, bool threaded) {
-  gemm_b_packed_impl(a, pb, c, m, ep, threaded);
+                   std::int64_t m, const Epilogue& ep, bool threaded,
+                   MicroKernel mk) {
+  gemm_b_packed_impl(a, pb, c, m, ep, threaded, mk);
 }
 
 void gemm_b_packed(const std::int16_t* a, const PackedB& pb, std::int64_t* c,
-                   std::int64_t m, const Epilogue& ep, bool threaded) {
-  gemm_b_packed_impl(a, pb, c, m, ep, threaded);
+                   std::int64_t m, const Epilogue& ep, bool threaded,
+                   MicroKernel mk) {
+  gemm_b_packed_impl(a, pb, c, m, ep, threaded, mk);
 }
 
 void gemm_a_packed(const PackedA& pa, std::int64_t group,
                    const std::int64_t* b, std::int64_t* c, std::int64_t n,
-                   const Epilogue& ep, bool threaded) {
-  gemm_a_packed_impl(pa, group, b, c, n, ep, threaded);
+                   const Epilogue& ep, bool threaded, MicroKernel mk) {
+  gemm_a_packed_impl(pa, group, b, c, n, ep, threaded, mk);
 }
 
 void gemm_a_packed(const PackedA& pa, std::int64_t group,
                    const std::int16_t* b, std::int64_t* c, std::int64_t n,
-                   const Epilogue& ep, bool threaded) {
-  gemm_a_packed_impl(pa, group, b, c, n, ep, threaded);
+                   const Epilogue& ep, bool threaded, MicroKernel mk) {
+  gemm_a_packed_impl(pa, group, b, c, n, ep, threaded, mk);
 }
 
 }  // namespace i8

@@ -62,6 +62,13 @@ inline constexpr std::int64_t kNr = 32;
 /// Largest operand magnitude an int16 lane holds.
 inline constexpr std::int64_t kOperandMax = 32767;
 
+/// Which int16 micro-kernel variant a GEMM call runs. kAuto resolves to
+/// the best variant the CPU (as capped by util::cpu_isa_tier) supports;
+/// an explicit request is likewise downgraded if the hardware lacks it.
+/// All variants compute the same exact integer arithmetic, so the choice
+/// is purely a performance knob — the solver registry tunes it per shape.
+enum class MicroKernel { kAuto = 0, kScalar = 1, kAvx2 = 2, kAvx512 = 3 };
+
 /// True when a K-deep dot product with |a| <= a_max and |w| <= w_max
 /// provably fits the narrow kernel: both operands in int16 and every
 /// partial int32 sum below 2^31 (the accumulation never wraps, so the
@@ -130,11 +137,14 @@ std::shared_ptr<const PackedA> pack_a(const std::int64_t* a, std::int64_t m,
 // deploy data paths: int64 activations in, int64 or int16 out (the int16
 // sink requires a clamping epilogue), and int16 scratch in.
 void gemm_b_packed(const std::int64_t* a, const PackedB& pb, std::int64_t* c,
-                   std::int64_t m, const Epilogue& ep, bool threaded);
+                   std::int64_t m, const Epilogue& ep, bool threaded,
+                   MicroKernel mk = MicroKernel::kAuto);
 void gemm_b_packed(const std::int64_t* a, const PackedB& pb, std::int16_t* c,
-                   std::int64_t m, const Epilogue& ep, bool threaded);
+                   std::int64_t m, const Epilogue& ep, bool threaded,
+                   MicroKernel mk = MicroKernel::kAuto);
 void gemm_b_packed(const std::int16_t* a, const PackedB& pb, std::int64_t* c,
-                   std::int64_t m, const Epilogue& ep, bool threaded);
+                   std::int64_t m, const Epilogue& ep, bool threaded,
+                   MicroKernel mk = MicroKernel::kAuto);
 
 /// C [pa.m × n] = packed A block `group` · B [pa.k × n] (row-major,
 /// narrowed while packing into column panels — the conv im2col path).
@@ -142,10 +152,12 @@ void gemm_b_packed(const std::int16_t* a, const PackedB& pb, std::int64_t* c,
 /// halving the dominant per-run memory traffic.
 void gemm_a_packed(const PackedA& pa, std::int64_t group,
                    const std::int64_t* b, std::int64_t* c, std::int64_t n,
-                   const Epilogue& ep, bool threaded);
+                   const Epilogue& ep, bool threaded,
+                   MicroKernel mk = MicroKernel::kAuto);
 void gemm_a_packed(const PackedA& pa, std::int64_t group,
                    const std::int16_t* b, std::int64_t* c, std::int64_t n,
-                   const Epilogue& ep, bool threaded);
+                   const Epilogue& ep, bool threaded,
+                   MicroKernel mk = MicroKernel::kAuto);
 
 }  // namespace i8
 

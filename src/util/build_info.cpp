@@ -1,9 +1,9 @@
 #include "util/build_info.h"
 
-#include <fstream>
 #include <sstream>
 
 #include "core/parallel.h"
+#include "util/cpuinfo.h"
 #include "util/jsonlite.h"
 
 #ifndef T2C_GIT_SHA
@@ -27,47 +27,19 @@ std::string detect_compiler() {
 #endif
 }
 
-/// The best target_clones variant this CPU resolves to (matmul.cpp
-/// compiles "default", "arch=haswell", "arch=x86-64-v4").
-std::string detect_isa() {
-#if defined(__x86_64__)
-  if (__builtin_cpu_supports("avx512f")) return "x86-64-v4 (avx512)";
-  if (__builtin_cpu_supports("avx2")) return "haswell (avx2)";
-  return "x86-64 (sse2)";
-#elif defined(__aarch64__)
-  return "aarch64 (neon)";
-#else
-  return "default";
-#endif
-}
-
-std::string detect_cpu_model() {
-  std::ifstream is("/proc/cpuinfo");
-  std::string line;
-  while (std::getline(is, line)) {
-    const std::size_t colon = line.find(':');
-    if (colon == std::string::npos) continue;
-    if (line.rfind("model name", 0) != 0) continue;
-    std::size_t start = colon + 1;
-    while (start < line.size() && line[start] == ' ') ++start;
-    return line.substr(start);
-  }
-  return "unknown";
-}
-
 }  // namespace
 
 BuildInfo build_info() {
-  // Static probes run once; only the pool size is re-read per call.
-  static const std::string isa = detect_isa();
-  static const std::string cpu = detect_cpu_model();
+  // ISA/model probes live in util::cpuinfo (shared with the solver
+  // registry and the tuning-cache key); only the pool size is re-read
+  // per call.
   static const std::string compiler = detect_compiler();
   BuildInfo b;
   b.git_sha = T2C_GIT_SHA;
   b.compiler = compiler;
   b.flags = T2C_CXX_FLAGS;
-  b.isa = isa;
-  b.cpu_model = cpu;
+  b.isa = util::isa_description();
+  b.cpu_model = util::cpu_model_name();
   b.threads = par::max_threads();
   return b;
 }

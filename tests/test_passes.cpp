@@ -317,7 +317,7 @@ TEST(PassesTest, CheckpointRoundTripsAtEveryOptLevel) {
 TEST(PassesTest, PassManagerReportsPerPassStats) {
   DeployModel dm = foldable_graph();
   const auto stats = PassManager::pipeline(2).run(dm);
-  // validate, fold_requants, dedup, dve, fuse_requant_gemm
+  // validate, fold_requants, dedup, dve, select_solvers
   ASSERT_EQ(stats.size(), 5u);
   EXPECT_EQ(stats[0].name, "validate");
   EXPECT_EQ(stats[0].changes, 0u);
@@ -326,7 +326,7 @@ TEST(PassesTest, PassManagerReportsPerPassStats) {
   EXPECT_EQ(stats[3].name, "dve");
   EXPECT_GE(stats[3].changes, 1u);
   EXPECT_LT(stats[3].ops_after, stats[0].ops_before);
-  EXPECT_EQ(stats[4].name, "fuse_requant_gemm");
+  EXPECT_EQ(stats[4].name, "select_solvers");
   // The annotation pass never rewrites the graph shape.
   EXPECT_EQ(stats[4].ops_after, stats[4].ops_before);
 }
@@ -358,8 +358,8 @@ const IntLinearOp& linear_at(const DeployModel& dm, std::size_t i) {
 TEST(KernelGateTest, JustFittingDepthSelectsInt8AndStaysBitIdentical) {
   DeployModel ref = linear_graph(kJustFitsDepth, i8::kOperandMax);
   DeployModel opt = linear_graph(kJustFitsDepth, i8::kOperandMax);
-  EXPECT_GE(pass_fuse_requant_into_gemm(opt), 1u);
-  const GemmKernelPlan& kp = linear_at(opt, 0).kernel_plan();
+  EXPECT_GE(pass_select_solvers(opt), 1u);
+  const solver::SolverChoice& kp = linear_at(opt, 0).solver_choice();
   EXPECT_TRUE(kp.i8);
   EXPECT_TRUE(kp.fuse);
   // Drive the fused kernel through the worst-case accumulation the gate
@@ -378,8 +378,8 @@ TEST(KernelGateTest, OneExtraDepthStepOverflowsAndKeepsI64) {
   // K = 517 pushes the worst case to 2151448453 >= 2^31: the proof fails
   // and the plan must stay on the exact i64 path with the reason recorded.
   DeployModel dm = linear_graph(kJustFitsDepth + 1, i8::kOperandMax);
-  pass_fuse_requant_into_gemm(dm);
-  const GemmKernelPlan& kp = linear_at(dm, 0).kernel_plan();
+  pass_select_solvers(dm);
+  const solver::SolverChoice& kp = linear_at(dm, 0).solver_choice();
   EXPECT_FALSE(kp.i8);
   EXPECT_FALSE(kp.fuse);
   EXPECT_EQ(kp.reason, "overflow");
@@ -389,9 +389,9 @@ TEST(KernelGateTest, UpstreamClampNarrowsTheRangeAndUnlocksInt8) {
   // A depth-1000 full-magnitude dot overflows from the raw +/-127 input
   // (1000 * 127 * 32767 ~ 4.2e9)...
   DeployModel wide = linear_graph(1000, i8::kOperandMax);
-  pass_fuse_requant_into_gemm(wide);
-  EXPECT_FALSE(linear_at(wide, 0).kernel_plan().i8);
-  EXPECT_EQ(linear_at(wide, 0).kernel_plan().reason, "overflow");
+  pass_select_solvers(wide);
+  EXPECT_FALSE(linear_at(wide, 0).solver_choice().i8);
+  EXPECT_EQ(linear_at(wide, 0).solver_choice().reason, "overflow");
   // ...but an upstream clamp to [-3, 3] re-proves it: 1000 * 3 * 32767
   // stays far below 2^31, so the same layer now takes the int8 kernel.
   DeployModel dm;
@@ -401,8 +401,8 @@ TEST(KernelGateTest, UpstreamClampNarrowsTheRangeAndUnlocksInt8) {
   const int v2 = add(dm, std::make_unique<IntLinearOp>(std::move(w)), {v1});
   const int v3 = add(dm, scalar_mq(3, 5, 12, -127, 127), {v2});
   dm.set_output(v3);
-  EXPECT_GE(pass_fuse_requant_into_gemm(dm), 1u);
-  const GemmKernelPlan& kp = linear_at(dm, 1).kernel_plan();
+  EXPECT_GE(pass_select_solvers(dm), 1u);
+  const solver::SolverChoice& kp = linear_at(dm, 1).solver_choice();
   EXPECT_TRUE(kp.i8);
   EXPECT_TRUE(kp.fuse);
 }
@@ -411,16 +411,16 @@ TEST(KernelGateTest, WideOperandsNeverSelectInt8) {
   // A single weight above the int16 ceiling disqualifies the layer no
   // matter how shallow the dot product is...
   DeployModel dm = linear_graph(1, i8::kOperandMax + 1);
-  pass_fuse_requant_into_gemm(dm);
-  EXPECT_FALSE(linear_at(dm, 0).kernel_plan().i8);
-  EXPECT_EQ(linear_at(dm, 0).kernel_plan().reason, "overflow");
+  pass_select_solvers(dm);
+  EXPECT_FALSE(linear_at(dm, 0).solver_choice().i8);
+  EXPECT_EQ(linear_at(dm, 0).solver_choice().reason, "overflow");
   // ...and so does an input range outside int16, even with weight 1.
   DeployModel act = linear_graph(1, 1);
   act.input_qmin = -(i8::kOperandMax + 1);
   act.input_qmax = i8::kOperandMax + 1;
-  pass_fuse_requant_into_gemm(act);
-  EXPECT_FALSE(linear_at(act, 0).kernel_plan().i8);
-  EXPECT_EQ(linear_at(act, 0).kernel_plan().reason, "overflow");
+  pass_select_solvers(act);
+  EXPECT_FALSE(linear_at(act, 0).solver_choice().i8);
+  EXPECT_EQ(linear_at(act, 0).solver_choice().reason, "overflow");
 }
 
 // ---- execution plan + arena ----

@@ -1,0 +1,467 @@
+// Kernel-solver registry + autotuning cache tests (DESIGN.md §3.12).
+//
+// Covers the registry's heuristic (first-applicable, list order = the
+// static pre-registry choice), the gate-order contract (semantic decline
+// reasons are never masked by ISA), the canonical problem key, the full
+// tuning flow (benchmark once, memoize, persist, reload, hit without
+// re-benchmarking), every cache-rejection path (corrupt, truncated,
+// host-mismatched, stale winner — all degrade to the heuristic with a
+// warning, never an error), and the headline bit-identity guarantee:
+// integer outputs are identical across --tune off/heuristic/full at any
+// thread count, and across every forced int8 micro-kernel width.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "deploy/int_ops.h"
+#include "deploy/passes.h"
+#include "tensor/int8_gemm.h"
+#include "tensor/solver.h"
+#include "util/cpuinfo.h"
+
+namespace t2c {
+namespace {
+
+/// Restores the pool size on scope exit so tests can't leak a setting.
+struct ThreadGuard {
+  int saved = par::max_threads();
+  ~ThreadGuard() { par::set_max_threads(saved); }
+};
+
+/// Restores the registry to its process-default state (heuristic mode, no
+/// cache entries) on scope exit — the registry is a process singleton, so
+/// every test that touches mode or cache state needs this.
+struct RegistryGuard {
+  ~RegistryGuard() {
+    solver::Registry::instance().set_mode(solver::TuneMode::kHeuristic);
+    solver::Registry::instance().reset_tuning();
+  }
+};
+
+/// A linear_int problem deep enough to be interesting but provably safe
+/// for the whole int8 family (k * a_max * w_max far below 2^31).
+solver::Problem safe_linear(bool epilogue) {
+  solver::Problem p;
+  p.op = solver::OpKind::kLinearInt;
+  p.n = 16;
+  p.k = 32;
+  p.a_max = 127;
+  p.w_max = 127;
+  p.epilogue = epilogue;
+  if (!epilogue) p.epilogue_reason = "consumer";
+  p.threads = 1;
+  return p;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void spit(const std::string& path, const std::string& body) {
+  std::ofstream os(path, std::ios::binary);
+  os << body;
+  ASSERT_TRUE(os.good()) << "cannot write " << path;
+}
+
+// ---- registry heuristic ----
+
+TEST(SolverRegistryTest, EveryOpListEndsInAnUnconditionalFallback) {
+  const auto& solvers = solver::Registry::instance().solvers();
+  for (const solver::OpKind op :
+       {solver::OpKind::kGemmF32, solver::OpKind::kGemmI64,
+        solver::OpKind::kConvInt, solver::OpKind::kLinearInt,
+        solver::OpKind::kAttnInt}) {
+    const solver::Solver* last = nullptr;
+    for (const auto& s : solvers) {
+      if (s.op == op) last = &s;
+    }
+    ASSERT_NE(last, nullptr) << solver::op_kind_name(op);
+    solver::Problem hostile;  // unbounded operands, no epilogue, no aux
+    hostile.op = op;
+    hostile.k = 1 << 20;
+    EXPECT_EQ(last->applicable(hostile), "")
+        << last->name << " must accept every problem";
+  }
+}
+
+TEST(SolverRegistryTest, SolverNamesFollowTheKernelTagGrammar) {
+  for (const auto& s : solver::Registry::instance().solvers()) {
+    EXPECT_FALSE(s.name.empty());
+    for (const char c : s.name) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                  c == '_')
+          << s.name;
+    }
+  }
+}
+
+TEST(SolverRegistryTest, HeuristicFollowsStaticListOrder) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.set_mode(solver::TuneMode::kOff);
+
+  solver::Problem f32;
+  f32.op = solver::OpKind::kGemmF32;
+  f32.m = f32.n = f32.k = 64;
+  EXPECT_EQ(reg.choose(f32).name, "gemm_f32_tiled");
+
+  solver::Problem i64 = f32;
+  i64.op = solver::OpKind::kGemmI64;
+  EXPECT_EQ(reg.choose(i64).name, "gemm_i64_tiled");
+
+  // Fused int8 with the widest micro-kernel this host supports.
+  const solver::SolverChoice fused = reg.choose(safe_linear(true));
+  EXPECT_TRUE(fused.i8);
+  EXPECT_TRUE(fused.fuse);
+  EXPECT_EQ(fused.name.rfind("gemm_i8_fused_", 0), 0u) << fused.name;
+
+  // No epilogue: the fused family declines with the carried reason and the
+  // unfused family is next in line.
+  const solver::SolverChoice unfused = reg.choose(safe_linear(false));
+  EXPECT_TRUE(unfused.i8);
+  EXPECT_FALSE(unfused.fuse);
+  EXPECT_EQ(unfused.name.rfind("gemm_i8_", 0), 0u) << unfused.name;
+  EXPECT_EQ(unfused.reason, "consumer");
+}
+
+TEST(SolverRegistryTest, OverflowReasonSurvivesToTheFallback) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.set_mode(solver::TuneMode::kOff);
+  solver::Problem p = safe_linear(true);
+  p.k = 1 << 20;  // 2^20 * 127 * 127 >> 2^31: the accumulation proof fails
+  const solver::SolverChoice c = reg.choose(p);
+  EXPECT_EQ(c.name, "gemm_i64");
+  EXPECT_FALSE(c.i8);
+  EXPECT_EQ(c.reason, "overflow");
+}
+
+TEST(SolverRegistryTest, SemanticGateIsNeverMaskedByIsa) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.set_mode(solver::TuneMode::kOff);
+  // Capped to the generic tier the AVX solvers all decline with "isa" —
+  // but an overflow must still be reported as "overflow", and the scalar
+  // solver (no ISA gate) must keep the int8 family reachable.
+  util::set_isa_tier_cap(util::IsaTier::kGeneric);
+  solver::Problem ok = safe_linear(true);
+  ok.isa = util::cpu_isa_tier();
+  const solver::SolverChoice scalar = reg.choose(ok);
+  EXPECT_EQ(scalar.name, "gemm_i8_fused_scalar");
+  solver::Problem bad = ok;
+  bad.k = 1 << 20;
+  EXPECT_EQ(reg.choose(bad).reason, "overflow");
+  util::set_isa_tier_cap(util::IsaTier::kAvx512);
+}
+
+TEST(SolverRegistryTest, AttentionGatesOnAuxAndBound) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.set_mode(solver::TuneMode::kOff);
+  solver::Problem p;
+  p.op = solver::OpKind::kAttnInt;
+  p.n = 8;
+  p.k = 64;
+  p.w_max = 127;
+  p.aux_ok = false;
+  EXPECT_EQ(reg.choose(p).name, "attn_i64");
+  EXPECT_EQ(reg.choose(p).reason, "static");
+  p.aux_ok = true;
+  EXPECT_EQ(reg.choose(p).reason, "bound");  // a_max still 0
+  p.a_max = 127;
+  const solver::SolverChoice c = reg.choose(p);
+  EXPECT_EQ(c.name, "attn_i16");
+  EXPECT_TRUE(c.i8);
+}
+
+TEST(SolverRegistryTest, ProblemKeyIsCanonical) {
+  solver::Problem p = safe_linear(true);
+  p.isa = util::IsaTier::kAvx512;
+  p.threads = 4;
+  EXPECT_EQ(p.key(), "linear_int|m*|n16|k32|g1|a127|w127|e1|x0|avx512|t4");
+  p.epilogue_reason = "shared";  // display metadata: must not key
+  EXPECT_EQ(p.key(), "linear_int|m*|n16|k32|g1|a127|w127|e1|x0|avx512|t4");
+}
+
+// ---- tuning cache ----
+
+TEST(TuneCacheTest, FullModeBenchmarksOncePerProblemAndMemoizes) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.reset_tuning();
+  reg.set_mode(solver::TuneMode::kFull);
+  const solver::Problem p = safe_linear(true);
+  const solver::SolverChoice first = reg.choose(p);
+  EXPECT_TRUE(first.tuned);
+  EXPECT_TRUE(first.i8);
+  solver::TuneStats st = reg.stats();
+  EXPECT_EQ(st.problems, 1);
+  EXPECT_EQ(st.hits, 0);
+  EXPECT_EQ(st.benchmarked, 1);
+  // Same problem again: memoized, no second benchmark.
+  const solver::SolverChoice second = reg.choose(p);
+  EXPECT_EQ(second.name, first.name);
+  st = reg.stats();
+  EXPECT_EQ(st.problems, 1);
+  EXPECT_EQ(st.benchmarked, 1);
+}
+
+TEST(TuneCacheTest, RoundTripHitsWithoutRebenchmarking) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.reset_tuning();
+  reg.set_mode(solver::TuneMode::kFull);
+  const solver::Problem p = safe_linear(true);
+  const std::string winner = reg.choose(p).name;
+  const std::string path = ::testing::TempDir() + "/t2c_tune_roundtrip.json";
+  std::string warn;
+  ASSERT_TRUE(reg.save_cache(path, &warn)) << warn;
+
+  // A fresh "process": entries dropped, cache reloaded — the stored winner
+  // must be honored as a hit, with zero benchmarking.
+  reg.reset_tuning();
+  ASSERT_TRUE(reg.load_cache(path, &warn)) << warn;
+  const solver::SolverChoice warm = reg.choose(p);
+  EXPECT_EQ(warm.name, winner);
+  EXPECT_TRUE(warm.tuned);
+  const solver::TuneStats st = reg.stats();
+  EXPECT_EQ(st.problems, 1);
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.benchmarked, 0);
+
+  // Heuristic mode consumes the same cache read-only.
+  reg.set_mode(solver::TuneMode::kHeuristic);
+  EXPECT_EQ(reg.choose(p).name, winner);
+  std::remove(path.c_str());
+}
+
+TEST(TuneCacheTest, MissingFileIsASilentMiss) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.reset_tuning();
+  std::string warn;
+  EXPECT_FALSE(reg.load_cache(::testing::TempDir() + "/t2c_no_such_cache.json",
+                              &warn));
+  EXPECT_TRUE(warn.empty()) << warn;
+}
+
+TEST(TuneCacheTest, CorruptAndTruncatedFilesDegradeWithAWarning) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.reset_tuning();
+  const std::string dir = ::testing::TempDir();
+
+  const std::string garbage = dir + "/t2c_tune_garbage.json";
+  spit(garbage, "this is not json {{{");
+  std::string warn;
+  EXPECT_FALSE(reg.load_cache(garbage, &warn));
+  EXPECT_NE(warn.find("ignored"), std::string::npos) << warn;
+
+  // Truncate a real cache mid-document: parse failure, same degradation.
+  reg.set_mode(solver::TuneMode::kFull);
+  (void)reg.choose(safe_linear(true));
+  const std::string whole = dir + "/t2c_tune_whole.json";
+  ASSERT_TRUE(reg.save_cache(whole, &warn)) << warn;
+  const std::string body = slurp(whole);
+  ASSERT_GT(body.size(), 40u);
+  const std::string truncated = dir + "/t2c_tune_truncated.json";
+  spit(truncated, body.substr(0, body.size() / 2));
+  reg.reset_tuning();
+  warn.clear();
+  EXPECT_FALSE(reg.load_cache(truncated, &warn));
+  EXPECT_NE(warn.find("ignored"), std::string::npos) << warn;
+
+  // Wrong schema string.
+  const std::string schema = dir + "/t2c_tune_schema.json";
+  spit(schema, "{\"schema\":\"t2c.tune.v999\",\"entries\":[]}");
+  warn.clear();
+  EXPECT_FALSE(reg.load_cache(schema, &warn));
+  EXPECT_NE(warn.find("schema"), std::string::npos) << warn;
+
+  // After every rejection the registry still answers heuristically.
+  reg.set_mode(solver::TuneMode::kHeuristic);
+  EXPECT_EQ(reg.choose(safe_linear(true)).name.rfind("gemm_i8_fused_", 0),
+            0u);
+  std::remove(garbage.c_str());
+  std::remove(whole.c_str());
+  std::remove(truncated.c_str());
+  std::remove(schema.c_str());
+}
+
+TEST(TuneCacheTest, HostKeyMismatchIsAKeyedMiss) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.reset_tuning();
+  reg.set_mode(solver::TuneMode::kFull);
+  (void)reg.choose(safe_linear(true));
+  const std::string path = ::testing::TempDir() + "/t2c_tune_host.json";
+  std::string warn;
+  ASSERT_TRUE(reg.save_cache(path, &warn)) << warn;
+
+  // Swap the recorded CPU model for another machine's: entries must be
+  // rejected wholesale (a tuning result never migrates across hosts).
+  std::string body = slurp(path);
+  const std::string tag = "\"cpu_model\":\"";
+  const std::size_t at = body.find(tag);
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = body.find('"', at + tag.size());
+  body.replace(at + tag.size(), end - (at + tag.size()), "other-cpu-model");
+  spit(path, body);
+
+  reg.reset_tuning();
+  warn.clear();
+  EXPECT_FALSE(reg.load_cache(path, &warn));
+  EXPECT_NE(warn.find("host mismatch"), std::string::npos) << warn;
+  std::remove(path.c_str());
+}
+
+TEST(TuneCacheTest, StaleWinnerNameFallsBackToRebenchmark) {
+  RegistryGuard guard;
+  auto& reg = solver::Registry::instance();
+  reg.reset_tuning();
+  reg.set_mode(solver::TuneMode::kFull);
+  const solver::Problem p = safe_linear(true);
+  (void)reg.choose(p);
+  const std::string path = ::testing::TempDir() + "/t2c_tune_stale.json";
+  std::string warn;
+  ASSERT_TRUE(reg.save_cache(path, &warn)) << warn;
+
+  // Hand-edit the winner to a solver that does not exist: the loader
+  // accepts the file (schema + host match) but choose() must notice the
+  // stale name and re-benchmark rather than trust it.
+  std::string body = slurp(path);
+  const std::size_t at = body.find("gemm_i8");
+  ASSERT_NE(at, std::string::npos);
+  body.replace(at, std::string("gemm_i8").size(), "no_such");
+  spit(path, body);
+
+  reg.reset_tuning();
+  ASSERT_TRUE(reg.load_cache(path, &warn)) << warn;
+  const solver::SolverChoice c = reg.choose(p);
+  EXPECT_TRUE(c.i8) << c.name;
+  const solver::TuneStats st = reg.stats();
+  EXPECT_EQ(st.hits, 0);
+  EXPECT_EQ(st.benchmarked, 1);
+  std::remove(path.c_str());
+}
+
+// ---- bit identity ----
+
+std::unique_ptr<MulQuantOp> scalar_mq() {
+  return std::make_unique<MulQuantOp>(std::vector<std::int64_t>{3},
+                                      std::vector<std::int64_t>{5}, 12, -127,
+                                      127, MqLayout::kPerTensor);
+}
+
+/// Input -> IntLinear([4 x 64], mixed weights) -> per-tensor MulQuant: a
+/// graph the int8 family accepts, so tuning has real alternatives.
+DeployModel tunable_graph() {
+  DeployModel dm;
+  ITensor w({4, 64});
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = (i * 37 % 255) - 127;
+  }
+  auto lin = std::make_unique<IntLinearOp>(std::move(w));
+  lin->inputs = {0};
+  const int v1 = dm.add_op(std::move(lin));
+  auto mq = scalar_mq();
+  mq->inputs = {v1};
+  dm.set_output(dm.add_op(std::move(mq)));
+  return dm;
+}
+
+ITensor run_graph(DeployModel& dm, const ITensor& x) {
+  (void)pass_select_solvers(dm);
+  return dm.run_int(x);
+}
+
+TEST(SolverBitIdentity, TuneModesAndThreadCountsAgreeBitForBit) {
+  RegistryGuard rguard;
+  ThreadGuard tguard;
+  auto& reg = solver::Registry::instance();
+  ITensor x({3, 64});
+  for (std::int64_t i = 0; i < x.numel(); ++i) x[i] = (i * 13 % 255) - 127;
+
+  // Reference: tuning off, single thread.
+  reg.set_mode(solver::TuneMode::kOff);
+  par::set_max_threads(1);
+  DeployModel ref = tunable_graph();
+  const ITensor want = run_graph(ref, x);
+
+  const std::string cache =
+      ::testing::TempDir() + "/t2c_tune_bitident.json";
+  std::remove(cache.c_str());
+  for (const solver::TuneMode mode :
+       {solver::TuneMode::kOff, solver::TuneMode::kHeuristic,
+        solver::TuneMode::kFull}) {
+    for (const int threads : {1, 4, 16}) {
+      reg.reset_tuning();
+      reg.set_mode(mode);
+      if (mode == solver::TuneMode::kFull) {
+        std::string warn;
+        (void)reg.load_cache(cache, &warn);
+      }
+      par::set_max_threads(threads);
+      DeployModel dm = tunable_graph();
+      const ITensor got = run_graph(dm, x);
+      ASSERT_TRUE(got.same_shape(want));
+      for (std::int64_t i = 0; i < got.numel(); ++i) {
+        ASSERT_EQ(got[i], want[i])
+            << "mode " << static_cast<int>(mode) << " threads " << threads
+            << " element " << i;
+      }
+      if (mode == solver::TuneMode::kFull) {
+        std::string warn;
+        ASSERT_TRUE(reg.save_cache(cache, &warn)) << warn;
+      }
+    }
+  }
+  std::remove(cache.c_str());
+}
+
+TEST(SolverBitIdentity, ForcedMicroKernelWidthsAgreeBitForBit) {
+  const std::int64_t m = 7, n = 33, k = 65;
+  std::vector<std::int64_t> a(static_cast<std::size_t>(m * k));
+  std::vector<std::int64_t> w(static_cast<std::size_t>(k * n));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int64_t>(i * 31 % 255) - 127;
+  }
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w[i] = static_cast<std::int64_t>(i * 17 % 255) - 127;
+  }
+  const auto pb = i8::pack_b(w.data(), k, n, /*trans_b=*/false);
+  const std::int64_t mul[1] = {16};
+  const std::int64_t bias[1] = {7};
+  i8::Epilogue ep;
+  ep.mode = i8::Epilogue::Mode::kScalar;
+  ep.mul = mul;
+  ep.bias = bias;
+  ep.frac0 = 8;
+  ep.lo = -127;
+  ep.hi = 127;
+  std::vector<std::int64_t> want(static_cast<std::size_t>(m * n));
+  i8::gemm_b_packed(a.data(), *pb, want.data(), m, ep, /*threaded=*/false,
+                    i8::MicroKernel::kScalar);
+  for (const i8::MicroKernel mk :
+       {i8::MicroKernel::kAuto, i8::MicroKernel::kAvx2,
+        i8::MicroKernel::kAvx512}) {
+    std::vector<std::int64_t> got(static_cast<std::size_t>(m * n));
+    i8::gemm_b_packed(a.data(), *pb, got.data(), m, ep, /*threaded=*/false,
+                      mk);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i])
+          << "mk " << static_cast<int>(mk) << " element " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace t2c

@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# End-to-end autotuning acceptance, driven by the `t2c_tune_valid` ctest
+# entry:
+#   check_tune.sh <t2c_cli> <t2c_json_check> <workdir>
+#
+# Cold run: t2c_cli --tune full on a fresh cache must benchmark at least
+# one problem and write a schema-valid t2c.tune.v1 document. Warm run:
+# the identical invocation must resolve every problem from the cache
+# (benchmarked=0 — the zero-per-run-overhead guarantee). A corrupted
+# cache must degrade to the heuristic with a warning, never a failure.
+set -e
+CLI="$1"
+CHECK="$2"
+WORK="$3"
+[ -n "$CLI" ] && [ -n "$CHECK" ] && [ -n "$WORK" ] || {
+  echo "usage: check_tune.sh <t2c_cli> <t2c_json_check> <workdir>" >&2
+  exit 2
+}
+mkdir -p "$WORK"
+cd "$WORK"
+rm -f tune.json cold.log warm.log corrupt.log
+
+# Cold: everything is a miss, so the autotuner must run and persist.
+"$CLI" --model resnet20 --width 0.25 --epochs 1 --out tune_out \
+       --tune full --tune-cache tune.json > cold.log 2>&1 || {
+  echo "cold --tune full run failed; log follows" >&2
+  cat cold.log >&2
+  exit 1
+}
+grep -q '^tune: mode=full problems=[1-9]' cold.log || {
+  echo "cold run reported no tunable problems; log follows" >&2
+  cat cold.log >&2
+  exit 1
+}
+grep '^tune: mode=full' cold.log | grep -q 'benchmarked=[1-9]' || {
+  echo "cold run benchmarked nothing; log follows" >&2
+  cat cold.log >&2
+  exit 1
+}
+[ -f tune.json ] || { echo "cold run wrote no tune.json" >&2; exit 1; }
+"$CHECK" --tune-cache tune.json
+
+# Warm: same invocation, cache present — every problem must hit and the
+# autotuner must not run at all.
+"$CLI" --model resnet20 --width 0.25 --epochs 1 --out tune_out \
+       --tune full --tune-cache tune.json > warm.log 2>&1 || {
+  echo "warm --tune full run failed; log follows" >&2
+  cat warm.log >&2
+  exit 1
+}
+grep '^tune: mode=full' warm.log | grep -q 'benchmarked=0' || {
+  echo "warm run re-benchmarked; log follows" >&2
+  cat warm.log >&2
+  exit 1
+}
+
+# Corrupt cache: the run must still succeed, with a warning.
+echo 'not json at all {{{' > tune_corrupt.json
+"$CLI" --model resnet20 --width 0.25 --epochs 1 --out tune_out \
+       --tune heuristic --tune-cache tune_corrupt.json \
+       > corrupt.log 2>&1 || {
+  echo "corrupt-cache run failed (must degrade, not die); log follows" >&2
+  cat corrupt.log >&2
+  exit 1
+}
+grep -q 'ignored' corrupt.log || {
+  echo "corrupt cache produced no warning; log follows" >&2
+  cat corrupt.log >&2
+  exit 1
+}
+echo "tune ok: cold benchmarked + valid cache, warm benchmarked=0, corrupt degraded"

@@ -30,6 +30,16 @@
 // saturation, range utilization); `--audit-json PATH` dumps the report,
 // `--audit-golden-dir DIR` writes per-op golden hex vectors for RTL replay,
 // `--audit-threshold-db DB` sets the first-divergence threshold.
+//
+// Kernel tuning: `--tune off|heuristic|full` selects the solver-registry
+// mode (DESIGN.md §3.12) — heuristic (default) follows the static
+// priority order plus any cached winners, full benchmarks the applicable
+// solvers per problem shape and persists the winners, off ignores the
+// cache entirely. `--tune-cache PATH` overrides the on-disk cache
+// location (default ~/.cache/t2c/tuning.json, or $T2C_TUNE_CACHE);
+// `--list-solvers` prints the registered solver table and exits. Every
+// mode produces bit-identical integer outputs — tuning only ever picks
+// among exact kernels.
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -54,6 +64,7 @@
 #include "obs/prom.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "tensor/solver.h"
 #include "xport/verilog.h"
 
 namespace {
@@ -90,6 +101,9 @@ struct Args {
   std::string plan_dump;  ///< render the execution plan ('-' = stdout)
   int serve_obs = -1;  ///< /metrics port; -1 = off, 0 = ephemeral
   int loop = 0;        ///< soak mode: total run_int iterations after deploy
+  std::string tune = "heuristic";  ///< solver-registry mode
+  std::string tune_cache;          ///< cache override; empty = default path
+  bool list_solvers = false;
 };
 
 DatasetSpec dataset_by_name(const std::string& name) {
@@ -178,6 +192,13 @@ Args parse(int argc, char** argv) {
       a.loop = std::atoi(want(i++));
       check(a.loop >= 1, "--loop must be >= 1");
     }
+    else if (f == "--tune") {
+      a.tune = want(i++);
+      check(a.tune == "off" || a.tune == "heuristic" || a.tune == "full",
+            "--tune must be off, heuristic, or full");
+    }
+    else if (f == "--tune-cache") a.tune_cache = want(i++);
+    else if (f == "--list-solvers") a.list_solvers = true;
     else if (f == "--help") {
       std::puts(
           "usage: t2c_cli [--model M] [--dataset D] [--trainer T]\n"
@@ -193,6 +214,8 @@ Args parse(int argc, char** argv) {
           "               [--threads N] [--opt-level 0|1|2]\n"
           "               [--plan-dump PATH]\n"
           "               [--serve-obs PORT] [--loop N]\n"
+          "               [--tune off|heuristic|full] [--tune-cache PATH]\n"
+          "               [--list-solvers]\n"
           "JSON PATHs accept '-' for stdout.\n"
           "--threads sizes the worker pool (default: T2C_THREADS env var,\n"
           "else hardware concurrency); integer outputs are bit-identical\n"
@@ -217,7 +240,16 @@ Args parse(int argc, char** argv) {
           "/healthz (stall watchdog), /buildinfo, and /requests.\n"
           "--loop N runs N extra integer inferences across two client\n"
           "threads after deployment (soak mode) so the windowed\n"
-          "percentiles on /metrics have live traffic to digest.");
+          "percentiles on /metrics have live traffic to digest.\n"
+          "--tune selects the kernel-solver mode: heuristic (default)\n"
+          "follows the registry's static priority order plus any cached\n"
+          "winners, full benchmarks the applicable solvers per problem\n"
+          "shape and persists the winners to the tuning cache, off\n"
+          "ignores the cache. Outputs are bit-identical in every mode.\n"
+          "--tune-cache overrides the cache path (default\n"
+          "$T2C_TUNE_CACHE, else ~/.cache/t2c/tuning.json); the cache is\n"
+          "keyed by CPU model + build sha and ignored on mismatch.\n"
+          "--list-solvers prints the registered solver table and exits.");
       std::exit(0);
     } else {
       fail("unknown flag '" + f + "' (try --help)");
@@ -367,6 +399,36 @@ int main(int argc, char** argv) {
       std::printf("\n");
       return 0;
     }
+    if (a.list_solvers) {
+      std::printf("registered solvers (priority order per op):\n");
+      std::printf("  %-10s %-22s %-8s %s\n", "op", "solver", "tunable",
+                  "gates");
+      for (const auto& s : solver::Registry::instance().solvers()) {
+        std::printf("  %-10s %-22s %-8s %s\n", solver::op_kind_name(s.op),
+                    s.name.c_str(), s.tunable ? "yes" : "no",
+                    s.gates.empty() ? "-" : s.gates.c_str());
+      }
+      return 0;
+    }
+
+    // Solver-registry mode and tuning cache: load before any conversion so
+    // pass_select_solvers sees the cached winners; a corrupt or
+    // host-mismatched cache degrades to the heuristic order with a warning,
+    // never an error.
+    solver::Registry& solvers = solver::Registry::instance();
+    const solver::TuneMode tune_mode =
+        a.tune == "off" ? solver::TuneMode::kOff
+                        : (a.tune == "full" ? solver::TuneMode::kFull
+                                            : solver::TuneMode::kHeuristic);
+    solvers.set_mode(tune_mode);
+    const std::string tune_cache_path =
+        a.tune_cache.empty() ? solver::default_cache_path() : a.tune_cache;
+    if (tune_mode != solver::TuneMode::kOff) {
+      std::string warn;
+      if (!solvers.load_cache(tune_cache_path, &warn) && !warn.empty()) {
+        std::printf("tune: %s\n", warn.c_str());
+      }
+    }
 
     const DatasetSpec spec = dataset_by_name(a.dataset);
     SyntheticImageDataset data(spec);
@@ -495,6 +557,19 @@ int main(int argc, char** argv) {
       print_pool_stats(obs::metrics().snapshot());
       if (!a.profile_json.empty()) {
         emit_json(a.profile_json, "profile", report.to_json());
+      }
+    }
+    if (tune_mode == solver::TuneMode::kFull) {
+      const solver::TuneStats ts = solvers.stats();
+      std::printf("tune: mode=full problems=%lld hits=%lld benchmarked=%lld\n",
+                  static_cast<long long>(ts.problems),
+                  static_cast<long long>(ts.hits),
+                  static_cast<long long>(ts.benchmarked));
+      std::string warn;
+      if (!solvers.save_cache(tune_cache_path, &warn)) {
+        std::printf("tune: %s\n", warn.c_str());
+      } else if (ts.benchmarked > 0) {
+        std::printf("tune: cache written to %s\n", tune_cache_path.c_str());
       }
     }
     if (!a.metrics_json.empty()) {
