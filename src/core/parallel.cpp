@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/pmu.h"
 #include "obs/telemetry.h"
@@ -118,10 +119,13 @@ class Pool {
     // Register the trace track once per thread: "M" metadata in the
     // exported JSON names every pool worker even if tracing turns on
     // after the pool was built.
-    obs::name_current_thread("pool.worker." + std::to_string(part));
-    // Eagerly create this worker's telemetry event ring so the first
-    // recorded event inside a pooled region never allocates.
+    const std::string wname = "pool.worker." + std::to_string(part);
+    obs::name_current_thread(wname);
+    // Eagerly create this worker's telemetry and flight rings so the
+    // first recorded event inside a pooled region never allocates (and a
+    // postmortem can name the thread).
     obs::telemetry_register_thread();
+    obs::flight_register_thread(wname.c_str());
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(int)>* fn = nullptr;
@@ -227,6 +231,14 @@ void parallel_for_impl(
   const bool met = obs::metrics_enabled();
   const bool trace = obs::trace_enabled();
   const bool pmu = obs::pmu_enabled();
+  if (obs::flight_enabled()) {
+    // One black-box event per pooled region (caller side, before the
+    // fan-out): a crash mid-region shows which thread was dispatching and
+    // how wide. Static key: interning is cold and happens exactly once.
+    static const std::uint32_t kRegionKey = obs::flight_key("pool.region");
+    obs::flight_record(obs::FlightKind::kPoolRegion, kRegionKey,
+                       static_cast<double>(nparts));
+  }
   if (!met && !trace && !pmu) {
     pool().run(nparts, [&](int part) {
       std::int64_t i0 = 0;

@@ -11,6 +11,7 @@
 #include "deploy/exec_plan.h"
 #include "deploy/int_ops.h"
 #include "deploy/vit_ops.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
@@ -49,6 +50,17 @@ void SatCounterCache::add(const char* kind, const std::string& label,
     }
     obs::telemetry_record(obs::TeleKind::kSaturation, k,
                           static_cast<double>(sat));
+  }
+  if (obs::flight_enabled()) {
+    std::uint32_t k = flight_key_.load(std::memory_order_acquire);
+    if (k == ~std::uint32_t{0}) {
+      std::string key = std::string("deploy.sat.") + kind;
+      if (!label.empty()) key += ":" + label;
+      k = obs::flight_key(key.c_str());
+      flight_key_.store(k, std::memory_order_release);
+    }
+    obs::flight_record(obs::FlightKind::kSaturation, k,
+                       static_cast<double>(sat));
   }
 }
 

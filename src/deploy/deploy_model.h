@@ -45,6 +45,8 @@ class SatCounterCache {
   mutable std::atomic<obs::Counter*> total_{nullptr};
   // ~0 = unresolved (interned ids start at 0).
   mutable std::atomic<std::uint32_t> tele_key_{~std::uint32_t{0}};
+  // Same series name in the flight recorder's signal-safe key table.
+  mutable std::atomic<std::uint32_t> flight_key_{~std::uint32_t{0}};
 };
 
 struct PackedWeights;

@@ -9,6 +9,7 @@
 #include "obs/metrics.h"
 #include "obs/pmu.h"
 #include "obs/profile.h"
+#include "obs/flight.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -112,9 +113,11 @@ ExecutionPlan ExecutionPlan::compile(const DeployModel& dm) {
     // step's telemetry series name, so execute() neither repacks weights
     // nor builds a key string per step.
     p.packed_.push_back(op.pack_weights());
-    p.tele_keys_.push_back(obs::telemetry_key(
+    const std::string series =
         "deploy.step." + op.kind() +
-        (op.label.empty() ? "" : ":" + op.label)));
+        (op.label.empty() ? "" : ":" + op.label);
+    p.tele_keys_.push_back(obs::telemetry_key(series));
+    p.flight_keys_.push_back(obs::flight_key(series.c_str()));
   }
   // Pair each fuse-annotated GEMM with its consuming MulQuant. The pass
   // only sets `fuse` when the accumulator has a single MulQuant consumer
@@ -158,6 +161,7 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
   const bool trace = obs::trace_enabled();
   const bool prof = obs::profile_enabled();
   const bool tele = obs::telemetry_enabled();
+  const bool fly = obs::flight_enabled();
   // PMU samples only matter when someone aggregates them, so measurement
   // is gated on the profiler being live too.
   const bool pmu = prof && obs::pmu_enabled();
@@ -221,7 +225,7 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         op.run_into(ins, out);
       }
     };
-    if (met || trace || prof || tele) {
+    if (met || trace || prof || tele || fly) {
       const std::int64_t ts = trace ? obs::tracer().now_us() : 0;
       // Step bracket (DESIGN.md §3.9): this thread's counters plus the
       // worker accumulator before and after. The step's sample is the
@@ -247,7 +251,12 @@ ITensor ExecutionPlan::execute(const DeployModel& dm, const ITensor& input,
         // Series key was interned at compile time; the record is a fixed
         // 32-byte event pushed into this thread's ring (or dropped).
         obs::telemetry_record(obs::TeleKind::kStep, tele_keys_[si], ms);
-        obs::telemetry_note_step();
+        obs::telemetry_note_step(flight_keys_[si]);
+      }
+      if (fly) {
+        // Black-box copy of the same step: overwriting ring, so a crash
+        // seconds later still shows what this thread was executing.
+        obs::flight_record(obs::FlightKind::kStep, flight_keys_[si], ms);
       }
       // The legacy pillars key by string; telemetry-only runs skip the
       // concatenation and stay allocation-free per step.

@@ -1,0 +1,190 @@
+// Black-box flight recorder (DESIGN.md §3.13).
+//
+// The telemetry plane (telemetry.h) answers "what are the aggregates over
+// the last minutes"; its rings *drop* when full because a live aggregator
+// is always draining them. A postmortem needs the opposite retention
+// policy: when the process dies, what matters is the *most recent* history
+// of every thread — so the flight recorder keeps per-thread overwriting
+// rings (newest wins, oldest evicted) that nobody drains. Each slot
+// carries a seqlock-style sequence number published after the payload, so
+// the crash-time reader — which may run on another thread, inside a
+// signal handler, mid-push — can detect and skip torn slots instead of
+// emitting garbage.
+//
+// Everything the crash handler touches is engineered for async-signal
+// safety:
+//   * rings and the registry are fixed-size, allocated at registration
+//     time (cold) and intentionally never freed — a handler can always
+//     walk them without coordination;
+//   * series names live in a fixed table of fixed-width buffers published
+//     with release stores — flight_key_name() is lock-free and never
+//     allocates (interning under flight_key() is the only cold, locking
+//     op);
+//   * the active-request table is a fixed array of atomic slots claimed
+//     and released by RequestScope — exact, scannable from a handler.
+//
+// The disabled hot path is one relaxed load (flight_enabled()), same
+// discipline as metrics/trace/telemetry, pinned by the alloc-count test.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace t2c::obs {
+
+namespace detail {
+extern std::atomic<bool> g_flight_enabled;
+}  // namespace detail
+
+inline bool flight_enabled() {
+  return detail::g_flight_enabled.load(std::memory_order_relaxed);
+}
+/// Flipped on by install_crash_handlers(); exposed for tests and for
+/// callers that want the recorder without the signal handlers.
+void set_flight_enabled(bool on);
+
+/// What one flight event records. Richer than TeleKind: the black box also
+/// marks request boundaries and pool regions so a postmortem shows the
+/// causal shape of the final milliseconds, not just step latencies.
+enum class FlightKind : std::uint8_t {
+  kStep = 0,
+  kRequestStart = 1,
+  kRequestDone = 2,
+  kSaturation = 3,
+  kPoolRegion = 4,
+  kMark = 5,
+};
+/// Stable JSON spelling ("step", "request_start", ...).
+const char* flight_kind_name(FlightKind k);
+
+/// One fixed-size event; no owned memory (name is an interned key).
+struct FlightEvent {
+  std::int64_t t_ns = 0;   ///< mono_now_ns() at record time
+  double value = 0.0;      ///< latency ms, count, or kind-specific payload
+  std::uint64_t req = 0;   ///< current_request() at record time; 0 = none
+  std::uint32_t key = 0;   ///< interned name (flight_key)
+  FlightKind kind = FlightKind::kMark;
+};
+
+/// Sentinel for "no key" (e.g. the stall watchdog before any step ran).
+constexpr std::uint32_t kFlightNoKey = 0xFFFFFFFFu;
+
+/// Interns `name` into the fixed key table, returning a stable id. Cold
+/// path (takes a lock): call at plan-compile / handle-resolve time, never
+/// per event. Names longer than 63 bytes are truncated; a full table
+/// returns the shared overflow key 0 ("?"). The same name always returns
+/// the same id.
+std::uint32_t flight_key(const char* name);
+
+/// Resolves an interned id back to its name. Lock-free, allocation-free,
+/// async-signal-safe; unknown ids (incl. kFlightNoKey) resolve to "?".
+const char* flight_key_name(std::uint32_t id);
+
+/// Per-thread overwriting ring. Single producer (the owning thread); any
+/// number of concurrent readers, which validate per-slot sequence numbers
+/// and skip slots torn by an in-flight push.
+class FlightRing {
+ public:
+  static constexpr std::size_t kCapacity = 256;  // power of two
+
+  void push(const FlightEvent& e);
+
+  /// Copies up to `max_out` of the newest events into `out`, oldest first.
+  /// Safe to call from any thread / signal context; torn slots are
+  /// skipped. Returns the number copied.
+  std::size_t read_last(FlightEvent* out, std::size_t max_out) const;
+
+  std::uint64_t pushes() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  /// Events evicted by overwrite (the recorder's "drop" count).
+  std::uint64_t overwritten() const {
+    const std::uint64_t h = head_.load(std::memory_order_acquire);
+    return h > kCapacity ? h - kCapacity : 0;
+  }
+  const char* name() const { return name_; }
+  void set_name(const char* n);
+
+  /// Reuse handshake: a ring belongs to exactly one live thread. Rings
+  /// start claimed (created for the registering thread); thread exit
+  /// releases, and a later thread may claim the slot instead of growing
+  /// the registry.
+  bool try_claim() {
+    bool expect = false;
+    return in_use_.compare_exchange_strong(expect, true,
+                                           std::memory_order_acq_rel);
+  }
+  void release() { in_use_.store(false, std::memory_order_release); }
+
+  /// Test isolation only: resets head and slot sequences. Caller must
+  /// guarantee no concurrent producer.
+  void reset_for_test();
+
+ private:
+  struct Slot {
+    // seq == 0: empty; odd: write in progress; even > 0: published, the
+    // payload belongs to push number (seq/2 - 1).
+    std::atomic<std::uint64_t> seq{0};
+    FlightEvent e;
+  };
+  Slot slots_[kCapacity];
+  std::atomic<std::uint64_t> head_{0};  ///< producer-owned push count
+  std::atomic<bool> in_use_{true};      ///< owned by a live thread
+  char name_[32] = "thread";
+};
+
+/// Records one event into the calling thread's flight ring, creating and
+/// registering the ring on first use (cold). Callers gate on
+/// flight_enabled(). Never blocks, never allocates after registration.
+void flight_record(FlightKind kind, std::uint32_t key, double value);
+
+/// Eagerly creates/names the calling thread's ring so the first recorded
+/// event is allocation-free. Pool workers call this at startup.
+void flight_register_thread(const char* name = nullptr);
+
+// ---- active request table (exact, signal-safe to read) ----
+
+/// Claims a slot for request `id`; returns the slot index or -1 when the
+/// table is full (the request is then simply not listed in a bundle).
+int flight_request_begin(std::uint64_t id);
+/// Releases a slot returned by flight_request_begin (-1 is a no-op).
+void flight_request_end(int slot);
+
+struct FlightActiveRequest {
+  std::uint64_t id = 0;
+  std::int64_t start_ns = 0;
+};
+/// Copies the live request table into `out` (up to `cap`); returns the
+/// count. Lock-free, async-signal-safe.
+std::size_t flight_active_requests(FlightActiveRequest* out, std::size_t cap);
+
+// ---- whole-recorder views (signal-safe) ----
+
+struct FlightStats {
+  std::uint64_t recorded = 0;     ///< total pushes across all rings
+  std::uint64_t overwritten = 0;  ///< total evictions across all rings
+  std::uint64_t steps = 0;        ///< kStep events recorded
+  int rings = 0;                  ///< registered rings
+  int lost_threads = 0;           ///< threads refused a ring (table full)
+};
+FlightStats flight_stats();
+
+/// Overwritten + lost-thread events, surfaced in /healthz 503 bodies.
+std::uint64_t flight_dropped_total();
+
+/// One event tagged with its producer thread's ring name.
+struct FlightTaggedEvent {
+  FlightEvent e;
+  const char* thread = "";  ///< points into the ring; never freed
+};
+/// Gathers the newest events across every ring into `out`, sorted oldest
+/// first, keeping at most `cap` (the newest ones win). Lock-free,
+/// allocation-free, async-signal-safe. Returns the count.
+std::size_t flight_collect(FlightTaggedEvent* out, std::size_t cap);
+
+/// Test isolation: resets every ring and the lost/step counters. Caller
+/// must guarantee producers are quiescent.
+void flight_clear_for_test();
+
+}  // namespace t2c::obs

@@ -1,6 +1,7 @@
 #include "obs/prom.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <sstream>
@@ -11,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "obs/flight.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/telemetry.h"
@@ -86,6 +88,48 @@ void add_window_gauges(std::map<std::string, Family>& fams,
       w.rate_per_s);
   put("t2c_tele_count", "Events inside the sliding window.",
       static_cast<double>(w.count));
+}
+
+/// Emits the `t2c_tele_latency_ms` histogram family for one exposition
+/// series: exact cumulative `le` buckets from the 5 m sliding window,
+/// decorated with OpenMetrics exemplars (`# {req="<id>"} <value>`) where
+/// a request-attributed observation landed in the bucket. Zero-delta
+/// buckets are skipped (cumulative lines stay correct); +Inf always
+/// closes the family so count arithmetic holds for any scraper.
+void add_latency_histogram(std::map<std::string, Family>& fams,
+                           const TelemetrySnapshot::Series& s) {
+  if (s.buckets_5m.empty() || s.w5m.count <= 0) return;
+  const std::string fam = "t2c_tele_latency_ms";
+  Family& f = fams[fam];
+  f.type = "histogram";
+  f.help =
+      "5m-window latency histogram (ms) with request-id exemplars on "
+      "buckets.";
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < s.buckets_5m.size(); ++i) {
+    const std::uint64_t delta = s.buckets_5m[i];
+    cum += delta;
+    if (delta == 0) continue;
+    std::string line =
+        fam + "_bucket" +
+        label_block({{"series", s.name},
+                     {"le", json_num(SlidingWindow::bucket_hi(
+                                static_cast<int>(i)))}}) +
+        " " + std::to_string(cum);
+    if (i < s.exemplars.size() && s.exemplars[i].req != 0) {
+      line += " # {req=\"" + std::to_string(s.exemplars[i].req) + "\"} " +
+              json_num(s.exemplars[i].value_ms);
+    }
+    f.samples.push_back(std::move(line));
+  }
+  f.samples.push_back(
+      fam + "_bucket" +
+      label_block({{"series", s.name}, {"le", "+Inf"}}) + " " +
+      std::to_string(static_cast<std::uint64_t>(s.w5m.count)));
+  f.samples.push_back(fam + "_sum" + label_block({{"series", s.name}}) +
+                      " " + json_num(s.w5m.sum));
+  f.samples.push_back(fam + "_count" + label_block({{"series", s.name}}) +
+                      " " + std::to_string(s.w5m.count));
 }
 
 std::string help_escape(const std::string& s) {
@@ -188,6 +232,7 @@ std::string render_prometheus() {
     add_window_gauges(fams, s.name, "10s", s.w10s);
     add_window_gauges(fams, s.name, "1m", s.w1m);
     add_window_gauges(fams, s.name, "5m", s.w5m);
+    add_latency_histogram(fams, s);
     Family& tot = fams["t2c_tele_series_total"];
     tot.type = "counter";
     tot.help = "Total events per telemetry series since start.";
@@ -293,7 +338,56 @@ constexpr const char* kTextPlain = "text/plain; charset=utf-8";
 constexpr const char* kPromText =
     "text/plain; version=0.0.4; charset=utf-8";
 
+void append_request_json(std::ostringstream& os, const RequestRecord& r,
+                         std::int64_t now_ns, bool active) {
+  using jsonlite::json_escape;
+  os << "{\"id\":" << r.id << ",\"latency_ms\":" << json_num(r.latency_ms)
+     << ",\"steps\":" << r.steps << ",\"saturated\":" << r.saturated
+     << ",\"active\":" << (active ? "true" : "false");
+  if (r.done_ns > 0) {
+    os << ",\"age_ms\":"
+       << json_num(static_cast<double>(now_ns - r.done_ns) / 1e6);
+  }
+  os << ",\"trail\":[";
+  bool first = true;
+  const std::int64_t t0 = r.trail.empty() ? 0 : r.trail.front().t_ns;
+  for (const TrailStep& st : r.trail) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"op\":\"" << json_escape(telemetry_key_name(st.key))
+       << "\",\"at_ms\":"
+       << json_num(static_cast<double>(st.t_ns - t0) / 1e6)
+       << ",\"ms\":" << json_num(st.ms) << "}";
+  }
+  os << "]}";
+}
+
 }  // namespace
+
+std::string render_exemplars_json() {
+  const TelemetrySnapshot tele = telemetry().snapshot();
+  std::ostringstream os;
+  os << "{\"schema\":\"t2c.exemplars.v1\",\"window_ms\":300000"
+     << ",\"taken_ns\":" << tele.taken_ns << ",\"requests\":[";
+  bool first = true;
+  for (const RequestRecord& r : tele.slow_requests) {
+    if (!first) os << ',';
+    first = false;
+    append_request_json(os, r, tele.taken_ns, false);
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::string render_request_json(std::uint64_t id) {
+  RequestRecord rec;
+  bool active = false;
+  if (!telemetry().request_detail(id, &rec, &active)) return "";
+  std::ostringstream os;
+  append_request_json(os, rec, mono_now_ns(), active);
+  os << "\n";
+  return os.str();
+}
 
 PromExporter::~PromExporter() { stop(); }
 
@@ -361,9 +455,15 @@ void PromExporter::serve_main() {
         os << (age_ms < 0.0 ? "ok (idle)\n" : "ok\n");
         send_response(client, 200, "OK", kTextPlain, os.str());
       } else {
+        // Triage in one body: how stale, what deadline, which step last
+        // completed before the wedge, and whether the black box lost
+        // history (overwrites/lost threads) on the way here.
         os << "stall: last plan step completed " << json_num(age_ms)
            << " ms ago (deadline " << json_num(telemetry().stall_deadline_ms())
-           << " ms)\n";
+           << " ms)\n"
+           << "last step: " << flight_key_name(telemetry().last_step_key())
+           << "\n"
+           << "flight dropped: " << flight_dropped_total() << "\n";
         send_response(client, 503, "Service Unavailable", kTextPlain,
                       os.str());
       }
@@ -372,13 +472,30 @@ void PromExporter::serve_main() {
                     build_info_json() + "\n");
     } else if (path == "/requests") {
       send_response(client, 200, "OK", kTextPlain, render_requests_text());
+    } else if (path.rfind("/requests/", 0) == 0) {
+      const std::string idstr = path.substr(10);
+      char* endp = nullptr;
+      const std::uint64_t id = std::strtoull(idstr.c_str(), &endp, 10);
+      std::string body;
+      if (!idstr.empty() && endp != nullptr && *endp == '\0') {
+        body = render_request_json(id);
+      }
+      if (body.empty()) {
+        send_response(client, 404, "Not Found", kTextPlain,
+                      "unknown request id\n");
+      } else {
+        send_response(client, 200, "OK", "application/json", body);
+      }
+    } else if (path == "/exemplars") {
+      send_response(client, 200, "OK", "application/json",
+                    render_exemplars_json());
     } else if (path.empty()) {
       send_response(client, 400, "Bad Request", kTextPlain,
                     "bad request\n");
     } else {
       send_response(client, 404, "Not Found", kTextPlain,
                     "unknown path; try /metrics /healthz /buildinfo "
-                    "/requests\n");
+                    "/requests /requests/<id> /exemplars\n");
     }
     ::close(client);
   }

@@ -11,7 +11,19 @@
 //               older than the deadline;
 //   /buildinfo  the util/build_info attribution block as JSON;
 //   /requests   recent completed requests with per-request latency,
-//               step count, and saturation attribution (plain text).
+//               step count, and saturation attribution (plain text);
+//   /requests/<id>  full JSON detail for one request — latency, steps,
+//               saturation, and (for reservoir-retained slow requests)
+//               the per-op event trail;
+//   /exemplars  the tail-latency reservoir as JSON: the slowest requests
+//               of the trailing 5 m window with full trails, the targets
+//               the /metrics OpenMetrics exemplars point at.
+//
+// /metrics decorates the `t2c_tele_latency_ms` histogram buckets
+// (series "deploy.step.latency" and "request.latency") with OpenMetrics
+// exemplars — `# {req="<id>"} <value>` — so a p99 bucket resolves to a
+// concrete request id, and that id resolves to a causal trace via
+// /requests/<id>.
 //
 // The server is deliberately primitive: one blocking listen/accept scrape
 // thread, one request per connection, response closed immediately —
@@ -21,6 +33,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <string>
 #include <thread>
 
@@ -29,6 +42,13 @@ namespace t2c::obs {
 /// Renders the full /metrics document (exposed for tests and for
 /// t2c_json_check --prom round-trips). Always ends with a newline.
 std::string render_prometheus();
+
+/// Renders the /exemplars document (schema t2c.exemplars.v1): the
+/// tail-latency reservoir with per-op trails. Exposed for tests.
+std::string render_exemplars_json();
+
+/// Renders the /requests/<id> JSON detail, or "" when the id is unknown.
+std::string render_request_json(std::uint64_t id);
 
 /// Escapes a Prometheus label value (backslash, double quote, newline).
 std::string prom_escape_label(const std::string& v);

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "obs/flight.h"
 #include "obs/metrics.h"
 
 #if defined(__linux__)
@@ -63,8 +65,15 @@ constexpr std::size_t kActiveRequestCap = 1024;
 constexpr auto kTick = std::chrono::milliseconds(100);
 /// Process gauges refresh every kProcEveryTicks ticks (~1 s).
 constexpr int kProcEveryTicks = 10;
+/// Per-request trail bound: a request touching more ops keeps the oldest.
+constexpr std::size_t kTrailCap = 160;
+/// Slowest-request reservoir size and retention window.
+constexpr std::size_t kSlowK = 8;
+constexpr std::int64_t kSlowWindowNs = 300'000'000'000;  // 5 m
 
 }  // namespace
+
+std::string telemetry_key_name(std::uint32_t id) { return key_name(id); }
 
 std::uint32_t telemetry_key(const std::string& name) {
   KeyTable& t = key_table();
@@ -135,15 +144,24 @@ RequestScope::RequestScope()
       t0_ns_(mono_now_ns()) {
   g_current_request = id_;
   telemetry().note_request_started();
+  if (flight_enabled()) {
+    flight_slot_ = flight_request_begin(id_);
+    static const std::uint32_t kStartKey = flight_key("request.start");
+    flight_record(FlightKind::kRequestStart, kStartKey, 0.0);
+  }
 }
 
 RequestScope::~RequestScope() {
+  const double ms = static_cast<double>(mono_now_ns() - t0_ns_) / 1e6;
   if (telemetry_enabled()) {
     static const std::uint32_t kKey = telemetry_key("request.latency");
-    const double ms =
-        static_cast<double>(mono_now_ns() - t0_ns_) / 1e6;
     telemetry_record(TeleKind::kRequestDone, kKey, ms);
   }
+  if (flight_enabled()) {
+    static const std::uint32_t kDoneKey = flight_key("request.latency");
+    flight_record(FlightKind::kRequestDone, kDoneKey, ms);
+  }
+  flight_request_end(flight_slot_);
   telemetry().note_request_done();
   g_current_request = prev_;
 }
@@ -228,11 +246,37 @@ WindowStats SlidingWindow::digest(int nsub, std::int64_t now_ns) const {
   return w;
 }
 
+std::array<std::uint64_t, SlidingWindow::kBuckets>
+SlidingWindow::digest_buckets(int nsub, std::int64_t now_ns) const {
+  std::array<std::uint64_t, kBuckets> merged{};
+  const std::int64_t start =
+      now_ns - static_cast<std::int64_t>(nsub) * kSubNs;
+  for (const Sub& s : subs_) {
+    if (s.start_ns < 0 || s.start_ns < start || s.start_ns >= now_ns) {
+      continue;
+    }
+    for (int i = 0; i < kBuckets; ++i) {
+      merged[static_cast<std::size_t>(i)] +=
+          s.buckets[static_cast<std::size_t>(i)];
+    }
+  }
+  return merged;
+}
+
 // ---- hub ----
 
 TelemetryHub& telemetry() {
   static TelemetryHub* hub = new TelemetryHub();
   return *hub;
+}
+
+TelemetryHub::TelemetryHub() {
+  // Satellite knob: T2C_STALL_MS overrides the built-in 10 s watchdog
+  // deadline (the --stall-ms flag overrides both, see t2c_cli).
+  if (const char* env = std::getenv("T2C_STALL_MS")) {
+    const double v = std::atof(env);
+    if (v > 0.0) stall_deadline_ms_.store(v, std::memory_order_relaxed);
+  }
 }
 
 std::shared_ptr<EventRing> TelemetryHub::register_thread_ring() {
@@ -286,6 +330,19 @@ void TelemetryHub::aggregator_main() {
     cv_.wait_for(lock, kTick, [&] { return stop_requested_; });
     if (stop_requested_) return;
     drain_all_locked();
+    if (stall_action_) {
+      double age = 0.0;
+      if (!healthy(stall_deadline_ms(), &age)) {
+        // Fatal escalation (--stall-fatal): invoked outside the hub lock
+        // so the action can snapshot vitals freely. It is expected to
+        // write a postmortem and abort; if it ever returns, the watchdog
+        // simply re-fires next tick.
+        const auto action = stall_action_;
+        lock.unlock();
+        action(age);
+        lock.lock();
+      }
+    }
     if (++tick % kProcEveryTicks == 0) {
       lock.unlock();
       sample_proc_gauges();
@@ -342,7 +399,19 @@ void TelemetryHub::aggregate_locked(const std::vector<TeleEvent>& events) {
         if (e.key != kStepAgg) {
           windows_[key_name(kStepAgg)].observe(e.t_ns, e.value);
         }
-        if (e.req != 0) ++request_slot(e.req).steps;
+        if (e.req != 0) {
+          RequestRecord& rec = request_slot(e.req);
+          ++rec.steps;
+          if (rec.trail.size() < kTrailCap) {
+            rec.trail.push_back(TrailStep{e.key, e.t_ns, e.value});
+          }
+          // Last-write-wins per bucket: a scrape sees the most recent
+          // request that landed an observation there (OpenMetrics
+          // semantics — an exemplar is one representative, not a sample).
+          step_exemplars_[static_cast<std::size_t>(
+              SlidingWindow::bucket_of(e.value))] =
+              TeleExemplar{e.req, e.value, e.t_ns};
+        }
         break;
       }
       case TeleKind::kSaturation: {
@@ -355,12 +424,41 @@ void TelemetryHub::aggregate_locked(const std::vector<TeleEvent>& events) {
         RequestRecord rec;
         const auto it = active_requests_.find(e.req);
         if (it != active_requests_.end()) {
-          rec = it->second;
+          rec = std::move(it->second);
           active_requests_.erase(it);
         }
         rec.id = e.req;
         rec.latency_ms = e.value;
-        recent_requests_.push_back(rec);
+        rec.done_ns = e.t_ns;
+        if (e.req != 0) {
+          request_exemplars_[static_cast<std::size_t>(
+              SlidingWindow::bucket_of(e.value))] =
+              TeleExemplar{e.req, e.value, e.t_ns};
+        }
+        // Tail-latency reservoir: keep the k slowest completions of the
+        // trailing window, full trails included. Expired entries are
+        // evicted first so a single historic outlier cannot pin a slot.
+        slow_requests_.erase(
+            std::remove_if(slow_requests_.begin(), slow_requests_.end(),
+                           [&](const RequestRecord& r) {
+                             return r.done_ns < e.t_ns - kSlowWindowNs;
+                           }),
+            slow_requests_.end());
+        if (slow_requests_.size() < kSlowK) {
+          slow_requests_.push_back(rec);
+        } else {
+          auto slowest_min = std::min_element(
+              slow_requests_.begin(), slow_requests_.end(),
+              [](const RequestRecord& a, const RequestRecord& b) {
+                return a.latency_ms < b.latency_ms;
+              });
+          if (slowest_min->latency_ms < rec.latency_ms) *slowest_min = rec;
+        }
+        // The recent FIFO keeps summaries only; trails live in the
+        // reservoir, where retention is by slowness, not recency.
+        rec.trail.clear();
+        rec.trail.shrink_to_fit();
+        recent_requests_.push_back(std::move(rec));
         if (recent_requests_.size() > kRecentRequestCap) {
           recent_requests_.erase(recent_requests_.begin());
         }
@@ -382,6 +480,15 @@ TelemetrySnapshot TelemetryHub::snapshot() {
   snap.requests_started = requests_started_.load(std::memory_order_relaxed);
   snap.requests_done = requests_done_.load(std::memory_order_relaxed);
   snap.recent_requests = recent_requests_;
+  for (const RequestRecord& r : slow_requests_) {
+    if (r.done_ns >= snap.taken_ns - kSlowWindowNs) {
+      snap.slow_requests.push_back(r);
+    }
+  }
+  std::sort(snap.slow_requests.begin(), snap.slow_requests.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.latency_ms > b.latency_ms;
+            });
   for (const auto& [name, win] : windows_) {
     TelemetrySnapshot::Series s;
     s.name = name;
@@ -390,9 +497,58 @@ TelemetrySnapshot TelemetryHub::snapshot() {
     s.w10s = win.digest(2, snap.taken_ns);
     s.w1m = win.digest(12, snap.taken_ns);
     s.w5m = win.digest(SlidingWindow::kSubWindows, snap.taken_ns);
+    const bool step_series = name == "deploy.step.latency";
+    const bool req_series = name == "request.latency";
+    if (step_series || req_series) {
+      const auto merged =
+          win.digest_buckets(SlidingWindow::kSubWindows, snap.taken_ns);
+      s.buckets_5m.assign(merged.begin(), merged.end());
+      const auto& ex = step_series ? step_exemplars_ : request_exemplars_;
+      s.exemplars.reserve(ex.size());
+      for (const TeleExemplar& x : ex) {
+        // Exemplars older than the rendered window would point outside
+        // the histogram they decorate; publish them as empty instead.
+        const bool fresh =
+            x.req != 0 && x.t_ns >= snap.taken_ns - kSlowWindowNs;
+        s.exemplars.push_back(fresh ? x : TeleExemplar{});
+      }
+    }
     snap.series.push_back(std::move(s));
   }
   return snap;
+}
+
+void TelemetryHub::set_stall_action(std::function<void(double)> action) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  stall_action_ = std::move(action);
+}
+
+bool TelemetryHub::request_detail(std::uint64_t id, RequestRecord* out,
+                                  bool* active) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  drain_all_locked();
+  if (active != nullptr) *active = false;
+  for (const RequestRecord& r : slow_requests_) {
+    if (r.id == id) {
+      *out = r;
+      return true;
+    }
+  }
+  // Newest first: a re-used FIFO slot should resolve to the latest data.
+  for (auto it = recent_requests_.rbegin(); it != recent_requests_.rend();
+       ++it) {
+    if (it->id == id) {
+      *out = *it;
+      return true;
+    }
+  }
+  const auto it = active_requests_.find(id);
+  if (it != active_requests_.end()) {
+    *out = it->second;
+    if (active != nullptr) *active = true;
+    return true;
+  }
+  return false;
 }
 
 bool TelemetryHub::healthy(double deadline_ms, double* ago_ms) const {
@@ -423,11 +579,15 @@ void TelemetryHub::clear() {
   windows_.clear();
   active_requests_.clear();
   recent_requests_.clear();
+  slow_requests_.clear();
+  step_exemplars_.fill(TeleExemplar{});
+  request_exemplars_.fill(TeleExemplar{});
   events_total_ = 0;
   dropped_drained_ = 0;
   requests_started_.store(0, std::memory_order_relaxed);
   requests_done_.store(0, std::memory_order_relaxed);
   last_step_ns_.store(-1, std::memory_order_relaxed);
+  last_step_key_.store(0xFFFFFFFFu, std::memory_order_relaxed);
 }
 
 // ---- /proc/self process gauges ----

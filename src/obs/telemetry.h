@@ -31,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -78,6 +79,11 @@ struct TeleEvent {
 /// (takes a lock, may allocate): call at plan-compile / handle-resolve
 /// time, never per event. The same name always returns the same id.
 std::uint32_t telemetry_key(const std::string& name);
+
+/// Resolves an interned id back to its name ("tele.unknown" for ids
+/// never interned). Cold path (takes the interner lock); used by the
+/// /exemplars and /requests/<id> renderers to name trail steps.
+std::string telemetry_key_name(std::uint32_t id);
 
 /// Fixed-capacity single-producer single-consumer event ring. The owning
 /// thread pushes; the aggregator (serialized by the hub mutex) drains.
@@ -136,9 +142,12 @@ void telemetry_record(TeleKind kind, std::uint32_t key, double value);
 void telemetry_register_thread();
 
 /// Stall-watchdog heartbeat: the planned executor calls this after every
-/// completed step (one relaxed store). /healthz reports unhealthy when
+/// completed step (two relaxed stores). /healthz reports unhealthy when
 /// the last heartbeat is older than the configured deadline.
-void telemetry_note_step();
+/// `flight_step_key` is the step's interned flight-recorder key
+/// (flight_key; ~0u = unknown) so a 503 body and a stall postmortem can
+/// name the step that last completed before the executor wedged.
+void telemetry_note_step(std::uint32_t flight_step_key = 0xFFFFFFFFu);
 
 // ---- request attribution ----
 
@@ -162,6 +171,7 @@ class RequestScope {
   std::uint64_t id_ = 0;
   std::uint64_t prev_ = 0;
   std::int64_t t0_ns_ = 0;
+  int flight_slot_ = -1;  ///< active-request table slot (obs/flight.h)
 };
 
 // ---- sliding windows ----
@@ -205,6 +215,12 @@ class SlidingWindow {
   static double bucket_lo(int i);
   static double bucket_hi(int i);
 
+  /// Per-bucket counts merged over the trailing `nsub` sub-windows — the
+  /// raw histogram behind digest(), used to render Prometheus
+  /// `le`-bucketed histogram families with exemplars.
+  std::array<std::uint64_t, kBuckets> digest_buckets(
+      int nsub, std::int64_t now_ns) const;
+
  private:
   struct Sub {
     std::int64_t start_ns = -1;  ///< -1 = slot empty
@@ -219,12 +235,31 @@ class SlidingWindow {
 
 // ---- snapshots ----
 
-/// One completed request's attribution record.
+/// One per-op step on a request's causal trail (bounded; see kTrailCap).
+struct TrailStep {
+  std::uint32_t key = 0;   ///< interned series name (telemetry_key)
+  std::int64_t t_ns = 0;   ///< completion timestamp
+  double ms = 0.0;         ///< step latency
+};
+
+/// One completed request's attribution record. `trail` is only retained
+/// for requests held in the slowest-per-window reservoir — recent-FIFO
+/// copies carry an empty trail to keep snapshots cheap.
 struct RequestRecord {
   std::uint64_t id = 0;
   double latency_ms = 0.0;
   std::int64_t steps = 0;      ///< plan steps executed under this request
   std::int64_t saturated = 0;  ///< clipped values attributed to it
+  std::int64_t done_ns = 0;    ///< completion time; 0 = still in flight
+  std::vector<TrailStep> trail;  ///< per-op events, oldest first
+};
+
+/// An OpenMetrics exemplar: the most recent request-attributed
+/// observation that landed in a histogram bucket.
+struct TeleExemplar {
+  std::uint64_t req = 0;  ///< 0 = bucket has no exemplar
+  double value_ms = 0.0;
+  std::int64_t t_ns = 0;
 };
 
 /// Point-in-time digest of the whole plane, taken under the hub mutex
@@ -238,6 +273,10 @@ struct TelemetrySnapshot {
     WindowStats w10s;
     WindowStats w1m;
     WindowStats w5m;
+    /// 5 m per-bucket counts + exemplars, filled only for the exposition
+    /// series ("deploy.step.latency", "request.latency"); empty otherwise.
+    std::vector<std::uint64_t> buckets_5m;
+    std::vector<TeleExemplar> exemplars;  ///< parallel to buckets_5m
   };
   std::vector<Series> series;  ///< sorted by name
   std::int64_t events_total = 0;    ///< drained events, monotone
@@ -245,6 +284,9 @@ struct TelemetrySnapshot {
   std::uint64_t requests_started = 0;
   std::uint64_t requests_done = 0;
   std::vector<RequestRecord> recent_requests;  ///< newest last, bounded
+  /// Slowest completed requests of the trailing 5 m, latency-descending,
+  /// full trails retained (the tail-latency exemplar reservoir).
+  std::vector<RequestRecord> slow_requests;
   std::int64_t taken_ns = 0;  ///< mono_now_ns() of the snapshot
 };
 
@@ -270,6 +312,35 @@ class TelemetryHub {
   void set_stall_deadline_ms(double ms);
   double stall_deadline_ms() const;
 
+  /// Fatal escalation hook: when set, the aggregator invokes it (outside
+  /// the hub lock) the first tick it sees a stalled executor. Wired to
+  /// obs::crash_escalate_stall by `t2c_cli --stall-fatal`; the action is
+  /// expected not to return.
+  void set_stall_action(std::function<void(double age_ms)> action);
+
+  /// Full detail for one request: searched in the slow reservoir (trail
+  /// retained), then the recent FIFO, then the in-flight table. Returns
+  /// false when the id is unknown; `*active` (optional) reports whether
+  /// the request is still in flight.
+  bool request_detail(std::uint64_t id, RequestRecord* out,
+                      bool* active = nullptr);
+
+  // Lock-free vitals, safe from a signal handler (plain atomic loads);
+  // the crash path builds its bundle's "metrics" section from these.
+  std::uint64_t requests_started_count() const {
+    return requests_started_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t requests_done_count() const {
+    return requests_done_.load(std::memory_order_relaxed);
+  }
+  std::int64_t last_step_ns() const {
+    return last_step_ns_.load(std::memory_order_relaxed);
+  }
+  /// Flight key of the last completed step (~0u before any step).
+  std::uint32_t last_step_key() const {
+    return last_step_key_.load(std::memory_order_relaxed);
+  }
+
   /// Drops every window, request record, and counter (test isolation).
   /// Rings stay registered; enabled state is preserved.
   void clear();
@@ -286,7 +357,7 @@ class TelemetryHub {
 
  private:
   friend TelemetryHub& telemetry();
-  TelemetryHub() = default;
+  TelemetryHub();  ///< reads T2C_STALL_MS for the watchdog default
 
   void aggregate_locked(const std::vector<TeleEvent>& events);
   void drain_all_locked();
@@ -299,25 +370,32 @@ class TelemetryHub {
   std::map<std::string, SlidingWindow> windows_;
   std::map<std::uint64_t, RequestRecord> active_requests_;
   std::vector<RequestRecord> recent_requests_;  ///< bounded FIFO
+  std::vector<RequestRecord> slow_requests_;    ///< top-k, 5 m window
+  std::array<TeleExemplar, SlidingWindow::kBuckets> step_exemplars_{};
+  std::array<TeleExemplar, SlidingWindow::kBuckets> request_exemplars_{};
+  std::function<void(double)> stall_action_;  ///< under mu_
   std::int64_t events_total_ = 0;
   std::int64_t dropped_drained_ = 0;  ///< drops from retired, freed rings
   std::atomic<std::uint64_t> requests_started_{0};
   std::atomic<std::uint64_t> requests_done_{0};
   std::atomic<std::int64_t> last_step_ns_{-1};  ///< -1 = no step ever
+  std::atomic<std::uint32_t> last_step_key_{0xFFFFFFFFu};
   std::atomic<double> stall_deadline_ms_{10000.0};
   std::atomic<bool> running_{false};
   bool stop_requested_ = false;       ///< under mu_, woken via cv_
   std::condition_variable cv_;
   std::thread aggregator_;
 
-  friend void telemetry_note_step();
+  friend void telemetry_note_step(std::uint32_t);
 };
 
 /// The process-wide hub all instrumentation writes to.
 TelemetryHub& telemetry();
 
-inline void telemetry_note_step() {
-  telemetry().last_step_ns_.store(mono_now_ns(), std::memory_order_relaxed);
+inline void telemetry_note_step(std::uint32_t flight_step_key) {
+  TelemetryHub& hub = telemetry();
+  hub.last_step_ns_.store(mono_now_ns(), std::memory_order_relaxed);
+  hub.last_step_key_.store(flight_step_key, std::memory_order_relaxed);
 }
 
 }  // namespace t2c::obs

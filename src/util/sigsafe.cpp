@@ -1,0 +1,285 @@
+#include "util/sigsafe.h"
+
+#include <cmath>
+
+namespace t2c::util {
+namespace {
+const char* const kHexDigits = "0123456789abcdef";
+}  // namespace
+
+SigsafeJson::SigsafeJson(char* buf, std::size_t cap) : buf_(buf), cap_(cap) {
+  if (cap_ == 0) {
+    // Degenerate but survivable: everything truncates immediately.
+    truncated_ = true;
+  } else {
+    buf_[0] = '\0';
+  }
+}
+
+void SigsafeJson::put(char c) {
+  // Keep one byte for the terminating NUL plus (until finish()) enough
+  // headroom to close every open container and emit a "null" for a
+  // dangling key, so a truncated document still parses after finish().
+  const std::size_t reserve =
+      1 + (closing_ ? 0 : static_cast<std::size_t>(kMaxDepth) + 4);
+  if (cap_ < reserve || len_ + reserve > cap_ - 1) {
+    truncated_ = true;
+    return;
+  }
+  buf_[len_++] = c;
+  buf_[len_] = '\0';
+}
+
+void SigsafeJson::puts_(const char* s) {
+  while (*s != '\0') put(*s++);
+}
+
+void SigsafeJson::put_u64(std::uint64_t v) {
+  char tmp[24];
+  int n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + (v % 10));
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) put(tmp[--n]);
+}
+
+void SigsafeJson::put_escaped(const char* s, std::size_t max_len) {
+  put('"');
+  for (std::size_t i = 0; s != nullptr && i < max_len && s[i] != '\0'; ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c == '"' || c == '\\') {
+      put('\\');
+      put(static_cast<char>(c));
+    } else if (c == '\n') {
+      puts_("\\n");
+    } else if (c == '\t') {
+      puts_("\\t");
+    } else if (c == '\r') {
+      puts_("\\r");
+    } else if (c < 0x20) {
+      puts_("\\u00");
+      put(kHexDigits[(c >> 4) & 0xF]);
+      put(kHexDigits[c & 0xF]);
+    } else {
+      put(static_cast<char>(c));
+    }
+  }
+  put('"');
+}
+
+void SigsafeJson::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": was just emitted; no comma before this value
+  }
+  if (depth_ > 0 && has_elem_[depth_ - 1]) put(',');
+  if (depth_ > 0) has_elem_[depth_ - 1] = true;
+}
+
+// Each public emitter is transactional: if it is the op that first hits the
+// cap, every byte and state bit it wrote is rolled back, so the buffer only
+// ever holds complete elements (truncated_ stays latched). Ops after the
+// first truncation are no-ops, which keeps comma/key state consistent for
+// finish().
+SigsafeJson::Txn SigsafeJson::txn_begin() {
+  Txn t;
+  t.mark = len_;
+  t.depth = depth_;
+  t.pending = pending_key_;
+  t.has_elem = depth_ > 0 ? has_elem_[depth_ - 1] : false;
+  return t;
+}
+
+void SigsafeJson::txn_rollback(const Txn& t) {
+  len_ = t.mark;
+  if (cap_ > 0) buf_[len_] = '\0';
+  depth_ = t.depth;
+  pending_key_ = t.pending;
+  if (depth_ > 0) has_elem_[depth_ - 1] = t.has_elem;
+}
+
+void SigsafeJson::begin_obj() {
+  if (truncated_) return;
+  const Txn t = txn_begin();
+  before_value();
+  if (depth_ >= kMaxDepth) {
+    truncated_ = true;
+    txn_rollback(t);
+    return;
+  }
+  put('{');
+  if (truncated_) {
+    txn_rollback(t);
+    return;
+  }
+  stack_[depth_] = '{';
+  has_elem_[depth_] = false;
+  ++depth_;
+}
+
+void SigsafeJson::end_obj() {
+  if (truncated_) return;  // finish() closes it from the reserved headroom
+  if (depth_ > 0 && stack_[depth_ - 1] == '{') {
+    put('}');
+    if (!truncated_) --depth_;
+  }
+}
+
+void SigsafeJson::begin_arr() {
+  if (truncated_) return;
+  const Txn t = txn_begin();
+  before_value();
+  if (depth_ >= kMaxDepth) {
+    truncated_ = true;
+    txn_rollback(t);
+    return;
+  }
+  put('[');
+  if (truncated_) {
+    txn_rollback(t);
+    return;
+  }
+  stack_[depth_] = '[';
+  has_elem_[depth_] = false;
+  ++depth_;
+}
+
+void SigsafeJson::end_arr() {
+  if (truncated_) return;
+  if (depth_ > 0 && stack_[depth_ - 1] == '[') {
+    put(']');
+    if (!truncated_) --depth_;
+  }
+}
+
+void SigsafeJson::key(const char* k) {
+  if (truncated_) return;
+  if (depth_ == 0 || stack_[depth_ - 1] != '{') return;
+  const Txn t = txn_begin();
+  if (has_elem_[depth_ - 1]) put(',');
+  has_elem_[depth_ - 1] = true;
+  put_escaped(k, static_cast<std::size_t>(-1));
+  put(':');
+  if (truncated_) {
+    txn_rollback(t);
+    return;
+  }
+  pending_key_ = true;
+}
+
+void SigsafeJson::str(const char* s, std::size_t max_len) {
+  if (truncated_) return;
+  const Txn t = txn_begin();
+  before_value();
+  put_escaped(s == nullptr ? "" : s, max_len);
+  if (truncated_) txn_rollback(t);
+}
+
+void SigsafeJson::num(std::int64_t v) {
+  if (truncated_) return;
+  const Txn t = txn_begin();
+  before_value();
+  std::uint64_t mag;
+  if (v < 0) {
+    put('-');
+    mag = ~static_cast<std::uint64_t>(v) + 1;  // safe for INT64_MIN
+  } else {
+    mag = static_cast<std::uint64_t>(v);
+  }
+  put_u64(mag);
+  if (truncated_) txn_rollback(t);
+}
+
+void SigsafeJson::num_u(std::uint64_t v) {
+  if (truncated_) return;
+  const Txn t = txn_begin();
+  before_value();
+  put_u64(v);
+  if (truncated_) txn_rollback(t);
+}
+
+void SigsafeJson::num(double v) {
+  if (truncated_) return;
+  const Txn t = txn_begin();
+  before_value();
+  if (std::isnan(v) || std::isinf(v)) {
+    // JSON has no spelling for these and the crash path must not fail.
+    put('0');
+    if (truncated_) txn_rollback(t);
+    return;
+  }
+  if (v < 0) {
+    put('-');
+    v = -v;
+  }
+  // Clamp to a range the integer path represents exactly enough; bundle
+  // numbers are latencies/ages in ms, nowhere near this.
+  if (v >= 9.0e15) v = 9.0e15;
+  const std::uint64_t whole = static_cast<std::uint64_t>(v);
+  std::uint64_t frac =
+      static_cast<std::uint64_t>((v - static_cast<double>(whole)) * 1e6 + 0.5);
+  std::uint64_t w = whole;
+  if (frac >= 1000000) {  // rounding carried into the integer part
+    frac -= 1000000;
+    ++w;
+  }
+  put_u64(w);
+  put('.');
+  char digits[6];
+  for (int i = 5; i >= 0; --i) {
+    digits[i] = static_cast<char>('0' + (frac % 10));
+    frac /= 10;
+  }
+  int keep = 6;
+  while (keep > 1 && digits[keep - 1] == '0') --keep;
+  for (int i = 0; i < keep; ++i) put(digits[i]);
+  if (truncated_) txn_rollback(t);
+}
+
+void SigsafeJson::boolean(bool v) {
+  if (truncated_) return;
+  const Txn t = txn_begin();
+  before_value();
+  puts_(v ? "true" : "false");
+  if (truncated_) txn_rollback(t);
+}
+
+void SigsafeJson::hex(std::uint64_t v) {
+  if (truncated_) return;
+  const Txn t = txn_begin();
+  before_value();
+  put('"');
+  puts_("0x");
+  char tmp[16];
+  int n = 0;
+  do {
+    tmp[n++] = kHexDigits[v & 0xF];
+    v >>= 4;
+  } while (v != 0);
+  while (n > 0) put(tmp[--n]);
+  put('"');
+  if (truncated_) txn_rollback(t);
+}
+
+void SigsafeJson::raw(const char* json) {
+  if (truncated_) return;
+  const Txn t = txn_begin();
+  before_value();
+  if (json != nullptr) puts_(json);
+  if (truncated_) txn_rollback(t);
+}
+
+void SigsafeJson::finish() {
+  closing_ = true;  // closers may use the reserved headroom
+  if (pending_key_) {
+    pending_key_ = false;
+    puts_("null");  // a key whose value was rolled back
+  }
+  while (depth_ > 0) {
+    --depth_;
+    put(stack_[depth_] == '{' ? '}' : ']');
+  }
+}
+
+}  // namespace t2c::util

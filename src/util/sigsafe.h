@@ -1,0 +1,101 @@
+// Async-signal-safe JSON writer (DESIGN.md §3.13).
+//
+// The crash path (obs/crash.cpp) must serialize a postmortem bundle from
+// inside a SIGSEGV/SIGABRT handler, where the rules are brutal: no malloc,
+// no locks, no stdio, no locale, nothing that is not on the POSIX
+// async-signal-safe list. jsonlite (util/jsonlite.h) fails every one of
+// those tests — it builds std::strings — so the crash path gets this
+// dedicated writer instead:
+//
+//   * caller-provided fixed buffer, never grows, never allocates;
+//   * integer/fixed-point number formatting by hand (no snprintf — glibc's
+//     printf family takes locks and consults the locale);
+//   * full string escaping (quote, backslash, control bytes as \u00XX) so
+//     hostile op labels cannot break the document;
+//   * comma/nesting management via a fixed-depth container stack;
+//   * on overflow the writer stops emitting and latches truncated() — the
+//     buffer always holds a prefix of valid UTF-8/ASCII, and the crash
+//     writer closes open containers from a shadow copy so the bundle stays
+//     parseable.
+//
+// Also used from normal (non-signal) context by the stall-escalation path
+// and the unit tests; there is nothing signal-specific about the class,
+// only about what it refuses to do.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace t2c::util {
+
+class SigsafeJson {
+ public:
+  /// Writes into `buf[0..cap)`. `cap` must be >= 1; the writer reserves
+  /// one byte so data() is always NUL-terminated.
+  SigsafeJson(char* buf, std::size_t cap);
+
+  void begin_obj();
+  void end_obj();
+  void begin_arr();
+  void end_arr();
+
+  /// Emits `"k":` (k is escaped). Must be inside an object.
+  void key(const char* k);
+
+  /// Quoted, escaped string value. Stops at NUL or `max_len` bytes,
+  /// whichever comes first.
+  void str(const char* s, std::size_t max_len = static_cast<std::size_t>(-1));
+  void num(std::int64_t v);
+  void num_u(std::uint64_t v);
+  /// Fixed-point decimal with up to 6 fractional digits (trailing zeros
+  /// trimmed, at least one kept). NaN/Inf degrade to 0 — JSON has no
+  /// spelling for them and the crash path must not throw.
+  void num(double v);
+  void boolean(bool v);
+  /// Quoted "0x..." hex literal (for code addresses).
+  void hex(std::uint64_t v);
+  /// Splices pre-rendered JSON verbatim (e.g. build_info prerendered at
+  /// handler-install time). Caller guarantees it is a valid value.
+  void raw(const char* json);
+
+  /// Closes every still-open container so the document parses even after
+  /// truncation or an early bail-out.
+  void finish();
+
+  const char* data() const { return buf_; }
+  std::size_t size() const { return len_; }
+  bool truncated() const { return truncated_; }
+  int depth() const { return depth_; }
+
+ private:
+  static constexpr int kMaxDepth = 24;
+
+  /// Snapshot for per-op rollback: the first op to hit the cap is undone
+  /// wholesale, so the buffer only ever holds complete elements.
+  struct Txn {
+    std::size_t mark = 0;
+    int depth = 0;
+    bool pending = false;
+    bool has_elem = false;
+  };
+  Txn txn_begin();
+  void txn_rollback(const Txn& t);
+
+  void put(char c);
+  void puts_(const char* s);
+  void put_escaped(const char* s, std::size_t max_len);
+  void put_u64(std::uint64_t v);
+  void before_value();
+
+  char* buf_;
+  std::size_t cap_;
+  std::size_t len_ = 0;
+  bool truncated_ = false;
+  bool pending_key_ = false;
+  bool closing_ = false;
+  int depth_ = 0;
+  char stack_[kMaxDepth];      ///< '{' or '[' per open container
+  bool has_elem_[kMaxDepth];   ///< comma needed before next element?
+};
+
+}  // namespace t2c::util

@@ -21,6 +21,7 @@
 #include "core/parallel.h"
 #include "deploy/deploy_model.h"
 #include "deploy/int_ops.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/prom.h"
 #include "obs/telemetry.h"
@@ -463,6 +464,140 @@ TEST_F(TelemetryTest, TelemetryHotPathAddsNoAllocations) {
 
   obs::set_telemetry_enabled(false);
   EXPECT_EQ(allocs_per_run(), baseline);
+}
+
+// ---- exemplars + request detail (DESIGN.md §3.13) ----
+
+TEST_F(TelemetryTest, DigestBucketsSumMatchesDigestCount) {
+  obs::SlidingWindow win;
+  const std::int64_t t0 = mono_now_ns();
+  for (int i = 0; i < 500; ++i) {
+    win.observe(t0 + i, 0.001 * (i % 97) + 0.00005);
+  }
+  const std::int64_t now = t0 + 1000;
+  const obs::WindowStats s =
+      win.digest(obs::SlidingWindow::kSubWindows, now);
+  const auto buckets =
+      win.digest_buckets(obs::SlidingWindow::kSubWindows, now);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t b : buckets) sum += b;
+  // The +Inf bucket of the rendered histogram is this same digest count:
+  // both views share the sub-window filter at the same taken_ns.
+  EXPECT_EQ(static_cast<std::int64_t>(sum), s.count);
+  EXPECT_EQ(s.count, 500);
+}
+
+TEST_F(TelemetryTest, ExemplarsDecorateBucketsAndResolveToDetail) {
+  obs::set_telemetry_enabled(true);
+  obs::telemetry_register_thread();
+  static const std::uint32_t key = obs::telemetry_key("test.exemplar.step");
+  std::uint64_t id = 0;
+  {
+    const obs::RequestScope req;
+    id = obs::current_request();
+    ASSERT_NE(id, 0u);
+    for (int i = 0; i < 6; ++i) {
+      obs::telemetry_record(obs::TeleKind::kStep, key, 0.25 + 0.05 * i);
+    }
+  }
+  const std::string prom = obs::render_prometheus();
+  // At least one latency bucket line carries an OpenMetrics exemplar
+  // naming this request.
+  const std::string marker = "# {req=\"" + std::to_string(id) + "\"}";
+  ASSERT_NE(prom.find("t2c_tele_latency_ms_bucket{series=\"deploy.step."
+                      "latency\""),
+            std::string::npos);
+  EXPECT_NE(prom.find(marker), std::string::npos) << prom;
+
+  // /exemplars lists the request with its per-op trail...
+  const std::string ex = obs::render_exemplars_json();
+  EXPECT_NE(ex.find("\"schema\":\"t2c.exemplars.v1\""), std::string::npos);
+  EXPECT_NE(ex.find("\"id\":" + std::to_string(id)), std::string::npos);
+  EXPECT_NE(ex.find("test.exemplar.step"), std::string::npos);
+
+  // ...and the id resolves to the same detail on /requests/<id>.
+  const std::string detail = obs::render_request_json(id);
+  ASSERT_FALSE(detail.empty());
+  EXPECT_NE(detail.find("\"steps\":6"), std::string::npos);
+  EXPECT_NE(detail.find("\"trail\":[{"), std::string::npos);
+  // Unknown ids stay unresolvable.
+  EXPECT_TRUE(obs::render_request_json(id + 999999).empty());
+}
+
+TEST_F(TelemetryTest, SlowReservoirKeepsSlowestWithTrails) {
+  obs::set_telemetry_enabled(true);
+  obs::telemetry_register_thread();
+  static const std::uint32_t key = obs::telemetry_key("test.slow.step");
+  // More requests than reservoir slots; remember the slowest id. The
+  // recorded latency tracks the loop index, so the last kSlowK are the
+  // keepers.
+  std::uint64_t slowest = 0;
+  for (int r = 0; r < 24; ++r) {
+    const obs::RequestScope req;
+    slowest = obs::current_request();
+    obs::telemetry_record(obs::TeleKind::kStep, key, 0.1);
+    // Stretch latency artificially: RequestScope measures wall time, so
+    // sleep a hair longer each round.
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * (r + 1)));
+  }
+  const obs::TelemetrySnapshot snap = obs::telemetry().snapshot();
+  ASSERT_FALSE(snap.slow_requests.empty());
+  EXPECT_LE(snap.slow_requests.size(), 8u);
+  // Sorted slowest-first, every retained record keeps its trail.
+  for (std::size_t i = 1; i < snap.slow_requests.size(); ++i) {
+    EXPECT_GE(snap.slow_requests[i - 1].latency_ms,
+              snap.slow_requests[i].latency_ms);
+  }
+  for (const obs::RequestRecord& r : snap.slow_requests) {
+    EXPECT_FALSE(r.trail.empty());
+    EXPECT_GT(r.done_ns, 0);
+  }
+  bool found = false;
+  for (const obs::RequestRecord& r : snap.slow_requests) {
+    found = found || r.id == slowest;
+  }
+  EXPECT_TRUE(found) << "slowest request fell out of the reservoir";
+}
+
+TEST_F(TelemetryTest, Stall503BodyNamesStepAndFlightDrops) {
+  obs::telemetry().set_stall_deadline_ms(0.001);
+  const std::uint32_t fkey = obs::flight_key("deploy.step.test.stalled");
+  obs::telemetry_note_step(fkey);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  obs::PromExporter exporter;
+  ASSERT_TRUE(exporter.start(0));
+  const std::string health = http_get(exporter.port(), "/healthz");
+  EXPECT_EQ(health.rfind("HTTP/1.0 503", 0), 0u);
+  EXPECT_NE(health.find("last step: deploy.step.test.stalled"),
+            std::string::npos)
+      << health;
+  EXPECT_NE(health.find("flight dropped: "), std::string::npos);
+  exporter.stop();
+  obs::telemetry().set_stall_deadline_ms(10000.0);
+}
+
+TEST_F(TelemetryTest, StallActionFiresOutsideHubLock) {
+  obs::telemetry().set_stall_deadline_ms(1.0);
+  static std::atomic<int> fired{0};
+  static std::atomic<double> seen_age{0.0};
+  fired.store(0);
+  obs::telemetry().set_stall_action([](double age_ms) {
+    // Touching the hub from inside the action must not deadlock: the
+    // aggregator invokes it with the lock released.
+    (void)obs::telemetry().stall_deadline_ms();
+    seen_age.store(age_ms);
+    fired.fetch_add(1);
+  });
+  obs::telemetry().start();
+  obs::telemetry_note_step();
+  for (int i = 0; i < 200 && fired.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  obs::telemetry().stop();
+  obs::telemetry().set_stall_action(nullptr);
+  EXPECT_GE(fired.load(), 1);
+  EXPECT_GE(seen_age.load(), 1.0);
+  obs::telemetry().set_stall_deadline_ms(10000.0);
 }
 
 }  // namespace

@@ -21,9 +21,19 @@
 //
 // Live monitoring: `--serve-obs PORT` starts the telemetry plane and an
 // HTTP exporter on 127.0.0.1 serving /metrics (Prometheus text exposition
-// with sliding-window percentiles), /healthz, /buildinfo, and /requests;
-// `--loop N` soaks the deployed graph with N integer inferences across two
-// client threads so there is live traffic to scrape.
+// with sliding-window percentiles and OpenMetrics exemplars on latency
+// buckets), /healthz (watchdog; 503 bodies name the stalled step),
+// /buildinfo, /requests, /requests/<id> (per-request detail incl. the
+// per-op trail for reservoir-retained requests) and /exemplars (the
+// tail-latency reservoir); `--loop N` soaks the deployed graph with N
+// integer inferences across two client threads so there is live traffic
+// to scrape.
+//
+// Postmortems: `--postmortem-dir DIR` installs async-signal-safe crash
+// handlers that write a flight-recorder bundle (t2c.postmortem.v1) on
+// SIGSEGV/SIGABRT/SIGBUS/SIGFPE; `--stall-ms MS` tunes the watchdog
+// deadline and `--stall-fatal` escalates a stall into a bundle + abort.
+// `--version` prints the full build_info stamp and exits.
 //
 // Dual-path audit: `--audit` replays one test batch through the fake-quant
 // and integer paths and prints the per-layer divergence table (SQNR,
@@ -42,6 +52,7 @@
 // among exact kernels.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -57,6 +68,7 @@
 #include "core/t2c.h"
 #include "deploy/exec_plan.h"
 #include "models/models.h"
+#include "obs/crash.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/pmu.h"
@@ -65,6 +77,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tensor/solver.h"
+#include "util/build_info.h"
 #include "xport/verilog.h"
 
 namespace {
@@ -104,6 +117,10 @@ struct Args {
   std::string tune = "heuristic";  ///< solver-registry mode
   std::string tune_cache;          ///< cache override; empty = default path
   bool list_solvers = false;
+  std::string postmortem_dir;  ///< crash-handler bundle dir; empty = off
+  int stall_ms = 0;            ///< watchdog deadline override; 0 = default
+  bool stall_fatal = false;    ///< escalate a watchdog stall to a bundle
+  std::string selftest_crash;  ///< hidden: "segv" | "stall" fault injection
 };
 
 DatasetSpec dataset_by_name(const std::string& name) {
@@ -199,6 +216,27 @@ Args parse(int argc, char** argv) {
     }
     else if (f == "--tune-cache") a.tune_cache = want(i++);
     else if (f == "--list-solvers") a.list_solvers = true;
+    else if (f == "--postmortem-dir") a.postmortem_dir = want(i++);
+    else if (f == "--stall-ms") {
+      a.stall_ms = std::atoi(want(i++));
+      check(a.stall_ms >= 1, "--stall-ms must be >= 1");
+    }
+    else if (f == "--stall-fatal") a.stall_fatal = true;
+    else if (f == "--selftest-crash") {
+      a.selftest_crash = want(i++);
+      check(a.selftest_crash == "segv" || a.selftest_crash == "stall",
+            "--selftest-crash must be segv or stall");
+    }
+    else if (f == "--version") {
+      const BuildInfo b = build_info();
+      std::printf("t2c_cli %s\n", b.git_sha.c_str());
+      std::printf("  compiler:  %s\n", b.compiler.c_str());
+      std::printf("  flags:     %s\n", b.flags.c_str());
+      std::printf("  isa:       %s\n", b.isa.c_str());
+      std::printf("  cpu_model: %s\n", b.cpu_model.c_str());
+      std::printf("  threads:   %d\n", b.threads);
+      std::exit(0);
+    }
     else if (f == "--help") {
       std::puts(
           "usage: t2c_cli [--model M] [--dataset D] [--trainer T]\n"
@@ -215,7 +253,9 @@ Args parse(int argc, char** argv) {
           "               [--plan-dump PATH]\n"
           "               [--serve-obs PORT] [--loop N]\n"
           "               [--tune off|heuristic|full] [--tune-cache PATH]\n"
-          "               [--list-solvers]\n"
+          "               [--list-solvers] [--version]\n"
+          "               [--postmortem-dir DIR] [--stall-ms MS]\n"
+          "               [--stall-fatal]\n"
           "JSON PATHs accept '-' for stdout.\n"
           "--threads sizes the worker pool (default: T2C_THREADS env var,\n"
           "else hardware concurrency); integer outputs are bit-identical\n"
@@ -249,7 +289,18 @@ Args parse(int argc, char** argv) {
           "--tune-cache overrides the cache path (default\n"
           "$T2C_TUNE_CACHE, else ~/.cache/t2c/tuning.json); the cache is\n"
           "keyed by CPU model + build sha and ignored on mismatch.\n"
-          "--list-solvers prints the registered solver table and exits.");
+          "--list-solvers prints the registered solver table and exits.\n"
+          "--version prints the build_info stamp (sha, compiler, flags,\n"
+          "ISA level, CPU model, threads) and exits.\n"
+          "--postmortem-dir installs async-signal-safe crash handlers\n"
+          "(SIGSEGV/SIGABRT/SIGBUS/SIGFPE) and enables the flight\n"
+          "recorder; a fatal signal writes a postmortem JSON bundle\n"
+          "(build_info, last flight events, active requests, backtrace)\n"
+          "under DIR before re-raising.\n"
+          "--stall-ms overrides the /healthz stall-watchdog deadline\n"
+          "(default 10000, or $T2C_STALL_MS).\n"
+          "--stall-fatal (requires --postmortem-dir) escalates a watchdog\n"
+          "stall to a postmortem bundle + abort instead of just a 503.");
       std::exit(0);
     } else {
       fail("unknown flag '" + f + "' (try --help)");
@@ -365,6 +416,24 @@ int main(int argc, char** argv) {
     obs::set_metrics_enabled(true);
     obs::set_trace_enabled(!a.trace_json.empty());
     obs::set_profile_enabled(a.profile);
+    if (a.stall_ms > 0) {
+      obs::telemetry().set_stall_deadline_ms(static_cast<double>(a.stall_ms));
+    }
+    // Crash handlers before any heavy work: once installed, the flight
+    // recorder is on and a fatal signal anywhere below leaves a bundle.
+    if (!a.postmortem_dir.empty()) {
+      obs::CrashConfig pm;
+      pm.dir = a.postmortem_dir;
+      check(obs::install_crash_handlers(pm),
+            "crash: failed to install handlers");
+    }
+    if (a.stall_fatal) {
+      check(!a.postmortem_dir.empty(),
+            "--stall-fatal requires --postmortem-dir");
+      obs::telemetry().set_stall_action(
+          [](double age_ms) { obs::crash_escalate_stall(age_ms); });
+      obs::telemetry().start();
+    }
     // Live plane first so /metrics answers during training and conversion
     // too, not just once the soak loop starts.
     obs::PromExporter exporter;
@@ -515,6 +584,33 @@ int main(int argc, char** argv) {
       for (auto& t : clients) t.join();
       std::printf("soak: done\n");
       std::fflush(stdout);
+    }
+    if (!a.selftest_crash.empty()) {
+      // Fault injection for the postmortem integration tests: run a few
+      // real inferences first so the flight rings hold genuine step and
+      // request history, then crash or wedge on purpose.
+      Shape s1 = data.test_images().shape();
+      s1[0] = 1;
+      Tensor one(std::move(s1));
+      for (std::int64_t i = 0; i < one.numel(); ++i) {
+        one[i] = data.test_images()[i];
+      }
+      const ITensor q1 = chip.quantize_input(one);
+      for (int i = 0; i < 3; ++i) {
+        const obs::RequestScope req;
+        (void)chip.run_int(q1);
+      }
+      std::printf("selftest-crash: %s\n", a.selftest_crash.c_str());
+      std::fflush(stdout);
+      if (a.selftest_crash == "segv") {
+        volatile int* vp = nullptr;
+        *vp = 42;
+      }
+      // stall: stop stepping and wait for the watchdog to escalate (with
+      // --stall-fatal that ends in a bundle + abort; without it, forever).
+      for (;;) {
+        std::this_thread::sleep_for(std::chrono::seconds(1));
+      }
     }
     std::printf("%s\n", chip.summary_text().c_str());
     std::printf("artifacts under %s/ (model.t2c, hex/)\n", a.out.c_str());

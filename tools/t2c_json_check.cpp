@@ -27,9 +27,17 @@
 // label values are quoted with only \\ \" \n escapes, histogram _bucket
 // series are cumulative (non-decreasing in `le` order) and end in a +Inf
 // bucket equal to the family's _count, and the document ends in a newline.
+// Histogram _bucket samples may carry OpenMetrics exemplars
+// (`# {labels} value`); the exemplar value must sit inside its bucket.
 // --prom-scrape PORT fetches http://127.0.0.1:PORT/metrics over a raw
 // socket (no curl dependency), requires a 200, validates the body the same
 // way, and writes it to $T2C_PROM_DUMP when that variable names a file.
+// Postmortem checks (--postmortem FILE, schema t2c.postmortem.v1): the
+// crash-handler bundle — reason (signal/stall with detail fields),
+// build_info, lock-free vitals, >= 1 complete flight event in time order,
+// a non-empty hex backtrace, and the truncation marker.
+// --fetch PORT:/PATH performs a generic exporter GET (e.g. /exemplars,
+// /requests/<id>) and prints the body, for the shell gates.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -277,6 +285,110 @@ void check_metrics(const std::string& path) {
   std::printf("metrics ok: %zu histograms\n", hists.object.size());
 }
 
+// Postmortem-bundle checks (--postmortem FILE, schema t2c.postmortem.v1):
+// the document the crash handlers wrote from signal context must parse,
+// name its reason (signal or stall, each with its detail fields), carry
+// the build_info stamp and the lock-free vitals block, hold at least one
+// flight event with a complete field set in non-decreasing time order, a
+// non-empty hex backtrace, and the truncation marker.
+void check_postmortem(const std::string& path) {
+  const JsonValue doc = parse_json(slurp(path));
+  check(doc.has("schema") && doc.at("schema").str == "t2c.postmortem.v1",
+        path + ": schema is not t2c.postmortem.v1");
+  check(doc.has("reason") && doc.at("reason").is_object(),
+        path + ": missing reason block");
+  const JsonValue& r = doc.at("reason");
+  check(r.has("kind") && r.at("kind").is_string(),
+        path + ": reason without kind");
+  const std::string& kind = r.at("kind").str;
+  check(kind == "signal" || kind == "stall",
+        path + ": unknown reason kind '" + kind + "'");
+  if (kind == "signal") {
+    check(r.has("signal") && r.at("signal").is_string() &&
+              !r.at("signal").str.empty(),
+          path + ": signal reason without signal name");
+    check(r.has("signo") && r.at("signo").is_number() &&
+              r.at("signo").number >= 1.0,
+          path + ": signal reason without signo");
+  } else {
+    check(r.has("stall_age_ms") && r.at("stall_age_ms").number >= 0.0,
+          path + ": stall reason without stall_age_ms");
+    check(r.has("stall_deadline_ms") &&
+              r.at("stall_deadline_ms").number > 0.0,
+          path + ": stall reason without stall_deadline_ms");
+    check(r.at("stall_age_ms").number >= r.at("stall_deadline_ms").number,
+          path + ": stall age below the deadline that fired");
+  }
+  for (const char* key : {"t_mono_ns", "t_unix_s", "pid"}) {
+    check(doc.has(key) && doc.at(key).is_number() &&
+              doc.at(key).number >= 0.0,
+          path + ": missing " + key);
+  }
+  check_build_info(doc, path);
+  check(doc.has("metrics") && doc.at("metrics").is_object(),
+        path + ": missing metrics block");
+  const JsonValue& m = doc.at("metrics");
+  for (const char* key : {"requests_started", "requests_done",
+                          "flight_events", "flight_dropped", "flight_rings",
+                          "steps_recorded"}) {
+    check(m.has(key) && m.at(key).is_number() && m.at(key).number >= 0.0,
+          path + ": metrics missing " + key);
+  }
+  check(m.has("last_step") && m.at("last_step").is_string() &&
+            !m.at("last_step").str.empty(),
+        path + ": metrics missing last_step");
+  check(doc.has("active_requests") && doc.at("active_requests").is_array(),
+        path + ": missing active_requests array");
+  for (const JsonValue& a : doc.at("active_requests").array) {
+    check(a.has("id") && a.at("id").number >= 1.0 && a.has("age_ms"),
+          path + ": malformed active request entry");
+  }
+  check(doc.has("flight") && doc.at("flight").is_object(),
+        path + ": missing flight block");
+  const JsonValue& fl = doc.at("flight");
+  check(fl.has("dropped") && fl.at("dropped").is_number() &&
+            fl.at("dropped").number >= 0.0,
+        path + ": flight block without dropped count");
+  check(fl.has("events") && fl.at("events").is_array() &&
+            !fl.at("events").array.empty(),
+        path + ": flight block without events");
+  const std::set<std::string> kKinds = {"step",       "request_start",
+                                        "request_done", "saturation",
+                                        "pool_region",  "mark"};
+  double last_t = -1.0;
+  for (const JsonValue& e : fl.at("events").array) {
+    check(e.has("t_ns") && e.at("t_ns").number >= last_t,
+          path + ": flight events not in time order");
+    last_t = e.at("t_ns").number;
+    check(e.has("kind") && kKinds.count(e.at("kind").str) == 1,
+          path + ": flight event with unknown kind");
+    check(e.has("name") && e.at("name").is_string() &&
+              !e.at("name").str.empty(),
+          path + ": flight event without a name");
+    check(e.has("value") && e.at("value").is_number(),
+          path + ": flight event without a value");
+    check(e.has("req") && e.at("req").number >= 0.0,
+          path + ": flight event without a req id");
+    check(e.has("thread") && e.at("thread").is_string(),
+          path + ": flight event without a thread");
+  }
+  check(doc.has("backtrace") && doc.at("backtrace").is_array() &&
+            !doc.at("backtrace").array.empty(),
+        path + ": missing backtrace");
+  for (const JsonValue& f : doc.at("backtrace").array) {
+    check(f.is_string() && f.str.rfind("0x", 0) == 0,
+          path + ": backtrace frame is not a hex address");
+  }
+  check(doc.has("truncated") &&
+            doc.at("truncated").kind == JsonValue::Kind::kBool,
+        path + ": missing truncated marker");
+  std::printf("postmortem ok: %s, %zu flight events, %zu frames, "
+              "%zu active requests\n",
+              kind.c_str(), fl.at("events").array.size(),
+              doc.at("backtrace").array.size(),
+              doc.at("active_requests").array.size());
+}
+
 // ---- Prometheus text exposition ----
 
 bool valid_metric_name(const std::string& s) {
@@ -307,6 +419,9 @@ struct PromSample {
   double le = 0.0;     ///< parsed le label (histogram buckets)
   bool has_le = false;
   double value = 0.0;
+  bool has_exemplar = false;  ///< OpenMetrics `# {labels} value` suffix
+  double exemplar_value = 0.0;
+  std::string exemplar_labels;
 };
 
 /// Parses one `name{labels} value` line; fails loudly on grammar errors.
@@ -370,7 +485,32 @@ PromSample parse_sample(const std::string& line, const std::string& where) {
   }
   check(i < line.size() && line[i] == ' ',
         where + ": missing value separator in: " + line);
-  const std::string val = line.substr(i + 1);
+  std::string val = line.substr(i + 1);
+  // OpenMetrics exemplar suffix — `value # {labels} exemplar-value` — is
+  // only legal on histogram bucket samples; the exemplar value must fall
+  // inside the bucket it decorates.
+  const std::size_t ex = val.find(" # ");
+  if (ex != std::string::npos) {
+    const std::string tail = val.substr(ex + 3);
+    val = val.substr(0, ex);
+    check(s.has_le, where + ": exemplar on a non-bucket sample: " + line);
+    check(!tail.empty() && tail[0] == '{',
+          where + ": exemplar without a label set in: " + line);
+    const std::size_t close = tail.find('}');
+    check(close != std::string::npos,
+          where + ": unterminated exemplar labels in: " + line);
+    s.exemplar_labels = tail.substr(1, close - 1);
+    check(s.exemplar_labels.find('=') != std::string::npos,
+          where + ": empty exemplar label set in: " + line);
+    const std::string exval = tail.substr(close + 1);
+    check(exval.size() >= 2 && exval[0] == ' ' &&
+              exval.find(' ', 1) == std::string::npos,
+          where + ": malformed exemplar value in: " + line);
+    s.has_exemplar = true;
+    s.exemplar_value = std::atof(exval.c_str() + 1);
+    check(s.exemplar_value <= s.le,
+          where + ": exemplar value above its bucket le in: " + line);
+  }
   check(!val.empty() && val.find(' ') == std::string::npos,
         where + ": malformed value in: " + line);
   s.value = std::atof(val.c_str());
@@ -386,6 +526,7 @@ void check_prom_text(const std::string& body, const std::string& where) {
   std::map<std::string, std::vector<PromSample>> buckets;
   std::map<std::string, double> counts;
   std::size_t samples = 0;
+  std::size_t exemplars = 0;
   std::istringstream is(body);
   std::string line;
   while (std::getline(is, line)) {
@@ -414,6 +555,7 @@ void check_prom_text(const std::string& body, const std::string& where) {
     }
     const PromSample s = parse_sample(line, where);
     ++samples;
+    if (s.has_exemplar) ++exemplars;
     // Resolve the sample to its family: histogram samples append
     // _bucket/_sum/_count, counters append _total.
     std::string fam = s.name;
@@ -460,30 +602,35 @@ void check_prom_text(const std::string& body, const std::string& where) {
     check(series.back().value == it->second,
           where + ": +Inf bucket != _count for " + key);
   }
-  std::printf("prom ok: %zu families, %zu samples, %zu histogram series\n",
-              types.size(), samples, buckets.size());
+  std::printf("prom ok: %zu families, %zu samples, %zu histogram series, "
+              "%zu exemplars\n",
+              types.size(), samples, buckets.size(), exemplars);
 }
 
 void check_prom(const std::string& path) {
   check_prom_text(slurp(path), path);
 }
 
-void scrape_prom(const std::string& port_str) {
-  const int port = std::atoi(port_str.c_str());
-  check(port > 0 && port <= 65535, "--prom-scrape: bad port " + port_str);
+/// Fetches http://127.0.0.1:<port><url_path> over a raw socket (no curl
+/// dependency), requires a 200, and returns the body.
+std::string http_fetch(int port, const std::string& url_path,
+                       const std::string& who) {
+  check(port > 0 && port <= 65535,
+        who + ": bad port " + std::to_string(port));
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  check(fd >= 0, "--prom-scrape: socket() failed");
+  check(fd >= 0, who + ": socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   check(connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) == 0,
-        "--prom-scrape: cannot connect to 127.0.0.1:" + port_str);
-  const char req[] = "GET /metrics HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
-  check(send(fd, req, sizeof(req) - 1, 0) ==
-            static_cast<ssize_t>(sizeof(req) - 1),
-        "--prom-scrape: send failed");
+        who + ": cannot connect to 127.0.0.1:" + std::to_string(port));
+  const std::string req =
+      "GET " + url_path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+  check(send(fd, req.c_str(), req.size(), 0) ==
+            static_cast<ssize_t>(req.size()),
+        who + ": send failed");
   std::string resp;
   char buf[4096];
   for (;;) {
@@ -494,16 +641,35 @@ void scrape_prom(const std::string& port_str) {
   close(fd);
   check(resp.rfind("HTTP/1.0 200", 0) == 0 ||
             resp.rfind("HTTP/1.1 200", 0) == 0,
-        "--prom-scrape: non-200 response: " + resp.substr(0, 64));
+        who + ": non-200 response for " + url_path + ": " +
+            resp.substr(0, 64));
   const std::size_t split = resp.find("\r\n\r\n");
-  check(split != std::string::npos, "--prom-scrape: malformed response");
-  const std::string body = resp.substr(split + 4);
+  check(split != std::string::npos, who + ": malformed response");
+  return resp.substr(split + 4);
+}
+
+void scrape_prom(const std::string& port_str) {
+  const int port = std::atoi(port_str.c_str());
+  const std::string body = http_fetch(port, "/metrics", "--prom-scrape");
   if (const char* dump = std::getenv("T2C_PROM_DUMP")) {
     std::ofstream os(dump);
     check(os.good(), std::string("--prom-scrape: cannot write ") + dump);
     os << body;
   }
   check_prom_text(body, "scrape 127.0.0.1:" + port_str);
+}
+
+/// `--fetch PORT:PATH` — generic exporter GET printing the body verbatim,
+/// so shell gates can pull /exemplars and /requests/<id> without curl.
+void fetch_url(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  check(colon != std::string::npos && colon > 0 && colon + 1 < spec.size() &&
+            spec[colon + 1] == '/',
+        "--fetch expects PORT:/PATH, got '" + spec + "'");
+  const int port = std::atoi(spec.substr(0, colon).c_str());
+  const std::string body =
+      http_fetch(port, spec.substr(colon + 1), "--fetch");
+  std::fwrite(body.data(), 1, body.size(), stdout);
 }
 
 }  // namespace
@@ -521,12 +687,14 @@ int main(int argc, char** argv) {
       else if (flag == "--tune-cache") check_tune_cache(path);
       else if (flag == "--prom") check_prom(path);
       else if (flag == "--prom-scrape") scrape_prom(path);
+      else if (flag == "--postmortem") check_postmortem(path);
+      else if (flag == "--fetch") fetch_url(path);
       else t2c::fail("unknown flag '" + flag + "'");
       any = true;
     }
     check(any, "usage: t2c_json_check [--trace F] [--profile F] "
                "[--metrics F] [--bench F] [--tune-cache F] [--prom F] "
-               "[--prom-scrape PORT]");
+               "[--prom-scrape PORT] [--postmortem F] [--fetch PORT:/PATH]");
     return 0;
   } catch (const t2c::Error& e) {
     std::fprintf(stderr, "t2c_json_check: %s\n", e.what());
